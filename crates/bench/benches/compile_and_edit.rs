@@ -1,0 +1,40 @@
+//! Criterion benches behind Fig. 17: full compilation vs template editing.
+//!
+//! The paper's claim is that generating all 2^m executables by editing one
+//! compiled template costs ~1e-4 of a compilation. These benches measure
+//! both operations precisely on a mid-size instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fq_circuit::build_qaoa_circuit;
+use fq_graphs::{gen, to_ising_pm1};
+use fq_transpile::{compile, CompileOptions, Device};
+use frozenqubits::{partition_problem, select_hotspots, CompiledTemplate, HotspotStrategy};
+
+fn bench_compile_vs_edit(c: &mut Criterion) {
+    let model = to_ising_pm1(&gen::barabasi_albert(64, 1, 1).unwrap(), 1);
+    let device = Device::ibm_washington();
+    let options = CompileOptions::level3();
+
+    let hotspots = select_hotspots(&model, 2, &HotspotStrategy::MaxDegree).unwrap();
+    let plan = partition_problem(&model, &hotspots, true).unwrap();
+    let rep = plan.executed[0].problem.model().clone();
+    let sibling = plan.executed[1].problem.model().clone();
+    let template = CompiledTemplate::compile(&rep, 1, &device, options).unwrap();
+
+    let mut group = c.benchmark_group("fig17");
+    group.bench_function("full_compile_64q_washington", |b| {
+        b.iter(|| {
+            let qc = build_qaoa_circuit(black_box(&rep), 1).unwrap();
+            black_box(compile(&qc, &device, options).unwrap())
+        });
+    });
+    group.bench_function("template_edit_64q", |b| {
+        b.iter(|| black_box(template.edit_for(black_box(&sibling)).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_vs_edit);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the corresponding table/figure; see `fq_bench::figures`.
+fn main() {
+    fq_bench::figures::fig07_cnot_depth();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the corresponding figure; see `fq_bench::scale`.
+fn main() {
+    fq_bench::scale::fig15_16_scale();
+}

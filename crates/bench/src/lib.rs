@@ -1,0 +1,126 @@
+//! Shared helpers for the figure-regeneration binaries (`src/bin/fig*.rs`)
+//! and the Criterion benches.
+//!
+//! Every binary regenerates one table or figure of the paper: it prints
+//! the same rows/series the paper reports and writes a CSV under
+//! `results/`. Run them all with `cargo run --release -p fq-bench --bin
+//! all_figures`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod scale;
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use fq_graphs::{gen, to_ising_pm1};
+use fq_ising::IsingModel;
+
+/// The benchmark sizes of the small-scale ARG figures (Figs. 7, 8, 10, 11).
+pub const ARG_SIZES: [usize; 6] = [4, 8, 12, 16, 20, 24];
+
+/// Seeds per size: each paper point averages several random instances.
+pub const SEEDS_PER_SIZE: u64 = 3;
+
+/// The `results/` directory at the workspace root.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    fs::create_dir_all(&dir).expect("can create results directory");
+    dir
+}
+
+/// Writes a CSV file into `results/` and announces it on stdout.
+///
+/// # Panics
+///
+/// Panics on I/O errors — a bench harness has nothing useful to do about
+/// them.
+pub fn write_csv(name: &str, header: &str, rows: &[Vec<String>]) {
+    let path = results_dir().join(name);
+    let mut f = fs::File::create(&path).expect("can create csv");
+    writeln!(f, "{header}").expect("can write csv");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("can write csv");
+    }
+    println!("  -> wrote {}", path.display());
+}
+
+/// A Barabási–Albert benchmark instance of §4.1: `d_BA`-preferential
+/// attachment, ±1 edge weights, zero node weights.
+///
+/// # Panics
+///
+/// Panics for infeasible `(n, d)` (not used by the harness).
+#[must_use]
+pub fn ba_instance(n: usize, d: usize, seed: u64) -> IsingModel {
+    to_ising_pm1(&gen::barabasi_albert(n, d, seed).expect("valid BA parameters"), seed)
+}
+
+/// A random 3-regular benchmark instance.
+///
+/// # Panics
+///
+/// Panics for infeasible sizes (odd `3n`).
+#[must_use]
+pub fn regular3_instance(n: usize, seed: u64) -> IsingModel {
+    to_ising_pm1(&gen::random_regular(n, 3, seed).expect("valid size"), seed)
+}
+
+/// A fully-connected SK-model benchmark instance.
+#[must_use]
+pub fn sk_instance(n: usize, seed: u64) -> IsingModel {
+    to_ising_pm1(&gen::complete(n), seed)
+}
+
+/// Geometric mean over per-instance values (the paper's aggregate).
+///
+/// # Panics
+///
+/// Panics on empty input.
+#[must_use]
+pub fn gmean(values: &[f64]) -> f64 {
+    frozenqubits::metrics::gmean(values)
+}
+
+/// Formats a float for tables.
+#[must_use]
+pub fn fmt(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_have_expected_shapes() {
+        assert_eq!(ba_instance(12, 1, 0).num_couplings(), 11);
+        assert_eq!(regular3_instance(8, 0).num_couplings(), 12);
+        assert_eq!(sk_instance(6, 0).num_couplings(), 15);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        write_csv(
+            "selftest.csv",
+            "a,b",
+            &[vec!["1".into(), "2".into()]],
+        );
+        let content = std::fs::read_to_string(results_dir().join("selftest.csv")).unwrap();
+        assert!(content.contains("a,b"));
+        assert!(content.contains("1,2"));
+        std::fs::remove_file(results_dir().join("selftest.csv")).unwrap();
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for circuit construction and parameter binding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, editing or binding circuits.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A qubit index was at or beyond the circuit width.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The circuit's qubit count.
+        num_qubits: usize,
+    },
+    /// A two-qubit gate was given identical operands.
+    IdenticalOperands(usize),
+    /// A symbolic angle referenced a layer beyond the parameter vectors.
+    LayerOutOfRange {
+        /// The referenced layer.
+        layer: usize,
+        /// Number of layers supplied.
+        layers: usize,
+    },
+    /// γ and β vectors had different lengths.
+    ParameterLengthMismatch {
+        /// Length of the γ vector.
+        gammas: usize,
+        /// Length of the β vector.
+        betas: usize,
+    },
+    /// QAOA synthesis was asked for zero layers.
+    ZeroLayers,
+    /// Template editing found a structural mismatch between circuit and
+    /// model (different edge multiset).
+    TemplateMismatch(String),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for width {num_qubits}")
+            }
+            CircuitError::IdenticalOperands(q) => {
+                write!(f, "two-qubit gate needs distinct operands, got q{q} twice")
+            }
+            CircuitError::LayerOutOfRange { layer, layers } => {
+                write!(f, "angle references layer {layer} but only {layers} parameters were bound")
+            }
+            CircuitError::ParameterLengthMismatch { gammas, betas } => {
+                write!(f, "expected equally many gammas and betas, got {gammas} and {betas}")
+            }
+            CircuitError::ZeroLayers => write!(f, "qaoa circuits need at least one layer"),
+            CircuitError::TemplateMismatch(msg) => write!(f, "template mismatch: {msg}"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            CircuitError::QubitOutOfRange { qubit: 2, num_qubits: 2 },
+            CircuitError::IdenticalOperands(1),
+            CircuitError::LayerOutOfRange { layer: 3, layers: 1 },
+            CircuitError::ParameterLengthMismatch { gammas: 1, betas: 2 },
+            CircuitError::ZeroLayers,
+            CircuitError::TemplateMismatch("edges differ".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

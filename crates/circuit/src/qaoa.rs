@@ -1,0 +1,275 @@
+//! QAOA circuit synthesis from an Ising Hamiltonian (Fig. 2) and the
+//! template-editing fast path of §3.7.1.
+//!
+//! # Term numbering
+//!
+//! Every γ-rotation carries a canonical *term index* identifying the
+//! Hamiltonian term it encodes, for a model with `n` variables:
+//!
+//! * term `i` for `i < n` — the linear term `h_i·z_i`;
+//! * term `n + k` — the `k`-th quadratic term in the model's canonical
+//!   coupling order (sorted by `(i, j)`).
+//!
+//! Because all sub-problems obtained by freezing share an identical
+//! quadratic structure (§3.3), term indices are stable across siblings and
+//! across transpilation, which is what lets [`rebind_coefficients`] edit a
+//! *compiled* circuit in place of recompiling 2^m of them.
+
+use fq_ising::IsingModel;
+
+use crate::{Angle, CircuitError, Gate, QuantumCircuit};
+
+/// Builds the `p`-layer parametric QAOA circuit for an Ising model.
+///
+/// Layer `l` applies, in order: `Rz(2·h_i·γ_l)` for each non-zero linear
+/// term, `CX(i,j) · Rz(2·J_ij·γ_l) · CX(i,j)` for each quadratic term, and
+/// `Rx(2·β_l)` on every qubit. The circuit starts with Hadamards and ends
+/// with measurement of every qubit.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::ZeroLayers`] when `p == 0`.
+///
+/// # Example
+///
+/// ```
+/// use fq_circuit::build_qaoa_circuit;
+/// use fq_ising::IsingModel;
+///
+/// let mut m = IsingModel::new(2);
+/// m.set_coupling(0, 1, -1.0)?;
+/// let qc = build_qaoa_circuit(&m, 2)?;
+/// assert_eq!(qc.num_parameter_layers(), 2);
+/// assert_eq!(qc.cnot_count(), 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn build_qaoa_circuit(model: &IsingModel, p: usize) -> Result<QuantumCircuit, CircuitError> {
+    synthesize(model, p, false)
+}
+
+/// Builds a QAOA *template* circuit: structurally identical to
+/// [`build_qaoa_circuit`] but with one `Rz` per variable per layer even for
+/// zero linear coefficients, so any sibling sub-problem — whose frozen
+/// neighbours may have turned a zero `h_i` non-zero — can be re-bound into
+/// it via [`rebind_coefficients`].
+///
+/// # Errors
+///
+/// Returns [`CircuitError::ZeroLayers`] when `p == 0`.
+pub fn build_qaoa_template(model: &IsingModel, p: usize) -> Result<QuantumCircuit, CircuitError> {
+    synthesize(model, p, true)
+}
+
+fn synthesize(
+    model: &IsingModel,
+    p: usize,
+    emit_zero_linears: bool,
+) -> Result<QuantumCircuit, CircuitError> {
+    if p == 0 {
+        return Err(CircuitError::ZeroLayers);
+    }
+    let n = model.num_vars();
+    let mut qc = QuantumCircuit::new(n);
+    for q in 0..n {
+        qc.h(q)?;
+    }
+    for layer in 0..p {
+        for (i, hi) in model.linears() {
+            if hi != 0.0 || emit_zero_linears {
+                qc.rz(i, Angle::Gamma { layer, scale: 2.0 * hi, term: i })?;
+            }
+        }
+        for (k, ((i, j), jij)) in model.couplings().enumerate() {
+            qc.cx(i, j)?;
+            qc.rz(j, Angle::Gamma { layer, scale: 2.0 * jij, term: n + k })?;
+            qc.cx(i, j)?;
+        }
+        for q in 0..n {
+            qc.rx(q, Angle::Beta { layer, scale: 2.0 })?;
+        }
+    }
+    qc.measure_all();
+    Ok(qc)
+}
+
+/// The pre-compilation CNOT count of a QAOA circuit: `2 · |J| · p`.
+#[must_use]
+pub fn qaoa_cnot_count(model: &IsingModel, p: usize) -> usize {
+    2 * model.num_couplings() * p
+}
+
+/// Template editing (§3.7.1): rewrites the γ-scales of `template` so the
+/// circuit drives `model`'s coefficients, **without** recompiling.
+///
+/// Works on raw and on transpiled templates alike, because every
+/// γ-rotation carries its Hamiltonian term index (see the module docs).
+/// The template must structurally host the model: same variable count and
+/// a quadratic term for every term index the template references.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::TemplateMismatch`] if the template references a
+/// term the model does not have.
+pub fn rebind_coefficients(
+    template: &QuantumCircuit,
+    model: &IsingModel,
+) -> Result<QuantumCircuit, CircuitError> {
+    let n = model.num_vars();
+    let couplings: Vec<f64> = model.couplings().map(|(_, j)| j).collect();
+    let mut out = QuantumCircuit::new(template.num_qubits());
+    for g in template.gates() {
+        let mapped = match *g {
+            Gate::Rz { q, theta: Angle::Gamma { layer, term, .. } } => {
+                let coeff = if term < n {
+                    model.linear(term)
+                } else {
+                    *couplings.get(term - n).ok_or_else(|| {
+                        CircuitError::TemplateMismatch(format!(
+                            "template references quadratic term {} but the model has {}",
+                            term - n,
+                            couplings.len()
+                        ))
+                    })?
+                };
+                Gate::Rz { q, theta: Angle::Gamma { layer, scale: 2.0 * coeff, term } }
+            }
+            other => other,
+        };
+        out.push(mapped)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_ising::Spin;
+
+    fn model() -> IsingModel {
+        let mut m = IsingModel::new(4);
+        m.set_coupling(0, 1, 1.0).unwrap();
+        m.set_coupling(1, 2, -1.0).unwrap();
+        m.set_coupling(2, 3, 0.5).unwrap();
+        m
+    }
+
+    #[test]
+    fn structure_counts() {
+        let m = model();
+        let qc = build_qaoa_circuit(&m, 1).unwrap();
+        // 4 H + 3*(2 CX + 1 Rz) + 4 Rx + 4 measure = 21
+        assert_eq!(qc.len(), 21);
+        assert_eq!(qc.cnot_count(), qaoa_cnot_count(&m, 1));
+        let qc2 = build_qaoa_circuit(&m, 3).unwrap();
+        assert_eq!(qc2.cnot_count(), qaoa_cnot_count(&m, 3));
+        assert_eq!(qc2.num_parameter_layers(), 3);
+    }
+
+    #[test]
+    fn zero_layers_rejected() {
+        assert!(matches!(build_qaoa_circuit(&model(), 0), Err(CircuitError::ZeroLayers)));
+        assert!(matches!(build_qaoa_template(&model(), 0), Err(CircuitError::ZeroLayers)));
+    }
+
+    #[test]
+    fn linear_terms_become_software_rz() {
+        let mut m = model();
+        m.set_linear(0, 0.25).unwrap();
+        let qc = build_qaoa_circuit(&m, 1).unwrap();
+        // One extra Rz, zero extra CNOTs: linear terms are fidelity-free.
+        assert_eq!(qc.cnot_count(), 6);
+        let rz_count = qc
+            .gates()
+            .iter()
+            .filter(|g| matches!(g, Gate::Rz { .. }))
+            .count();
+        assert_eq!(rz_count, 4);
+    }
+
+    #[test]
+    fn term_indices_follow_canonical_numbering() {
+        let m = model();
+        let qc = build_qaoa_template(&m, 1).unwrap();
+        let terms: Vec<usize> = qc
+            .gates()
+            .iter()
+            .filter_map(|g| match g {
+                Gate::Rz { theta: Angle::Gamma { term, .. }, .. } => Some(*term),
+                _ => None,
+            })
+            .collect();
+        // 4 linear terms (0..4) then 3 quadratic terms (4..7).
+        assert_eq!(terms, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn template_rebind_matches_direct_synthesis_angles() {
+        let parent = model();
+        let template = build_qaoa_template(&parent, 1).unwrap();
+        let rebound = rebind_coefficients(&template, &parent).unwrap();
+        let a = rebound.bind(&[0.3], &[0.7]).unwrap();
+        let b = template.bind(&[0.3], &[0.7]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn template_hosts_sibling_subproblems() {
+        let parent = model();
+        let plus = parent.freeze(&[(3, Spin::UP)]).unwrap();
+        let minus = parent.freeze(&[(3, Spin::DOWN)]).unwrap();
+        let template = build_qaoa_template(plus.model(), 1).unwrap();
+        let re_minus = rebind_coefficients(&template, minus.model()).unwrap();
+        // Same gate structure, same CNOT count, different angles.
+        assert_eq!(re_minus.len(), template.len());
+        assert_eq!(re_minus.cnot_count(), template.cnot_count());
+        let direct = build_qaoa_template(minus.model(), 1).unwrap();
+        assert_eq!(
+            re_minus.bind(&[0.1], &[0.2]).unwrap(),
+            direct.bind(&[0.1], &[0.2]).unwrap()
+        );
+    }
+
+    #[test]
+    fn rebind_survives_gate_reordering() {
+        // Simulate a transpiler reordering: reverse the gate list (order is
+        // irrelevant for the rebinding, which matches on term tags).
+        let parent = model();
+        let plus = parent.freeze(&[(3, Spin::UP)]).unwrap();
+        let minus = parent.freeze(&[(3, Spin::DOWN)]).unwrap();
+        let template = build_qaoa_template(plus.model(), 1).unwrap();
+        let mut shuffled = QuantumCircuit::new(template.num_qubits());
+        for g in template.gates().iter().rev() {
+            shuffled.push(*g).unwrap();
+        }
+        let rebound = rebind_coefficients(&shuffled, minus.model()).unwrap();
+        // Every gamma rotation must now carry the minus-branch coefficient.
+        let direct = build_qaoa_template(minus.model(), 1).unwrap();
+        let mut expected: Vec<(usize, Angle)> = direct
+            .gates()
+            .iter()
+            .filter_map(|g| match g {
+                Gate::Rz { theta: a @ Angle::Gamma { term, .. }, .. } => Some((*term, *a)),
+                _ => None,
+            })
+            .collect();
+        expected.sort_by_key(|(t, _)| *t);
+        let mut got: Vec<(usize, Angle)> = rebound
+            .gates()
+            .iter()
+            .filter_map(|g| match g {
+                Gate::Rz { theta: a @ Angle::Gamma { term, .. }, .. } => Some((*term, *a)),
+                _ => None,
+            })
+            .collect();
+        got.sort_by_key(|(t, _)| *t);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn rebind_rejects_missing_terms() {
+        let parent = model();
+        let template = build_qaoa_template(&parent, 1).unwrap();
+        let smaller = IsingModel::new(4); // no couplings at all
+        assert!(rebind_coefficients(&template, &smaller).is_err());
+    }
+}

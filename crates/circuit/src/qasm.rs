@@ -1,0 +1,148 @@
+//! OpenQASM 2.0 export, for interoperability with Qiskit-era tooling.
+//!
+//! Only fully bound circuits can be exported (QASM 2.0 has no symbolic
+//! parameters). The output targets the standard `qelib1.inc` gate set.
+
+use std::fmt::Write as _;
+
+use crate::{Angle, CircuitError, Gate, QuantumCircuit};
+
+/// Serializes a bound circuit as an OpenQASM 2.0 program.
+///
+/// Measurements map classical bit `k` to the `k`-th `measure` instruction
+/// in program order, matching how the routed circuits emit one measurement
+/// per logical qubit in logical order.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::TemplateMismatch`] if any angle is still
+/// symbolic (bind parameters first).
+///
+/// # Example
+///
+/// ```
+/// use fq_circuit::{to_qasm, QuantumCircuit};
+///
+/// let mut qc = QuantumCircuit::new(2);
+/// qc.h(0)?;
+/// qc.cx(0, 1)?;
+/// qc.measure_all();
+/// let qasm = to_qasm(&qc)?;
+/// assert!(qasm.contains("OPENQASM 2.0;"));
+/// assert!(qasm.contains("cx q[0], q[1];"));
+/// assert!(qasm.contains("measure q[1] -> c[1];"));
+/// # Ok::<(), fq_circuit::CircuitError>(())
+/// ```
+pub fn to_qasm(circuit: &QuantumCircuit) -> Result<String, CircuitError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "OPENQASM 2.0;");
+    let _ = writeln!(out, "include \"qelib1.inc\";");
+    let n = circuit.num_qubits();
+    let measures = circuit
+        .gates()
+        .iter()
+        .filter(|g| matches!(g, Gate::Measure { .. }))
+        .count();
+    let _ = writeln!(out, "qreg q[{n}];");
+    if measures > 0 {
+        let _ = writeln!(out, "creg c[{measures}];");
+    }
+    let mut clbit = 0usize;
+    for g in circuit.gates() {
+        match *g {
+            Gate::H { q } => {
+                let _ = writeln!(out, "h q[{q}];");
+            }
+            Gate::X { q } => {
+                let _ = writeln!(out, "x q[{q}];");
+            }
+            Gate::Rz { q, theta } => {
+                let v = require_constant(theta)?;
+                let _ = writeln!(out, "rz({v}) q[{q}];");
+            }
+            Gate::Rx { q, theta } => {
+                let v = require_constant(theta)?;
+                let _ = writeln!(out, "rx({v}) q[{q}];");
+            }
+            Gate::Cx { control, target } => {
+                let _ = writeln!(out, "cx q[{control}], q[{target}];");
+            }
+            Gate::Swap { a, b } => {
+                let _ = writeln!(out, "swap q[{a}], q[{b}];");
+            }
+            Gate::Measure { q } => {
+                let _ = writeln!(out, "measure q[{q}] -> c[{clbit}];");
+                clbit += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn require_constant(theta: Angle) -> Result<f64, CircuitError> {
+    match theta {
+        Angle::Constant(v) => Ok(v),
+        other => Err(CircuitError::TemplateMismatch(format!(
+            "cannot export symbolic angle {other} to QASM 2.0; bind parameters first"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_every_gate_kind() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).unwrap();
+        qc.x(1).unwrap();
+        qc.rz(2, Angle::Constant(0.5)).unwrap();
+        qc.rx(0, Angle::Constant(-1.25)).unwrap();
+        qc.cx(0, 1).unwrap();
+        qc.swap(1, 2).unwrap();
+        qc.measure(2).unwrap();
+        let qasm = to_qasm(&qc).unwrap();
+        for needle in [
+            "h q[0];",
+            "x q[1];",
+            "rz(0.5) q[2];",
+            "rx(-1.25) q[0];",
+            "cx q[0], q[1];",
+            "swap q[1], q[2];",
+            "measure q[2] -> c[0];",
+            "creg c[1];",
+        ] {
+            assert!(qasm.contains(needle), "missing {needle:?} in:\n{qasm}");
+        }
+    }
+
+    #[test]
+    fn rejects_symbolic_angles() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.rz(0, Angle::Gamma { layer: 0, scale: 2.0, term: 0 }).unwrap();
+        assert!(to_qasm(&qc).is_err());
+    }
+
+    #[test]
+    fn bound_qaoa_circuit_exports() {
+        let mut m = fq_ising::IsingModel::new(3);
+        m.set_coupling(0, 1, 1.0).unwrap();
+        m.set_coupling(1, 2, -1.0).unwrap();
+        let qc = crate::build_qaoa_circuit(&m, 1).unwrap().bind(&[0.4], &[0.8]).unwrap();
+        let qasm = to_qasm(&qc).unwrap();
+        assert!(qasm.contains("qreg q[3];"));
+        assert!(qasm.contains("creg c[3];"));
+        assert_eq!(qasm.matches("cx ").count(), 4);
+    }
+
+    #[test]
+    fn classical_bits_are_in_measure_order() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.measure(1).unwrap();
+        qc.measure(0).unwrap();
+        let qasm = to_qasm(&qc).unwrap();
+        assert!(qasm.contains("measure q[1] -> c[0];"));
+        assert!(qasm.contains("measure q[0] -> c[1];"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Aggregate circuit statistics used throughout the evaluation figures.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Gate, QuantumCircuit};
+
+/// Summary counters of a circuit: the quantities plotted in Figs. 3, 7, 14
+/// and 15 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CircuitStats {
+    /// Circuit width.
+    pub num_qubits: usize,
+    /// Total gate count, including measurements.
+    pub total_gates: usize,
+    /// CNOT cost (Cx = 1, Swap = 3).
+    pub cnot_count: usize,
+    /// Number of SWAP instances (pre-decomposition).
+    pub swap_count: usize,
+    /// Single-qubit gate count (H, X, Rz, Rx).
+    pub single_qubit_count: usize,
+    /// Measurement count.
+    pub measure_count: usize,
+    /// Critical-path depth.
+    pub depth: usize,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of a circuit.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fq_circuit::{CircuitStats, QuantumCircuit};
+    ///
+    /// let mut qc = QuantumCircuit::new(2);
+    /// qc.h(0)?;
+    /// qc.cx(0, 1)?;
+    /// qc.swap(0, 1)?;
+    /// qc.measure_all();
+    /// let s = CircuitStats::of(&qc);
+    /// assert_eq!(s.cnot_count, 4);
+    /// assert_eq!(s.swap_count, 1);
+    /// assert_eq!(s.measure_count, 2);
+    /// # Ok::<(), fq_circuit::CircuitError>(())
+    /// ```
+    #[must_use]
+    pub fn of(circuit: &QuantumCircuit) -> CircuitStats {
+        let mut s = CircuitStats {
+            num_qubits: circuit.num_qubits(),
+            total_gates: circuit.len(),
+            depth: circuit.depth(),
+            ..CircuitStats::default()
+        };
+        for g in circuit.gates() {
+            match g {
+                Gate::Cx { .. } => s.cnot_count += 1,
+                Gate::Swap { .. } => {
+                    s.swap_count += 1;
+                    s.cnot_count += 3;
+                }
+                Gate::Measure { .. } => s.measure_count += 1,
+                Gate::H { .. } | Gate::X { .. } | Gate::Rz { .. } | Gate::Rx { .. } => {
+                    s.single_qubit_count += 1;
+                }
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} qubits, {} gates (cnot {}, swap {}, 1q {}), depth {}",
+            self.num_qubits,
+            self.total_gates,
+            self.cnot_count,
+            self.swap_count,
+            self.single_qubit_count,
+            self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Angle;
+
+    #[test]
+    fn counts_every_category() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.h(0).unwrap();
+        qc.x(1).unwrap();
+        qc.rz(2, Angle::Constant(0.1)).unwrap();
+        qc.rx(0, Angle::Constant(0.2)).unwrap();
+        qc.cx(0, 1).unwrap();
+        qc.swap(1, 2).unwrap();
+        qc.measure_all();
+        let s = CircuitStats::of(&qc);
+        assert_eq!(s.single_qubit_count, 4);
+        assert_eq!(s.cnot_count, 4);
+        assert_eq!(s.swap_count, 1);
+        assert_eq!(s.measure_count, 3);
+        assert_eq!(s.total_gates, 9);
+        assert_eq!(s.depth, qc.depth());
+    }
+
+    #[test]
+    fn display_mentions_core_numbers() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0).unwrap();
+        let text = CircuitStats::of(&qc).to_string();
+        assert!(text.contains("1 qubits"));
+        assert!(text.contains("depth 1"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Choosing how many qubits to freeze (§3.4): the fidelity–cost trade-off.
+//!
+//! Freezing more qubits drops more CNOTs but costs exponentially more
+//! circuits. The paper observes that for power-law graphs the marginal
+//! CNOT savings collapse after the few true hotspots, and that cheap
+//! circuit properties (CNOT count, depth) track the fidelity trend
+//! accurately (Fig. 9b) — so the knee can be found **without** running
+//! anything quantum. [`suggest_num_frozen`] implements exactly that:
+//! follow the hotspot ordering, accumulate dropped edges, and stop when
+//! the marginal relative CNOT reduction per extra frozen qubit falls below
+//! a threshold or the quantum budget is exhausted.
+
+use fq_ising::IsingModel;
+use serde::{Deserialize, Serialize};
+
+use crate::{select_hotspots, FrozenQubitsError, HotspotStrategy};
+
+/// The outcome of the §3.4 trade-off analysis.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FreezeRecommendation {
+    /// Recommended number of qubits to freeze.
+    pub m: usize,
+    /// `relative_cnots[k]` = fraction of pre-compilation CNOTs that remain
+    /// after freezing the top `k` hotspots (`k = 0..=max_considered`).
+    pub relative_cnots: Vec<f64>,
+    /// Quantum cost of the recommendation under symmetry pruning
+    /// (`2^{m−1}` circuits, or 1 for `m ≤ 1`).
+    pub quantum_cost: u64,
+}
+
+/// Options for [`suggest_num_frozen`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FreezeBudget {
+    /// Maximum circuits the user is willing to run (the "quantum budget";
+    /// §5.1.3 notes this is inherently user-specific).
+    pub max_quantum_cost: u64,
+    /// Minimum marginal relative-CNOT reduction an extra frozen qubit must
+    /// deliver. The paper's knee ("saturates after freezing seven qubits")
+    /// corresponds to marginal gains dipping below a few percent.
+    pub min_marginal_gain: f64,
+    /// Hard cap on `m` regardless of gains.
+    pub max_frozen: usize,
+}
+
+impl Default for FreezeBudget {
+    fn default() -> Self {
+        FreezeBudget {
+            max_quantum_cost: 2, // the paper's default design: m ≤ 2
+            min_marginal_gain: 0.02,
+            max_frozen: 10,
+        }
+    }
+}
+
+/// Recommends how many hotspots to freeze for `model` under `budget`,
+/// using dropped-edge counting as the fidelity proxy of Fig. 9b.
+///
+/// # Errors
+///
+/// Propagates hotspot-selection errors; returns
+/// [`FrozenQubitsError::InvalidConfig`] for a zero budget.
+///
+/// # Example
+///
+/// ```
+/// use fq_graphs::{gen, to_ising_pm1};
+/// use frozenqubits::{suggest_num_frozen, FreezeBudget};
+///
+/// let model = to_ising_pm1(&gen::barabasi_albert(64, 1, 3)?, 3);
+/// let rec = suggest_num_frozen(&model, &FreezeBudget::default())?;
+/// assert!(rec.m >= 1 && rec.m <= 2); // default budget caps at 2 circuits
+/// // Freezing the top hotspot removes a sizable edge share on BA graphs.
+/// assert!(rec.relative_cnots[1] < 0.95);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn suggest_num_frozen(
+    model: &IsingModel,
+    budget: &FreezeBudget,
+) -> Result<FreezeRecommendation, FrozenQubitsError> {
+    if budget.max_quantum_cost == 0 {
+        return Err(FrozenQubitsError::InvalidConfig(
+            "quantum budget must allow at least one circuit".into(),
+        ));
+    }
+    let total_edges = model.num_couplings().max(1) as f64;
+    let max_m = budget
+        .max_frozen
+        .min(model.num_vars().saturating_sub(1))
+        .min(63);
+    let order = select_hotspots(model, max_m, &HotspotStrategy::MaxDegree)?;
+
+    // Cumulative edges dropped by freezing the top-k prefix.
+    let mut frozen = std::collections::BTreeSet::new();
+    let mut relative = Vec::with_capacity(max_m + 1);
+    relative.push(1.0);
+    for &q in &order {
+        frozen.insert(q);
+        let dropped = model
+            .couplings()
+            .filter(|((i, j), _)| frozen.contains(i) || frozen.contains(j))
+            .count();
+        relative.push((total_edges - dropped as f64) / total_edges);
+    }
+
+    // Walk up while the marginal gain justifies doubling the cost and the
+    // budget allows it.
+    let cost_of = |m: usize| -> u64 {
+        if m <= 1 {
+            1
+        } else {
+            1u64 << (m - 1)
+        }
+    };
+    let mut m = 0usize;
+    for k in 1..=max_m {
+        if cost_of(k) > budget.max_quantum_cost {
+            break;
+        }
+        let gain = relative[k - 1] - relative[k];
+        if k > 1 && gain < budget.min_marginal_gain {
+            break;
+        }
+        m = k;
+    }
+    // Freezing at least one hotspot is free under pruning; never suggest 0
+    // for a non-trivial symmetric model.
+    if m == 0 && model.has_zero_linear_terms() && model.num_couplings() > 0 {
+        m = 1;
+    }
+
+    Ok(FreezeRecommendation {
+        m,
+        relative_cnots: relative,
+        quantum_cost: cost_of(m),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_graphs::{gen, to_ising_pm1};
+
+    fn ba(n: usize, d: usize, seed: u64) -> IsingModel {
+        to_ising_pm1(&gen::barabasi_albert(n, d, seed).unwrap(), seed)
+    }
+
+    #[test]
+    fn default_budget_recommends_paper_default() {
+        let model = ba(48, 1, 1);
+        let rec = suggest_num_frozen(&model, &FreezeBudget::default()).unwrap();
+        assert!((1..=2).contains(&rec.m));
+        assert!(rec.quantum_cost <= 2);
+    }
+
+    #[test]
+    fn relative_cnots_is_monotone_nonincreasing() {
+        let model = ba(64, 2, 2);
+        let rec = suggest_num_frozen(&model, &FreezeBudget { max_frozen: 10, max_quantum_cost: 512, ..FreezeBudget::default() }).unwrap();
+        assert!(rec.relative_cnots.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+        assert_eq!(rec.relative_cnots[0], 1.0);
+    }
+
+    #[test]
+    fn bigger_budget_freezes_more_on_powerlaw() {
+        let model = ba(96, 1, 3);
+        let small = suggest_num_frozen(&model, &FreezeBudget::default()).unwrap();
+        let big = suggest_num_frozen(
+            &model,
+            &FreezeBudget { max_quantum_cost: 512, min_marginal_gain: 0.005, max_frozen: 10 },
+        )
+        .unwrap();
+        assert!(big.m >= small.m);
+    }
+
+    #[test]
+    fn saturation_stops_the_walk_before_budget() {
+        // A star: after the hub, extra freezes gain one edge each out of
+        // many — the knee should be right after the hub.
+        let star = to_ising_pm1(&gen::star(40), 1);
+        let rec = suggest_num_frozen(
+            &star,
+            &FreezeBudget { max_quantum_cost: 1 << 9, min_marginal_gain: 0.05, max_frozen: 10 },
+        )
+        .unwrap();
+        assert_eq!(rec.m, 1, "the hub is the only worthwhile freeze");
+        assert!(rec.relative_cnots[1] <= 1e-9, "hub removal empties a star");
+    }
+
+    #[test]
+    fn symmetric_models_never_get_zero() {
+        let model = ba(16, 3, 4); // dense: small marginal gains
+        let rec = suggest_num_frozen(
+            &model,
+            &FreezeBudget { max_quantum_cost: 4, min_marginal_gain: 0.5, max_frozen: 10 },
+        )
+        .unwrap();
+        assert_eq!(rec.m, 1, "pruning makes m=1 free, so always take it");
+    }
+
+    #[test]
+    fn zero_budget_is_rejected() {
+        let model = ba(8, 1, 5);
+        assert!(suggest_num_frozen(
+            &model,
+            &FreezeBudget { max_quantum_cost: 0, ..FreezeBudget::default() }
+        )
+        .is_err());
+    }
+}

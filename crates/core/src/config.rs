@@ -1,0 +1,76 @@
+//! Pipeline configuration.
+
+use fq_transpile::CompileOptions;
+use serde::{Deserialize, Serialize};
+
+use crate::HotspotStrategy;
+
+/// Configuration of the FrozenQubits pipeline.
+///
+/// The defaults follow the paper: freeze up to `m = 1` hotspot by maximum
+/// degree, single-layer QAOA (`p = 1`, as in the hardware evaluation),
+/// symmetry pruning on, level-3-style compilation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FrozenQubitsConfig {
+    /// Number of qubits to freeze (`m`). The paper's default design uses
+    /// 1–2; its scaling study goes to 10.
+    pub num_frozen: usize,
+    /// QAOA layers (`p`).
+    pub layers: usize,
+    /// Hotspot selection policy.
+    pub hotspots: HotspotStrategy,
+    /// Skip symmetric partner sub-problems (§3.7.2). Only effective when
+    /// the parent model has all-zero linear coefficients.
+    pub prune_symmetric: bool,
+    /// Transpiler options.
+    pub compile: CompileOptions,
+    /// Resolution of the coarse `(γ, β)` grid that seeds the parameter
+    /// optimizer.
+    pub param_grid: usize,
+    /// Seed for any stochastic component.
+    pub seed: u64,
+}
+
+impl Default for FrozenQubitsConfig {
+    fn default() -> Self {
+        FrozenQubitsConfig {
+            num_frozen: 1,
+            layers: 1,
+            hotspots: HotspotStrategy::MaxDegree,
+            prune_symmetric: true,
+            compile: CompileOptions::level3(),
+            param_grid: 15,
+            seed: 0,
+        }
+    }
+}
+
+impl FrozenQubitsConfig {
+    /// A configuration freezing `m` qubits, other fields default.
+    #[must_use]
+    pub fn with_frozen(m: usize) -> FrozenQubitsConfig {
+        FrozenQubitsConfig {
+            num_frozen: m,
+            ..FrozenQubitsConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = FrozenQubitsConfig::default();
+        assert_eq!(c.num_frozen, 1);
+        assert_eq!(c.layers, 1);
+        assert!(c.prune_symmetric);
+        assert_eq!(c.hotspots, HotspotStrategy::MaxDegree);
+    }
+
+    #[test]
+    fn with_frozen_sets_m() {
+        assert_eq!(FrozenQubitsConfig::with_frozen(3).num_frozen, 3);
+    }
+}

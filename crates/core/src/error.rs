@@ -1,0 +1,91 @@
+//! The crate-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the FrozenQubits pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FrozenQubitsError {
+    /// Freezing more qubits than the problem has.
+    TooManyFrozen {
+        /// Requested freeze count `m`.
+        m: usize,
+        /// Problem variable count.
+        num_vars: usize,
+    },
+    /// Invalid configuration values.
+    InvalidConfig(String),
+    /// An Ising-layer error.
+    Ising(fq_ising::IsingError),
+    /// A circuit-layer error.
+    Circuit(fq_circuit::CircuitError),
+    /// A transpilation error.
+    Transpile(fq_transpile::TranspileError),
+    /// A simulation error.
+    Sim(fq_sim::SimError),
+}
+
+impl fmt::Display for FrozenQubitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrozenQubitsError::TooManyFrozen { m, num_vars } => {
+                write!(f, "cannot freeze {m} of {num_vars} qubits")
+            }
+            FrozenQubitsError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            FrozenQubitsError::Ising(e) => write!(f, "ising error: {e}"),
+            FrozenQubitsError::Circuit(e) => write!(f, "circuit error: {e}"),
+            FrozenQubitsError::Transpile(e) => write!(f, "transpile error: {e}"),
+            FrozenQubitsError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for FrozenQubitsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrozenQubitsError::Ising(e) => Some(e),
+            FrozenQubitsError::Circuit(e) => Some(e),
+            FrozenQubitsError::Transpile(e) => Some(e),
+            FrozenQubitsError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fq_ising::IsingError> for FrozenQubitsError {
+    fn from(e: fq_ising::IsingError) -> Self {
+        FrozenQubitsError::Ising(e)
+    }
+}
+
+impl From<fq_circuit::CircuitError> for FrozenQubitsError {
+    fn from(e: fq_circuit::CircuitError) -> Self {
+        FrozenQubitsError::Circuit(e)
+    }
+}
+
+impl From<fq_transpile::TranspileError> for FrozenQubitsError {
+    fn from(e: fq_transpile::TranspileError) -> Self {
+        FrozenQubitsError::Transpile(e)
+    }
+}
+
+impl From<fq_sim::SimError> for FrozenQubitsError {
+    fn from(e: fq_sim::SimError) -> Self {
+        FrozenQubitsError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = FrozenQubitsError::TooManyFrozen { m: 3, num_vars: 2 };
+        assert!(!e.to_string().is_empty());
+        let wrapped: FrozenQubitsError = fq_ising::IsingError::Empty.into();
+        assert!(wrapped.source().is_some());
+    }
+}

@@ -1,0 +1,192 @@
+//! Hotspot selection: which qubits to freeze (§3.5).
+
+use fq_ising::IsingModel;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::FrozenQubitsError;
+
+/// The policy for choosing the `m` qubits to freeze.
+///
+/// The paper freezes the highest-degree nodes; the alternatives exist for
+/// the ablation study showing that hotspot choice (not just freezing
+/// anything) is what drives the CNOT savings.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum HotspotStrategy {
+    /// Highest degree first (the paper's policy).
+    #[default]
+    MaxDegree,
+    /// Largest total |J| mass first (weighted-degree variant).
+    MaxAbsCoupling,
+    /// Uniformly random qubits (ablation control), seeded.
+    Random(u64),
+    /// A user-provided list, taken in order.
+    Explicit(Vec<usize>),
+}
+
+/// Selects `m` qubits to freeze from `model` under `strategy`.
+///
+/// # Errors
+///
+/// Returns [`FrozenQubitsError::TooManyFrozen`] when `m > num_vars` and
+/// [`FrozenQubitsError::InvalidConfig`] for bad explicit lists.
+///
+/// # Example
+///
+/// ```
+/// use fq_ising::IsingModel;
+/// use frozenqubits::{select_hotspots, HotspotStrategy};
+///
+/// // Fig. 1(c): a 7-node star — z6 the hub.
+/// let mut m = IsingModel::new(7);
+/// for i in 0..6 {
+///     m.set_coupling(6, i, 1.0)?;
+/// }
+/// assert_eq!(select_hotspots(&m, 1, &HotspotStrategy::MaxDegree)?, vec![6]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn select_hotspots(
+    model: &IsingModel,
+    m: usize,
+    strategy: &HotspotStrategy,
+) -> Result<Vec<usize>, FrozenQubitsError> {
+    let n = model.num_vars();
+    if m > n {
+        return Err(FrozenQubitsError::TooManyFrozen { m, num_vars: n });
+    }
+    match strategy {
+        HotspotStrategy::MaxDegree => Ok(model.hotspots().into_iter().take(m).collect()),
+        HotspotStrategy::MaxAbsCoupling => {
+            let mut mass = vec![0.0f64; n];
+            for ((i, j), jij) in model.couplings() {
+                mass[i] += jij.abs();
+                mass[j] += jij.abs();
+            }
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                mass[b]
+                    .partial_cmp(&mass[a])
+                    .expect("finite coupling mass")
+                    .then(a.cmp(&b))
+            });
+            Ok(order.into_iter().take(m).collect())
+        }
+        HotspotStrategy::Random(seed) => {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(&mut rng);
+            Ok(order.into_iter().take(m).collect())
+        }
+        HotspotStrategy::Explicit(list) => {
+            if list.len() < m {
+                return Err(FrozenQubitsError::InvalidConfig(format!(
+                    "explicit hotspot list has {} entries but m = {m}",
+                    list.len()
+                )));
+            }
+            let chosen: Vec<usize> = list[..m].to_vec();
+            let mut seen = std::collections::BTreeSet::new();
+            for &q in &chosen {
+                if q >= n {
+                    return Err(FrozenQubitsError::InvalidConfig(format!(
+                        "explicit hotspot {q} out of range for {n} variables"
+                    )));
+                }
+                if !seen.insert(q) {
+                    return Err(FrozenQubitsError::InvalidConfig(format!(
+                        "explicit hotspot {q} repeated"
+                    )));
+                }
+            }
+            Ok(chosen)
+        }
+    }
+}
+
+/// How many quadratic terms freezing the given qubits eliminates — the
+/// CNOT-saving potential (2 CNOTs per edge per layer).
+#[must_use]
+pub fn edges_eliminated(model: &IsingModel, frozen: &[usize]) -> usize {
+    let set: std::collections::BTreeSet<usize> = frozen.iter().copied().collect();
+    model
+        .couplings()
+        .filter(|((i, j), _)| set.contains(i) || set.contains(j))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hub_model() -> IsingModel {
+        // Node 2 has degree 4; node 0 has degree 2; others degree 1-2.
+        let mut m = IsingModel::new(6);
+        for i in [0, 1, 3, 4] {
+            m.set_coupling(2, i, 1.0).unwrap();
+        }
+        m.set_coupling(0, 5, -3.0).unwrap();
+        m
+    }
+
+    #[test]
+    fn max_degree_picks_the_hub() {
+        let m = hub_model();
+        assert_eq!(select_hotspots(&m, 1, &HotspotStrategy::MaxDegree).unwrap(), vec![2]);
+        assert_eq!(
+            select_hotspots(&m, 2, &HotspotStrategy::MaxDegree).unwrap(),
+            vec![2, 0]
+        );
+    }
+
+    #[test]
+    fn abs_coupling_can_differ_from_degree() {
+        let m = hub_model();
+        // Node 0 mass: 1 + 3 = 4 = node 2 mass (1·4); tie broken by index.
+        let picks = select_hotspots(&m, 1, &HotspotStrategy::MaxAbsCoupling).unwrap();
+        assert_eq!(picks, vec![0]);
+    }
+
+    #[test]
+    fn random_is_seeded_and_in_range() {
+        let m = hub_model();
+        let a = select_hotspots(&m, 3, &HotspotStrategy::Random(5)).unwrap();
+        let b = select_hotspots(&m, 3, &HotspotStrategy::Random(5)).unwrap();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&q| q < 6));
+        let unique: std::collections::BTreeSet<usize> = a.iter().copied().collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn explicit_is_validated() {
+        let m = hub_model();
+        assert_eq!(
+            select_hotspots(&m, 2, &HotspotStrategy::Explicit(vec![5, 1])).unwrap(),
+            vec![5, 1]
+        );
+        assert!(select_hotspots(&m, 2, &HotspotStrategy::Explicit(vec![5])).is_err());
+        assert!(select_hotspots(&m, 1, &HotspotStrategy::Explicit(vec![9])).is_err());
+        assert!(select_hotspots(&m, 2, &HotspotStrategy::Explicit(vec![1, 1])).is_err());
+    }
+
+    #[test]
+    fn freezing_hub_saves_most_edges() {
+        let m = hub_model();
+        assert_eq!(edges_eliminated(&m, &[2]), 4);
+        assert_eq!(edges_eliminated(&m, &[3]), 1);
+        // Edges touching 2 or 0: the four spokes of 2 plus (0, 5).
+        assert_eq!(edges_eliminated(&m, &[2, 0]), 5);
+    }
+
+    #[test]
+    fn too_many_frozen_is_rejected() {
+        let m = hub_model();
+        assert!(matches!(
+            select_hotspots(&m, 7, &HotspotStrategy::MaxDegree),
+            Err(FrozenQubitsError::TooManyFrozen { .. })
+        ));
+    }
+}

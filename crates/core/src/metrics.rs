@@ -1,0 +1,122 @@
+//! Figures of merit: Approximation Ratio Gap (Eq. 4), Approximation Ratio
+//! (Eq. 5), improvement factors and geometric means.
+
+/// The Approximation Ratio Gap (Eq. 4):
+/// `ARG = 100 · |(EV_ideal − EV_real) / EV_ideal|`. Lower is better.
+///
+/// Returns `0` when both values coincide; when `EV_ideal` is (near) zero
+/// with a non-zero `EV_real`, the gap is unbounded and `f64::INFINITY` is
+/// returned.
+///
+/// # Example
+///
+/// ```
+/// use frozenqubits::metrics::arg;
+///
+/// assert_eq!(arg(-10.0, -10.0), 0.0);
+/// assert_eq!(arg(-10.0, -5.0), 50.0);
+/// ```
+#[must_use]
+pub fn arg(ev_ideal: f64, ev_real: f64) -> f64 {
+    let diff = ev_ideal - ev_real;
+    if diff == 0.0 {
+        return 0.0;
+    }
+    if ev_ideal == 0.0 {
+        return f64::INFINITY;
+    }
+    100.0 * (diff / ev_ideal).abs()
+}
+
+/// The Approximation Ratio (Eq. 5): `AR = EV / C_min`, maximal (1) when
+/// every outcome is a global optimum. `C_min` must be negative (as in the
+/// paper's minimization benchmarks) for AR ∈ [−∞, 1] to hold.
+///
+/// # Example
+///
+/// ```
+/// use frozenqubits::metrics::approximation_ratio;
+///
+/// assert_eq!(approximation_ratio(-8.0, -10.0), 0.8);
+/// ```
+#[must_use]
+pub fn approximation_ratio(expected_value: f64, c_min: f64) -> f64 {
+    if c_min == 0.0 {
+        return if expected_value == 0.0 { 1.0 } else { f64::NEG_INFINITY };
+    }
+    expected_value / c_min
+}
+
+/// Fidelity improvement of FrozenQubits over the baseline:
+/// `ARG_baseline / ARG_fq` (the "8.73× on average" statistic). Degenerate
+/// zero gaps map to 1 (no improvement measurable).
+#[must_use]
+pub fn improvement_factor(arg_baseline: f64, arg_fq: f64) -> f64 {
+    if arg_fq <= 0.0 {
+        if arg_baseline <= 0.0 {
+            return 1.0;
+        }
+        return f64::INFINITY;
+    }
+    arg_baseline / arg_fq
+}
+
+/// Geometric mean, the paper's cross-machine aggregate (Fig. 13 "GMEAN").
+///
+/// Non-positive entries are clamped to a tiny positive floor so a single
+/// perfect (zero-gap) instance does not zero the aggregate.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+#[must_use]
+pub fn gmean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "gmean of an empty slice");
+    let log_sum: f64 = values.iter().map(|&v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_basics() {
+        assert_eq!(arg(-4.0, -4.0), 0.0);
+        assert_eq!(arg(-4.0, -2.0), 50.0);
+        assert_eq!(arg(-4.0, 0.0), 100.0);
+        // Sign of the deviation does not matter (absolute value).
+        assert_eq!(arg(-4.0, -6.0), 50.0);
+        assert_eq!(arg(0.0, 1.0), f64::INFINITY);
+        assert_eq!(arg(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn ar_basics() {
+        assert_eq!(approximation_ratio(-10.0, -10.0), 1.0);
+        assert_eq!(approximation_ratio(0.0, -10.0), 0.0);
+        assert!(approximation_ratio(5.0, -10.0) < 0.0);
+        assert_eq!(approximation_ratio(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn improvement_factors() {
+        assert_eq!(improvement_factor(50.0, 10.0), 5.0);
+        assert_eq!(improvement_factor(0.0, 0.0), 1.0);
+        assert_eq!(improvement_factor(10.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn gmean_matches_hand_value() {
+        assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((gmean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        // A zero entry is floored, not propagated.
+        assert!(gmean(&[0.0, 4.0]) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn gmean_empty_panics() {
+        let _ = gmean(&[]);
+    }
+}

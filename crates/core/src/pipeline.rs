@@ -1,0 +1,468 @@
+//! The end-to-end FrozenQubits pipeline (Fig. 4): optimize parameters on
+//! the ideal simulator, compile, estimate hardware expectation values, and
+//! compare the baseline against freezing `m` hotspots.
+
+use fq_circuit::{build_qaoa_circuit, qaoa_cnot_count};
+use fq_ising::IsingModel;
+use fq_optim::{grid_scan_2d, nelder_mead, NelderMeadOptions};
+use fq_sim::analytic::{expectation_p1, term_expectations_p1};
+use fq_sim::{log_eps, noisy_expectation_lightcone};
+use fq_transpile::{compile, Compiled, Device};
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    metrics::arg, partition_problem, select_hotspots, FrozenQubitsConfig, FrozenQubitsError,
+};
+
+/// Circuit-level cost metrics of one executed (compiled) circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct CircuitMetrics {
+    /// Pre-compilation CNOTs (`2·|J|·p`).
+    pub logical_cnots: usize,
+    /// Post-compilation CNOTs, SWAPs included at cost 3.
+    pub compiled_cnots: usize,
+    /// Router-inserted SWAPs.
+    pub swap_count: usize,
+    /// Post-compilation depth.
+    pub depth: usize,
+    /// Scheduled duration in nanoseconds.
+    pub duration_ns: f64,
+}
+
+/// Summary of one scheme (baseline, or FrozenQubits at some `m`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Human-readable label ("baseline", "FQ(m=2)", …).
+    pub label: String,
+    /// Qubits per executed circuit (`N − m`).
+    pub circuit_qubits: usize,
+    /// Number of circuits executed (the quantum cost; `2^{m−1}` under
+    /// pruning).
+    pub circuits_executed: u64,
+    /// Mean circuit metrics over the executed circuits.
+    pub metrics: CircuitMetrics,
+    /// Ideal expectation value at the optimized parameters, aggregated
+    /// over the `2^m` sub-spaces.
+    pub ev_ideal: f64,
+    /// Modelled hardware expectation value, aggregated likewise.
+    pub ev_noisy: f64,
+    /// Approximation Ratio Gap (Eq. 4); lower is better.
+    pub arg: f64,
+    /// Mean log-EPS over executed circuits (§6.3).
+    pub log_eps: f64,
+    /// Optimized `(γ, β)` of the first executed circuit.
+    pub params: (f64, f64),
+}
+
+/// A baseline-vs-FrozenQubits comparison on one problem instance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// The standard-QAOA baseline.
+    pub baseline: RunSummary,
+    /// The FrozenQubits run.
+    pub frozen: RunSummary,
+    /// Which qubits were frozen, in freeze order.
+    pub frozen_qubits: Vec<usize>,
+    /// `ARG_baseline / ARG_fq` (the paper's headline improvement factor).
+    pub improvement: f64,
+}
+
+/// Everything known about one executed sub-problem.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProblemExecution {
+    /// The (sub-)model that was executed.
+    pub model: IsingModel,
+    /// Optimized first-layer `(γ_1, β_1)` (see
+    /// [`ProblemExecution::gammas`] for all layers).
+    pub params: (f64, f64),
+    /// All optimized γ parameters (one per layer).
+    pub gammas: Vec<f64>,
+    /// All optimized β parameters (one per layer).
+    pub betas: Vec<f64>,
+    /// Ideal expectation at the optimized parameters.
+    pub ev_ideal: f64,
+    /// Modelled noisy expectation at the same parameters.
+    pub ev_noisy: f64,
+    /// Log-EPS of the compiled circuit.
+    pub log_eps: f64,
+    /// The compiled artifact.
+    pub compiled: Compiled,
+}
+
+/// Optimizes `(γ, β)` for one model by a coarse grid scan refined with
+/// Nelder–Mead, minimizing the **ideal** p = 1 expectation — matching the
+/// paper's methodology of determining optimal parameters from simulation
+/// (§4.2).
+///
+/// # Errors
+///
+/// Propagates analytic-expectation errors (none for well-formed models).
+pub fn optimize_parameters(
+    model: &IsingModel,
+    grid_resolution: usize,
+) -> Result<(f64, f64), FrozenQubitsError> {
+    if model.num_couplings() == 0 && model.has_zero_linear_terms() {
+        // Constant objective; any angles do.
+        return Ok((0.0, 0.0));
+    }
+    let objective = |g: f64, b: f64| expectation_p1(model, g, b).expect("valid model");
+    let half_pi = std::f64::consts::FRAC_PI_2;
+    let quarter_pi = std::f64::consts::FRAC_PI_4;
+    let scan = grid_scan_2d(
+        objective,
+        (-half_pi, half_pi),
+        (-quarter_pi, quarter_pi),
+        grid_resolution.max(5),
+    );
+    let (g0, b0) = scan.best_params();
+    let polished = nelder_mead(
+        |p: &[f64]| objective(p[0], p[1]),
+        &[g0, b0],
+        &NelderMeadOptions {
+            max_evaluations: 400,
+            initial_step: 0.05,
+            ..NelderMeadOptions::default()
+        },
+    );
+    Ok((polished.best_params[0], polished.best_params[1]))
+}
+
+/// Optimizes the full `(γ_1..γ_p, β_1..β_p)` vector for a `p`-layer QAOA
+/// circuit. `p = 1` uses the closed-form expectation (any width); `p ≥ 2`
+/// optimizes the exact statevector expectation (width ≤ 20) seeded from
+/// the `p = 1` optimum with a linear ramp — the standard multi-layer
+/// warm start.
+///
+/// # Errors
+///
+/// Returns [`FrozenQubitsError::InvalidConfig`] for `p = 0` or for `p ≥ 2`
+/// on models wider than 20 variables.
+pub fn optimize_parameters_multilayer(
+    model: &IsingModel,
+    p: usize,
+    grid_resolution: usize,
+) -> Result<(Vec<f64>, Vec<f64>), FrozenQubitsError> {
+    if p == 0 {
+        return Err(FrozenQubitsError::InvalidConfig("p must be at least 1".into()));
+    }
+    let (g1, b1) = optimize_parameters(model, grid_resolution)?;
+    if p == 1 {
+        return Ok((vec![g1], vec![b1]));
+    }
+    if model.num_vars() > 20 {
+        return Err(FrozenQubitsError::InvalidConfig(format!(
+            "multi-layer optimization simulates the exact state; {} variables exceed the 20-qubit limit",
+            model.num_vars()
+        )));
+    }
+    // Warm start: ramp γ up and β down across layers (INTERP-style).
+    let mut x0 = Vec::with_capacity(2 * p);
+    for l in 0..p {
+        let t = (l as f64 + 1.0) / p as f64;
+        x0.push(g1 * t);
+    }
+    for l in 0..p {
+        let t = (l as f64 + 1.0) / p as f64;
+        x0.push(b1 * (1.0 - t) + b1 * 0.25 * t);
+    }
+    let result = nelder_mead(
+        |x: &[f64]| {
+            let (g, b) = x.split_at(p);
+            fq_sim::qaoa_expectation_sv(model, g, b).expect("valid model within width limit")
+        },
+        &x0,
+        &NelderMeadOptions {
+            max_evaluations: 800,
+            initial_step: 0.08,
+            ..NelderMeadOptions::default()
+        },
+    );
+    let (g, b) = result.best_params.split_at(p);
+    Ok((g.to_vec(), b.to_vec()))
+}
+
+/// Runs one model through the full single-circuit pipeline: parameter
+/// optimization, compilation, fidelity modelling and EPS. Supports any
+/// `config.layers` (`p ≥ 2` needs ≤ 20 variables; see
+/// [`optimize_parameters_multilayer`]).
+///
+/// # Errors
+///
+/// Propagates circuit, transpile and simulation errors.
+pub fn execute_problem(
+    model: &IsingModel,
+    device: &Device,
+    config: &FrozenQubitsConfig,
+) -> Result<ProblemExecution, FrozenQubitsError> {
+    let p = config.layers;
+    let (gammas, betas) = optimize_parameters_multilayer(model, p, config.param_grid)?;
+    let qc = build_qaoa_circuit(model, p)?;
+    let compiled = compile(&qc, device, config.compile)?;
+    let (ev_ideal, z, zz) = if p == 1 {
+        let ev = expectation_p1(model, gammas[0], betas[0])?;
+        let (z, zz) = term_expectations_p1(model, gammas[0], betas[0])?;
+        (ev, z, zz)
+    } else {
+        let bound = qc.bind(&gammas, &betas)?;
+        let sv = fq_sim::run_circuit(&bound)?;
+        let (z, zz) = sv.term_expectations(model)?;
+        let ev = sv.expectation_ising(model)?;
+        (ev, z, zz)
+    };
+    let ev_noisy = noisy_expectation_lightcone(model, &z, &zz, &compiled, device)?;
+    let eps_log = log_eps(&compiled, device);
+    Ok(ProblemExecution {
+        model: model.clone(),
+        params: (gammas[0], betas[0]),
+        gammas,
+        betas,
+        ev_ideal,
+        ev_noisy,
+        log_eps: eps_log,
+        compiled,
+    })
+}
+
+fn metrics_of(model: &IsingModel, layers: usize, compiled: &Compiled) -> CircuitMetrics {
+    CircuitMetrics {
+        logical_cnots: qaoa_cnot_count(model, layers),
+        compiled_cnots: compiled.stats.cnot_count,
+        swap_count: compiled.swap_count,
+        depth: compiled.stats.depth,
+        duration_ns: compiled.schedule.duration_ns,
+    }
+}
+
+/// Runs the standard-QAOA baseline on the full problem.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn run_baseline(
+    model: &IsingModel,
+    device: &Device,
+    config: &FrozenQubitsConfig,
+) -> Result<RunSummary, FrozenQubitsError> {
+    let exec = execute_problem(model, device, config)?;
+    Ok(RunSummary {
+        label: "baseline".into(),
+        circuit_qubits: model.num_vars(),
+        circuits_executed: 1,
+        metrics: metrics_of(model, config.layers, &exec.compiled),
+        ev_ideal: exec.ev_ideal,
+        ev_noisy: exec.ev_noisy,
+        arg: arg(exec.ev_ideal, exec.ev_noisy),
+        log_eps: exec.log_eps,
+        params: exec.params,
+    })
+}
+
+/// Runs FrozenQubits: freeze `config.num_frozen` hotspots, execute the
+/// (pruned) sub-problems, and aggregate.
+///
+/// The aggregate expectation values weight each executed branch by the
+/// number of sub-spaces it covers (2 when its symmetric partner was
+/// pruned), i.e. the expectation of the uniform mixture over all `2^m`
+/// sub-space distributions.
+///
+/// # Errors
+///
+/// Propagates hotspot-selection, freezing and pipeline errors.
+pub fn run_frozen(
+    model: &IsingModel,
+    device: &Device,
+    config: &FrozenQubitsConfig,
+) -> Result<(RunSummary, Vec<usize>), FrozenQubitsError> {
+    let hotspots = select_hotspots(model, config.num_frozen, &config.hotspots)?;
+    let plan = partition_problem(model, &hotspots, config.prune_symmetric)?;
+
+    let mut ev_ideal_acc = 0.0;
+    let mut ev_noisy_acc = 0.0;
+    let mut weight_acc = 0.0;
+    let mut log_eps_acc = 0.0;
+    let mut metrics_acc = CircuitMetrics::default();
+    let mut params = (0.0, 0.0);
+
+    for (k, exec) in plan.executed.iter().enumerate() {
+        let sub = execute_problem(exec.problem.model(), device, config)?;
+        let weight = if exec.partner_mask.is_some() { 2.0 } else { 1.0 };
+        ev_ideal_acc += weight * sub.ev_ideal;
+        ev_noisy_acc += weight * sub.ev_noisy;
+        weight_acc += weight;
+        log_eps_acc += sub.log_eps;
+        let m = metrics_of(exec.problem.model(), config.layers, &sub.compiled);
+        metrics_acc.logical_cnots += m.logical_cnots;
+        metrics_acc.compiled_cnots += m.compiled_cnots;
+        metrics_acc.swap_count += m.swap_count;
+        metrics_acc.depth += m.depth;
+        metrics_acc.duration_ns += m.duration_ns;
+        if k == 0 {
+            params = sub.params;
+        }
+    }
+    let count = plan.executed.len().max(1);
+    let mean_metrics = CircuitMetrics {
+        logical_cnots: metrics_acc.logical_cnots / count,
+        compiled_cnots: metrics_acc.compiled_cnots / count,
+        swap_count: metrics_acc.swap_count / count,
+        depth: metrics_acc.depth / count,
+        duration_ns: metrics_acc.duration_ns / count as f64,
+    };
+    let ev_ideal = ev_ideal_acc / weight_acc;
+    let ev_noisy = ev_noisy_acc / weight_acc;
+
+    let summary = RunSummary {
+        label: format!("FQ(m={})", config.num_frozen),
+        circuit_qubits: model.num_vars() - config.num_frozen,
+        circuits_executed: plan.quantum_cost(),
+        metrics: mean_metrics,
+        ev_ideal,
+        ev_noisy,
+        arg: arg(ev_ideal, ev_noisy),
+        log_eps: log_eps_acc / count as f64,
+        params,
+    };
+    Ok((summary, hotspots))
+}
+
+/// Runs baseline and FrozenQubits side by side and reports the
+/// improvement factor.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+///
+/// # Example
+///
+/// ```
+/// use fq_graphs::{gen, to_ising_pm1};
+/// use fq_transpile::Device;
+/// use frozenqubits::{compare, FrozenQubitsConfig};
+///
+/// let graph = gen::barabasi_albert(10, 1, 3)?;
+/// let model = to_ising_pm1(&graph, 3);
+/// let report = compare(&model, &Device::ibm_montreal(), &FrozenQubitsConfig::default())?;
+/// // Freezing the hotspot must strictly reduce the executed CNOT count.
+/// assert!(report.frozen.metrics.compiled_cnots < report.baseline.metrics.compiled_cnots);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compare(
+    model: &IsingModel,
+    device: &Device,
+    config: &FrozenQubitsConfig,
+) -> Result<Report, FrozenQubitsError> {
+    let baseline = run_baseline(model, device, config)?;
+    let (frozen, frozen_qubits) = run_frozen(model, device, config)?;
+    let improvement = crate::metrics::improvement_factor(baseline.arg, frozen.arg);
+    Ok(Report {
+        baseline,
+        frozen,
+        frozen_qubits,
+        improvement,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_graphs::{gen, to_ising_pm1};
+
+    fn ba_model(n: usize, seed: u64) -> IsingModel {
+        to_ising_pm1(&gen::barabasi_albert(n, 1, seed).unwrap(), seed)
+    }
+
+    #[test]
+    fn optimized_parameters_beat_zero() {
+        let m = ba_model(10, 1);
+        let (g, b) = optimize_parameters(&m, 15).unwrap();
+        let opt = expectation_p1(&m, g, b).unwrap();
+        let zero = expectation_p1(&m, 0.0, 0.0).unwrap();
+        assert!(opt < zero - 0.1, "optimized {opt} vs uniform {zero}");
+    }
+
+    #[test]
+    fn baseline_arg_is_positive_on_noisy_hardware() {
+        let m = ba_model(10, 2);
+        let s = run_baseline(&m, &Device::ibm_montreal(), &FrozenQubitsConfig::default()).unwrap();
+        assert!(s.arg > 0.0 && s.arg.is_finite());
+        assert!(s.ev_ideal < 0.0, "optimal EV must be negative");
+        assert!(s.ev_noisy > s.ev_ideal, "noise pulls EV toward zero");
+    }
+
+    #[test]
+    fn freezing_reduces_cnots_and_arg() {
+        let m = ba_model(12, 3);
+        let report = compare(&m, &Device::ibm_montreal(), &FrozenQubitsConfig::default()).unwrap();
+        assert!(
+            report.frozen.metrics.compiled_cnots < report.baseline.metrics.compiled_cnots,
+            "FQ {} vs baseline {}",
+            report.frozen.metrics.compiled_cnots,
+            report.baseline.metrics.compiled_cnots
+        );
+        assert!(
+            report.frozen.arg < report.baseline.arg,
+            "FQ arg {} vs baseline {}",
+            report.frozen.arg,
+            report.baseline.arg
+        );
+        assert!(report.improvement > 1.0);
+    }
+
+    #[test]
+    fn pruning_keeps_quantum_cost_at_one_for_m1() {
+        let m = ba_model(10, 4);
+        let (s, hotspots) = run_frozen(&m, &Device::ibm_montreal(), &FrozenQubitsConfig::default()).unwrap();
+        assert_eq!(s.circuits_executed, 1, "m=1 with pruning executes one circuit");
+        assert_eq!(s.circuit_qubits, 9);
+        assert_eq!(hotspots.len(), 1);
+    }
+
+    #[test]
+    fn m2_doubles_quantum_cost() {
+        let m = ba_model(10, 5);
+        let cfg = FrozenQubitsConfig::with_frozen(2);
+        let (s, _) = run_frozen(&m, &Device::ibm_montreal(), &cfg).unwrap();
+        assert_eq!(s.circuits_executed, 2);
+    }
+
+    #[test]
+    fn two_layer_qaoa_beats_one_layer_ideally() {
+        // More layers can only improve the variationally optimal EV.
+        let m = ba_model(8, 7);
+        let device = Device::ibm_montreal();
+        let p1 = execute_problem(&m, &device, &FrozenQubitsConfig::default()).unwrap();
+        let p2_cfg = FrozenQubitsConfig { layers: 2, ..FrozenQubitsConfig::default() };
+        let p2 = execute_problem(&m, &device, &p2_cfg).unwrap();
+        assert_eq!(p2.gammas.len(), 2);
+        assert!(
+            p2.ev_ideal <= p1.ev_ideal + 1e-6,
+            "p=2 ideal {} must not be worse than p=1 {}",
+            p2.ev_ideal,
+            p1.ev_ideal
+        );
+        // But the deeper circuit is noisier per layer: more CNOTs.
+        assert!(p2.compiled.stats.cnot_count > p1.compiled.stats.cnot_count);
+    }
+
+    #[test]
+    fn multilayer_rejects_wide_models() {
+        let m = ba_model(24, 8);
+        assert!(matches!(
+            optimize_parameters_multilayer(&m, 2, 9),
+            Err(FrozenQubitsError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            optimize_parameters_multilayer(&m, 0, 9),
+            Err(FrozenQubitsError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn frozen_ideal_ev_is_at_least_as_good_as_global_optimum_bound() {
+        // Sanity: each sub-space optimal EV cannot beat the global minimum.
+        let m = ba_model(8, 6);
+        let exact = fq_ising::solve::exact_solve(&m).unwrap();
+        let (s, _) = run_frozen(&m, &Device::ibm_montreal(), &FrozenQubitsConfig::default()).unwrap();
+        assert!(s.ev_ideal >= exact.energy - 1e-9);
+    }
+}

@@ -1,0 +1,198 @@
+//! The end-to-end workflow runtime model of §6.5 (Eq. 6):
+//!
+//! ```text
+//! T = δ_compile + I · N_batch · (τ · t_NISQ + Δ_cloud) + δ_opt + δ_pp
+//! ```
+//!
+//! evaluated under four execution models (sequential/batched ×
+//! shared/dedicated), reproducing Fig. 18.
+
+use serde::{Deserialize, Serialize};
+
+/// How circuits reach the device.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionModel {
+    /// Maximum circuits per cloud job (`None` = one circuit per job, as on
+    /// sequential providers; `Some(900)` on IBMQ-style batching).
+    pub batch_size: Option<usize>,
+    /// Cloud access latency per job in seconds (30 min shared, 0
+    /// dedicated).
+    pub cloud_latency_s: f64,
+    /// Display name for tables.
+    pub name: &'static str,
+}
+
+impl ExecutionModel {
+    /// Sequential submission on a shared device (the paper's "Azure"
+    /// column).
+    #[must_use]
+    pub fn sequential_shared() -> ExecutionModel {
+        ExecutionModel {
+            batch_size: None,
+            cloud_latency_s: 30.0 * 60.0,
+            name: "Sequential+Shared",
+        }
+    }
+
+    /// Sequential submission on a dedicated device ("Amazon").
+    #[must_use]
+    pub fn sequential_dedicated() -> ExecutionModel {
+        ExecutionModel {
+            batch_size: None,
+            cloud_latency_s: 0.0,
+            name: "Sequential+Dedicated",
+        }
+    }
+
+    /// Batched submission (up to 900 circuits/job) on a shared device
+    /// ("IBMQ shared").
+    #[must_use]
+    pub fn batched_shared() -> ExecutionModel {
+        ExecutionModel {
+            batch_size: Some(900),
+            cloud_latency_s: 30.0 * 60.0,
+            name: "Batched+Shared",
+        }
+    }
+
+    /// Batched submission on a dedicated device ("IBMQ dedicated").
+    #[must_use]
+    pub fn batched_dedicated() -> ExecutionModel {
+        ExecutionModel {
+            batch_size: Some(900),
+            cloud_latency_s: 0.0,
+            name: "Batched+Dedicated",
+        }
+    }
+
+    /// The four models of Fig. 18, in the paper's order.
+    #[must_use]
+    pub fn all() -> Vec<ExecutionModel> {
+        vec![
+            ExecutionModel::sequential_shared(),
+            ExecutionModel::sequential_dedicated(),
+            ExecutionModel::batched_shared(),
+            ExecutionModel::batched_dedicated(),
+        ]
+    }
+}
+
+/// Workload parameters of Eq. 6 (the paper's §6.5 defaults via
+/// [`Default`]).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeParams {
+    /// QAOA iterations `I`.
+    pub iterations: u64,
+    /// Trials per circuit per iteration `τ`.
+    pub trials: u64,
+    /// Seconds per trial `t_NISQ`.
+    pub t_nisq_s: f64,
+    /// Classical optimizer latency per iteration `Δ_opt` (seconds).
+    pub opt_latency_s: f64,
+    /// One-off compilation latency `δ_compile` (seconds).
+    pub compile_s: f64,
+    /// Post-processing time `δ_pp` (seconds).
+    pub postprocess_s: f64,
+}
+
+impl Default for RuntimeParams {
+    fn default() -> Self {
+        RuntimeParams {
+            iterations: 1_000,
+            trials: 25_000,
+            t_nisq_s: 1e-3,
+            opt_latency_s: 60.0,
+            compile_s: 2.0 * 3_600.0,
+            postprocess_s: 60.0,
+        }
+    }
+}
+
+/// Evaluates Eq. 6 for a scheme that must run `num_circuits` circuits per
+/// iteration (1 for the baseline, `2^{m−1}` for pruned FrozenQubits).
+/// Returns hours.
+///
+/// # Example
+///
+/// ```
+/// use frozenqubits::runtime::{end_to_end_runtime_hours, ExecutionModel, RuntimeParams};
+///
+/// let params = RuntimeParams::default();
+/// // Default FrozenQubits (m = 2, pruned to 2 circuits) under batching is
+/// // nearly free: the cloud latency is paid once per batch either way.
+/// let baseline = end_to_end_runtime_hours(1, &params, &ExecutionModel::batched_shared());
+/// let fq2 = end_to_end_runtime_hours(2, &params, &ExecutionModel::batched_shared());
+/// assert!(fq2 / baseline < 1.05);
+/// // Without batching, every extra circuit pays the cloud latency again.
+/// let fq2_seq = end_to_end_runtime_hours(2, &params, &ExecutionModel::sequential_shared());
+/// assert!(fq2_seq > 1.5 * end_to_end_runtime_hours(1, &params, &ExecutionModel::sequential_shared()));
+/// ```
+#[must_use]
+pub fn end_to_end_runtime_hours(
+    num_circuits: u64,
+    params: &RuntimeParams,
+    exec: &ExecutionModel,
+) -> f64 {
+    let batches = match exec.batch_size {
+        Some(b) => num_circuits.div_ceil(b as u64),
+        None => num_circuits,
+    };
+    // Within a batch the circuits run back-to-back on the device; cloud
+    // latency is paid once per batch.
+    let circuits_per_batch = num_circuits as f64 / batches as f64;
+    let device_time_per_batch = circuits_per_batch * params.trials as f64 * params.t_nisq_s;
+    let per_iteration = batches as f64 * (device_time_per_batch + exec.cloud_latency_s);
+    let total_s = params.compile_s
+        + params.iterations as f64 * (per_iteration + params.opt_latency_s)
+        + params.postprocess_s;
+    total_s / 3_600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_access_dominates_sequential_runtime() {
+        let p = RuntimeParams::default();
+        let shared = end_to_end_runtime_hours(1, &p, &ExecutionModel::sequential_shared());
+        let dedicated = end_to_end_runtime_hours(1, &p, &ExecutionModel::sequential_dedicated());
+        assert!(shared > 10.0 * dedicated);
+    }
+
+    #[test]
+    fn batching_absorbs_subcircuits() {
+        let p = RuntimeParams::default();
+        for exec in [ExecutionModel::batched_shared(), ExecutionModel::batched_dedicated()] {
+            let base = end_to_end_runtime_hours(1, &p, &exec);
+            let fq = end_to_end_runtime_hours(512, &p, &exec);
+            assert!(fq < 600.0 * base, "batched run must not scale linearly");
+            // Everything fits one batch: device time grows, latency does not.
+            assert!(fq > base);
+        }
+    }
+
+    #[test]
+    fn sequential_scales_linearly_in_circuits() {
+        let p = RuntimeParams::default();
+        let exec = ExecutionModel::sequential_dedicated();
+        let one = end_to_end_runtime_hours(1, &p, &exec);
+        let two = end_to_end_runtime_hours(2, &p, &exec);
+        // Subtract the fixed compile/opt/pp overheads before comparing.
+        let fixed = (p.compile_s + p.postprocess_s + p.iterations as f64 * p.opt_latency_s) / 3600.0;
+        assert!(((two - fixed) / (one - fixed) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig18_ordering_holds() {
+        // Baseline ordering of the four bars for FQ(m=2): shared sequential
+        // slowest, batched dedicated fastest.
+        let p = RuntimeParams::default();
+        let t: Vec<f64> = ExecutionModel::all()
+            .iter()
+            .map(|e| end_to_end_runtime_hours(2, &p, e))
+            .collect();
+        assert!(t[0] > t[1] && t[0] > t[3]);
+        assert!(t[2] > t[3]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Sampling-based end-to-end solving: run the (pruned) sub-circuits on the
+//! noisy simulator, decode every outcome back to the parent space, and
+//! pick the best solution (§3.6) — including the bit-flip inference for
+//! pruned partners (§3.7.2).
+
+use fq_circuit::build_qaoa_circuit;
+use fq_ising::{IsingModel, OutputDistribution, Spin, SpinVec};
+use fq_sim::{sample_noisy, NoisySamplerConfig};
+use fq_transpile::{compile, Device};
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    optimize_parameters, partition_problem, select_hotspots, FrozenQubitsConfig,
+    FrozenQubitsError,
+};
+
+/// The outcome of a sampling run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SolveOutcome {
+    /// The lowest-energy decoded outcome.
+    pub best: SpinVec,
+    /// Its energy under the parent Hamiltonian.
+    pub energy: f64,
+    /// The union distribution over the parent variables (decoded
+    /// sub-circuit outcomes, including inferred partner outcomes).
+    pub distribution: OutputDistribution,
+    /// Which qubits were frozen.
+    pub frozen_qubits: Vec<usize>,
+}
+
+/// Solves `model` end to end with FrozenQubits on a noisy device:
+/// partition, per-sub-problem parameter optimization, compilation,
+/// Monte-Carlo noisy sampling, decoding, and the final `min`.
+///
+/// Use `config.num_frozen = 0` for the plain QAOA baseline.
+///
+/// # Errors
+///
+/// Propagates pipeline errors; the statevector width limit applies, so
+/// this entry point is for small-`N` studies (the analytic pipeline in
+/// [`crate::compare`] covers every scale).
+///
+/// # Example
+///
+/// ```
+/// use fq_graphs::{gen, to_ising_pm1};
+/// use fq_transpile::Device;
+/// use frozenqubits::{solve_with_sampling, FrozenQubitsConfig};
+///
+/// let model = to_ising_pm1(&gen::barabasi_albert(8, 1, 1)?, 1);
+/// let outcome = solve_with_sampling(
+///     &model,
+///     &Device::ibm_montreal(),
+///     &FrozenQubitsConfig::default(),
+///     2048,
+/// )?;
+/// assert_eq!(outcome.best.len(), 8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn solve_with_sampling(
+    model: &IsingModel,
+    device: &Device,
+    config: &FrozenQubitsConfig,
+    shots: u64,
+) -> Result<SolveOutcome, FrozenQubitsError> {
+    let hotspots = select_hotspots(model, config.num_frozen, &config.hotspots)?;
+    let plan = partition_problem(model, &hotspots, config.prune_symmetric)?;
+
+    let mut union = OutputDistribution::new(model.num_vars());
+    let mut best: Option<(SpinVec, f64)> = None;
+
+    for (k, exec) in plan.executed.iter().enumerate() {
+        let sub_model = exec.problem.model();
+        let (gamma, beta) = optimize_parameters(sub_model, config.param_grid)?;
+        let qc = build_qaoa_circuit(sub_model, config.layers)?;
+        let bound = qc.bind(&[gamma], &[beta])?;
+        let compiled = compile(&bound, device, config.compile)?;
+        let sampler = NoisySamplerConfig {
+            shots,
+            trajectories: 16,
+            seed: config.seed.wrapping_add(k as u64),
+        };
+        let sub_dist = sample_noisy(&compiled, device, sampler)?;
+
+        // Decode this branch's outcomes into the parent space.
+        let decoded = sub_dist.decode(&exec.problem)?;
+        consider(&mut best, model, &decoded)?;
+        union.merge(&decoded)?;
+
+        // Infer the pruned partner: flip every sub-space bit, then decode
+        // through the partner's frozen assignment (§3.7.2).
+        if exec.partner_mask.is_some() {
+            let partner_assignment: Vec<(usize, Spin)> = exec
+                .problem
+                .frozen()
+                .iter()
+                .map(|&(q, s)| (q, s.flipped()))
+                .collect();
+            let partner = model.freeze(&partner_assignment)?;
+            let partner_decoded = sub_dist.flipped().decode(&partner)?;
+            consider(&mut best, model, &partner_decoded)?;
+            union.merge(&partner_decoded)?;
+        }
+    }
+
+    let (best, energy) = best.ok_or_else(|| {
+        FrozenQubitsError::InvalidConfig("no sub-problem produced any outcome".into())
+    })?;
+    Ok(SolveOutcome {
+        best,
+        energy,
+        distribution: union,
+        frozen_qubits: hotspots,
+    })
+}
+
+fn consider(
+    best: &mut Option<(SpinVec, f64)>,
+    model: &IsingModel,
+    dist: &OutputDistribution,
+) -> Result<(), FrozenQubitsError> {
+    let (z, e) = dist.best(model)?;
+    if best.as_ref().is_none_or(|(_, be)| e < *be) {
+        *best = Some((z, e));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_graphs::{gen, to_ising_pm1};
+    use fq_ising::solve::exact_solve;
+
+    fn model(n: usize, seed: u64) -> IsingModel {
+        to_ising_pm1(&gen::barabasi_albert(n, 1, seed).unwrap(), seed)
+    }
+
+    #[test]
+    fn finds_the_global_optimum_on_small_instances() {
+        let m = model(8, 7);
+        let exact = exact_solve(&m).unwrap();
+        let out = solve_with_sampling(
+            &m,
+            &Device::ibm_auckland(),
+            &FrozenQubitsConfig::default(),
+            4096,
+        )
+        .unwrap();
+        assert!(
+            (out.energy - exact.energy).abs() < 1e-9,
+            "sampled best {} vs exact {}",
+            out.energy,
+            exact.energy
+        );
+    }
+
+    #[test]
+    fn union_distribution_covers_both_half_spaces() {
+        let m = model(6, 9);
+        let out = solve_with_sampling(
+            &m,
+            &Device::ibm_montreal(),
+            &FrozenQubitsConfig::default(),
+            1024,
+        )
+        .unwrap();
+        let hotspot = out.frozen_qubits[0];
+        let mut saw_up = false;
+        let mut saw_down = false;
+        for (z, _) in out.distribution.iter() {
+            match z.spin(hotspot) {
+                Spin::UP => saw_up = true,
+                _ => saw_down = true,
+            }
+        }
+        assert!(saw_up && saw_down, "partner inference must populate both branches");
+        // Total shots double via partner inference (m=1, pruned).
+        assert_eq!(out.distribution.total_shots(), 2 * 1024);
+    }
+
+    #[test]
+    fn m0_behaves_like_plain_qaoa() {
+        let m = model(6, 11);
+        let cfg = FrozenQubitsConfig::with_frozen(0);
+        let out = solve_with_sampling(&m, &Device::ibm_montreal(), &cfg, 512).unwrap();
+        assert!(out.frozen_qubits.is_empty());
+        assert_eq!(out.distribution.total_shots(), 512);
+        assert_eq!(out.best.len(), 6);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = model(6, 13);
+        let cfg = FrozenQubitsConfig::default();
+        let a = solve_with_sampling(&m, &Device::ibm_montreal(), &cfg, 256).unwrap();
+        let b = solve_with_sampling(&m, &Device::ibm_montreal(), &cfg, 256).unwrap();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.distribution, b.distribution);
+    }
+}

@@ -1,0 +1,327 @@
+//! A CutQC-style wire-cutting planner and cost model.
+//!
+//! CutQC (Tang et al., ASPLOS 2021) decomposes a circuit into fragments by
+//! cutting qubit wires; every cut multiplies the classical reconstruction
+//! work by 4 (one term per Pauli basis element crossing the cut), so `c`
+//! cuts imply `4^c` tensor-product terms — the "exponential post-processing"
+//! row of the paper's Table 3. FrozenQubits argues (§1, §3.9) that cutting
+//! is a poor fit for power-law QAOA graphs because hotspots force `c` to be
+//! large. This crate makes that argument **quantitative**: it plans an
+//! actual edge cut of the problem graph (greedy growth + Kernighan–Lin
+//! refinement) and prices it with CutQC's cost model, so Table 3 can be
+//! regenerated from real instances instead of asymptotics.
+//!
+//! # Example
+//!
+//! ```
+//! use fq_cutqc::{plan_cut, CutPlan};
+//! use fq_ising::IsingModel;
+//!
+//! // A 6-ring split into two 3-fragments costs exactly 2 cut edges.
+//! let mut m = IsingModel::new(6);
+//! for i in 0..6 {
+//!     m.set_coupling(i, (i + 1) % 6, 1.0)?;
+//! }
+//! let plan = plan_cut(&m, 3)?;
+//! assert_eq!(plan.num_cuts(), 2);
+//! assert_eq!(plan.cost().postprocessing_terms_log2, 4.0); // 4^2 = 2^4
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use fq_ising::IsingModel;
+use serde::{Deserialize, Serialize};
+
+/// Errors produced by the cut planner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CutError {
+    /// The fragment capacity cannot host the problem.
+    InfeasibleFragmentSize {
+        /// Requested per-fragment qubit capacity.
+        max_fragment: usize,
+    },
+    /// The model has no variables.
+    EmptyModel,
+}
+
+impl fmt::Display for CutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CutError::InfeasibleFragmentSize { max_fragment } => {
+                write!(f, "fragment capacity {max_fragment} must be at least 1")
+            }
+            CutError::EmptyModel => write!(f, "cannot cut an empty model"),
+        }
+    }
+}
+
+impl Error for CutError {}
+
+/// A partition of the problem graph into fragments plus the edges severed
+/// between them.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CutPlan {
+    fragments: Vec<Vec<usize>>,
+    cut_edges: Vec<(usize, usize)>,
+    num_vars: usize,
+}
+
+/// The CutQC cost model of a plan (Table 3's columns).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CutCost {
+    /// Number of circuit fragments.
+    pub num_fragments: usize,
+    /// Number of cut edges `c`.
+    pub num_cuts: usize,
+    /// log₂ of the classical reconstruction term count `4^c`.
+    pub postprocessing_terms_log2: f64,
+    /// Total fragment-circuit variants to execute: each fragment runs once
+    /// per Pauli-basis combination of its incident cuts, `Σ_f 4^{c_f}`.
+    pub quantum_circuit_count: f64,
+    /// Compilation count: every distinct fragment variant is a different
+    /// circuit (contrast with FrozenQubits' single template, §3.7.1).
+    pub compile_count: f64,
+}
+
+impl CutPlan {
+    /// The fragments, each a sorted list of variable indices.
+    #[must_use]
+    pub fn fragments(&self) -> &[Vec<usize>] {
+        &self.fragments
+    }
+
+    /// The severed edges.
+    #[must_use]
+    pub fn cut_edges(&self) -> &[(usize, usize)] {
+        &self.cut_edges
+    }
+
+    /// Number of severed edges `c`.
+    #[must_use]
+    pub fn num_cuts(&self) -> usize {
+        self.cut_edges.len()
+    }
+
+    /// Evaluates the CutQC cost model on this plan.
+    #[must_use]
+    pub fn cost(&self) -> CutCost {
+        let c = self.cut_edges.len();
+        // Cuts incident to each fragment.
+        let mut frag_of = vec![0usize; self.num_vars];
+        for (fi, frag) in self.fragments.iter().enumerate() {
+            for &v in frag {
+                frag_of[v] = fi;
+            }
+        }
+        let mut cuts_per_fragment = vec![0u32; self.fragments.len()];
+        for &(a, b) in &self.cut_edges {
+            cuts_per_fragment[frag_of[a]] += 1;
+            cuts_per_fragment[frag_of[b]] += 1;
+        }
+        let quantum: f64 = cuts_per_fragment.iter().map(|&k| 4f64.powi(k as i32)).sum();
+        CutCost {
+            num_fragments: self.fragments.len(),
+            num_cuts: c,
+            postprocessing_terms_log2: 2.0 * c as f64,
+            quantum_circuit_count: quantum,
+            compile_count: quantum,
+        }
+    }
+}
+
+/// Plans an edge cut of the problem graph into fragments of at most
+/// `max_fragment` variables, minimizing the number of severed edges with
+/// greedy growth plus Kernighan–Lin single-move refinement.
+///
+/// # Errors
+///
+/// Returns [`CutError::EmptyModel`] for zero-variable models and
+/// [`CutError::InfeasibleFragmentSize`] when `max_fragment == 0`.
+pub fn plan_cut(model: &IsingModel, max_fragment: usize) -> Result<CutPlan, CutError> {
+    let n = model.num_vars();
+    if n == 0 {
+        return Err(CutError::EmptyModel);
+    }
+    if max_fragment == 0 {
+        return Err(CutError::InfeasibleFragmentSize { max_fragment });
+    }
+    let adj = model.adjacency();
+
+    // Greedy BFS growth: fill fragments up to capacity, always absorbing
+    // the frontier vertex with the most edges into the current fragment.
+    let mut assignment = vec![usize::MAX; n];
+    let mut current = 0usize;
+    let mut filled = 0usize;
+    for start in 0..n {
+        if assignment[start] != usize::MAX {
+            continue;
+        }
+        if filled >= max_fragment {
+            current += 1;
+            filled = 0;
+        }
+        assignment[start] = current;
+        filled += 1;
+        let mut frontier: Vec<usize> = adj[start].iter().map(|&(v, _)| v).collect();
+        while filled < max_fragment {
+            let Some((pos, &cand)) = frontier
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| assignment[v] == usize::MAX)
+                .max_by_key(|(_, &v)| {
+                    adj[v].iter().filter(|&&(u, _)| assignment[u] == current).count()
+                })
+            else {
+                break;
+            };
+            frontier.swap_remove(pos);
+            assignment[cand] = current;
+            filled += 1;
+            frontier.extend(adj[cand].iter().map(|&(v, _)| v));
+        }
+    }
+    let num_fragments = current + 1;
+
+    // Kernighan–Lin style refinement: move a vertex to another fragment if
+    // it strictly reduces the cut and capacity allows.
+    let mut sizes = vec![0usize; num_fragments];
+    for &a in &assignment {
+        sizes[a] += 1;
+    }
+    for _pass in 0..4 {
+        let mut improved = false;
+        for v in 0..n {
+            let home = assignment[v];
+            if sizes[home] == 1 {
+                continue; // keep fragments non-empty
+            }
+            // Count edges to each fragment.
+            let mut to_frag = vec![0usize; num_fragments];
+            for &(u, _) in &adj[v] {
+                to_frag[assignment[u]] += 1;
+            }
+            let best = (0..num_fragments)
+                .filter(|&f| f != home && sizes[f] < max_fragment)
+                .max_by_key(|&f| to_frag[f]);
+            if let Some(target) = best {
+                if to_frag[target] > to_frag[home] {
+                    sizes[home] -= 1;
+                    sizes[target] += 1;
+                    assignment[v] = target;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    let mut fragments: Vec<Vec<usize>> = vec![Vec::new(); num_fragments];
+    for (v, &f) in assignment.iter().enumerate() {
+        fragments[f].push(v);
+    }
+    fragments.retain(|f| !f.is_empty());
+    // Recompute assignment after retain.
+    let mut frag_of = vec![0usize; n];
+    for (fi, frag) in fragments.iter().enumerate() {
+        for &v in frag {
+            frag_of[v] = fi;
+        }
+    }
+    let cut_edges: Vec<(usize, usize)> = model
+        .couplings()
+        .filter_map(|((a, b), _)| (frag_of[a] != frag_of[b]).then_some((a, b)))
+        .collect();
+
+    Ok(CutPlan {
+        fragments,
+        cut_edges,
+        num_vars: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> IsingModel {
+        let mut m = IsingModel::new(n);
+        for i in 0..n {
+            m.set_coupling(i, (i + 1) % n, 1.0).unwrap();
+        }
+        m
+    }
+
+    fn star(n: usize) -> IsingModel {
+        let mut m = IsingModel::new(n);
+        for i in 1..n {
+            m.set_coupling(0, i, 1.0).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn ring_bisection_cuts_two_edges() {
+        let plan = plan_cut(&ring(8), 4).unwrap();
+        assert_eq!(plan.fragments().len(), 2);
+        assert_eq!(plan.num_cuts(), 2);
+    }
+
+    #[test]
+    fn fragments_partition_all_variables() {
+        let plan = plan_cut(&ring(10), 3).unwrap();
+        let mut seen = vec![false; 10];
+        for frag in plan.fragments() {
+            assert!(frag.len() <= 3);
+            for &v in frag {
+                assert!(!seen[v], "variable {v} in two fragments");
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hotspot_graphs_force_many_cuts() {
+        // A star cannot be split without severing spokes: cutting a 12-node
+        // star in half costs ≥ 5 edges, while a 12-ring costs 2.
+        let star_cuts = plan_cut(&star(12), 6).unwrap().num_cuts();
+        let ring_cuts = plan_cut(&ring(12), 6).unwrap().num_cuts();
+        assert!(star_cuts >= 5, "star cuts {star_cuts}");
+        assert_eq!(ring_cuts, 2);
+    }
+
+    #[test]
+    fn cost_model_is_exponential_in_cuts() {
+        let plan = plan_cut(&ring(8), 4).unwrap();
+        let cost = plan.cost();
+        assert_eq!(cost.num_cuts, 2);
+        assert_eq!(cost.postprocessing_terms_log2, 4.0);
+        // Two fragments, each touching both cuts: 2 · 4² = 32 variants.
+        assert_eq!(cost.quantum_circuit_count, 32.0);
+    }
+
+    #[test]
+    fn single_fragment_needs_no_cuts() {
+        let plan = plan_cut(&ring(5), 5).unwrap();
+        assert_eq!(plan.fragments().len(), 1);
+        assert_eq!(plan.num_cuts(), 0);
+        assert_eq!(plan.cost().quantum_circuit_count, 1.0);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(matches!(plan_cut(&IsingModel::new(0), 2), Err(CutError::EmptyModel)));
+        assert!(matches!(
+            plan_cut(&ring(4), 0),
+            Err(CutError::InfeasibleFragmentSize { .. })
+        ));
+    }
+}

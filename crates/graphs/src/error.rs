@@ -1,0 +1,60 @@
+//! Error type for graph construction and generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and the random generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node index was at or beyond the graph's node count.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The graph's node count.
+        num_nodes: usize,
+    },
+    /// A self-loop `{i, i}` was requested.
+    SelfLoop(usize),
+    /// The undirected edge already exists.
+    DuplicateEdge(usize, usize),
+    /// Generator parameters are infeasible (e.g. `n·d` odd for a d-regular
+    /// graph, or `d_BA >= n` for Barabási–Albert).
+    InfeasibleParameters(String),
+    /// A randomized generator exhausted its retry budget.
+    GenerationFailed(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for {num_nodes} nodes")
+            }
+            GraphError::SelfLoop(i) => write!(f, "self-loop on node {i} is not allowed"),
+            GraphError::DuplicateEdge(i, j) => write!(f, "edge ({i}, {j}) already exists"),
+            GraphError::InfeasibleParameters(msg) => write!(f, "infeasible parameters: {msg}"),
+            GraphError::GenerationFailed(msg) => write!(f, "generation failed: {msg}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            GraphError::NodeOutOfRange { node: 3, num_nodes: 2 },
+            GraphError::SelfLoop(0),
+            GraphError::DuplicateEdge(0, 1),
+            GraphError::InfeasibleParameters("x".into()),
+            GraphError::GenerationFailed("y".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! A minimal undirected simple graph.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::GraphError;
+
+/// An undirected simple graph over nodes `0..num_nodes`.
+///
+/// Edges are stored once with the canonical orientation `i < j`; parallel
+/// edges and self-loops are rejected, matching the problem graphs of the
+/// paper (simple weighted graphs whose weights live in the Ising model, not
+/// here).
+///
+/// # Example
+///
+/// ```
+/// use fq_graphs::Graph;
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1)?;
+/// g.add_edge(1, 2)?;
+/// assert_eq!(g.degree(1), 2);
+/// assert!(!g.is_connected()); // node 3 is isolated
+/// # Ok::<(), fq_graphs::GraphError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Graph {
+    num_nodes: usize,
+    edges: Vec<(usize, usize)>,
+    edge_set: BTreeSet<(usize, usize)>,
+}
+
+impl Graph {
+    /// Creates an edgeless graph over `num_nodes` nodes.
+    #[must_use]
+    pub fn new(num_nodes: usize) -> Graph {
+        Graph {
+            num_nodes,
+            edges: Vec::new(),
+            edge_set: BTreeSet::new(),
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`Graph::add_edge`].
+    pub fn from_edges(
+        num_nodes: usize,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Graph, GraphError> {
+        let mut g = Graph::new(num_nodes);
+        for (i, j) in edges {
+            g.add_edge(i, j)?;
+        }
+        Ok(g)
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge list with canonical orientation `i < j`, in insertion order.
+    #[must_use]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Adds the undirected edge `{i, j}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] for endpoints at or beyond
+    /// `num_nodes`, [`GraphError::SelfLoop`] if `i == j`, and
+    /// [`GraphError::DuplicateEdge`] if the edge already exists.
+    pub fn add_edge(&mut self, i: usize, j: usize) -> Result<(), GraphError> {
+        for k in [i, j] {
+            if k >= self.num_nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node: k,
+                    num_nodes: self.num_nodes,
+                });
+            }
+        }
+        if i == j {
+            return Err(GraphError::SelfLoop(i));
+        }
+        let key = (i.min(j), i.max(j));
+        if !self.edge_set.insert(key) {
+            return Err(GraphError::DuplicateEdge(key.0, key.1));
+        }
+        self.edges.push(key);
+        Ok(())
+    }
+
+    /// Whether the undirected edge `{i, j}` exists.
+    #[must_use]
+    pub fn has_edge(&self, i: usize, j: usize) -> bool {
+        self.edge_set.contains(&(i.min(j), i.max(j)))
+    }
+
+    /// The degree of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_nodes`.
+    #[must_use]
+    pub fn degree(&self, i: usize) -> usize {
+        assert!(i < self.num_nodes, "node out of range");
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| a == i || b == i)
+            .count()
+    }
+
+    /// The degrees of all nodes.
+    #[must_use]
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.num_nodes];
+        for &(i, j) in &self.edges {
+            deg[i] += 1;
+            deg[j] += 1;
+        }
+        deg
+    }
+
+    /// Adjacency lists (neighbours in insertion order).
+    #[must_use]
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.num_nodes];
+        for &(i, j) in &self.edges {
+            adj[i].push(j);
+            adj[j].push(i);
+        }
+        adj
+    }
+
+    /// Whether the graph is connected (vacuously true for ≤ 1 node).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.num_nodes <= 1 {
+            return true;
+        }
+        let adj = self.adjacency();
+        let mut seen = vec![false; self.num_nodes];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == self.num_nodes
+    }
+
+    /// Nodes sorted by degree, highest first; ties broken by lower index.
+    #[must_use]
+    pub fn nodes_by_degree(&self) -> Vec<usize> {
+        let deg = self.degrees();
+        let mut order: Vec<usize> = (0..self.num_nodes).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(deg[i]), i));
+        order
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.num_nodes, self.edges.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_canonicalizes_and_rejects_duplicates() {
+        let mut g = Graph::new(3);
+        g.add_edge(2, 0).unwrap();
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(matches!(g.add_edge(0, 2), Err(GraphError::DuplicateEdge(0, 2))));
+        assert!(matches!(g.add_edge(1, 1), Err(GraphError::SelfLoop(1))));
+        assert!(matches!(g.add_edge(0, 3), Err(GraphError::NodeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn degrees_sum_to_twice_edges() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]).unwrap();
+        assert_eq!(g.degrees().iter().sum::<usize>(), 2 * g.num_edges());
+    }
+
+    #[test]
+    fn connectivity() {
+        let connected = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(connected.is_connected());
+        let disconnected = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(!disconnected.is_connected());
+        assert!(Graph::new(1).is_connected());
+        assert!(Graph::new(0).is_connected());
+    }
+
+    #[test]
+    fn nodes_by_degree_orders_hotspots_first() {
+        let g = Graph::from_edges(5, [(2, 0), (2, 1), (2, 3), (0, 4)]).unwrap();
+        let order = g.nodes_by_degree();
+        assert_eq!(order[0], 2);
+        assert_eq!(order[1], 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Benchmark graphs for the FrozenQubits evaluation (§4.1 of the paper).
+//!
+//! The paper studies three graph families — power-law Barabási–Albert
+//! graphs with preferential-attachment factor `d_BA ∈ {1, 2, 3}`, random
+//! 3-regular graphs, and fully-connected Sherrington–Kirkpatrick (SK)
+//! graphs — with edge weights drawn uniformly from `{−1, +1}` and all node
+//! weights zero. This crate provides those generators, a simple undirected
+//! [`Graph`] type, power-law degree statistics ([`powerlaw`]) and the
+//! synthetic airport network used to motivate the hotspot insight
+//! (Fig. 1b).
+//!
+//! # Example
+//!
+//! ```
+//! use fq_graphs::{gen, to_ising_pm1};
+//!
+//! let g = gen::barabasi_albert(24, 1, 42)?;
+//! assert_eq!(g.num_edges(), 23); // a BA(d=1) graph is a tree
+//! let model = to_ising_pm1(&g, 7);
+//! assert!(model.has_zero_linear_terms());
+//! # Ok::<(), fq_graphs::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airports;
+mod error;
+pub mod gen;
+mod graph;
+pub mod powerlaw;
+
+pub use error::GraphError;
+pub use graph::Graph;
+
+use fq_ising::IsingModel;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Builds the Ising model of §4.1: one quadratic term per edge with weight
+/// drawn uniformly from `{−1, +1}` (seeded), zero node weights, zero offset.
+///
+/// # Example
+///
+/// ```
+/// use fq_graphs::{gen, to_ising_pm1};
+///
+/// let g = gen::complete(5);
+/// let m = to_ising_pm1(&g, 0);
+/// assert_eq!(m.num_couplings(), 10);
+/// assert!(m.couplings().all(|(_, j)| j == 1.0 || j == -1.0));
+/// ```
+#[must_use]
+pub fn to_ising_pm1(graph: &Graph, seed: u64) -> IsingModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = IsingModel::new(graph.num_nodes());
+    for &(i, j) in graph.edges() {
+        let w = if rng.random::<bool>() { 1.0 } else { -1.0 };
+        m.set_coupling(i, j, w).expect("graph edges are in range");
+    }
+    m
+}
+
+/// Builds an Ising model with all edge weights `+1` (unweighted Max-Cut).
+#[must_use]
+pub fn to_ising_unit(graph: &Graph) -> IsingModel {
+    let mut m = IsingModel::new(graph.num_nodes());
+    for &(i, j) in graph.edges() {
+        m.set_coupling(i, j, 1.0).expect("graph edges are in range");
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pm1_weights_are_seeded_and_pm1() {
+        let g = gen::complete(6);
+        let a = to_ising_pm1(&g, 9);
+        let b = to_ising_pm1(&g, 9);
+        let c = to_ising_pm1(&g, 10);
+        assert_eq!(
+            a.couplings().collect::<Vec<_>>(),
+            b.couplings().collect::<Vec<_>>()
+        );
+        assert_ne!(
+            a.couplings().collect::<Vec<_>>(),
+            c.couplings().collect::<Vec<_>>()
+        );
+        assert!(a.couplings().all(|(_, j)| j == 1.0 || j == -1.0));
+    }
+
+    #[test]
+    fn unit_weights_are_one() {
+        let g = gen::cycle(5);
+        let m = to_ising_unit(&g);
+        assert!(m.couplings().all(|(_, j)| j == 1.0));
+        assert_eq!(m.num_couplings(), 5);
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type shared by the crate's fallible operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by Ising-model construction, freezing and solving.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IsingError {
+    /// A variable index was at or beyond the model's variable count.
+    VariableOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The model's variable count.
+        num_vars: usize,
+    },
+    /// A quadratic term `J_ii` (self-coupling) was requested.
+    SelfCoupling(usize),
+    /// A spin value other than ±1 was supplied.
+    InvalidSpin(i8),
+    /// A bitstring contained a character other than '0'/'1'.
+    InvalidBitstring(char),
+    /// An assignment's length did not match the model's variable count.
+    DimensionMismatch {
+        /// Length of the supplied assignment.
+        got: usize,
+        /// Variable count of the model.
+        expected: usize,
+    },
+    /// The same variable was frozen twice in one freezing request.
+    DuplicateFreeze(usize),
+    /// The exact solver was asked for a state space beyond its limit.
+    ProblemTooLarge {
+        /// Requested variable count.
+        num_vars: usize,
+        /// Maximum supported by the exhaustive solver.
+        limit: usize,
+    },
+    /// A coefficient was non-finite (NaN or ±∞).
+    NonFiniteCoefficient {
+        /// Human-readable location of the coefficient (e.g. `h[3]`).
+        place: String,
+    },
+    /// An operation required a non-empty model or distribution.
+    Empty,
+}
+
+impl fmt::Display for IsingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsingError::VariableOutOfRange { index, num_vars } => {
+                write!(f, "variable index {index} out of range for {num_vars} variables")
+            }
+            IsingError::SelfCoupling(i) => write!(f, "self-coupling J[{i},{i}] is not allowed"),
+            IsingError::InvalidSpin(v) => write!(f, "spin value must be +1 or -1, got {v}"),
+            IsingError::InvalidBitstring(c) => {
+                write!(f, "bitstring may only contain '0' and '1', got {c:?}")
+            }
+            IsingError::DimensionMismatch { got, expected } => {
+                write!(f, "assignment has {got} spins but the model has {expected} variables")
+            }
+            IsingError::DuplicateFreeze(i) => {
+                write!(f, "variable {i} appears more than once in the freeze set")
+            }
+            IsingError::ProblemTooLarge { num_vars, limit } => {
+                write!(f, "exhaustive search over {num_vars} variables exceeds the limit of {limit}")
+            }
+            IsingError::NonFiniteCoefficient { place } => {
+                write!(f, "coefficient {place} must be finite")
+            }
+            IsingError::Empty => write!(f, "operation requires a non-empty input"),
+        }
+    }
+}
+
+impl Error for IsingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            IsingError::VariableOutOfRange { index: 5, num_vars: 3 },
+            IsingError::SelfCoupling(1),
+            IsingError::InvalidSpin(0),
+            IsingError::InvalidBitstring('x'),
+            IsingError::DimensionMismatch { got: 2, expected: 3 },
+            IsingError::DuplicateFreeze(0),
+            IsingError::ProblemTooLarge { num_vars: 64, limit: 30 },
+            IsingError::NonFiniteCoefficient { place: "h[0]".into() },
+            IsingError::Empty,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsingError>();
+    }
+}

@@ -1,0 +1,368 @@
+//! Freezing qubits: substituting variables with ±1 (Eqs. 2–3, Table 2).
+//!
+//! Freezing variable `k` with spin `s` eliminates `z_k` from the
+//! Hamiltonian:
+//!
+//! * every coupling `J_ik` folds into the linear term `h_i += J_ik · s`;
+//! * the linear term `h_k` folds into the offset `offset += h_k · s`;
+//! * remaining variables are re-indexed densely (`i > k` shifts down).
+//!
+//! Freezing `m` variables therefore partitions the `2^N` state space into
+//! `2^m` disjoint sub-spaces of `2^{N−m}` points each, one per assignment of
+//! the frozen spins; [`enumerate_subproblems`] produces all of them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{IsingError, IsingModel, Spin, SpinVec};
+
+/// A sub-problem obtained by freezing one or more variables of a parent
+/// [`IsingModel`], together with the bookkeeping needed to lift solutions
+/// back to the parent's variable space.
+///
+/// The sub-model's energies are **absolute**: for any sub-assignment `y`,
+/// `sub.model().energy(y) == parent.energy(decode(y))`. This is what makes
+/// the final recombination step of FrozenQubits a plain `min` over
+/// sub-problem optima (§3.6), with no exponential post-processing.
+///
+/// # Example
+///
+/// ```
+/// use fq_ising::{IsingModel, Spin, SpinVec};
+///
+/// let mut parent = IsingModel::new(3);
+/// parent.set_coupling(0, 1, 1.0)?;
+/// parent.set_coupling(1, 2, 1.0)?;
+///
+/// let sub = parent.freeze(&[(1, Spin::DOWN)])?;
+/// let y = SpinVec::from_bits(&[0, 0]); // spins of z0, z2
+/// let full = sub.decode(&y)?;
+/// assert_eq!(full.spin(1), Spin::DOWN);
+/// assert_eq!(parent.energy(&full)?, sub.model().energy(&y)?);
+/// # Ok::<(), fq_ising::IsingError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FrozenProblem {
+    model: IsingModel,
+    frozen: Vec<(usize, Spin)>,
+    index_map: Vec<usize>,
+    parent_vars: usize,
+}
+
+impl FrozenProblem {
+    /// The reduced Hamiltonian over the surviving variables.
+    #[must_use]
+    pub fn model(&self) -> &IsingModel {
+        &self.model
+    }
+
+    /// The frozen `(parent_index, spin)` assignments, in parent indexing.
+    #[must_use]
+    pub fn frozen(&self) -> &[(usize, Spin)] {
+        &self.frozen
+    }
+
+    /// Number of variables of the parent problem.
+    #[must_use]
+    pub fn parent_vars(&self) -> usize {
+        self.parent_vars
+    }
+
+    /// Maps a surviving variable's sub-index to its parent index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub_index` is out of range for the sub-model.
+    #[must_use]
+    pub fn parent_index(&self, sub_index: usize) -> usize {
+        self.index_map[sub_index]
+    }
+
+    /// Lifts a sub-assignment to a full parent assignment by re-inserting
+    /// the frozen spins (the `O(m)`-per-outcome decode of §3.8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::DimensionMismatch`] if `sub` does not match the
+    /// sub-model's variable count.
+    pub fn decode(&self, sub: &SpinVec) -> Result<SpinVec, IsingError> {
+        if sub.len() != self.model.num_vars() {
+            return Err(IsingError::DimensionMismatch {
+                got: sub.len(),
+                expected: self.model.num_vars(),
+            });
+        }
+        let mut full = SpinVec::all_up(self.parent_vars);
+        for (sub_idx, &parent_idx) in self.index_map.iter().enumerate() {
+            full.set(parent_idx, sub.spin(sub_idx));
+        }
+        for &(k, s) in &self.frozen {
+            full.set(k, s);
+        }
+        Ok(full)
+    }
+
+    /// Projects a full parent assignment down to the sub-model's variables,
+    /// discarding the frozen positions. Inverse of [`FrozenProblem::decode`]
+    /// on the surviving coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::DimensionMismatch`] if `full` does not match the
+    /// parent's variable count.
+    pub fn project(&self, full: &SpinVec) -> Result<SpinVec, IsingError> {
+        if full.len() != self.parent_vars {
+            return Err(IsingError::DimensionMismatch {
+                got: full.len(),
+                expected: self.parent_vars,
+            });
+        }
+        Ok(self.index_map.iter().map(|&p| full.spin(p)).collect())
+    }
+
+    /// Whether `full` lies in this sub-problem's half/quarter/... of the
+    /// parent state space, i.e. agrees with every frozen spin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::DimensionMismatch`] if `full` does not match the
+    /// parent's variable count.
+    pub fn contains(&self, full: &SpinVec) -> Result<bool, IsingError> {
+        if full.len() != self.parent_vars {
+            return Err(IsingError::DimensionMismatch {
+                got: full.len(),
+                expected: self.parent_vars,
+            });
+        }
+        Ok(self.frozen.iter().all(|&(k, s)| full.spin(k) == s))
+    }
+}
+
+impl IsingModel {
+    /// Freezes the given `(variable, spin)` assignments, producing the
+    /// sub-Hamiltonian of Eqs. (2)–(3) with re-indexed variables.
+    ///
+    /// Indices refer to **this** model's numbering regardless of order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::VariableOutOfRange`] for a bad index and
+    /// [`IsingError::DuplicateFreeze`] if a variable appears twice.
+    pub fn freeze(&self, assignments: &[(usize, Spin)]) -> Result<FrozenProblem, IsingError> {
+        let n = self.num_vars();
+        let mut frozen_spin: Vec<Option<Spin>> = vec![None; n];
+        for &(k, s) in assignments {
+            if k >= n {
+                return Err(IsingError::VariableOutOfRange { index: k, num_vars: n });
+            }
+            if frozen_spin[k].is_some() {
+                return Err(IsingError::DuplicateFreeze(k));
+            }
+            frozen_spin[k] = Some(s);
+        }
+
+        // Dense re-indexing of the survivors.
+        let index_map: Vec<usize> = (0..n).filter(|&i| frozen_spin[i].is_none()).collect();
+        let mut sub_index = vec![usize::MAX; n];
+        for (si, &pi) in index_map.iter().enumerate() {
+            sub_index[pi] = si;
+        }
+
+        let mut sub = IsingModel::new(index_map.len());
+        let mut offset = self.offset();
+        for (i, hi) in self.linears() {
+            match frozen_spin[i] {
+                Some(s) => offset += hi * s.as_f64(),
+                None => sub.set_linear(sub_index[i], hi)?,
+            }
+        }
+        for ((i, j), jij) in self.couplings() {
+            match (frozen_spin[i], frozen_spin[j]) {
+                (Some(si), Some(sj)) => offset += jij * si.as_f64() * sj.as_f64(),
+                (Some(si), None) => sub.add_linear(sub_index[j], jij * si.as_f64())?,
+                (None, Some(sj)) => sub.add_linear(sub_index[i], jij * sj.as_f64())?,
+                (None, None) => sub.add_coupling(sub_index[i], sub_index[j], jij)?,
+            }
+        }
+        sub.set_offset(offset);
+
+        Ok(FrozenProblem {
+            model: sub,
+            frozen: assignments.to_vec(),
+            index_map,
+            parent_vars: n,
+        })
+    }
+}
+
+/// Enumerates all `2^m` sub-problems from freezing the given variables.
+///
+/// Sub-problem `b` (for bitmask `b` in `0..2^m`) assigns `qubits[t]` the
+/// spin `+1` when bit `t` of `b` is 0 and `−1` when it is 1, so index 0 is
+/// the all-`+1` branch.
+///
+/// # Errors
+///
+/// Returns [`IsingError::VariableOutOfRange`] / [`IsingError::DuplicateFreeze`]
+/// under the same conditions as [`IsingModel::freeze`], and
+/// [`IsingError::ProblemTooLarge`] when `m > 20` (2^m sub-problems would be
+/// absurd; the paper's default is m ≤ 2 and its largest study is m = 10).
+pub fn enumerate_subproblems(
+    model: &IsingModel,
+    qubits: &[usize],
+) -> Result<Vec<FrozenProblem>, IsingError> {
+    let m = qubits.len();
+    if m > 20 {
+        return Err(IsingError::ProblemTooLarge { num_vars: m, limit: 20 });
+    }
+    let mut out = Vec::with_capacity(1 << m);
+    for mask in 0u64..(1u64 << m) {
+        let assignment: Vec<(usize, Spin)> = qubits
+            .iter()
+            .enumerate()
+            .map(|(t, &q)| {
+                let s = if (mask >> t) & 1 == 0 { Spin::UP } else { Spin::DOWN };
+                (q, s)
+            })
+            .collect();
+        out.push(model.freeze(&assignment)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 4-qubit example of Fig. 5: h = 0, star couplings around z3 plus
+    /// J02; freezing z3 must reproduce the two tabulated sub-spaces.
+    fn fig5_model() -> IsingModel {
+        let mut m = IsingModel::new(4);
+        m.set_coupling(0, 2, 1.0).unwrap();
+        m.set_coupling(0, 3, 1.0).unwrap();
+        m.set_coupling(1, 3, -1.0).unwrap();
+        m.set_coupling(2, 3, 1.0).unwrap();
+        m
+    }
+
+    #[test]
+    fn freeze_folds_couplings_into_linears() {
+        let m = fig5_model();
+        let plus = m.freeze(&[(3, Spin::UP)]).unwrap();
+        // h'_0 = J03·(+1) = 1, h'_1 = J13·(+1) = −1, h'_2 = J23·(+1) = 1
+        assert_eq!(plus.model().linear(0), 1.0);
+        assert_eq!(plus.model().linear(1), -1.0);
+        assert_eq!(plus.model().linear(2), 1.0);
+        // The only surviving coupling is J02.
+        assert_eq!(plus.model().num_couplings(), 1);
+        assert_eq!(plus.model().coupling(0, 1), 0.0);
+
+        let minus = m.freeze(&[(3, Spin::DOWN)]).unwrap();
+        assert_eq!(minus.model().linear(0), -1.0);
+        assert_eq!(minus.model().linear(1), 1.0);
+        assert_eq!(minus.model().linear(2), -1.0);
+    }
+
+    #[test]
+    fn offsets_follow_table_2() {
+        let mut m = fig5_model();
+        m.set_linear(3, 0.25).unwrap();
+        m.set_offset(1.0);
+        let plus = m.freeze(&[(3, Spin::UP)]).unwrap();
+        let minus = m.freeze(&[(3, Spin::DOWN)]).unwrap();
+        assert_eq!(plus.model().offset(), 1.25); // offset + h3
+        assert_eq!(minus.model().offset(), 0.75); // offset − h3
+    }
+
+    #[test]
+    fn sub_energy_equals_parent_energy_exhaustively() {
+        let m = fig5_model();
+        for sub in enumerate_subproblems(&m, &[3, 1]).unwrap() {
+            for idx in 0..4u64 {
+                let y = SpinVec::from_index(idx, 2);
+                let full = sub.decode(&y).unwrap();
+                assert!(sub.contains(&full).unwrap());
+                let e_sub = sub.model().energy(&y).unwrap();
+                let e_full = m.energy(&full).unwrap();
+                assert!((e_sub - e_full).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn subspaces_partition_the_state_space() {
+        let m = fig5_model();
+        let subs = enumerate_subproblems(&m, &[3]).unwrap();
+        assert_eq!(subs.len(), 2);
+        for idx in 0..16u64 {
+            let full = SpinVec::from_index(idx, 4);
+            let memberships = subs
+                .iter()
+                .filter(|s| s.contains(&full).unwrap())
+                .count();
+            assert_eq!(memberships, 1, "point {idx} must be in exactly one sub-space");
+        }
+    }
+
+    #[test]
+    fn decode_project_roundtrip() {
+        let m = fig5_model();
+        let sub = m.freeze(&[(1, Spin::DOWN), (3, Spin::UP)]).unwrap();
+        let y = SpinVec::from_bits(&[1, 0]);
+        let full = sub.decode(&y).unwrap();
+        assert_eq!(sub.project(&full).unwrap(), y);
+        assert_eq!(full.spin(1), Spin::DOWN);
+        assert_eq!(full.spin(3), Spin::UP);
+    }
+
+    #[test]
+    fn freeze_order_does_not_matter() {
+        let m = fig5_model();
+        let a = m.freeze(&[(1, Spin::DOWN), (3, Spin::UP)]).unwrap();
+        let b = m.freeze(&[(3, Spin::UP), (1, Spin::DOWN)]).unwrap();
+        assert_eq!(a.model(), b.model());
+        assert_eq!(a.parent_index(0), 0);
+        assert_eq!(a.parent_index(1), 2);
+    }
+
+    #[test]
+    fn sequential_freeze_equals_joint_freeze() {
+        let m = fig5_model();
+        let joint = m.freeze(&[(3, Spin::UP), (1, Spin::DOWN)]).unwrap();
+        let step1 = m.freeze(&[(3, Spin::UP)]).unwrap();
+        // After freezing 3, parent index 1 is still sub-index 1.
+        let step2 = step1.model().freeze(&[(1, Spin::DOWN)]).unwrap();
+        assert_eq!(joint.model(), step2.model());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_indices() {
+        let m = fig5_model();
+        assert!(matches!(
+            m.freeze(&[(0, Spin::UP), (0, Spin::DOWN)]),
+            Err(IsingError::DuplicateFreeze(0))
+        ));
+        assert!(matches!(
+            m.freeze(&[(9, Spin::UP)]),
+            Err(IsingError::VariableOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn enumerate_mask_convention() {
+        let m = fig5_model();
+        let subs = enumerate_subproblems(&m, &[3, 0]).unwrap();
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[0].frozen(), &[(3, Spin::UP), (0, Spin::UP)]);
+        assert_eq!(subs[1].frozen(), &[(3, Spin::DOWN), (0, Spin::UP)]);
+        assert_eq!(subs[2].frozen(), &[(3, Spin::UP), (0, Spin::DOWN)]);
+        assert_eq!(subs[3].frozen(), &[(3, Spin::DOWN), (0, Spin::DOWN)]);
+    }
+
+    #[test]
+    fn freezing_hotspot_drops_its_edges() {
+        let m = fig5_model();
+        // z3 has degree 3 of the 4 edges.
+        let sub = m.freeze(&[(3, Spin::UP)]).unwrap();
+        assert_eq!(m.num_couplings() - sub.model().num_couplings(), 3);
+    }
+}

@@ -1,0 +1,112 @@
+//! Max-Cut encoding (§2.1 of the paper).
+//!
+//! For every edge `(i, j)` with weight `w_ij`, the Ising Hamiltonian gains
+//! the term `w_ij·z_i·z_j`; minimizing it pushes adjacent nodes into
+//! opposite partitions (`z_i·z_j = −1` means "separate cuts"). All node
+//! weights are zero, so Max-Cut instances always satisfy the spin-flip
+//! symmetry precondition of §3.7.2.
+
+use crate::{IsingError, IsingModel, SpinVec};
+
+/// Builds the Max-Cut Ising Hamiltonian for weighted `edges` over
+/// `num_nodes` nodes: `C(z) = Σ w_ij·z_i·z_j`.
+///
+/// Repeated edges accumulate their weights.
+///
+/// # Errors
+///
+/// Returns [`IsingError::VariableOutOfRange`] for an endpoint beyond
+/// `num_nodes` and [`IsingError::SelfCoupling`] for self-loops.
+///
+/// # Example
+///
+/// ```
+/// use fq_ising::maxcut::{cut_value, maxcut_to_ising};
+/// use fq_ising::SpinVec;
+///
+/// // A triangle: the best cut severs 2 of the 3 edges.
+/// let edges = [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)];
+/// let model = maxcut_to_ising(3, &edges)?;
+/// let z = SpinVec::from_bits(&[0, 1, 0]); // node 1 alone on one side
+/// assert_eq!(cut_value(&edges, &z)?, 2.0);
+/// // Ising energy = (#same-side) − (#cut) = 1 − 2 = −1
+/// assert_eq!(model.energy(&z)?, -1.0);
+/// # Ok::<(), fq_ising::IsingError>(())
+/// ```
+pub fn maxcut_to_ising(
+    num_nodes: usize,
+    edges: &[(usize, usize, f64)],
+) -> Result<IsingModel, IsingError> {
+    let mut m = IsingModel::new(num_nodes);
+    for &(i, j, w) in edges {
+        m.add_coupling(i, j, w)?;
+    }
+    Ok(m)
+}
+
+/// The total weight of edges crossing the partition induced by `z`
+/// (nodes with different spins are on different sides).
+///
+/// # Errors
+///
+/// Returns [`IsingError::VariableOutOfRange`] if an edge endpoint is outside
+/// the assignment.
+pub fn cut_value(edges: &[(usize, usize, f64)], z: &SpinVec) -> Result<f64, IsingError> {
+    let mut cut = 0.0;
+    for &(i, j, w) in edges {
+        if i >= z.len() || j >= z.len() {
+            return Err(IsingError::VariableOutOfRange {
+                index: i.max(j),
+                num_vars: z.len(),
+            });
+        }
+        if z.spin(i) != z.spin(j) {
+            cut += w;
+        }
+    }
+    Ok(cut)
+}
+
+/// Recovers the cut value from an Ising energy of a Max-Cut model:
+/// `cut = (W − C(z)) / 2` where `W` is the total edge weight.
+#[must_use]
+pub fn cut_from_energy(total_weight: f64, energy: f64) -> f64 {
+    (total_weight - energy) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symmetry::is_spin_flip_symmetric;
+
+    #[test]
+    fn triangle_cut_and_energy_are_consistent() {
+        let edges = [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)];
+        let m = maxcut_to_ising(3, &edges).unwrap();
+        let total: f64 = edges.iter().map(|e| e.2).sum();
+        for idx in 0..8u64 {
+            let z = SpinVec::from_index(idx, 3);
+            let direct = cut_value(&edges, &z).unwrap();
+            let via_energy = cut_from_energy(total, m.energy(&z).unwrap());
+            assert!((direct - via_energy).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn maxcut_models_are_symmetric() {
+        let edges = [(0, 1, 2.0), (1, 2, -1.0)];
+        let m = maxcut_to_ising(3, &edges).unwrap();
+        assert!(is_spin_flip_symmetric(&m));
+    }
+
+    #[test]
+    fn repeated_edges_accumulate() {
+        let m = maxcut_to_ising(2, &[(0, 1, 1.0), (1, 0, 2.0)]).unwrap();
+        assert_eq!(m.coupling(0, 1), 3.0);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert!(maxcut_to_ising(2, &[(1, 1, 1.0)]).is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! QUBO (quadratic unconstrained binary optimization) form and its exact
+//! correspondence with the Ising form.
+//!
+//! Many applications (Table 1 of the paper) are naturally expressed over
+//! binary variables `x ∈ {0, 1}`; QAOA consumes the Ising form over spins
+//! `z ∈ {−1, +1}`. The two are related by `x = (1 − z)/2`, matching the
+//! convention that measuring `|0⟩` yields spin `+1`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{IsingError, IsingModel, SpinVec};
+
+/// A QUBO objective `f(x) = Σ_i q_ii·x_i + Σ_{i<j} q_ij·x_i·x_j + offset`
+/// over binary variables.
+///
+/// # Example
+///
+/// ```
+/// use fq_ising::Qubo;
+///
+/// let mut q = Qubo::new(2);
+/// q.set(0, 0, 1.0)?; // linear term on x0
+/// q.set(0, 1, -2.0)?; // quadratic term x0·x1
+///
+/// let ising = q.to_ising();
+/// // Energies must agree on all four assignments.
+/// assert_eq!(q.value(&[1, 1])?, ising.energy(&fq_ising::SpinVec::from_bits(&[1, 1]))?);
+/// # Ok::<(), fq_ising::IsingError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct Qubo {
+    num_vars: usize,
+    terms: BTreeMap<(usize, usize), f64>,
+    offset: f64,
+}
+
+impl Qubo {
+    /// Creates a QUBO over `num_vars` binary variables with all terms zero.
+    #[must_use]
+    pub fn new(num_vars: usize) -> Qubo {
+        Qubo {
+            num_vars,
+            terms: BTreeMap::new(),
+            offset: 0.0,
+        }
+    }
+
+    /// Number of binary variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The constant offset.
+    #[must_use]
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// Sets the constant offset.
+    pub fn set_offset(&mut self, offset: f64) {
+        self.offset = offset;
+    }
+
+    /// Sets coefficient `q_ij`; `i == j` denotes the linear term `x_i`
+    /// (since `x_i² = x_i` for binaries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::VariableOutOfRange`] for out-of-range indices
+    /// and [`IsingError::NonFiniteCoefficient`] for NaN/infinite values.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) -> Result<(), IsingError> {
+        for k in [i, j] {
+            if k >= self.num_vars {
+                return Err(IsingError::VariableOutOfRange {
+                    index: k,
+                    num_vars: self.num_vars,
+                });
+            }
+        }
+        if !value.is_finite() {
+            return Err(IsingError::NonFiniteCoefficient {
+                place: format!("q[{i},{j}]"),
+            });
+        }
+        let key = if i <= j { (i, j) } else { (j, i) };
+        if value == 0.0 {
+            self.terms.remove(&key);
+        } else {
+            self.terms.insert(key, value);
+        }
+        Ok(())
+    }
+
+    /// The coefficient `q_ij` (0 if unset).
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let key = if i <= j { (i, j) } else { (j, i) };
+        self.terms.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Evaluates `f(x)` over bits (any nonzero byte counts as 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::DimensionMismatch`] on length mismatch.
+    pub fn value(&self, x: &[u8]) -> Result<f64, IsingError> {
+        if x.len() != self.num_vars {
+            return Err(IsingError::DimensionMismatch {
+                got: x.len(),
+                expected: self.num_vars,
+            });
+        }
+        let b = |i: usize| f64::from(u8::from(x[i] != 0));
+        let mut v = self.offset;
+        for (&(i, j), &q) in &self.terms {
+            v += if i == j { q * b(i) } else { q * b(i) * b(j) };
+        }
+        Ok(v)
+    }
+
+    /// Converts to the equivalent Ising Hamiltonian via `x = (1 − z)/2`.
+    ///
+    /// The conversion is exact: for every assignment,
+    /// `qubo.value(x) == ising.energy(z)` where `z_i = +1 ⇔ x_i = 0`.
+    #[must_use]
+    pub fn to_ising(&self) -> IsingModel {
+        let mut m = IsingModel::new(self.num_vars);
+        let mut offset = self.offset;
+        for (&(i, j), &q) in &self.terms {
+            if i == j {
+                // q·x = q·(1−z)/2
+                offset += q / 2.0;
+                m.add_linear(i, -q / 2.0).expect("index validated at insert");
+            } else {
+                // q·x_i·x_j = q·(1−z_i)(1−z_j)/4
+                offset += q / 4.0;
+                m.add_linear(i, -q / 4.0).expect("index validated at insert");
+                m.add_linear(j, -q / 4.0).expect("index validated at insert");
+                m.add_coupling(i, j, q / 4.0).expect("index validated at insert");
+            }
+        }
+        m.set_offset(offset);
+        m
+    }
+
+    /// Converts an Ising Hamiltonian to the equivalent QUBO via
+    /// `z = 1 − 2x`.
+    #[must_use]
+    pub fn from_ising(model: &IsingModel) -> Qubo {
+        let mut q = Qubo::new(model.num_vars());
+        let mut offset = model.offset();
+        for (i, hi) in model.linears() {
+            if hi != 0.0 {
+                // h·z = h·(1 − 2x)
+                offset += hi;
+                add_term(&mut q, i, i, -2.0 * hi);
+            }
+        }
+        for ((i, j), jij) in model.couplings() {
+            // J·z_i·z_j = J·(1−2x_i)(1−2x_j)
+            offset += jij;
+            add_term(&mut q, i, i, -2.0 * jij);
+            add_term(&mut q, j, j, -2.0 * jij);
+            add_term(&mut q, i, j, 4.0 * jij);
+        }
+        q.set_offset(offset);
+        q
+    }
+
+    /// Evaluates the QUBO on the binary image of a spin assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsingError::DimensionMismatch`] on length mismatch.
+    pub fn value_of_spins(&self, z: &SpinVec) -> Result<f64, IsingError> {
+        let bits: Vec<u8> = z.iter().map(|s| s.to_bit()).collect();
+        self.value(&bits)
+    }
+}
+
+fn add_term(q: &mut Qubo, i: usize, j: usize, delta: f64) {
+    let current = q.get(i, j);
+    q.set(i, j, current + delta).expect("indices already validated");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_qubo() -> Qubo {
+        let mut q = Qubo::new(3);
+        q.set(0, 0, 1.0).unwrap();
+        q.set(1, 1, -2.0).unwrap();
+        q.set(0, 1, 3.0).unwrap();
+        q.set(1, 2, -1.0).unwrap();
+        q.set_offset(0.5);
+        q
+    }
+
+    #[test]
+    fn qubo_to_ising_preserves_values() {
+        let q = sample_qubo();
+        let m = q.to_ising();
+        for idx in 0..8u64 {
+            let z = SpinVec::from_index(idx, 3);
+            let viq = q.value_of_spins(&z).unwrap();
+            let vis = m.energy(&z).unwrap();
+            assert!((viq - vis).abs() < 1e-12, "mismatch at {idx}");
+        }
+    }
+
+    #[test]
+    fn ising_to_qubo_roundtrip_values() {
+        let q = sample_qubo();
+        let m = q.to_ising();
+        let q2 = Qubo::from_ising(&m);
+        for idx in 0..8u64 {
+            let z = SpinVec::from_index(idx, 3);
+            assert!((q.value_of_spins(&z).unwrap() - q2.value_of_spins(&z).unwrap()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn get_is_index_order_insensitive() {
+        let q = sample_qubo();
+        assert_eq!(q.get(1, 0), 3.0);
+        assert_eq!(q.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn value_validates_length() {
+        let q = sample_qubo();
+        assert!(q.value(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut q = Qubo::new(2);
+        assert!(q.set(0, 4, 1.0).is_err());
+        assert!(q.set(0, 1, f64::INFINITY).is_err());
+    }
+}

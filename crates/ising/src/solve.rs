@@ -1,0 +1,445 @@
+//! Classical solvers used to obtain reference optima (`C_min`) for the
+//! Approximation-Ratio metrics (Eqs. 4–5) and as sanity baselines.
+//!
+//! * [`exact_solve`] — exhaustive Gray-code search, exact up to 30 variables;
+//! * [`simulated_annealing`] — the standard workhorse for the 500-qubit
+//!   practical-scale study of §6, where exhaustive search is impossible;
+//! * [`greedy_descent`] — restarted single-spin-flip local search.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{IsingError, IsingModel, Spin, SpinVec};
+
+/// The result of an exhaustive search.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExactSolution {
+    /// One global minimizer (the first found in Gray-code order).
+    pub best: SpinVec,
+    /// The global minimum energy `C_min`.
+    pub energy: f64,
+    /// How many assignments attain the minimum (even for symmetric models).
+    pub num_optima: usize,
+}
+
+/// Exhaustively minimizes `C(z)` by enumerating the state space in Gray-code
+/// order, so each step flips exactly one spin and updates the energy in
+/// `O(deg)` time.
+///
+/// # Errors
+///
+/// Returns [`IsingError::ProblemTooLarge`] for models with more than 30
+/// variables, and [`IsingError::Empty`] for zero-variable models.
+///
+/// # Example
+///
+/// ```
+/// use fq_ising::{solve::exact_solve, IsingModel};
+///
+/// let mut m = IsingModel::new(2);
+/// m.set_coupling(0, 1, 1.0)?; // antiferromagnetic pair
+/// let sol = exact_solve(&m)?;
+/// assert_eq!(sol.energy, -1.0);
+/// assert_eq!(sol.num_optima, 2); // (+1,−1) and (−1,+1)
+/// # Ok::<(), fq_ising::IsingError>(())
+/// ```
+pub fn exact_solve(model: &IsingModel) -> Result<ExactSolution, IsingError> {
+    let n = model.num_vars();
+    if n == 0 {
+        return Err(IsingError::Empty);
+    }
+    if n > 30 {
+        return Err(IsingError::ProblemTooLarge { num_vars: n, limit: 30 });
+    }
+
+    let adj = model.adjacency();
+    let mut z = SpinVec::all_up(n);
+    let mut energy = model.energy(&z)?;
+    let mut best = z.clone();
+    let mut best_energy = energy;
+    let mut num_optima = 1usize;
+
+    for step in 1..(1u64 << n) {
+        // Gray code: bit flipped at step t is trailing_zeros(t).
+        let k = step.trailing_zeros() as usize;
+        let mut local = model.linear(k);
+        for &(j, jij) in &adj[k] {
+            local += jij * z.spin(j).as_f64();
+        }
+        energy += -2.0 * local * z.spin(k).as_f64();
+        z.flip(k);
+
+        if energy < best_energy - 1e-12 {
+            best_energy = energy;
+            best = z.clone();
+            num_optima = 1;
+        } else if (energy - best_energy).abs() <= 1e-12 {
+            num_optima += 1;
+        }
+    }
+
+    Ok(ExactSolution {
+        best,
+        energy: best_energy,
+        num_optima,
+    })
+}
+
+/// Configuration for [`simulated_annealing`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AnnealConfig {
+    /// Number of full sweeps (each sweep proposes one flip per variable).
+    pub sweeps: usize,
+    /// Independent restarts; the best result over restarts is returned.
+    pub restarts: usize,
+    /// Initial inverse temperature.
+    pub beta_start: f64,
+    /// Final inverse temperature.
+    pub beta_end: f64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            sweeps: 200,
+            restarts: 4,
+            beta_start: 0.1,
+            beta_end: 5.0,
+        }
+    }
+}
+
+/// Minimizes `C(z)` with restarted simulated annealing under a geometric
+/// inverse-temperature schedule. Deterministic for a fixed `seed`.
+///
+/// # Errors
+///
+/// Returns [`IsingError::Empty`] for zero-variable models.
+pub fn simulated_annealing(
+    model: &IsingModel,
+    config: &AnnealConfig,
+    seed: u64,
+) -> Result<(SpinVec, f64), IsingError> {
+    let n = model.num_vars();
+    if n == 0 {
+        return Err(IsingError::Empty);
+    }
+    let adj = model.adjacency();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<(SpinVec, f64)> = None;
+
+    for _ in 0..config.restarts.max(1) {
+        let mut z: SpinVec = (0..n)
+            .map(|_| if rng.random::<bool>() { Spin::UP } else { Spin::DOWN })
+            .collect();
+        let mut energy = model.energy(&z)?;
+        let sweeps = config.sweeps.max(1);
+        for sweep in 0..sweeps {
+            let t = sweep as f64 / sweeps as f64;
+            let beta = config.beta_start * (config.beta_end / config.beta_start).powf(t);
+            for _ in 0..n {
+                let k = rng.random_range(0..n);
+                let mut local = model.linear(k);
+                for &(j, jij) in &adj[k] {
+                    local += jij * z.spin(j).as_f64();
+                }
+                let delta = -2.0 * local * z.spin(k).as_f64();
+                if delta <= 0.0 || rng.random::<f64>() < (-beta * delta).exp() {
+                    z.flip(k);
+                    energy += delta;
+                }
+            }
+        }
+        // Polish with a greedy pass so the answer is at least locally optimal.
+        energy += descend(model, &adj, &mut z);
+        if best.as_ref().is_none_or(|(_, e)| energy < *e) {
+            best = Some((z, energy));
+        }
+    }
+
+    Ok(best.expect("at least one restart"))
+}
+
+/// Restarted steepest-descent local search over single spin flips.
+/// Deterministic for a fixed `seed`.
+///
+/// # Errors
+///
+/// Returns [`IsingError::Empty`] for zero-variable models.
+pub fn greedy_descent(
+    model: &IsingModel,
+    restarts: usize,
+    seed: u64,
+) -> Result<(SpinVec, f64), IsingError> {
+    let n = model.num_vars();
+    if n == 0 {
+        return Err(IsingError::Empty);
+    }
+    let adj = model.adjacency();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<(SpinVec, f64)> = None;
+    for _ in 0..restarts.max(1) {
+        let mut z: SpinVec = (0..n)
+            .map(|_| if rng.random::<bool>() { Spin::UP } else { Spin::DOWN })
+            .collect();
+        let mut energy = model.energy(&z)?;
+        energy += descend(model, &adj, &mut z);
+        if best.as_ref().is_none_or(|(_, e)| energy < *e) {
+            best = Some((z, energy));
+        }
+    }
+    Ok(best.expect("at least one restart"))
+}
+
+/// Configuration for [`tabu_search`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TabuConfig {
+    /// Total single-flip moves to attempt.
+    pub iterations: usize,
+    /// How many moves a flipped variable stays tabu.
+    pub tenure: usize,
+    /// Independent restarts.
+    pub restarts: usize,
+}
+
+impl Default for TabuConfig {
+    fn default() -> Self {
+        TabuConfig {
+            iterations: 2_000,
+            tenure: 10,
+            restarts: 2,
+        }
+    }
+}
+
+/// Minimizes `C(z)` with tabu search: best-improvement single-spin flips,
+/// a recency-based tabu list, and the standard aspiration criterion (a
+/// tabu move is allowed if it beats the best solution seen). Deterministic
+/// for a fixed `seed`.
+///
+/// Tabu search escapes the local minima that trap [`greedy_descent`] and
+/// typically matches [`simulated_annealing`] on frustrated instances with
+/// far fewer energy evaluations.
+///
+/// # Errors
+///
+/// Returns [`IsingError::Empty`] for zero-variable models.
+///
+/// # Example
+///
+/// ```
+/// use fq_ising::solve::{tabu_search, TabuConfig};
+/// use fq_ising::IsingModel;
+///
+/// let mut m = IsingModel::new(4);
+/// for i in 0..4 {
+///     m.set_coupling(i, (i + 1) % 4, 1.0)?; // antiferromagnetic ring
+/// }
+/// let (_, energy) = tabu_search(&m, &TabuConfig::default(), 1)?;
+/// assert_eq!(energy, -4.0);
+/// # Ok::<(), fq_ising::IsingError>(())
+/// ```
+pub fn tabu_search(
+    model: &IsingModel,
+    config: &TabuConfig,
+    seed: u64,
+) -> Result<(SpinVec, f64), IsingError> {
+    let n = model.num_vars();
+    if n == 0 {
+        return Err(IsingError::Empty);
+    }
+    let adj = model.adjacency();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<(SpinVec, f64)> = None;
+
+    for _ in 0..config.restarts.max(1) {
+        let mut z: SpinVec = (0..n)
+            .map(|_| if rng.random::<bool>() { Spin::UP } else { Spin::DOWN })
+            .collect();
+        let mut energy = model.energy(&z)?;
+        let mut local_best = energy;
+        let mut tabu_until = vec![0usize; n];
+        // A tenure close to n makes nearly every variable tabu and forces
+        // deterministic cycling; cap it well below the variable count and
+        // jitter it so cycles break.
+        let base_tenure = config.tenure.min((n / 3).max(1));
+
+        for step in 1..=config.iterations.max(1) {
+            // Best admissible flip (non-tabu, or aspirating).
+            let mut chosen: Option<(usize, f64)> = None;
+            for k in 0..n {
+                let mut local = model.linear(k);
+                for &(j, jij) in &adj[k] {
+                    local += jij * z.spin(j).as_f64();
+                }
+                let delta = -2.0 * local * z.spin(k).as_f64();
+                let is_tabu = tabu_until[k] > step;
+                let aspirates = energy + delta < local_best - 1e-12;
+                if is_tabu && !aspirates {
+                    continue;
+                }
+                if chosen.is_none_or(|(_, d)| delta < d) {
+                    chosen = Some((k, delta));
+                }
+            }
+            let Some((k, delta)) = chosen else { break };
+            z.flip(k);
+            energy += delta;
+            tabu_until[k] = step + base_tenure + rng.random_range(0..=base_tenure);
+            if energy < local_best {
+                local_best = energy;
+            }
+            if best.as_ref().is_none_or(|(_, e)| energy < *e) {
+                best = Some((z.clone(), energy));
+            }
+        }
+        if best.as_ref().is_none_or(|(_, e)| energy < *e) {
+            best = Some((z, energy));
+        }
+    }
+    Ok(best.expect("at least one restart"))
+}
+
+/// Flips spins while any flip improves; returns the total energy change.
+fn descend(model: &IsingModel, adj: &[Vec<(usize, f64)>], z: &mut SpinVec) -> f64 {
+    let n = z.len();
+    let mut total = 0.0;
+    loop {
+        let mut improved = false;
+        for k in 0..n {
+            let mut local = model.linear(k);
+            for &(j, jij) in &adj[k] {
+                local += jij * z.spin(j).as_f64();
+            }
+            let delta = -2.0 * local * z.spin(k).as_f64();
+            if delta < -1e-12 {
+                z.flip(k);
+                total += delta;
+                improved = true;
+            }
+        }
+        if !improved {
+            return total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frustrated_ring(n: usize) -> IsingModel {
+        let mut m = IsingModel::new(n);
+        for i in 0..n {
+            let w = if i == 0 { -1.0 } else { 1.0 };
+            m.set_coupling(i, (i + 1) % n, w).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn exact_matches_naive_enumeration() {
+        let m = frustrated_ring(6);
+        let sol = exact_solve(&m).unwrap();
+        let mut naive_best = f64::INFINITY;
+        let mut naive_count = 0usize;
+        for idx in 0..64u64 {
+            let e = m.energy(&SpinVec::from_index(idx, 6)).unwrap();
+            if e < naive_best - 1e-12 {
+                naive_best = e;
+                naive_count = 1;
+            } else if (e - naive_best).abs() <= 1e-12 {
+                naive_count += 1;
+            }
+        }
+        assert!((sol.energy - naive_best).abs() < 1e-12);
+        assert_eq!(sol.num_optima, naive_count);
+        assert!((m.energy(&sol.best).unwrap() - sol.energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_respects_linear_terms_and_offset() {
+        let mut m = IsingModel::new(3);
+        m.set_linear(0, 10.0).unwrap();
+        m.set_linear(1, -1.0).unwrap();
+        m.set_offset(3.0);
+        let sol = exact_solve(&m).unwrap();
+        // Optimal: z0 = −1, z1 = +1, z2 free → energy 3 − 10 − 1 = −8, two optima.
+        assert!((sol.energy - -8.0).abs() < 1e-12);
+        assert_eq!(sol.num_optima, 2);
+    }
+
+    #[test]
+    fn exact_rejects_oversized_problems() {
+        let m = IsingModel::new(31);
+        assert!(matches!(exact_solve(&m), Err(IsingError::ProblemTooLarge { .. })));
+        assert!(matches!(exact_solve(&IsingModel::new(0)), Err(IsingError::Empty)));
+    }
+
+    #[test]
+    fn annealing_finds_exact_optimum_on_small_instances() {
+        let m = frustrated_ring(10);
+        let exact = exact_solve(&m).unwrap();
+        let (z, e) = simulated_annealing(&m, &AnnealConfig::default(), 7).unwrap();
+        assert!((e - exact.energy).abs() < 1e-9, "SA {e} vs exact {}", exact.energy);
+        assert!((m.energy(&z).unwrap() - e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let m = frustrated_ring(12);
+        let a = simulated_annealing(&m, &AnnealConfig::default(), 3).unwrap();
+        let b = simulated_annealing(&m, &AnnealConfig::default(), 3).unwrap();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn greedy_reaches_a_local_minimum() {
+        let m = frustrated_ring(8);
+        let (z, e) = greedy_descent(&m, 5, 11).unwrap();
+        assert!((m.energy(&z).unwrap() - e).abs() < 1e-12);
+        // No single flip improves.
+        for k in 0..8 {
+            assert!(m.flip_delta(&z, k).unwrap() >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn tabu_matches_exact_on_frustrated_rings() {
+        for n in [8usize, 11, 14] {
+            let m = frustrated_ring(n);
+            let exact = exact_solve(&m).unwrap();
+            let (z, e) = tabu_search(&m, &TabuConfig::default(), 5).unwrap();
+            assert!((e - exact.energy).abs() < 1e-9, "n={n}: tabu {e} vs {}", exact.energy);
+            assert!((m.energy(&z).unwrap() - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tabu_is_deterministic_per_seed() {
+        let m = frustrated_ring(12);
+        let a = tabu_search(&m, &TabuConfig::default(), 9).unwrap();
+        let b = tabu_search(&m, &TabuConfig::default(), 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tabu_escapes_greedy_traps() {
+        // On a larger frustrated instance, tabu should never do worse than
+        // single-restart greedy from the same seed.
+        let m = frustrated_ring(20);
+        let (_, greedy_e) = greedy_descent(&m, 1, 2).unwrap();
+        let (_, tabu_e) = tabu_search(&m, &TabuConfig::default(), 2).unwrap();
+        assert!(tabu_e <= greedy_e + 1e-12);
+    }
+
+    #[test]
+    fn symmetric_model_has_even_optima_in_exact_count() {
+        let m = frustrated_ring(5);
+        assert!(m.has_zero_linear_terms());
+        let sol = exact_solve(&m).unwrap();
+        assert_eq!(sol.num_optima % 2, 0);
+    }
+}

@@ -1,0 +1,384 @@
+//! The ±1 spin domain of Ising variables.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A classical spin value, the eigenvalue of a `z`-basis measurement.
+///
+/// Measuring `|0⟩` yields `+1` and `|1⟩` yields `−1` (§2.1 of the paper).
+/// The inner value is guaranteed to be `+1` or `−1`.
+///
+/// # Example
+///
+/// ```
+/// use fq_ising::Spin;
+///
+/// let up = Spin::UP;
+/// assert_eq!(up.value(), 1);
+/// assert_eq!(up.flipped(), Spin::DOWN);
+/// assert_eq!(Spin::from_bit(1), Spin::DOWN);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Spin(i8);
+
+impl Spin {
+    /// Spin `+1`, the measurement outcome of `|0⟩`.
+    pub const UP: Spin = Spin(1);
+    /// Spin `−1`, the measurement outcome of `|1⟩`.
+    pub const DOWN: Spin = Spin(-1);
+
+    /// Creates a spin from a raw `±1` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::IsingError::InvalidSpin`] for any value other than
+    /// `+1` or `−1`.
+    pub fn try_new(value: i8) -> Result<Spin, crate::IsingError> {
+        match value {
+            1 => Ok(Spin::UP),
+            -1 => Ok(Spin::DOWN),
+            other => Err(crate::IsingError::InvalidSpin(other)),
+        }
+    }
+
+    /// Maps the computational-basis bit `0 ↦ +1`, anything nonzero `↦ −1`.
+    #[must_use]
+    pub fn from_bit(bit: u8) -> Spin {
+        if bit == 0 {
+            Spin::UP
+        } else {
+            Spin::DOWN
+        }
+    }
+
+    /// The `±1` eigenvalue as an integer.
+    #[must_use]
+    pub fn value(self) -> i8 {
+        self.0
+    }
+
+    /// The `±1` eigenvalue as a float, convenient in energy sums.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.0)
+    }
+
+    /// The computational-basis bit: `+1 ↦ 0`, `−1 ↦ 1`.
+    #[must_use]
+    pub fn to_bit(self) -> u8 {
+        u8::from(self.0 < 0)
+    }
+
+    /// The opposite spin.
+    #[must_use]
+    pub fn flipped(self) -> Spin {
+        Spin(-self.0)
+    }
+}
+
+impl Default for Spin {
+    fn default() -> Self {
+        Spin::UP
+    }
+}
+
+impl fmt::Debug for Spin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", if self.0 > 0 { "+1" } else { "-1" })
+    }
+}
+
+impl fmt::Display for Spin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<Spin> for i8 {
+    fn from(s: Spin) -> i8 {
+        s.value()
+    }
+}
+
+impl From<Spin> for f64 {
+    fn from(s: Spin) -> f64 {
+        s.as_f64()
+    }
+}
+
+impl std::ops::Neg for Spin {
+    type Output = Spin;
+
+    fn neg(self) -> Spin {
+        self.flipped()
+    }
+}
+
+impl std::ops::Mul for Spin {
+    type Output = Spin;
+
+    fn mul(self, rhs: Spin) -> Spin {
+        Spin(self.0 * rhs.0)
+    }
+}
+
+/// An owned assignment of spins to all variables of a problem.
+///
+/// This is a thin wrapper over `Vec<Spin>` adding bitstring conversions and
+/// the global flip used by the symmetry argument of §3.7.2.
+///
+/// # Example
+///
+/// ```
+/// use fq_ising::SpinVec;
+///
+/// let s = SpinVec::from_bits(&[0, 1, 0]);
+/// assert_eq!(s.to_bitstring(), "010");
+/// assert_eq!(s.flipped().to_bitstring(), "101");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SpinVec(Vec<Spin>);
+
+impl SpinVec {
+    /// Creates an all-up assignment of `n` spins.
+    #[must_use]
+    pub fn all_up(n: usize) -> SpinVec {
+        SpinVec(vec![Spin::UP; n])
+    }
+
+    /// Creates an assignment from computational-basis bits (`0 ↦ +1`).
+    #[must_use]
+    pub fn from_bits(bits: &[u8]) -> SpinVec {
+        SpinVec(bits.iter().map(|&b| Spin::from_bit(b)).collect())
+    }
+
+    /// Creates an assignment of `n` spins from the low bits of `index`,
+    /// with variable `i` taking bit `i` (little-endian).
+    ///
+    /// This is the canonical enumeration order used by the exact solver and
+    /// the statevector simulator.
+    #[must_use]
+    pub fn from_index(index: u64, n: usize) -> SpinVec {
+        SpinVec(
+            (0..n)
+                .map(|i| Spin::from_bit(((index >> i) & 1) as u8))
+                .collect(),
+        )
+    }
+
+    /// The little-endian basis-state index of this assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment holds more than 64 spins.
+    #[must_use]
+    pub fn to_index(&self) -> u64 {
+        assert!(self.0.len() <= 64, "to_index supports at most 64 spins");
+        self.0
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, s)| acc | (u64::from(s.to_bit()) << i))
+    }
+
+    /// Number of spins.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the assignment is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrow the spins as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Spin] {
+        &self.0
+    }
+
+    /// The spin of variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn spin(&self, i: usize) -> Spin {
+        self.0[i]
+    }
+
+    /// Sets the spin of variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn set(&mut self, i: usize, s: Spin) {
+        self.0[i] = s;
+    }
+
+    /// Flips spin `i` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn flip(&mut self, i: usize) {
+        self.0[i] = self.0[i].flipped();
+    }
+
+    /// Returns the assignment with *every* spin flipped — the symmetric
+    /// partner point of §3.7.2.
+    #[must_use]
+    pub fn flipped(&self) -> SpinVec {
+        SpinVec(self.0.iter().map(|s| s.flipped()).collect())
+    }
+
+    /// Renders as a bitstring with variable 0 leftmost (`+1 ↦ '0'`).
+    #[must_use]
+    pub fn to_bitstring(&self) -> String {
+        self.0
+            .iter()
+            .map(|s| if s.to_bit() == 0 { '0' } else { '1' })
+            .collect()
+    }
+
+    /// Parses a bitstring with variable 0 leftmost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::IsingError::InvalidBitstring`] on any character other
+    /// than `'0'` or `'1'`.
+    pub fn parse_bitstring(s: &str) -> Result<SpinVec, crate::IsingError> {
+        s.chars()
+            .map(|c| match c {
+                '0' => Ok(Spin::UP),
+                '1' => Ok(Spin::DOWN),
+                other => Err(crate::IsingError::InvalidBitstring(other)),
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(SpinVec)
+    }
+
+    /// Iterate over the spins.
+    pub fn iter(&self) -> std::slice::Iter<'_, Spin> {
+        self.0.iter()
+    }
+}
+
+impl fmt::Debug for SpinVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpinVec({})", self.to_bitstring())
+    }
+}
+
+impl fmt::Display for SpinVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_bitstring())
+    }
+}
+
+impl From<Vec<Spin>> for SpinVec {
+    fn from(v: Vec<Spin>) -> SpinVec {
+        SpinVec(v)
+    }
+}
+
+impl From<SpinVec> for Vec<Spin> {
+    fn from(v: SpinVec) -> Vec<Spin> {
+        v.0
+    }
+}
+
+impl FromIterator<Spin> for SpinVec {
+    fn from_iter<I: IntoIterator<Item = Spin>>(iter: I) -> SpinVec {
+        SpinVec(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a SpinVec {
+    type Item = &'a Spin;
+    type IntoIter = std::slice::Iter<'a, Spin>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl IntoIterator for SpinVec {
+    type Item = Spin;
+    type IntoIter = std::vec::IntoIter<Spin>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl std::ops::Index<usize> for SpinVec {
+    type Output = Spin;
+
+    fn index(&self, i: usize) -> &Spin {
+        &self.0[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_roundtrips_bits() {
+        assert_eq!(Spin::from_bit(0), Spin::UP);
+        assert_eq!(Spin::from_bit(1), Spin::DOWN);
+        assert_eq!(Spin::UP.to_bit(), 0);
+        assert_eq!(Spin::DOWN.to_bit(), 1);
+    }
+
+    #[test]
+    fn spin_rejects_invalid() {
+        assert!(Spin::try_new(0).is_err());
+        assert!(Spin::try_new(2).is_err());
+        assert_eq!(Spin::try_new(1).unwrap(), Spin::UP);
+        assert_eq!(Spin::try_new(-1).unwrap(), Spin::DOWN);
+    }
+
+    #[test]
+    fn spin_algebra() {
+        assert_eq!(Spin::UP * Spin::UP, Spin::UP);
+        assert_eq!(Spin::UP * Spin::DOWN, Spin::DOWN);
+        assert_eq!(Spin::DOWN * Spin::DOWN, Spin::UP);
+        assert_eq!(-Spin::UP, Spin::DOWN);
+    }
+
+    #[test]
+    fn spinvec_index_roundtrip() {
+        for idx in 0..16u64 {
+            let v = SpinVec::from_index(idx, 4);
+            assert_eq!(v.to_index(), idx);
+        }
+    }
+
+    #[test]
+    fn spinvec_bitstring_roundtrip() {
+        let v = SpinVec::from_bits(&[0, 1, 1, 0, 1]);
+        assert_eq!(v.to_bitstring(), "01101");
+        assert_eq!(SpinVec::parse_bitstring("01101").unwrap(), v);
+        assert!(SpinVec::parse_bitstring("01x").is_err());
+    }
+
+    #[test]
+    fn spinvec_flip_is_involution() {
+        let v = SpinVec::from_bits(&[0, 1, 0, 0, 1, 1]);
+        assert_eq!(v.flipped().flipped(), v);
+        assert_ne!(v.flipped(), v);
+    }
+
+    #[test]
+    fn spinvec_little_endian_order() {
+        // index 1 = bit 0 set = variable 0 is DOWN.
+        let v = SpinVec::from_index(1, 3);
+        assert_eq!(v.spin(0), Spin::DOWN);
+        assert_eq!(v.spin(1), Spin::UP);
+        assert_eq!(v.spin(2), Spin::UP);
+    }
+}

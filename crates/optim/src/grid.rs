@@ -1,0 +1,135 @@
+//! Exhaustive 2-D parameter scans — the instrument behind the Fig. 12
+//! landscape study, which compares the baseline's blurred landscape with
+//! FrozenQubits' sharpened one over a 50×50 `(γ, β)` grid.
+
+use serde::{Deserialize, Serialize};
+
+/// A sampled 2-D objective landscape.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GridScan {
+    /// Scanned γ values (row axis).
+    pub gammas: Vec<f64>,
+    /// Scanned β values (column axis).
+    pub betas: Vec<f64>,
+    /// `values[i][j]` = objective at `(gammas[i], betas[j])`.
+    pub values: Vec<Vec<f64>>,
+    /// Position `(i, j)` of the minimum.
+    pub best_index: (usize, usize),
+}
+
+impl GridScan {
+    /// The minimizing `(γ, β)` pair.
+    #[must_use]
+    pub fn best_params(&self) -> (f64, f64) {
+        (self.gammas[self.best_index.0], self.betas[self.best_index.1])
+    }
+
+    /// The minimum sampled value.
+    #[must_use]
+    pub fn best_value(&self) -> f64 {
+        self.values[self.best_index.0][self.best_index.1]
+    }
+
+    /// Landscape contrast: `max − min` over the grid. The paper's Fig. 12
+    /// argument is that noise *blurs* the landscape — the baseline's
+    /// contrast collapses while FrozenQubits keeps its gradients sharp.
+    #[must_use]
+    pub fn contrast(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for row in &self.values {
+            for &v in row {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        hi - lo
+    }
+}
+
+/// Scans `f(γ, β)` over an inclusive `resolution × resolution` grid.
+///
+/// # Panics
+///
+/// Panics if `resolution < 2` or a range is reversed.
+///
+/// # Example
+///
+/// ```
+/// use fq_optim::grid_scan_2d;
+///
+/// let scan = grid_scan_2d(|g, b| g * g + (b - 1.0).powi(2), (-1.0, 1.0), (0.0, 2.0), 21);
+/// let (g, b) = scan.best_params();
+/// assert!(g.abs() < 0.11 && (b - 1.0).abs() < 0.11);
+/// ```
+pub fn grid_scan_2d(
+    mut f: impl FnMut(f64, f64) -> f64,
+    gamma_range: (f64, f64),
+    beta_range: (f64, f64),
+    resolution: usize,
+) -> GridScan {
+    assert!(resolution >= 2, "grid scan needs at least 2 points per axis");
+    assert!(gamma_range.0 <= gamma_range.1 && beta_range.0 <= beta_range.1, "ranges must be ascending");
+    let axis = |lo: f64, hi: f64| -> Vec<f64> {
+        (0..resolution)
+            .map(|k| lo + (hi - lo) * k as f64 / (resolution - 1) as f64)
+            .collect()
+    };
+    let gammas = axis(gamma_range.0, gamma_range.1);
+    let betas = axis(beta_range.0, beta_range.1);
+    let mut values = Vec::with_capacity(resolution);
+    let mut best = (0usize, 0usize, f64::INFINITY);
+    for (i, &g) in gammas.iter().enumerate() {
+        let mut row = Vec::with_capacity(resolution);
+        for (j, &b) in betas.iter().enumerate() {
+            let v = f(g, b);
+            if v < best.2 {
+                best = (i, j, v);
+            }
+            row.push(v);
+        }
+        values.push(row);
+    }
+    GridScan {
+        gammas,
+        betas,
+        values,
+        best_index: (best.0, best.1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_grid_minimum() {
+        let scan = grid_scan_2d(|g, b| (g - 0.5).powi(2) + (b + 0.5).powi(2), (-1.0, 1.0), (-1.0, 1.0), 41);
+        let (g, b) = scan.best_params();
+        assert!((g - 0.5).abs() < 0.06);
+        assert!((b + 0.5).abs() < 0.06);
+        assert_eq!(scan.values.len(), 41);
+        assert_eq!(scan.values[0].len(), 41);
+    }
+
+    #[test]
+    fn contrast_measures_spread() {
+        let flat = grid_scan_2d(|_, _| 1.0, (0.0, 1.0), (0.0, 1.0), 5);
+        assert_eq!(flat.contrast(), 0.0);
+        let bowl = grid_scan_2d(|g, b| g + b, (0.0, 1.0), (0.0, 1.0), 5);
+        assert_eq!(bowl.contrast(), 2.0);
+    }
+
+    #[test]
+    fn endpoints_are_included() {
+        let scan = grid_scan_2d(|g, _| g, (-2.0, 3.0), (0.0, 1.0), 11);
+        assert_eq!(scan.gammas[0], -2.0);
+        assert_eq!(*scan.gammas.last().unwrap(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 points")]
+    fn tiny_resolution_panics() {
+        let _ = grid_scan_2d(|_, _| 0.0, (0.0, 1.0), (0.0, 1.0), 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Nelder–Mead downhill simplex minimization.
+
+use serde::{Deserialize, Serialize};
+
+use crate::OptimResult;
+
+/// Options for [`nelder_mead`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations.
+    pub max_evaluations: usize,
+    /// Convergence tolerance on the simplex's value spread.
+    pub value_tolerance: f64,
+    /// Initial simplex step added to each coordinate of the start point.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_evaluations: 2_000,
+            value_tolerance: 1e-10,
+            initial_step: 0.25,
+        }
+    }
+}
+
+/// Minimizes `f` from `x0` with the Nelder–Mead simplex method
+/// (reflection/expansion/contraction/shrink with the standard
+/// coefficients 1, 2, ½, ½).
+///
+/// # Panics
+///
+/// Panics if `x0` is empty.
+///
+/// # Example
+///
+/// ```
+/// use fq_optim::{nelder_mead, NelderMeadOptions};
+///
+/// let r = nelder_mead(|p: &[f64]| (p[0] - 0.5).abs(), &[3.0], &NelderMeadOptions::default());
+/// assert!((r.best_params[0] - 0.5).abs() < 1e-3);
+/// ```
+pub fn nelder_mead(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    options: &NelderMeadOptions,
+) -> OptimResult {
+    assert!(!x0.is_empty(), "nelder-mead needs at least one parameter");
+    let dim = x0.len();
+    let mut evaluations = 0usize;
+    let mut trace: Vec<f64> = Vec::new();
+    let mut best_so_far = f64::INFINITY;
+    let mut eval = |p: &[f64], evaluations: &mut usize, trace: &mut Vec<f64>| -> f64 {
+        let v = f(p);
+        *evaluations += 1;
+        if v < best_so_far {
+            best_so_far = v;
+        }
+        trace.push(best_so_far);
+        v
+    };
+
+    // Initial simplex: x0 plus one step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(dim + 1);
+    let v0 = eval(x0, &mut evaluations, &mut trace);
+    simplex.push((x0.to_vec(), v0));
+    for d in 0..dim {
+        let mut x = x0.to_vec();
+        x[d] += options.initial_step;
+        let v = eval(&x, &mut evaluations, &mut trace);
+        simplex.push((x, v));
+    }
+
+    while evaluations < options.max_evaluations {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective must be finite"));
+        let value_spread = simplex[dim].1 - simplex[0].1;
+        // Converged only when both the values AND the vertices have
+        // collapsed; vertices straddling a symmetric minimum can have equal
+        // values while still being far apart.
+        let size = simplex[1..]
+            .iter()
+            .flat_map(|(x, _)| x.iter().zip(&simplex[0].0).map(|(a, b)| (a - b).abs()))
+            .fold(0.0f64, f64::max);
+        if value_spread.abs() <= options.value_tolerance && size <= options.value_tolerance.sqrt() {
+            break;
+        }
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; dim];
+        for (x, _) in &simplex[..dim] {
+            for (c, xi) in centroid.iter_mut().zip(x) {
+                *c += xi / dim as f64;
+            }
+        }
+        let worst = simplex[dim].clone();
+        let second_worst_value = simplex[dim - 1].1;
+
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&worst.0)
+            .map(|(c, w)| c + (c - w))
+            .collect();
+        let v_reflect = eval(&reflect, &mut evaluations, &mut trace);
+
+        if v_reflect < simplex[0].1 {
+            // Try expanding further.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + 2.0 * (c - w))
+                .collect();
+            let v_expand = eval(&expand, &mut evaluations, &mut trace);
+            simplex[dim] = if v_expand < v_reflect {
+                (expand, v_expand)
+            } else {
+                (reflect, v_reflect)
+            };
+        } else if v_reflect < second_worst_value {
+            simplex[dim] = (reflect, v_reflect);
+        } else {
+            // Contract toward the centroid.
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + 0.5 * (w - c))
+                .collect();
+            let v_contract = eval(&contract, &mut evaluations, &mut trace);
+            if v_contract < worst.1 {
+                simplex[dim] = (contract, v_contract);
+            } else {
+                // Shrink everything toward the best point.
+                let best = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let shrunk: Vec<f64> = best
+                        .iter()
+                        .zip(&entry.0)
+                        .map(|(b, x)| b + 0.5 * (x - b))
+                        .collect();
+                    let v = eval(&shrunk, &mut evaluations, &mut trace);
+                    *entry = (shrunk, v);
+                }
+            }
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective must be finite"));
+    OptimResult {
+        best_params: simplex[0].0.clone(),
+        best_value: simplex[0].1,
+        evaluations,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let r = nelder_mead(
+            |p: &[f64]| (p[0] - 2.0).powi(2) + 3.0 * (p[1] - 1.0).powi(2) + 5.0,
+            &[-1.0, -1.0],
+            &NelderMeadOptions::default(),
+        );
+        assert!((r.best_params[0] - 2.0).abs() < 1e-4, "{:?}", r.best_params);
+        assert!((r.best_params[1] - 1.0).abs() < 1e-4);
+        assert!((r.best_value - 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_reasonably() {
+        let rosen = |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
+        let r = nelder_mead(rosen, &[-1.2, 1.0], &NelderMeadOptions {
+            max_evaluations: 5_000,
+            ..NelderMeadOptions::default()
+        });
+        assert!(r.best_value < 1e-6, "value {}", r.best_value);
+    }
+
+    #[test]
+    fn respects_evaluation_budget() {
+        let r = nelder_mead(
+            |p: &[f64]| p[0].sin() + p[1].cos(),
+            &[0.0, 0.0],
+            &NelderMeadOptions { max_evaluations: 50, ..NelderMeadOptions::default() },
+        );
+        // Budget may be exceeded only by the evaluations inside one final
+        // iteration (at most dim+1 extra).
+        assert!(r.evaluations <= 50 + 3);
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        let r = nelder_mead(|p: &[f64]| (p[0] + 4.0).powi(2), &[10.0], &NelderMeadOptions::default());
+        assert!((r.best_params[0] + 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one parameter")]
+    fn empty_start_panics() {
+        let _ = nelder_mead(|_: &[f64]| 0.0, &[], &NelderMeadOptions::default());
+    }
+}

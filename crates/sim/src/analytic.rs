@@ -1,0 +1,292 @@
+//! Closed-form single-layer (p = 1) QAOA expectation values.
+//!
+//! For the state `|γ, β⟩ = e^{−iβ·ΣX} · e^{−iγ·C} · |+⟩^{⊗n}` over an
+//! arbitrary Ising Hamiltonian, the expectations `⟨Z_a⟩` and `⟨Z_a Z_b⟩`
+//! have exact product formulas (Ozaeta, van Dam & McMahon, *Quantum Sci.
+//! Technol.* 2022). They evaluate in `O(deg)` per term — no statevector —
+//! which is what makes the 500-qubit practical-scale figures and the 50×50
+//! landscape scans tractable. The statevector simulator cross-validates
+//! these formulas in this module's tests.
+
+use fq_ising::IsingModel;
+
+use crate::SimError;
+
+/// `⟨Z_a⟩` after one QAOA layer with angles `(γ, β)`.
+///
+/// # Errors
+///
+/// Returns [`SimError::WidthMismatch`] if `a` is out of range.
+///
+/// # Example
+///
+/// ```
+/// use fq_ising::IsingModel;
+/// use fq_sim::analytic::expectation_z;
+///
+/// // Zero linear term ⇒ ⟨Z⟩ = 0 by symmetry, at any angles.
+/// let mut m = IsingModel::new(2);
+/// m.set_coupling(0, 1, 1.0)?;
+/// assert_eq!(expectation_z(&m, 0, 0.4, 0.9)?, 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn expectation_z(model: &IsingModel, a: usize, gamma: f64, beta: f64) -> Result<f64, SimError> {
+    if a >= model.num_vars() {
+        return Err(SimError::WidthMismatch {
+            circuit: a + 1,
+            state: model.num_vars(),
+        });
+    }
+    let h_a = model.linear(a);
+    if h_a == 0.0 {
+        // sin(2γ·0) = 0; skip the neighbour product entirely.
+        return Ok(0.0);
+    }
+    let mut prod = 1.0;
+    for ((i, j), jij) in model.couplings() {
+        if i == a || j == a {
+            prod *= (2.0 * gamma * jij).cos();
+        }
+    }
+    Ok((2.0 * beta).sin() * (2.0 * gamma * h_a).sin() * prod)
+}
+
+/// `⟨Z_a Z_b⟩` after one QAOA layer with angles `(γ, β)`, for any pair.
+///
+/// # Errors
+///
+/// Returns [`SimError::WidthMismatch`] for out-of-range indices and
+/// [`SimError::InvalidParameters`] when `a == b`.
+pub fn expectation_zz(
+    model: &IsingModel,
+    a: usize,
+    b: usize,
+    gamma: f64,
+    beta: f64,
+) -> Result<f64, SimError> {
+    let n = model.num_vars();
+    if a >= n || b >= n {
+        return Err(SimError::WidthMismatch { circuit: a.max(b) + 1, state: n });
+    }
+    if a == b {
+        return Err(SimError::InvalidParameters("⟨Z_aZ_b⟩ needs distinct spins".into()));
+    }
+
+    // Gather coupling views J_ac and J_bc for every third spin c.
+    let mut j_ac = vec![0.0f64; n];
+    let mut j_bc = vec![0.0f64; n];
+    let mut j_ab = 0.0f64;
+    for ((i, j), jij) in model.couplings() {
+        if (i, j) == (a.min(b), a.max(b)) {
+            j_ab = jij;
+        } else if i == a {
+            j_ac[j] = jij;
+        } else if j == a {
+            j_ac[i] = jij;
+        } else if i == b {
+            j_bc[j] = jij;
+        } else if j == b {
+            j_bc[i] = jij;
+        }
+    }
+    let h_a = model.linear(a);
+    let h_b = model.linear(b);
+    let g2 = 2.0 * gamma;
+
+    // First term: (sin 4β / 2) · sin(2γJ_ab) · [cos-chain(a) + cos-chain(b)].
+    let mut chain_a = (g2 * h_a).cos();
+    let mut chain_b = (g2 * h_b).cos();
+    for c in 0..n {
+        if c == a || c == b {
+            continue;
+        }
+        if j_ac[c] != 0.0 {
+            chain_a *= (g2 * j_ac[c]).cos();
+        }
+        if j_bc[c] != 0.0 {
+            chain_b *= (g2 * j_bc[c]).cos();
+        }
+    }
+    let term1 = 0.5 * (4.0 * beta).sin() * (g2 * j_ab).sin() * (chain_a + chain_b);
+
+    // Second term: −(sin²2β / 2)·[cos(2γ(h_a+h_b))·F⁺ − cos(2γ(h_a−h_b))·F⁻]
+    // with F± = Π_c cos(2γ(J_ac ± J_bc)).
+    let mut f_plus = 1.0;
+    let mut f_minus = 1.0;
+    for c in 0..n {
+        if c == a || c == b {
+            continue;
+        }
+        if j_ac[c] != 0.0 || j_bc[c] != 0.0 {
+            f_plus *= (g2 * (j_ac[c] + j_bc[c])).cos();
+            f_minus *= (g2 * (j_ac[c] - j_bc[c])).cos();
+        }
+    }
+    let s2b = (2.0 * beta).sin();
+    let term2 = -0.5
+        * s2b
+        * s2b
+        * ((g2 * (h_a + h_b)).cos() * f_plus - (g2 * (h_a - h_b)).cos() * f_minus);
+
+    Ok(term1 + term2)
+}
+
+/// The full p = 1 QAOA expectation `⟨C⟩ = offset + Σ h·⟨Z⟩ + Σ J·⟨ZZ⟩`.
+///
+/// # Errors
+///
+/// Propagates the per-term errors (none for a well-formed model).
+///
+/// # Example
+///
+/// ```
+/// use fq_ising::IsingModel;
+/// use fq_sim::analytic::expectation_p1;
+///
+/// let mut m = IsingModel::new(3);
+/// m.set_coupling(0, 1, 1.0)?;
+/// m.set_coupling(1, 2, 1.0)?;
+/// // At (γ, β) = (0, 0) the state is |+⟩^n: every Z-expectation vanishes.
+/// assert_eq!(expectation_p1(&m, 0.0, 0.0)?, 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn expectation_p1(model: &IsingModel, gamma: f64, beta: f64) -> Result<f64, SimError> {
+    let mut ev = model.offset();
+    for (i, hi) in model.linears() {
+        if hi != 0.0 {
+            ev += hi * expectation_z(model, i, gamma, beta)?;
+        }
+    }
+    for ((i, j), jij) in model.couplings() {
+        ev += jij * expectation_zz(model, i, j, gamma, beta)?;
+    }
+    Ok(ev)
+}
+
+/// All per-term expectations of a model at `(γ, β)`: `(z, zz)` where
+/// `z[i] = ⟨Z_i⟩` and `zz[k]` matches the model's coupling order.
+///
+/// # Errors
+///
+/// Propagates the per-term errors (none for a well-formed model).
+pub fn term_expectations_p1(
+    model: &IsingModel,
+    gamma: f64,
+    beta: f64,
+) -> Result<(Vec<f64>, Vec<f64>), SimError> {
+    let mut z = Vec::with_capacity(model.num_vars());
+    for i in 0..model.num_vars() {
+        z.push(expectation_z(model, i, gamma, beta)?);
+    }
+    let mut zz = Vec::with_capacity(model.num_couplings());
+    for ((i, j), _) in model.couplings() {
+        zz.push(expectation_zz(model, i, j, gamma, beta)?);
+    }
+    Ok((z, zz))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Statevector;
+    use fq_circuit::build_qaoa_circuit;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Statevector reference for ⟨C⟩ at p = 1.
+    fn sv_expectation(model: &IsingModel, gamma: f64, beta: f64) -> f64 {
+        let qc = build_qaoa_circuit(model, 1).unwrap();
+        let bound = qc.bind(&[gamma], &[beta]).unwrap();
+        let mut sv = Statevector::zero_state(model.num_vars()).unwrap();
+        sv.run(&bound).unwrap();
+        sv.expectation_ising(model).unwrap()
+    }
+
+    fn random_model(n: usize, with_linear: bool, density: f64, seed: u64) -> IsingModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = IsingModel::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.random::<f64>() < density {
+                    let w = if rng.random::<bool>() { 1.0 } else { -1.0 };
+                    m.set_coupling(i, j, w).unwrap();
+                }
+            }
+            if with_linear {
+                m.set_linear(i, rng.random_range(-1.0..1.0)).unwrap();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn matches_statevector_on_pure_quadratic_models() {
+        for seed in 0..4 {
+            let m = random_model(6, false, 0.5, seed);
+            for &(g, b) in &[(0.2, 0.3), (0.9, -0.4), (-1.1, 0.7)] {
+                let exact = expectation_p1(&m, g, b).unwrap();
+                let sv = sv_expectation(&m, g, b);
+                assert!((exact - sv).abs() < 1e-9, "seed {seed} ({g}, {b}): {exact} vs {sv}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_statevector_with_linear_terms() {
+        for seed in 10..14 {
+            let m = random_model(5, true, 0.6, seed);
+            for &(g, b) in &[(0.15, 0.25), (0.8, 1.2)] {
+                let exact = expectation_p1(&m, g, b).unwrap();
+                let sv = sv_expectation(&m, g, b);
+                assert!((exact - sv).abs() < 1e-9, "seed {seed}: {exact} vs {sv}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_statevector_with_offset() {
+        let mut m = random_model(4, true, 0.7, 21);
+        m.set_offset(3.25);
+        let exact = expectation_p1(&m, 0.3, 0.5).unwrap();
+        let sv = sv_expectation(&m, 0.3, 0.5);
+        assert!((exact - sv).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_angles_give_uniform_superposition() {
+        let m = random_model(6, true, 0.5, 33);
+        let ev = expectation_p1(&m, 0.0, 0.0).unwrap();
+        assert!((ev - m.offset()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_models_have_zero_single_z() {
+        let m = random_model(6, false, 0.5, 44);
+        for i in 0..6 {
+            assert_eq!(expectation_z(&m, i, 0.7, 0.3).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_indices() {
+        let m = random_model(3, false, 1.0, 0);
+        assert!(expectation_z(&m, 5, 0.1, 0.1).is_err());
+        assert!(expectation_zz(&m, 0, 0, 0.1, 0.1).is_err());
+        assert!(expectation_zz(&m, 0, 9, 0.1, 0.1).is_err());
+    }
+
+    #[test]
+    fn term_expectations_assemble_to_full_ev() {
+        let m = random_model(5, true, 0.6, 55);
+        let (z, zz) = term_expectations_p1(&m, 0.4, 0.6).unwrap();
+        let mut ev = m.offset();
+        for (i, hi) in m.linears() {
+            ev += hi * z[i];
+        }
+        for ((_, jij), zzk) in m.couplings().zip(zz.iter()) {
+            ev += jij * zzk;
+        }
+        let direct = expectation_p1(&m, 0.4, 0.6).unwrap();
+        assert!((ev - direct).abs() < 1e-12);
+    }
+}

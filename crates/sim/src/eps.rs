@@ -1,0 +1,106 @@
+//! Expected Probability of Success (EPS), the §6.3 metric.
+//!
+//! "EPS is the probability that gate and measurement operations remain
+//! error-free and qubits remain free from decoherence." It is the standard
+//! figure for comparing NISQ compilations too large to execute: a pure
+//! product of per-gate success probabilities and per-qubit decoherence
+//! survival factors. At 500 qubits the raw product underflows `f64`, so
+//! the log-domain variant is the primary API.
+
+use fq_transpile::{Compiled, Device};
+
+use crate::gate_error_rates;
+
+/// Natural log of the EPS of a compiled circuit on a device.
+///
+/// # Example
+///
+/// ```
+/// use fq_circuit::build_qaoa_circuit;
+/// use fq_ising::IsingModel;
+/// use fq_sim::{eps, log_eps};
+/// use fq_transpile::{compile, CompileOptions, Device};
+///
+/// let mut m = IsingModel::new(4);
+/// m.set_coupling(0, 1, 1.0)?;
+/// m.set_coupling(1, 2, 1.0)?;
+/// m.set_coupling(2, 3, 1.0)?;
+/// let qc = build_qaoa_circuit(&m, 1)?;
+/// let c = compile(&qc, &Device::grid_2500(), CompileOptions::level3())?;
+/// let dev = Device::grid_2500();
+/// assert!((eps(&c, &dev).ln() - log_eps(&c, &dev)).abs() < 1e-9);
+/// assert!(eps(&c, &dev) > 0.9); // tiny circuit, optimistic device
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn log_eps(compiled: &Compiled, device: &Device) -> f64 {
+    let mut log = 0.0f64;
+    for e in gate_error_rates(compiled, device) {
+        if e > 0.0 {
+            log += (1.0 - e).ln();
+        }
+    }
+    // Decoherence over each qubit's *busy* (gate-engaged) time. Idle
+    // windows are excluded: at 500 qubits the idle-duration product would
+    // swamp the gate terms with routing-depth noise, and idling errors are
+    // the province of dynamical-decoupling passes (ADAPT et al.) that the
+    // paper treats as orthogonal. Busy time scales with the gate count, so
+    // EPS remains a faithful, stable function of the compiled circuit.
+    for &p in &compiled.final_layout {
+        let t1 = device.t1_us(p);
+        if t1.is_finite() && t1 > 0.0 {
+            // The schedule is over the physical register: busy_ns[p].
+            let busy_us = compiled.schedule.busy_ns.get(p).copied().unwrap_or(0.0) / 1_000.0;
+            log += -busy_us / t1;
+        }
+    }
+    log
+}
+
+/// The EPS itself; underflows to 0 for very large circuits — use
+/// [`log_eps`] for relative comparisons at scale (Fig. 16).
+#[must_use]
+pub fn eps(compiled: &Compiled, device: &Device) -> f64 {
+    log_eps(compiled, device).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_circuit::build_qaoa_circuit;
+    use fq_ising::IsingModel;
+    use fq_transpile::{compile, CompileOptions, Topology};
+
+    fn compiled(n: usize, dev: &Device) -> Compiled {
+        let mut m = IsingModel::new(n);
+        for i in 1..n {
+            m.set_coupling(0, i, 1.0).unwrap();
+        }
+        let qc = build_qaoa_circuit(&m, 1).unwrap();
+        compile(&qc, dev, CompileOptions::level3()).unwrap()
+    }
+
+    #[test]
+    fn eps_is_one_on_ideal_hardware() {
+        let dev = Device::ideal("ideal", Topology::grid(4, 4).unwrap());
+        let c = compiled(6, &dev);
+        assert!((eps(&c, &dev) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eps_decreases_with_circuit_size() {
+        let dev = Device::ibm_montreal();
+        let small = compiled(4, &dev);
+        let large = compiled(12, &dev);
+        assert!(eps(&large, &dev) < eps(&small, &dev));
+        assert!(log_eps(&large, &dev) < log_eps(&small, &dev));
+    }
+
+    #[test]
+    fn eps_lies_in_unit_interval() {
+        let dev = Device::ibm_toronto();
+        let c = compiled(10, &dev);
+        let v = eps(&c, &dev);
+        assert!(v > 0.0 && v < 1.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for the simulation layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulators and noise models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Requested width exceeds the dense-statevector limit.
+    TooManyQubits {
+        /// Requested qubit count.
+        requested: usize,
+        /// The simulator's limit.
+        limit: usize,
+    },
+    /// Circuit and state (or model) widths disagree.
+    WidthMismatch {
+        /// Circuit/model width.
+        circuit: usize,
+        /// State width.
+        state: usize,
+    },
+    /// A gate still carries a symbolic (unbound) angle.
+    ParametricCircuit,
+    /// Invalid noise/sampling parameters.
+    InvalidParameters(String),
+    /// An Ising-layer error surfaced during simulation.
+    Ising(fq_ising::IsingError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TooManyQubits { requested, limit } => {
+                write!(f, "statevector over {requested} qubits exceeds the limit of {limit}")
+            }
+            SimError::WidthMismatch { circuit, state } => {
+                write!(f, "circuit width {circuit} does not match state width {state}")
+            }
+            SimError::ParametricCircuit => {
+                write!(f, "circuit still carries symbolic angles; bind parameters first")
+            }
+            SimError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            SimError::Ising(e) => write!(f, "ising error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Ising(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fq_ising::IsingError> for SimError {
+    fn from(e: fq_ising::IsingError) -> Self {
+        SimError::Ising(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            SimError::TooManyQubits { requested: 30, limit: 25 },
+            SimError::WidthMismatch { circuit: 3, state: 2 },
+            SimError::ParametricCircuit,
+            SimError::InvalidParameters("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Monte-Carlo noisy sampling: stochastic Pauli injection over statevector
+//! trajectories, plus readout and decoherence bit errors at sampling time.
+//!
+//! This is the small-`N` high-fidelity noise engine (the analytic
+//! fidelity-product model in [`crate::noise`] covers arbitrary `N`). Each
+//! *trajectory* realizes one random error pattern: after every gate, with
+//! the gate's calibrated error probability, a uniformly random non-identity
+//! Pauli is injected on the gate's qubits. Measurement outcomes are drawn
+//! from each trajectory's final state and then corrupted by per-qubit
+//! readout flips and a depolarizing decoherence flip derived from the
+//! schedule duration and `T1`.
+
+use fq_circuit::Gate;
+use fq_ising::{OutputDistribution, Spin, SpinVec};
+use fq_transpile::{Compiled, Device};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{gate_error_rates, SimError, Statevector};
+
+/// Configuration of the Monte-Carlo sampler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoisySamplerConfig {
+    /// Total measurement shots across all trajectories.
+    pub shots: u64,
+    /// Independent noise realizations (trajectories). More trajectories
+    /// capture gate-error variance better; shots are split evenly.
+    pub trajectories: u32,
+    /// RNG seed; the sampler is fully deterministic per seed.
+    pub seed: u64,
+}
+
+impl Default for NoisySamplerConfig {
+    fn default() -> Self {
+        NoisySamplerConfig {
+            shots: 4096,
+            trajectories: 32,
+            seed: 7,
+        }
+    }
+}
+
+/// Samples a compiled circuit under the device's noise, returning a
+/// distribution over the **logical** qubits (decoded through the final
+/// layout).
+///
+/// # Errors
+///
+/// Returns [`SimError::TooManyQubits`] if the compacted circuit exceeds
+/// the statevector limit, and [`SimError::InvalidParameters`] for zero
+/// shots/trajectories.
+///
+/// # Example
+///
+/// ```
+/// use fq_circuit::build_qaoa_circuit;
+/// use fq_ising::IsingModel;
+/// use fq_sim::{sample_noisy, NoisySamplerConfig};
+/// use fq_transpile::{compile, CompileOptions, Device};
+///
+/// let mut m = IsingModel::new(3);
+/// m.set_coupling(0, 1, 1.0)?;
+/// m.set_coupling(1, 2, 1.0)?;
+/// let qc = build_qaoa_circuit(&m, 1)?.bind(&[0.4], &[0.8])?;
+/// let compiled = compile(&qc, &Device::ibm_montreal(), CompileOptions::level3())?;
+/// let dist = sample_noisy(&compiled, &Device::ibm_montreal(), NoisySamplerConfig::default())?;
+/// assert_eq!(dist.num_vars(), 3);
+/// assert_eq!(dist.total_shots(), 4096);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn sample_noisy(
+    compiled: &Compiled,
+    device: &Device,
+    config: NoisySamplerConfig,
+) -> Result<OutputDistribution, SimError> {
+    if config.shots == 0 || config.trajectories == 0 {
+        return Err(SimError::InvalidParameters(
+            "shots and trajectories must be positive".into(),
+        ));
+    }
+    let (compact, layout) = compiled.compact();
+    let width = compact.num_qubits();
+    let n_logical = compiled.logical_qubits;
+
+    let errors = gate_error_rates(compiled, device);
+    debug_assert_eq!(errors.len(), compact.len());
+
+    // Per-logical-qubit classical error rates applied at sampling time.
+    let duration_us = compiled.schedule.duration_ns / 1_000.0;
+    let readout_flip: Vec<f64> = compiled
+        .final_layout
+        .iter()
+        .map(|&p| device.readout_error(p))
+        .collect();
+    let decoherence_flip: Vec<f64> = compiled
+        .final_layout
+        .iter()
+        .map(|&p| {
+            let t1 = device.t1_us(p);
+            if t1.is_finite() && t1 > 0.0 {
+                // Depolarizing approximation: half of the depolarized
+                // population flips the measured bit.
+                0.5 * (1.0 - (-duration_us / t1).exp())
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut dist = OutputDistribution::new(n_logical);
+    let traj = u64::from(config.trajectories);
+    let base = config.shots / traj;
+    let extra = config.shots % traj;
+
+    for t in 0..traj {
+        let shots_here = base + u64::from(t < extra);
+        if shots_here == 0 {
+            continue;
+        }
+        let mut sv = Statevector::zero_state(width)?;
+        for (g, &e) in compact.gates().iter().zip(&errors) {
+            sv.apply_gate(g)?;
+            if matches!(g, Gate::Measure { .. }) || e <= 0.0 {
+                continue;
+            }
+            if rng.random::<f64>() < e {
+                for q in g.qubits() {
+                    inject_random_pauli(&mut sv, q, &mut rng);
+                }
+            }
+        }
+        let sample_seed = rng.random::<u64>();
+        for idx in sv.sample_indices(shots_here, sample_seed) {
+            let mut spins = SpinVec::all_up(n_logical);
+            for (l, &c) in layout.iter().enumerate() {
+                let mut bit = (idx >> c) & 1;
+                if rng.random::<f64>() < decoherence_flip[l] {
+                    bit ^= 1;
+                }
+                if rng.random::<f64>() < readout_flip[l] {
+                    bit ^= 1;
+                }
+                spins.set(l, if bit == 0 { Spin::UP } else { Spin::DOWN });
+            }
+            dist.record(spins, 1);
+        }
+    }
+    Ok(dist)
+}
+
+fn inject_random_pauli(sv: &mut Statevector, q: usize, rng: &mut StdRng) {
+    // Uniform over {X, Y, Z}; identity is excluded per-qubit, which makes
+    // two-qubit injections a uniform draw over 9 of the 15 non-identity
+    // two-qubit Paulis plus single-qubit strays — adequate for a
+    // depolarizing-style channel.
+    match rng.random_range(0..3) {
+        0 => sv.apply_x(q),
+        1 => sv.apply_y(q),
+        _ => sv.apply_z(q),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_circuit::build_qaoa_circuit;
+    use fq_ising::IsingModel;
+    use fq_transpile::{compile, CompileOptions, Topology};
+
+    fn chain_model(n: usize) -> IsingModel {
+        let mut m = IsingModel::new(n);
+        for i in 1..n {
+            m.set_coupling(i - 1, i, 1.0).unwrap();
+        }
+        m
+    }
+
+    fn compile_chain(n: usize, device: &Device) -> (IsingModel, Compiled) {
+        let m = chain_model(n);
+        let qc = build_qaoa_circuit(&m, 1).unwrap().bind(&[0.5], &[0.9]).unwrap();
+        (m, compile(&qc, device, CompileOptions::level3()).unwrap())
+    }
+
+    #[test]
+    fn ideal_device_reproduces_ideal_expectation() {
+        let dev = Device::ideal("ideal", Topology::grid(3, 3).unwrap());
+        let (m, c) = compile_chain(4, &dev);
+        let dist = sample_noisy(&c, &dev, NoisySamplerConfig { shots: 20_000, trajectories: 4, seed: 1 }).unwrap();
+        let noisy_ev = dist.expectation(&m).unwrap();
+        let ideal_ev = crate::analytic::expectation_p1(&m, 0.5, 0.9).unwrap();
+        assert!(
+            (noisy_ev - ideal_ev).abs() < 0.05,
+            "sampled {noisy_ev} vs ideal {ideal_ev}"
+        );
+    }
+
+    #[test]
+    fn noise_pushes_expectation_toward_zero() {
+        let ideal_dev = Device::ideal("ideal", Topology::grid(3, 3).unwrap());
+        let noisy_dev = Device::ibm_toronto();
+        let (m, ci) = compile_chain(6, &ideal_dev);
+        let (_, cn) = compile_chain(6, &noisy_dev);
+        let cfg = NoisySamplerConfig { shots: 20_000, trajectories: 64, seed: 5 };
+        let ev_ideal = sample_noisy(&ci, &ideal_dev, cfg).unwrap().expectation(&m).unwrap();
+        let ev_noisy = sample_noisy(&cn, &noisy_dev, cfg).unwrap().expectation(&m).unwrap();
+        assert!(
+            ev_noisy.abs() < ev_ideal.abs(),
+            "noise must attenuate: ideal {ev_ideal}, noisy {ev_noisy}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let dev = Device::ibm_montreal();
+        let (_, c) = compile_chain(4, &dev);
+        let cfg = NoisySamplerConfig { shots: 500, trajectories: 8, seed: 42 };
+        let a = sample_noisy(&c, &dev, cfg).unwrap();
+        let b = sample_noisy(&c, &dev, cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shot_accounting_is_exact() {
+        let dev = Device::ibm_montreal();
+        let (_, c) = compile_chain(3, &dev);
+        // 1000 shots over 7 trajectories does not divide evenly.
+        let dist = sample_noisy(&c, &dev, NoisySamplerConfig { shots: 1000, trajectories: 7, seed: 2 }).unwrap();
+        assert_eq!(dist.total_shots(), 1000);
+    }
+
+    #[test]
+    fn zero_config_is_rejected() {
+        let dev = Device::ibm_montreal();
+        let (_, c) = compile_chain(3, &dev);
+        assert!(sample_noisy(&c, &dev, NoisySamplerConfig { shots: 0, trajectories: 1, seed: 0 }).is_err());
+        assert!(sample_noisy(&c, &dev, NoisySamplerConfig { shots: 10, trajectories: 0, seed: 0 }).is_err());
+    }
+}

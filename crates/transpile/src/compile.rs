@@ -1,0 +1,223 @@
+//! The end-to-end compilation pipeline: layout → routing → optimization →
+//! scheduling, mirroring "IBM's Qiskit tool-chain with noise-adaptive
+//! routing and the highest optimization level" used as the paper's
+//! baseline methodology (§4.2).
+
+use fq_circuit::{CircuitStats, QuantumCircuit};
+use serde::{Deserialize, Serialize};
+
+use crate::{choose_layout, pass, route, schedule, Device, LayoutStrategy, Schedule, TranspileError};
+
+/// Compilation options.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CompileOptions {
+    /// Initial placement policy.
+    pub layout: LayoutStrategy,
+    /// Whether to run the cheap post-routing cleanup passes.
+    pub optimize: bool,
+}
+
+impl CompileOptions {
+    /// The paper's baseline: noise-adaptive layout with optimizations on.
+    #[must_use]
+    pub fn level3() -> CompileOptions {
+        CompileOptions {
+            layout: LayoutStrategy::NoiseAdaptive,
+            optimize: true,
+        }
+    }
+}
+
+/// A compiled (physical) circuit plus the mappings needed to interpret it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Compiled {
+    /// The physical circuit; SWAPs are kept explicit so SWAP statistics
+    /// remain observable (decompose before simulation if needed).
+    pub circuit: QuantumCircuit,
+    /// `initial_layout[logical] = physical` at circuit start.
+    pub initial_layout: Vec<usize>,
+    /// `final_layout[logical] = physical` at measurement time.
+    pub final_layout: Vec<usize>,
+    /// Router-inserted SWAP count.
+    pub swap_count: usize,
+    /// Statistics of the physical circuit (CNOT count includes SWAP cost).
+    pub stats: CircuitStats,
+    /// ASAP schedule under the device's durations.
+    pub schedule: Schedule,
+    /// Width of the original logical circuit.
+    pub logical_qubits: usize,
+}
+
+impl Compiled {
+    /// Restricts the physical circuit to the qubits it actually touches,
+    /// densely re-indexed — so an `n`-qubit job compiled onto a 127-qubit
+    /// device can be simulated over ~`n` qubits instead of 127.
+    ///
+    /// Returns the compact circuit and `final_layout_compact[logical] =
+    /// compact_index`, for decoding measurement outcomes.
+    #[must_use]
+    pub fn compact(&self) -> (QuantumCircuit, Vec<usize>) {
+        let phys_width = self.circuit.num_qubits();
+        let mut touched = vec![false; phys_width];
+        for g in self.circuit.gates() {
+            for q in g.qubits() {
+                touched[q] = true;
+            }
+        }
+        // Physical qubits that host a logical qubit are always relevant.
+        for &p in &self.final_layout {
+            touched[p] = true;
+        }
+        let mut dense = vec![usize::MAX; phys_width];
+        let mut width = 0usize;
+        for (p, &t) in touched.iter().enumerate() {
+            if t {
+                dense[p] = width;
+                width += 1;
+            }
+        }
+        let mut compact = QuantumCircuit::new(width);
+        for g in self.circuit.gates() {
+            compact
+                .push(g.map_qubits(|q| dense[q]))
+                .expect("dense remap of a valid circuit stays valid");
+        }
+        let layout = self.final_layout.iter().map(|&p| dense[p]).collect();
+        (compact, layout)
+    }
+}
+
+/// Compiles a logical circuit for a device.
+///
+/// # Errors
+///
+/// Propagates layout and routing errors; see [`choose_layout`] and
+/// [`route`].
+///
+/// # Example
+///
+/// ```
+/// use fq_circuit::build_qaoa_circuit;
+/// use fq_ising::IsingModel;
+/// use fq_transpile::{compile, CompileOptions, Device};
+///
+/// let mut m = IsingModel::new(4);
+/// m.set_coupling(0, 1, 1.0)?;
+/// m.set_coupling(0, 2, 1.0)?;
+/// m.set_coupling(0, 3, 1.0)?;
+/// let qc = build_qaoa_circuit(&m, 1)?;
+/// let compiled = compile(&qc, &Device::ibm_montreal(), CompileOptions::level3())?;
+/// assert!(compiled.stats.cnot_count >= qc.cnot_count());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile(
+    circuit: &QuantumCircuit,
+    device: &Device,
+    options: CompileOptions,
+) -> Result<Compiled, TranspileError> {
+    let initial_layout = choose_layout(circuit, device, options.layout)?;
+    let routed = route(circuit, device.topology(), &initial_layout)?;
+    let physical = if options.optimize {
+        pass::optimize(&routed.circuit)
+    } else {
+        routed.circuit
+    };
+    let stats = CircuitStats::of(&physical);
+    let sched = schedule(&physical, device.durations());
+    Ok(Compiled {
+        circuit: physical,
+        initial_layout,
+        final_layout: routed.final_layout,
+        swap_count: routed.swap_count,
+        stats,
+        schedule: sched,
+        logical_qubits: circuit.num_qubits(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_circuit::{build_qaoa_circuit, Gate};
+    use fq_ising::IsingModel;
+
+    fn star_model(n: usize) -> IsingModel {
+        let mut m = IsingModel::new(n);
+        for i in 1..n {
+            m.set_coupling(0, i, 1.0).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn compiled_two_qubit_gates_sit_on_couplers() {
+        let qc = build_qaoa_circuit(&star_model(8), 1).unwrap();
+        let dev = Device::ibm_montreal();
+        let c = compile(&qc, &dev, CompileOptions::level3()).unwrap();
+        for g in c.circuit.gates() {
+            if g.is_two_qubit() {
+                let qs = g.qubits();
+                assert!(dev.topology().are_adjacent(qs[0], qs[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn star_on_heavy_hex_needs_swaps() {
+        // An 8-spoke star cannot embed in a degree-3 lattice without SWAPs.
+        let qc = build_qaoa_circuit(&star_model(9), 1).unwrap();
+        let dev = Device::ibm_montreal();
+        let c = compile(&qc, &dev, CompileOptions::level3()).unwrap();
+        assert!(c.swap_count > 0, "expected SWAP overhead on heavy-hex");
+        assert!(c.stats.cnot_count > qc.cnot_count());
+    }
+
+    #[test]
+    fn compact_restricts_width() {
+        let qc = build_qaoa_circuit(&star_model(5), 1).unwrap();
+        let dev = Device::ibm_washington();
+        let c = compile(&qc, &dev, CompileOptions::level3()).unwrap();
+        let (compact, layout) = c.compact();
+        assert!(compact.num_qubits() < 127, "must not carry idle qubits");
+        assert!(compact.num_qubits() >= 5);
+        assert_eq!(layout.len(), 5);
+        assert!(layout.iter().all(|&d| d < compact.num_qubits()));
+        // Same gate structure.
+        assert_eq!(compact.len(), c.circuit.len());
+        assert_eq!(compact.cnot_count(), c.circuit.cnot_count());
+    }
+
+    #[test]
+    fn measurements_cover_all_logical_qubits() {
+        let qc = build_qaoa_circuit(&star_model(6), 1).unwrap();
+        let dev = Device::ibm_montreal();
+        let c = compile(&qc, &dev, CompileOptions::level3()).unwrap();
+        let measures: Vec<usize> = c
+            .circuit
+            .gates()
+            .iter()
+            .filter_map(|g| match g {
+                Gate::Measure { q } => Some(*q),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(measures, c.final_layout);
+    }
+
+    #[test]
+    fn optimization_never_increases_cnots() {
+        let qc = build_qaoa_circuit(&star_model(7), 1).unwrap();
+        let dev = Device::ibm_montreal();
+        let raw = compile(&qc, &dev, CompileOptions { layout: LayoutStrategy::NoiseAdaptive, optimize: false }).unwrap();
+        let opt = compile(&qc, &dev, CompileOptions::level3()).unwrap();
+        assert!(opt.stats.cnot_count <= raw.stats.cnot_count);
+    }
+
+    #[test]
+    fn schedule_duration_is_positive() {
+        let qc = build_qaoa_circuit(&star_model(4), 1).unwrap();
+        let dev = Device::ibm_montreal();
+        let c = compile(&qc, &dev, CompileOptions::level3()).unwrap();
+        assert!(c.schedule.duration_ns > 0.0);
+    }
+}

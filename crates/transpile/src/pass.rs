@@ -1,0 +1,228 @@
+//! Post-routing optimization passes: CNOT-pair cancellation, `Rz` merging,
+//! zero-rotation elimination and SWAP decomposition.
+
+use fq_circuit::{Gate, QuantumCircuit};
+
+/// Cancels adjacent identical CNOT pairs: `CX(a,b) · CX(a,b) = I` when no
+/// other gate touches `a` or `b` in between.
+///
+/// QAOA circuits synthesized edge-after-edge often leave such pairs after
+/// routing reorders commuting phase terms.
+///
+/// # Example
+///
+/// ```
+/// use fq_circuit::QuantumCircuit;
+/// use fq_transpile::pass::cancel_cx_pairs;
+///
+/// let mut qc = QuantumCircuit::new(2);
+/// qc.cx(0, 1)?;
+/// qc.cx(0, 1)?;
+/// let out = cancel_cx_pairs(&qc);
+/// assert!(out.is_empty());
+/// # Ok::<(), fq_circuit::CircuitError>(())
+/// ```
+#[must_use]
+pub fn cancel_cx_pairs(circuit: &QuantumCircuit) -> QuantumCircuit {
+    let gates = circuit.gates();
+    let mut keep = vec![true; gates.len()];
+    // last_open[q]: index of the most recent un-cancelled gate touching q.
+    let mut last_open: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+    for (i, g) in gates.iter().enumerate() {
+        if let Gate::Cx { control, target } = *g {
+            let lc = last_open[control];
+            let lt = last_open[target];
+            if let (Some(a), Some(b)) = (lc, lt) {
+                if a == b && gates[a] == *g && keep[a] {
+                    // Identical CX with both operand histories pointing at it.
+                    keep[a] = false;
+                    keep[i] = false;
+                    // Its operands' last-open pointers must be recomputed;
+                    // conservatively reset them (previous gates already
+                    // separated by this pair's boundary cannot cancel).
+                    last_open[control] = None;
+                    last_open[target] = None;
+                    continue;
+                }
+            }
+        }
+        for q in g.qubits() {
+            last_open[q] = Some(i);
+        }
+    }
+    rebuild(circuit, &keep)
+}
+
+/// Merges runs of `Rz` rotations on the same qubit with no intervening
+/// gate, provided their symbolic angles are fusable
+/// ([`fq_circuit::Angle::try_add`]).
+#[must_use]
+pub fn merge_rz(circuit: &QuantumCircuit) -> QuantumCircuit {
+    let gates = circuit.gates();
+    let mut out_gates: Vec<Gate> = Vec::with_capacity(gates.len());
+    // pending[q]: index in out_gates of a trailing Rz on q.
+    let mut pending: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+    for g in gates {
+        match *g {
+            Gate::Rz { q, theta } => {
+                if let Some(idx) = pending[q] {
+                    if let Gate::Rz { theta: prev, .. } = out_gates[idx] {
+                        if let Some(sum) = prev.try_add(&theta) {
+                            out_gates[idx] = Gate::Rz { q, theta: sum };
+                            continue;
+                        }
+                    }
+                }
+                pending[q] = Some(out_gates.len());
+                out_gates.push(*g);
+            }
+            _ => {
+                for q in g.qubits() {
+                    pending[q] = None;
+                }
+                out_gates.push(*g);
+            }
+        }
+    }
+    let mut out = QuantumCircuit::new(circuit.num_qubits());
+    for g in out_gates {
+        out.push(g).expect("gates were valid in the source circuit");
+    }
+    out
+}
+
+/// Removes rotations whose angle is identically zero.
+#[must_use]
+pub fn drop_zero_rotations(circuit: &QuantumCircuit) -> QuantumCircuit {
+    let keep: Vec<bool> = circuit
+        .gates()
+        .iter()
+        .map(|g| match g {
+            Gate::Rz { theta, .. } | Gate::Rx { theta, .. } => !theta.is_zero(),
+            _ => true,
+        })
+        .collect();
+    rebuild(circuit, &keep)
+}
+
+/// Decomposes every SWAP into its 3-CNOT implementation.
+#[must_use]
+pub fn decompose_swaps(circuit: &QuantumCircuit) -> QuantumCircuit {
+    let mut out = QuantumCircuit::new(circuit.num_qubits());
+    for g in circuit.gates() {
+        match *g {
+            Gate::Swap { a, b } => {
+                out.cx(a, b).expect("valid in source");
+                out.cx(b, a).expect("valid in source");
+                out.cx(a, b).expect("valid in source");
+            }
+            other => out.push(other).expect("valid in source"),
+        }
+    }
+    out
+}
+
+/// The default post-routing pipeline: cancel CX pairs, merge `Rz` runs and
+/// drop null rotations (mirroring Qiskit optimization level 3's cheap
+/// cleanups). SWAPs are left intact so SWAP statistics stay observable;
+/// call [`decompose_swaps`] before simulation.
+#[must_use]
+pub fn optimize(circuit: &QuantumCircuit) -> QuantumCircuit {
+    drop_zero_rotations(&merge_rz(&cancel_cx_pairs(circuit)))
+}
+
+fn rebuild(circuit: &QuantumCircuit, keep: &[bool]) -> QuantumCircuit {
+    let mut out = QuantumCircuit::new(circuit.num_qubits());
+    for (g, &k) in circuit.gates().iter().zip(keep) {
+        if k {
+            out.push(*g).expect("gates were valid in the source circuit");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_circuit::Angle;
+
+    #[test]
+    fn cancels_back_to_back_cx() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.cx(0, 1).unwrap();
+        qc.cx(0, 1).unwrap();
+        qc.cx(1, 2).unwrap();
+        let out = cancel_cx_pairs(&qc);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.gates()[0], Gate::Cx { control: 1, target: 2 });
+    }
+
+    #[test]
+    fn does_not_cancel_across_interposing_gate() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.cx(0, 1).unwrap();
+        qc.rz(1, Angle::Constant(0.4)).unwrap();
+        qc.cx(0, 1).unwrap();
+        let out = cancel_cx_pairs(&qc);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn does_not_cancel_reversed_cx() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.cx(0, 1).unwrap();
+        qc.cx(1, 0).unwrap();
+        let out = cancel_cx_pairs(&qc);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn merges_adjacent_rz_of_same_term() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.rz(0, Angle::Constant(0.25)).unwrap();
+        qc.rz(0, Angle::Constant(0.5)).unwrap();
+        let out = merge_rz(&qc);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.gates()[0], Gate::Rz { q: 0, theta: Angle::Constant(0.75) });
+    }
+
+    #[test]
+    fn keeps_unfusable_rz_separate() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.rz(0, Angle::Gamma { layer: 0, scale: 1.0, term: 0 }).unwrap();
+        qc.rz(0, Angle::Gamma { layer: 0, scale: 1.0, term: 1 }).unwrap();
+        let out = merge_rz(&qc);
+        assert_eq!(out.len(), 2, "different terms must stay editable");
+    }
+
+    #[test]
+    fn drops_zero_rotations_only() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.rz(0, Angle::Constant(0.0)).unwrap();
+        qc.rx(0, Angle::Constant(0.3)).unwrap();
+        qc.rz(0, Angle::Gamma { layer: 0, scale: 0.0, term: 0 }).unwrap();
+        let out = drop_zero_rotations(&qc);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn swap_decomposition_triples_cnots() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.swap(0, 1).unwrap();
+        let out = decompose_swaps(&qc);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.cnot_count(), 3);
+        assert_eq!(qc.cnot_count(), out.cnot_count());
+    }
+
+    #[test]
+    fn optimize_pipeline_compounds() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.cx(0, 1).unwrap();
+        qc.cx(0, 1).unwrap();
+        qc.rz(0, Angle::Constant(0.5)).unwrap();
+        qc.rz(0, Angle::Constant(-0.5)).unwrap();
+        let out = optimize(&qc);
+        assert!(out.is_empty(), "everything cancels: {:?}", out.gates());
+    }
+}

@@ -1,0 +1,56 @@
+//! FrozenQubits at practical scale (§6): a 500-qubit power-law problem on
+//! a 50×50 grid device with the optimistic error model, sweeping the
+//! number of frozen qubits. Prints the CNOT/SWAP/depth reductions and the
+//! relative EPS (Figs. 14–16 in miniature; the full sweeps live in the
+//! bench harness).
+//!
+//! ```text
+//! cargo run --release --example practical_scale
+//! ```
+
+use fq_circuit::{build_qaoa_circuit, qaoa_cnot_count};
+use fq_graphs::{gen, to_ising_pm1};
+use fq_sim::log_eps;
+use fq_transpile::{compile, CompileOptions, Device};
+use frozenqubits::{partition_problem, select_hotspots, HotspotStrategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 500usize;
+    let graph = gen::barabasi_albert(n, 1, 1)?;
+    let model = to_ising_pm1(&graph, 1);
+    let device = Device::grid_2500();
+    let options = CompileOptions::level3();
+
+    println!("compiling the {n}-qubit baseline onto the 50x50 grid…");
+    let base_qc = build_qaoa_circuit(&model, 1)?;
+    let base = compile(&base_qc, &device, options)?;
+    let base_eps = log_eps(&base, &device);
+    println!(
+        "baseline: {} logical CNOTs -> {} compiled (swaps {}), depth {}",
+        qaoa_cnot_count(&model, 1), base.stats.cnot_count, base.swap_count, base.stats.depth
+    );
+
+    println!("\n m | edge-drop | cnots | rel-cnot | depth | rel-depth | rel-EPS (log10)");
+    for m in 1..=6usize {
+        let hotspots = select_hotspots(&model, m, &HotspotStrategy::MaxDegree)?;
+        let plan = partition_problem(&model, &hotspots, true)?;
+        let sub = plan.executed[0].problem.model();
+        let qc = build_qaoa_circuit(sub, 1)?;
+        let compiled = compile(&qc, &device, options)?;
+        let rel_cnot = compiled.stats.cnot_count as f64 / base.stats.cnot_count as f64;
+        let rel_depth = compiled.stats.depth as f64 / base.stats.depth as f64;
+        let rel_eps_log10 = (log_eps(&compiled, &device) - base_eps) / std::f64::consts::LN_10;
+        println!(
+            "{:>2} | {:>9} | {:>5} | {:>8.3} | {:>5} | {:>9.3} | {:>+8.2}",
+            m,
+            model.num_couplings() - sub.num_couplings(),
+            compiled.stats.cnot_count,
+            rel_cnot,
+            compiled.stats.depth,
+            rel_depth,
+            rel_eps_log10,
+        );
+    }
+    println!("\n(relative EPS grows by orders of magnitude with m, as in Fig. 16)");
+    Ok(())
+}

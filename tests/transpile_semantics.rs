@@ -1,0 +1,115 @@
+//! End-to-end semantic validation of the transpiler: a circuit compiled
+//! through layout + SABRE routing + passes, compacted and simulated, must
+//! produce exactly the same expectation values as the closed-form p = 1
+//! QAOA formulas on the logical model. This exercises every layer at once:
+//! circuit synthesis, layout injectivity, SWAP correctness, final-layout
+//! tracking, compaction and the statevector engine.
+
+use fq_circuit::build_qaoa_circuit;
+use fq_graphs::{gen, to_ising_pm1};
+use fq_ising::IsingModel;
+use fq_sim::analytic::expectation_p1;
+use fq_sim::run_circuit;
+use fq_transpile::{compile, CompileOptions, Device, LayoutStrategy, Topology};
+
+/// Remaps a logical model onto the compact indices of a compiled circuit.
+fn remap_model(model: &IsingModel, layout: &[usize], width: usize) -> IsingModel {
+    let mut out = IsingModel::new(width);
+    for (i, hi) in model.linears() {
+        if hi != 0.0 {
+            out.set_linear(layout[i], hi).expect("layout in range");
+        }
+    }
+    for ((i, j), jij) in model.couplings() {
+        out.set_coupling(layout[i], layout[j], jij).expect("layout in range");
+    }
+    out.set_offset(model.offset());
+    out
+}
+
+fn assert_compiled_semantics(model: &IsingModel, device: &Device, options: CompileOptions) {
+    let (gamma, beta) = (0.43, 0.77);
+    let reference = expectation_p1(model, gamma, beta).expect("valid model");
+
+    let qc = build_qaoa_circuit(model, 1).expect("p=1");
+    let bound = qc.bind(&[gamma], &[beta]).expect("bind");
+    let compiled = compile(&bound, device, options).expect("compiles");
+    let (compact, layout) = compiled.compact();
+    assert!(compact.num_qubits() <= 20, "compact width {}", compact.num_qubits());
+
+    let sv = run_circuit(&compact).expect("simulates");
+    let remapped = remap_model(model, &layout, compact.num_qubits());
+    let measured = sv.expectation_ising(&remapped).expect("width matches");
+    assert!(
+        (measured - reference).abs() < 1e-9,
+        "compiled EV {measured} vs analytic {reference} on {}",
+        device.name()
+    );
+}
+
+fn ba_model(n: usize, seed: u64) -> IsingModel {
+    to_ising_pm1(&gen::barabasi_albert(n, 1, seed).unwrap(), seed)
+}
+
+#[test]
+fn routing_preserves_semantics_on_heavy_hex() {
+    for seed in 0..4 {
+        let model = ba_model(8, seed);
+        assert_compiled_semantics(&model, &Device::ibm_montreal(), CompileOptions::level3());
+    }
+}
+
+#[test]
+fn routing_preserves_semantics_on_grid() {
+    let model = ba_model(9, 5);
+    let dev = Device::ideal("grid", Topology::grid(4, 4).unwrap());
+    assert_compiled_semantics(&model, &dev, CompileOptions::level3());
+}
+
+#[test]
+fn routing_preserves_semantics_on_a_line() {
+    // Worst-case topology: heavy swapping.
+    let model = ba_model(7, 6);
+    let dev = Device::ideal("line", Topology::linear(7).unwrap());
+    assert_compiled_semantics(&model, &dev, CompileOptions::level3());
+}
+
+#[test]
+fn semantics_hold_without_optimization_passes() {
+    let model = ba_model(8, 7);
+    let opts = CompileOptions { layout: LayoutStrategy::NoiseAdaptive, optimize: false };
+    assert_compiled_semantics(&model, &Device::ibm_montreal(), opts);
+}
+
+#[test]
+fn semantics_hold_with_trivial_layout() {
+    let model = ba_model(8, 8);
+    let opts = CompileOptions { layout: LayoutStrategy::Trivial, optimize: true };
+    assert_compiled_semantics(&model, &Device::ibm_montreal(), opts);
+}
+
+#[test]
+fn semantics_hold_with_linear_terms() {
+    let mut model = ba_model(7, 9);
+    model.set_linear(0, 0.6).unwrap();
+    model.set_linear(3, -0.4).unwrap();
+    assert_compiled_semantics(&model, &Device::ibm_montreal(), CompileOptions::level3());
+}
+
+#[test]
+fn semantics_hold_on_dense_graphs() {
+    // SK-model: all-to-all interactions maximize SWAP pressure.
+    let model = to_ising_pm1(&gen::complete(6), 10);
+    assert_compiled_semantics(&model, &Device::ibm_montreal(), CompileOptions::level3());
+}
+
+#[test]
+fn frozen_subproblem_circuits_are_also_faithful() {
+    use fq_ising::Spin;
+    let parent = ba_model(9, 11);
+    let hub = parent.hotspots()[0];
+    for s in [Spin::UP, Spin::DOWN] {
+        let sub = parent.freeze(&[(hub, s)]).unwrap();
+        assert_compiled_semantics(sub.model(), &Device::ibm_montreal(), CompileOptions::level3());
+    }
+}
