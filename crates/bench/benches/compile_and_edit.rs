@@ -1,18 +1,18 @@
-//! Criterion benches behind Fig. 17: full compilation vs template editing.
+//! Benches behind Fig. 17: full compilation vs template editing.
 //!
 //! The paper's claim is that generating all 2^m executables by editing one
 //! compiled template costs ~1e-4 of a compilation. These benches measure
-//! both operations precisely on a mid-size instance.
+//! both operations on a mid-size instance.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use fq_bench::harness::bench;
 use fq_circuit::build_qaoa_circuit;
 use fq_graphs::{gen, to_ising_pm1};
 use fq_transpile::{compile, CompileOptions, Device};
 use frozenqubits::{partition_problem, select_hotspots, CompiledTemplate, HotspotStrategy};
 
-fn bench_compile_vs_edit(c: &mut Criterion) {
+fn main() {
     let model = to_ising_pm1(&gen::barabasi_albert(64, 1, 1).unwrap(), 1);
     let device = Device::ibm_washington();
     let options = CompileOptions::level3();
@@ -23,18 +23,13 @@ fn bench_compile_vs_edit(c: &mut Criterion) {
     let sibling = plan.executed[1].problem.model().clone();
     let template = CompiledTemplate::compile(&rep, 1, &device, options).unwrap();
 
-    let mut group = c.benchmark_group("fig17");
-    group.bench_function("full_compile_64q_washington", |b| {
-        b.iter(|| {
-            let qc = build_qaoa_circuit(black_box(&rep), 1).unwrap();
-            black_box(compile(&qc, &device, options).unwrap())
-        });
+    println!("== fig17 micro-benches ==");
+    let t_compile = bench("full_compile_64q_washington", 1, 10, || {
+        let qc = build_qaoa_circuit(black_box(&rep), 1).unwrap();
+        compile(&qc, &device, options).unwrap()
     });
-    group.bench_function("template_edit_64q", |b| {
-        b.iter(|| black_box(template.edit_for(black_box(&sibling)).unwrap()));
+    let t_edit = bench("template_edit_64q", 3, 200, || {
+        template.edit_for(black_box(&sibling)).unwrap()
     });
-    group.finish();
+    println!("edit/compile ratio: {:.2e}", t_edit / t_compile);
 }
-
-criterion_group!(benches, bench_compile_vs_edit);
-criterion_main!(benches);

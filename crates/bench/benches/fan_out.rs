@@ -1,0 +1,57 @@
+//! Branch fan-out benchmark: the same [`ExecutionPlan`] executed by the
+//! sequential and the parallel backend.
+//!
+//! Freezing `m` hotspots fans execution out into `2^{m−1}` independent
+//! branches; this bench measures how much of that fan-out the
+//! `ParallelExecutor` turns into wall-clock speedup, and verifies that the
+//! two backends agree bit-for-bit while doing so.
+
+use fq_bench::harness::{bench, fmt_time};
+use fq_graphs::{gen, to_ising_pm1};
+use fq_transpile::Device;
+use frozenqubits::{
+    plan_execution, Executor, FrozenQubitsConfig, ParallelExecutor, SequentialExecutor,
+};
+
+fn main() {
+    let model = to_ising_pm1(&gen::barabasi_albert(24, 1, 1).unwrap(), 1);
+    let device = Device::ibm_montreal();
+    println!("== branch fan-out: sequential vs parallel executor ==");
+    println!(
+        "cores available: {}",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    for m in [2usize, 3, 4, 5] {
+        let cfg = FrozenQubitsConfig::with_frozen(m);
+        let plan = plan_execution(&model, &device, &cfg).unwrap();
+        let branches = plan.num_branches();
+
+        let seq = SequentialExecutor.execute(&plan, &device, &cfg).unwrap();
+        let par = ParallelExecutor::default()
+            .execute(&plan, &device, &cfg)
+            .unwrap();
+        assert_eq!(seq, par, "backends must agree bit-for-bit");
+
+        let t_seq = bench(
+            &format!("m={m} ({branches} branches) sequential"),
+            1,
+            5,
+            || SequentialExecutor.execute(&plan, &device, &cfg).unwrap(),
+        );
+        let t_par = bench(
+            &format!("m={m} ({branches} branches) parallel"),
+            1,
+            5,
+            || {
+                ParallelExecutor::default()
+                    .execute(&plan, &device, &cfg)
+                    .unwrap()
+            },
+        );
+        println!(
+            "  -> speedup {:.2}x  (saved {} per run)\n",
+            t_seq / t_par,
+            fmt_time((t_seq - t_par).max(0.0))
+        );
+    }
+}

@@ -1,46 +1,45 @@
-//! Criterion benches of the freezing algebra and classical solvers — the
-//! §3.8 complexity claims (freezing is `O(m·N)` per sub-problem, decoding
-//! is linear).
+//! Benches of the freezing algebra and classical solvers — the §3.8
+//! complexity claims (freezing is `O(m·N)` per sub-problem, decoding is
+//! linear).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use fq_bench::harness::bench;
 use fq_graphs::{gen, to_ising_pm1};
 use fq_ising::solve::{simulated_annealing, AnnealConfig};
 use fq_ising::{Spin, SpinVec};
 use frozenqubits::{partition_problem, select_hotspots, HotspotStrategy};
 
-fn bench_freezing(c: &mut Criterion) {
+fn main() {
     let model = to_ising_pm1(&gen::barabasi_albert(500, 1, 1).unwrap(), 1);
     let hub = model.hotspots()[0];
 
-    let mut group = c.benchmark_group("freezing");
-    group.bench_function("freeze_one_hotspot_500q", |b| {
-        b.iter(|| black_box(model.freeze(black_box(&[(hub, Spin::UP)])).unwrap()));
+    println!("== freezing micro-benches ==");
+    bench("freeze_one_hotspot_500q", 3, 100, || {
+        model.freeze(black_box(&[(hub, Spin::UP)])).unwrap()
     });
 
     let hotspots = select_hotspots(&model, 8, &HotspotStrategy::MaxDegree).unwrap();
-    group.bench_function("partition_m8_pruned_500q", |b| {
-        b.iter(|| black_box(partition_problem(&model, black_box(&hotspots), true).unwrap()));
+    bench("partition_m8_pruned_500q", 1, 10, || {
+        partition_problem(&model, black_box(&hotspots), true).unwrap()
     });
 
     let frozen = model.freeze(&[(hub, Spin::UP)]).unwrap();
     let sub_solution = SpinVec::all_up(499);
-    group.bench_function("decode_outcome_500q", |b| {
-        b.iter(|| black_box(frozen.decode(black_box(&sub_solution)).unwrap()));
+    bench("decode_outcome_500q", 3, 200, || {
+        frozen.decode(black_box(&sub_solution)).unwrap()
     });
 
-    group.bench_function("hotspot_selection_500q", |b| {
-        b.iter(|| black_box(select_hotspots(&model, 10, &HotspotStrategy::MaxDegree).unwrap()));
+    bench("hotspot_selection_500q", 3, 100, || {
+        select_hotspots(&model, 10, &HotspotStrategy::MaxDegree).unwrap()
     });
 
-    group.sample_size(10);
-    group.bench_function("simulated_annealing_500q", |b| {
-        let cfg = AnnealConfig { sweeps: 50, restarts: 1, ..AnnealConfig::default() };
-        b.iter(|| black_box(simulated_annealing(&model, &cfg, 3).unwrap()));
+    let cfg = AnnealConfig {
+        sweeps: 50,
+        restarts: 1,
+        ..AnnealConfig::default()
+    };
+    bench("simulated_annealing_500q", 1, 5, || {
+        simulated_annealing(&model, &cfg, 3).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_freezing);
-criterion_main!(benches);

@@ -1,38 +1,33 @@
-//! Criterion benches of the transpiler: layout + SABRE routing on heavy-hex
-//! and grid devices (the cost FrozenQubits amortizes via templates).
+//! Benches of the transpiler: layout + SABRE routing on heavy-hex and
+//! grid devices (the cost FrozenQubits amortizes via templates).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use fq_bench::harness::bench;
 use fq_circuit::build_qaoa_circuit;
 use fq_graphs::{gen, to_ising_pm1};
 use fq_transpile::{compile, CompileOptions, Device};
 
-fn bench_routing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transpile");
+fn main() {
+    println!("== transpile micro-benches ==");
 
     let small = to_ising_pm1(&gen::barabasi_albert(16, 1, 1).unwrap(), 1);
     let small_qc = build_qaoa_circuit(&small, 1).unwrap();
     let falcon = Device::ibm_montreal();
-    group.bench_function("compile_ba16_falcon27", |b| {
-        b.iter(|| black_box(compile(black_box(&small_qc), &falcon, CompileOptions::level3()).unwrap()));
+    bench("compile_ba16_falcon27", 2, 50, || {
+        compile(black_box(&small_qc), &falcon, CompileOptions::level3()).unwrap()
     });
 
     let dense = to_ising_pm1(&gen::complete(12), 2);
     let dense_qc = build_qaoa_circuit(&dense, 1).unwrap();
-    group.bench_function("compile_sk12_falcon27", |b| {
-        b.iter(|| black_box(compile(black_box(&dense_qc), &falcon, CompileOptions::level3()).unwrap()));
+    bench("compile_sk12_falcon27", 2, 50, || {
+        compile(black_box(&dense_qc), &falcon, CompileOptions::level3()).unwrap()
     });
 
-    group.sample_size(10);
     let big = to_ising_pm1(&gen::barabasi_albert(200, 1, 1).unwrap(), 1);
     let big_qc = build_qaoa_circuit(&big, 1).unwrap();
     let grid = Device::grid_2500();
-    group.bench_function("compile_ba200_grid2500", |b| {
-        b.iter(|| black_box(compile(black_box(&big_qc), &grid, CompileOptions::level3()).unwrap()));
+    bench("compile_ba200_grid2500", 1, 5, || {
+        compile(black_box(&big_qc), &grid, CompileOptions::level3()).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_routing);
-criterion_main!(benches);

@@ -1,55 +1,49 @@
-//! Criterion benches of the simulation substrate: statevector gate
-//! throughput, sampling, analytic p=1 expectations (the engine behind the
-//! ARG figures and the 50×50 landscape), and the Monte-Carlo noisy
-//! sampler.
+//! Benches of the simulation substrate: statevector gate throughput,
+//! sampling, analytic p=1 expectations (the engine behind the ARG figures
+//! and the 50×50 landscape), and the Monte-Carlo noisy sampler.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use fq_bench::harness::bench;
 use fq_circuit::build_qaoa_circuit;
 use fq_graphs::{gen, to_ising_pm1};
 use fq_sim::analytic::expectation_p1;
 use fq_sim::{run_circuit, sample_noisy, NoisySamplerConfig};
 use fq_transpile::{compile, CompileOptions, Device};
 
-fn bench_statevector(c: &mut Criterion) {
+fn main() {
+    println!("== simulation micro-benches ==");
     let model = to_ising_pm1(&gen::barabasi_albert(16, 1, 1).unwrap(), 1);
     let qc = build_qaoa_circuit(&model, 1)
         .unwrap()
         .bind(&[0.4], &[0.8])
         .unwrap();
-    let mut group = c.benchmark_group("simulation");
-    group.bench_function("statevector_qaoa_16q", |b| {
-        b.iter(|| black_box(run_circuit(black_box(&qc)).unwrap()));
+    bench("statevector_qaoa_16q", 1, 20, || {
+        run_circuit(black_box(&qc)).unwrap()
     });
 
     let sv = run_circuit(&qc).unwrap();
-    group.bench_function("sample_4096_shots_16q", |b| {
-        b.iter(|| black_box(sv.sample_indices(4096, 7)));
+    bench("sample_4096_shots_16q", 1, 20, || {
+        sv.sample_indices(4096, 7)
     });
 
     let big = to_ising_pm1(&gen::barabasi_albert(500, 1, 1).unwrap(), 1);
-    group.bench_function("analytic_p1_ev_500q", |b| {
-        b.iter(|| black_box(expectation_p1(black_box(&big), 0.4, 0.8).unwrap()));
+    bench("analytic_p1_ev_500q", 1, 20, || {
+        expectation_p1(black_box(&big), 0.4, 0.8).unwrap()
     });
 
     let dev = Device::ibm_montreal();
     let compiled = compile(&qc, &dev, CompileOptions::level3()).unwrap();
-    group.sample_size(10);
-    group.bench_function("mc_noisy_sampler_16q_1024shots", |b| {
-        b.iter(|| {
-            black_box(
-                sample_noisy(
-                    &compiled,
-                    &dev,
-                    NoisySamplerConfig { shots: 1024, trajectories: 8, seed: 3 },
-                )
-                .unwrap(),
-            )
-        });
+    bench("mc_noisy_sampler_1024x8_16q", 1, 5, || {
+        sample_noisy(
+            &compiled,
+            &dev,
+            NoisySamplerConfig {
+                shots: 1024,
+                trajectories: 8,
+                seed: 3,
+            },
+        )
+        .unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_statevector);
-criterion_main!(benches);

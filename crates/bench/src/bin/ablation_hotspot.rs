@@ -3,13 +3,16 @@
 //! against MaxAbsCoupling and Random over the BA(d=1) suite.
 
 use fq_bench::{ba_instance, fmt, write_csv, ARG_SIZES};
-use fq_transpile::Device;
+use fq_transpile::{compile_invocations, Device};
 use frozenqubits::{run_frozen, FrozenQubitsConfig, HotspotStrategy};
 
 fn main() {
     println!("== Ablation: hotspot-selection policy (FQ m=1, IBM-Montreal) ==");
     let device = Device::ibm_montreal();
-    let policies: [(&str, fn(u64) -> HotspotStrategy); 3] = [
+    let compiles_before = compile_invocations();
+    let mut runs = 0u64;
+    type Policy = (&'static str, fn(u64) -> HotspotStrategy);
+    let policies: [Policy; 3] = [
         ("max-degree", |_| HotspotStrategy::MaxDegree),
         ("max-|J|", |_| HotspotStrategy::MaxAbsCoupling),
         ("random", HotspotStrategy::Random),
@@ -31,13 +34,19 @@ fn main() {
                     ..FrozenQubitsConfig::default()
                 };
                 let (s, _) = run_frozen(&model, &device, &cfg).expect("fq runs");
+                runs += 1;
                 arg[k] += s.arg / seeds as f64;
                 cx[k] += s.metrics.compiled_cnots as f64 / seeds as f64;
             }
         }
         println!(
             "{n:>4} | {:>12} {:>12} {:>12} | {:>10} {:>10} {:>10}",
-            fmt(arg[0]), fmt(arg[1]), fmt(arg[2]), fmt(cx[0]), fmt(cx[1]), fmt(cx[2])
+            fmt(arg[0]),
+            fmt(arg[1]),
+            fmt(arg[2]),
+            fmt(cx[0]),
+            fmt(cx[1]),
+            fmt(cx[2])
         );
         rows.push(vec![
             n.to_string(),
@@ -55,4 +64,8 @@ fn main() {
         &rows,
     );
     println!("(max-degree should dominate random, especially at larger N)");
+    println!(
+        "plan/execute amortization: {runs} runs used {} compiles (one template each)",
+        compile_invocations() - compiles_before
+    );
 }

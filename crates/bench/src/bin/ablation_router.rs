@@ -10,9 +10,27 @@ fn main() {
     println!("== Ablation: layout strategy and cleanup passes (IBM-Montreal) ==");
     let device = Device::ibm_montreal();
     let variants: [(&str, CompileOptions); 4] = [
-        ("trivial", CompileOptions { layout: LayoutStrategy::Trivial, optimize: false }),
-        ("trivial+opt", CompileOptions { layout: LayoutStrategy::Trivial, optimize: true }),
-        ("adaptive", CompileOptions { layout: LayoutStrategy::NoiseAdaptive, optimize: false }),
+        (
+            "trivial",
+            CompileOptions {
+                layout: LayoutStrategy::Trivial,
+                optimize: false,
+            },
+        ),
+        (
+            "trivial+opt",
+            CompileOptions {
+                layout: LayoutStrategy::Trivial,
+                optimize: true,
+            },
+        ),
+        (
+            "adaptive",
+            CompileOptions {
+                layout: LayoutStrategy::NoiseAdaptive,
+                optimize: false,
+            },
+        ),
         ("adaptive+opt", CompileOptions::level3()),
     ];
     println!(

@@ -21,7 +21,9 @@ use frozenqubits::{
     FrozenQubitsConfig, HotspotStrategy,
 };
 
-use crate::{ba_instance, fmt, gmean, regular3_instance, sk_instance, write_csv, ARG_SIZES, SEEDS_PER_SIZE};
+use crate::{
+    ba_instance, fmt, gmean, regular3_instance, sk_instance, write_csv, ARG_SIZES, SEEDS_PER_SIZE,
+};
 
 /// Fig. 1(b): degree statistics of the (synthetic) airport network.
 pub fn fig01b_powerlaw() {
@@ -51,7 +53,10 @@ pub fn fig01b_powerlaw() {
 /// graphs on a grid architecture.
 pub fn fig03_swap_overhead(sizes: &[usize]) {
     println!("== Fig 3: SWAP blow-up on fully-connected graphs (grid) ==");
-    println!("{:>4} | {:>10} | {:>10} | {:>6}", "N", "pre-CX", "post-CX", "ratio");
+    println!(
+        "{:>4} | {:>10} | {:>10} | {:>6}",
+        "N", "pre-CX", "post-CX", "ratio"
+    );
     let mut rows = Vec::new();
     for &n in sizes {
         let model = sk_instance(n, 1);
@@ -62,7 +67,10 @@ pub fn fig03_swap_overhead(sizes: &[usize]) {
         let compiled = compile(&qc, &device, CompileOptions::level3()).expect("compiles");
         let pre = qc.cnot_count();
         let post = compiled.stats.cnot_count;
-        println!("{n:>4} | {pre:>10} | {post:>10} | {:>6.2}", post as f64 / pre as f64);
+        println!(
+            "{n:>4} | {pre:>10} | {post:>10} | {:>6.2}",
+            post as f64 / pre as f64
+        );
         rows.push(vec![n.to_string(), pre.to_string(), post.to_string()]);
     }
     write_csv("fig03_swap_overhead.csv", "n,pre_cx,post_cx", &rows);
@@ -72,14 +80,20 @@ pub fn fig03_swap_overhead(sizes: &[usize]) {
 pub fn fig06_graph_families() {
     println!("== Fig 6: benchmark graph families (n = 16) ==");
     let samples: Vec<(&str, fq_graphs::Graph)> = vec![
-        ("3-regular", gen::random_regular(16, 3, 0).expect("feasible")),
+        (
+            "3-regular",
+            gen::random_regular(16, 3, 0).expect("feasible"),
+        ),
         ("SK", gen::complete(16)),
         ("BA d=1", gen::barabasi_albert(16, 1, 0).expect("feasible")),
         ("BA d=2", gen::barabasi_albert(16, 2, 0).expect("feasible")),
         ("BA d=3", gen::barabasi_albert(16, 3, 0).expect("feasible")),
     ];
     let mut rows = Vec::new();
-    println!("{:<10} | {:>6} | {:>9} | {:>8} | {:>5}", "family", "edges", "max deg", "mean", "gini");
+    println!(
+        "{:<10} | {:>6} | {:>9} | {:>8} | {:>5}",
+        "family", "edges", "max deg", "mean", "gini"
+    );
     for (name, g) in samples {
         let s = powerlaw::degree_stats(&g);
         println!(
@@ -97,7 +111,11 @@ pub fn fig06_graph_families() {
             format!("{:.3}", s.gini),
         ]);
     }
-    write_csv("fig06_families.csv", "family,edges,max_degree,mean_degree,gini", &rows);
+    write_csv(
+        "fig06_families.csv",
+        "family,edges,max_degree,mean_degree,gini",
+        &rows,
+    );
 }
 
 /// One ARG/metrics sweep: baseline vs FQ(m=1) vs FQ(m=2) over sizes, with
@@ -137,13 +155,26 @@ fn arg_sweep(
                 depth[m].push(s.metrics.depth as f64);
             }
         }
-        let mean = |v: &Vec<f64>| if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 };
+        let mean = |v: &Vec<f64>| {
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
         let (a0, a1, a2) = (mean(&acc[0]), mean(&acc[1]), mean(&acc[2]));
         let (c0, c1, c2) = (mean(&cx[0]), mean(&cx[1]), mean(&cx[2]));
         let (d0, d1, d2) = (mean(&depth[0]), mean(&depth[1]), mean(&depth[2]));
         println!(
             "{n:>4} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>7} {:>7}",
-            fmt(a0), fmt(a1), fmt(a2), fmt(c0), fmt(c1), fmt(c2), fmt(a0 / a1), fmt(a0 / a2)
+            fmt(a0),
+            fmt(a1),
+            fmt(a2),
+            fmt(c0),
+            fmt(c1),
+            fmt(c2),
+            fmt(a0 / a1),
+            fmt(a0 / a2)
         );
         rows.push(vec![
             n.to_string(),
@@ -191,8 +222,14 @@ pub fn fig09_tradeoff() {
         let model = ba_instance(24, d, 9);
         let cfg = FrozenQubitsConfig::default();
         let base = run_baseline(&model, &device, &cfg).expect("baseline runs");
-        println!("d_BA = {d}: baseline ARG {:.2}, CX {}", base.arg, base.metrics.compiled_cnots);
-        println!("{:>3} | {:>5} | {:>8} | {:>7} | {:>9}", "m", "cost", "rel ARG", "rel CX", "rel depth");
+        println!(
+            "d_BA = {d}: baseline ARG {:.2}, CX {}",
+            base.arg, base.metrics.compiled_cnots
+        );
+        println!(
+            "{:>3} | {:>5} | {:>8} | {:>7} | {:>9}",
+            "m", "cost", "rel ARG", "rel CX", "rel depth"
+        );
         for m in 1..=10usize {
             let cfg = FrozenQubitsConfig::with_frozen(m);
             let (s, _) = run_frozen(&model, &device, &cfg).expect("fq runs");
@@ -213,7 +250,11 @@ pub fn fig09_tradeoff() {
             ]);
         }
     }
-    write_csv("fig09_tradeoff.csv", "d_ba,m,quantum_cost,rel_arg,rel_cx,rel_depth", &rows);
+    write_csv(
+        "fig09_tradeoff.csv",
+        "d_ba,m,quantum_cost,rel_arg,rel_cx,rel_depth",
+        &rows,
+    );
 }
 
 /// Fig. 10: ARG on dense BA graphs (d = 2, 3).
@@ -246,7 +287,7 @@ pub fn fig11_arg_regular() {
         "fig11_sk.csv",
         &[4, 6, 8, 10, 12],
         &Device::ibm_montreal(),
-        |n, seed| sk_instance(n, seed),
+        sk_instance,
     );
 }
 
@@ -259,7 +300,8 @@ pub fn fig12_landscape() {
     let schemes: Vec<(String, IsingModel)> = {
         let mut v = vec![("baseline".to_string(), parent.clone())];
         for m in 1..=2usize {
-            let hotspots = select_hotspots(&parent, m, &HotspotStrategy::MaxDegree).expect("valid m");
+            let hotspots =
+                select_hotspots(&parent, m, &HotspotStrategy::MaxDegree).expect("valid m");
             let plan = partition_problem(&parent, &hotspots, true).expect("valid plan");
             v.push((format!("fq_m{m}"), plan.executed[0].problem.model().clone()));
         }
@@ -298,11 +340,19 @@ pub fn fig12_landscape() {
             .flat_map(|(i, &g)| {
                 let scan = &scan;
                 scan.betas.iter().enumerate().map(move |(j, &b)| {
-                    vec![format!("{g:.5}"), format!("{b:.5}"), format!("{:.6}", -scan.values[i][j])]
+                    vec![
+                        format!("{g:.5}"),
+                        format!("{b:.5}"),
+                        format!("{:.6}", -scan.values[i][j]),
+                    ]
                 })
             })
             .collect();
-        write_csv(&format!("fig12_landscape_{name}.csv"), "gamma,beta,ar", &grid_rows);
+        write_csv(
+            &format!("fig12_landscape_{name}.csv"),
+            "gamma,beta,ar",
+            &grid_rows,
+        );
     }
     write_csv("fig12_summary.csv", "scheme,best_ar,contrast", &rows);
 }
@@ -335,14 +385,22 @@ pub fn fig13_machines() {
         }
         let (g1, g2) = (gmean(&imp.0), gmean(&imp.1));
         println!("{:<16} | {:>8.2} | {:>8.2}", device.name(), g1, g2);
-        rows.push(vec![device.name().to_string(), format!("{g1:.4}"), format!("{g2:.4}")]);
+        rows.push(vec![
+            device.name().to_string(),
+            format!("{g1:.4}"),
+            format!("{g2:.4}"),
+        ]);
         gmeans.0.push(g1);
         gmeans.1.push(g2);
     }
     let (t1, t2) = (gmean(&gmeans.0), gmean(&gmeans.1));
     println!("{:<16} | {:>8.2} | {:>8.2}", "GMEAN", t1, t2);
     rows.push(vec!["GMEAN".into(), format!("{t1:.4}"), format!("{t2:.4}")]);
-    write_csv("fig13_machines.csv", "machine,improvement_m1,improvement_m2", &rows);
+    write_csv(
+        "fig13_machines.csv",
+        "machine,improvement_m1,improvement_m2",
+        &rows,
+    );
 }
 
 /// Table 3: FrozenQubits vs CutQC overheads on representative instances.

@@ -1,0 +1,68 @@
+//! A minimal wall-clock benchmark harness for the `benches/` targets.
+//!
+//! The offline build cannot fetch Criterion, so the bench targets are
+//! plain `harness = false` mains built on this module: warm up, run a
+//! fixed number of timed iterations, and report min/mean per-iteration
+//! time. Results are indicative (no outlier rejection), which is enough
+//! for the order-of-magnitude claims the paper's Fig. 17/18 make.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` over `iters` iterations after `warmup` untimed runs and
+/// prints a `name: mean ± min` line. Returns the mean seconds/iteration.
+pub fn bench<T>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(iters > 0, "at least one timed iteration");
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed().as_secs_f64();
+        total += dt;
+        min = min.min(dt);
+    }
+    let mean = total / iters as f64;
+    println!(
+        "{name:<40} {:>12} mean  {:>12} min  ({iters} iters)",
+        fmt_time(mean),
+        fmt_time(min)
+    );
+    mean
+}
+
+/// Formats seconds with an adaptive unit.
+#[must_use]
+pub fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_mean() {
+        let mean = bench("noop", 1, 3, || std::hint::black_box(1 + 1));
+        assert!(mean >= 0.0);
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" us"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod harness;
 pub mod scale;
 
 use std::fs;
@@ -61,7 +62,10 @@ pub fn write_csv(name: &str, header: &str, rows: &[Vec<String>]) {
 /// Panics for infeasible `(n, d)` (not used by the harness).
 #[must_use]
 pub fn ba_instance(n: usize, d: usize, seed: u64) -> IsingModel {
-    to_ising_pm1(&gen::barabasi_albert(n, d, seed).expect("valid BA parameters"), seed)
+    to_ising_pm1(
+        &gen::barabasi_albert(n, d, seed).expect("valid BA parameters"),
+        seed,
+    )
 }
 
 /// A random 3-regular benchmark instance.
@@ -113,11 +117,7 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        write_csv(
-            "selftest.csv",
-            "a,b",
-            &[vec!["1".into(), "2".into()]],
-        );
+        write_csv("selftest.csv", "a,b", &[vec!["1".into(), "2".into()]]);
         let content = std::fs::read_to_string(results_dir().join("selftest.csv")).unwrap();
         assert!(content.contains("a,b"));
         assert!(content.contains("1,2"));

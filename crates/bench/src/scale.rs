@@ -5,9 +5,11 @@ use std::time::Instant;
 
 use fq_circuit::{build_qaoa_circuit, qaoa_cnot_count};
 use fq_sim::log_eps;
-use fq_transpile::{compile, Compiled, CompileOptions, Device};
+use fq_transpile::{compile, compile_invocations, CompileOptions, Device};
 use frozenqubits::runtime::{end_to_end_runtime_hours, ExecutionModel, RuntimeParams};
-use frozenqubits::{partition_problem, select_hotspots, CompiledTemplate, HotspotStrategy};
+use frozenqubits::{
+    partition_problem, plan_execution, select_hotspots, FrozenQubitsConfig, HotspotStrategy,
+};
 
 use crate::{ba_instance, write_csv};
 
@@ -50,7 +52,8 @@ pub fn scale_sweep(d_ba: usize, n: usize, max_m: usize) -> Vec<ScalePoint> {
         let sub = if m == 0 {
             &model
         } else {
-            let hotspots = select_hotspots(&model, m, &HotspotStrategy::MaxDegree).expect("valid m");
+            let hotspots =
+                select_hotspots(&model, m, &HotspotStrategy::MaxDegree).expect("valid m");
             let plan = partition_problem(&model, &hotspots, true).expect("valid plan");
             sub_owned = plan.executed[0].problem.model().clone();
             &sub_owned
@@ -81,7 +84,10 @@ pub fn fig14_cnot_breakdown() {
         "baseline: {} pre-CX + {} SWAP-CX = {} total",
         base.pre_cx, base_swap_cx, base.post_cx
     );
-    println!("{:>3} | {:>9} | {:>9} | {:>9} | {:>11}", "m", "edge-red", "swap-red", "total-red", "swap share");
+    println!(
+        "{:>3} | {:>9} | {:>9} | {:>9} | {:>11}",
+        "m", "edge-red", "swap-red", "total-red", "swap share"
+    );
     let mut rows = Vec::new();
     for p in &sweep[1..] {
         let edge_red = base.pre_cx - p.pre_cx;
@@ -95,7 +101,11 @@ pub fn fig14_cnot_breakdown() {
         };
         println!(
             "{:>3} | {:>9} | {:>9} | {:>9} | {:>10.1}%",
-            p.m, edge_red, swap_red, total_red, 100.0 * share
+            p.m,
+            edge_red,
+            swap_red,
+            total_red,
+            100.0 * share
         );
         rows.push(vec![
             p.m.to_string(),
@@ -126,12 +136,18 @@ pub fn fig15_16_scale() {
             base.depth,
             base.log_eps / std::f64::consts::LN_10
         );
-        println!("{:>3} | {:>8} | {:>9} | {:>12}", "m", "rel CX", "rel depth", "rel EPS(log10)");
+        println!(
+            "{:>3} | {:>8} | {:>9} | {:>12}",
+            "m", "rel CX", "rel depth", "rel EPS(log10)"
+        );
         for p in &sweep[1..] {
             let rel_cx = p.post_cx as f64 / base.post_cx as f64;
             let rel_depth = p.depth as f64 / base.depth as f64;
             let rel_eps_log10 = (p.log_eps - base.log_eps) / std::f64::consts::LN_10;
-            println!("{:>3} | {rel_cx:>8.3} | {rel_depth:>9.3} | {rel_eps_log10:>+12.2}", p.m);
+            println!(
+                "{:>3} | {rel_cx:>8.3} | {rel_depth:>9.3} | {rel_eps_log10:>+12.2}",
+                p.m
+            );
             rows.push(vec![
                 d.to_string(),
                 p.m.to_string(),
@@ -141,69 +157,77 @@ pub fn fig15_16_scale() {
             ]);
         }
     }
-    write_csv("fig15_16_scale.csv", "d_ba,m,rel_cx,rel_depth,rel_eps_log10", &rows);
+    write_csv(
+        "fig15_16_scale.csv",
+        "d_ba,m,rel_cx,rel_depth,rel_eps_log10",
+        &rows,
+    );
 }
 
-/// Fig. 17: compilation time of the FQ sub-circuit vs the baseline, and
-/// template-editing time vs recompilation.
+/// Fig. 17: planning cost (the one template compile) vs the baseline
+/// compile, and template-editing time vs recompilation — measured through
+/// the plan/execute API, with the transpiler's invocation counter proving
+/// the `2^m → 1` compile amortization.
 pub fn fig17_compile_time() {
     let n = scale_n().min(300); // keep the timing loop snappy
-    println!("== Fig 17: compile vs template-edit time (BA d=1, N = {n}) ==");
+    println!("== Fig 17: plan (compile-once) vs per-branch edit time (BA d=1, N = {n}) ==");
     let model = ba_instance(n, 1, 1);
     let device = Device::grid_2500();
     let options = CompileOptions::level3();
 
-    let time = |f: &mut dyn FnMut() -> Compiled| -> (f64, Compiled) {
-        let t0 = Instant::now();
-        let c = f();
-        (t0.elapsed().as_secs_f64(), c)
-    };
-
-    let (t_base, _) = time(&mut || {
-        let qc = build_qaoa_circuit(&model, 1).expect("p=1");
-        compile(&qc, &device, options).expect("compiles")
-    });
+    let t0 = Instant::now();
+    let qc = build_qaoa_circuit(&model, 1).expect("p=1");
+    let _baseline = compile(&qc, &device, options).expect("compiles");
+    let t_base = t0.elapsed().as_secs_f64();
 
     let mut rows = Vec::new();
     println!(
-        "{:>3} | {:>12} | {:>13} | {:>13} | {:>10}",
-        "m", "rel compile", "edit seq (s)", "edit par (s)", "edit/compile"
+        "{:>3} | {:>8} | {:>9} | {:>12} | {:>13} | {:>10}",
+        "m", "branches", "templates", "rel plan", "edit seq (s)", "edit/compile"
     );
     for m in 1..=10usize {
-        let hotspots = select_hotspots(&model, m, &HotspotStrategy::MaxDegree).expect("valid m");
-        let plan = partition_problem(&model, &hotspots, true).expect("valid plan");
-        let rep = plan.executed[0].problem.model().clone();
+        let cfg = FrozenQubitsConfig::with_frozen(m);
+        let compiles_before = compile_invocations();
         let t0 = Instant::now();
-        let template =
-            CompiledTemplate::compile(&rep, 1, &device, options).expect("template compiles");
-        let t_compile = t0.elapsed().as_secs_f64();
+        let plan = plan_execution(&model, &device, &cfg).expect("plans");
+        let t_plan = t0.elapsed().as_secs_f64();
+        let compiles = compile_invocations() - compiles_before;
+        assert_eq!(
+            compiles,
+            plan.num_templates() as u64,
+            "one compile per shape"
+        );
 
-        // Editing time for the remaining executables (measure a few, scale).
-        let probe = plan.executed.len().min(8).max(1);
+        // Editing time for the branch executables (measure a few, scale).
+        let probe = plan.num_branches().clamp(1, 8);
         let t0 = Instant::now();
-        for exec in plan.executed.iter().take(probe) {
-            let _ = template.edit_for(exec.problem.model()).expect("edits");
+        for b in 0..probe {
+            let _ = plan
+                .template_for(b)
+                .edit_for(plan.branch(b).problem.model())
+                .expect("edits");
         }
         let t_edit_one = t0.elapsed().as_secs_f64() / probe as f64;
-        let t_seq = t_edit_one * plan.executed.len() as f64;
-        let cores = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
-        let t_par = t_edit_one * (plan.executed.len() as f64 / cores as f64).ceil();
+        let t_seq = t_edit_one * plan.num_branches() as f64;
 
         println!(
-            "{m:>3} | {:>12.3} | {t_seq:>13.5} | {t_par:>13.5} | {:>10.2e}",
-            t_compile / t_base,
-            t_seq / t_compile
+            "{m:>3} | {:>8} | {:>9} | {:>12.3} | {t_seq:>13.5} | {:>10.2e}",
+            plan.num_branches(),
+            plan.num_templates(),
+            t_plan / t_base,
+            t_seq / t_plan
         );
         rows.push(vec![
             m.to_string(),
-            format!("{:.5}", t_compile / t_base),
+            plan.num_branches().to_string(),
+            plan.num_templates().to_string(),
+            format!("{:.5}", t_plan / t_base),
             format!("{t_seq:.6}"),
-            format!("{t_par:.6}"),
         ]);
     }
     write_csv(
         "fig17_compile_time.csv",
-        "m,rel_compile_time,edit_sequential_s,edit_parallel_s",
+        "m,branches,templates,rel_plan_time,edit_sequential_s",
         &rows,
     );
 }
@@ -212,7 +236,12 @@ pub fn fig17_compile_time() {
 pub fn fig18_runtime() {
     println!("== Fig 18: end-to-end runtime (hours) ==");
     let params = RuntimeParams::default();
-    let schemes: [(&str, u64); 4] = [("baseline", 1), ("FQ(m=1)", 1), ("FQ(m=2)", 2), ("FQ(m=10)", 512)];
+    let schemes: [(&str, u64); 4] = [
+        ("baseline", 1),
+        ("FQ(m=1)", 1),
+        ("FQ(m=2)", 2),
+        ("FQ(m=10)", 512),
+    ];
     println!(
         "{:<22} | {:>10} {:>10} {:>10} {:>10}",
         "execution model", schemes[0].0, schemes[1].0, schemes[2].0, schemes[3].0

@@ -62,20 +62,24 @@ impl Angle {
     pub fn bind(&self, gammas: &[f64], betas: &[f64]) -> Result<f64, CircuitError> {
         match *self {
             Angle::Constant(v) => Ok(v),
-            Angle::Gamma { layer, scale, .. } => gammas
-                .get(layer)
-                .map(|g| scale * g)
-                .ok_or(CircuitError::LayerOutOfRange {
-                    layer,
-                    layers: gammas.len(),
-                }),
-            Angle::Beta { layer, scale } => betas
-                .get(layer)
-                .map(|b| scale * b)
-                .ok_or(CircuitError::LayerOutOfRange {
-                    layer,
-                    layers: betas.len(),
-                }),
+            Angle::Gamma { layer, scale, .. } => {
+                gammas
+                    .get(layer)
+                    .map(|g| scale * g)
+                    .ok_or(CircuitError::LayerOutOfRange {
+                        layer,
+                        layers: gammas.len(),
+                    })
+            }
+            Angle::Beta { layer, scale } => {
+                betas
+                    .get(layer)
+                    .map(|b| scale * b)
+                    .ok_or(CircuitError::LayerOutOfRange {
+                        layer,
+                        layers: betas.len(),
+                    })
+            }
         }
     }
 
@@ -93,18 +97,34 @@ impl Angle {
         match (*self, *other) {
             (Angle::Constant(a), Angle::Constant(b)) => Some(Angle::Constant(a + b)),
             (
-                Angle::Gamma { layer: la, scale: sa, term: ta },
-                Angle::Gamma { layer: lb, scale: sb, term: tb },
+                Angle::Gamma {
+                    layer: la,
+                    scale: sa,
+                    term: ta,
+                },
+                Angle::Gamma {
+                    layer: lb,
+                    scale: sb,
+                    term: tb,
+                },
             ) if la == lb && ta == tb => Some(Angle::Gamma {
                 layer: la,
                 scale: sa + sb,
                 term: ta,
             }),
-            (Angle::Beta { layer: la, scale: sa }, Angle::Beta { layer: lb, scale: sb })
-                if la == lb =>
-            {
-                Some(Angle::Beta { layer: la, scale: sa + sb })
-            }
+            (
+                Angle::Beta {
+                    layer: la,
+                    scale: sa,
+                },
+                Angle::Beta {
+                    layer: lb,
+                    scale: sb,
+                },
+            ) if la == lb => Some(Angle::Beta {
+                layer: la,
+                scale: sa + sb,
+            }),
             _ => None,
         }
     }
@@ -157,8 +177,15 @@ mod tests {
 
     #[test]
     fn binds_each_kind() {
-        let g = Angle::Gamma { layer: 1, scale: 3.0, term: 0 };
-        let b = Angle::Beta { layer: 0, scale: -2.0 };
+        let g = Angle::Gamma {
+            layer: 1,
+            scale: 3.0,
+            term: 0,
+        };
+        let b = Angle::Beta {
+            layer: 0,
+            scale: -2.0,
+        };
         assert_eq!(g.bind(&[0.0, 0.5], &[]).unwrap(), 1.5);
         assert_eq!(b.bind(&[], &[0.25]).unwrap(), -0.5);
         assert!(g.bind(&[0.1], &[]).is_err());
@@ -166,26 +193,76 @@ mod tests {
 
     #[test]
     fn try_add_fuses_compatible_angles() {
-        let a = Angle::Gamma { layer: 0, scale: 1.0, term: 4 };
-        let b = Angle::Gamma { layer: 0, scale: 2.0, term: 4 };
-        assert_eq!(a.try_add(&b), Some(Angle::Gamma { layer: 0, scale: 3.0, term: 4 }));
-        let other_layer = Angle::Gamma { layer: 1, scale: 2.0, term: 4 };
+        let a = Angle::Gamma {
+            layer: 0,
+            scale: 1.0,
+            term: 4,
+        };
+        let b = Angle::Gamma {
+            layer: 0,
+            scale: 2.0,
+            term: 4,
+        };
+        assert_eq!(
+            a.try_add(&b),
+            Some(Angle::Gamma {
+                layer: 0,
+                scale: 3.0,
+                term: 4
+            })
+        );
+        let other_layer = Angle::Gamma {
+            layer: 1,
+            scale: 2.0,
+            term: 4,
+        };
         assert_eq!(a.try_add(&other_layer), None);
-        let other_term = Angle::Gamma { layer: 0, scale: 2.0, term: 5 };
+        let other_term = Angle::Gamma {
+            layer: 0,
+            scale: 2.0,
+            term: 5,
+        };
         assert_eq!(a.try_add(&other_term), None);
         assert_eq!(
             Angle::Constant(1.0).try_add(&Angle::Constant(0.5)),
             Some(Angle::Constant(1.5))
         );
-        assert_eq!(a.try_add(&Angle::Beta { layer: 0, scale: 1.0 }), None);
+        assert_eq!(
+            a.try_add(&Angle::Beta {
+                layer: 0,
+                scale: 1.0
+            }),
+            None
+        );
     }
 
     #[test]
     fn zero_detection_and_rescale() {
         assert!(Angle::Constant(0.0).is_zero());
-        assert!(Angle::Gamma { layer: 0, scale: 0.0, term: 0 }.is_zero());
-        assert!(!Angle::Beta { layer: 0, scale: 0.1 }.is_zero());
-        let a = Angle::Gamma { layer: 2, scale: 1.0, term: 7 }.with_scale(4.0);
-        assert_eq!(a, Angle::Gamma { layer: 2, scale: 4.0, term: 7 });
+        assert!(Angle::Gamma {
+            layer: 0,
+            scale: 0.0,
+            term: 0
+        }
+        .is_zero());
+        assert!(!Angle::Beta {
+            layer: 0,
+            scale: 0.1
+        }
+        .is_zero());
+        let a = Angle::Gamma {
+            layer: 2,
+            scale: 1.0,
+            term: 7,
+        }
+        .with_scale(4.0);
+        assert_eq!(
+            a,
+            Angle::Gamma {
+                layer: 2,
+                scale: 4.0,
+                term: 7
+            }
+        );
     }
 }

@@ -253,7 +253,11 @@ impl QuantumCircuit {
     ///
     /// Returns [`CircuitError::QubitOutOfRange`] if the layout maps a qubit
     /// at or beyond `new_width`, or is shorter than the circuit width.
-    pub fn remapped(&self, layout: &[usize], new_width: usize) -> Result<QuantumCircuit, CircuitError> {
+    pub fn remapped(
+        &self,
+        layout: &[usize],
+        new_width: usize,
+    ) -> Result<QuantumCircuit, CircuitError> {
         if layout.len() < self.num_qubits {
             return Err(CircuitError::QubitOutOfRange {
                 qubit: layout.len(),
@@ -303,7 +307,10 @@ mod tests {
         let mut qc = QuantumCircuit::new(2);
         assert!(qc.h(0).is_ok());
         assert!(matches!(qc.h(2), Err(CircuitError::QubitOutOfRange { .. })));
-        assert!(matches!(qc.cx(1, 1), Err(CircuitError::IdenticalOperands(1))));
+        assert!(matches!(
+            qc.cx(1, 1),
+            Err(CircuitError::IdenticalOperands(1))
+        ));
     }
 
     #[test]
@@ -334,8 +341,23 @@ mod tests {
     #[test]
     fn bind_resolves_all_angles() {
         let mut qc = QuantumCircuit::new(1);
-        qc.rz(0, Angle::Gamma { layer: 0, scale: 2.0, term: 0 }).unwrap();
-        qc.rx(0, Angle::Beta { layer: 0, scale: 2.0 }).unwrap();
+        qc.rz(
+            0,
+            Angle::Gamma {
+                layer: 0,
+                scale: 2.0,
+                term: 0,
+            },
+        )
+        .unwrap();
+        qc.rx(
+            0,
+            Angle::Beta {
+                layer: 0,
+                scale: 2.0,
+            },
+        )
+        .unwrap();
         assert!(qc.is_parametric());
         assert_eq!(qc.num_parameter_layers(), 1);
         let bound = qc.bind(&[0.5], &[0.25]).unwrap();
@@ -350,7 +372,13 @@ mod tests {
         let mut qc = QuantumCircuit::new(2);
         qc.cx(0, 1).unwrap();
         let wide = qc.remapped(&[5, 3], 6).unwrap();
-        assert_eq!(wide.gates()[0], Gate::Cx { control: 5, target: 3 });
+        assert_eq!(
+            wide.gates()[0],
+            Gate::Cx {
+                control: 5,
+                target: 3
+            }
+        );
         assert!(qc.remapped(&[5, 7], 6).is_err());
     }
 

@@ -47,10 +47,16 @@ impl fmt::Display for CircuitError {
                 write!(f, "two-qubit gate needs distinct operands, got q{q} twice")
             }
             CircuitError::LayerOutOfRange { layer, layers } => {
-                write!(f, "angle references layer {layer} but only {layers} parameters were bound")
+                write!(
+                    f,
+                    "angle references layer {layer} but only {layers} parameters were bound"
+                )
             }
             CircuitError::ParameterLengthMismatch { gammas, betas } => {
-                write!(f, "expected equally many gammas and betas, got {gammas} and {betas}")
+                write!(
+                    f,
+                    "expected equally many gammas and betas, got {gammas} and {betas}"
+                )
             }
             CircuitError::ZeroLayers => write!(f, "qaoa circuits need at least one layer"),
             CircuitError::TemplateMismatch(msg) => write!(f, "template mismatch: {msg}"),
@@ -67,10 +73,19 @@ mod tests {
     #[test]
     fn display_nonempty() {
         for e in [
-            CircuitError::QubitOutOfRange { qubit: 2, num_qubits: 2 },
+            CircuitError::QubitOutOfRange {
+                qubit: 2,
+                num_qubits: 2,
+            },
             CircuitError::IdenticalOperands(1),
-            CircuitError::LayerOutOfRange { layer: 3, layers: 1 },
-            CircuitError::ParameterLengthMismatch { gammas: 1, betas: 2 },
+            CircuitError::LayerOutOfRange {
+                layer: 3,
+                layers: 1,
+            },
+            CircuitError::ParameterLengthMismatch {
+                gammas: 1,
+                betas: 2,
+            },
             CircuitError::ZeroLayers,
             CircuitError::TemplateMismatch("edges differ".into()),
         ] {

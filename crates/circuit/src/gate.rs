@@ -65,7 +65,11 @@ impl Gate {
     #[must_use]
     pub fn qubits(&self) -> Vec<usize> {
         match *self {
-            Gate::H { q } | Gate::X { q } | Gate::Rz { q, .. } | Gate::Rx { q, .. } | Gate::Measure { q } => vec![q],
+            Gate::H { q }
+            | Gate::X { q }
+            | Gate::Rz { q, .. }
+            | Gate::Rx { q, .. }
+            | Gate::Measure { q } => vec![q],
             Gate::Cx { control, target } => vec![control, target],
             Gate::Swap { a, b } => vec![a, b],
         }
@@ -136,26 +140,53 @@ mod tests {
     #[test]
     fn qubit_lists() {
         assert_eq!(Gate::H { q: 3 }.qubits(), vec![3]);
-        assert_eq!(Gate::Cx { control: 1, target: 2 }.qubits(), vec![1, 2]);
+        assert_eq!(
+            Gate::Cx {
+                control: 1,
+                target: 2
+            }
+            .qubits(),
+            vec![1, 2]
+        );
         assert_eq!(Gate::Swap { a: 0, b: 4 }.qubits(), vec![0, 4]);
     }
 
     #[test]
     fn cnot_costs() {
-        assert_eq!(Gate::Cx { control: 0, target: 1 }.cnot_cost(), 1);
+        assert_eq!(
+            Gate::Cx {
+                control: 0,
+                target: 1
+            }
+            .cnot_cost(),
+            1
+        );
         assert_eq!(Gate::Swap { a: 0, b: 1 }.cnot_cost(), 3);
         assert_eq!(Gate::H { q: 0 }.cnot_cost(), 0);
     }
 
     #[test]
     fn map_qubits_applies_layout() {
-        let g = Gate::Cx { control: 0, target: 1 }.map_qubits(|q| q + 10);
-        assert_eq!(g, Gate::Cx { control: 10, target: 11 });
+        let g = Gate::Cx {
+            control: 0,
+            target: 1,
+        }
+        .map_qubits(|q| q + 10);
+        assert_eq!(
+            g,
+            Gate::Cx {
+                control: 10,
+                target: 11
+            }
+        );
     }
 
     #[test]
     fn display_is_qasm_like() {
-        let g = Gate::Rz { q: 2, theta: Angle::Constant(0.5) };
+        let g = Gate::Rz {
+            q: 2,
+            theta: Angle::Constant(0.5),
+        };
         assert_eq!(g.to_string(), "rz(0.5) q2");
     }
 }

@@ -76,12 +76,26 @@ fn synthesize(
     for layer in 0..p {
         for (i, hi) in model.linears() {
             if hi != 0.0 || emit_zero_linears {
-                qc.rz(i, Angle::Gamma { layer, scale: 2.0 * hi, term: i })?;
+                qc.rz(
+                    i,
+                    Angle::Gamma {
+                        layer,
+                        scale: 2.0 * hi,
+                        term: i,
+                    },
+                )?;
             }
         }
         for (k, ((i, j), jij)) in model.couplings().enumerate() {
             qc.cx(i, j)?;
-            qc.rz(j, Angle::Gamma { layer, scale: 2.0 * jij, term: n + k })?;
+            qc.rz(
+                j,
+                Angle::Gamma {
+                    layer,
+                    scale: 2.0 * jij,
+                    term: n + k,
+                },
+            )?;
             qc.cx(i, j)?;
         }
         for q in 0..n {
@@ -119,7 +133,10 @@ pub fn rebind_coefficients(
     let mut out = QuantumCircuit::new(template.num_qubits());
     for g in template.gates() {
         let mapped = match *g {
-            Gate::Rz { q, theta: Angle::Gamma { layer, term, .. } } => {
+            Gate::Rz {
+                q,
+                theta: Angle::Gamma { layer, term, .. },
+            } => {
                 let coeff = if term < n {
                     model.linear(term)
                 } else {
@@ -131,7 +148,14 @@ pub fn rebind_coefficients(
                         ))
                     })?
                 };
-                Gate::Rz { q, theta: Angle::Gamma { layer, scale: 2.0 * coeff, term } }
+                Gate::Rz {
+                    q,
+                    theta: Angle::Gamma {
+                        layer,
+                        scale: 2.0 * coeff,
+                        term,
+                    },
+                }
             }
             other => other,
         };
@@ -167,8 +191,14 @@ mod tests {
 
     #[test]
     fn zero_layers_rejected() {
-        assert!(matches!(build_qaoa_circuit(&model(), 0), Err(CircuitError::ZeroLayers)));
-        assert!(matches!(build_qaoa_template(&model(), 0), Err(CircuitError::ZeroLayers)));
+        assert!(matches!(
+            build_qaoa_circuit(&model(), 0),
+            Err(CircuitError::ZeroLayers)
+        ));
+        assert!(matches!(
+            build_qaoa_template(&model(), 0),
+            Err(CircuitError::ZeroLayers)
+        ));
     }
 
     #[test]
@@ -194,7 +224,10 @@ mod tests {
             .gates()
             .iter()
             .filter_map(|g| match g {
-                Gate::Rz { theta: Angle::Gamma { term, .. }, .. } => Some(*term),
+                Gate::Rz {
+                    theta: Angle::Gamma { term, .. },
+                    ..
+                } => Some(*term),
                 _ => None,
             })
             .collect();
@@ -248,7 +281,10 @@ mod tests {
             .gates()
             .iter()
             .filter_map(|g| match g {
-                Gate::Rz { theta: a @ Angle::Gamma { term, .. }, .. } => Some((*term, *a)),
+                Gate::Rz {
+                    theta: a @ Angle::Gamma { term, .. },
+                    ..
+                } => Some((*term, *a)),
                 _ => None,
             })
             .collect();
@@ -257,7 +293,10 @@ mod tests {
             .gates()
             .iter()
             .filter_map(|g| match g {
-                Gate::Rz { theta: a @ Angle::Gamma { term, .. }, .. } => Some((*term, *a)),
+                Gate::Rz {
+                    theta: a @ Angle::Gamma { term, .. },
+                    ..
+                } => Some((*term, *a)),
                 _ => None,
             })
             .collect();

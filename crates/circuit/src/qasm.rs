@@ -120,7 +120,15 @@ mod tests {
     #[test]
     fn rejects_symbolic_angles() {
         let mut qc = QuantumCircuit::new(1);
-        qc.rz(0, Angle::Gamma { layer: 0, scale: 2.0, term: 0 }).unwrap();
+        qc.rz(
+            0,
+            Angle::Gamma {
+                layer: 0,
+                scale: 2.0,
+                term: 0,
+            },
+        )
+        .unwrap();
         assert!(to_qasm(&qc).is_err());
     }
 
@@ -129,7 +137,10 @@ mod tests {
         let mut m = fq_ising::IsingModel::new(3);
         m.set_coupling(0, 1, 1.0).unwrap();
         m.set_coupling(1, 2, -1.0).unwrap();
-        let qc = crate::build_qaoa_circuit(&m, 1).unwrap().bind(&[0.4], &[0.8]).unwrap();
+        let qc = crate::build_qaoa_circuit(&m, 1)
+            .unwrap()
+            .bind(&[0.4], &[0.8])
+            .unwrap();
         let qasm = to_qasm(&qc).unwrap();
         assert!(qasm.contains("qreg q[3];"));
         assert!(qasm.contains("creg c[3];"));

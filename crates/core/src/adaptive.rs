@@ -11,9 +11,11 @@
 //! a threshold or the quantum budget is exhausted.
 
 use fq_ising::IsingModel;
+use fq_transpile::Device;
 use serde::{Deserialize, Serialize};
 
-use crate::{select_hotspots, FrozenQubitsError, HotspotStrategy};
+use crate::plan::{plan_execution, ExecutionPlan};
+use crate::{select_hotspots, FrozenQubitsConfig, FrozenQubitsError, HotspotStrategy};
 
 /// The outcome of the §3.4 trade-off analysis.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -135,6 +137,49 @@ pub fn suggest_num_frozen(
     })
 }
 
+/// Plans an execution with `m` chosen adaptively: runs the §3.4 trade-off
+/// analysis under `budget`, overrides `config.num_frozen` with the
+/// recommendation, and builds the [`ExecutionPlan`] — the "auto-`m`" entry
+/// point of the plan/execute pipeline.
+///
+/// # Errors
+///
+/// Propagates the analysis and planning errors of [`suggest_num_frozen`]
+/// and [`plan_execution`].
+///
+/// # Example
+///
+/// ```
+/// use fq_graphs::{gen, to_ising_pm1};
+/// use fq_transpile::Device;
+/// use frozenqubits::{plan_with_budget, FreezeBudget, FrozenQubitsConfig};
+///
+/// let model = to_ising_pm1(&gen::barabasi_albert(20, 1, 3)?, 3);
+/// let (plan, rec) = plan_with_budget(
+///     &model,
+///     &Device::ibm_montreal(),
+///     &FrozenQubitsConfig::default(),
+///     &FreezeBudget::default(),
+/// )?;
+/// assert_eq!(plan.quantum_cost(), rec.quantum_cost);
+/// assert_eq!(plan.num_templates(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn plan_with_budget(
+    model: &IsingModel,
+    device: &Device,
+    config: &FrozenQubitsConfig,
+    budget: &FreezeBudget,
+) -> Result<(ExecutionPlan, FreezeRecommendation), FrozenQubitsError> {
+    let rec = suggest_num_frozen(model, budget)?;
+    let cfg = FrozenQubitsConfig {
+        num_frozen: rec.m,
+        ..config.clone()
+    };
+    let plan = plan_execution(model, device, &cfg)?;
+    Ok((plan, rec))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,7 +200,15 @@ mod tests {
     #[test]
     fn relative_cnots_is_monotone_nonincreasing() {
         let model = ba(64, 2, 2);
-        let rec = suggest_num_frozen(&model, &FreezeBudget { max_frozen: 10, max_quantum_cost: 512, ..FreezeBudget::default() }).unwrap();
+        let rec = suggest_num_frozen(
+            &model,
+            &FreezeBudget {
+                max_frozen: 10,
+                max_quantum_cost: 512,
+                ..FreezeBudget::default()
+            },
+        )
+        .unwrap();
         assert!(rec.relative_cnots.windows(2).all(|w| w[1] <= w[0] + 1e-12));
         assert_eq!(rec.relative_cnots[0], 1.0);
     }
@@ -166,7 +219,11 @@ mod tests {
         let small = suggest_num_frozen(&model, &FreezeBudget::default()).unwrap();
         let big = suggest_num_frozen(
             &model,
-            &FreezeBudget { max_quantum_cost: 512, min_marginal_gain: 0.005, max_frozen: 10 },
+            &FreezeBudget {
+                max_quantum_cost: 512,
+                min_marginal_gain: 0.005,
+                max_frozen: 10,
+            },
         )
         .unwrap();
         assert!(big.m >= small.m);
@@ -179,7 +236,11 @@ mod tests {
         let star = to_ising_pm1(&gen::star(40), 1);
         let rec = suggest_num_frozen(
             &star,
-            &FreezeBudget { max_quantum_cost: 1 << 9, min_marginal_gain: 0.05, max_frozen: 10 },
+            &FreezeBudget {
+                max_quantum_cost: 1 << 9,
+                min_marginal_gain: 0.05,
+                max_frozen: 10,
+            },
         )
         .unwrap();
         assert_eq!(rec.m, 1, "the hub is the only worthwhile freeze");
@@ -191,7 +252,11 @@ mod tests {
         let model = ba(16, 3, 4); // dense: small marginal gains
         let rec = suggest_num_frozen(
             &model,
-            &FreezeBudget { max_quantum_cost: 4, min_marginal_gain: 0.5, max_frozen: 10 },
+            &FreezeBudget {
+                max_quantum_cost: 4,
+                min_marginal_gain: 0.5,
+                max_frozen: 10,
+            },
         )
         .unwrap();
         assert_eq!(rec.m, 1, "pruning makes m=1 free, so always take it");
@@ -202,7 +267,10 @@ mod tests {
         let model = ba(8, 1, 5);
         assert!(suggest_num_frozen(
             &model,
-            &FreezeBudget { max_quantum_cost: 0, ..FreezeBudget::default() }
+            &FreezeBudget {
+                max_quantum_cost: 0,
+                ..FreezeBudget::default()
+            }
         )
         .is_err());
     }

@@ -3,7 +3,7 @@
 use fq_transpile::CompileOptions;
 use serde::{Deserialize, Serialize};
 
-use crate::HotspotStrategy;
+use crate::{Executor, ExecutorKind, HotspotStrategy};
 
 /// Configuration of the FrozenQubits pipeline.
 ///
@@ -29,6 +29,9 @@ pub struct FrozenQubitsConfig {
     pub param_grid: usize,
     /// Seed for any stochastic component.
     pub seed: u64,
+    /// Which branch-execution backend the pipeline wrappers use. Both
+    /// backends produce bit-identical results; parallel is the default.
+    pub executor: ExecutorKind,
 }
 
 impl Default for FrozenQubitsConfig {
@@ -41,6 +44,7 @@ impl Default for FrozenQubitsConfig {
             compile: CompileOptions::level3(),
             param_grid: 15,
             seed: 0,
+            executor: ExecutorKind::default(),
         }
     }
 }
@@ -53,6 +57,12 @@ impl FrozenQubitsConfig {
             num_frozen: m,
             ..FrozenQubitsConfig::default()
         }
+    }
+
+    /// Builds the branch-execution backend this configuration selects.
+    #[must_use]
+    pub fn build_executor(&self) -> Box<dyn Executor + Send + Sync> {
+        self.executor.build()
     }
 }
 

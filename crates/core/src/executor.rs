@@ -1,0 +1,415 @@
+//! Phase 2 of the plan/execute pipeline: running an
+//! [`ExecutionPlan`]'s branches through an [`Executor`] backend.
+//!
+//! Every branch is an independent job — optimize its `(γ, β)`, instantiate
+//! its executable by angle-editing the plan's shared template (no
+//! recompilation), and evaluate the ideal/noisy expectations or sample the
+//! noisy device. Branch jobs never communicate, so they parallelize
+//! embarrassingly: [`ParallelExecutor`] fans them out across worker
+//! threads (scoped `std::thread` — the offline toolchain has no rayon,
+//! but the work-stealing loop below serves the same role), while
+//! [`SequentialExecutor`] runs them in order on the caller's thread.
+//! Both produce **bit-identical** outcomes: each branch's arithmetic is
+//! self-contained and results are aggregated in branch order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use fq_circuit::build_qaoa_circuit;
+use fq_ising::{OutputDistribution, Spin};
+use fq_sim::analytic::{expectation_p1, term_expectations_p1};
+use fq_sim::{log_eps, noisy_expectation_lightcone, sample_noisy, NoisySamplerConfig};
+use fq_transpile::Device;
+
+use crate::pipeline::{metrics_of, CircuitMetrics};
+use crate::plan::ExecutionPlan;
+use crate::{optimize_parameters_multilayer, FrozenQubitsConfig, FrozenQubitsError};
+
+/// Everything measured about one executed branch of a plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BranchOutcome {
+    /// Branch index within the plan.
+    pub branch: usize,
+    /// The branch bitmask (bit `t` set ⇒ frozen qubit `t` is `−1`).
+    pub mask: u64,
+    /// Aggregation weight (2 when the branch covers a pruned partner).
+    pub weight: f64,
+    /// Optimized first-layer `(γ_1, β_1)`.
+    pub params: (f64, f64),
+    /// All optimized γ parameters (one per layer).
+    pub gammas: Vec<f64>,
+    /// All optimized β parameters (one per layer).
+    pub betas: Vec<f64>,
+    /// Ideal expectation at the optimized parameters.
+    pub ev_ideal: f64,
+    /// Modelled noisy expectation at the same parameters.
+    pub ev_noisy: f64,
+    /// Log-EPS of the branch executable.
+    pub log_eps: f64,
+    /// Circuit-level cost metrics of the branch executable.
+    pub metrics: CircuitMetrics,
+}
+
+/// One branch's sampling result, decoded into the parent space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BranchSamples {
+    /// Branch index within the plan.
+    pub branch: usize,
+    /// Decoded outcomes of the executed sub-circuit.
+    pub decoded: OutputDistribution,
+    /// Outcomes inferred for the pruned symmetric partner (§3.7.2), when
+    /// the branch covers one.
+    pub partner_decoded: Option<OutputDistribution>,
+}
+
+/// A branch-execution backend consuming an [`ExecutionPlan`].
+///
+/// Implementations decide *scheduling* only; the per-branch math is shared
+/// and deterministic, so any two executors return identical results in
+/// identical order.
+pub trait Executor {
+    /// Human-readable backend name.
+    fn name(&self) -> &'static str;
+
+    /// Runs the analytic pipeline for every branch: parameter
+    /// optimization, template instantiation, ideal + modelled-noisy
+    /// expectations, EPS and circuit metrics. Outcomes are in branch
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first branch failure (by branch order).
+    fn execute(
+        &self,
+        plan: &ExecutionPlan,
+        device: &Device,
+        config: &FrozenQubitsConfig,
+    ) -> Result<Vec<BranchOutcome>, FrozenQubitsError>;
+
+    /// Runs the sampling pipeline for every branch: parameter
+    /// optimization, template instantiation, Monte-Carlo noisy sampling
+    /// and decoding (including pruned-partner inference). Results are in
+    /// branch order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first branch failure (by branch order).
+    fn sample(
+        &self,
+        plan: &ExecutionPlan,
+        device: &Device,
+        config: &FrozenQubitsConfig,
+        shots: u64,
+    ) -> Result<Vec<BranchSamples>, FrozenQubitsError>;
+}
+
+/// Which [`Executor`] backend the pipeline wrappers should build.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ExecutorKind {
+    /// Run branches in order on the caller's thread.
+    Sequential,
+    /// Fan branches out across all available cores (the default: results
+    /// are identical to sequential, only faster).
+    #[default]
+    Parallel,
+    /// Fan branches out across a fixed number of worker threads.
+    Threads(usize),
+}
+
+impl ExecutorKind {
+    /// Builds the backend this kind describes.
+    #[must_use]
+    pub fn build(self) -> Box<dyn Executor + Send + Sync> {
+        match self {
+            ExecutorKind::Sequential => Box::new(SequentialExecutor),
+            ExecutorKind::Parallel => Box::new(ParallelExecutor::default()),
+            ExecutorKind::Threads(t) => Box::new(ParallelExecutor::new(t)),
+        }
+    }
+}
+
+/// Runs branches one after another on the caller's thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SequentialExecutor;
+
+impl Executor for SequentialExecutor {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn execute(
+        &self,
+        plan: &ExecutionPlan,
+        device: &Device,
+        config: &FrozenQubitsConfig,
+    ) -> Result<Vec<BranchOutcome>, FrozenQubitsError> {
+        (0..plan.num_branches())
+            .map(|b| execute_branch(plan, b, device, config))
+            .collect()
+    }
+
+    fn sample(
+        &self,
+        plan: &ExecutionPlan,
+        device: &Device,
+        config: &FrozenQubitsConfig,
+        shots: u64,
+    ) -> Result<Vec<BranchSamples>, FrozenQubitsError> {
+        (0..plan.num_branches())
+            .map(|b| sample_branch(plan, b, device, config, shots))
+            .collect()
+    }
+}
+
+/// Fans branches out across worker threads.
+///
+/// Workers claim branch indices from a shared atomic counter (simple
+/// work stealing), so load imbalance between branches — e.g. differing
+/// parameter-optimization convergence — does not serialize the run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParallelExecutor {
+    /// Worker count; 0 means one per available core.
+    pub threads: usize,
+}
+
+impl ParallelExecutor {
+    /// An executor using `threads` workers (0 = one per available core).
+    #[must_use]
+    pub fn new(threads: usize) -> ParallelExecutor {
+        ParallelExecutor { threads }
+    }
+
+    fn effective_threads(&self, jobs: usize) -> usize {
+        let hw = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        let t = if self.threads == 0 { hw } else { self.threads };
+        t.min(jobs).max(1)
+    }
+}
+
+impl Executor for ParallelExecutor {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn execute(
+        &self,
+        plan: &ExecutionPlan,
+        device: &Device,
+        config: &FrozenQubitsConfig,
+    ) -> Result<Vec<BranchOutcome>, FrozenQubitsError> {
+        let n = plan.num_branches();
+        par_map(self.effective_threads(n), n, |b| {
+            execute_branch(plan, b, device, config)
+        })
+    }
+
+    fn sample(
+        &self,
+        plan: &ExecutionPlan,
+        device: &Device,
+        config: &FrozenQubitsConfig,
+        shots: u64,
+    ) -> Result<Vec<BranchSamples>, FrozenQubitsError> {
+        let n = plan.num_branches();
+        par_map(self.effective_threads(n), n, |b| {
+            sample_branch(plan, b, device, config, shots)
+        })
+    }
+}
+
+/// Maps `job` over `0..n` on `threads` scoped workers, preserving index
+/// order in the output. The first error (by index) wins, matching the
+/// sequential executor's error behaviour.
+fn par_map<T: Send>(
+    threads: usize,
+    n: usize,
+    job: impl Fn(usize) -> Result<T, FrozenQubitsError> + Sync,
+) -> Result<Vec<T>, FrozenQubitsError> {
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<T, FrozenQubitsError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let b = next.fetch_add(1, Ordering::Relaxed);
+                if b >= n {
+                    break;
+                }
+                let result = job(b);
+                *slots[b].lock().expect("branch slot lock") = Some(result);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        let result = slot
+            .into_inner()
+            .expect("branch slot lock")
+            .expect("every branch index was claimed by a worker");
+        out.push(result?);
+    }
+    Ok(out)
+}
+
+/// The shared per-branch analytic job: optimize, instantiate from the
+/// template, evaluate.
+fn execute_branch(
+    plan: &ExecutionPlan,
+    branch: usize,
+    device: &Device,
+    config: &FrozenQubitsConfig,
+) -> Result<BranchOutcome, FrozenQubitsError> {
+    let exec = plan.branch(branch);
+    let model = exec.problem.model();
+    let p = plan.layers();
+    let (gammas, betas) = optimize_parameters_multilayer(model, p, config.param_grid)?;
+    // Instantiate from the shared template: angle editing only, no
+    // layout/routing/scheduling work.
+    let compiled = plan.template_for(branch).edit_for(model)?;
+    let (ev_ideal, z, zz) = if p == 1 {
+        let ev = expectation_p1(model, gammas[0], betas[0])?;
+        let (z, zz) = term_expectations_p1(model, gammas[0], betas[0])?;
+        (ev, z, zz)
+    } else {
+        let qc = build_qaoa_circuit(model, p)?;
+        let bound = qc.bind(&gammas, &betas)?;
+        let sv = fq_sim::run_circuit(&bound)?;
+        let (z, zz) = sv.term_expectations(model)?;
+        let ev = sv.expectation_ising(model)?;
+        (ev, z, zz)
+    };
+    let ev_noisy = noisy_expectation_lightcone(model, &z, &zz, &compiled, device)?;
+    let eps_log = log_eps(&compiled, device);
+    Ok(BranchOutcome {
+        branch,
+        mask: exec.mask,
+        weight: plan.branch_weight(branch),
+        params: (gammas[0], betas[0]),
+        gammas,
+        betas,
+        ev_ideal,
+        ev_noisy,
+        log_eps: eps_log,
+        metrics: metrics_of(model, p, &compiled),
+    })
+}
+
+/// The shared per-branch sampling job: optimize, instantiate, sample,
+/// decode (with pruned-partner inference).
+fn sample_branch(
+    plan: &ExecutionPlan,
+    branch: usize,
+    device: &Device,
+    config: &FrozenQubitsConfig,
+    shots: u64,
+) -> Result<BranchSamples, FrozenQubitsError> {
+    let exec = plan.branch(branch);
+    let model = exec.problem.model();
+    let (gammas, betas) = optimize_parameters_multilayer(model, plan.layers(), config.param_grid)?;
+    let edited = plan.template_for(branch).edit_for(model)?;
+    let bound = edited.circuit.bind(&gammas, &betas)?;
+    let compiled = edited.instantiate(bound);
+    let sampler = NoisySamplerConfig {
+        shots,
+        trajectories: 16,
+        seed: config.seed.wrapping_add(branch as u64),
+    };
+    let sub_dist = sample_noisy(&compiled, device, sampler)?;
+
+    let decoded = sub_dist.decode(&exec.problem)?;
+
+    // Infer the pruned partner: flip every sub-space bit, then decode
+    // through the partner's frozen assignment (§3.7.2).
+    let partner_decoded = if exec.partner_mask.is_some() {
+        let partner_assignment: Vec<(usize, Spin)> = exec
+            .problem
+            .frozen()
+            .iter()
+            .map(|&(q, s)| (q, s.flipped()))
+            .collect();
+        let partner = plan.parent_model().freeze(&partner_assignment)?;
+        Some(sub_dist.flipped().decode(&partner)?)
+    } else {
+        None
+    };
+
+    Ok(BranchSamples {
+        branch,
+        decoded,
+        partner_decoded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan_execution;
+    use fq_graphs::{gen, to_ising_pm1};
+    use fq_ising::IsingModel;
+
+    fn ba_model(n: usize, seed: u64) -> IsingModel {
+        to_ising_pm1(&gen::barabasi_albert(n, 1, seed).unwrap(), seed)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        let model = ba_model(12, 11);
+        let cfg = FrozenQubitsConfig::with_frozen(3);
+        let device = Device::ibm_montreal();
+        let plan = plan_execution(&model, &device, &cfg).unwrap();
+        let seq = SequentialExecutor.execute(&plan, &device, &cfg).unwrap();
+        let par = ParallelExecutor::new(0)
+            .execute(&plan, &device, &cfg)
+            .unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), 4);
+        assert!(seq.iter().enumerate().all(|(i, o)| o.branch == i));
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_first_error() {
+        let ok: Result<Vec<usize>, _> = par_map(4, 32, |i| Ok(i * i));
+        assert_eq!(ok.unwrap(), (0..32).map(|i| i * i).collect::<Vec<_>>());
+
+        let err = par_map(4, 8, |i| {
+            if i >= 3 {
+                Err(FrozenQubitsError::InvalidConfig(format!("branch {i}")))
+            } else {
+                Ok(i)
+            }
+        });
+        match err {
+            Err(FrozenQubitsError::InvalidConfig(msg)) => assert_eq!(msg, "branch 3"),
+            other => panic!("expected first error by index, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn executor_names_and_thread_clamping() {
+        assert_eq!(SequentialExecutor.name(), "sequential");
+        assert_eq!(ParallelExecutor::default().name(), "parallel");
+        assert_eq!(ParallelExecutor::new(7).effective_threads(2), 2);
+        assert_eq!(ParallelExecutor::new(2).effective_threads(16), 2);
+        assert!(ParallelExecutor::new(0).effective_threads(64) >= 1);
+    }
+
+    #[test]
+    fn sampling_covers_partner_branches() {
+        let model = ba_model(6, 13);
+        let cfg = FrozenQubitsConfig::default();
+        let device = Device::ibm_montreal();
+        let plan = plan_execution(&model, &device, &cfg).unwrap();
+        let seq = SequentialExecutor
+            .sample(&plan, &device, &cfg, 256)
+            .unwrap();
+        let par = ParallelExecutor::new(0)
+            .sample(&plan, &device, &cfg, 256)
+            .unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), 1, "m=1 pruned executes one branch");
+        assert!(seq[0].partner_decoded.is_some());
+    }
+}

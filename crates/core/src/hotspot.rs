@@ -134,7 +134,10 @@ mod tests {
     #[test]
     fn max_degree_picks_the_hub() {
         let m = hub_model();
-        assert_eq!(select_hotspots(&m, 1, &HotspotStrategy::MaxDegree).unwrap(), vec![2]);
+        assert_eq!(
+            select_hotspots(&m, 1, &HotspotStrategy::MaxDegree).unwrap(),
+            vec![2]
+        );
         assert_eq!(
             select_hotspots(&m, 2, &HotspotStrategy::MaxDegree).unwrap(),
             vec![2, 0]

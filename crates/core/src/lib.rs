@@ -14,10 +14,22 @@
 //! the sibling crates (`fq-ising`, `fq-graphs`, `fq-circuit`,
 //! `fq-transpile`, `fq-sim`, `fq-optim`):
 //!
+//! Execution follows a two-phase **plan/execute** architecture:
+//! [`plan_execution`] freezes the hotspots, partitions the state space and
+//! compiles **one** [`CompiledTemplate`] per distinct sub-circuit shape
+//! (usually exactly one), and an [`Executor`] — sequential, or parallel
+//! across all cores — instantiates every branch by angle-editing the
+//! shared template. The entry points below are thin wrappers over that
+//! core:
+//!
 //! * [`select_hotspots`] — which qubits to freeze (§3.5);
 //! * [`partition_problem`] — `2^m` sub-problems with symmetry pruning
 //!   (§3.3, §3.7.2);
 //! * [`CompiledTemplate`] — compile-once/edit-many executables (§3.7.1);
+//! * [`plan_execution`] / [`ExecutionPlan`] — phase 1: partition + shared
+//!   templates; [`plan_with_budget`] picks `m` adaptively (§3.4);
+//! * [`Executor`] / [`SequentialExecutor`] / [`ParallelExecutor`] — phase
+//!   2: branch fan-out, bit-identical across backends;
 //! * [`compare`] / [`run_baseline`] / [`run_frozen`] — the analytic
 //!   fidelity pipeline behind the paper's ARG figures;
 //! * [`solve_with_sampling`] — end-to-end noisy sampling with decoding and
@@ -47,22 +59,28 @@
 mod adaptive;
 mod config;
 mod error;
+mod executor;
 mod hotspot;
 pub mod metrics;
 mod partition;
 mod pipeline;
+mod plan;
 pub mod runtime;
 mod solve;
 mod template;
 
-pub use adaptive::{suggest_num_frozen, FreezeBudget, FreezeRecommendation};
+pub use adaptive::{plan_with_budget, suggest_num_frozen, FreezeBudget, FreezeRecommendation};
 pub use config::FrozenQubitsConfig;
 pub use error::FrozenQubitsError;
+pub use executor::{
+    BranchOutcome, BranchSamples, Executor, ExecutorKind, ParallelExecutor, SequentialExecutor,
+};
 pub use hotspot::{edges_eliminated, select_hotspots, HotspotStrategy};
 pub use partition::{partition_problem, Partition, SubproblemExec};
 pub use pipeline::{
     compare, execute_problem, optimize_parameters, optimize_parameters_multilayer, run_baseline,
     run_frozen, CircuitMetrics, ProblemExecution, Report, RunSummary,
 };
+pub use plan::{plan_execution, plan_from_partition, ExecutionPlan, ShapeSignature};
 pub use solve::{solve_with_sampling, SolveOutcome};
 pub use template::CompiledTemplate;

@@ -42,7 +42,11 @@ pub fn arg(ev_ideal: f64, ev_real: f64) -> f64 {
 #[must_use]
 pub fn approximation_ratio(expected_value: f64, c_min: f64) -> f64 {
     if c_min == 0.0 {
-        return if expected_value == 0.0 { 1.0 } else { f64::NEG_INFINITY };
+        return if expected_value == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        };
     }
     expected_value / c_min
 }

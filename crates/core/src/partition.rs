@@ -97,7 +97,11 @@ pub fn partition_problem(
             .iter()
             .enumerate()
             .map(|(t, &q)| {
-                let s = if (mask >> t) & 1 == 0 { Spin::UP } else { Spin::DOWN };
+                let s = if (mask >> t) & 1 == 0 {
+                    Spin::UP
+                } else {
+                    Spin::DOWN
+                };
                 (q, s)
             })
             .collect();

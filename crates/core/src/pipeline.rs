@@ -1,6 +1,12 @@
 //! The end-to-end FrozenQubits pipeline (Fig. 4): optimize parameters on
 //! the ideal simulator, compile, estimate hardware expectation values, and
 //! compare the baseline against freezing `m` hotspots.
+//!
+//! [`run_baseline`], [`run_frozen`] and [`compare`] are thin wrappers over
+//! the two-phase plan/execute core: [`plan_execution`](crate::plan_execution)
+//! compiles one shared template per distinct sub-circuit shape, and an
+//! [`Executor`](crate::Executor) (parallel by default) instantiates and
+//! evaluates every branch from it.
 
 use fq_circuit::{build_qaoa_circuit, qaoa_cnot_count};
 use fq_ising::IsingModel;
@@ -10,9 +16,9 @@ use fq_sim::{log_eps, noisy_expectation_lightcone};
 use fq_transpile::{compile, Compiled, Device};
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    metrics::arg, partition_problem, select_hotspots, FrozenQubitsConfig, FrozenQubitsError,
-};
+use crate::executor::BranchOutcome;
+use crate::plan::{plan_execution, ExecutionPlan};
+use crate::{metrics::arg, FrozenQubitsConfig, FrozenQubitsError};
 
 /// Circuit-level cost metrics of one executed (compiled) circuit.
 #[derive(Clone, Copy, Debug, PartialEq, Default, Serialize, Deserialize)]
@@ -143,7 +149,9 @@ pub fn optimize_parameters_multilayer(
     grid_resolution: usize,
 ) -> Result<(Vec<f64>, Vec<f64>), FrozenQubitsError> {
     if p == 0 {
-        return Err(FrozenQubitsError::InvalidConfig("p must be at least 1".into()));
+        return Err(FrozenQubitsError::InvalidConfig(
+            "p must be at least 1".into(),
+        ));
     }
     let (g1, b1) = optimize_parameters(model, grid_resolution)?;
     if p == 1 {
@@ -223,7 +231,7 @@ pub fn execute_problem(
     })
 }
 
-fn metrics_of(model: &IsingModel, layers: usize, compiled: &Compiled) -> CircuitMetrics {
+pub(crate) fn metrics_of(model: &IsingModel, layers: usize, compiled: &Compiled) -> CircuitMetrics {
     CircuitMetrics {
         logical_cnots: qaoa_cnot_count(model, layers),
         compiled_cnots: compiled.stats.cnot_count,
@@ -233,7 +241,74 @@ fn metrics_of(model: &IsingModel, layers: usize, compiled: &Compiled) -> Circuit
     }
 }
 
-/// Runs the standard-QAOA baseline on the full problem.
+impl CircuitMetrics {
+    /// The weighted mean over per-branch metrics, weighting each branch by
+    /// its sub-space coverage exactly like the expectation values, with
+    /// integer fields rounded to nearest (not truncated).
+    #[must_use]
+    pub fn weighted_mean(items: &[(CircuitMetrics, f64)]) -> CircuitMetrics {
+        let mut w_sum = 0.0f64;
+        let mut acc = [0.0f64; 5];
+        for (m, w) in items {
+            w_sum += w;
+            acc[0] += w * m.logical_cnots as f64;
+            acc[1] += w * m.compiled_cnots as f64;
+            acc[2] += w * m.swap_count as f64;
+            acc[3] += w * m.depth as f64;
+            acc[4] += w * m.duration_ns;
+        }
+        if w_sum <= 0.0 {
+            return CircuitMetrics::default();
+        }
+        let round = |v: f64| (v / w_sum).round() as usize;
+        CircuitMetrics {
+            logical_cnots: round(acc[0]),
+            compiled_cnots: round(acc[1]),
+            swap_count: round(acc[2]),
+            depth: round(acc[3]),
+            duration_ns: acc[4] / w_sum,
+        }
+    }
+}
+
+/// Aggregates branch outcomes into a [`RunSummary`], weighting **every**
+/// per-branch statistic — expectations, metrics and log-EPS alike — by the
+/// branch's sub-space coverage.
+fn summarize_outcomes(
+    plan: &ExecutionPlan,
+    outcomes: &[BranchOutcome],
+    label: String,
+) -> RunSummary {
+    let mut w_sum = 0.0f64;
+    let mut ev_ideal_acc = 0.0f64;
+    let mut ev_noisy_acc = 0.0f64;
+    let mut log_eps_acc = 0.0f64;
+    let mut weighted_metrics = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        w_sum += o.weight;
+        ev_ideal_acc += o.weight * o.ev_ideal;
+        ev_noisy_acc += o.weight * o.ev_noisy;
+        log_eps_acc += o.weight * o.log_eps;
+        weighted_metrics.push((o.metrics, o.weight));
+    }
+    let w_sum = w_sum.max(f64::MIN_POSITIVE);
+    let ev_ideal = ev_ideal_acc / w_sum;
+    let ev_noisy = ev_noisy_acc / w_sum;
+    RunSummary {
+        label,
+        circuit_qubits: plan.branch(0).problem.model().num_vars(),
+        circuits_executed: plan.quantum_cost(),
+        metrics: CircuitMetrics::weighted_mean(&weighted_metrics),
+        ev_ideal,
+        ev_noisy,
+        arg: arg(ev_ideal, ev_noisy),
+        log_eps: log_eps_acc / w_sum,
+        params: outcomes.first().map_or((0.0, 0.0), |o| o.params),
+    }
+}
+
+/// Runs the standard-QAOA baseline on the full problem — a single-branch
+/// plan (`m = 0`) through the plan/execute core.
 ///
 /// # Errors
 ///
@@ -243,27 +318,25 @@ pub fn run_baseline(
     device: &Device,
     config: &FrozenQubitsConfig,
 ) -> Result<RunSummary, FrozenQubitsError> {
-    let exec = execute_problem(model, device, config)?;
-    Ok(RunSummary {
-        label: "baseline".into(),
-        circuit_qubits: model.num_vars(),
-        circuits_executed: 1,
-        metrics: metrics_of(model, config.layers, &exec.compiled),
-        ev_ideal: exec.ev_ideal,
-        ev_noisy: exec.ev_noisy,
-        arg: arg(exec.ev_ideal, exec.ev_noisy),
-        log_eps: exec.log_eps,
-        params: exec.params,
-    })
+    let base_cfg = FrozenQubitsConfig {
+        num_frozen: 0,
+        ..config.clone()
+    };
+    let plan = plan_execution(model, device, &base_cfg)?;
+    let outcomes = base_cfg
+        .build_executor()
+        .execute(&plan, device, &base_cfg)?;
+    Ok(summarize_outcomes(&plan, &outcomes, "baseline".into()))
 }
 
-/// Runs FrozenQubits: freeze `config.num_frozen` hotspots, execute the
-/// (pruned) sub-problems, and aggregate.
+/// Runs FrozenQubits: plan (freeze `config.num_frozen` hotspots, compile
+/// one template per distinct sub-circuit shape), execute every branch via
+/// the configured [`Executor`](crate::Executor), and aggregate.
 ///
-/// The aggregate expectation values weight each executed branch by the
-/// number of sub-spaces it covers (2 when its symmetric partner was
-/// pruned), i.e. the expectation of the uniform mixture over all `2^m`
-/// sub-space distributions.
+/// The aggregate statistics weight each executed branch by the number of
+/// sub-spaces it covers (2 when its symmetric partner was pruned), i.e.
+/// the expectation of the uniform mixture over all `2^m` sub-space
+/// distributions.
 ///
 /// # Errors
 ///
@@ -273,56 +346,10 @@ pub fn run_frozen(
     device: &Device,
     config: &FrozenQubitsConfig,
 ) -> Result<(RunSummary, Vec<usize>), FrozenQubitsError> {
-    let hotspots = select_hotspots(model, config.num_frozen, &config.hotspots)?;
-    let plan = partition_problem(model, &hotspots, config.prune_symmetric)?;
-
-    let mut ev_ideal_acc = 0.0;
-    let mut ev_noisy_acc = 0.0;
-    let mut weight_acc = 0.0;
-    let mut log_eps_acc = 0.0;
-    let mut metrics_acc = CircuitMetrics::default();
-    let mut params = (0.0, 0.0);
-
-    for (k, exec) in plan.executed.iter().enumerate() {
-        let sub = execute_problem(exec.problem.model(), device, config)?;
-        let weight = if exec.partner_mask.is_some() { 2.0 } else { 1.0 };
-        ev_ideal_acc += weight * sub.ev_ideal;
-        ev_noisy_acc += weight * sub.ev_noisy;
-        weight_acc += weight;
-        log_eps_acc += sub.log_eps;
-        let m = metrics_of(exec.problem.model(), config.layers, &sub.compiled);
-        metrics_acc.logical_cnots += m.logical_cnots;
-        metrics_acc.compiled_cnots += m.compiled_cnots;
-        metrics_acc.swap_count += m.swap_count;
-        metrics_acc.depth += m.depth;
-        metrics_acc.duration_ns += m.duration_ns;
-        if k == 0 {
-            params = sub.params;
-        }
-    }
-    let count = plan.executed.len().max(1);
-    let mean_metrics = CircuitMetrics {
-        logical_cnots: metrics_acc.logical_cnots / count,
-        compiled_cnots: metrics_acc.compiled_cnots / count,
-        swap_count: metrics_acc.swap_count / count,
-        depth: metrics_acc.depth / count,
-        duration_ns: metrics_acc.duration_ns / count as f64,
-    };
-    let ev_ideal = ev_ideal_acc / weight_acc;
-    let ev_noisy = ev_noisy_acc / weight_acc;
-
-    let summary = RunSummary {
-        label: format!("FQ(m={})", config.num_frozen),
-        circuit_qubits: model.num_vars() - config.num_frozen,
-        circuits_executed: plan.quantum_cost(),
-        metrics: mean_metrics,
-        ev_ideal,
-        ev_noisy,
-        arg: arg(ev_ideal, ev_noisy),
-        log_eps: log_eps_acc / count as f64,
-        params,
-    };
-    Ok((summary, hotspots))
+    let plan = plan_execution(model, device, config)?;
+    let outcomes = config.build_executor().execute(&plan, device, config)?;
+    let summary = summarize_outcomes(&plan, &outcomes, format!("FQ(m={})", config.num_frozen));
+    Ok((summary, plan.frozen_qubits().to_vec()))
 }
 
 /// Runs baseline and FrozenQubits side by side and reports the
@@ -411,8 +438,12 @@ mod tests {
     #[test]
     fn pruning_keeps_quantum_cost_at_one_for_m1() {
         let m = ba_model(10, 4);
-        let (s, hotspots) = run_frozen(&m, &Device::ibm_montreal(), &FrozenQubitsConfig::default()).unwrap();
-        assert_eq!(s.circuits_executed, 1, "m=1 with pruning executes one circuit");
+        let (s, hotspots) =
+            run_frozen(&m, &Device::ibm_montreal(), &FrozenQubitsConfig::default()).unwrap();
+        assert_eq!(
+            s.circuits_executed, 1,
+            "m=1 with pruning executes one circuit"
+        );
         assert_eq!(s.circuit_qubits, 9);
         assert_eq!(hotspots.len(), 1);
     }
@@ -431,7 +462,10 @@ mod tests {
         let m = ba_model(8, 7);
         let device = Device::ibm_montreal();
         let p1 = execute_problem(&m, &device, &FrozenQubitsConfig::default()).unwrap();
-        let p2_cfg = FrozenQubitsConfig { layers: 2, ..FrozenQubitsConfig::default() };
+        let p2_cfg = FrozenQubitsConfig {
+            layers: 2,
+            ..FrozenQubitsConfig::default()
+        };
         let p2 = execute_problem(&m, &device, &p2_cfg).unwrap();
         assert_eq!(p2.gammas.len(), 2);
         assert!(
@@ -462,7 +496,8 @@ mod tests {
         // Sanity: each sub-space optimal EV cannot beat the global minimum.
         let m = ba_model(8, 6);
         let exact = fq_ising::solve::exact_solve(&m).unwrap();
-        let (s, _) = run_frozen(&m, &Device::ibm_montreal(), &FrozenQubitsConfig::default()).unwrap();
+        let (s, _) =
+            run_frozen(&m, &Device::ibm_montreal(), &FrozenQubitsConfig::default()).unwrap();
         assert!(s.ev_ideal >= exact.energy - 1e-9);
     }
 }

@@ -1,0 +1,290 @@
+//! Phase 1 of the plan/execute pipeline: turning a problem into an
+//! [`ExecutionPlan`].
+//!
+//! Freezing `m` hotspots yields `2^m` (or `2^{m−1}` under pruning)
+//! sub-circuits that are *structurally identical* up to rotation angles
+//! (§3.3): planning exploits that by compiling **one**
+//! [`CompiledTemplate`] per distinct sub-circuit shape — in the common
+//! case exactly one for the whole plan — instead of one compile per
+//! branch. Phase 2 (an [`Executor`](crate::Executor)) then instantiates
+//! each branch by angle-editing the shared template, so the quantum
+//! compile cost of the `m` knob is `O(1)` rather than `O(2^m)` and branch
+//! execution can fan out across cores.
+
+use fq_ising::IsingModel;
+use fq_transpile::Device;
+
+use crate::{
+    partition_problem, select_hotspots, CompiledTemplate, FrozenQubitsConfig, FrozenQubitsError,
+    Partition, SubproblemExec,
+};
+
+/// The structural identity of a sub-circuit: everything that determines
+/// the compiled gate/routing structure, independent of coefficient values.
+///
+/// Two sub-problems with equal signatures can share one compiled template
+/// (their circuits differ only in rotation angles); see
+/// [`rebind_coefficients`](fq_circuit::rebind_coefficients).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShapeSignature {
+    num_vars: usize,
+    couplings: Vec<(usize, usize)>,
+}
+
+impl ShapeSignature {
+    /// The signature of `model`'s QAOA circuit shape.
+    #[must_use]
+    pub fn of(model: &IsingModel) -> ShapeSignature {
+        ShapeSignature {
+            num_vars: model.num_vars(),
+            couplings: model.couplings().map(|(ij, _)| ij).collect(),
+        }
+    }
+
+    /// Problem width the shape was taken from.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+}
+
+/// A fully planned execution: the partition into sub-problems plus the
+/// shared compiled templates, ready for an [`Executor`](crate::Executor).
+///
+/// Build one with [`plan_execution`].
+#[derive(Clone, Debug)]
+pub struct ExecutionPlan {
+    parent: IsingModel,
+    partition: Partition,
+    templates: Vec<CompiledTemplate>,
+    /// `branch_templates[b]` indexes into `templates` for branch `b`.
+    branch_templates: Vec<usize>,
+    layers: usize,
+}
+
+impl ExecutionPlan {
+    /// The parent problem the plan partitions.
+    #[must_use]
+    pub fn parent_model(&self) -> &IsingModel {
+        &self.parent
+    }
+
+    /// The underlying partition (sub-problems, masks, pruning info).
+    #[must_use]
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Number of branches to execute (the paper's *quantum cost*).
+    #[must_use]
+    pub fn num_branches(&self) -> usize {
+        self.partition.executed.len()
+    }
+
+    /// The branch at `index` (panics if out of range).
+    #[must_use]
+    pub fn branch(&self, index: usize) -> &SubproblemExec {
+        &self.partition.executed[index]
+    }
+
+    /// The aggregation weight of branch `index`: 2 when it also covers a
+    /// pruned symmetric partner, 1 otherwise.
+    #[must_use]
+    pub fn branch_weight(&self, index: usize) -> f64 {
+        if self.partition.executed[index].partner_mask.is_some() {
+            2.0
+        } else {
+            1.0
+        }
+    }
+
+    /// The shared compiled templates, one per distinct sub-circuit shape.
+    #[must_use]
+    pub fn templates(&self) -> &[CompiledTemplate] {
+        &self.templates
+    }
+
+    /// How many distinct shapes the plan compiled (1 in the common case).
+    #[must_use]
+    pub fn num_templates(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// The template hosting branch `index` (panics if out of range).
+    #[must_use]
+    pub fn template_for(&self, index: usize) -> &CompiledTemplate {
+        &self.templates[self.branch_templates[index]]
+    }
+
+    /// QAOA layer count the plan was built for.
+    #[must_use]
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Frozen qubit indices, in freeze order.
+    #[must_use]
+    pub fn frozen_qubits(&self) -> &[usize] {
+        &self.partition.frozen_qubits
+    }
+
+    /// Number of circuits actually executed (`2^{m−1}` under pruning).
+    #[must_use]
+    pub fn quantum_cost(&self) -> u64 {
+        self.partition.quantum_cost()
+    }
+}
+
+/// Builds the [`ExecutionPlan`] for `model` on `device`: hotspot
+/// selection, partitioning with symmetry pruning, and **one** template
+/// compilation per distinct sub-circuit shape.
+///
+/// With `config.num_frozen = 0` the plan has a single branch — the
+/// original problem — which is how the baseline runs through the same
+/// machinery.
+///
+/// # Errors
+///
+/// Propagates hotspot-selection, freezing, circuit-synthesis and
+/// transpilation errors.
+///
+/// # Example
+///
+/// ```
+/// use fq_graphs::{gen, to_ising_pm1};
+/// use fq_transpile::Device;
+/// use frozenqubits::{plan_execution, FrozenQubitsConfig};
+///
+/// let model = to_ising_pm1(&gen::barabasi_albert(12, 1, 3)?, 3);
+/// let cfg = FrozenQubitsConfig::with_frozen(3);
+/// let plan = plan_execution(&model, &Device::ibm_montreal(), &cfg)?;
+/// // 2^{3−1} = 4 branches, all sharing a single compiled template.
+/// assert_eq!(plan.num_branches(), 4);
+/// assert_eq!(plan.num_templates(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn plan_execution(
+    model: &IsingModel,
+    device: &Device,
+    config: &FrozenQubitsConfig,
+) -> Result<ExecutionPlan, FrozenQubitsError> {
+    let hotspots = select_hotspots(model, config.num_frozen, &config.hotspots)?;
+    let partition = partition_problem(model, &hotspots, config.prune_symmetric)?;
+    plan_from_partition(model, partition, device, config)
+}
+
+/// Builds an [`ExecutionPlan`] from an already-computed partition of
+/// `model` — useful when the caller customizes partitioning.
+///
+/// # Errors
+///
+/// Propagates circuit-synthesis and transpilation errors.
+pub fn plan_from_partition(
+    model: &IsingModel,
+    partition: Partition,
+    device: &Device,
+    config: &FrozenQubitsConfig,
+) -> Result<ExecutionPlan, FrozenQubitsError> {
+    // Group branches by structural shape; compile one template per group.
+    let mut shapes: Vec<ShapeSignature> = Vec::new();
+    let mut templates: Vec<CompiledTemplate> = Vec::new();
+    let mut branch_templates = Vec::with_capacity(partition.executed.len());
+    for exec in &partition.executed {
+        let sig = ShapeSignature::of(exec.problem.model());
+        let id = match shapes.iter().position(|s| *s == sig) {
+            Some(id) => id,
+            None => {
+                templates.push(CompiledTemplate::compile(
+                    exec.problem.model(),
+                    config.layers,
+                    device,
+                    config.compile,
+                )?);
+                shapes.push(sig);
+                templates.len() - 1
+            }
+        };
+        branch_templates.push(id);
+    }
+    Ok(ExecutionPlan {
+        parent: model.clone(),
+        partition,
+        templates,
+        branch_templates,
+        layers: config.layers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_graphs::{gen, to_ising_pm1};
+
+    fn ba_model(n: usize, seed: u64) -> IsingModel {
+        to_ising_pm1(&gen::barabasi_albert(n, 1, seed).unwrap(), seed)
+    }
+
+    #[test]
+    fn siblings_share_one_shape() {
+        let parent = ba_model(10, 1);
+        let hub = parent.hotspots()[0];
+        let plus = parent.freeze(&[(hub, fq_ising::Spin::UP)]).unwrap();
+        let minus = parent.freeze(&[(hub, fq_ising::Spin::DOWN)]).unwrap();
+        assert_eq!(
+            ShapeSignature::of(plus.model()),
+            ShapeSignature::of(minus.model())
+        );
+        assert_ne!(
+            ShapeSignature::of(&parent),
+            ShapeSignature::of(plus.model())
+        );
+    }
+
+    // The `fq_transpile::compile_invocations()` delta assertions live in
+    // the dedicated `tests/compile_amortization.rs` integration binary:
+    // the counter is process-global, so measuring deltas here would race
+    // with sibling unit tests compiling on other test threads.
+    #[test]
+    fn plan_compiles_one_template_for_m3() {
+        let model = ba_model(12, 2);
+        let cfg = FrozenQubitsConfig::with_frozen(3);
+        let plan = plan_execution(&model, &Device::ibm_montreal(), &cfg).unwrap();
+        assert_eq!(plan.num_branches(), 4);
+        assert_eq!(plan.num_templates(), 1);
+        for b in 0..plan.num_branches() {
+            assert_eq!(plan.branch_weight(b), 2.0);
+            assert!(std::ptr::eq(plan.template_for(b), &plan.templates()[0]));
+        }
+    }
+
+    #[test]
+    fn plans_are_shareable_across_worker_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExecutionPlan>();
+        assert_send_sync::<CompiledTemplate>();
+        assert_send_sync::<ShapeSignature>();
+    }
+
+    #[test]
+    fn m0_plans_the_baseline() {
+        let model = ba_model(8, 3);
+        let cfg = FrozenQubitsConfig::with_frozen(0);
+        let plan = plan_execution(&model, &Device::ibm_montreal(), &cfg).unwrap();
+        assert_eq!(plan.num_branches(), 1);
+        assert_eq!(plan.num_templates(), 1);
+        assert_eq!(plan.branch_weight(0), 1.0);
+        assert!(plan.frozen_qubits().is_empty());
+        assert_eq!(plan.branch(0).problem.model(), &model);
+    }
+
+    #[test]
+    fn asymmetric_models_plan_all_branches_with_one_template() {
+        let mut model = ba_model(9, 4);
+        model.set_linear(0, 0.7).unwrap(); // breaks spin-flip symmetry
+        let cfg = FrozenQubitsConfig::with_frozen(2);
+        let plan = plan_execution(&model, &Device::ibm_montreal(), &cfg).unwrap();
+        assert_eq!(plan.num_branches(), 4, "no pruning without symmetry");
+        assert_eq!(plan.num_templates(), 1, "branches still share the shape");
+        assert!((0..4).all(|b| plan.branch_weight(b) == 1.0));
+    }
+}

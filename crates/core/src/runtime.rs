@@ -163,7 +163,10 @@ mod tests {
     #[test]
     fn batching_absorbs_subcircuits() {
         let p = RuntimeParams::default();
-        for exec in [ExecutionModel::batched_shared(), ExecutionModel::batched_dedicated()] {
+        for exec in [
+            ExecutionModel::batched_shared(),
+            ExecutionModel::batched_dedicated(),
+        ] {
             let base = end_to_end_runtime_hours(1, &p, &exec);
             let fq = end_to_end_runtime_hours(512, &p, &exec);
             assert!(fq < 600.0 * base, "batched run must not scale linearly");
@@ -179,7 +182,8 @@ mod tests {
         let one = end_to_end_runtime_hours(1, &p, &exec);
         let two = end_to_end_runtime_hours(2, &p, &exec);
         // Subtract the fixed compile/opt/pp overheads before comparing.
-        let fixed = (p.compile_s + p.postprocess_s + p.iterations as f64 * p.opt_latency_s) / 3600.0;
+        let fixed =
+            (p.compile_s + p.postprocess_s + p.iterations as f64 * p.opt_latency_s) / 3600.0;
         assert!(((two - fixed) / (one - fixed) - 2.0).abs() < 1e-9);
     }
 

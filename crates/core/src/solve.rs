@@ -2,17 +2,17 @@
 //! noisy simulator, decode every outcome back to the parent space, and
 //! pick the best solution (§3.6) — including the bit-flip inference for
 //! pruned partners (§3.7.2).
+//!
+//! Like the analytic pipeline, this is a thin wrapper over the
+//! plan/execute core: one shared compiled template per sub-circuit shape,
+//! branches sampled through the configured [`Executor`](crate::Executor).
 
-use fq_circuit::build_qaoa_circuit;
-use fq_ising::{IsingModel, OutputDistribution, Spin, SpinVec};
-use fq_sim::{sample_noisy, NoisySamplerConfig};
-use fq_transpile::{compile, Device};
+use fq_ising::{IsingModel, OutputDistribution, SpinVec};
+use fq_transpile::Device;
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    optimize_parameters, partition_problem, select_hotspots, FrozenQubitsConfig,
-    FrozenQubitsError,
-};
+use crate::plan::plan_execution;
+use crate::{FrozenQubitsConfig, FrozenQubitsError};
 
 /// The outcome of a sampling run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -63,43 +63,19 @@ pub fn solve_with_sampling(
     config: &FrozenQubitsConfig,
     shots: u64,
 ) -> Result<SolveOutcome, FrozenQubitsError> {
-    let hotspots = select_hotspots(model, config.num_frozen, &config.hotspots)?;
-    let plan = partition_problem(model, &hotspots, config.prune_symmetric)?;
+    let plan = plan_execution(model, device, config)?;
+    let samples = config
+        .build_executor()
+        .sample(&plan, device, config, shots)?;
 
     let mut union = OutputDistribution::new(model.num_vars());
     let mut best: Option<(SpinVec, f64)> = None;
-
-    for (k, exec) in plan.executed.iter().enumerate() {
-        let sub_model = exec.problem.model();
-        let (gamma, beta) = optimize_parameters(sub_model, config.param_grid)?;
-        let qc = build_qaoa_circuit(sub_model, config.layers)?;
-        let bound = qc.bind(&[gamma], &[beta])?;
-        let compiled = compile(&bound, device, config.compile)?;
-        let sampler = NoisySamplerConfig {
-            shots,
-            trajectories: 16,
-            seed: config.seed.wrapping_add(k as u64),
-        };
-        let sub_dist = sample_noisy(&compiled, device, sampler)?;
-
-        // Decode this branch's outcomes into the parent space.
-        let decoded = sub_dist.decode(&exec.problem)?;
-        consider(&mut best, model, &decoded)?;
-        union.merge(&decoded)?;
-
-        // Infer the pruned partner: flip every sub-space bit, then decode
-        // through the partner's frozen assignment (§3.7.2).
-        if exec.partner_mask.is_some() {
-            let partner_assignment: Vec<(usize, Spin)> = exec
-                .problem
-                .frozen()
-                .iter()
-                .map(|&(q, s)| (q, s.flipped()))
-                .collect();
-            let partner = model.freeze(&partner_assignment)?;
-            let partner_decoded = sub_dist.flipped().decode(&partner)?;
-            consider(&mut best, model, &partner_decoded)?;
-            union.merge(&partner_decoded)?;
+    for branch in &samples {
+        consider(&mut best, model, &branch.decoded)?;
+        union.merge(&branch.decoded)?;
+        if let Some(partner) = &branch.partner_decoded {
+            consider(&mut best, model, partner)?;
+            union.merge(partner)?;
         }
     }
 
@@ -110,7 +86,7 @@ pub fn solve_with_sampling(
         best,
         energy,
         distribution: union,
-        frozen_qubits: hotspots,
+        frozen_qubits: plan.frozen_qubits().to_vec(),
     })
 }
 
@@ -131,6 +107,8 @@ mod tests {
     use super::*;
     use fq_graphs::{gen, to_ising_pm1};
     use fq_ising::solve::exact_solve;
+    use fq_ising::Spin;
+    use fq_transpile::Device;
 
     fn model(n: usize, seed: u64) -> IsingModel {
         to_ising_pm1(&gen::barabasi_albert(n, 1, seed).unwrap(), seed)
@@ -174,7 +152,10 @@ mod tests {
                 _ => saw_down = true,
             }
         }
-        assert!(saw_up && saw_down, "partner inference must populate both branches");
+        assert!(
+            saw_up && saw_down,
+            "partner inference must populate both branches"
+        );
         // Total shots double via partner inference (m=1, pruned).
         assert_eq!(out.distribution.total_shots(), 2 * 1024);
     }

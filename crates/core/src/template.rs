@@ -8,7 +8,7 @@
 
 use fq_circuit::{build_qaoa_template, rebind_coefficients};
 use fq_ising::IsingModel;
-use fq_transpile::{compile, Compiled, CompileOptions, Device};
+use fq_transpile::{compile, CompileOptions, Compiled, Device};
 
 use crate::FrozenQubitsError;
 
@@ -89,10 +89,7 @@ impl CompiledTemplate {
             )));
         }
         let circuit = rebind_coefficients(&self.compiled.circuit, sibling)?;
-        Ok(Compiled {
-            circuit,
-            ..self.compiled.clone()
-        })
+        Ok(self.compiled.instantiate(circuit))
     }
 }
 
@@ -133,7 +130,10 @@ mod tests {
         let edited = template.edit_for(&minus).unwrap();
 
         let bound = edited.circuit.bind(&[0.4], &[0.7]).unwrap();
-        let recompiled = Compiled { circuit: bound, ..edited.clone() };
+        let recompiled = Compiled {
+            circuit: bound,
+            ..edited.clone()
+        };
         let (compact, layout) = recompiled.compact();
         let sv = fq_sim::run_circuit(&compact).unwrap();
 
@@ -152,6 +152,50 @@ mod tests {
         assert!(
             (ev_sv - ev_analytic).abs() < 1e-9,
             "edited template EV {ev_sv} vs analytic {ev_analytic}"
+        );
+    }
+
+    #[test]
+    fn level3_keeps_placeholders_for_terms_zero_only_in_the_representative() {
+        // Regression: two frozen hubs couple to a shared neighbour with
+        // opposite signs, so the representative branch (both UP) folds
+        // them to h = 0 while the flipped sibling gets h = 2. The level-3
+        // cleanup passes must not strip the zero-scale placeholder Rz
+        // from the compiled template, or the sibling silently loses that
+        // Hamiltonian term.
+        let mut parent = IsingModel::new(4);
+        parent.set_coupling(0, 2, 1.0).unwrap();
+        parent.set_coupling(1, 2, -1.0).unwrap();
+        parent.set_coupling(2, 3, 1.0).unwrap();
+        let rep = parent.freeze(&[(0, Spin::UP), (1, Spin::UP)]).unwrap();
+        let sibling = parent.freeze(&[(0, Spin::UP), (1, Spin::DOWN)]).unwrap();
+        assert_eq!(rep.model().linear(0), 0.0, "representative h cancels");
+        assert_eq!(sibling.model().linear(0), 2.0, "sibling h does not");
+
+        let topo = fq_transpile::Topology::grid(2, 2).unwrap();
+        let dev = Device::ideal("ideal", topo);
+        let template =
+            CompiledTemplate::compile(rep.model(), 1, &dev, CompileOptions::level3()).unwrap();
+        let edited = template.edit_for(sibling.model()).unwrap();
+
+        // The edited executable, simulated, must realize the sibling's
+        // Hamiltonian — linear term included.
+        let bound = edited.circuit.bind(&[0.4], &[0.7]).unwrap();
+        let (compact, layout) = edited.instantiate(bound).compact();
+        let sv = fq_sim::run_circuit(&compact).unwrap();
+        let mut remapped = IsingModel::new(compact.num_qubits());
+        for (i, hi) in sibling.model().linears() {
+            remapped.set_linear(layout[i], hi).unwrap();
+        }
+        for ((i, j), jij) in sibling.model().couplings() {
+            remapped.set_coupling(layout[i], layout[j], jij).unwrap();
+        }
+        remapped.set_offset(sibling.model().offset());
+        let ev_sv = sv.expectation_ising(&remapped).unwrap();
+        let ev_analytic = fq_sim::analytic::expectation_p1(sibling.model(), 0.4, 0.7).unwrap();
+        assert!(
+            (ev_sv - ev_analytic).abs() < 1e-9,
+            "edited template EV {ev_sv} vs analytic {ev_analytic} — placeholder Rz was dropped"
         );
     }
 

@@ -175,7 +175,10 @@ pub fn plan_cut(model: &IsingModel, max_fragment: usize) -> Result<CutPlan, CutE
                 .enumerate()
                 .filter(|(_, &v)| assignment[v] == usize::MAX)
                 .max_by_key(|(_, &v)| {
-                    adj[v].iter().filter(|&&(u, _)| assignment[u] == current).count()
+                    adj[v]
+                        .iter()
+                        .filter(|&&(u, _)| assignment[u] == current)
+                        .count()
                 })
             else {
                 break;
@@ -277,7 +280,7 @@ mod tests {
     #[test]
     fn fragments_partition_all_variables() {
         let plan = plan_cut(&ring(10), 3).unwrap();
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for frag in plan.fragments() {
             assert!(frag.len() <= 3);
             for &v in frag {
@@ -318,7 +321,10 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_inputs() {
-        assert!(matches!(plan_cut(&IsingModel::new(0), 2), Err(CutError::EmptyModel)));
+        assert!(matches!(
+            plan_cut(&IsingModel::new(0), 2),
+            Err(CutError::EmptyModel)
+        ));
         assert!(matches!(
             plan_cut(&ring(4), 0),
             Err(CutError::InfeasibleFragmentSize { .. })

@@ -48,7 +48,10 @@ mod tests {
     #[test]
     fn display_nonempty() {
         for e in [
-            GraphError::NodeOutOfRange { node: 3, num_nodes: 2 },
+            GraphError::NodeOutOfRange {
+                node: 3,
+                num_nodes: 2,
+            },
             GraphError::SelfLoop(0),
             GraphError::DuplicateEdge(0, 1),
             GraphError::InfeasibleParameters("x".into()),

@@ -47,7 +47,8 @@ pub fn barabasi_albert(n: usize, d: usize, seed: u64) -> Result<Graph, GraphErro
 
     for source in d..n {
         for &t in &targets {
-            g.add_edge(source, t).expect("targets are distinct and valid");
+            g.add_edge(source, t)
+                .expect("targets are distinct and valid");
             repeated.push(source);
             repeated.push(t);
         }
@@ -82,7 +83,7 @@ pub fn barabasi_albert(n: usize, d: usize, seed: u64) -> Result<Graph, GraphErro
 /// # Ok::<(), fq_graphs::GraphError>(())
 /// ```
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
-    if n * d % 2 != 0 || d >= n {
+    if !(n * d).is_multiple_of(2) || d >= n {
         return Err(GraphError::InfeasibleParameters(format!(
             "d-regular requires n*d even and d < n, got n={n}, d={d}"
         )));

@@ -196,9 +196,15 @@ mod tests {
         g.add_edge(2, 0).unwrap();
         assert!(g.has_edge(0, 2));
         assert!(g.has_edge(2, 0));
-        assert!(matches!(g.add_edge(0, 2), Err(GraphError::DuplicateEdge(0, 2))));
+        assert!(matches!(
+            g.add_edge(0, 2),
+            Err(GraphError::DuplicateEdge(0, 2))
+        ));
         assert!(matches!(g.add_edge(1, 1), Err(GraphError::SelfLoop(1))));
-        assert!(matches!(g.add_edge(0, 3), Err(GraphError::NodeOutOfRange { .. })));
+        assert!(matches!(
+            g.add_edge(0, 3),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
     }
 
     #[test]

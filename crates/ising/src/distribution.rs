@@ -179,10 +179,7 @@ impl OutputDistribution {
     /// # Errors
     ///
     /// Propagates decode errors on width mismatch.
-    pub fn decode(
-        &self,
-        frozen: &crate::FrozenProblem,
-    ) -> Result<OutputDistribution, IsingError> {
+    pub fn decode(&self, frozen: &crate::FrozenProblem) -> Result<OutputDistribution, IsingError> {
         let mut out = OutputDistribution::new(frozen.parent_vars());
         for (z, c) in self.iter() {
             out.record(frozen.decode(z)?, c);
@@ -252,7 +249,10 @@ mod tests {
         d.record(SpinVec::from_bits(&[0, 0]), 2);
         let f = d.flipped();
         assert_eq!(f.total_shots(), d.total_shots());
-        assert_eq!(f.probability(&SpinVec::from_bits(&[1, 0])), d.probability(&SpinVec::from_bits(&[0, 1])));
+        assert_eq!(
+            f.probability(&SpinVec::from_bits(&[1, 0])),
+            d.probability(&SpinVec::from_bits(&[0, 1]))
+        );
         // Symmetric model ⇒ identical expectation on the flipped distribution.
         assert!((d.expectation(&m).unwrap() - f.expectation(&m).unwrap()).abs() < 1e-12);
     }
@@ -293,7 +293,10 @@ mod tests {
     #[test]
     fn empty_distribution_errors() {
         let d = OutputDistribution::new(2);
-        assert!(matches!(d.expectation(&pair_model()), Err(IsingError::Empty)));
+        assert!(matches!(
+            d.expectation(&pair_model()),
+            Err(IsingError::Empty)
+        ));
         assert!(matches!(d.best(&pair_model()), Err(IsingError::Empty)));
         assert!(matches!(d.mode(), Err(IsingError::Empty)));
     }

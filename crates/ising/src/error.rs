@@ -49,7 +49,10 @@ impl fmt::Display for IsingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IsingError::VariableOutOfRange { index, num_vars } => {
-                write!(f, "variable index {index} out of range for {num_vars} variables")
+                write!(
+                    f,
+                    "variable index {index} out of range for {num_vars} variables"
+                )
             }
             IsingError::SelfCoupling(i) => write!(f, "self-coupling J[{i},{i}] is not allowed"),
             IsingError::InvalidSpin(v) => write!(f, "spin value must be +1 or -1, got {v}"),
@@ -57,13 +60,19 @@ impl fmt::Display for IsingError {
                 write!(f, "bitstring may only contain '0' and '1', got {c:?}")
             }
             IsingError::DimensionMismatch { got, expected } => {
-                write!(f, "assignment has {got} spins but the model has {expected} variables")
+                write!(
+                    f,
+                    "assignment has {got} spins but the model has {expected} variables"
+                )
             }
             IsingError::DuplicateFreeze(i) => {
                 write!(f, "variable {i} appears more than once in the freeze set")
             }
             IsingError::ProblemTooLarge { num_vars, limit } => {
-                write!(f, "exhaustive search over {num_vars} variables exceeds the limit of {limit}")
+                write!(
+                    f,
+                    "exhaustive search over {num_vars} variables exceeds the limit of {limit}"
+                )
             }
             IsingError::NonFiniteCoefficient { place } => {
                 write!(f, "coefficient {place} must be finite")
@@ -82,14 +91,25 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errors = [
-            IsingError::VariableOutOfRange { index: 5, num_vars: 3 },
+            IsingError::VariableOutOfRange {
+                index: 5,
+                num_vars: 3,
+            },
             IsingError::SelfCoupling(1),
             IsingError::InvalidSpin(0),
             IsingError::InvalidBitstring('x'),
-            IsingError::DimensionMismatch { got: 2, expected: 3 },
+            IsingError::DimensionMismatch {
+                got: 2,
+                expected: 3,
+            },
             IsingError::DuplicateFreeze(0),
-            IsingError::ProblemTooLarge { num_vars: 64, limit: 30 },
-            IsingError::NonFiniteCoefficient { place: "h[0]".into() },
+            IsingError::ProblemTooLarge {
+                num_vars: 64,
+                limit: 30,
+            },
+            IsingError::NonFiniteCoefficient {
+                place: "h[0]".into(),
+            },
             IsingError::Empty,
         ];
         for e in errors {

@@ -152,7 +152,10 @@ impl IsingModel {
         let mut frozen_spin: Vec<Option<Spin>> = vec![None; n];
         for &(k, s) in assignments {
             if k >= n {
-                return Err(IsingError::VariableOutOfRange { index: k, num_vars: n });
+                return Err(IsingError::VariableOutOfRange {
+                    index: k,
+                    num_vars: n,
+                });
             }
             if frozen_spin[k].is_some() {
                 return Err(IsingError::DuplicateFreeze(k));
@@ -212,7 +215,10 @@ pub fn enumerate_subproblems(
 ) -> Result<Vec<FrozenProblem>, IsingError> {
     let m = qubits.len();
     if m > 20 {
-        return Err(IsingError::ProblemTooLarge { num_vars: m, limit: 20 });
+        return Err(IsingError::ProblemTooLarge {
+            num_vars: m,
+            limit: 20,
+        });
     }
     let mut out = Vec::with_capacity(1 << m);
     for mask in 0u64..(1u64 << m) {
@@ -220,7 +226,11 @@ pub fn enumerate_subproblems(
             .iter()
             .enumerate()
             .map(|(t, &q)| {
-                let s = if (mask >> t) & 1 == 0 { Spin::UP } else { Spin::DOWN };
+                let s = if (mask >> t) & 1 == 0 {
+                    Spin::UP
+                } else {
+                    Spin::DOWN
+                };
                 (q, s)
             })
             .collect();
@@ -295,11 +305,11 @@ mod tests {
         assert_eq!(subs.len(), 2);
         for idx in 0..16u64 {
             let full = SpinVec::from_index(idx, 4);
-            let memberships = subs
-                .iter()
-                .filter(|s| s.contains(&full).unwrap())
-                .count();
-            assert_eq!(memberships, 1, "point {idx} must be in exactly one sub-space");
+            let memberships = subs.iter().filter(|s| s.contains(&full).unwrap()).count();
+            assert_eq!(
+                memberships, 1,
+                "point {idx} must be in exactly one sub-space"
+            );
         }
     }
 

@@ -437,7 +437,10 @@ mod tests {
             m.set_coupling(0, 5, 1.0),
             Err(IsingError::VariableOutOfRange { .. })
         ));
-        assert!(matches!(m.set_coupling(1, 1, 1.0), Err(IsingError::SelfCoupling(1))));
+        assert!(matches!(
+            m.set_coupling(1, 1, 1.0),
+            Err(IsingError::SelfCoupling(1))
+        ));
         assert!(matches!(
             m.set_linear(0, f64::NAN),
             Err(IsingError::NonFiniteCoefficient { .. })

@@ -133,13 +133,17 @@ impl Qubo {
             if i == j {
                 // q·x = q·(1−z)/2
                 offset += q / 2.0;
-                m.add_linear(i, -q / 2.0).expect("index validated at insert");
+                m.add_linear(i, -q / 2.0)
+                    .expect("index validated at insert");
             } else {
                 // q·x_i·x_j = q·(1−z_i)(1−z_j)/4
                 offset += q / 4.0;
-                m.add_linear(i, -q / 4.0).expect("index validated at insert");
-                m.add_linear(j, -q / 4.0).expect("index validated at insert");
-                m.add_coupling(i, j, q / 4.0).expect("index validated at insert");
+                m.add_linear(i, -q / 4.0)
+                    .expect("index validated at insert");
+                m.add_linear(j, -q / 4.0)
+                    .expect("index validated at insert");
+                m.add_coupling(i, j, q / 4.0)
+                    .expect("index validated at insert");
             }
         }
         m.set_offset(offset);
@@ -183,7 +187,8 @@ impl Qubo {
 
 fn add_term(q: &mut Qubo, i: usize, j: usize, delta: f64) {
     let current = q.get(i, j);
-    q.set(i, j, current + delta).expect("indices already validated");
+    q.set(i, j, current + delta)
+        .expect("indices already validated");
 }
 
 #[cfg(test)]

@@ -50,7 +50,10 @@ pub fn exact_solve(model: &IsingModel) -> Result<ExactSolution, IsingError> {
         return Err(IsingError::Empty);
     }
     if n > 30 {
-        return Err(IsingError::ProblemTooLarge { num_vars: n, limit: 30 });
+        return Err(IsingError::ProblemTooLarge {
+            num_vars: n,
+            limit: 30,
+        });
     }
 
     let adj = model.adjacency();
@@ -131,7 +134,13 @@ pub fn simulated_annealing(
 
     for _ in 0..config.restarts.max(1) {
         let mut z: SpinVec = (0..n)
-            .map(|_| if rng.random::<bool>() { Spin::UP } else { Spin::DOWN })
+            .map(|_| {
+                if rng.random::<bool>() {
+                    Spin::UP
+                } else {
+                    Spin::DOWN
+                }
+            })
             .collect();
         let mut energy = model.energy(&z)?;
         let sweeps = config.sweeps.max(1);
@@ -181,7 +190,13 @@ pub fn greedy_descent(
     let mut best: Option<(SpinVec, f64)> = None;
     for _ in 0..restarts.max(1) {
         let mut z: SpinVec = (0..n)
-            .map(|_| if rng.random::<bool>() { Spin::UP } else { Spin::DOWN })
+            .map(|_| {
+                if rng.random::<bool>() {
+                    Spin::UP
+                } else {
+                    Spin::DOWN
+                }
+            })
             .collect();
         let mut energy = model.energy(&z)?;
         energy += descend(model, &adj, &mut z);
@@ -255,7 +270,13 @@ pub fn tabu_search(
 
     for _ in 0..config.restarts.max(1) {
         let mut z: SpinVec = (0..n)
-            .map(|_| if rng.random::<bool>() { Spin::UP } else { Spin::DOWN })
+            .map(|_| {
+                if rng.random::<bool>() {
+                    Spin::UP
+                } else {
+                    Spin::DOWN
+                }
+            })
             .collect();
         let mut energy = model.energy(&z)?;
         let mut local_best = energy;
@@ -303,13 +324,12 @@ pub fn tabu_search(
 
 /// Flips spins while any flip improves; returns the total energy change.
 fn descend(model: &IsingModel, adj: &[Vec<(usize, f64)>], z: &mut SpinVec) -> f64 {
-    let n = z.len();
     let mut total = 0.0;
     loop {
         let mut improved = false;
-        for k in 0..n {
+        for (k, neighbours) in adj.iter().enumerate() {
             let mut local = model.linear(k);
-            for &(j, jij) in &adj[k] {
+            for &(j, jij) in neighbours {
                 local += jij * z.spin(j).as_f64();
             }
             let delta = -2.0 * local * z.spin(k).as_f64();
@@ -373,8 +393,14 @@ mod tests {
     #[test]
     fn exact_rejects_oversized_problems() {
         let m = IsingModel::new(31);
-        assert!(matches!(exact_solve(&m), Err(IsingError::ProblemTooLarge { .. })));
-        assert!(matches!(exact_solve(&IsingModel::new(0)), Err(IsingError::Empty)));
+        assert!(matches!(
+            exact_solve(&m),
+            Err(IsingError::ProblemTooLarge { .. })
+        ));
+        assert!(matches!(
+            exact_solve(&IsingModel::new(0)),
+            Err(IsingError::Empty)
+        ));
     }
 
     #[test]
@@ -382,7 +408,11 @@ mod tests {
         let m = frustrated_ring(10);
         let exact = exact_solve(&m).unwrap();
         let (z, e) = simulated_annealing(&m, &AnnealConfig::default(), 7).unwrap();
-        assert!((e - exact.energy).abs() < 1e-9, "SA {e} vs exact {}", exact.energy);
+        assert!(
+            (e - exact.energy).abs() < 1e-9,
+            "SA {e} vs exact {}",
+            exact.energy
+        );
         assert!((m.energy(&z).unwrap() - e).abs() < 1e-9);
     }
 
@@ -412,7 +442,11 @@ mod tests {
             let m = frustrated_ring(n);
             let exact = exact_solve(&m).unwrap();
             let (z, e) = tabu_search(&m, &TabuConfig::default(), 5).unwrap();
-            assert!((e - exact.energy).abs() < 1e-9, "n={n}: tabu {e} vs {}", exact.energy);
+            assert!(
+                (e - exact.energy).abs() < 1e-9,
+                "n={n}: tabu {e} vs {}",
+                exact.energy
+            );
             assert!((m.energy(&z).unwrap() - e).abs() < 1e-9);
         }
     }

@@ -39,7 +39,10 @@ pub fn is_spin_flip_symmetric(model: &IsingModel) -> bool {
 pub fn verify_spin_flip_symmetry(model: &IsingModel) -> Result<bool, IsingError> {
     let n = model.num_vars();
     if n > 24 {
-        return Err(IsingError::ProblemTooLarge { num_vars: n, limit: 24 });
+        return Err(IsingError::ProblemTooLarge {
+            num_vars: n,
+            limit: 24,
+        });
     }
     for idx in 0..(1u64 << n) {
         let z = SpinVec::from_index(idx, n);
@@ -86,7 +89,10 @@ pub fn representative_masks(m: usize) -> Vec<u64> {
 pub fn count_global_minima(model: &IsingModel) -> Result<usize, IsingError> {
     let n = model.num_vars();
     if n > 24 {
-        return Err(IsingError::ProblemTooLarge { num_vars: n, limit: 24 });
+        return Err(IsingError::ProblemTooLarge {
+            num_vars: n,
+            limit: 24,
+        });
     }
     let mut best = f64::INFINITY;
     let mut count = 0usize;

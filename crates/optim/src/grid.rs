@@ -21,7 +21,10 @@ impl GridScan {
     /// The minimizing `(γ, β)` pair.
     #[must_use]
     pub fn best_params(&self) -> (f64, f64) {
-        (self.gammas[self.best_index.0], self.betas[self.best_index.1])
+        (
+            self.gammas[self.best_index.0],
+            self.betas[self.best_index.1],
+        )
     }
 
     /// The minimum sampled value.
@@ -68,8 +71,14 @@ pub fn grid_scan_2d(
     beta_range: (f64, f64),
     resolution: usize,
 ) -> GridScan {
-    assert!(resolution >= 2, "grid scan needs at least 2 points per axis");
-    assert!(gamma_range.0 <= gamma_range.1 && beta_range.0 <= beta_range.1, "ranges must be ascending");
+    assert!(
+        resolution >= 2,
+        "grid scan needs at least 2 points per axis"
+    );
+    assert!(
+        gamma_range.0 <= gamma_range.1 && beta_range.0 <= beta_range.1,
+        "ranges must be ascending"
+    );
     let axis = |lo: f64, hi: f64| -> Vec<f64> {
         (0..resolution)
             .map(|k| lo + (hi - lo) * k as f64 / (resolution - 1) as f64)
@@ -104,7 +113,12 @@ mod tests {
 
     #[test]
     fn finds_grid_minimum() {
-        let scan = grid_scan_2d(|g, b| (g - 0.5).powi(2) + (b + 0.5).powi(2), (-1.0, 1.0), (-1.0, 1.0), 41);
+        let scan = grid_scan_2d(
+            |g, b| (g - 0.5).powi(2) + (b + 0.5).powi(2),
+            (-1.0, 1.0),
+            (-1.0, 1.0),
+            41,
+        );
         let (g, b) = scan.best_params();
         assert!((g - 0.5).abs() < 0.06);
         assert!((b + 0.5).abs() < 0.06);

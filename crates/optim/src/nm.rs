@@ -171,10 +171,14 @@ mod tests {
     #[test]
     fn minimizes_rosenbrock_reasonably() {
         let rosen = |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
-        let r = nelder_mead(rosen, &[-1.2, 1.0], &NelderMeadOptions {
-            max_evaluations: 5_000,
-            ..NelderMeadOptions::default()
-        });
+        let r = nelder_mead(
+            rosen,
+            &[-1.2, 1.0],
+            &NelderMeadOptions {
+                max_evaluations: 5_000,
+                ..NelderMeadOptions::default()
+            },
+        );
         assert!(r.best_value < 1e-6, "value {}", r.best_value);
     }
 
@@ -183,7 +187,10 @@ mod tests {
         let r = nelder_mead(
             |p: &[f64]| p[0].sin() + p[1].cos(),
             &[0.0, 0.0],
-            &NelderMeadOptions { max_evaluations: 50, ..NelderMeadOptions::default() },
+            &NelderMeadOptions {
+                max_evaluations: 50,
+                ..NelderMeadOptions::default()
+            },
         );
         // Budget may be exceeded only by the evaluations inside one final
         // iteration (at most dim+1 extra).
@@ -192,7 +199,11 @@ mod tests {
 
     #[test]
     fn one_dimensional_works() {
-        let r = nelder_mead(|p: &[f64]| (p[0] + 4.0).powi(2), &[10.0], &NelderMeadOptions::default());
+        let r = nelder_mead(
+            |p: &[f64]| (p[0] + 4.0).powi(2),
+            &[10.0],
+            &NelderMeadOptions::default(),
+        );
         assert!((r.best_params[0] + 4.0).abs() < 1e-4);
     }
 

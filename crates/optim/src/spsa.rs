@@ -136,7 +136,15 @@ mod tests {
             let wobble = (p[0] * 1913.0).sin() * 0.05;
             clean + wobble
         };
-        let r = spsa(noisy, &[1.5, -1.5], &SpsaOptions { iterations: 600, ..SpsaOptions::default() }, 3);
+        let r = spsa(
+            noisy,
+            &[1.5, -1.5],
+            &SpsaOptions {
+                iterations: 600,
+                ..SpsaOptions::default()
+            },
+            3,
+        );
         assert!(r.best_value < 0.1, "value {}", r.best_value);
     }
 
@@ -151,7 +159,15 @@ mod tests {
 
     #[test]
     fn evaluation_count_is_two_per_iteration_plus_final() {
-        let r = spsa(|p: &[f64]| p[0].abs(), &[1.0], &SpsaOptions { iterations: 50, ..SpsaOptions::default() }, 0);
+        let r = spsa(
+            |p: &[f64]| p[0].abs(),
+            &[1.0],
+            &SpsaOptions {
+                iterations: 50,
+                ..SpsaOptions::default()
+            },
+            0,
+        );
         assert_eq!(r.evaluations, 101);
     }
 }

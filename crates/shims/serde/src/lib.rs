@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the two marker traits and the no-op derive macros under their
+//! usual names, so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged while the build
+//! stays dependency-free (see `serde_derive`'s crate docs for why).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}

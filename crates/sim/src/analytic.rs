@@ -66,10 +66,15 @@ pub fn expectation_zz(
 ) -> Result<f64, SimError> {
     let n = model.num_vars();
     if a >= n || b >= n {
-        return Err(SimError::WidthMismatch { circuit: a.max(b) + 1, state: n });
+        return Err(SimError::WidthMismatch {
+            circuit: a.max(b) + 1,
+            state: n,
+        });
     }
     if a == b {
-        return Err(SimError::InvalidParameters("⟨Z_aZ_b⟩ needs distinct spins".into()));
+        return Err(SimError::InvalidParameters(
+            "⟨Z_aZ_b⟩ needs distinct spins".into(),
+        ));
     }
 
     // Gather coupling views J_ac and J_bc for every third spin c.
@@ -123,10 +128,8 @@ pub fn expectation_zz(
         }
     }
     let s2b = (2.0 * beta).sin();
-    let term2 = -0.5
-        * s2b
-        * s2b
-        * ((g2 * (h_a + h_b)).cos() * f_plus - (g2 * (h_a - h_b)).cos() * f_minus);
+    let term2 =
+        -0.5 * s2b * s2b * ((g2 * (h_a + h_b)).cos() * f_plus - (g2 * (h_a - h_b)).cos() * f_minus);
 
     Ok(term1 + term2)
 }
@@ -226,7 +229,10 @@ mod tests {
             for &(g, b) in &[(0.2, 0.3), (0.9, -0.4), (-1.1, 0.7)] {
                 let exact = expectation_p1(&m, g, b).unwrap();
                 let sv = sv_expectation(&m, g, b);
-                assert!((exact - sv).abs() < 1e-9, "seed {seed} ({g}, {b}): {exact} vs {sv}");
+                assert!(
+                    (exact - sv).abs() < 1e-9,
+                    "seed {seed} ({g}, {b}): {exact} vs {sv}"
+                );
             }
         }
     }

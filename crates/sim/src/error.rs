@@ -33,13 +33,22 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::TooManyQubits { requested, limit } => {
-                write!(f, "statevector over {requested} qubits exceeds the limit of {limit}")
+                write!(
+                    f,
+                    "statevector over {requested} qubits exceeds the limit of {limit}"
+                )
             }
             SimError::WidthMismatch { circuit, state } => {
-                write!(f, "circuit width {circuit} does not match state width {state}")
+                write!(
+                    f,
+                    "circuit width {circuit} does not match state width {state}"
+                )
             }
             SimError::ParametricCircuit => {
-                write!(f, "circuit still carries symbolic angles; bind parameters first")
+                write!(
+                    f,
+                    "circuit still carries symbolic angles; bind parameters first"
+                )
             }
             SimError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
             SimError::Ising(e) => write!(f, "ising error: {e}"),
@@ -69,8 +78,14 @@ mod tests {
     #[test]
     fn display_nonempty() {
         for e in [
-            SimError::TooManyQubits { requested: 30, limit: 25 },
-            SimError::WidthMismatch { circuit: 3, state: 2 },
+            SimError::TooManyQubits {
+                requested: 30,
+                limit: 25,
+            },
+            SimError::WidthMismatch {
+                circuit: 3,
+                state: 2,
+            },
             SimError::ParametricCircuit,
             SimError::InvalidParameters("x".into()),
         ] {

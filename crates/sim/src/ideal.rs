@@ -118,7 +118,12 @@ mod tests {
     fn good_p1_angles_beat_random_guessing() {
         // For the antiferromagnetic pair, ⟨C⟩ < 0 is achievable at p=1.
         let m = pair_model();
-        let ev = qaoa_expectation_sv(&m, &[std::f64::consts::FRAC_PI_4], &[3.0 * std::f64::consts::FRAC_PI_8]).unwrap();
+        let ev = qaoa_expectation_sv(
+            &m,
+            &[std::f64::consts::FRAC_PI_4],
+            &[3.0 * std::f64::consts::FRAC_PI_8],
+        )
+        .unwrap();
         assert!(ev < -0.4, "expected a clearly negative EV, got {ev}");
     }
 }

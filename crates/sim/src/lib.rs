@@ -15,6 +15,12 @@
 //! * [`eps`] / [`log_eps`] — the Expected Probability of Success metric of
 //!   §6.3.
 //!
+//! Every simulation path is pure data in, pure data out: no interior
+//! mutability, no globals, all RNG state seeded and local to a call. All
+//! public types are therefore `Send + Sync` (asserted in the test suite),
+//! which is what lets the core pipeline's `ParallelExecutor` fan
+//! noisy-expectation and sampling work out across worker threads.
+//!
 //! # Example
 //!
 //! ```
@@ -56,3 +62,23 @@ pub use noise::{
     noisy_expectation_lightcone, FidelityModel, LightconeFidelity,
 };
 pub use state::{Statevector, MAX_STATEVECTOR_QUBITS};
+
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    /// The noisy-expectation and sampling paths run on executor worker
+    /// threads; a non-`Send + Sync` type slipping into the public surface
+    /// would silently serialize the pipeline, so pin it at compile time.
+    #[test]
+    fn public_simulation_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Complex>();
+        assert_send_sync::<SimError>();
+        assert_send_sync::<NoisySamplerConfig>();
+        assert_send_sync::<ReadoutMitigator>();
+        assert_send_sync::<FidelityModel>();
+        assert_send_sync::<LightconeFidelity>();
+        assert_send_sync::<Statevector>();
+    }
+}

@@ -179,7 +179,10 @@ mod tests {
 
     fn compile_chain(n: usize, device: &Device) -> (IsingModel, Compiled) {
         let m = chain_model(n);
-        let qc = build_qaoa_circuit(&m, 1).unwrap().bind(&[0.5], &[0.9]).unwrap();
+        let qc = build_qaoa_circuit(&m, 1)
+            .unwrap()
+            .bind(&[0.5], &[0.9])
+            .unwrap();
         (m, compile(&qc, device, CompileOptions::level3()).unwrap())
     }
 
@@ -187,7 +190,16 @@ mod tests {
     fn ideal_device_reproduces_ideal_expectation() {
         let dev = Device::ideal("ideal", Topology::grid(3, 3).unwrap());
         let (m, c) = compile_chain(4, &dev);
-        let dist = sample_noisy(&c, &dev, NoisySamplerConfig { shots: 20_000, trajectories: 4, seed: 1 }).unwrap();
+        let dist = sample_noisy(
+            &c,
+            &dev,
+            NoisySamplerConfig {
+                shots: 20_000,
+                trajectories: 4,
+                seed: 1,
+            },
+        )
+        .unwrap();
         let noisy_ev = dist.expectation(&m).unwrap();
         let ideal_ev = crate::analytic::expectation_p1(&m, 0.5, 0.9).unwrap();
         assert!(
@@ -202,9 +214,19 @@ mod tests {
         let noisy_dev = Device::ibm_toronto();
         let (m, ci) = compile_chain(6, &ideal_dev);
         let (_, cn) = compile_chain(6, &noisy_dev);
-        let cfg = NoisySamplerConfig { shots: 20_000, trajectories: 64, seed: 5 };
-        let ev_ideal = sample_noisy(&ci, &ideal_dev, cfg).unwrap().expectation(&m).unwrap();
-        let ev_noisy = sample_noisy(&cn, &noisy_dev, cfg).unwrap().expectation(&m).unwrap();
+        let cfg = NoisySamplerConfig {
+            shots: 20_000,
+            trajectories: 64,
+            seed: 5,
+        };
+        let ev_ideal = sample_noisy(&ci, &ideal_dev, cfg)
+            .unwrap()
+            .expectation(&m)
+            .unwrap();
+        let ev_noisy = sample_noisy(&cn, &noisy_dev, cfg)
+            .unwrap()
+            .expectation(&m)
+            .unwrap();
         assert!(
             ev_noisy.abs() < ev_ideal.abs(),
             "noise must attenuate: ideal {ev_ideal}, noisy {ev_noisy}"
@@ -215,7 +237,11 @@ mod tests {
     fn deterministic_per_seed() {
         let dev = Device::ibm_montreal();
         let (_, c) = compile_chain(4, &dev);
-        let cfg = NoisySamplerConfig { shots: 500, trajectories: 8, seed: 42 };
+        let cfg = NoisySamplerConfig {
+            shots: 500,
+            trajectories: 8,
+            seed: 42,
+        };
         let a = sample_noisy(&c, &dev, cfg).unwrap();
         let b = sample_noisy(&c, &dev, cfg).unwrap();
         assert_eq!(a, b);
@@ -226,7 +252,16 @@ mod tests {
         let dev = Device::ibm_montreal();
         let (_, c) = compile_chain(3, &dev);
         // 1000 shots over 7 trajectories does not divide evenly.
-        let dist = sample_noisy(&c, &dev, NoisySamplerConfig { shots: 1000, trajectories: 7, seed: 2 }).unwrap();
+        let dist = sample_noisy(
+            &c,
+            &dev,
+            NoisySamplerConfig {
+                shots: 1000,
+                trajectories: 7,
+                seed: 2,
+            },
+        )
+        .unwrap();
         assert_eq!(dist.total_shots(), 1000);
     }
 
@@ -234,7 +269,25 @@ mod tests {
     fn zero_config_is_rejected() {
         let dev = Device::ibm_montreal();
         let (_, c) = compile_chain(3, &dev);
-        assert!(sample_noisy(&c, &dev, NoisySamplerConfig { shots: 0, trajectories: 1, seed: 0 }).is_err());
-        assert!(sample_noisy(&c, &dev, NoisySamplerConfig { shots: 10, trajectories: 0, seed: 0 }).is_err());
+        assert!(sample_noisy(
+            &c,
+            &dev,
+            NoisySamplerConfig {
+                shots: 0,
+                trajectories: 1,
+                seed: 0
+            }
+        )
+        .is_err());
+        assert!(sample_noisy(
+            &c,
+            &dev,
+            NoisySamplerConfig {
+                shots: 10,
+                trajectories: 0,
+                seed: 0
+            }
+        )
+        .is_err());
     }
 }

@@ -62,7 +62,10 @@ impl ReadoutMitigator {
     /// Panics if a qubit index is out of range.
     #[must_use]
     pub fn attenuation(&self, qubits: &[usize]) -> f64 {
-        qubits.iter().map(|&q| 1.0 - 2.0 * self.epsilon[q]).product()
+        qubits
+            .iter()
+            .map(|&q| 1.0 - 2.0 * self.epsilon[q])
+            .product()
     }
 
     /// Corrects a *measured* expectation value of an Ising Hamiltonian by
@@ -124,7 +127,10 @@ impl ReadoutMitigator {
         let mut zz = vec![0.0f64; model.num_couplings()];
         for (outcome, count) in dist.iter() {
             if outcome.len() != n {
-                return Err(SimError::WidthMismatch { circuit: n, state: outcome.len() });
+                return Err(SimError::WidthMismatch {
+                    circuit: n,
+                    state: outcome.len(),
+                });
             }
             let w = count as f64 / total;
             for (i, acc) in z.iter_mut().enumerate() {
@@ -141,7 +147,7 @@ impl ReadoutMitigator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fq_ising::{Spin, SpinVec};
+    use fq_ising::SpinVec;
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
@@ -184,8 +190,8 @@ mod tests {
         let mut noisy = OutputDistribution::new(2);
         for _ in 0..200_000u32 {
             let mut s = truth.clone();
-            for q in 0..2 {
-                if rng.random::<f64>() < eps[q] {
+            for (q, &e) in eps.iter().enumerate() {
+                if rng.random::<f64>() < e {
                     s.flip(q);
                 }
             }
@@ -215,8 +221,8 @@ mod tests {
             } else {
                 SpinVec::from_bits(&[1, 1])
             };
-            for q in 0..2 {
-                if rng.random::<f64>() < eps[q] {
+            for (q, &e) in eps.iter().enumerate() {
+                if rng.random::<f64>() < e {
                     s.flip(q);
                 }
             }

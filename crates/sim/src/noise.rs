@@ -326,8 +326,7 @@ mod tests {
         let (_, small) = compiled_on(&dev, 4);
         let (_, big) = compiled_on(&dev, 12);
         assert!(
-            fidelity_model(&big, &dev).gate_fidelity
-                < fidelity_model(&small, &dev).gate_fidelity
+            fidelity_model(&big, &dev).gate_fidelity < fidelity_model(&small, &dev).gate_fidelity
         );
     }
 
@@ -390,7 +389,11 @@ mod tests {
         let f = fidelity_model(&c, &dev);
         let cones = lightcone_fidelities(&m, &c, &dev).unwrap();
         for &zf in cones.z.iter().chain(&cones.zz) {
-            assert!(zf >= f.gate_fidelity - 1e-12, "cone {zf} vs global {}", f.gate_fidelity);
+            assert!(
+                zf >= f.gate_fidelity - 1e-12,
+                "cone {zf} vs global {}",
+                f.gate_fidelity
+            );
             assert!(zf <= 1.0);
         }
     }
@@ -405,7 +408,10 @@ mod tests {
         let f = fidelity_model(&c, &dev);
         let global = noisy_expectation_from_terms(&m, &z, &zz, &f).unwrap();
         let cone = noisy_expectation_lightcone(&m, &z, &zz, &c, &dev).unwrap();
-        assert!(cone.abs() >= global.abs() - 1e-12, "cone {cone} vs global {global}");
+        assert!(
+            cone.abs() >= global.abs() - 1e-12,
+            "cone {cone} vs global {global}"
+        );
     }
 
     #[test]
@@ -425,7 +431,15 @@ mod tests {
         )
         .unwrap();
         let qc = build_qaoa_circuit(&m, 1).unwrap();
-        let c = compile(&qc, &dev, CompileOptions { optimize: false, ..CompileOptions::level3() }).unwrap();
+        let c = compile(
+            &qc,
+            &dev,
+            CompileOptions {
+                optimize: false,
+                ..CompileOptions::level3()
+            },
+        )
+        .unwrap();
         if c.swap_count == 0 {
             let cones = lightcone_fidelities(&m, &c, &dev).unwrap();
             // Each edge cone: 2 CX + 2 Rx + 2 H singles; the other edge's

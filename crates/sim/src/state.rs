@@ -239,10 +239,7 @@ impl Statevector {
     ///
     /// Returns [`SimError::WidthMismatch`] if the model width differs from
     /// the state width.
-    pub fn term_expectations(
-        &self,
-        model: &IsingModel,
-    ) -> Result<(Vec<f64>, Vec<f64>), SimError> {
+    pub fn term_expectations(&self, model: &IsingModel) -> Result<(Vec<f64>, Vec<f64>), SimError> {
         if model.num_vars() != self.num_qubits {
             return Err(SimError::WidthMismatch {
                 circuit: model.num_vars(),
@@ -302,7 +299,9 @@ impl Statevector {
         (0..shots)
             .map(|_| {
                 let u = rng.random::<f64>() * total;
-                cumulative.partition_point(|&c| c < u).min(self.amps.len() - 1)
+                cumulative
+                    .partition_point(|&c| c < u)
+                    .min(self.amps.len() - 1)
             })
             .collect()
     }
@@ -316,7 +315,11 @@ impl Statevector {
             .collect()
     }
 
-    fn for_each_pair(&mut self, k: usize, mut f: impl FnMut(Complex, Complex) -> (Complex, Complex)) {
+    fn for_each_pair(
+        &mut self,
+        k: usize,
+        mut f: impl FnMut(Complex, Complex) -> (Complex, Complex),
+    ) {
         assert!(k < self.num_qubits, "qubit {k} out of range");
         let bit = 1usize << k;
         for i in 0..self.amps.len() {
@@ -417,7 +420,15 @@ mod tests {
     #[test]
     fn run_rejects_parametric_circuits() {
         let mut qc = QuantumCircuit::new(1);
-        qc.rz(0, Angle::Gamma { layer: 0, scale: 1.0, term: 0 }).unwrap();
+        qc.rz(
+            0,
+            Angle::Gamma {
+                layer: 0,
+                scale: 1.0,
+                term: 0,
+            },
+        )
+        .unwrap();
         let mut sv = Statevector::zero_state(1).unwrap();
         assert!(matches!(sv.run(&qc), Err(SimError::ParametricCircuit)));
     }

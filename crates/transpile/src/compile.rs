@@ -3,10 +3,14 @@
 //! routing and the highest optimization level" used as the paper's
 //! baseline methodology (§4.2).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use fq_circuit::{CircuitStats, QuantumCircuit};
 use serde::{Deserialize, Serialize};
 
-use crate::{choose_layout, pass, route, schedule, Device, LayoutStrategy, Schedule, TranspileError};
+use crate::{
+    choose_layout, pass, route, schedule, Device, LayoutStrategy, Schedule, TranspileError,
+};
 
 /// Compilation options.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -49,6 +53,20 @@ pub struct Compiled {
 }
 
 impl Compiled {
+    /// Derives a sibling executable from this artifact by swapping in a
+    /// different physical circuit while sharing the layout, routing
+    /// statistics and schedule — the cheap per-branch instantiation step
+    /// of the compile-once/edit-many path (§3.7.1). The caller guarantees
+    /// `circuit` has the same routed structure (angles may differ; they
+    /// carry no routing, scheduling or SWAP cost).
+    #[must_use]
+    pub fn instantiate(&self, circuit: QuantumCircuit) -> Compiled {
+        Compiled {
+            circuit,
+            ..self.clone()
+        }
+    }
+
     /// Restricts the physical circuit to the qubits it actually touches,
     /// densely re-indexed — so an `n`-qubit job compiled onto a 127-qubit
     /// device can be simulated over ~`n` qubits instead of 127.
@@ -87,6 +105,20 @@ impl Compiled {
     }
 }
 
+/// Process-wide count of [`compile`] invocations.
+///
+/// Compilation is the cost FrozenQubits amortizes (one template per
+/// sub-circuit shape instead of `2^m` compiles), so the planner's tests
+/// assert on this counter to prove the amortization actually happens.
+static COMPILE_INVOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// How many times [`compile`] has run in this process — a monotone
+/// diagnostic counter for compile-amortization tests and tooling.
+#[must_use]
+pub fn compile_invocations() -> u64 {
+    COMPILE_INVOCATIONS.load(Ordering::Relaxed)
+}
+
 /// Compiles a logical circuit for a device.
 ///
 /// # Errors
@@ -115,6 +147,7 @@ pub fn compile(
     device: &Device,
     options: CompileOptions,
 ) -> Result<Compiled, TranspileError> {
+    COMPILE_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
     let initial_layout = choose_layout(circuit, device, options.layout)?;
     let routed = route(circuit, device.topology(), &initial_layout)?;
     let physical = if options.optimize {
@@ -208,7 +241,15 @@ mod tests {
     fn optimization_never_increases_cnots() {
         let qc = build_qaoa_circuit(&star_model(7), 1).unwrap();
         let dev = Device::ibm_montreal();
-        let raw = compile(&qc, &dev, CompileOptions { layout: LayoutStrategy::NoiseAdaptive, optimize: false }).unwrap();
+        let raw = compile(
+            &qc,
+            &dev,
+            CompileOptions {
+                layout: LayoutStrategy::NoiseAdaptive,
+                optimize: false,
+            },
+        )
+        .unwrap();
         let opt = compile(&qc, &dev, CompileOptions::level3()).unwrap();
         assert!(opt.stats.cnot_count <= raw.stats.cnot_count);
     }

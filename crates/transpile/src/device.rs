@@ -83,7 +83,9 @@ impl Device {
             ));
         }
         if t1_us <= 0.0 {
-            return Err(TranspileError::InvalidParameters("t1 must be positive".into()));
+            return Err(TranspileError::InvalidParameters(
+                "t1 must be positive".into(),
+            ));
         }
         let n = topology.num_qubits();
         let m = topology.edges().len();
@@ -153,7 +155,14 @@ impl Device {
     /// IBM Montreal (27-qubit Falcon) — the primary machine of Figs. 7–11.
     #[must_use]
     pub fn ibm_montreal() -> Device {
-        Device::calibrated("ibmq_montreal", Topology::falcon_27(), 0.009, 0.020, 110.0, 1)
+        Device::calibrated(
+            "ibmq_montreal",
+            Topology::falcon_27(),
+            0.009,
+            0.020,
+            110.0,
+            1,
+        )
     }
 
     /// IBM Toronto (27-qubit Falcon).
@@ -172,7 +181,14 @@ impl Device {
     /// landscape study.
     #[must_use]
     pub fn ibm_auckland() -> Device {
-        Device::calibrated("ibm_auckland", Topology::falcon_27(), 0.008, 0.016, 130.0, 4)
+        Device::calibrated(
+            "ibm_auckland",
+            Topology::falcon_27(),
+            0.008,
+            0.016,
+            130.0,
+            4,
+        )
     }
 
     /// IBM Hanoi (27-qubit Falcon).
@@ -190,13 +206,27 @@ impl Device {
     /// IBM Brooklyn (65-qubit Hummingbird).
     #[must_use]
     pub fn ibm_brooklyn() -> Device {
-        Device::calibrated("ibmq_brooklyn", Topology::hummingbird_65(), 0.014, 0.040, 75.0, 7)
+        Device::calibrated(
+            "ibmq_brooklyn",
+            Topology::hummingbird_65(),
+            0.014,
+            0.040,
+            75.0,
+            7,
+        )
     }
 
     /// IBM Washington (127-qubit Eagle).
     #[must_use]
     pub fn ibm_washington() -> Device {
-        Device::calibrated("ibm_washington", Topology::eagle_127(), 0.013, 0.030, 95.0, 8)
+        Device::calibrated(
+            "ibm_washington",
+            Topology::eagle_127(),
+            0.013,
+            0.030,
+            95.0,
+            8,
+        )
     }
 
     /// All eight machines of the Fig. 13 cross-machine study, in the
@@ -365,8 +395,12 @@ mod tests {
     #[test]
     fn uniform_validates_ranges() {
         let topo = Topology::linear(2).unwrap();
-        assert!(Device::uniform("x", topo.clone(), 1.5, 0.0, 1.0, GateDurations::default()).is_err());
-        assert!(Device::uniform("x", topo.clone(), 0.01, 0.0, -1.0, GateDurations::default()).is_err());
+        assert!(
+            Device::uniform("x", topo.clone(), 1.5, 0.0, 1.0, GateDurations::default()).is_err()
+        );
+        assert!(
+            Device::uniform("x", topo.clone(), 0.01, 0.0, -1.0, GateDurations::default()).is_err()
+        );
         assert!(Device::uniform("x", topo, 0.01, 0.005, 100.0, GateDurations::default()).is_ok());
     }
 

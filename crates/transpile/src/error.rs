@@ -37,10 +37,16 @@ impl fmt::Display for TranspileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TranspileError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "physical qubit {qubit} out of range for device with {num_qubits} qubits")
+                write!(
+                    f,
+                    "physical qubit {qubit} out of range for device with {num_qubits} qubits"
+                )
             }
             TranspileError::CircuitTooWide { needed, available } => {
-                write!(f, "circuit needs {needed} qubits but the device has {available}")
+                write!(
+                    f,
+                    "circuit needs {needed} qubits but the device has {available}"
+                )
             }
             TranspileError::Disconnected(msg) => write!(f, "disconnected topology: {msg}"),
             TranspileError::RoutingStuck(msg) => write!(f, "routing stuck: {msg}"),
@@ -72,8 +78,14 @@ mod tests {
     #[test]
     fn display_nonempty() {
         for e in [
-            TranspileError::QubitOutOfRange { qubit: 1, num_qubits: 1 },
-            TranspileError::CircuitTooWide { needed: 5, available: 2 },
+            TranspileError::QubitOutOfRange {
+                qubit: 1,
+                num_qubits: 1,
+            },
+            TranspileError::CircuitTooWide {
+                needed: 5,
+                available: 2,
+            },
             TranspileError::Disconnected("x".into()),
             TranspileError::RoutingStuck("y".into()),
             TranspileError::InvalidParameters("z".into()),

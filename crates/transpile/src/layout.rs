@@ -77,11 +77,8 @@ fn noise_adaptive(circuit: &QuantumCircuit, device: &Device) -> Vec<usize> {
         if nb.is_empty() {
             return 0.0;
         }
-        let mean: f64 = nb
-            .iter()
-            .map(|&r| device.edge_fidelity(q, r))
-            .sum::<f64>()
-            / nb.len() as f64;
+        let mean: f64 =
+            nb.iter().map(|&r| device.edge_fidelity(q, r)).sum::<f64>() / nb.len() as f64;
         mean * (1.0 + 0.1 * nb.len() as f64)
     };
 
@@ -151,8 +148,11 @@ fn noise_adaptive(circuit: &QuantumCircuit, device: &Device) -> Vec<usize> {
         seen_l[root] = true;
         while let Some(u) = queue.pop_front() {
             logical_order.push(u);
-            let mut next: Vec<usize> =
-                logical_adj[u].iter().copied().filter(|&v| !seen_l[v]).collect();
+            let mut next: Vec<usize> = logical_adj[u]
+                .iter()
+                .copied()
+                .filter(|&v| !seen_l[v])
+                .collect();
             next.sort_by_key(|&v| (std::cmp::Reverse(logical_degree[v]), v));
             for v in next {
                 seen_l[v] = true;
@@ -166,7 +166,10 @@ fn noise_adaptive(circuit: &QuantumCircuit, device: &Device) -> Vec<usize> {
         .iter()
         .copied()
         .max_by_key(|&p| {
-            topo.neighbors(p).iter().filter(|&&x| region_set.contains(&x)).count()
+            topo.neighbors(p)
+                .iter()
+                .filter(|&&x| region_set.contains(&x))
+                .count()
         })
         .expect("region is non-empty");
     let mut physical_order = Vec::with_capacity(n);
@@ -183,8 +186,16 @@ fn noise_adaptive(circuit: &QuantumCircuit, device: &Device) -> Vec<usize> {
             .collect();
         // Prefer well-connected, healthy couplers first.
         next.sort_by(|&a, &b| {
-            let ka = topo.neighbors(a).iter().filter(|&&x| region_set.contains(&x)).count();
-            let kb = topo.neighbors(b).iter().filter(|&&x| region_set.contains(&x)).count();
+            let ka = topo
+                .neighbors(a)
+                .iter()
+                .filter(|&&x| region_set.contains(&x))
+                .count();
+            let kb = topo
+                .neighbors(b)
+                .iter()
+                .filter(|&&x| region_set.contains(&x))
+                .count();
             kb.cmp(&ka).then(a.cmp(&b))
         });
         for p in next {

@@ -46,7 +46,7 @@ mod route;
 mod schedule;
 mod topology;
 
-pub use compile::{compile, Compiled, CompileOptions};
+pub use compile::{compile, compile_invocations, CompileOptions, Compiled};
 pub use device::{Device, GateDurations};
 pub use error::TranspileError;
 pub use layout::{choose_layout, LayoutStrategy};

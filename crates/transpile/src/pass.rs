@@ -92,13 +92,23 @@ pub fn merge_rz(circuit: &QuantumCircuit) -> QuantumCircuit {
 }
 
 /// Removes rotations whose angle is identically zero.
+///
+/// Term-indexed γ-rotations are exempt even at scale 0: in a compiled
+/// *template* they are placeholders for sibling sub-problems whose
+/// coefficient for that Hamiltonian term is non-zero (§3.7.1), and
+/// dropping them would make the sibling's rebinding silently lose the
+/// term. They cost nothing on hardware (`Rz` is virtual) and never occur
+/// in directly-synthesized circuits, which omit zero linears at build
+/// time.
 #[must_use]
 pub fn drop_zero_rotations(circuit: &QuantumCircuit) -> QuantumCircuit {
     let keep: Vec<bool> = circuit
         .gates()
         .iter()
         .map(|g| match g {
-            Gate::Rz { theta, .. } | Gate::Rx { theta, .. } => !theta.is_zero(),
+            Gate::Rz { theta, .. } | Gate::Rx { theta, .. } => {
+                matches!(theta, fq_circuit::Angle::Gamma { .. }) || !theta.is_zero()
+            }
             _ => true,
         })
         .collect();
@@ -135,7 +145,8 @@ fn rebuild(circuit: &QuantumCircuit, keep: &[bool]) -> QuantumCircuit {
     let mut out = QuantumCircuit::new(circuit.num_qubits());
     for (g, &k) in circuit.gates().iter().zip(keep) {
         if k {
-            out.push(*g).expect("gates were valid in the source circuit");
+            out.push(*g)
+                .expect("gates were valid in the source circuit");
         }
     }
     out
@@ -154,7 +165,13 @@ mod tests {
         qc.cx(1, 2).unwrap();
         let out = cancel_cx_pairs(&qc);
         assert_eq!(out.len(), 1);
-        assert_eq!(out.gates()[0], Gate::Cx { control: 1, target: 2 });
+        assert_eq!(
+            out.gates()[0],
+            Gate::Cx {
+                control: 1,
+                target: 2
+            }
+        );
     }
 
     #[test]
@@ -183,26 +200,74 @@ mod tests {
         qc.rz(0, Angle::Constant(0.5)).unwrap();
         let out = merge_rz(&qc);
         assert_eq!(out.len(), 1);
-        assert_eq!(out.gates()[0], Gate::Rz { q: 0, theta: Angle::Constant(0.75) });
+        assert_eq!(
+            out.gates()[0],
+            Gate::Rz {
+                q: 0,
+                theta: Angle::Constant(0.75)
+            }
+        );
     }
 
     #[test]
     fn keeps_unfusable_rz_separate() {
         let mut qc = QuantumCircuit::new(1);
-        qc.rz(0, Angle::Gamma { layer: 0, scale: 1.0, term: 0 }).unwrap();
-        qc.rz(0, Angle::Gamma { layer: 0, scale: 1.0, term: 1 }).unwrap();
+        qc.rz(
+            0,
+            Angle::Gamma {
+                layer: 0,
+                scale: 1.0,
+                term: 0,
+            },
+        )
+        .unwrap();
+        qc.rz(
+            0,
+            Angle::Gamma {
+                layer: 0,
+                scale: 1.0,
+                term: 1,
+            },
+        )
+        .unwrap();
         let out = merge_rz(&qc);
         assert_eq!(out.len(), 2, "different terms must stay editable");
     }
 
     #[test]
-    fn drops_zero_rotations_only() {
+    fn drops_zero_rotations_but_keeps_gamma_placeholders() {
         let mut qc = QuantumCircuit::new(1);
         qc.rz(0, Angle::Constant(0.0)).unwrap();
         qc.rx(0, Angle::Constant(0.3)).unwrap();
-        qc.rz(0, Angle::Gamma { layer: 0, scale: 0.0, term: 0 }).unwrap();
+        qc.rz(
+            0,
+            Angle::Gamma {
+                layer: 0,
+                scale: 0.0,
+                term: 0,
+            },
+        )
+        .unwrap();
+        qc.rx(
+            0,
+            Angle::Beta {
+                layer: 0,
+                scale: 0.0,
+            },
+        )
+        .unwrap();
         let out = drop_zero_rotations(&qc);
-        assert_eq!(out.len(), 1);
+        // The zero Constant and zero Beta go; the zero-scale Gamma stays —
+        // in a template it is a rebinding placeholder for siblings whose
+        // coefficient for that term is non-zero.
+        assert_eq!(out.len(), 2);
+        assert!(matches!(
+            out.gates()[1],
+            Gate::Rz {
+                theta: Angle::Gamma { scale, .. },
+                ..
+            } if scale == 0.0
+        ));
     }
 
     #[test]

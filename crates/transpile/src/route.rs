@@ -78,7 +78,10 @@ pub fn route(
     let mut l2p = vec![0usize; n];
     for (l, &p) in initial_layout.iter().take(n).enumerate() {
         if p >= p_count {
-            return Err(TranspileError::QubitOutOfRange { qubit: p, num_qubits: p_count });
+            return Err(TranspileError::QubitOutOfRange {
+                qubit: p,
+                num_qubits: p_count,
+            });
         }
         if p2l[p].is_some() {
             return Err(TranspileError::InvalidParameters(format!(
@@ -121,7 +124,7 @@ pub fn route(
             .all(|&q| qubit_gates[q].get(head[q]) == Some(&gi))
     };
 
-    let budget = 20 * body.len().max(1) * (p_count.max(4)) as usize;
+    let budget = 20 * body.len().max(1) * (p_count.max(4));
     let mut steps = 0usize;
     while remaining > 0 {
         steps += 1;
@@ -306,10 +309,7 @@ mod tests {
         for g in routed.circuit.gates() {
             if g.is_two_qubit() {
                 let qs = g.qubits();
-                assert!(
-                    topo.are_adjacent(qs[0], qs[1]),
-                    "gate {g} not on a coupler"
-                );
+                assert!(topo.are_adjacent(qs[0], qs[1]), "gate {g} not on a coupler");
             }
         }
     }
@@ -377,7 +377,15 @@ mod tests {
     fn preserves_single_qubit_gates_and_angles() {
         let mut qc = QuantumCircuit::new(3);
         qc.h(0).unwrap();
-        qc.rz(2, Angle::Gamma { layer: 0, scale: 2.0, term: 9 }).unwrap();
+        qc.rz(
+            2,
+            Angle::Gamma {
+                layer: 0,
+                scale: 2.0,
+                term: 9,
+            },
+        )
+        .unwrap();
         qc.cx(0, 2).unwrap();
         let topo = Topology::linear(3).unwrap();
         let routed = route(&qc, &topo, &[0, 1, 2]).unwrap();
@@ -390,7 +398,14 @@ mod tests {
                 _ => None,
             })
             .expect("rz survived");
-        assert_eq!(rz, Angle::Gamma { layer: 0, scale: 2.0, term: 9 });
+        assert_eq!(
+            rz,
+            Angle::Gamma {
+                layer: 0,
+                scale: 2.0,
+                term: 9
+            }
+        );
     }
 
     #[test]

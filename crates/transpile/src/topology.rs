@@ -78,11 +78,16 @@ impl Topology {
         for (a, b) in edges {
             for q in [a, b] {
                 if q >= num_qubits {
-                    return Err(TranspileError::QubitOutOfRange { qubit: q, num_qubits });
+                    return Err(TranspileError::QubitOutOfRange {
+                        qubit: q,
+                        num_qubits,
+                    });
                 }
             }
             if a == b {
-                return Err(TranspileError::InvalidParameters(format!("self-loop on qubit {a}")));
+                return Err(TranspileError::InvalidParameters(format!(
+                    "self-loop on qubit {a}"
+                )));
             }
             let key = (a.min(b), a.max(b));
             if seen.insert(key) {
@@ -107,7 +112,9 @@ impl Topology {
     /// Returns [`TranspileError::InvalidParameters`] when `n == 0`.
     pub fn linear(n: usize) -> Result<Topology, TranspileError> {
         if n == 0 {
-            return Err(TranspileError::InvalidParameters("linear topology needs qubits".into()));
+            return Err(TranspileError::InvalidParameters(
+                "linear topology needs qubits".into(),
+            ));
         }
         Topology::from_edges(n, (1..n).map(|i| (i - 1, i)))
     }
@@ -120,7 +127,9 @@ impl Topology {
     /// Returns [`TranspileError::InvalidParameters`] for an empty grid.
     pub fn grid(rows: usize, cols: usize) -> Result<Topology, TranspileError> {
         if rows == 0 || cols == 0 {
-            return Err(TranspileError::InvalidParameters("grid needs positive dimensions".into()));
+            return Err(TranspileError::InvalidParameters(
+                "grid needs positive dimensions".into(),
+            ));
         }
         let idx = |r: usize, c: usize| r * cols + c;
         let mut edges = Vec::new();
@@ -225,15 +234,17 @@ impl Topology {
         }
         let mut new_index = vec![usize::MAX; self.num_qubits];
         let mut n = 0usize;
-        for q in 0..self.num_qubits {
+        for (q, slot) in new_index.iter_mut().enumerate() {
             if !removed.contains(&q) {
-                new_index[q] = n;
+                *slot = n;
                 n += 1;
             }
         }
-        let edges = self.edges.iter().filter_map(|&(a, b)| {
-            (!removed.contains(&a) && !removed.contains(&b)).then(|| (new_index[a], new_index[b]))
-        });
+        let edges = self
+            .edges
+            .iter()
+            .filter(|&&(a, b)| !removed.contains(&a) && !removed.contains(&b))
+            .map(|&(a, b)| (new_index[a], new_index[b]));
         Topology::from_edges(n, edges.collect::<Vec<_>>())
     }
 
@@ -282,10 +293,7 @@ impl Topology {
     }
 }
 
-fn all_pairs_bfs(
-    n: usize,
-    adjacency: &[Vec<usize>],
-) -> Result<Vec<Vec<u16>>, TranspileError> {
+fn all_pairs_bfs(n: usize, adjacency: &[Vec<usize>]) -> Result<Vec<Vec<u16>>, TranspileError> {
     let mut dist = vec![vec![u16::MAX; n]; n];
     let mut queue = std::collections::VecDeque::new();
     for start in 0..n {
@@ -302,7 +310,7 @@ fn all_pairs_bfs(
                 }
             }
         }
-        if row.iter().any(|&d| d == u16::MAX) {
+        if row.contains(&u16::MAX) {
             return Err(TranspileError::Disconnected(format!(
                 "qubit {start} cannot reach the whole device"
             )));

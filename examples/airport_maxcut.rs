@@ -36,19 +36,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = powerlaw::degree_stats(&network);
     println!(
         "airport network: {} nodes, mean degree {:.2}, hub/average ratio {:.1}x, gini {:.2}",
-        network.num_nodes(), stats.mean, stats.hotspot_ratio, stats.gini
+        network.num_nodes(),
+        stats.mean,
+        stats.hotspot_ratio,
+        stats.gini
     );
 
     // 2. Max-Cut on the 12 busiest airports (a NISQ-sized slice).
     let slice = busiest_subnetwork(&network, 12);
-    let edges: Vec<(usize, usize, f64)> =
-        slice.edges().iter().map(|&(a, b)| (a, b, 1.0)).collect();
+    let edges: Vec<(usize, usize, f64)> = slice.edges().iter().map(|&(a, b)| (a, b, 1.0)).collect();
     let model = maxcut_to_ising(12, &edges)?;
     let exact = exact_solve(&model)?;
     let total_weight: f64 = edges.iter().map(|e| e.2).sum();
     println!(
         "\nslice: {} edges; exact optimum energy {} (cut {})",
-        edges.len(), exact.energy,
+        edges.len(),
+        exact.energy,
         fq_ising::maxcut::cut_from_energy(total_weight, exact.energy)
     );
 
@@ -60,7 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cut = cut_value(&edges, &out.best)?;
         println!(
             "m = {m}: best energy {:>6.1} (cut {:>4.1}) frozen {:?} — optimum found: {}",
-            out.energy, cut, out.frozen_qubits,
+            out.energy,
+            cut,
+            out.frozen_qubits,
             (out.energy - exact.energy).abs() < 1e-9,
         );
     }

@@ -17,7 +17,10 @@ use fq_optim::grid_scan_2d;
 use fq_sim::analytic::term_expectations_p1;
 use fq_sim::{fidelity_model, noisy_expectation_from_terms, FidelityModel};
 use fq_transpile::{compile, Device};
-use frozenqubits::{metrics::approximation_ratio, partition_problem, select_hotspots, FrozenQubitsConfig, HotspotStrategy};
+use frozenqubits::{
+    metrics::approximation_ratio, partition_problem, select_hotspots, FrozenQubitsConfig,
+    HotspotStrategy,
+};
 
 const RESOLUTION: usize = 50;
 
@@ -67,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fid = fidelity_model(&compiled, &device);
     let base = noisy_ar_landscape(&parent, &fid, c_min);
     write_csv("results/fig12_baseline.csv", &base)?;
-    println!("baseline:  best AR {:>6.3}, contrast {:>6.3}", -base.best_value(), base.contrast());
+    println!(
+        "baseline:  best AR {:>6.3}, contrast {:>6.3}",
+        -base.best_value(),
+        base.contrast()
+    );
 
     // FQ landscapes: the representative sub-problem's landscape, with the
     // sub-space's own exact optimum as reference (the paper notes the
@@ -82,7 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let sub_fid = fidelity_model(&sub_compiled, &device);
         let scan = noisy_ar_landscape(&sub, &sub_fid, sub_cmin);
         write_csv(&format!("results/fig12_fq_m{m}.csv"), &scan)?;
-        println!("FQ(m={m}):   best AR {:>6.3}, contrast {:>6.3}", -scan.best_value(), scan.contrast());
+        println!(
+            "FQ(m={m}):   best AR {:>6.3}, contrast {:>6.3}",
+            -scan.best_value(),
+            scan.contrast()
+        );
     }
     println!("\nlandscape CSVs written to results/fig12_*.csv");
     println!("(the baseline landscape is flattened by noise; FrozenQubits keeps it sharp)");

@@ -25,12 +25,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Objective: minimize −return + risk + λ(Σx − k)².
     let lambda = 0.35;
-    for i in 0..n {
+    for (i, &ri) in returns.iter().enumerate() {
         // −r_i x_i  +  λ(x_i − 2k·x_i)  (from expanding the penalty)
-        qubo.set(i, i, -returns[i] + lambda * (1.0 - 2.0 * budget as f64))?;
+        qubo.set(i, i, -ri + lambda * (1.0 - 2.0 * budget as f64))?;
         for j in (i + 1)..n {
             // Correlated risk: asset 0 is the market factor.
-            let sigma = if i == 0 { 0.08 } else { rng.random_range(0.005..0.03) };
+            let sigma = if i == 0 {
+                0.08
+            } else {
+                rng.random_range(0.005..0.03)
+            };
             // Penalty cross terms: 2λ x_i x_j.
             qubo.set(i, j, sigma + 2.0 * lambda)?;
         }
@@ -40,24 +44,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = qubo.to_ising();
     println!(
         "portfolio model: {} assets, budget {}, {} couplings, symmetric: {}",
-        n, budget, model.num_couplings(), model.has_zero_linear_terms()
+        n,
+        budget,
+        model.num_couplings(),
+        model.has_zero_linear_terms()
     );
 
     // 2. Exact reference.
     let exact = exact_solve(&model)?;
-    let chosen: Vec<usize> = (0..n).filter(|&i| exact.best.spin(i).to_bit() == 1).collect();
+    let chosen: Vec<usize> = (0..n)
+        .filter(|&i| exact.best.spin(i).to_bit() == 1)
+        .collect();
     println!("exact optimum {:.4}, assets {:?}", exact.energy, chosen);
 
     // 3. FrozenQubits with m = 2. The linear terms break symmetry, so all
     //    four sub-problems execute (no pruning) — the honest-cost path.
     let device = Device::ibm_hanoi();
     for m in [0usize, 2] {
-        let cfg = FrozenQubitsConfig { num_frozen: m, ..FrozenQubitsConfig::default() };
+        let cfg = FrozenQubitsConfig {
+            num_frozen: m,
+            ..FrozenQubitsConfig::default()
+        };
         let out = solve_with_sampling(&model, &device, &cfg, 4096)?;
         let picked: Vec<usize> = (0..n).filter(|&i| out.best.spin(i).to_bit() == 1).collect();
         println!(
             "m = {m}: best {:.4} assets {:?} (gap to exact {:.4})",
-            out.energy, picked, out.energy - exact.energy
+            out.energy,
+            picked,
+            out.energy - exact.energy
         );
     }
     Ok(())

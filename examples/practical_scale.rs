@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base_eps = log_eps(&base, &device);
     println!(
         "baseline: {} logical CNOTs -> {} compiled (swaps {}), depth {}",
-        qaoa_cnot_count(&model, 1), base.stats.cnot_count, base.swap_count, base.stats.depth
+        qaoa_cnot_count(&model, 1),
+        base.stats.cnot_count,
+        base.swap_count,
+        base.stats.depth
     );
 
     println!("\n m | edge-drop | cnots | rel-cnot | depth | rel-depth | rel-EPS (log10)");

@@ -16,7 +16,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = gen::barabasi_albert(16, 1, 42)?;
     let model = to_ising_pm1(&graph, 42);
     let stats = powerlaw::degree_stats(&graph);
-    println!("problem: {} nodes, {} edges, max degree {} (mean {:.2})", graph.num_nodes(), graph.num_edges(), stats.max, stats.mean);
+    println!(
+        "problem: {} nodes, {} edges, max degree {} (mean {:.2})",
+        graph.num_nodes(),
+        graph.num_edges(),
+        stats.max,
+        stats.mean
+    );
 
     // 2. Compare baseline QAOA vs FrozenQubits (m = 1 and m = 2) on the
     //    IBM-Montreal model, the machine of Figs. 7–11.
@@ -24,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for m in [1usize, 2] {
         let cfg = FrozenQubitsConfig::with_frozen(m);
         let report = compare(&model, &device, &cfg)?;
-        println!("\n=== FrozenQubits m = {m} (frozen qubits: {:?}) ===", report.frozen_qubits);
+        println!(
+            "\n=== FrozenQubits m = {m} (frozen qubits: {:?}) ===",
+            report.frozen_qubits
+        );
         for s in [&report.baseline, &report.frozen] {
             println!(
                 "{:<10} qubits {:>2}  circuits {:>2}  cnots {:>4}  swaps {:>3}  depth {:>4}  ARG {:>7.2}",
@@ -32,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 s.metrics.compiled_cnots, s.metrics.swap_count, s.metrics.depth, s.arg,
             );
         }
-        println!("fidelity improvement (ARG ratio): {:.2}x", report.improvement);
+        println!(
+            "fidelity improvement (ARG ratio): {:.2}x",
+            report.improvement
+        );
     }
     Ok(())
 }

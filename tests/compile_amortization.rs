@@ -1,0 +1,49 @@
+//! The plan/execute acceptance criterion: `run_frozen`/`solve` with
+//! `m ≥ 1` invoke `fq_transpile::compile` exactly **once per distinct
+//! sub-circuit shape** — not once per branch — proving the `2^m → 1`
+//! compile amortization.
+//!
+//! `compile_invocations()` is process-global, so this file holds a single
+//! test (its own process) and measures deltas with nothing else compiling.
+
+use fq_graphs::{gen, to_ising_pm1};
+use fq_transpile::{compile_invocations, Device};
+use frozenqubits::{compare, plan_execution, run_frozen, solve_with_sampling, FrozenQubitsConfig};
+
+#[test]
+fn one_compile_per_distinct_sub_shape() {
+    let device = Device::ibm_montreal();
+    let model = to_ising_pm1(&gen::barabasi_albert(12, 1, 9).unwrap(), 9);
+
+    // run_frozen: one template regardless of the branch count.
+    for m in 1..=3usize {
+        let cfg = FrozenQubitsConfig::with_frozen(m);
+        let plan = plan_execution(&model, &device, &cfg).unwrap();
+        assert_eq!(plan.num_templates(), 1, "m={m}: one distinct sub-shape");
+
+        let before = compile_invocations();
+        let (summary, _) = run_frozen(&model, &device, &cfg).unwrap();
+        let compiles = compile_invocations() - before;
+        assert_eq!(
+            compiles, 1,
+            "m={m}: {} branches must share one compile",
+            summary.circuits_executed
+        );
+        assert_eq!(summary.circuits_executed, 1 << (m - 1));
+    }
+
+    // compare = baseline shape + frozen shape: exactly two compiles.
+    let before = compile_invocations();
+    compare(&model, &device, &FrozenQubitsConfig::with_frozen(3)).unwrap();
+    assert_eq!(compile_invocations() - before, 2);
+
+    // The sampling solver amortizes identically.
+    let small = to_ising_pm1(&gen::barabasi_albert(7, 1, 4).unwrap(), 4);
+    let before = compile_invocations();
+    solve_with_sampling(&small, &device, &FrozenQubitsConfig::with_frozen(3), 128).unwrap();
+    assert_eq!(
+        compile_invocations() - before,
+        1,
+        "4 sampled branches, one compile"
+    );
+}

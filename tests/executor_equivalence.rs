@@ -1,0 +1,80 @@
+//! Executor equivalence: the parallel backend must be a pure scheduling
+//! change — every pipeline entry point has to produce **identical**
+//! results under `SequentialExecutor` and `ParallelExecutor`.
+
+use fq_graphs::{gen, to_ising_pm1};
+use fq_ising::IsingModel;
+use fq_transpile::Device;
+use frozenqubits::{
+    compare, plan_execution, run_frozen, solve_with_sampling, Executor, ExecutorKind,
+    FrozenQubitsConfig, ParallelExecutor, SequentialExecutor,
+};
+
+fn ba(n: usize, seed: u64) -> IsingModel {
+    to_ising_pm1(&gen::barabasi_albert(n, 1, seed).unwrap(), seed)
+}
+
+fn cfg(m: usize, executor: ExecutorKind) -> FrozenQubitsConfig {
+    FrozenQubitsConfig {
+        executor,
+        ..FrozenQubitsConfig::with_frozen(m)
+    }
+}
+
+#[test]
+fn run_frozen_is_identical_across_backends_for_m_1_2_3() {
+    let device = Device::ibm_montreal();
+    for m in 1..=3usize {
+        let model = ba(12, 20 + m as u64);
+        let (seq, seq_hot) =
+            run_frozen(&model, &device, &cfg(m, ExecutorKind::Sequential)).unwrap();
+        let (par, par_hot) = run_frozen(&model, &device, &cfg(m, ExecutorKind::Parallel)).unwrap();
+        assert_eq!(seq_hot, par_hot, "m={m}: frozen qubits differ");
+        // Full RunSummary equality: label, arg, ev_*, metrics, params.
+        assert_eq!(seq, par, "m={m}: backends disagree");
+        assert_eq!(seq.circuits_executed, 1 << (m - 1));
+    }
+}
+
+#[test]
+fn compare_reports_are_identical_across_backends() {
+    let device = Device::ibm_montreal();
+    let model = ba(12, 31);
+    let seq = compare(&model, &device, &cfg(2, ExecutorKind::Sequential)).unwrap();
+    let par = compare(&model, &device, &cfg(2, ExecutorKind::Parallel)).unwrap();
+    assert_eq!(seq, par);
+    assert!(seq.improvement > 0.0);
+}
+
+#[test]
+fn raw_executor_outcomes_are_identical_and_ordered() {
+    let device = Device::ibm_montreal();
+    let model = ba(12, 32);
+    let config = cfg(3, ExecutorKind::Parallel);
+    let plan = plan_execution(&model, &device, &config).unwrap();
+    let seq = SequentialExecutor.execute(&plan, &device, &config).unwrap();
+    let par = ParallelExecutor::default()
+        .execute(&plan, &device, &config)
+        .unwrap();
+    assert_eq!(seq, par);
+    assert_eq!(seq.len(), 4);
+    for (i, outcome) in seq.iter().enumerate() {
+        assert_eq!(outcome.branch, i, "outcomes must stay in branch order");
+        assert_eq!(outcome.weight, 2.0);
+    }
+    // A fixed thread count is the same backend, only narrower.
+    let two = ParallelExecutor::new(2)
+        .execute(&plan, &device, &config)
+        .unwrap();
+    assert_eq!(seq, two);
+}
+
+#[test]
+fn sampling_solver_is_identical_across_backends() {
+    let device = Device::ibm_montreal();
+    let model = ba(8, 33);
+    let seq = solve_with_sampling(&model, &device, &cfg(2, ExecutorKind::Sequential), 512).unwrap();
+    let par = solve_with_sampling(&model, &device, &cfg(2, ExecutorKind::Parallel), 512).unwrap();
+    assert_eq!(seq, par);
+    assert_eq!(seq.best.len(), 8);
+}

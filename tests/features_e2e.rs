@@ -8,9 +8,7 @@ use fq_graphs::{gen, to_ising_pm1};
 use fq_ising::IsingModel;
 use fq_sim::{sample_noisy, NoisySamplerConfig, ReadoutMitigator};
 use fq_transpile::{compile, CompileOptions, Device};
-use frozenqubits::{
-    run_frozen, suggest_num_frozen, FreezeBudget, FrozenQubitsConfig,
-};
+use frozenqubits::{run_frozen, suggest_num_frozen, FreezeBudget, FrozenQubitsConfig};
 
 fn ba(n: usize, seed: u64) -> IsingModel {
     to_ising_pm1(&gen::barabasi_albert(n, 1, seed).unwrap(), seed)
@@ -19,7 +17,10 @@ fn ba(n: usize, seed: u64) -> IsingModel {
 #[test]
 fn compiled_circuits_export_to_qasm() {
     let model = ba(8, 1);
-    let qc = build_qaoa_circuit(&model, 1).unwrap().bind(&[0.4], &[0.8]).unwrap();
+    let qc = build_qaoa_circuit(&model, 1)
+        .unwrap()
+        .bind(&[0.4], &[0.8])
+        .unwrap();
     let compiled = compile(&qc, &Device::ibm_montreal(), CompileOptions::level3()).unwrap();
     let qasm = to_qasm(&compiled.circuit).unwrap();
     assert!(qasm.starts_with("OPENQASM 2.0;"));
@@ -46,12 +47,19 @@ fn readout_mitigation_improves_noisy_expectation() {
     )
     .unwrap();
     let (g, b) = frozenqubits::optimize_parameters(&model, 15).unwrap();
-    let qc = build_qaoa_circuit(&model, 1).unwrap().bind(&[g], &[b]).unwrap();
+    let qc = build_qaoa_circuit(&model, 1)
+        .unwrap()
+        .bind(&[g], &[b])
+        .unwrap();
     let compiled = compile(&qc, &device, CompileOptions::level3()).unwrap();
     let dist = sample_noisy(
         &compiled,
         &device,
-        NoisySamplerConfig { shots: 60_000, trajectories: 16, seed: 1 },
+        NoisySamplerConfig {
+            shots: 60_000,
+            trajectories: 16,
+            seed: 1,
+        },
     )
     .unwrap();
     let ideal = fq_sim::analytic::expectation_p1(&model, g, b).unwrap();
@@ -62,7 +70,10 @@ fn readout_mitigation_improves_noisy_expectation() {
         (fixed - ideal).abs() < (raw - ideal).abs(),
         "mitigated {fixed} must beat raw {raw} against ideal {ideal}"
     );
-    assert!((fixed - ideal).abs() < 0.15, "mitigated {fixed} vs ideal {ideal}");
+    assert!(
+        (fixed - ideal).abs() < 0.15,
+        "mitigated {fixed} vs ideal {ideal}"
+    );
 }
 
 #[test]
@@ -70,7 +81,11 @@ fn adaptive_recommendation_feeds_the_pipeline() {
     let model = ba(20, 5);
     let rec = suggest_num_frozen(
         &model,
-        &FreezeBudget { max_quantum_cost: 8, min_marginal_gain: 0.01, max_frozen: 6 },
+        &FreezeBudget {
+            max_quantum_cost: 8,
+            min_marginal_gain: 0.01,
+            max_frozen: 6,
+        },
     )
     .unwrap();
     assert!(rec.m >= 1);
@@ -83,7 +98,10 @@ fn adaptive_recommendation_feeds_the_pipeline() {
 fn multilayer_qaoa_composes_with_freezing() {
     let model = ba(10, 7);
     let device = Device::ibm_montreal();
-    let cfg = FrozenQubitsConfig { layers: 2, ..FrozenQubitsConfig::default() };
+    let cfg = FrozenQubitsConfig {
+        layers: 2,
+        ..FrozenQubitsConfig::default()
+    };
     let (s, hotspots) = run_frozen(&model, &device, &cfg).unwrap();
     assert_eq!(hotspots.len(), 1);
     assert!(s.arg.is_finite());
@@ -97,20 +115,16 @@ fn mitigated_sampling_composes_with_frozen_solve() {
     // union distribution's expectation with the device's readout rates.
     let model = ba(8, 11);
     let device = Device::ibm_auckland();
-    let out = frozenqubits::solve_with_sampling(
-        &model,
-        &device,
-        &FrozenQubitsConfig::default(),
-        4096,
-    )
-    .unwrap();
+    let out =
+        frozenqubits::solve_with_sampling(&model, &device, &FrozenQubitsConfig::default(), 4096)
+            .unwrap();
     // Mean readout error across the device as a crude per-qubit estimate.
-    let eps = (0..model.num_vars())
-        .map(|_| 0.016)
-        .collect::<Vec<_>>();
+    let eps = (0..model.num_vars()).map(|_| 0.016).collect::<Vec<_>>();
     let mitigator = ReadoutMitigator::new(eps).unwrap();
     let raw = out.distribution.expectation(&model).unwrap();
-    let fixed = mitigator.mitigate_expectation(&model, &out.distribution).unwrap();
+    let fixed = mitigator
+        .mitigate_expectation(&model, &out.distribution)
+        .unwrap();
     // Mitigation must push the EV further from zero (undoing attenuation).
     assert!(fixed <= raw + 1e-9, "mitigated {fixed} vs raw {raw}");
 }

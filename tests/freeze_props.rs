@@ -1,56 +1,66 @@
 //! Property-based tests of the freezing algebra, the crate's load-bearing
 //! invariants (Eqs. 2–3 and the §3.7.2 theorem) over randomized models.
+//!
+//! The offline build has no `proptest`, so each property runs over 128
+//! seeded random cases drawn from the same distribution the original
+//! proptest strategies described: `n ∈ [2, 9]` variables, up to
+//! `n(n−1)/2` random couplings in `[−2, 2]`, optional linear terms in
+//! `[−1.5, 1.5]`, a random offset, and a random freeze set.
 
 use fq_ising::symmetry::{is_spin_flip_symmetric, verify_spin_flip_symmetry};
 use fq_ising::{enumerate_subproblems, IsingModel, Qubo, Spin, SpinVec};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
-/// A random Ising model over `n ∈ [2, 9]` variables with optional linear
-/// terms, plus a freeze set.
-fn arb_model(with_linear: bool) -> impl Strategy<Value = (IsingModel, Vec<(usize, Spin)>)> {
-    (2usize..=9).prop_flat_map(move |n| {
-        let couplings = proptest::collection::vec(
-            (0usize..n, 0usize..n, -2.0f64..2.0),
-            0..=(n * (n - 1) / 2),
-        );
-        let linears = if with_linear {
-            proptest::collection::vec(-1.5f64..1.5, n..=n).boxed()
-        } else {
-            Just(vec![0.0; n]).boxed()
-        };
-        let offset = -3.0f64..3.0;
-        let freeze_mask = proptest::collection::vec(any::<bool>(), n..=n);
-        let freeze_spins = proptest::collection::vec(any::<bool>(), n..=n);
-        (couplings, linears, offset, freeze_mask, freeze_spins).prop_map(
-            move |(cs, hs, off, fmask, fspins)| {
-                let mut m = IsingModel::new(n);
-                for (i, j, w) in cs {
-                    if i != j {
-                        m.add_coupling(i, j, w).expect("indices in range");
-                    }
-                }
-                for (i, h) in hs.into_iter().enumerate() {
-                    m.set_linear(i, h).expect("index in range");
-                }
-                m.set_offset(off);
-                let mut freeze: Vec<(usize, Spin)> = Vec::new();
-                for i in 0..n {
-                    if fmask[i] && freeze.len() + 1 < n {
-                        freeze.push((i, if fspins[i] { Spin::UP } else { Spin::DOWN }));
-                    }
-                }
-                (m, freeze)
-            },
-        )
-    })
+const CASES: u64 = 128;
+
+/// One random Ising model plus a freeze set, mirroring the original
+/// proptest `arb_model` strategy.
+fn arb_model(rng: &mut StdRng, with_linear: bool) -> (IsingModel, Vec<(usize, Spin)>) {
+    let n = rng.random_range(2..=9usize);
+    let mut m = IsingModel::new(n);
+    let num_couplings = rng.random_range(0..=(n * (n - 1) / 2));
+    for _ in 0..num_couplings {
+        let i = rng.random_range(0..n);
+        let j = rng.random_range(0..n);
+        if i != j {
+            m.add_coupling(i, j, rng.random_range(-2.0..2.0))
+                .expect("indices in range");
+        }
+    }
+    if with_linear {
+        for i in 0..n {
+            m.set_linear(i, rng.random_range(-1.5..1.5))
+                .expect("index in range");
+        }
+    }
+    m.set_offset(rng.random_range(-3.0..3.0));
+    let mut freeze: Vec<(usize, Spin)> = Vec::new();
+    for i in 0..n {
+        if rng.random::<bool>() && freeze.len() + 1 < n {
+            let s = if rng.random::<bool>() {
+                Spin::UP
+            } else {
+                Spin::DOWN
+            };
+            freeze.push((i, s));
+        }
+    }
+    (m, freeze)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn for_each_case(with_linear: bool, mut check: impl FnMut(IsingModel, Vec<(usize, Spin)>)) {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xF0_2E_E2 ^ case);
+        let (model, freeze) = arb_model(&mut rng, with_linear);
+        check(model, freeze);
+    }
+}
 
-    /// The fundamental identity: sub-model energies are parent energies.
-    #[test]
-    fn freezing_preserves_energy((model, freeze) in arb_model(true)) {
+/// The fundamental identity: sub-model energies are parent energies.
+#[test]
+fn freezing_preserves_energy() {
+    for_each_case(true, |model, freeze| {
         let frozen = model.freeze(&freeze).expect("valid freeze set");
         let k = frozen.model().num_vars();
         for idx in 0..(1u64 << k) {
@@ -58,50 +68,67 @@ proptest! {
             let full = frozen.decode(&y).expect("width matches");
             let e_sub = frozen.model().energy(&y).expect("width matches");
             let e_full = model.energy(&full).expect("width matches");
-            prop_assert!((e_sub - e_full).abs() < 1e-9,
-                "sub {} vs full {}", e_sub, e_full);
+            assert!(
+                (e_sub - e_full).abs() < 1e-9,
+                "sub {e_sub} vs full {e_full}"
+            );
         }
-    }
+    });
+}
 
-    /// decode is a right inverse of project on the surviving coordinates.
-    #[test]
-    fn decode_project_roundtrip((model, freeze) in arb_model(true)) {
+/// decode is a right inverse of project on the surviving coordinates.
+#[test]
+fn decode_project_roundtrip() {
+    for_each_case(true, |model, freeze| {
         let frozen = model.freeze(&freeze).expect("valid freeze set");
         let k = frozen.model().num_vars();
         for idx in [0u64, 1, (1 << k) - 1] {
             let y = SpinVec::from_index(idx % (1 << k), k);
             let full = frozen.decode(&y).expect("width matches");
-            prop_assert!(frozen.contains(&full).expect("width matches"));
-            prop_assert_eq!(frozen.project(&full).expect("width matches"), y);
+            assert!(frozen.contains(&full).expect("width matches"));
+            assert_eq!(frozen.project(&full).expect("width matches"), y);
         }
-    }
+    });
+}
 
-    /// The 2^m sub-spaces tile the parent state space exactly once.
-    #[test]
-    fn subspaces_partition((model, freeze) in arb_model(false)) {
-        prop_assume!(freeze.len() <= 3 && model.num_vars() <= 7);
+/// The 2^m sub-spaces tile the parent state space exactly once.
+#[test]
+fn subspaces_partition() {
+    for_each_case(false, |model, freeze| {
+        if freeze.len() > 3 || model.num_vars() > 7 {
+            return;
+        }
         let qubits: Vec<usize> = freeze.iter().map(|&(q, _)| q).collect();
         let subs = enumerate_subproblems(&model, &qubits).expect("valid qubits");
         let n = model.num_vars();
         for idx in 0..(1u64 << n) {
             let z = SpinVec::from_index(idx, n);
-            let hits = subs.iter().filter(|s| s.contains(&z).expect("width")).count();
-            prop_assert_eq!(hits, 1);
+            let hits = subs
+                .iter()
+                .filter(|s| s.contains(&z).expect("width"))
+                .count();
+            assert_eq!(hits, 1);
         }
-    }
+    });
+}
 
-    /// §3.7.2: zero linear terms ⟺ C(z) = C(−z) everywhere.
-    #[test]
-    fn symmetry_theorem((model, _) in arb_model(false)) {
-        prop_assert!(is_spin_flip_symmetric(&model));
-        prop_assert!(verify_spin_flip_symmetry(&model).expect("small model"));
-    }
+/// §3.7.2: zero linear terms ⟺ C(z) = C(−z) everywhere.
+#[test]
+fn symmetry_theorem() {
+    for_each_case(false, |model, _| {
+        assert!(is_spin_flip_symmetric(&model));
+        assert!(verify_spin_flip_symmetry(&model).expect("small model"));
+    });
+}
 
-    /// The symmetric-partner identity used by pruning: the +1 branch's
-    /// energies, bit-flipped, are the −1 branch's energies.
-    #[test]
-    fn partner_branches_mirror((model, _) in arb_model(false)) {
-        prop_assume!(model.num_vars() >= 3);
+/// The symmetric-partner identity used by pruning: the +1 branch's
+/// energies, bit-flipped, are the −1 branch's energies.
+#[test]
+fn partner_branches_mirror() {
+    for_each_case(false, |model, _| {
+        if model.num_vars() < 3 {
+            return;
+        }
         let hub = model.hotspots()[0];
         let plus = model.freeze(&[(hub, Spin::UP)]).expect("valid");
         let minus = model.freeze(&[(hub, Spin::DOWN)]).expect("valid");
@@ -110,14 +137,18 @@ proptest! {
             let y = SpinVec::from_index(idx, k);
             let a = plus.model().energy(&y).expect("width");
             let b = minus.model().energy(&y.flipped()).expect("width");
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    /// QUBO ↔ Ising conversions agree on every assignment.
-    #[test]
-    fn qubo_ising_equivalence((model, _) in arb_model(true)) {
-        prop_assume!(model.num_vars() <= 7);
+/// QUBO ↔ Ising conversions agree on every assignment.
+#[test]
+fn qubo_ising_equivalence() {
+    for_each_case(true, |model, _| {
+        if model.num_vars() > 7 {
+            return;
+        }
         let qubo = Qubo::from_ising(&model);
         let back = qubo.to_ising();
         let n = model.num_vars();
@@ -126,22 +157,26 @@ proptest! {
             let direct = model.energy(&z).expect("width");
             let via_qubo = qubo.value_of_spins(&z).expect("width");
             let roundtrip = back.energy(&z).expect("width");
-            prop_assert!((direct - via_qubo).abs() < 1e-9);
-            prop_assert!((direct - roundtrip).abs() < 1e-9);
+            assert!((direct - via_qubo).abs() < 1e-9);
+            assert!((direct - roundtrip).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    /// Gray-code exact solver agrees with naive enumeration.
-    #[test]
-    fn exact_solver_is_exact((model, _) in arb_model(true)) {
-        prop_assume!(model.num_vars() <= 8);
+/// Gray-code exact solver agrees with naive enumeration.
+#[test]
+fn exact_solver_is_exact() {
+    for_each_case(true, |model, _| {
+        if model.num_vars() > 8 {
+            return;
+        }
         let sol = fq_ising::solve::exact_solve(&model).expect("small model");
         let n = model.num_vars();
         let mut best = f64::INFINITY;
         for idx in 0..(1u64 << n) {
             best = best.min(model.energy(&SpinVec::from_index(idx, n)).expect("width"));
         }
-        prop_assert!((sol.energy - best).abs() < 1e-9);
-        prop_assert!((model.energy(&sol.best).expect("width") - sol.energy).abs() < 1e-9);
-    }
+        assert!((sol.energy - best).abs() < 1e-9);
+        assert!((model.energy(&sol.best).expect("width") - sol.energy).abs() < 1e-9);
+    });
 }

@@ -95,7 +95,11 @@ fn regular_graphs_still_benefit_modestly() {
     let model = to_ising_pm1(&gen::random_regular(12, 3, 2).unwrap(), 2);
     let report = compare(&model, &device, &cfg).unwrap();
     assert!(report.frozen.metrics.compiled_cnots < report.baseline.metrics.compiled_cnots);
-    assert!(report.improvement > 0.9, "improvement {}", report.improvement);
+    assert!(
+        report.improvement > 0.9,
+        "improvement {}",
+        report.improvement
+    );
 }
 
 #[test]

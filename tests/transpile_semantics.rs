@@ -21,7 +21,8 @@ fn remap_model(model: &IsingModel, layout: &[usize], width: usize) -> IsingModel
         }
     }
     for ((i, j), jij) in model.couplings() {
-        out.set_coupling(layout[i], layout[j], jij).expect("layout in range");
+        out.set_coupling(layout[i], layout[j], jij)
+            .expect("layout in range");
     }
     out.set_offset(model.offset());
     out
@@ -35,7 +36,11 @@ fn assert_compiled_semantics(model: &IsingModel, device: &Device, options: Compi
     let bound = qc.bind(&[gamma], &[beta]).expect("bind");
     let compiled = compile(&bound, device, options).expect("compiles");
     let (compact, layout) = compiled.compact();
-    assert!(compact.num_qubits() <= 20, "compact width {}", compact.num_qubits());
+    assert!(
+        compact.num_qubits() <= 20,
+        "compact width {}",
+        compact.num_qubits()
+    );
 
     let sv = run_circuit(&compact).expect("simulates");
     let remapped = remap_model(model, &layout, compact.num_qubits());
@@ -77,14 +82,20 @@ fn routing_preserves_semantics_on_a_line() {
 #[test]
 fn semantics_hold_without_optimization_passes() {
     let model = ba_model(8, 7);
-    let opts = CompileOptions { layout: LayoutStrategy::NoiseAdaptive, optimize: false };
+    let opts = CompileOptions {
+        layout: LayoutStrategy::NoiseAdaptive,
+        optimize: false,
+    };
     assert_compiled_semantics(&model, &Device::ibm_montreal(), opts);
 }
 
 #[test]
 fn semantics_hold_with_trivial_layout() {
     let model = ba_model(8, 8);
-    let opts = CompileOptions { layout: LayoutStrategy::Trivial, optimize: true };
+    let opts = CompileOptions {
+        layout: LayoutStrategy::Trivial,
+        optimize: true,
+    };
     assert_compiled_semantics(&model, &Device::ibm_montreal(), opts);
 }
 
@@ -110,6 +121,10 @@ fn frozen_subproblem_circuits_are_also_faithful() {
     let hub = parent.hotspots()[0];
     for s in [Spin::UP, Spin::DOWN] {
         let sub = parent.freeze(&[(hub, s)]).unwrap();
-        assert_compiled_semantics(sub.model(), &Device::ibm_montreal(), CompileOptions::level3());
+        assert_compiled_semantics(
+            sub.model(),
+            &Device::ibm_montreal(),
+            CompileOptions::level3(),
+        );
     }
 }
