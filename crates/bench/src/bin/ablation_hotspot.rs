@@ -2,9 +2,9 @@
 //! freezing any qubit do? Compares the MaxDegree policy (the paper's)
 //! against MaxAbsCoupling and Random over the BA(d=1) suite.
 
-use fq_bench::{ba_instance, fmt, write_csv, ARG_SIZES};
+use fq_bench::{ba_instance, fmt, frozen_summary, write_csv, ARG_SIZES};
 use fq_transpile::{compile_invocations, Device};
-use frozenqubits::{run_frozen, FrozenQubitsConfig, HotspotStrategy};
+use frozenqubits::{FrozenQubitsConfig, HotspotStrategy};
 
 fn main() {
     println!("== Ablation: hotspot-selection policy (FQ m=1, IBM-Montreal) ==");
@@ -33,7 +33,7 @@ fn main() {
                     hotspots: make(seed),
                     ..FrozenQubitsConfig::default()
                 };
-                let (s, _) = run_frozen(&model, &device, &cfg).expect("fq runs");
+                let (s, _) = frozen_summary(&model, &device, &cfg);
                 runs += 1;
                 arg[k] += s.arg / seeds as f64;
                 cx[k] += s.metrics.compiled_cnots as f64 / seeds as f64;

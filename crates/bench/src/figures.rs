@@ -17,12 +17,13 @@ use fq_sim::analytic::term_expectations_p1;
 use fq_sim::noisy_expectation_lightcone;
 use fq_transpile::{compile, CompileOptions, Device, Topology};
 use frozenqubits::{
-    metrics::approximation_ratio, partition_problem, run_baseline, run_frozen, select_hotspots,
-    FrozenQubitsConfig, HotspotStrategy,
+    metrics::approximation_ratio, partition_problem, select_hotspots, FrozenQubitsConfig,
+    HotspotStrategy,
 };
 
 use crate::{
-    ba_instance, fmt, gmean, regular3_instance, sk_instance, write_csv, ARG_SIZES, SEEDS_PER_SIZE,
+    ba_instance, baseline_summary, fmt, frozen_summary, gmean, regular3_instance, sk_instance,
+    write_csv, ARG_SIZES, SEEDS_PER_SIZE,
 };
 
 /// Fig. 1(b): degree statistics of the (synthetic) airport network.
@@ -140,7 +141,7 @@ fn arg_sweep(
         for seed in 0..SEEDS_PER_SIZE {
             let model = make(n, seed.wrapping_mul(7919).wrapping_add(n as u64));
             let cfg = FrozenQubitsConfig::default();
-            let base = run_baseline(&model, device, &cfg).expect("baseline runs");
+            let base = baseline_summary(&model, device, &cfg);
             acc[0].push(base.arg.max(1e-6));
             cx[0].push(base.metrics.compiled_cnots as f64);
             depth[0].push(base.metrics.depth as f64);
@@ -149,7 +150,7 @@ fn arg_sweep(
                     continue;
                 }
                 let cfg = FrozenQubitsConfig::with_frozen(m);
-                let (s, _) = run_frozen(&model, device, &cfg).expect("fq runs");
+                let (s, _) = frozen_summary(&model, device, &cfg);
                 acc[m].push(s.arg.max(1e-6));
                 cx[m].push(s.metrics.compiled_cnots as f64);
                 depth[m].push(s.metrics.depth as f64);
@@ -221,7 +222,7 @@ pub fn fig09_tradeoff() {
     for d in 1..=3usize {
         let model = ba_instance(24, d, 9);
         let cfg = FrozenQubitsConfig::default();
-        let base = run_baseline(&model, &device, &cfg).expect("baseline runs");
+        let base = baseline_summary(&model, &device, &cfg);
         println!(
             "d_BA = {d}: baseline ARG {:.2}, CX {}",
             base.arg, base.metrics.compiled_cnots
@@ -232,7 +233,7 @@ pub fn fig09_tradeoff() {
         );
         for m in 1..=10usize {
             let cfg = FrozenQubitsConfig::with_frozen(m);
-            let (s, _) = run_frozen(&model, &device, &cfg).expect("fq runs");
+            let (s, _) = frozen_summary(&model, &device, &cfg);
             let rel_arg = s.arg / base.arg;
             let rel_cx = s.metrics.compiled_cnots as f64 / base.metrics.compiled_cnots as f64;
             let rel_depth = s.metrics.depth as f64 / base.metrics.depth as f64;
@@ -370,10 +371,10 @@ pub fn fig13_machines() {
             for seed in 0..SEEDS_PER_SIZE {
                 let model = ba_instance(n, 1, seed.wrapping_mul(131).wrapping_add(n as u64));
                 let cfg = FrozenQubitsConfig::default();
-                let base = run_baseline(&model, &device, &cfg).expect("baseline runs");
+                let base = baseline_summary(&model, &device, &cfg);
                 for (k, m) in [1usize, 2].into_iter().enumerate() {
                     let cfg = FrozenQubitsConfig::with_frozen(m);
-                    let (s, _) = run_frozen(&model, &device, &cfg).expect("fq runs");
+                    let (s, _) = frozen_summary(&model, &device, &cfg);
                     let factor = (base.arg.max(1e-6)) / (s.arg.max(1e-6));
                     if k == 0 {
                         imp.0.push(factor);

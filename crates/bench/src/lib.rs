@@ -94,6 +94,44 @@ pub fn gmean(values: &[f64]) -> f64 {
     frozenqubits::metrics::gmean(values)
 }
 
+/// Runs the standard-QAOA baseline through the job API.
+///
+/// # Panics
+///
+/// Panics on pipeline errors — a bench harness has nothing useful to do
+/// about them.
+#[must_use]
+pub fn baseline_summary(
+    model: &IsingModel,
+    device: &fq_transpile::Device,
+    config: &frozenqubits::FrozenQubitsConfig,
+) -> frozenqubits::RunSummary {
+    frozenqubits::Job::from_parts(model, device, config, frozenqubits::JobKind::Baseline)
+        .run()
+        .expect("baseline job runs")
+        .into_baseline()
+        .expect("baseline job yields a baseline summary")
+}
+
+/// Runs FrozenQubits at `config.num_frozen` through the job API.
+///
+/// # Panics
+///
+/// Panics on pipeline errors — a bench harness has nothing useful to do
+/// about them.
+#[must_use]
+pub fn frozen_summary(
+    model: &IsingModel,
+    device: &fq_transpile::Device,
+    config: &frozenqubits::FrozenQubitsConfig,
+) -> (frozenqubits::RunSummary, Vec<usize>) {
+    frozenqubits::Job::from_parts(model, device, config, frozenqubits::JobKind::Frozen)
+        .run()
+        .expect("frozen job runs")
+        .into_frozen()
+        .expect("frozen job yields a frozen summary")
+}
+
 /// Formats a float for tables.
 #[must_use]
 pub fn fmt(v: f64) -> String {

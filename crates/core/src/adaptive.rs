@@ -15,7 +15,7 @@ use fq_transpile::Device;
 use serde::{Deserialize, Serialize};
 
 use crate::plan::{plan_execution, ExecutionPlan};
-use crate::{select_hotspots, FrozenQubitsConfig, FrozenQubitsError, HotspotStrategy};
+use crate::{select_hotspots, FqError, FrozenQubitsConfig, HotspotStrategy};
 
 /// The outcome of the §3.4 trade-off analysis.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -60,7 +60,7 @@ impl Default for FreezeBudget {
 /// # Errors
 ///
 /// Propagates hotspot-selection errors; returns
-/// [`FrozenQubitsError::InvalidConfig`] for a zero budget.
+/// [`FqError::InvalidConfig`] for a zero budget.
 ///
 /// # Example
 ///
@@ -78,9 +78,9 @@ impl Default for FreezeBudget {
 pub fn suggest_num_frozen(
     model: &IsingModel,
     budget: &FreezeBudget,
-) -> Result<FreezeRecommendation, FrozenQubitsError> {
+) -> Result<FreezeRecommendation, FqError> {
     if budget.max_quantum_cost == 0 {
-        return Err(FrozenQubitsError::InvalidConfig(
+        return Err(FqError::InvalidConfig(
             "quantum budget must allow at least one circuit".into(),
         ));
     }
@@ -170,7 +170,7 @@ pub fn plan_with_budget(
     device: &Device,
     config: &FrozenQubitsConfig,
     budget: &FreezeBudget,
-) -> Result<(ExecutionPlan, FreezeRecommendation), FrozenQubitsError> {
+) -> Result<(ExecutionPlan, FreezeRecommendation), FqError> {
     let rec = suggest_num_frozen(model, budget)?;
     let cfg = FrozenQubitsConfig {
         num_frozen: rec.m,

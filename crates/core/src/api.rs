@@ -1,0 +1,939 @@
+//! The unified job API — the front door of the framework.
+//!
+//! Everything the pipeline can do is expressed as a **job**: a problem
+//! (explicit Ising model, weighted graph, or generator family), a device,
+//! a [`FrozenQubitsConfig`], a [`Backend`] choice and a [`JobKind`].
+//! The flow is
+//!
+//! ```text
+//! JobBuilder ──build()──▶ JobSpec ──run()──▶ JobResult
+//!    (typed, validated)   (serializable)     (summary / report / samples)
+//! ```
+//!
+//! * [`JobBuilder`] validates at **build time** — freezing more qubits
+//!   than the problem has, zero shots, or a multi-layer request beyond
+//!   the statevector width limit fail before any circuit is synthesized.
+//! * [`JobSpec`] is plain data with a pinned JSON wire format
+//!   ([`JobSpec::to_json`] / [`JobSpec::from_json`]), so specs can be
+//!   queued, logged and replayed byte-for-byte — the substrate for a
+//!   future service layer.
+//! * [`Backend`] makes the execution substrate explicit: the statevector
+//!   simulator is [`SimBackend`], *chosen*, not assumed, and
+//!   [`NoiseModelBackend`] trades lightcone fidelity modelling for a
+//!   cheaper global process-fidelity estimate.
+//! * [`BatchRunner`] executes many specs against one shared
+//!   [`TemplateCache`](crate::TemplateCache), extending the per-job
+//!   compile-once amortization across jobs.
+//!
+//! # Example
+//!
+//! ```
+//! use frozenqubits::api::{DeviceSpec, JobBuilder};
+//!
+//! let spec = JobBuilder::new()
+//!     .barabasi_albert(12, 1, 7)
+//!     .device(DeviceSpec::IbmMontreal)
+//!     .compare()
+//!     .build()?;
+//! let report = spec.run()?.into_compare()?;
+//! assert!(report.improvement > 1.0, "freezing the hotspot improves fidelity");
+//! # Ok::<(), frozenqubits::FqError>(())
+//! ```
+
+mod backend;
+mod batch;
+mod wire;
+
+pub use backend::{Backend, BackendSpec, NoiseModelBackend, SimBackend};
+pub use batch::BatchRunner;
+
+use fq_graphs::{gen, to_ising_pm1, to_ising_unit, Graph};
+use fq_ising::{IsingModel, OutputDistribution, SpinVec};
+use fq_transpile::Device;
+
+use crate::pipeline::summarize_outcomes;
+use crate::plan::{plan_execution_cached, TemplateCache};
+use crate::solve::SolveOutcome;
+use crate::{metrics, FqError, FrozenQubitsConfig, Report, RunSummary};
+
+/// How a job's problem Hamiltonian is obtained.
+///
+/// Explicit models travel in full; graph and generator forms stay tiny on
+/// the wire and are materialized deterministically at run time.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ProblemSpec {
+    /// An explicit Ising model.
+    Ising(IsingModel),
+    /// An undirected simple graph plus an edge-weighting rule.
+    Graph {
+        /// Node count.
+        num_nodes: usize,
+        /// Undirected edges as `(a, b)` pairs.
+        edges: Vec<(usize, usize)>,
+        /// How edge weights become coupling coefficients.
+        weighting: GraphWeighting,
+    },
+    /// A Barabási–Albert power-law instance (the paper's primary
+    /// benchmark family) with ±1 edge weights drawn from `seed`.
+    BarabasiAlbert {
+        /// Node count.
+        n: usize,
+        /// Attachment degree `d_BA`.
+        d: usize,
+        /// Generator and weighting seed.
+        seed: u64,
+    },
+}
+
+/// Edge-weighting rule for [`ProblemSpec::Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphWeighting {
+    /// Every edge gets coupling `+1` (Max-Cut style).
+    Unit,
+    /// Random ±1 couplings drawn from `seed` (the paper's §4.1 setup).
+    Pm1 {
+        /// Weighting seed.
+        seed: u64,
+    },
+}
+
+impl ProblemSpec {
+    /// The problem width (variable count), computed without
+    /// materializing the model.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        match self {
+            ProblemSpec::Ising(model) => model.num_vars(),
+            ProblemSpec::Graph { num_nodes, .. } => *num_nodes,
+            ProblemSpec::BarabasiAlbert { n, .. } => *n,
+        }
+    }
+
+    /// Materializes the problem Hamiltonian.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction and generator errors as
+    /// [`FqError::Graph`].
+    pub fn resolve(&self) -> Result<IsingModel, FqError> {
+        match self {
+            ProblemSpec::Ising(model) => Ok(model.clone()),
+            ProblemSpec::Graph {
+                num_nodes,
+                edges,
+                weighting,
+            } => {
+                let mut graph = Graph::new(*num_nodes);
+                for &(a, b) in edges {
+                    graph.add_edge(a, b)?;
+                }
+                Ok(match weighting {
+                    GraphWeighting::Unit => to_ising_unit(&graph),
+                    GraphWeighting::Pm1 { seed } => to_ising_pm1(&graph, *seed),
+                })
+            }
+            ProblemSpec::BarabasiAlbert { n, d, seed } => {
+                Ok(to_ising_pm1(&gen::barabasi_albert(*n, *d, *seed)?, *seed))
+            }
+        }
+    }
+}
+
+/// A serializable device choice: the workspace's calibrated presets.
+///
+/// Presets are deterministic per name, so the name *is* the identity —
+/// which is also what the cross-job [`TemplateCache`](crate::TemplateCache)
+/// keys on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DeviceSpec {
+    /// IBMQ-Montreal (27 qubits, the machine of Figs. 7–11).
+    IbmMontreal,
+    /// IBMQ-Toronto (27 qubits).
+    IbmToronto,
+    /// IBMQ-Mumbai (27 qubits).
+    IbmMumbai,
+    /// IBM-Auckland (27 qubits, the best-calibrated preset).
+    IbmAuckland,
+    /// IBM-Hanoi (27 qubits).
+    IbmHanoi,
+    /// IBM-Cairo (27 qubits).
+    IbmCairo,
+    /// IBMQ-Brooklyn (65 qubits).
+    IbmBrooklyn,
+    /// IBM-Washington (127 qubits).
+    IbmWashington,
+    /// The §6 practical-scale 50×50 grid (2500 qubits, optimistic errors).
+    Grid2500,
+}
+
+impl DeviceSpec {
+    /// All presets, in wire-name order of the IBM fleet then the grid.
+    pub const ALL: [DeviceSpec; 9] = [
+        DeviceSpec::IbmMontreal,
+        DeviceSpec::IbmToronto,
+        DeviceSpec::IbmMumbai,
+        DeviceSpec::IbmAuckland,
+        DeviceSpec::IbmHanoi,
+        DeviceSpec::IbmCairo,
+        DeviceSpec::IbmBrooklyn,
+        DeviceSpec::IbmWashington,
+        DeviceSpec::Grid2500,
+    ];
+
+    /// Builds the calibrated device model.
+    #[must_use]
+    pub fn build(&self) -> Device {
+        match self {
+            DeviceSpec::IbmMontreal => Device::ibm_montreal(),
+            DeviceSpec::IbmToronto => Device::ibm_toronto(),
+            DeviceSpec::IbmMumbai => Device::ibm_mumbai(),
+            DeviceSpec::IbmAuckland => Device::ibm_auckland(),
+            DeviceSpec::IbmHanoi => Device::ibm_hanoi(),
+            DeviceSpec::IbmCairo => Device::ibm_cairo(),
+            DeviceSpec::IbmBrooklyn => Device::ibm_brooklyn(),
+            DeviceSpec::IbmWashington => Device::ibm_washington(),
+            DeviceSpec::Grid2500 => Device::grid_2500(),
+        }
+    }
+
+    /// The wire name — identical to the built [`Device`]'s name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeviceSpec::IbmMontreal => "ibmq_montreal",
+            DeviceSpec::IbmToronto => "ibmq_toronto",
+            DeviceSpec::IbmMumbai => "ibmq_mumbai",
+            DeviceSpec::IbmAuckland => "ibm_auckland",
+            DeviceSpec::IbmHanoi => "ibm_hanoi",
+            DeviceSpec::IbmCairo => "ibm_cairo",
+            DeviceSpec::IbmBrooklyn => "ibmq_brooklyn",
+            DeviceSpec::IbmWashington => "ibm_washington",
+            DeviceSpec::Grid2500 => "grid-50x50",
+        }
+    }
+
+    /// Looks a preset up by wire name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<DeviceSpec> {
+        DeviceSpec::ALL.into_iter().find(|d| d.name() == name)
+    }
+
+    /// Maps an already-built device back to its preset, if it is one.
+    #[must_use]
+    pub fn from_device(device: &Device) -> Option<DeviceSpec> {
+        DeviceSpec::from_name(device.name())
+    }
+}
+
+/// What a job computes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JobKind {
+    /// Standard-QAOA analytic pipeline on the full problem (`m = 0`).
+    Baseline,
+    /// FrozenQubits analytic pipeline at the configured `m`.
+    Frozen,
+    /// Baseline and FrozenQubits side by side, with the improvement
+    /// factor (the paper's headline comparison).
+    Compare,
+    /// End-to-end noisy sampling with decoding and the final `min`.
+    Sample {
+        /// Shots per executed branch.
+        shots: u64,
+    },
+}
+
+/// A validated, serializable job description.
+///
+/// Build one with [`JobBuilder`]; run it with [`JobSpec::run`] or hand a
+/// batch of them to [`BatchRunner`]. The JSON wire format is pinned by
+/// the golden tests in `tests/api_serde.rs`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// The problem Hamiltonian (or a recipe for it).
+    pub problem: ProblemSpec,
+    /// The target device preset.
+    pub device: DeviceSpec,
+    /// Pipeline configuration.
+    pub config: FrozenQubitsConfig,
+    /// Execution backend choice.
+    pub backend: BackendSpec,
+    /// What to compute.
+    pub kind: JobKind,
+}
+
+impl JobSpec {
+    /// Starts a builder.
+    #[must_use]
+    pub fn builder() -> JobBuilder {
+        JobBuilder::new()
+    }
+
+    /// Resolves the spec into a runnable [`Job`] (materializes the
+    /// problem and the device).
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-resolution errors.
+    pub fn to_job(&self) -> Result<Job, FqError> {
+        Ok(Job {
+            model: self.problem.resolve()?,
+            device: self.device.build(),
+            config: self.config.clone(),
+            backend: self.backend,
+            kind: self.kind,
+        })
+    }
+
+    /// Resolves and runs the job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution and pipeline errors.
+    pub fn run(&self) -> Result<JobResult, FqError> {
+        self.to_job()?.run()
+    }
+}
+
+/// Builds a validated [`JobSpec`].
+///
+/// Problem, device and kind are mandatory; configuration defaults to
+/// [`FrozenQubitsConfig::default`] and the backend to [`BackendSpec::Sim`].
+/// [`JobBuilder::build`] rejects inconsistent requests — too many frozen
+/// qubits, zero layers or shots, multi-layer jobs beyond the statevector
+/// width limit — so errors surface before any circuit work starts.
+#[derive(Clone, Debug, Default)]
+pub struct JobBuilder {
+    problem: Option<ProblemSpec>,
+    device: Option<DeviceSpec>,
+    config: FrozenQubitsConfig,
+    backend: BackendSpec,
+    kind: Option<JobKind>,
+}
+
+impl JobBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> JobBuilder {
+        JobBuilder::default()
+    }
+
+    /// Sets the problem from any [`ProblemSpec`].
+    #[must_use]
+    pub fn problem(mut self, problem: ProblemSpec) -> Self {
+        self.problem = Some(problem);
+        self
+    }
+
+    /// Sets an explicit Ising model as the problem.
+    #[must_use]
+    pub fn ising(self, model: IsingModel) -> Self {
+        self.problem(ProblemSpec::Ising(model))
+    }
+
+    /// Sets a graph problem with the given weighting.
+    #[must_use]
+    pub fn graph(
+        self,
+        num_nodes: usize,
+        edges: Vec<(usize, usize)>,
+        weighting: GraphWeighting,
+    ) -> Self {
+        self.problem(ProblemSpec::Graph {
+            num_nodes,
+            edges,
+            weighting,
+        })
+    }
+
+    /// Sets a Barabási–Albert generator problem.
+    #[must_use]
+    pub fn barabasi_albert(self, n: usize, d: usize, seed: u64) -> Self {
+        self.problem(ProblemSpec::BarabasiAlbert { n, d, seed })
+    }
+
+    /// Sets the device preset.
+    #[must_use]
+    pub fn device(mut self, device: DeviceSpec) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// Replaces the whole pipeline configuration.
+    #[must_use]
+    pub fn config(mut self, config: FrozenQubitsConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the number of qubits to freeze (`m`).
+    #[must_use]
+    pub fn num_frozen(mut self, m: usize) -> Self {
+        self.config.num_frozen = m;
+        self
+    }
+
+    /// Sets the QAOA layer count (`p`).
+    #[must_use]
+    pub fn layers(mut self, p: usize) -> Self {
+        self.config.layers = p;
+        self
+    }
+
+    /// Sets the stochastic seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the branch-execution scheduling backend.
+    #[must_use]
+    pub fn executor(mut self, executor: crate::ExecutorKind) -> Self {
+        self.config.executor = executor;
+        self
+    }
+
+    /// Sets the execution backend.
+    #[must_use]
+    pub fn backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Requests a baseline (standard-QAOA) job.
+    #[must_use]
+    pub fn baseline(mut self) -> Self {
+        self.kind = Some(JobKind::Baseline);
+        self
+    }
+
+    /// Requests a FrozenQubits job.
+    #[must_use]
+    pub fn frozen(mut self) -> Self {
+        self.kind = Some(JobKind::Frozen);
+        self
+    }
+
+    /// Requests a baseline-vs-FrozenQubits comparison job.
+    #[must_use]
+    pub fn compare(mut self) -> Self {
+        self.kind = Some(JobKind::Compare);
+        self
+    }
+
+    /// Requests an end-to-end sampling job with `shots` per branch.
+    #[must_use]
+    pub fn sample(mut self, shots: u64) -> Self {
+        self.kind = Some(JobKind::Sample { shots });
+        self
+    }
+
+    /// Validates and produces the [`JobSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FqError::InvalidConfig`] for missing or inconsistent
+    /// fields and [`FqError::TooManyFrozen`] when `m` exceeds the problem
+    /// width — at build time, not at run time.
+    pub fn build(self) -> Result<JobSpec, FqError> {
+        let problem = self
+            .problem
+            .ok_or_else(|| FqError::InvalidConfig("job has no problem".into()))?;
+        let device = self
+            .device
+            .ok_or_else(|| FqError::InvalidConfig("job has no device".into()))?;
+        let kind = self.kind.ok_or_else(|| {
+            FqError::InvalidConfig("job has no kind (baseline/frozen/compare/sample)".into())
+        })?;
+        let config = self.config;
+        if config.layers == 0 {
+            return Err(FqError::InvalidConfig(
+                "layers (p) must be at least 1".into(),
+            ));
+        }
+        if config.param_grid == 0 {
+            return Err(FqError::InvalidConfig(
+                "param_grid must be at least 1".into(),
+            ));
+        }
+        if let JobKind::Sample { shots } = kind {
+            if shots == 0 {
+                return Err(FqError::InvalidConfig(
+                    "sampling jobs need at least 1 shot".into(),
+                ));
+            }
+            if self.backend == BackendSpec::NoiseModel {
+                return Err(FqError::InvalidConfig(
+                    "the noise_model backend models expectations, not shot distributions; \
+                     use the sim backend for sampling jobs"
+                        .into(),
+                ));
+            }
+        }
+        // Width checks read the spec directly; graph/generator problems
+        // are additionally materialized once here so malformed edges or
+        // infeasible generator parameters fail at build time (an
+        // explicit Ising model is already valid and is not cloned).
+        if !matches!(problem, ProblemSpec::Ising(_)) {
+            problem.resolve()?;
+        }
+        let num_vars = problem.num_vars();
+        if num_vars == 0 {
+            return Err(FqError::InvalidConfig("problem has no variables".into()));
+        }
+        let freezes = !matches!(kind, JobKind::Baseline);
+        if freezes && config.num_frozen > num_vars {
+            return Err(FqError::TooManyFrozen {
+                m: config.num_frozen,
+                num_vars,
+            });
+        }
+        if config.layers >= 2 {
+            // Multi-layer optimization simulates the exact state; check
+            // the widest circuit the job will execute against the same
+            // limit the optimizer enforces at run time.
+            let limit = crate::pipeline::MAX_EXACT_OPT_QUBITS;
+            let executed_width = match kind {
+                JobKind::Frozen | JobKind::Sample { .. } => num_vars - config.num_frozen,
+                JobKind::Baseline | JobKind::Compare => num_vars,
+            };
+            if executed_width > limit {
+                return Err(FqError::InvalidConfig(format!(
+                    "p = {} needs exact simulation; {executed_width} executed qubits exceed the {limit}-qubit limit",
+                    config.layers
+                )));
+            }
+        }
+        Ok(JobSpec {
+            problem,
+            device,
+            config,
+            backend: self.backend,
+            kind,
+        })
+    }
+}
+
+/// A resolved, runnable job: materialized problem and device.
+///
+/// This is the runtime form of a [`JobSpec`]; it also accepts arbitrary
+/// (non-preset) [`Device`] models via [`Job::from_parts`], which is what
+/// the deprecated free-function wrappers use.
+#[derive(Clone, Debug)]
+pub struct Job {
+    model: IsingModel,
+    device: Device,
+    config: FrozenQubitsConfig,
+    backend: BackendSpec,
+    kind: JobKind,
+}
+
+impl Job {
+    /// A job from already-resolved parts, on the default [`SimBackend`].
+    #[must_use]
+    pub fn from_parts(
+        model: &IsingModel,
+        device: &Device,
+        config: &FrozenQubitsConfig,
+        kind: JobKind,
+    ) -> Job {
+        Job {
+            model: model.clone(),
+            device: device.clone(),
+            config: config.clone(),
+            backend: BackendSpec::Sim,
+            kind,
+        }
+    }
+
+    /// Replaces the execution backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendSpec) -> Job {
+        self.backend = backend;
+        self
+    }
+
+    /// Runs the job with a private template cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    pub fn run(&self) -> Result<JobResult, FqError> {
+        self.run_cached(&mut TemplateCache::new())
+    }
+
+    /// Runs the job against a shared [`TemplateCache`] — the building
+    /// block of [`BatchRunner`]'s cross-job amortization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    pub fn run_cached(&self, cache: &mut TemplateCache) -> Result<JobResult, FqError> {
+        let backend = self.backend.build(self.config.executor);
+        match self.kind {
+            JobKind::Baseline => Ok(JobResult::Baseline(
+                self.baseline_summary(&*backend, cache)?,
+            )),
+            JobKind::Frozen => {
+                let (summary, frozen_qubits) = self.frozen_summary(&*backend, cache)?;
+                Ok(JobResult::Frozen {
+                    summary,
+                    frozen_qubits,
+                })
+            }
+            JobKind::Compare => {
+                let baseline = self.baseline_summary(&*backend, cache)?;
+                let (frozen, frozen_qubits) = self.frozen_summary(&*backend, cache)?;
+                let improvement = metrics::improvement_factor(baseline.arg, frozen.arg);
+                Ok(JobResult::Compare(Report {
+                    baseline,
+                    frozen,
+                    frozen_qubits,
+                    improvement,
+                }))
+            }
+            JobKind::Sample { shots } => Ok(JobResult::Sample(
+                self.sample_outcome(&*backend, cache, shots)?,
+            )),
+        }
+    }
+
+    fn baseline_summary(
+        &self,
+        backend: &dyn Backend,
+        cache: &mut TemplateCache,
+    ) -> Result<RunSummary, FqError> {
+        let base_cfg = FrozenQubitsConfig {
+            num_frozen: 0,
+            ..self.config.clone()
+        };
+        let plan = plan_execution_cached(&self.model, &self.device, &base_cfg, cache)?;
+        let outcomes = backend.run(&plan, &self.device, &base_cfg)?;
+        Ok(summarize_outcomes(&plan, &outcomes, "baseline".into()))
+    }
+
+    fn frozen_summary(
+        &self,
+        backend: &dyn Backend,
+        cache: &mut TemplateCache,
+    ) -> Result<(RunSummary, Vec<usize>), FqError> {
+        let plan = plan_execution_cached(&self.model, &self.device, &self.config, cache)?;
+        let outcomes = backend.run(&plan, &self.device, &self.config)?;
+        let summary = summarize_outcomes(
+            &plan,
+            &outcomes,
+            format!("FQ(m={})", self.config.num_frozen),
+        );
+        Ok((summary, plan.frozen_qubits().to_vec()))
+    }
+
+    fn sample_outcome(
+        &self,
+        backend: &dyn Backend,
+        cache: &mut TemplateCache,
+        shots: u64,
+    ) -> Result<SolveOutcome, FqError> {
+        let plan = plan_execution_cached(&self.model, &self.device, &self.config, cache)?;
+        let samples = backend.sample(&plan, &self.device, &self.config, shots)?;
+
+        let mut union = OutputDistribution::new(self.model.num_vars());
+        let mut best: Option<(SpinVec, f64)> = None;
+        for branch in &samples {
+            consider(&mut best, &self.model, &branch.decoded)?;
+            union.merge(&branch.decoded)?;
+            if let Some(partner) = &branch.partner_decoded {
+                consider(&mut best, &self.model, partner)?;
+                union.merge(partner)?;
+            }
+        }
+
+        let (best, energy) = best
+            .ok_or_else(|| FqError::InvalidConfig("no sub-problem produced any outcome".into()))?;
+        Ok(SolveOutcome {
+            best,
+            energy,
+            distribution: union,
+            frozen_qubits: plan.frozen_qubits().to_vec(),
+        })
+    }
+}
+
+fn consider(
+    best: &mut Option<(SpinVec, f64)>,
+    model: &IsingModel,
+    dist: &OutputDistribution,
+) -> Result<(), FqError> {
+    let (z, e) = dist.best(model)?;
+    if best.as_ref().is_none_or(|(_, be)| e < *be) {
+        *best = Some((z, e));
+    }
+    Ok(())
+}
+
+/// The outcome of a job, tagged by [`JobKind`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum JobResult {
+    /// A [`JobKind::Baseline`] summary.
+    Baseline(RunSummary),
+    /// A [`JobKind::Frozen`] summary plus the frozen qubits.
+    Frozen {
+        /// The aggregated run summary.
+        summary: RunSummary,
+        /// Which qubits were frozen, in freeze order.
+        frozen_qubits: Vec<usize>,
+    },
+    /// A [`JobKind::Compare`] report.
+    Compare(Report),
+    /// A [`JobKind::Sample`] outcome.
+    Sample(SolveOutcome),
+}
+
+impl JobResult {
+    /// Extracts a baseline summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FqError::InvalidConfig`] when the result is of a
+    /// different kind.
+    pub fn into_baseline(self) -> Result<RunSummary, FqError> {
+        match self {
+            JobResult::Baseline(summary) => Ok(summary),
+            other => Err(wrong_kind("baseline", &other)),
+        }
+    }
+
+    /// Extracts a frozen summary and its frozen qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FqError::InvalidConfig`] when the result is of a
+    /// different kind.
+    pub fn into_frozen(self) -> Result<(RunSummary, Vec<usize>), FqError> {
+        match self {
+            JobResult::Frozen {
+                summary,
+                frozen_qubits,
+            } => Ok((summary, frozen_qubits)),
+            other => Err(wrong_kind("frozen", &other)),
+        }
+    }
+
+    /// Extracts a comparison report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FqError::InvalidConfig`] when the result is of a
+    /// different kind.
+    pub fn into_compare(self) -> Result<Report, FqError> {
+        match self {
+            JobResult::Compare(report) => Ok(report),
+            other => Err(wrong_kind("compare", &other)),
+        }
+    }
+
+    /// Extracts a sampling outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FqError::InvalidConfig`] when the result is of a
+    /// different kind.
+    pub fn into_sample(self) -> Result<SolveOutcome, FqError> {
+        match self {
+            JobResult::Sample(outcome) => Ok(outcome),
+            other => Err(wrong_kind("sample", &other)),
+        }
+    }
+
+    /// The wire tag of this result's kind.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            JobResult::Baseline(_) => "baseline",
+            JobResult::Frozen { .. } => "frozen",
+            JobResult::Compare(_) => "compare",
+            JobResult::Sample(_) => "sample",
+        }
+    }
+}
+
+fn wrong_kind(wanted: &str, got: &JobResult) -> FqError {
+    FqError::InvalidConfig(format!(
+        "job result is `{}`, not `{wanted}`",
+        got.kind_name()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fq_graphs::{gen, to_ising_pm1};
+
+    fn ba_model(n: usize, seed: u64) -> IsingModel {
+        to_ising_pm1(&gen::barabasi_albert(n, 1, seed).unwrap(), seed)
+    }
+
+    #[test]
+    fn builder_requires_problem_device_and_kind() {
+        let missing_problem = JobBuilder::new().device(DeviceSpec::IbmMontreal).compare();
+        assert!(matches!(
+            missing_problem.build(),
+            Err(FqError::InvalidConfig(msg)) if msg.contains("problem")
+        ));
+        let missing_device = JobBuilder::new().barabasi_albert(8, 1, 1).compare();
+        assert!(matches!(
+            missing_device.build(),
+            Err(FqError::InvalidConfig(msg)) if msg.contains("device")
+        ));
+        let missing_kind = JobBuilder::new()
+            .barabasi_albert(8, 1, 1)
+            .device(DeviceSpec::IbmMontreal);
+        assert!(matches!(
+            missing_kind.build(),
+            Err(FqError::InvalidConfig(msg)) if msg.contains("kind")
+        ));
+    }
+
+    #[test]
+    fn builder_validates_at_build_time() {
+        let base = || {
+            JobBuilder::new()
+                .barabasi_albert(8, 1, 1)
+                .device(DeviceSpec::IbmMontreal)
+        };
+        assert!(matches!(
+            base().frozen().num_frozen(9).build(),
+            Err(FqError::TooManyFrozen { m: 9, num_vars: 8 })
+        ));
+        assert!(matches!(
+            base().frozen().layers(0).build(),
+            Err(FqError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            base().sample(0).build(),
+            Err(FqError::InvalidConfig(_))
+        ));
+        // The noise-model backend has no sampling physics.
+        assert!(matches!(
+            base().backend(BackendSpec::NoiseModel).sample(64).build(),
+            Err(FqError::InvalidConfig(msg)) if msg.contains("noise_model")
+        ));
+        // m = 9 on a baseline job is fine: the baseline never freezes.
+        assert!(base().baseline().num_frozen(9).build().is_ok());
+        // p = 2 on a 24-variable problem exceeds the statevector limit...
+        let wide = JobBuilder::new()
+            .barabasi_albert(24, 1, 2)
+            .device(DeviceSpec::IbmMontreal)
+            .layers(2);
+        assert!(matches!(
+            wide.clone().compare().build(),
+            Err(FqError::InvalidConfig(msg)) if msg.contains("20-qubit")
+        ));
+        // ...unless freezing brings the executed width under it.
+        assert!(wide.frozen().num_frozen(6).build().is_ok());
+    }
+
+    #[test]
+    fn problem_specs_resolve_deterministically() {
+        let a = ProblemSpec::BarabasiAlbert {
+            n: 10,
+            d: 1,
+            seed: 3,
+        }
+        .resolve()
+        .unwrap();
+        let b = ProblemSpec::BarabasiAlbert {
+            n: 10,
+            d: 1,
+            seed: 3,
+        }
+        .resolve()
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, ba_model(10, 3));
+
+        let ring = ProblemSpec::Graph {
+            num_nodes: 4,
+            edges: vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+            weighting: GraphWeighting::Unit,
+        };
+        let m = ring.resolve().unwrap();
+        assert_eq!(m.num_couplings(), 4);
+        assert!(m.couplings().all(|(_, j)| j == 1.0));
+
+        let bad = ProblemSpec::Graph {
+            num_nodes: 3,
+            edges: vec![(0, 7)],
+            weighting: GraphWeighting::Unit,
+        };
+        assert!(matches!(bad.resolve(), Err(FqError::Graph(_))));
+    }
+
+    #[test]
+    fn device_specs_round_trip_names() {
+        for spec in DeviceSpec::ALL {
+            assert_eq!(spec.build().name(), spec.name());
+            assert_eq!(DeviceSpec::from_name(spec.name()), Some(spec));
+            assert_eq!(DeviceSpec::from_device(&spec.build()), Some(spec));
+        }
+        assert_eq!(DeviceSpec::from_name("ibm_atlantis"), None);
+    }
+
+    #[test]
+    fn job_results_are_typed() {
+        let spec = JobBuilder::new()
+            .barabasi_albert(8, 1, 5)
+            .device(DeviceSpec::IbmMontreal)
+            .baseline()
+            .build()
+            .unwrap();
+        let result = spec.run().unwrap();
+        assert_eq!(result.kind_name(), "baseline");
+        assert!(result.clone().into_compare().is_err());
+        let summary = result.into_baseline().unwrap();
+        assert_eq!(summary.label, "baseline");
+        assert_eq!(summary.circuit_qubits, 8);
+    }
+
+    #[test]
+    fn compare_job_matches_the_free_functions() {
+        let model = ba_model(12, 3);
+        let device = Device::ibm_montreal();
+        let config = FrozenQubitsConfig::default();
+        let via_job = Job::from_parts(&model, &device, &config, JobKind::Compare)
+            .run()
+            .unwrap()
+            .into_compare()
+            .unwrap();
+        #[allow(deprecated)]
+        let via_free = crate::compare(&model, &device, &config).unwrap();
+        assert_eq!(via_job, via_free);
+    }
+
+    #[test]
+    fn noise_model_backend_is_deterministic_and_distinct() {
+        let spec = JobBuilder::new()
+            .barabasi_albert(10, 1, 4)
+            .device(DeviceSpec::IbmMontreal)
+            .backend(BackendSpec::NoiseModel)
+            .frozen()
+            .build()
+            .unwrap();
+        let a = spec.run().unwrap().into_frozen().unwrap();
+        let b = spec.run().unwrap().into_frozen().unwrap();
+        assert_eq!(a, b, "NoiseModelBackend must be deterministic");
+
+        let sim = JobSpec {
+            backend: BackendSpec::Sim,
+            ..spec
+        };
+        let s = sim.run().unwrap().into_frozen().unwrap();
+        // Same ideal physics, different noise model.
+        assert_eq!(a.0.ev_ideal, s.0.ev_ideal);
+        assert_ne!(a.0.ev_noisy, s.0.ev_noisy);
+    }
+}

@@ -1,0 +1,239 @@
+//! Execution backends: *where* and *under which noise model* a plan's
+//! branches run.
+//!
+//! The [`Executor`](crate::Executor) layer decides scheduling (sequential
+//! vs. thread fan-out); a [`Backend`] decides physics. Today both
+//! backends evaluate branches on the in-process statevector/analytic
+//! simulator — [`SimBackend`] with the paper's per-term lightcone
+//! fidelity model, [`NoiseModelBackend`] with the cheaper global
+//! process-fidelity estimate — and the trait is the seam where a
+//! real-device backend plugs in later without touching job code.
+
+use fq_transpile::Device;
+
+use crate::executor::NoiseEval;
+use crate::plan::ExecutionPlan;
+use crate::{BranchOutcome, BranchSamples, ExecutorKind, FqError, FrozenQubitsConfig};
+
+/// A branch-evaluation substrate consuming an [`ExecutionPlan`].
+///
+/// Implementations must be deterministic: two runs of the same plan with
+/// the same config produce identical outcomes, which is what makes batch
+/// results reproducible and cacheable.
+pub trait Backend: Send + Sync {
+    /// Human-readable backend name.
+    fn name(&self) -> &'static str;
+
+    /// Runs the analytic pipeline for every branch of `plan`, in branch
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first branch failure (by branch order).
+    fn run(
+        &self,
+        plan: &ExecutionPlan,
+        device: &Device,
+        config: &FrozenQubitsConfig,
+    ) -> Result<Vec<BranchOutcome>, FqError>;
+
+    /// Runs the sampling pipeline for every branch of `plan`, in branch
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first branch failure (by branch order).
+    fn sample(
+        &self,
+        plan: &ExecutionPlan,
+        device: &Device,
+        config: &FrozenQubitsConfig,
+        shots: u64,
+    ) -> Result<Vec<BranchSamples>, FqError>;
+}
+
+/// A serializable backend choice for a [`JobSpec`](crate::api::JobSpec).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BackendSpec {
+    /// The statevector simulator with lightcone fidelity modelling
+    /// (the paper's methodology; the default).
+    #[default]
+    Sim,
+    /// The statevector simulator with the global process-fidelity noise
+    /// model — coarser, cheaper, still fully deterministic.
+    NoiseModel,
+}
+
+impl BackendSpec {
+    /// The wire name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendSpec::Sim => "sim",
+            BackendSpec::NoiseModel => "noise_model",
+        }
+    }
+
+    /// Looks a backend up by wire name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<BackendSpec> {
+        match name {
+            "sim" => Some(BackendSpec::Sim),
+            "noise_model" => Some(BackendSpec::NoiseModel),
+            _ => None,
+        }
+    }
+
+    /// Builds the backend, scheduling branches on `executor`.
+    #[must_use]
+    pub fn build(&self, executor: ExecutorKind) -> Box<dyn Backend> {
+        match self {
+            BackendSpec::Sim => Box::new(SimBackend::new(executor)),
+            BackendSpec::NoiseModel => Box::new(NoiseModelBackend::new(executor)),
+        }
+    }
+}
+
+/// The statevector-simulator backend with the paper's lightcone noise
+/// model — bit-identical to the pre-API pipeline wrappers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimBackend {
+    executor: ExecutorKind,
+}
+
+impl SimBackend {
+    /// A simulator backend scheduling branches on `executor`.
+    #[must_use]
+    pub fn new(executor: ExecutorKind) -> SimBackend {
+        SimBackend { executor }
+    }
+}
+
+impl Backend for SimBackend {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run(
+        &self,
+        plan: &ExecutionPlan,
+        device: &Device,
+        config: &FrozenQubitsConfig,
+    ) -> Result<Vec<BranchOutcome>, FqError> {
+        self.executor
+            .build()
+            .execute_with(plan, device, config, NoiseEval::Lightcone)
+    }
+
+    fn sample(
+        &self,
+        plan: &ExecutionPlan,
+        device: &Device,
+        config: &FrozenQubitsConfig,
+        shots: u64,
+    ) -> Result<Vec<BranchSamples>, FqError> {
+        self.executor.build().sample(plan, device, config, shots)
+    }
+}
+
+/// The deterministic global process-fidelity backend: same ideal
+/// expectations as [`SimBackend`], but the modelled-hardware expectation
+/// uses one depolarizing-style attenuation per circuit instead of
+/// per-term lightcones.
+///
+/// This backend has **no sampling physics** — its noise model is an
+/// expectation-value attenuation, not a shot distribution — so
+/// [`Backend::sample`] is rejected rather than silently falling back to
+/// the simulator's trajectories ([`JobBuilder`](crate::api::JobBuilder)
+/// already refuses to build a sampling job on it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoiseModelBackend {
+    executor: ExecutorKind,
+}
+
+impl NoiseModelBackend {
+    /// A process-fidelity backend scheduling branches on `executor`.
+    #[must_use]
+    pub fn new(executor: ExecutorKind) -> NoiseModelBackend {
+        NoiseModelBackend { executor }
+    }
+}
+
+impl Backend for NoiseModelBackend {
+    fn name(&self) -> &'static str {
+        "noise_model"
+    }
+
+    fn run(
+        &self,
+        plan: &ExecutionPlan,
+        device: &Device,
+        config: &FrozenQubitsConfig,
+    ) -> Result<Vec<BranchOutcome>, FqError> {
+        self.executor
+            .build()
+            .execute_with(plan, device, config, NoiseEval::ProcessFidelity)
+    }
+
+    fn sample(
+        &self,
+        _plan: &ExecutionPlan,
+        _device: &Device,
+        _config: &FrozenQubitsConfig,
+        _shots: u64,
+    ) -> Result<Vec<BranchSamples>, FqError> {
+        Err(FqError::InvalidConfig(
+            "the noise_model backend models expectations, not shot distributions; \
+             use the sim backend for sampling jobs"
+                .into(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{plan_execution, Executor as _};
+    use fq_graphs::{gen, to_ising_pm1};
+
+    #[test]
+    fn backend_specs_round_trip_names() {
+        for spec in [BackendSpec::Sim, BackendSpec::NoiseModel] {
+            assert_eq!(BackendSpec::from_name(spec.name()), Some(spec));
+            assert_eq!(spec.build(ExecutorKind::Sequential).name(), spec.name());
+        }
+        assert_eq!(BackendSpec::from_name("qpu"), None);
+    }
+
+    #[test]
+    fn sim_backend_matches_the_executor_path() {
+        let model = to_ising_pm1(&gen::barabasi_albert(10, 1, 6).unwrap(), 6);
+        let device = Device::ibm_montreal();
+        let config = FrozenQubitsConfig::with_frozen(2);
+        let plan = plan_execution(&model, &device, &config).unwrap();
+        let via_backend = SimBackend::new(ExecutorKind::Sequential)
+            .run(&plan, &device, &config)
+            .unwrap();
+        let via_executor = crate::SequentialExecutor
+            .execute(&plan, &device, &config)
+            .unwrap();
+        assert_eq!(via_backend, via_executor);
+    }
+
+    #[test]
+    fn noise_model_backend_attenuates_toward_zero() {
+        let model = to_ising_pm1(&gen::barabasi_albert(10, 1, 8).unwrap(), 8);
+        let device = Device::ibm_montreal();
+        let config = FrozenQubitsConfig::default();
+        let plan = plan_execution(&model, &device, &config).unwrap();
+        let out = NoiseModelBackend::new(ExecutorKind::Sequential)
+            .run(&plan, &device, &config)
+            .unwrap();
+        for o in &out {
+            assert!(o.ev_ideal < 0.0);
+            assert!(o.ev_noisy > o.ev_ideal, "noise pulls EV toward zero");
+            assert!(o.ev_noisy.abs() < o.ev_ideal.abs());
+        }
+    }
+}

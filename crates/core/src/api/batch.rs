@@ -1,0 +1,129 @@
+//! Batched job execution with cross-job template amortization.
+
+use crate::plan::TemplateCache;
+use crate::{FqError, JobResult, JobSpec};
+
+/// Runs many [`JobSpec`]s against one shared [`TemplateCache`].
+///
+/// PR 1 made the compile cost of one job `O(distinct shapes)` instead of
+/// `O(2^m)`; the batch runner extends that across jobs: a parameter sweep
+/// over the same problem family — different seeds, backends, executors —
+/// compiles each distinct (shape, device, layers, options) combination
+/// **once for the whole batch**. Jobs are independent, so a failing spec
+/// yields its own `Err` without sinking the rest.
+///
+/// # Example
+///
+/// ```
+/// use frozenqubits::api::{BatchRunner, DeviceSpec, JobBuilder};
+///
+/// let jobs: Vec<_> = (0..3)
+///     .map(|seed| {
+///         JobBuilder::new()
+///             .barabasi_albert(10, 1, 4)
+///             .device(DeviceSpec::IbmMontreal)
+///             .seed(seed)
+///             .frozen()
+///             .build()
+///     })
+///     .collect::<Result<_, _>>()?;
+/// let mut runner = BatchRunner::new();
+/// let results = runner.run(&jobs);
+/// assert!(results.iter().all(Result::is_ok));
+/// // Three jobs, one distinct sub-circuit shape: one compiled template.
+/// assert_eq!(runner.templates_compiled(), 1);
+/// # Ok::<(), frozenqubits::FqError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct BatchRunner {
+    cache: TemplateCache,
+}
+
+impl BatchRunner {
+    /// A runner with an empty template cache.
+    #[must_use]
+    pub fn new() -> BatchRunner {
+        BatchRunner::default()
+    }
+
+    /// Runs every spec in order, sharing compiled templates across jobs.
+    /// Each job gets its own `Result`; order matches the input.
+    pub fn run(&mut self, specs: &[JobSpec]) -> Vec<Result<JobResult, FqError>> {
+        specs
+            .iter()
+            .map(|spec| spec.to_job()?.run_cached(&mut self.cache))
+            .collect()
+    }
+
+    /// Runs every spec, failing fast on the first error (in input order).
+    ///
+    /// # Errors
+    ///
+    /// The first failing job's error.
+    pub fn run_all(&mut self, specs: &[JobSpec]) -> Result<Vec<JobResult>, FqError> {
+        specs
+            .iter()
+            .map(|spec| spec.to_job()?.run_cached(&mut self.cache))
+            .collect()
+    }
+
+    /// Number of distinct templates compiled so far across all jobs.
+    #[must_use]
+    pub fn templates_compiled(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{BackendSpec, DeviceSpec, JobBuilder};
+
+    fn frozen_spec(n: usize, seed: u64) -> JobSpec {
+        JobBuilder::new()
+            .barabasi_albert(n, 1, seed)
+            .device(DeviceSpec::IbmMontreal)
+            .frozen()
+            .build()
+            .unwrap()
+    }
+
+    // `compile_invocations()` deltas are asserted in the dedicated
+    // `tests/batch_amortization.rs` process; here we check the cache's
+    // own bookkeeping and per-job error isolation.
+    #[test]
+    fn batch_shares_templates_and_isolates_failures() {
+        let good = frozen_spec(10, 2);
+        let same_shape = JobSpec {
+            backend: BackendSpec::NoiseModel,
+            ..good.clone()
+        };
+        // Bypass the builder to smuggle in a run-time failure.
+        let bad = JobSpec {
+            config: crate::FrozenQubitsConfig::with_frozen(99),
+            ..good.clone()
+        };
+        let mut runner = BatchRunner::new();
+        let results = runner.run(&[good, bad, same_shape]);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(FqError::TooManyFrozen { m: 99, .. })
+        ));
+        assert!(results[2].is_ok(), "a failing job must not sink the batch");
+        assert_eq!(
+            runner.templates_compiled(),
+            1,
+            "both succeeding jobs share one shape"
+        );
+        assert!(runner.run_all(&[frozen_spec(10, 2)]).is_ok());
+    }
+
+    #[test]
+    fn distinct_shapes_get_distinct_templates() {
+        let mut runner = BatchRunner::new();
+        let results = runner.run(&[frozen_spec(10, 2), frozen_spec(12, 2)]);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(runner.templates_compiled(), 2);
+    }
+}

@@ -29,8 +29,10 @@ pub struct FrozenQubitsConfig {
     pub param_grid: usize,
     /// Seed for any stochastic component.
     pub seed: u64,
-    /// Which branch-execution backend the pipeline wrappers use. Both
-    /// backends produce bit-identical results; parallel is the default.
+    /// How branches are scheduled (sequential, or fanned out across
+    /// threads). All kinds produce bit-identical results; parallel is
+    /// the default. Orthogonal to the job-level
+    /// [`BackendSpec`](crate::api::BackendSpec), which picks the physics.
     pub executor: ExecutorKind,
 }
 
@@ -59,7 +61,11 @@ impl FrozenQubitsConfig {
         }
     }
 
-    /// Builds the branch-execution backend this configuration selects.
+    /// Builds the branch-*scheduling* executor this configuration
+    /// selects. The execution substrate (simulator, noise model, a
+    /// future real device) is the separate per-job
+    /// [`BackendSpec`](crate::api::BackendSpec) choice, which wraps this
+    /// executor.
     #[must_use]
     pub fn build_executor(&self) -> Box<dyn Executor + Send + Sync> {
         self.executor.build()

@@ -1,12 +1,22 @@
-//! The crate-level error type.
+//! The workspace-wide error type.
+//!
+//! [`FqError`] is the single error enum at the public boundary: every
+//! sibling crate's error converts into it via `From`, so application code
+//! (examples, the batch runner, a future service layer) handles one type
+//! instead of a `Box<dyn Error>` per call site.
 
 use std::error::Error;
 use std::fmt;
 
-/// Errors produced by the FrozenQubits pipeline.
+/// Errors produced anywhere in the FrozenQubits workspace.
+///
+/// Carries `From` impls for every sibling crate error — `fq-ising`,
+/// `fq-circuit`, `fq-transpile`, `fq-sim`, `fq-graphs`, `fq-cutqc` — plus
+/// the pipeline's own validation variants, so `?` works across the whole
+/// stack and `source()` exposes the underlying cause.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
-pub enum FrozenQubitsError {
+pub enum FqError {
     /// Freezing more qubits than the problem has.
     TooManyFrozen {
         /// Requested freeze count `m`.
@@ -24,56 +34,98 @@ pub enum FrozenQubitsError {
     Transpile(fq_transpile::TranspileError),
     /// A simulation error.
     Sim(fq_sim::SimError),
+    /// A graph-construction or graph-generation error.
+    Graph(fq_graphs::GraphError),
+    /// A wire-cutting planner error.
+    Cut(fq_cutqc::CutError),
+    /// A (de)serialization error at the job-spec wire boundary.
+    Serde(String),
+    /// An I/O error, stringified (keeps `FqError: Clone + PartialEq`).
+    Io(String),
 }
 
-impl fmt::Display for FrozenQubitsError {
+/// The pre-0.2 name of [`FqError`].
+#[deprecated(since = "0.2.0", note = "renamed to `FqError`")]
+pub type FrozenQubitsError = FqError;
+
+impl fmt::Display for FqError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FrozenQubitsError::TooManyFrozen { m, num_vars } => {
+            FqError::TooManyFrozen { m, num_vars } => {
                 write!(f, "cannot freeze {m} of {num_vars} qubits")
             }
-            FrozenQubitsError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
-            FrozenQubitsError::Ising(e) => write!(f, "ising error: {e}"),
-            FrozenQubitsError::Circuit(e) => write!(f, "circuit error: {e}"),
-            FrozenQubitsError::Transpile(e) => write!(f, "transpile error: {e}"),
-            FrozenQubitsError::Sim(e) => write!(f, "simulation error: {e}"),
+            FqError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            FqError::Ising(e) => write!(f, "ising error: {e}"),
+            FqError::Circuit(e) => write!(f, "circuit error: {e}"),
+            FqError::Transpile(e) => write!(f, "transpile error: {e}"),
+            FqError::Sim(e) => write!(f, "simulation error: {e}"),
+            FqError::Graph(e) => write!(f, "graph error: {e}"),
+            FqError::Cut(e) => write!(f, "cut-planner error: {e}"),
+            FqError::Serde(msg) => write!(f, "serialization error: {msg}"),
+            FqError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }
 
-impl Error for FrozenQubitsError {
+impl Error for FqError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            FrozenQubitsError::Ising(e) => Some(e),
-            FrozenQubitsError::Circuit(e) => Some(e),
-            FrozenQubitsError::Transpile(e) => Some(e),
-            FrozenQubitsError::Sim(e) => Some(e),
+            FqError::Ising(e) => Some(e),
+            FqError::Circuit(e) => Some(e),
+            FqError::Transpile(e) => Some(e),
+            FqError::Sim(e) => Some(e),
+            FqError::Graph(e) => Some(e),
+            FqError::Cut(e) => Some(e),
             _ => None,
         }
     }
 }
 
-impl From<fq_ising::IsingError> for FrozenQubitsError {
+impl From<fq_ising::IsingError> for FqError {
     fn from(e: fq_ising::IsingError) -> Self {
-        FrozenQubitsError::Ising(e)
+        FqError::Ising(e)
     }
 }
 
-impl From<fq_circuit::CircuitError> for FrozenQubitsError {
+impl From<fq_circuit::CircuitError> for FqError {
     fn from(e: fq_circuit::CircuitError) -> Self {
-        FrozenQubitsError::Circuit(e)
+        FqError::Circuit(e)
     }
 }
 
-impl From<fq_transpile::TranspileError> for FrozenQubitsError {
+impl From<fq_transpile::TranspileError> for FqError {
     fn from(e: fq_transpile::TranspileError) -> Self {
-        FrozenQubitsError::Transpile(e)
+        FqError::Transpile(e)
     }
 }
 
-impl From<fq_sim::SimError> for FrozenQubitsError {
+impl From<fq_sim::SimError> for FqError {
     fn from(e: fq_sim::SimError) -> Self {
-        FrozenQubitsError::Sim(e)
+        FqError::Sim(e)
+    }
+}
+
+impl From<fq_graphs::GraphError> for FqError {
+    fn from(e: fq_graphs::GraphError) -> Self {
+        FqError::Graph(e)
+    }
+}
+
+impl From<fq_cutqc::CutError> for FqError {
+    fn from(e: fq_cutqc::CutError) -> Self {
+        FqError::Cut(e)
+    }
+}
+
+impl From<serde::json::JsonError> for FqError {
+    fn from(e: serde::json::JsonError) -> Self {
+        FqError::Serde(e.0)
+    }
+}
+
+impl From<std::io::Error> for FqError {
+    fn from(e: std::io::Error) -> Self {
+        FqError::Io(e.to_string())
     }
 }
 
@@ -83,9 +135,21 @@ mod tests {
 
     #[test]
     fn display_nonempty() {
-        let e = FrozenQubitsError::TooManyFrozen { m: 3, num_vars: 2 };
+        let e = FqError::TooManyFrozen { m: 3, num_vars: 2 };
         assert!(!e.to_string().is_empty());
-        let wrapped: FrozenQubitsError = fq_ising::IsingError::Empty.into();
+        let wrapped: FqError = fq_ising::IsingError::Empty.into();
         assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn every_crate_error_converts() {
+        let graph: FqError = fq_graphs::GraphError::SelfLoop(1).into();
+        assert!(graph.source().is_some());
+        let cut: FqError = fq_cutqc::CutError::EmptyModel.into();
+        assert!(cut.source().is_some());
+        let io: FqError = std::io::Error::other("disk on fire").into();
+        assert!(matches!(&io, FqError::Io(msg) if msg.contains("disk")));
+        let serde_err: FqError = serde::json::JsonError("bad token".into()).into();
+        assert!(matches!(&serde_err, FqError::Serde(msg) if msg == "bad token"));
     }
 }

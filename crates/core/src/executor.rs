@@ -18,12 +18,15 @@ use std::sync::Mutex;
 use fq_circuit::build_qaoa_circuit;
 use fq_ising::{OutputDistribution, Spin};
 use fq_sim::analytic::{expectation_p1, term_expectations_p1};
-use fq_sim::{log_eps, noisy_expectation_lightcone, sample_noisy, NoisySamplerConfig};
+use fq_sim::{
+    fidelity_model, log_eps, noisy_expectation_from_terms, noisy_expectation_lightcone,
+    sample_noisy, NoisySamplerConfig,
+};
 use fq_transpile::Device;
 
 use crate::pipeline::{metrics_of, CircuitMetrics};
 use crate::plan::ExecutionPlan;
-use crate::{optimize_parameters_multilayer, FrozenQubitsConfig, FrozenQubitsError};
+use crate::{optimize_parameters_multilayer, FqError, FrozenQubitsConfig};
 
 /// Everything measured about one executed branch of a plan.
 #[derive(Clone, Debug, PartialEq)]
@@ -62,6 +65,23 @@ pub struct BranchSamples {
     pub partner_decoded: Option<OutputDistribution>,
 }
 
+/// Which deterministic noise model [`Executor::execute_with`] evaluates
+/// the modelled-hardware expectation under.
+///
+/// Both models are closed-form and deterministic; they differ in
+/// granularity, and a [`Backend`](crate::api::Backend) picks one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
+pub enum NoiseEval {
+    /// Per-term lightcone fidelity attenuation (the paper's model; the
+    /// default used by the analytic pipeline since PR 1).
+    #[default]
+    Lightcone,
+    /// A single global process-fidelity attenuation per circuit — coarser
+    /// but cheaper, the classic depolarizing-channel estimate.
+    ProcessFidelity,
+}
+
 /// A branch-execution backend consuming an [`ExecutionPlan`].
 ///
 /// Implementations decide *scheduling* only; the per-branch math is shared
@@ -71,10 +91,24 @@ pub trait Executor {
     /// Human-readable backend name.
     fn name(&self) -> &'static str;
 
-    /// Runs the analytic pipeline for every branch: parameter
-    /// optimization, template instantiation, ideal + modelled-noisy
-    /// expectations, EPS and circuit metrics. Outcomes are in branch
-    /// order.
+    /// Runs the analytic pipeline for every branch under an explicit
+    /// noise model: parameter optimization, template instantiation,
+    /// ideal + modelled-noisy expectations, EPS and circuit metrics.
+    /// Outcomes are in branch order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first branch failure (by branch order).
+    fn execute_with(
+        &self,
+        plan: &ExecutionPlan,
+        device: &Device,
+        config: &FrozenQubitsConfig,
+        noise: NoiseEval,
+    ) -> Result<Vec<BranchOutcome>, FqError>;
+
+    /// Runs the analytic pipeline under the default
+    /// [`NoiseEval::Lightcone`] model (the paper's methodology).
     ///
     /// # Errors
     ///
@@ -84,7 +118,9 @@ pub trait Executor {
         plan: &ExecutionPlan,
         device: &Device,
         config: &FrozenQubitsConfig,
-    ) -> Result<Vec<BranchOutcome>, FrozenQubitsError>;
+    ) -> Result<Vec<BranchOutcome>, FqError> {
+        self.execute_with(plan, device, config, NoiseEval::Lightcone)
+    }
 
     /// Runs the sampling pipeline for every branch: parameter
     /// optimization, template instantiation, Monte-Carlo noisy sampling
@@ -100,7 +136,7 @@ pub trait Executor {
         device: &Device,
         config: &FrozenQubitsConfig,
         shots: u64,
-    ) -> Result<Vec<BranchSamples>, FrozenQubitsError>;
+    ) -> Result<Vec<BranchSamples>, FqError>;
 }
 
 /// Which [`Executor`] backend the pipeline wrappers should build.
@@ -137,14 +173,15 @@ impl Executor for SequentialExecutor {
         "sequential"
     }
 
-    fn execute(
+    fn execute_with(
         &self,
         plan: &ExecutionPlan,
         device: &Device,
         config: &FrozenQubitsConfig,
-    ) -> Result<Vec<BranchOutcome>, FrozenQubitsError> {
+        noise: NoiseEval,
+    ) -> Result<Vec<BranchOutcome>, FqError> {
         (0..plan.num_branches())
-            .map(|b| execute_branch(plan, b, device, config))
+            .map(|b| execute_branch(plan, b, device, config, noise))
             .collect()
     }
 
@@ -154,7 +191,7 @@ impl Executor for SequentialExecutor {
         device: &Device,
         config: &FrozenQubitsConfig,
         shots: u64,
-    ) -> Result<Vec<BranchSamples>, FrozenQubitsError> {
+    ) -> Result<Vec<BranchSamples>, FqError> {
         (0..plan.num_branches())
             .map(|b| sample_branch(plan, b, device, config, shots))
             .collect()
@@ -191,15 +228,16 @@ impl Executor for ParallelExecutor {
         "parallel"
     }
 
-    fn execute(
+    fn execute_with(
         &self,
         plan: &ExecutionPlan,
         device: &Device,
         config: &FrozenQubitsConfig,
-    ) -> Result<Vec<BranchOutcome>, FrozenQubitsError> {
+        noise: NoiseEval,
+    ) -> Result<Vec<BranchOutcome>, FqError> {
         let n = plan.num_branches();
         par_map(self.effective_threads(n), n, |b| {
-            execute_branch(plan, b, device, config)
+            execute_branch(plan, b, device, config, noise)
         })
     }
 
@@ -209,7 +247,7 @@ impl Executor for ParallelExecutor {
         device: &Device,
         config: &FrozenQubitsConfig,
         shots: u64,
-    ) -> Result<Vec<BranchSamples>, FrozenQubitsError> {
+    ) -> Result<Vec<BranchSamples>, FqError> {
         let n = plan.num_branches();
         par_map(self.effective_threads(n), n, |b| {
             sample_branch(plan, b, device, config, shots)
@@ -223,14 +261,13 @@ impl Executor for ParallelExecutor {
 fn par_map<T: Send>(
     threads: usize,
     n: usize,
-    job: impl Fn(usize) -> Result<T, FrozenQubitsError> + Sync,
-) -> Result<Vec<T>, FrozenQubitsError> {
+    job: impl Fn(usize) -> Result<T, FqError> + Sync,
+) -> Result<Vec<T>, FqError> {
     if threads <= 1 || n <= 1 {
         return (0..n).map(job).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<T, FrozenQubitsError>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<T, FqError>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -261,7 +298,8 @@ fn execute_branch(
     branch: usize,
     device: &Device,
     config: &FrozenQubitsConfig,
-) -> Result<BranchOutcome, FrozenQubitsError> {
+    noise: NoiseEval,
+) -> Result<BranchOutcome, FqError> {
     let exec = plan.branch(branch);
     let model = exec.problem.model();
     let p = plan.layers();
@@ -281,7 +319,13 @@ fn execute_branch(
         let ev = sv.expectation_ising(model)?;
         (ev, z, zz)
     };
-    let ev_noisy = noisy_expectation_lightcone(model, &z, &zz, &compiled, device)?;
+    let ev_noisy = match noise {
+        NoiseEval::Lightcone => noisy_expectation_lightcone(model, &z, &zz, &compiled, device)?,
+        NoiseEval::ProcessFidelity => {
+            let fid = fidelity_model(&compiled, device);
+            noisy_expectation_from_terms(model, &z, &zz, &fid)?
+        }
+    };
     let eps_log = log_eps(&compiled, device);
     Ok(BranchOutcome {
         branch,
@@ -305,7 +349,7 @@ fn sample_branch(
     device: &Device,
     config: &FrozenQubitsConfig,
     shots: u64,
-) -> Result<BranchSamples, FrozenQubitsError> {
+) -> Result<BranchSamples, FqError> {
     let exec = plan.branch(branch);
     let model = exec.problem.model();
     let (gammas, betas) = optimize_parameters_multilayer(model, plan.layers(), config.param_grid)?;
@@ -376,13 +420,13 @@ mod tests {
 
         let err = par_map(4, 8, |i| {
             if i >= 3 {
-                Err(FrozenQubitsError::InvalidConfig(format!("branch {i}")))
+                Err(FqError::InvalidConfig(format!("branch {i}")))
             } else {
                 Ok(i)
             }
         });
         match err {
-            Err(FrozenQubitsError::InvalidConfig(msg)) => assert_eq!(msg, "branch 3"),
+            Err(FqError::InvalidConfig(msg)) => assert_eq!(msg, "branch 3"),
             other => panic!("expected first error by index, got {other:?}"),
         }
     }

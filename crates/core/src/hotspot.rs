@@ -6,7 +6,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::FrozenQubitsError;
+use crate::FqError;
 
 /// The policy for choosing the `m` qubits to freeze.
 ///
@@ -31,8 +31,8 @@ pub enum HotspotStrategy {
 ///
 /// # Errors
 ///
-/// Returns [`FrozenQubitsError::TooManyFrozen`] when `m > num_vars` and
-/// [`FrozenQubitsError::InvalidConfig`] for bad explicit lists.
+/// Returns [`FqError::TooManyFrozen`] when `m > num_vars` and
+/// [`FqError::InvalidConfig`] for bad explicit lists.
 ///
 /// # Example
 ///
@@ -52,10 +52,10 @@ pub fn select_hotspots(
     model: &IsingModel,
     m: usize,
     strategy: &HotspotStrategy,
-) -> Result<Vec<usize>, FrozenQubitsError> {
+) -> Result<Vec<usize>, FqError> {
     let n = model.num_vars();
     if m > n {
-        return Err(FrozenQubitsError::TooManyFrozen { m, num_vars: n });
+        return Err(FqError::TooManyFrozen { m, num_vars: n });
     }
     match strategy {
         HotspotStrategy::MaxDegree => Ok(model.hotspots().into_iter().take(m).collect()),
@@ -82,7 +82,7 @@ pub fn select_hotspots(
         }
         HotspotStrategy::Explicit(list) => {
             if list.len() < m {
-                return Err(FrozenQubitsError::InvalidConfig(format!(
+                return Err(FqError::InvalidConfig(format!(
                     "explicit hotspot list has {} entries but m = {m}",
                     list.len()
                 )));
@@ -91,12 +91,12 @@ pub fn select_hotspots(
             let mut seen = std::collections::BTreeSet::new();
             for &q in &chosen {
                 if q >= n {
-                    return Err(FrozenQubitsError::InvalidConfig(format!(
+                    return Err(FqError::InvalidConfig(format!(
                         "explicit hotspot {q} out of range for {n} variables"
                     )));
                 }
                 if !seen.insert(q) {
-                    return Err(FrozenQubitsError::InvalidConfig(format!(
+                    return Err(FqError::InvalidConfig(format!(
                         "explicit hotspot {q} repeated"
                     )));
                 }
@@ -189,7 +189,7 @@ mod tests {
         let m = hub_model();
         assert!(matches!(
             select_hotspots(&m, 7, &HotspotStrategy::MaxDegree),
-            Err(FrozenQubitsError::TooManyFrozen { .. })
+            Err(FqError::TooManyFrozen { .. })
         ));
     }
 }

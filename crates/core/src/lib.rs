@@ -19,9 +19,15 @@
 //! compiles **one** [`CompiledTemplate`] per distinct sub-circuit shape
 //! (usually exactly one), and an [`Executor`] — sequential, or parallel
 //! across all cores — instantiates every branch by angle-editing the
-//! shared template. The entry points below are thin wrappers over that
-//! core:
+//! shared template. The public front door over that core is the **job
+//! API** in [`api`]:
 //!
+//! * [`api::JobBuilder`] → [`api::JobSpec`] → [`api::JobResult`] — typed,
+//!   build-time-validated job descriptions with a pinned JSON wire form;
+//! * [`api::Backend`] ([`api::SimBackend`], [`api::NoiseModelBackend`]) —
+//!   the execution substrate, chosen per job instead of assumed;
+//! * [`api::BatchRunner`] — many jobs, one [`TemplateCache`]: compile
+//!   each distinct sub-circuit shape once per batch (cross-job §3.7.1);
 //! * [`select_hotspots`] — which qubits to freeze (§3.5);
 //! * [`partition_problem`] — `2^m` sub-problems with symmetry pruning
 //!   (§3.3, §3.7.2);
@@ -30,33 +36,36 @@
 //!   templates; [`plan_with_budget`] picks `m` adaptively (§3.4);
 //! * [`Executor`] / [`SequentialExecutor`] / [`ParallelExecutor`] — phase
 //!   2: branch fan-out, bit-identical across backends;
-//! * [`compare`] / [`run_baseline`] / [`run_frozen`] — the analytic
-//!   fidelity pipeline behind the paper's ARG figures;
-//! * [`solve_with_sampling`] — end-to-end noisy sampling with decoding and
-//!   the final `min` (§3.6);
 //! * [`metrics`] — ARG (Eq. 4), AR (Eq. 5), improvement factors, GMEAN;
 //! * [`runtime`] — the end-to-end runtime model of Eq. 6.
+//!
+//! Every error anywhere in the workspace converts into the single
+//! [`FqError`] enum, so application code threads one `?`-able type.
+//! The pre-API free functions (`run_baseline`, `run_frozen`, `compare`,
+//! `solve_with_sampling`) remain as deprecated one-line wrappers.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use fq_graphs::{gen, to_ising_pm1};
-//! use fq_transpile::Device;
-//! use frozenqubits::{compare, FrozenQubitsConfig};
+//! use frozenqubits::api::{DeviceSpec, JobBuilder};
 //!
-//! // A 12-node power-law (Barabási–Albert) Max-Cut-style instance.
-//! let graph = gen::barabasi_albert(12, 1, 7)?;
-//! let model = to_ising_pm1(&graph, 7);
-//!
-//! let report = compare(&model, &Device::ibm_montreal(), &FrozenQubitsConfig::default())?;
+//! // A 12-node power-law (Barabási–Albert) Max-Cut-style instance,
+//! // compared baseline-vs-frozen on the IBM-Montreal model.
+//! let spec = JobBuilder::new()
+//!     .barabasi_albert(12, 1, 7)
+//!     .device(DeviceSpec::IbmMontreal)
+//!     .compare()
+//!     .build()?;
+//! let report = spec.run()?.into_compare()?;
 //! assert!(report.improvement > 1.0, "freezing the hotspot improves fidelity");
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok::<(), frozenqubits::FqError>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adaptive;
+pub mod api;
 mod config;
 mod error;
 mod executor;
@@ -70,17 +79,31 @@ mod solve;
 mod template;
 
 pub use adaptive::{plan_with_budget, suggest_num_frozen, FreezeBudget, FreezeRecommendation};
+pub use api::{
+    Backend, BackendSpec, BatchRunner, DeviceSpec, GraphWeighting, Job, JobBuilder, JobKind,
+    JobResult, JobSpec, NoiseModelBackend, ProblemSpec, SimBackend,
+};
 pub use config::FrozenQubitsConfig;
+pub use error::FqError;
+#[allow(deprecated)]
 pub use error::FrozenQubitsError;
 pub use executor::{
-    BranchOutcome, BranchSamples, Executor, ExecutorKind, ParallelExecutor, SequentialExecutor,
+    BranchOutcome, BranchSamples, Executor, ExecutorKind, NoiseEval, ParallelExecutor,
+    SequentialExecutor,
 };
 pub use hotspot::{edges_eliminated, select_hotspots, HotspotStrategy};
 pub use partition::{partition_problem, Partition, SubproblemExec};
+#[allow(deprecated)]
+pub use pipeline::{compare, run_baseline, run_frozen};
 pub use pipeline::{
-    compare, execute_problem, optimize_parameters, optimize_parameters_multilayer, run_baseline,
-    run_frozen, CircuitMetrics, ProblemExecution, Report, RunSummary,
+    execute_problem, optimize_parameters, optimize_parameters_multilayer, CircuitMetrics,
+    ProblemExecution, Report, RunSummary,
 };
-pub use plan::{plan_execution, plan_from_partition, ExecutionPlan, ShapeSignature};
-pub use solve::{solve_with_sampling, SolveOutcome};
+pub use plan::{
+    plan_execution, plan_execution_cached, plan_from_partition, plan_from_partition_cached,
+    ExecutionPlan, ShapeSignature, TemplateCache,
+};
+#[allow(deprecated)]
+pub use solve::solve_with_sampling;
+pub use solve::SolveOutcome;
 pub use template::CompiledTemplate;

@@ -5,7 +5,7 @@ use fq_ising::symmetry::{partner_mask, representative_masks};
 use fq_ising::{FrozenProblem, IsingModel, Spin};
 use serde::{Deserialize, Serialize};
 
-use crate::FrozenQubitsError;
+use crate::FqError;
 
 /// One sub-problem scheduled for execution, together with its pruned
 /// symmetric partner (if any).
@@ -80,7 +80,7 @@ pub fn partition_problem(
     model: &IsingModel,
     qubits: &[usize],
     prune: bool,
-) -> Result<Partition, FrozenQubitsError> {
+) -> Result<Partition, FqError> {
     let m = qubits.len();
     let symmetric = model.has_zero_linear_terms();
     let use_pruning = prune && symmetric && m >= 1;

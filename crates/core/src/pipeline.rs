@@ -2,11 +2,13 @@
 //! the ideal simulator, compile, estimate hardware expectation values, and
 //! compare the baseline against freezing `m` hotspots.
 //!
-//! [`run_baseline`], [`run_frozen`] and [`compare`] are thin wrappers over
-//! the two-phase plan/execute core: [`plan_execution`](crate::plan_execution)
-//! compiles one shared template per distinct sub-circuit shape, and an
-//! [`Executor`](crate::Executor) (parallel by default) instantiates and
-//! evaluates every branch from it.
+//! The pipeline's entry points are the job API in [`crate::api`]:
+//! [`JobBuilder`](crate::api::JobBuilder) → [`JobSpec`](crate::api::JobSpec)
+//! → [`JobResult`](crate::api::JobResult), executed over the two-phase
+//! plan/execute core (one shared template per distinct sub-circuit shape,
+//! branches fanned out by the configured executor). The free functions
+//! [`run_baseline`], [`run_frozen`] and [`compare`] remain as deprecated
+//! one-line wrappers over that API.
 
 use fq_circuit::{build_qaoa_circuit, qaoa_cnot_count};
 use fq_ising::IsingModel;
@@ -17,8 +19,16 @@ use fq_transpile::{compile, Compiled, Device};
 use serde::{Deserialize, Serialize};
 
 use crate::executor::BranchOutcome;
-use crate::plan::{plan_execution, ExecutionPlan};
-use crate::{metrics::arg, FrozenQubitsConfig, FrozenQubitsError};
+use crate::plan::ExecutionPlan;
+use crate::{metrics::arg, FqError, FrozenQubitsConfig};
+
+/// The widest model multi-layer (`p ≥ 2`) parameter optimization will
+/// exactly simulate. Shared by the run-time check in
+/// [`optimize_parameters_multilayer`] and the build-time check in
+/// [`JobBuilder::build`](crate::api::JobBuilder::build) so the two can
+/// never drift apart. (Kept below `fq_sim::MAX_STATEVECTOR_QUBITS` for
+/// optimizer wall-clock, not statevector memory.)
+pub(crate) const MAX_EXACT_OPT_QUBITS: usize = 20;
 
 /// Circuit-level cost metrics of one executed (compiled) circuit.
 #[derive(Clone, Copy, Debug, PartialEq, Default, Serialize, Deserialize)]
@@ -106,7 +116,7 @@ pub struct ProblemExecution {
 pub fn optimize_parameters(
     model: &IsingModel,
     grid_resolution: usize,
-) -> Result<(f64, f64), FrozenQubitsError> {
+) -> Result<(f64, f64), FqError> {
     if model.num_couplings() == 0 && model.has_zero_linear_terms() {
         // Constant objective; any angles do.
         return Ok((0.0, 0.0));
@@ -141,25 +151,23 @@ pub fn optimize_parameters(
 ///
 /// # Errors
 ///
-/// Returns [`FrozenQubitsError::InvalidConfig`] for `p = 0` or for `p ≥ 2`
+/// Returns [`FqError::InvalidConfig`] for `p = 0` or for `p ≥ 2`
 /// on models wider than 20 variables.
 pub fn optimize_parameters_multilayer(
     model: &IsingModel,
     p: usize,
     grid_resolution: usize,
-) -> Result<(Vec<f64>, Vec<f64>), FrozenQubitsError> {
+) -> Result<(Vec<f64>, Vec<f64>), FqError> {
     if p == 0 {
-        return Err(FrozenQubitsError::InvalidConfig(
-            "p must be at least 1".into(),
-        ));
+        return Err(FqError::InvalidConfig("p must be at least 1".into()));
     }
     let (g1, b1) = optimize_parameters(model, grid_resolution)?;
     if p == 1 {
         return Ok((vec![g1], vec![b1]));
     }
-    if model.num_vars() > 20 {
-        return Err(FrozenQubitsError::InvalidConfig(format!(
-            "multi-layer optimization simulates the exact state; {} variables exceed the 20-qubit limit",
+    if model.num_vars() > MAX_EXACT_OPT_QUBITS {
+        return Err(FqError::InvalidConfig(format!(
+            "multi-layer optimization simulates the exact state; {} variables exceed the {MAX_EXACT_OPT_QUBITS}-qubit limit",
             model.num_vars()
         )));
     }
@@ -201,7 +209,7 @@ pub fn execute_problem(
     model: &IsingModel,
     device: &Device,
     config: &FrozenQubitsConfig,
-) -> Result<ProblemExecution, FrozenQubitsError> {
+) -> Result<ProblemExecution, FqError> {
     let p = config.layers;
     let (gammas, betas) = optimize_parameters_multilayer(model, p, config.param_grid)?;
     let qc = build_qaoa_circuit(model, p)?;
@@ -274,7 +282,7 @@ impl CircuitMetrics {
 /// Aggregates branch outcomes into a [`RunSummary`], weighting **every**
 /// per-branch statistic — expectations, metrics and log-EPS alike — by the
 /// branch's sub-space coverage.
-fn summarize_outcomes(
+pub(crate) fn summarize_outcomes(
     plan: &ExecutionPlan,
     outcomes: &[BranchOutcome],
     label: String,
@@ -313,20 +321,18 @@ fn summarize_outcomes(
 /// # Errors
 ///
 /// Propagates pipeline errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `api::JobBuilder` with `.baseline()` (this is a thin wrapper over it)"
+)]
 pub fn run_baseline(
     model: &IsingModel,
     device: &Device,
     config: &FrozenQubitsConfig,
-) -> Result<RunSummary, FrozenQubitsError> {
-    let base_cfg = FrozenQubitsConfig {
-        num_frozen: 0,
-        ..config.clone()
-    };
-    let plan = plan_execution(model, device, &base_cfg)?;
-    let outcomes = base_cfg
-        .build_executor()
-        .execute(&plan, device, &base_cfg)?;
-    Ok(summarize_outcomes(&plan, &outcomes, "baseline".into()))
+) -> Result<RunSummary, FqError> {
+    crate::api::Job::from_parts(model, device, config, crate::api::JobKind::Baseline)
+        .run()?
+        .into_baseline()
 }
 
 /// Runs FrozenQubits: plan (freeze `config.num_frozen` hotspots, compile
@@ -341,15 +347,18 @@ pub fn run_baseline(
 /// # Errors
 ///
 /// Propagates hotspot-selection, freezing and pipeline errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `api::JobBuilder` with `.frozen()` (this is a thin wrapper over it)"
+)]
 pub fn run_frozen(
     model: &IsingModel,
     device: &Device,
     config: &FrozenQubitsConfig,
-) -> Result<(RunSummary, Vec<usize>), FrozenQubitsError> {
-    let plan = plan_execution(model, device, config)?;
-    let outcomes = config.build_executor().execute(&plan, device, config)?;
-    let summary = summarize_outcomes(&plan, &outcomes, format!("FQ(m={})", config.num_frozen));
-    Ok((summary, plan.frozen_qubits().to_vec()))
+) -> Result<(RunSummary, Vec<usize>), FqError> {
+    crate::api::Job::from_parts(model, device, config, crate::api::JobKind::Frozen)
+        .run()?
+        .into_frozen()
 }
 
 /// Runs baseline and FrozenQubits side by side and reports the
@@ -362,34 +371,34 @@ pub fn run_frozen(
 /// # Example
 ///
 /// ```
-/// use fq_graphs::{gen, to_ising_pm1};
-/// use fq_transpile::Device;
-/// use frozenqubits::{compare, FrozenQubitsConfig};
+/// use frozenqubits::api::{DeviceSpec, JobBuilder};
 ///
-/// let graph = gen::barabasi_albert(10, 1, 3)?;
-/// let model = to_ising_pm1(&graph, 3);
-/// let report = compare(&model, &Device::ibm_montreal(), &FrozenQubitsConfig::default())?;
+/// let spec = JobBuilder::new()
+///     .barabasi_albert(10, 1, 3)
+///     .device(DeviceSpec::IbmMontreal)
+///     .compare()
+///     .build()?;
+/// let report = spec.run()?.into_compare()?;
 /// // Freezing the hotspot must strictly reduce the executed CNOT count.
 /// assert!(report.frozen.metrics.compiled_cnots < report.baseline.metrics.compiled_cnots);
-/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// # Ok::<(), frozenqubits::FqError>(())
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `api::JobBuilder` with `.compare()` (this is a thin wrapper over it)"
+)]
 pub fn compare(
     model: &IsingModel,
     device: &Device,
     config: &FrozenQubitsConfig,
-) -> Result<Report, FrozenQubitsError> {
-    let baseline = run_baseline(model, device, config)?;
-    let (frozen, frozen_qubits) = run_frozen(model, device, config)?;
-    let improvement = crate::metrics::improvement_factor(baseline.arg, frozen.arg);
-    Ok(Report {
-        baseline,
-        frozen,
-        frozen_qubits,
-        improvement,
-    })
+) -> Result<Report, FqError> {
+    crate::api::Job::from_parts(model, device, config, crate::api::JobKind::Compare)
+        .run()?
+        .into_compare()
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrappers stay covered until removal
 mod tests {
     use super::*;
     use fq_graphs::{gen, to_ising_pm1};
@@ -483,11 +492,11 @@ mod tests {
         let m = ba_model(24, 8);
         assert!(matches!(
             optimize_parameters_multilayer(&m, 2, 9),
-            Err(FrozenQubitsError::InvalidConfig(_))
+            Err(FqError::InvalidConfig(_))
         ));
         assert!(matches!(
             optimize_parameters_multilayer(&m, 0, 9),
-            Err(FrozenQubitsError::InvalidConfig(_))
+            Err(FqError::InvalidConfig(_))
         ));
     }
 

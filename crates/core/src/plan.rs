@@ -11,12 +11,14 @@
 //! compile cost of the `m` knob is `O(1)` rather than `O(2^m)` and branch
 //! execution can fan out across cores.
 
+use std::collections::HashMap;
+
 use fq_ising::IsingModel;
-use fq_transpile::Device;
+use fq_transpile::{CompileOptions, Device};
 
 use crate::{
-    partition_problem, select_hotspots, CompiledTemplate, FrozenQubitsConfig, FrozenQubitsError,
-    Partition, SubproblemExec,
+    partition_problem, select_hotspots, CompiledTemplate, FqError, FrozenQubitsConfig, Partition,
+    SubproblemExec,
 };
 
 /// The structural identity of a sub-circuit: everything that determines
@@ -167,10 +169,31 @@ pub fn plan_execution(
     model: &IsingModel,
     device: &Device,
     config: &FrozenQubitsConfig,
-) -> Result<ExecutionPlan, FrozenQubitsError> {
+) -> Result<ExecutionPlan, FqError> {
     let hotspots = select_hotspots(model, config.num_frozen, &config.hotspots)?;
     let partition = partition_problem(model, &hotspots, config.prune_symmetric)?;
     plan_from_partition(model, partition, device, config)
+}
+
+/// Like [`plan_execution`], but compiled templates are looked up in (and
+/// inserted into) `cache`, extending the per-plan amortization across
+/// plans: a [`BatchRunner`](crate::api::BatchRunner) passing one cache to
+/// many jobs compiles each distinct shape **once per batch**, not once
+/// per job.
+///
+/// # Errors
+///
+/// Propagates hotspot-selection, freezing, circuit-synthesis and
+/// transpilation errors.
+pub fn plan_execution_cached(
+    model: &IsingModel,
+    device: &Device,
+    config: &FrozenQubitsConfig,
+    cache: &mut TemplateCache,
+) -> Result<ExecutionPlan, FqError> {
+    let hotspots = select_hotspots(model, config.num_frozen, &config.hotspots)?;
+    let partition = partition_problem(model, &hotspots, config.prune_symmetric)?;
+    plan_from_partition_cached(model, partition, device, config, cache)
 }
 
 /// Builds an [`ExecutionPlan`] from an already-computed partition of
@@ -184,8 +207,24 @@ pub fn plan_from_partition(
     partition: Partition,
     device: &Device,
     config: &FrozenQubitsConfig,
-) -> Result<ExecutionPlan, FrozenQubitsError> {
-    // Group branches by structural shape; compile one template per group.
+) -> Result<ExecutionPlan, FqError> {
+    plan_from_partition_cached(model, partition, device, config, &mut TemplateCache::new())
+}
+
+/// [`plan_from_partition`] with an external [`TemplateCache`].
+///
+/// # Errors
+///
+/// Propagates circuit-synthesis and transpilation errors.
+pub fn plan_from_partition_cached(
+    model: &IsingModel,
+    partition: Partition,
+    device: &Device,
+    config: &FrozenQubitsConfig,
+    cache: &mut TemplateCache,
+) -> Result<ExecutionPlan, FqError> {
+    // Group branches by structural shape; compile (or fetch) one template
+    // per group.
     let mut shapes: Vec<ShapeSignature> = Vec::new();
     let mut templates: Vec<CompiledTemplate> = Vec::new();
     let mut branch_templates = Vec::with_capacity(partition.executed.len());
@@ -194,7 +233,8 @@ pub fn plan_from_partition(
         let id = match shapes.iter().position(|s| *s == sig) {
             Some(id) => id,
             None => {
-                templates.push(CompiledTemplate::compile(
+                templates.push(cache.get_or_compile(
+                    &sig,
                     exec.problem.model(),
                     config.layers,
                     device,
@@ -213,6 +253,97 @@ pub fn plan_from_partition(
         branch_templates,
         layers: config.layers,
     })
+}
+
+/// A cross-plan store of compiled templates, keyed by everything that
+/// determines the compiled artifact: sub-circuit [`ShapeSignature`],
+/// device identity (name **plus** a fingerprint of topology and
+/// calibration, so two different `Device::uniform`/`Device::ideal`
+/// models sharing a name cannot collide), QAOA layer count and
+/// [`CompileOptions`].
+///
+/// Templates are pre-binding (no angles baked in), so one cached entry
+/// serves every job whose sub-problems share the shape, regardless of
+/// coefficient values or sampling seeds.
+#[derive(Clone, Debug, Default)]
+pub struct TemplateCache {
+    entries: HashMap<TemplateKey, CompiledTemplate>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct TemplateKey {
+    shape: ShapeSignature,
+    device: String,
+    device_fingerprint: u64,
+    layers: usize,
+    options: CompileOptions,
+}
+
+/// Hashes every device property that layout, routing, scheduling or the
+/// noise models read: topology, per-edge CNOT errors, per-qubit readout
+/// errors and coherence times, and gate durations.
+fn device_fingerprint(device: &Device) -> u64 {
+    use std::hash::{Hash as _, Hasher as _};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let n = device.num_qubits();
+    n.hash(&mut h);
+    for &(a, b) in device.topology().edges() {
+        (a, b).hash(&mut h);
+        device.cnot_error(a, b).to_bits().hash(&mut h);
+    }
+    for q in 0..n {
+        device.readout_error(q).to_bits().hash(&mut h);
+        device.t1_us(q).to_bits().hash(&mut h);
+        device.t2_us(q).to_bits().hash(&mut h);
+    }
+    let durations = device.durations();
+    durations.single_ns.to_bits().hash(&mut h);
+    durations.cx_ns.to_bits().hash(&mut h);
+    durations.readout_ns.to_bits().hash(&mut h);
+    h.finish()
+}
+
+impl TemplateCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> TemplateCache {
+        TemplateCache::default()
+    }
+
+    /// Number of distinct templates compiled so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no templates yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn get_or_compile(
+        &mut self,
+        shape: &ShapeSignature,
+        representative: &IsingModel,
+        layers: usize,
+        device: &Device,
+        options: CompileOptions,
+    ) -> Result<CompiledTemplate, FqError> {
+        let key = TemplateKey {
+            shape: shape.clone(),
+            device: device.name().to_string(),
+            device_fingerprint: device_fingerprint(device),
+            layers,
+            options,
+        };
+        if let Some(hit) = self.entries.get(&key) {
+            return Ok(hit.clone());
+        }
+        let template = CompiledTemplate::compile(representative, layers, device, options)?;
+        self.entries.insert(key, template.clone());
+        Ok(template)
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +386,23 @@ mod tests {
             assert_eq!(plan.branch_weight(b), 2.0);
             assert!(std::ptr::eq(plan.template_for(b), &plan.templates()[0]));
         }
+    }
+
+    #[test]
+    fn cache_distinguishes_same_named_devices() {
+        // Non-preset devices can share a name; the calibration/topology
+        // fingerprint must keep their templates apart.
+        let model = ba_model(6, 5);
+        let cfg = FrozenQubitsConfig::with_frozen(1);
+        let mut cache = TemplateCache::new();
+        let d1 = Device::ideal("x", fq_transpile::Topology::linear(10).unwrap());
+        let d2 = Device::ideal("x", fq_transpile::Topology::grid(3, 4).unwrap());
+        plan_execution_cached(&model, &d1, &cfg, &mut cache).unwrap();
+        assert_eq!(cache.len(), 1);
+        plan_execution_cached(&model, &d2, &cfg, &mut cache).unwrap();
+        assert_eq!(cache.len(), 2, "same name, different device: no collision");
+        plan_execution_cached(&model, &d1, &cfg, &mut cache).unwrap();
+        assert_eq!(cache.len(), 2, "identical device still hits the cache");
     }
 
     #[test]

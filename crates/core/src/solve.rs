@@ -11,8 +11,7 @@ use fq_ising::{IsingModel, OutputDistribution, SpinVec};
 use fq_transpile::Device;
 use serde::{Deserialize, Serialize};
 
-use crate::plan::plan_execution;
-use crate::{FrozenQubitsConfig, FrozenQubitsError};
+use crate::{FqError, FrozenQubitsConfig};
 
 /// The outcome of a sampling run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -43,66 +42,34 @@ pub struct SolveOutcome {
 /// # Example
 ///
 /// ```
-/// use fq_graphs::{gen, to_ising_pm1};
-/// use fq_transpile::Device;
-/// use frozenqubits::{solve_with_sampling, FrozenQubitsConfig};
+/// use frozenqubits::api::{DeviceSpec, JobBuilder};
 ///
-/// let model = to_ising_pm1(&gen::barabasi_albert(8, 1, 1)?, 1);
-/// let outcome = solve_with_sampling(
-///     &model,
-///     &Device::ibm_montreal(),
-///     &FrozenQubitsConfig::default(),
-///     2048,
-/// )?;
+/// let spec = JobBuilder::new()
+///     .barabasi_albert(8, 1, 1)
+///     .device(DeviceSpec::IbmMontreal)
+///     .sample(2048)
+///     .build()?;
+/// let outcome = spec.run()?.into_sample()?;
 /// assert_eq!(outcome.best.len(), 8);
-/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// # Ok::<(), frozenqubits::FqError>(())
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `api::JobBuilder` with `.sample(shots)` (this is a thin wrapper over it)"
+)]
 pub fn solve_with_sampling(
     model: &IsingModel,
     device: &Device,
     config: &FrozenQubitsConfig,
     shots: u64,
-) -> Result<SolveOutcome, FrozenQubitsError> {
-    let plan = plan_execution(model, device, config)?;
-    let samples = config
-        .build_executor()
-        .sample(&plan, device, config, shots)?;
-
-    let mut union = OutputDistribution::new(model.num_vars());
-    let mut best: Option<(SpinVec, f64)> = None;
-    for branch in &samples {
-        consider(&mut best, model, &branch.decoded)?;
-        union.merge(&branch.decoded)?;
-        if let Some(partner) = &branch.partner_decoded {
-            consider(&mut best, model, partner)?;
-            union.merge(partner)?;
-        }
-    }
-
-    let (best, energy) = best.ok_or_else(|| {
-        FrozenQubitsError::InvalidConfig("no sub-problem produced any outcome".into())
-    })?;
-    Ok(SolveOutcome {
-        best,
-        energy,
-        distribution: union,
-        frozen_qubits: plan.frozen_qubits().to_vec(),
-    })
-}
-
-fn consider(
-    best: &mut Option<(SpinVec, f64)>,
-    model: &IsingModel,
-    dist: &OutputDistribution,
-) -> Result<(), FrozenQubitsError> {
-    let (z, e) = dist.best(model)?;
-    if best.as_ref().is_none_or(|(_, be)| e < *be) {
-        *best = Some((z, e));
-    }
-    Ok(())
+) -> Result<SolveOutcome, FqError> {
+    crate::api::Job::from_parts(model, device, config, crate::api::JobKind::Sample { shots })
+        .run()?
+        .into_sample()
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrapper stays covered until removal
 mod tests {
     use super::*;
     use fq_graphs::{gen, to_ising_pm1};

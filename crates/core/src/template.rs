@@ -10,7 +10,7 @@ use fq_circuit::{build_qaoa_template, rebind_coefficients};
 use fq_ising::IsingModel;
 use fq_transpile::{compile, CompileOptions, Compiled, Device};
 
-use crate::FrozenQubitsError;
+use crate::FqError;
 
 /// A routed, reusable circuit template for a family of sibling
 /// sub-problems.
@@ -57,7 +57,7 @@ impl CompiledTemplate {
         layers: usize,
         device: &Device,
         options: CompileOptions,
-    ) -> Result<CompiledTemplate, FrozenQubitsError> {
+    ) -> Result<CompiledTemplate, FqError> {
         let qc = build_qaoa_template(representative, layers)?;
         let compiled = compile(&qc, device, options)?;
         Ok(CompiledTemplate {
@@ -78,11 +78,11 @@ impl CompiledTemplate {
     ///
     /// # Errors
     ///
-    /// Returns [`FrozenQubitsError::InvalidConfig`] on variable-count
+    /// Returns [`FqError::InvalidConfig`] on variable-count
     /// mismatch and propagates rebinding errors for structural mismatches.
-    pub fn edit_for(&self, sibling: &IsingModel) -> Result<Compiled, FrozenQubitsError> {
+    pub fn edit_for(&self, sibling: &IsingModel) -> Result<Compiled, FqError> {
         if sibling.num_vars() != self.num_vars {
-            return Err(FrozenQubitsError::InvalidConfig(format!(
+            return Err(FqError::InvalidConfig(format!(
                 "sibling has {} variables, template was built for {}",
                 sibling.num_vars(),
                 self.num_vars

@@ -1,0 +1,561 @@
+//! A minimal JSON document model with a deterministic writer and a strict
+//! parser.
+//!
+//! The derive half of this shim is inert (see the crate docs), so types
+//! that need an actual wire format implement it against this module by
+//! hand. The writer is **canonical**: objects keep insertion order, no
+//! whitespace is emitted, and numbers print in Rust's shortest
+//! round-trip `f64` form — so `write(parse(write(v))) == write(v)`
+//! byte for byte, which lets golden tests pin a format before any
+//! service layer exists.
+
+use std::fmt;
+
+/// A parsed or under-construction JSON document.
+///
+/// Objects are ordered `(key, value)` pairs — not a map — so the writer
+/// is deterministic and round-trips preserve byte-level layout.
+///
+/// Numbers come in two shapes: [`Value::UInt`] holds non-negative
+/// integers **exactly** (all of `u64`, beyond `f64`'s 2^53 integer
+/// range), and [`Value::Number`] holds everything else. The parser maps
+/// plain digit runs to `UInt` and the numeric accessors bridge the two,
+/// so `Number(7.0)` and `UInt(7)` compare equal and write identical
+/// bytes.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number that is not a plain non-negative integer.
+    /// Non-finite values are not representable in JSON; the writer emits
+    /// the strings `"inf"`, `"-inf"`, `"nan"` instead, and
+    /// [`Value::as_f64`] reads them back.
+    Number(f64),
+    /// A non-negative integer, kept exact across the full `u64` range.
+    UInt(u64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Number(a), Value::Number(b)) => a == b,
+            (Value::UInt(a), Value::UInt(b)) => a == b,
+            // Numeric bridge: 7 == 7.0 regardless of which variant the
+            // builder or parser produced (exact only within 2^53, which
+            // is the most an f64 literal can promise anyway).
+            (Value::Number(a), Value::UInt(b)) | (Value::UInt(b), Value::Number(a)) => {
+                *a == *b as f64
+            }
+            (Value::String(a), Value::String(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// A JSON parse or access error, with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+impl Value {
+    /// Convenience constructor for an object from ordered pairs.
+    #[must_use]
+    pub fn object(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience constructor for a string value.
+    #[must_use]
+    pub fn string(s: impl Into<String>) -> Value {
+        Value::String(s.into())
+    }
+
+    /// The value under `key` if this is an object containing it.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value under `key`, or an error naming the missing field.
+    ///
+    /// # Errors
+    ///
+    /// When `self` is not an object or lacks `key`.
+    pub fn field(&self, key: &str) -> Result<&Value, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError(format!("missing field `{key}`")))
+    }
+
+    /// Reads a number, accepting the writer's `"inf"`/`"-inf"`/`"nan"`
+    /// encodings of non-finite values.
+    ///
+    /// # Errors
+    ///
+    /// When the value is neither a number nor a non-finite marker string.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Value::Number(x) => Ok(*x),
+            Value::UInt(x) => Ok(*x as f64),
+            Value::String(s) if s == "inf" => Ok(f64::INFINITY),
+            Value::String(s) if s == "-inf" => Ok(f64::NEG_INFINITY),
+            Value::String(s) if s == "nan" => Ok(f64::NAN),
+            other => err(format!("expected number, found {}", other.kind())),
+        }
+    }
+
+    /// Reads a non-negative integer (counts, indices, seeds) — exact
+    /// across the full `u64` range when the document used a plain
+    /// integer literal.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not a non-negative integral number.
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Value::UInt(x) => Ok(*x),
+            Value::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
+                Ok(*x as u64)
+            }
+            other => err(format!("expected unsigned integer, found {}", other.kind())),
+        }
+    }
+
+    /// Reads an index-sized integer.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not a non-negative integral number.
+    pub fn as_usize(&self) -> Result<usize, JsonError> {
+        Ok(self.as_u64()? as usize)
+    }
+
+    /// Reads a boolean.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not a boolean.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => err(format!("expected bool, found {}", other.kind())),
+        }
+    }
+
+    /// Reads a string slice.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not a string.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => err(format!("expected string, found {}", other.kind())),
+        }
+    }
+
+    /// Reads an array slice.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not an array.
+    pub fn as_array(&self) -> Result<&[Value], JsonError> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => err(format!("expected array, found {}", other.kind())),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) | Value::UInt(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Writes the canonical (compact, order-preserving) JSON text.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(x) => write_number(*x, out),
+            Value::UInt(x) => out.push_str(&format!("{x}")),
+            Value::String(s) => write_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON text (strict: one document, standard grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input or trailing garbage.
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn write_number(x: f64, out: &mut String) {
+    if x.is_nan() {
+        out.push_str("\"nan\"");
+    } else if x == f64::INFINITY {
+        out.push_str("\"inf\"");
+    } else if x == f64::NEG_INFINITY {
+        out.push_str("\"-inf\"");
+    } else {
+        // Rust's shortest round-trip form; re-parsing and re-writing the
+        // result reproduces these exact bytes.
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected `{}` at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError("invalid utf-8 in number".into()))?;
+        // Plain digit runs stay exact u64 (seeds, shot counts beyond
+        // 2^53); everything else goes through f64.
+        if text.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(x) = text.parse::<u64>() {
+                return Ok(Value::UInt(x));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| JsonError(format!("invalid number `{text}`")))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return err("truncated \\u escape");
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| JsonError("invalid \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError(format!("invalid \\u escape `{hex}`")))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by this
+                            // workspace's formats; reject rather than
+                            // silently corrupt.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| JsonError(format!("invalid codepoint {code}")))?;
+                            out.push(c);
+                        }
+                        other => {
+                            return err(format!("unknown escape `\\{}`", char::from(other)));
+                        }
+                    }
+                }
+                b if b < 0x80 => out.push(char::from(b)),
+                b => {
+                    // Decode exactly one multi-byte UTF-8 sequence (the
+                    // leading byte's prefix gives the length) — never
+                    // re-validating the rest of the document, so parsing
+                    // stays linear.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return err("invalid utf-8 in string"),
+                    };
+                    let start = self.pos - 1;
+                    if start + len > self.bytes.len() {
+                        return err("truncated utf-8 sequence in string");
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| JsonError("invalid utf-8 in string".into()))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_is_canonical_and_round_trips() {
+        let v = Value::object(vec![
+            ("name", Value::string("fq \"job\"\n")),
+            ("n", Value::Number(12.0)),
+            ("x", Value::Number(0.1)),
+            ("flag", Value::Bool(true)),
+            ("items", Value::Array(vec![Value::Number(1.0), Value::Null])),
+        ]);
+        let text = v.to_json();
+        assert_eq!(
+            text,
+            "{\"name\":\"fq \\\"job\\\"\\n\",\"n\":12,\"x\":0.1,\"flag\":true,\"items\":[1,null]}"
+        );
+        let parsed = Value::parse(&text).unwrap();
+        assert_eq!(parsed, v);
+        assert_eq!(parsed.to_json(), text, "byte-for-byte round trip");
+    }
+
+    #[test]
+    fn numbers_round_trip_shortest_form() {
+        for x in [0.0, -1.5, 1e-9, 123456789.25, 2f64.powi(52)] {
+            let text = Value::Number(x).to_json();
+            let back = Value::parse(&text).unwrap();
+            assert_eq!(back.as_f64().unwrap(), x);
+            assert_eq!(back.to_json(), text);
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_use_marker_strings() {
+        assert_eq!(Value::Number(f64::INFINITY).to_json(), "\"inf\"");
+        assert_eq!(Value::Number(f64::NEG_INFINITY).to_json(), "\"-inf\"");
+        assert_eq!(Value::Number(f64::NAN).to_json(), "\"nan\"");
+        assert_eq!(
+            Value::parse("\"inf\"").unwrap().as_f64().unwrap(),
+            f64::INFINITY
+        );
+        assert!(Value::parse("\"nan\"").unwrap().as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn accessors_report_useful_errors() {
+        let v = Value::parse("{\"a\":1}").unwrap();
+        assert_eq!(v.field("a").unwrap().as_u64().unwrap(), 1);
+        assert!(v.field("b").unwrap_err().to_string().contains("`b`"));
+        assert!(v.field("a").unwrap().as_str().is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("{\"a\":1} x").is_err());
+        assert!(Value::parse("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn parses_whitespace_and_nesting() {
+        let v = Value::parse(" { \"a\" : [ 1 , { \"b\" : \"c\\u0041\" } ] } ").unwrap();
+        assert_eq!(
+            v.field("a").unwrap().as_array().unwrap()[1]
+                .field("b")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "cA"
+        );
+    }
+}

@@ -4,9 +4,15 @@
 //! usual names, so `use serde::{Deserialize, Serialize};` plus
 //! `#[derive(Serialize, Deserialize)]` compile unchanged while the build
 //! stays dependency-free (see `serde_derive`'s crate docs for why).
+//!
+//! Types that need a real wire format (the `frozenqubits::api` job specs)
+//! implement it by hand against the [`json`] document model, whose
+//! canonical writer makes byte-for-byte golden tests possible.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};
 

@@ -13,7 +13,7 @@ use crate::{
 };
 
 /// Compilation options.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct CompileOptions {
     /// Initial placement policy.
     pub layout: LayoutStrategy,

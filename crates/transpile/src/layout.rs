@@ -12,8 +12,12 @@ use fq_circuit::QuantumCircuit;
 use crate::{Device, TranspileError};
 
 /// Which placement policy to use.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
-#[non_exhaustive]
+///
+/// Deliberately exhaustive (not `#[non_exhaustive]`): the job-spec wire
+/// format in `frozenqubits::api` matches on every variant, so adding one
+/// is a compile error there — forcing a wire-format decision instead of
+/// silent mis-serialization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum LayoutStrategy {
     /// Logical qubit `i` on physical qubit `i`.
     Trivial,

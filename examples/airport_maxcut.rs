@@ -2,16 +2,23 @@
 //! Fig. 1(b): hub airports are hotspots, and freezing them is cheap in
 //! state space but huge in CNOT count.
 //!
+//! This example deliberately sticks to the **deprecated free-function
+//! entry point** (`solve_with_sampling`) as the workspace's back-compat
+//! proof: the wrapper is a one-liner over the job API and must keep
+//! producing identical results. New code should use
+//! `frozenqubits::api::JobBuilder` — see `quickstart.rs`.
+//!
 //! ```text
 //! cargo run --release --example airport_maxcut
 //! ```
+#![allow(deprecated)]
 
 use fq_graphs::airports::synthetic_airport_network;
 use fq_graphs::{powerlaw, Graph};
 use fq_ising::maxcut::{cut_value, maxcut_to_ising};
 use fq_ising::solve::exact_solve;
 use fq_transpile::Device;
-use frozenqubits::{solve_with_sampling, FrozenQubitsConfig};
+use frozenqubits::{solve_with_sampling, FqError, FrozenQubitsConfig};
 
 /// Restrict a graph to its `k` best-connected nodes (a regional slice of
 /// the network small enough for today's devices).
@@ -30,7 +37,7 @@ fn busiest_subnetwork(g: &Graph, k: usize) -> Graph {
     sub
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), FqError> {
     // 1. The full 1300-airport network reproduces the Fig. 1(b) statistics.
     let network = synthetic_airport_network(1300, 26.49, 7)?;
     let stats = powerlaw::degree_stats(&network);

@@ -18,7 +18,7 @@ use fq_sim::analytic::term_expectations_p1;
 use fq_sim::{fidelity_model, noisy_expectation_from_terms, FidelityModel};
 use fq_transpile::{compile, Device};
 use frozenqubits::{
-    metrics::approximation_ratio, partition_problem, select_hotspots, FrozenQubitsConfig,
+    metrics::approximation_ratio, partition_problem, select_hotspots, FqError, FrozenQubitsConfig,
     HotspotStrategy,
 };
 
@@ -55,7 +55,8 @@ fn write_csv(path: &str, scan: &fq_optim::GridScan) -> std::io::Result<()> {
     Ok(())
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), FqError> {
+    // I/O errors fold into the same FqError as every pipeline error.
     fs::create_dir_all("results")?;
     let graph = gen::barabasi_albert(20, 1, 12)?;
     let parent = to_ising_pm1(&graph, 12);

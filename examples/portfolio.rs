@@ -9,12 +9,12 @@
 
 use fq_ising::solve::exact_solve;
 use fq_ising::Qubo;
-use fq_transpile::Device;
-use frozenqubits::{solve_with_sampling, FrozenQubitsConfig};
+use frozenqubits::api::{DeviceSpec, JobBuilder};
+use frozenqubits::FqError;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), FqError> {
     // 1. Synthetic market: 10 assets, power-law-ish correlations (one
     //    "index" asset correlated with everything, like a market factor).
     let n = 10usize;
@@ -59,13 +59,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. FrozenQubits with m = 2. The linear terms break symmetry, so all
     //    four sub-problems execute (no pruning) — the honest-cost path.
-    let device = Device::ibm_hanoi();
     for m in [0usize, 2] {
-        let cfg = FrozenQubitsConfig {
-            num_frozen: m,
-            ..FrozenQubitsConfig::default()
-        };
-        let out = solve_with_sampling(&model, &device, &cfg, 4096)?;
+        let spec = JobBuilder::new()
+            .ising(model.clone())
+            .device(DeviceSpec::IbmHanoi)
+            .num_frozen(m)
+            .sample(4096)
+            .build()?;
+        let out = spec.run()?.into_sample()?;
         let picked: Vec<usize> = (0..n).filter(|&i| out.best.spin(i).to_bit() == 1).collect();
         println!(
             "m = {m}: best {:.4} assets {:?} (gap to exact {:.4})",

@@ -12,9 +12,9 @@ use fq_circuit::{build_qaoa_circuit, qaoa_cnot_count};
 use fq_graphs::{gen, to_ising_pm1};
 use fq_sim::log_eps;
 use fq_transpile::{compile, CompileOptions, Device};
-use frozenqubits::{partition_problem, select_hotspots, HotspotStrategy};
+use frozenqubits::{partition_problem, select_hotspots, FqError, HotspotStrategy};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), FqError> {
     let n = 500usize;
     let graph = gen::barabasi_albert(n, 1, 1)?;
     let model = to_ising_pm1(&graph, 1);

@@ -1,18 +1,19 @@
 //! Quickstart: freeze the hotspot of a power-law QAOA problem and compare
 //! fidelity against the standard-QAOA baseline on a (simulated) IBM
-//! machine.
+//! machine — through the typed job API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use fq_graphs::{gen, powerlaw, to_ising_pm1};
-use fq_transpile::Device;
-use frozenqubits::{compare, FrozenQubitsConfig};
+use frozenqubits::api::{DeviceSpec, JobBuilder};
+use frozenqubits::FqError;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), FqError> {
     // 1. A 16-node Barabási–Albert problem graph (the paper's primary
     //    benchmark family) with ±1 edge weights and zero node weights.
+    //    The generator error converts straight into `FqError`.
     let graph = gen::barabasi_albert(16, 1, 42)?;
     let model = to_ising_pm1(&graph, 42);
     let stats = powerlaw::degree_stats(&graph);
@@ -25,11 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Compare baseline QAOA vs FrozenQubits (m = 1 and m = 2) on the
-    //    IBM-Montreal model, the machine of Figs. 7–11.
-    let device = Device::ibm_montreal();
+    //    IBM-Montreal model, the machine of Figs. 7–11. One JobSpec per
+    //    m — validated at build time, serializable for replay.
     for m in [1usize, 2] {
-        let cfg = FrozenQubitsConfig::with_frozen(m);
-        let report = compare(&model, &device, &cfg)?;
+        let spec = JobBuilder::new()
+            .ising(model.clone())
+            .device(DeviceSpec::IbmMontreal)
+            .num_frozen(m)
+            .compare()
+            .build()?;
+        let report = spec.run()?.into_compare()?;
         println!(
             "\n=== FrozenQubits m = {m} (frozen qubits: {:?}) ===",
             report.frozen_qubits

@@ -1,9 +1,10 @@
 //! Umbrella crate of the FrozenQubits reproduction workspace.
 //!
 //! The actual library lives in the workspace crates — start with
-//! [`frozenqubits`] (the framework) and see `README.md` for the layering.
-//! This package exists to host the workspace-level `examples/` and
-//! `tests/` directories.
+//! [`frozenqubits`] (the framework) and its job API
+//! (`frozenqubits::api`: `JobBuilder` → `JobSpec` → `JobResult`), and
+//! see `README.md` for the layering. This package exists to host the
+//! workspace-level `examples/` and `tests/` directories.
 
 pub use frozenqubits;
 

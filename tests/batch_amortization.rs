@@ -1,0 +1,85 @@
+//! The cross-job acceptance criterion: a `BatchRunner` executing several
+//! jobs whose sub-problems share one `ShapeSignature` must invoke
+//! `fq_transpile::compile` exactly **once for the whole batch** —
+//! extending PR 1's per-job `2^m → 1` amortization across jobs.
+//!
+//! `compile_invocations()` is process-global, so this file holds a single
+//! test (its own process) and measures deltas with nothing else compiling.
+
+use fq_transpile::compile_invocations;
+use frozenqubits::api::{BackendSpec, BatchRunner, DeviceSpec, JobBuilder, JobSpec};
+
+fn frozen_spec(n: usize, m: usize, seed: u64) -> JobSpec {
+    JobBuilder::new()
+        .barabasi_albert(n, 1, 4)
+        .device(DeviceSpec::IbmMontreal)
+        .num_frozen(m)
+        .seed(seed)
+        .frozen()
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn one_compile_per_distinct_shape_across_the_whole_batch() {
+    // Two jobs over the same problem with the same m: identical
+    // sub-circuit shape, so exactly one compile for both jobs.
+    let before = compile_invocations();
+    let mut runner = BatchRunner::new();
+    let results = runner.run(&[frozen_spec(12, 1, 0), frozen_spec(12, 1, 1)]);
+    assert!(results.iter().all(Result::is_ok));
+    assert_eq!(
+        compile_invocations() - before,
+        1,
+        "two same-shape jobs must share one compile"
+    );
+    assert_eq!(runner.templates_compiled(), 1);
+
+    // A backend change is still the same shape: zero extra compiles.
+    let before = compile_invocations();
+    let noise_job = JobSpec {
+        backend: BackendSpec::NoiseModel,
+        ..frozen_spec(12, 1, 2)
+    };
+    assert!(runner.run(&[noise_job])[0].is_ok());
+    assert_eq!(
+        compile_invocations() - before,
+        0,
+        "same shape on another backend must hit the cache"
+    );
+
+    // Deeper freezing produces a genuinely different shape: one more
+    // compile, shared by all 2^{m-1} branches of that job.
+    let before = compile_invocations();
+    assert!(runner.run(&[frozen_spec(12, 3, 0)])[0].is_ok());
+    assert_eq!(
+        compile_invocations() - before,
+        1,
+        "a new shape compiles exactly once despite 4 branches"
+    );
+    assert_eq!(runner.templates_compiled(), 2);
+
+    // A compare job adds only the baseline shape (the frozen one is
+    // cached): one more compile, and re-running the whole mix adds none.
+    let before = compile_invocations();
+    let compare_job = JobSpec {
+        kind: frozenqubits::JobKind::Compare,
+        ..frozen_spec(12, 1, 0)
+    };
+    assert!(runner.run(std::slice::from_ref(&compare_job))[0].is_ok());
+    assert_eq!(
+        compile_invocations() - before,
+        1,
+        "compare reuses the cached frozen shape, compiling only the baseline"
+    );
+
+    let before = compile_invocations();
+    let rerun = runner.run(&[frozen_spec(12, 1, 7), frozen_spec(12, 3, 7), compare_job]);
+    assert!(rerun.iter().all(Result::is_ok));
+    assert_eq!(
+        compile_invocations() - before,
+        0,
+        "a warm cache executes the whole batch with zero compiles"
+    );
+    assert_eq!(runner.templates_compiled(), 3);
+}

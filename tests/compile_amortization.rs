@@ -5,6 +5,13 @@
 //!
 //! `compile_invocations()` is process-global, so this file holds a single
 //! test (its own process) and measures deltas with nothing else compiling.
+//! (The cross-job batch amortization is asserted the same way in
+//! `tests/batch_amortization.rs`.)
+//!
+//! These assertions run unchanged through the deprecated free-function
+//! wrappers, which are one-liners over the job API — so they pin the new
+//! entry path's compile counts too.
+#![allow(deprecated)]
 
 use fq_graphs::{gen, to_ising_pm1};
 use fq_transpile::{compile_invocations, Device};

@@ -1,6 +1,12 @@
 //! Executor equivalence: the parallel backend must be a pure scheduling
 //! change — every pipeline entry point has to produce **identical**
 //! results under `SequentialExecutor` and `ParallelExecutor`.
+//!
+//! The original tests below run **unchanged** through the deprecated
+//! free-function wrappers (the back-compat guarantee); the final test
+//! reruns the same workloads through the new job API and demands
+//! bit-identical results.
+#![allow(deprecated)]
 
 use fq_graphs::{gen, to_ising_pm1};
 use fq_ising::IsingModel;
@@ -77,4 +83,36 @@ fn sampling_solver_is_identical_across_backends() {
     let par = solve_with_sampling(&model, &device, &cfg(2, ExecutorKind::Parallel), 512).unwrap();
     assert_eq!(seq, par);
     assert_eq!(seq.best.len(), 8);
+}
+
+#[test]
+fn job_api_matches_the_deprecated_wrappers_bit_for_bit() {
+    use frozenqubits::{Job, JobKind};
+
+    let device = Device::ibm_montreal();
+    for executor in [ExecutorKind::Sequential, ExecutorKind::Parallel] {
+        let model = ba(12, 31);
+        let config = cfg(2, executor);
+        let old = compare(&model, &device, &config).unwrap();
+        let new = Job::from_parts(&model, &device, &config, JobKind::Compare)
+            .run()
+            .unwrap()
+            .into_compare()
+            .unwrap();
+        assert_eq!(old, new, "{executor:?}: compare diverges");
+
+        let sample_model = ba(8, 33);
+        let old = solve_with_sampling(&sample_model, &device, &config, 512).unwrap();
+        let new = Job::from_parts(
+            &sample_model,
+            &device,
+            &config,
+            JobKind::Sample { shots: 512 },
+        )
+        .run()
+        .unwrap()
+        .into_sample()
+        .unwrap();
+        assert_eq!(old, new, "{executor:?}: sampling diverges");
+    }
 }

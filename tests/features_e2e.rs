@@ -8,7 +8,7 @@ use fq_graphs::{gen, to_ising_pm1};
 use fq_ising::IsingModel;
 use fq_sim::{sample_noisy, NoisySamplerConfig, ReadoutMitigator};
 use fq_transpile::{compile, CompileOptions, Device};
-use frozenqubits::{run_frozen, suggest_num_frozen, FreezeBudget, FrozenQubitsConfig};
+use frozenqubits::{suggest_num_frozen, FreezeBudget, FrozenQubitsConfig, Job, JobKind};
 
 fn ba(n: usize, seed: u64) -> IsingModel {
     to_ising_pm1(&gen::barabasi_albert(n, 1, seed).unwrap(), seed)
@@ -90,7 +90,11 @@ fn adaptive_recommendation_feeds_the_pipeline() {
     .unwrap();
     assert!(rec.m >= 1);
     let cfg = FrozenQubitsConfig::with_frozen(rec.m);
-    let (summary, _) = run_frozen(&model, &Device::ibm_montreal(), &cfg).unwrap();
+    let (summary, _) = Job::from_parts(&model, &Device::ibm_montreal(), &cfg, JobKind::Frozen)
+        .run()
+        .unwrap()
+        .into_frozen()
+        .unwrap();
     assert_eq!(summary.circuits_executed, rec.quantum_cost);
 }
 
@@ -102,7 +106,11 @@ fn multilayer_qaoa_composes_with_freezing() {
         layers: 2,
         ..FrozenQubitsConfig::default()
     };
-    let (s, hotspots) = run_frozen(&model, &device, &cfg).unwrap();
+    let (s, hotspots) = Job::from_parts(&model, &device, &cfg, JobKind::Frozen)
+        .run()
+        .unwrap()
+        .into_frozen()
+        .unwrap();
     assert_eq!(hotspots.len(), 1);
     assert!(s.arg.is_finite());
     // Two layers double the per-edge CNOT count of the sub-circuit.
@@ -115,9 +123,16 @@ fn mitigated_sampling_composes_with_frozen_solve() {
     // union distribution's expectation with the device's readout rates.
     let model = ba(8, 11);
     let device = Device::ibm_auckland();
-    let out =
-        frozenqubits::solve_with_sampling(&model, &device, &FrozenQubitsConfig::default(), 4096)
-            .unwrap();
+    let out = Job::from_parts(
+        &model,
+        &device,
+        &FrozenQubitsConfig::default(),
+        JobKind::Sample { shots: 4096 },
+    )
+    .run()
+    .unwrap()
+    .into_sample()
+    .unwrap();
     // Mean readout error across the device as a crude per-qubit estimate.
     let eps = (0..model.num_vars()).map(|_| 0.016).collect::<Vec<_>>();
     let mitigator = ReadoutMitigator::new(eps).unwrap();

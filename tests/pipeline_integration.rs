@@ -1,16 +1,34 @@
 //! Cross-crate integration tests of the full FrozenQubits pipeline on the
 //! paper's three benchmark families (§4.1), asserting the evaluation's
-//! qualitative claims hold end to end.
+//! qualitative claims hold end to end — driven through the job API.
 
 use fq_graphs::{gen, to_ising_pm1};
 use fq_ising::IsingModel;
 use fq_transpile::Device;
+use frozenqubits::api::{BatchRunner, DeviceSpec, JobBuilder};
 use frozenqubits::{
-    compare, metrics::gmean, run_baseline, run_frozen, FrozenQubitsConfig, HotspotStrategy,
+    metrics::gmean, FrozenQubitsConfig, HotspotStrategy, Job, JobKind, Report, RunSummary,
 };
 
 fn ba(n: usize, d: usize, seed: u64) -> IsingModel {
     to_ising_pm1(&gen::barabasi_albert(n, d, seed).unwrap(), seed)
+}
+
+fn compare_job(model: &IsingModel, device: &Device, cfg: &FrozenQubitsConfig) -> Report {
+    Job::from_parts(model, device, cfg, JobKind::Compare)
+        .run()
+        .unwrap()
+        .into_compare()
+        .unwrap()
+}
+
+fn frozen_job(model: &IsingModel, device: &Device, cfg: &FrozenQubitsConfig) -> RunSummary {
+    Job::from_parts(model, device, cfg, JobKind::Frozen)
+        .run()
+        .unwrap()
+        .into_frozen()
+        .unwrap()
+        .0
 }
 
 #[test]
@@ -23,7 +41,7 @@ fn freezing_helps_across_the_ba_suite() {
     let mut cx_ratio = Vec::new();
     for n in [8usize, 12, 16, 20] {
         let model = ba(n, 1, n as u64);
-        let report = compare(&model, &device, &cfg).unwrap();
+        let report = compare_job(&model, &device, &cfg);
         // Exact invariant: freezing strictly removes logical CNOTs.
         assert!(
             report.frozen.metrics.logical_cnots < report.baseline.metrics.logical_cnots,
@@ -45,10 +63,21 @@ fn freezing_helps_across_the_ba_suite() {
 #[test]
 fn baseline_arg_grows_with_problem_size() {
     // Fig. 8: baseline fidelity degrades rapidly with size.
-    let device = Device::ibm_montreal();
-    let cfg = FrozenQubitsConfig::default();
-    let arg_small = run_baseline(&ba(6, 1, 1), &device, &cfg).unwrap().arg;
-    let arg_large = run_baseline(&ba(20, 1, 1), &device, &cfg).unwrap().arg;
+    let arg_of = |n: usize| {
+        JobBuilder::new()
+            .barabasi_albert(n, 1, 1)
+            .device(DeviceSpec::IbmMontreal)
+            .baseline()
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+            .into_baseline()
+            .unwrap()
+            .arg
+    };
+    let arg_small = arg_of(6);
+    let arg_large = arg_of(20);
     assert!(
         arg_large > arg_small,
         "ARG must grow with size: {arg_small} -> {arg_large}"
@@ -62,7 +91,7 @@ fn more_frozen_qubits_cost_exponentially_more_circuits() {
     let model = ba(12, 1, 3);
     for m in 1..=3usize {
         let cfg = FrozenQubitsConfig::with_frozen(m);
-        let (summary, _) = run_frozen(&model, &device, &cfg).unwrap();
+        let summary = frozen_job(&model, &device, &cfg);
         assert_eq!(summary.circuits_executed, 1 << (m - 1));
         assert_eq!(summary.circuit_qubits, 12 - m);
     }
@@ -75,10 +104,10 @@ fn denser_graphs_see_smaller_gains() {
     let device = Device::ibm_montreal();
     let cfg = FrozenQubitsConfig::default();
     let sparse: Vec<f64> = (0..3)
-        .map(|s| compare(&ba(14, 1, s), &device, &cfg).unwrap().improvement)
+        .map(|s| compare_job(&ba(14, 1, s), &device, &cfg).improvement)
         .collect();
     let dense: Vec<f64> = (0..3)
-        .map(|s| compare(&ba(14, 3, s), &device, &cfg).unwrap().improvement)
+        .map(|s| compare_job(&ba(14, 3, s), &device, &cfg).improvement)
         .collect();
     assert!(
         gmean(&sparse) > gmean(&dense),
@@ -93,7 +122,7 @@ fn regular_graphs_still_benefit_modestly() {
     let device = Device::ibm_montreal();
     let cfg = FrozenQubitsConfig::default();
     let model = to_ising_pm1(&gen::random_regular(12, 3, 2).unwrap(), 2);
-    let report = compare(&model, &device, &cfg).unwrap();
+    let report = compare_job(&model, &device, &cfg);
     assert!(report.frozen.metrics.compiled_cnots < report.baseline.metrics.compiled_cnots);
     assert!(
         report.improvement > 0.9,
@@ -113,8 +142,8 @@ fn hotspot_strategy_beats_random_freezing() {
         hotspots: HotspotStrategy::Random(1234),
         ..FrozenQubitsConfig::default()
     };
-    let (hot, _) = run_frozen(&model, &device, &hotspot_cfg).unwrap();
-    let (rnd, _) = run_frozen(&model, &device, &random_cfg).unwrap();
+    let hot = frozen_job(&model, &device, &hotspot_cfg);
+    let rnd = frozen_job(&model, &device, &random_cfg);
     assert!(
         hot.metrics.logical_cnots <= rnd.metrics.logical_cnots,
         "hotspot {} vs random {}",
@@ -125,14 +154,34 @@ fn hotspot_strategy_beats_random_freezing() {
 
 #[test]
 fn cross_machine_improvement_is_positive_gmean() {
-    // Fig. 13 in miniature: the GMEAN improvement across machines > 1.
-    let model = ba(12, 1, 4);
-    let cfg = FrozenQubitsConfig::default();
-    let mut improvements = Vec::new();
-    for device in Device::all_ibm_machines() {
-        let report = compare(&model, &device, &cfg).unwrap();
-        improvements.push(report.improvement);
-    }
+    // Fig. 13 in miniature: the GMEAN improvement across machines > 1 —
+    // run as one batch of serializable specs over the whole IBM fleet.
+    let ibm_fleet = [
+        DeviceSpec::IbmMontreal,
+        DeviceSpec::IbmToronto,
+        DeviceSpec::IbmMumbai,
+        DeviceSpec::IbmAuckland,
+        DeviceSpec::IbmHanoi,
+        DeviceSpec::IbmCairo,
+        DeviceSpec::IbmBrooklyn,
+        DeviceSpec::IbmWashington,
+    ];
+    let specs: Vec<_> = ibm_fleet
+        .into_iter()
+        .map(|device| {
+            JobBuilder::new()
+                .barabasi_albert(12, 1, 4)
+                .device(device)
+                .compare()
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let improvements: Vec<f64> = BatchRunner::new()
+        .run(&specs)
+        .into_iter()
+        .map(|r| r.unwrap().into_compare().unwrap().improvement)
+        .collect();
     assert_eq!(improvements.len(), 8);
     assert!(gmean(&improvements) > 1.0);
 }
@@ -142,7 +191,7 @@ fn sk_model_runs_through_the_pipeline() {
     let device = Device::ibm_montreal();
     let cfg = FrozenQubitsConfig::default();
     let model = to_ising_pm1(&gen::complete(8), 5);
-    let report = compare(&model, &device, &cfg).unwrap();
+    let report = compare_job(&model, &device, &cfg);
     assert!(report.baseline.arg.is_finite());
     assert!(report.frozen.arg.is_finite());
     assert!(report.frozen.metrics.compiled_cnots < report.baseline.metrics.compiled_cnots);

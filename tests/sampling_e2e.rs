@@ -1,16 +1,31 @@
 //! End-to-end sampling tests: the full solve path (partition → optimize →
 //! compile → noisy Monte-Carlo sampling → decode → min) recovers exact
 //! optima on small instances, and the symmetric-partner inference is
-//! byte-exact.
+//! byte-exact. Driven through `JobKind::Sample` jobs.
 
 use fq_graphs::{gen, to_ising_pm1};
 use fq_ising::solve::exact_solve;
 use fq_ising::{IsingModel, Spin};
 use fq_transpile::Device;
-use frozenqubits::{solve_with_sampling, FrozenQubitsConfig};
+use frozenqubits::{FrozenQubitsConfig, Job, JobKind, SolveOutcome};
 
 fn ba(n: usize, seed: u64) -> IsingModel {
     to_ising_pm1(&gen::barabasi_albert(n, 1, seed).unwrap(), seed)
+}
+
+/// The sampling path through the job API (what `solve_with_sampling`
+/// wraps).
+fn solve(
+    model: &IsingModel,
+    device: &Device,
+    cfg: &FrozenQubitsConfig,
+    shots: u64,
+) -> SolveOutcome {
+    Job::from_parts(model, device, cfg, JobKind::Sample { shots })
+        .run()
+        .unwrap()
+        .into_sample()
+        .unwrap()
 }
 
 #[test]
@@ -22,7 +37,7 @@ fn fq_finds_global_optima_across_seeds() {
     for seed in 0..total {
         let model = ba(8, seed as u64 + 20);
         let exact = exact_solve(&model).unwrap();
-        let out = solve_with_sampling(&model, &device, &cfg, 4096).unwrap();
+        let out = solve(&model, &device, &cfg, 4096);
         assert!(out.energy >= exact.energy - 1e-9, "cannot beat the optimum");
         if (out.energy - exact.energy).abs() < 1e-9 {
             found += 1;
@@ -37,8 +52,8 @@ fn fq_beats_or_matches_baseline_solution_quality() {
     let model = ba(10, 31);
     let baseline_cfg = FrozenQubitsConfig::with_frozen(0);
     let fq_cfg = FrozenQubitsConfig::with_frozen(2);
-    let base = solve_with_sampling(&model, &device, &baseline_cfg, 2048).unwrap();
-    let fq = solve_with_sampling(&model, &device, &fq_cfg, 2048).unwrap();
+    let base = solve(&model, &device, &baseline_cfg, 2048);
+    let fq = solve(&model, &device, &fq_cfg, 2048);
     assert!(
         fq.energy <= base.energy + 1e-9,
         "FQ {} must not be worse than baseline {}",
@@ -55,7 +70,7 @@ fn partner_inference_matches_running_the_partner() {
     let model = ba(7, 40);
     let device = Device::ibm_montreal();
     let cfg = FrozenQubitsConfig::default();
-    let out = solve_with_sampling(&model, &device, &cfg, 1024).unwrap();
+    let out = solve(&model, &device, &cfg, 1024);
     let hub = out.frozen_qubits[0];
 
     // Split the union distribution into the two branches.
@@ -89,7 +104,7 @@ fn asymmetric_models_run_all_branches() {
     model.set_linear(2, 0.8).unwrap();
     let device = Device::ibm_montreal();
     let cfg = FrozenQubitsConfig::with_frozen(2);
-    let out = solve_with_sampling(&model, &device, &cfg, 1000).unwrap();
+    let out = solve(&model, &device, &cfg, 1000);
     // 4 branches × 1000 shots, no partner doubling.
     assert_eq!(out.distribution.total_shots(), 4 * 1000);
 }
@@ -98,6 +113,6 @@ fn asymmetric_models_run_all_branches() {
 fn energies_reported_match_the_model() {
     let model = ba(8, 60);
     let device = Device::ibm_hanoi();
-    let out = solve_with_sampling(&model, &device, &FrozenQubitsConfig::default(), 512).unwrap();
+    let out = solve(&model, &device, &FrozenQubitsConfig::default(), 512);
     assert!((model.energy(&out.best).unwrap() - out.energy).abs() < 1e-9);
 }
