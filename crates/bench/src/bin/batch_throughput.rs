@@ -1,0 +1,165 @@
+//! Batch-engine throughput benchmark: the perf-regression harness behind
+//! `BENCH_batch.json`.
+//!
+//! Builds a mixed multi-family batch of frozen-QAOA jobs, runs it through
+//! the flattened jobs×branches `BatchRunner` at 1, 2 and `auto` worker
+//! threads (each run on a cold template cache so every configuration pays
+//! the same compile bill), verifies the outputs are bit-identical across
+//! thread counts, and reports jobs/sec, templates compiled and the
+//! speedup over the sequential (1-thread) run.
+//!
+//! Knobs:
+//! * `FQ_BENCH_JOBS` — job count (default 96; CI smoke uses a small
+//!   value).
+//! * `FQ_BENCH_ITERS` — timed iterations per thread count (default 3;
+//!   the minimum is reported, standard practice for throughput numbers).
+//!
+//! The JSON lands at the workspace root as `BENCH_batch.json`, where the
+//! perf trajectory across PRs accumulates (machine-readable, append-style
+//! via version control history rather than in-file concatenation).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fq_bench::harness::fmt_time;
+use frozenqubits::api::{BatchRunner, DeviceSpec, JobBuilder, JobSpec};
+use frozenqubits::{auto_threads, FqError, JobResult};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A mixed batch over three fixed problem families: most jobs are small
+/// multi-branch sweep members (the service workload the engine targets),
+/// a slice are full compare reports.
+fn batch(jobs: usize) -> Vec<JobSpec> {
+    let family = |n: usize, m: usize, seed: u64| -> JobSpec {
+        JobBuilder::new()
+            .barabasi_albert(n, 1, 4)
+            .device(DeviceSpec::IbmMontreal)
+            .num_frozen(m)
+            .seed(seed)
+            .frozen()
+            .build()
+            .expect("valid bench spec")
+    };
+    (0..jobs)
+        .map(|i| {
+            let seed = i as u64;
+            match i % 4 {
+                0 => family(20, 3, seed),
+                1 => family(24, 3, seed),
+                2 => family(20, 2, seed),
+                _ => JobBuilder::new()
+                    .barabasi_albert(16, 1, 4)
+                    .device(DeviceSpec::IbmMontreal)
+                    .seed(seed)
+                    .compare()
+                    .build()
+                    .expect("valid bench spec"),
+            }
+        })
+        .collect()
+}
+
+struct Point {
+    threads: usize,
+    seconds: f64,
+    jobs_per_sec: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let jobs = env_usize("FQ_BENCH_JOBS", 96);
+    let iters = env_usize("FQ_BENCH_ITERS", 3).max(1);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let auto = auto_threads();
+    let specs = batch(jobs);
+
+    // Branch items the flattened pool sees (compare jobs contribute both
+    // passes' branches).
+    println!("== batch throughput: flattened jobs×branches engine ==");
+    println!("jobs: {jobs}   cores: {cores}   auto threads: {auto}   iters: {iters}");
+
+    let mut thread_counts = vec![1usize, 2];
+    if auto > 2 {
+        thread_counts.push(auto);
+    }
+
+    let mut reference: Option<Vec<Result<JobResult, FqError>>> = None;
+    let mut templates = 0usize;
+    let mut points: Vec<Point> = Vec::new();
+    let mut seq_seconds = 0.0f64;
+    for &threads in &thread_counts {
+        // Each timed run uses a fresh runner: a cold cache per iteration
+        // keeps every thread count paying an identical compile bill.
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let mut runner = BatchRunner::new().with_threads(threads);
+            let t0 = Instant::now();
+            let results = runner.run(&specs);
+            let dt = t0.elapsed().as_secs_f64();
+            best = best.min(dt);
+            templates = runner.templates_compiled();
+            match &reference {
+                None => reference = Some(results),
+                Some(reference) => {
+                    // The engine's core guarantee: scheduling never leaks
+                    // into results.
+                    assert_eq!(
+                        reference.len(),
+                        results.len(),
+                        "thread count changed batch shape"
+                    );
+                    for (r, s) in reference.iter().zip(&results) {
+                        assert_eq!(
+                            r.as_ref().unwrap(),
+                            s.as_ref().unwrap(),
+                            "{threads}-thread run diverged from sequential"
+                        );
+                    }
+                }
+            }
+        }
+        if threads == 1 {
+            seq_seconds = best;
+        }
+        points.push(Point {
+            threads,
+            seconds: best,
+            jobs_per_sec: jobs as f64 / best,
+            speedup: seq_seconds / best,
+        });
+        let p = points.last().expect("just pushed");
+        println!(
+            "threads={threads:<3} {:>12} / batch   {:>9.1} jobs/s   speedup {:.2}x",
+            fmt_time(p.seconds),
+            p.jobs_per_sec,
+            p.speedup
+        );
+    }
+    println!("templates compiled per cold run: {templates}");
+
+    let max_speedup = points.iter().map(|p| p.speedup).fold(0.0f64, f64::max);
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 < points.len() { "," } else { "" };
+        let _ = write!(
+            rows,
+            "\n    {{\"threads\":{},\"seconds\":{:.6},\"jobs_per_sec\":{:.3},\"speedup_vs_sequential\":{:.3}}}{sep}",
+            p.threads, p.seconds, p.jobs_per_sec, p.speedup
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"batch_throughput\",\n  \"jobs\": {jobs},\n  \"iters\": {iters},\n  \
+         \"cores\": {cores},\n  \"templates_compiled\": {templates},\n  \
+         \"max_speedup_vs_sequential\": {max_speedup:.3},\n  \"points\": [{rows}\n  ],\n  \
+         \"note\": \"speedup scales with available cores; a single-core runner reports ~1.0\"\n}}\n"
+    );
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_batch.json");
+    std::fs::write(&path, &json).expect("can write BENCH_batch.json");
+    println!("  -> wrote {}", path.display());
+}

@@ -44,6 +44,7 @@ mod backend;
 mod batch;
 mod wire;
 
+pub(crate) use backend::noise_model_sampling_error;
 pub use backend::{Backend, BackendSpec, NoiseModelBackend, SimBackend};
 pub use batch::BatchRunner;
 
@@ -563,103 +564,179 @@ impl Job {
     ///
     /// Propagates pipeline errors.
     pub fn run(&self) -> Result<JobResult, FqError> {
-        self.run_cached(&mut TemplateCache::new())
+        self.run_cached(&TemplateCache::new())
     }
 
     /// Runs the job against a shared [`TemplateCache`] — the building
-    /// block of [`BatchRunner`]'s cross-job amortization.
+    /// block of [`BatchRunner`]'s cross-job amortization. The cache is
+    /// concurrent, so any number of jobs may run against it at once.
     ///
     /// # Errors
     ///
     /// Propagates pipeline errors.
-    pub fn run_cached(&self, cache: &mut TemplateCache) -> Result<JobResult, FqError> {
+    pub fn run_cached(&self, cache: &TemplateCache) -> Result<JobResult, FqError> {
         let backend = self.backend.build(self.config.executor);
+        let mut parts = Vec::new();
+        for unit in self.decompose() {
+            let plan = plan_execution_cached(&self.model, &self.device, &unit.config, cache)?;
+            let output = match unit.role {
+                UnitRole::Sample { shots } => {
+                    UnitOutput::Samples(backend.sample(&plan, &self.device, &unit.config, shots)?)
+                }
+                UnitRole::Baseline | UnitRole::Frozen => {
+                    UnitOutput::Analytic(backend.run(&plan, &self.device, &unit.config)?)
+                }
+            };
+            parts.push((plan, output));
+        }
+        self.assemble(parts)
+    }
+
+    /// Splits the job into its execution units — independent
+    /// (plan, run) passes over the pipeline. Every kind is one unit
+    /// except [`JobKind::Compare`], which is a baseline unit followed by
+    /// a frozen unit. Both the sequential [`Job::run_cached`] loop and
+    /// [`BatchRunner`]'s flattened jobs×branches pool are built on this
+    /// decomposition, which is what makes their results bit-identical.
+    pub(crate) fn decompose(&self) -> Vec<JobUnit> {
+        let baseline_unit = || JobUnit {
+            config: FrozenQubitsConfig {
+                num_frozen: 0,
+                ..self.config.clone()
+            },
+            role: UnitRole::Baseline,
+        };
+        let frozen_unit = |role| JobUnit {
+            config: self.config.clone(),
+            role,
+        };
         match self.kind {
-            JobKind::Baseline => Ok(JobResult::Baseline(
-                self.baseline_summary(&*backend, cache)?,
-            )),
+            JobKind::Baseline => vec![baseline_unit()],
+            JobKind::Frozen => vec![frozen_unit(UnitRole::Frozen)],
+            JobKind::Compare => vec![baseline_unit(), frozen_unit(UnitRole::Frozen)],
+            JobKind::Sample { shots } => vec![frozen_unit(UnitRole::Sample { shots })],
+        }
+    }
+
+    /// The per-branch noise model this job's backend evaluates — how the
+    /// batch engine drives branches without going through the
+    /// [`Backend`] object (the two built-in backends differ only here).
+    ///
+    /// Deliberately exhaustive: a new [`BackendSpec`] variant must not
+    /// fall through to the simulator's physics in batches, so adding one
+    /// fails to compile here (and in [`Job::sampling_supported`]) until
+    /// the batch engine learns how to drive it.
+    pub(crate) fn branch_noise(&self) -> crate::NoiseEval {
+        match self.backend {
+            BackendSpec::Sim => crate::NoiseEval::Lightcone,
+            BackendSpec::NoiseModel => crate::NoiseEval::ProcessFidelity,
+        }
+    }
+
+    /// Whether this job's backend has sampling physics — the batch
+    /// engine's counterpart of [`Backend::sample`]'s rejection, kept
+    /// exhaustive for the same reason as [`Job::branch_noise`].
+    pub(crate) fn sampling_supported(&self) -> bool {
+        match self.backend {
+            BackendSpec::Sim => true,
+            BackendSpec::NoiseModel => false,
+        }
+    }
+
+    /// Reassembles unit outputs (in [`Job::decompose`] order) into the
+    /// job's [`JobResult`] — the single aggregation path shared by the
+    /// sequential and the batched engine.
+    pub(crate) fn assemble(
+        &self,
+        parts: Vec<(crate::ExecutionPlan, UnitOutput)>,
+    ) -> Result<JobResult, FqError> {
+        let mut parts = parts.into_iter();
+        let mut next_analytic = |label: String| -> (crate::ExecutionPlan, RunSummary) {
+            let (plan, output) = parts.next().expect("one part per decomposed unit");
+            let UnitOutput::Analytic(outcomes) = output else {
+                panic!("analytic unit got sampling output");
+            };
+            let summary = summarize_outcomes(&plan, &outcomes, label);
+            (plan, summary)
+        };
+        match self.kind {
+            JobKind::Baseline => Ok(JobResult::Baseline(next_analytic("baseline".into()).1)),
             JobKind::Frozen => {
-                let (summary, frozen_qubits) = self.frozen_summary(&*backend, cache)?;
+                let (plan, summary) = next_analytic(format!("FQ(m={})", self.config.num_frozen));
                 Ok(JobResult::Frozen {
                     summary,
-                    frozen_qubits,
+                    frozen_qubits: plan.frozen_qubits().to_vec(),
                 })
             }
             JobKind::Compare => {
-                let baseline = self.baseline_summary(&*backend, cache)?;
-                let (frozen, frozen_qubits) = self.frozen_summary(&*backend, cache)?;
+                let baseline = next_analytic("baseline".into()).1;
+                let (plan, frozen) = next_analytic(format!("FQ(m={})", self.config.num_frozen));
                 let improvement = metrics::improvement_factor(baseline.arg, frozen.arg);
                 Ok(JobResult::Compare(Report {
                     baseline,
                     frozen,
-                    frozen_qubits,
+                    frozen_qubits: plan.frozen_qubits().to_vec(),
                     improvement,
                 }))
             }
-            JobKind::Sample { shots } => Ok(JobResult::Sample(
-                self.sample_outcome(&*backend, cache, shots)?,
-            )),
-        }
-    }
-
-    fn baseline_summary(
-        &self,
-        backend: &dyn Backend,
-        cache: &mut TemplateCache,
-    ) -> Result<RunSummary, FqError> {
-        let base_cfg = FrozenQubitsConfig {
-            num_frozen: 0,
-            ..self.config.clone()
-        };
-        let plan = plan_execution_cached(&self.model, &self.device, &base_cfg, cache)?;
-        let outcomes = backend.run(&plan, &self.device, &base_cfg)?;
-        Ok(summarize_outcomes(&plan, &outcomes, "baseline".into()))
-    }
-
-    fn frozen_summary(
-        &self,
-        backend: &dyn Backend,
-        cache: &mut TemplateCache,
-    ) -> Result<(RunSummary, Vec<usize>), FqError> {
-        let plan = plan_execution_cached(&self.model, &self.device, &self.config, cache)?;
-        let outcomes = backend.run(&plan, &self.device, &self.config)?;
-        let summary = summarize_outcomes(
-            &plan,
-            &outcomes,
-            format!("FQ(m={})", self.config.num_frozen),
-        );
-        Ok((summary, plan.frozen_qubits().to_vec()))
-    }
-
-    fn sample_outcome(
-        &self,
-        backend: &dyn Backend,
-        cache: &mut TemplateCache,
-        shots: u64,
-    ) -> Result<SolveOutcome, FqError> {
-        let plan = plan_execution_cached(&self.model, &self.device, &self.config, cache)?;
-        let samples = backend.sample(&plan, &self.device, &self.config, shots)?;
-
-        let mut union = OutputDistribution::new(self.model.num_vars());
-        let mut best: Option<(SpinVec, f64)> = None;
-        for branch in &samples {
-            consider(&mut best, &self.model, &branch.decoded)?;
-            union.merge(&branch.decoded)?;
-            if let Some(partner) = &branch.partner_decoded {
-                consider(&mut best, &self.model, partner)?;
-                union.merge(partner)?;
+            JobKind::Sample { .. } => {
+                let (plan, output) = parts.next().expect("one part per decomposed unit");
+                let UnitOutput::Samples(samples) = output else {
+                    panic!("sampling unit got analytic output");
+                };
+                let mut union = OutputDistribution::new(self.model.num_vars());
+                let mut best: Option<(SpinVec, f64)> = None;
+                for branch in &samples {
+                    consider(&mut best, &self.model, &branch.decoded)?;
+                    union.merge(&branch.decoded)?;
+                    if let Some(partner) = &branch.partner_decoded {
+                        consider(&mut best, &self.model, partner)?;
+                        union.merge(partner)?;
+                    }
+                }
+                let (best, energy) = best.ok_or_else(|| {
+                    FqError::InvalidConfig("no sub-problem produced any outcome".into())
+                })?;
+                Ok(JobResult::Sample(SolveOutcome {
+                    best,
+                    energy,
+                    distribution: union,
+                    frozen_qubits: plan.frozen_qubits().to_vec(),
+                }))
             }
         }
-
-        let (best, energy) = best
-            .ok_or_else(|| FqError::InvalidConfig("no sub-problem produced any outcome".into()))?;
-        Ok(SolveOutcome {
-            best,
-            energy,
-            distribution: union,
-            frozen_qubits: plan.frozen_qubits().to_vec(),
-        })
     }
+}
+
+/// One independent (plan, run) pass of a decomposed [`Job`].
+pub(crate) struct JobUnit {
+    /// The effective pipeline configuration of this unit (`num_frozen`
+    /// zeroed for a baseline pass).
+    pub(crate) config: FrozenQubitsConfig,
+    /// What the unit computes.
+    pub(crate) role: UnitRole,
+}
+
+/// The role of a [`JobUnit`] within its job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum UnitRole {
+    /// Standard-QAOA pass over the full problem.
+    Baseline,
+    /// FrozenQubits pass at the job's configured `m`.
+    Frozen,
+    /// End-to-end noisy sampling pass.
+    Sample {
+        /// Shots per executed branch.
+        shots: u64,
+    },
+}
+
+/// The raw output of one executed [`JobUnit`].
+pub(crate) enum UnitOutput {
+    /// Branch outcomes of an analytic pass, in branch order.
+    Analytic(Vec<crate::BranchOutcome>),
+    /// Branch samples of a sampling pass, in branch order.
+    Samples(Vec<crate::BranchSamples>),
 }
 
 fn consider(

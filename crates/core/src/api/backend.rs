@@ -183,12 +183,19 @@ impl Backend for NoiseModelBackend {
         _config: &FrozenQubitsConfig,
         _shots: u64,
     ) -> Result<Vec<BranchSamples>, FqError> {
-        Err(FqError::InvalidConfig(
-            "the noise_model backend models expectations, not shot distributions; \
-             use the sim backend for sampling jobs"
-                .into(),
-        ))
+        Err(noise_model_sampling_error())
     }
+}
+
+/// The error every path rejecting sampling on [`NoiseModelBackend`]
+/// returns — the backend itself, and the batch engine's direct branch
+/// scheduling — so a smuggled spec fails identically everywhere.
+pub(crate) fn noise_model_sampling_error() -> FqError {
+    FqError::InvalidConfig(
+        "the noise_model backend models expectations, not shot distributions; \
+         use the sim backend for sampling jobs"
+            .into(),
+    )
 }
 
 #[cfg(test)]

@@ -1,16 +1,35 @@
-//! Batched job execution with cross-job template amortization.
+//! Batched job execution: cross-job template amortization plus a
+//! flattened jobs×branches work-stealing pool.
 
-use crate::plan::TemplateCache;
-use crate::{FqError, JobResult, JobSpec};
+use super::{noise_model_sampling_error, Job, JobUnit, UnitOutput, UnitRole};
+use crate::executor::{auto_threads, execute_branch, par_collect, sample_branch};
+use crate::plan::{plan_execution_cached, CacheStats, ExecutionPlan, TemplateCache};
+use crate::{BranchOutcome, BranchSamples, FqError, JobResult, JobSpec};
 
-/// Runs many [`JobSpec`]s against one shared [`TemplateCache`].
+/// Runs many [`JobSpec`]s against one shared [`TemplateCache`],
+/// saturating the machine across **jobs × branches**.
 ///
 /// PR 1 made the compile cost of one job `O(distinct shapes)` instead of
-/// `O(2^m)`; the batch runner extends that across jobs: a parameter sweep
-/// over the same problem family — different seeds, backends, executors —
-/// compiles each distinct (shape, device, layers, options) combination
-/// **once for the whole batch**. Jobs are independent, so a failing spec
-/// yields its own `Err` without sinking the rest.
+/// `O(2^m)`; the batch runner extends that across jobs — a parameter sweep
+/// over the same problem family compiles each distinct (shape, device,
+/// layers, options) combination **once for the whole batch** — and since
+/// this PR it also flattens the batch into per-branch work items drained
+/// by one shared work-stealing pool. A batch of 100 four-branch jobs is
+/// 400 independent items on that pool, not 100 mostly-idle 4-way bursts,
+/// so sweeps scale with the core count rather than with `2^{m−1}`.
+///
+/// The engine schedules branches itself; the per-job
+/// [`FrozenQubitsConfig::executor`](crate::FrozenQubitsConfig) knob only
+/// applies when a job runs alone via [`JobSpec::run`] /
+/// [`Job::run_cached`].
+///
+/// # Determinism
+///
+/// Results are **bit-identical** to running every spec sequentially in
+/// input order: outcomes are aggregated in job order and branch order,
+/// and within a job the first error (by unit order, then branch index)
+/// wins — scheduling never leaks into results. Jobs are independent, so a
+/// failing spec yields its own `Err` without sinking the rest.
 ///
 /// # Example
 ///
@@ -37,40 +56,260 @@ use crate::{FqError, JobResult, JobSpec};
 #[derive(Debug, Default)]
 pub struct BatchRunner {
     cache: TemplateCache,
+    /// Worker count; 0 = auto (`FQ_THREADS` env override, else one per
+    /// available core).
+    threads: usize,
+}
+
+/// One planned execution unit: `job_index` into the spec slice plus the
+/// unit's role/config and its compiled plan.
+struct PlannedUnit {
+    job: usize,
+    unit: JobUnit,
+    plan: Result<ExecutionPlan, FqError>,
+    /// Offset of this unit's first branch in the flattened item space.
+    first_item: usize,
+    /// Number of flattened branch items this unit contributes.
+    items: usize,
+}
+
+/// A branch-level result in the flattened pool, matching the unit's role.
+enum BranchResult {
+    Outcome(BranchOutcome),
+    Samples(BranchSamples),
 }
 
 impl BatchRunner {
-    /// A runner with an empty template cache.
+    /// A runner with an empty, unbounded template cache and automatic
+    /// thread count.
     #[must_use]
     pub fn new() -> BatchRunner {
         BatchRunner::default()
     }
 
-    /// Runs every spec in order, sharing compiled templates across jobs.
-    /// Each job gets its own `Result`; order matches the input.
+    /// Sets the worker-thread count of the jobs×branches pool.
+    ///
+    /// `0` (the default) selects automatically: the `FQ_THREADS`
+    /// environment variable if it parses as an integer ≥ 1, else one
+    /// worker per available core. `1` forces fully sequential in-order
+    /// execution (useful as a bit-identical reference and for
+    /// benchmarking speedups). Values above the available parallelism are
+    /// accepted but add nothing; the pool is additionally clamped to the
+    /// number of work items, so oversized values never spawn idle
+    /// threads.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> BatchRunner {
+        self.threads = threads;
+        self
+    }
+
+    /// Bounds the shared template cache to at most `capacity` resident
+    /// templates (LRU eviction; see [`TemplateCache::with_capacity`]).
+    /// The default is unbounded.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> BatchRunner {
+        self.cache = TemplateCache::with_capacity(capacity);
+        self
+    }
+
+    /// The effective worker count for `items` work items.
+    fn effective_threads(&self, items: usize) -> usize {
+        let t = if self.threads == 0 {
+            auto_threads()
+        } else {
+            self.threads
+        };
+        t.min(items).max(1)
+    }
+
+    /// Runs every spec, sharing compiled templates across jobs and
+    /// fanning **all** branches of **all** jobs out over one
+    /// work-stealing pool. Each job gets its own `Result`; order matches
+    /// the input and every result is bit-identical to running the specs
+    /// one by one.
     pub fn run(&mut self, specs: &[JobSpec]) -> Vec<Result<JobResult, FqError>> {
-        specs
+        // Resolve specs in input order (cheap; problem materialization).
+        let jobs: Vec<Result<Job, FqError>> = specs.iter().map(JobSpec::to_job).collect();
+
+        // Decompose resolved jobs into execution units.
+        let mut pending: Vec<(usize, JobUnit)> = Vec::new();
+        for (job_index, job) in jobs.iter().enumerate() {
+            if let Ok(job) = job {
+                for unit in job.decompose() {
+                    pending.push((job_index, unit));
+                }
+            }
+        }
+
+        // Phase 1 — plan every unit in parallel against the shared
+        // concurrent cache. The per-key once-compile slots guarantee each
+        // distinct template is compiled exactly once even when many units
+        // race for it; distinct templates compile concurrently.
+        let threads = self.effective_threads(pending.len());
+        let cache = &self.cache;
+        let plans: Vec<Result<ExecutionPlan, FqError>> = par_collect(threads, pending.len(), |u| {
+            let (job_index, unit) = &pending[u];
+            let job = jobs[*job_index]
+                .as_ref()
+                .expect("only resolved jobs decompose into units");
+            plan_execution_cached(&job.model, &job.device, &unit.config, cache)
+        });
+
+        // Flatten planned units into the jobs×branches item space. A
+        // sampling unit on a backend without sampling physics plans (the
+        // sequential path compiles before rejecting too) but contributes
+        // no branch items — it fails at assembly instead.
+        let mut units: Vec<PlannedUnit> = Vec::with_capacity(pending.len());
+        let mut total_items = 0usize;
+        for ((job_index, unit), plan) in pending.into_iter().zip(plans) {
+            let runnable = plan.is_ok() && !self.unit_rejected(&jobs[job_index], &unit);
+            let items = if runnable {
+                plan.as_ref().map_or(0, ExecutionPlan::num_branches)
+            } else {
+                0
+            };
+            units.push(PlannedUnit {
+                job: job_index,
+                unit,
+                plan,
+                first_item: total_items,
+                items,
+            });
+            total_items += items;
+        }
+
+        // Phase 2 — drain all branches of all jobs from one pool.
+        let threads = self.effective_threads(total_items);
+        let branch_results: Vec<Result<BranchResult, FqError>> =
+            par_collect(threads, total_items, |item| {
+                // Map the flat index back to (unit, branch).
+                let u = units.partition_point(|pu| pu.first_item <= item) - 1;
+                let pu = &units[u];
+                let branch = item - pu.first_item;
+                let plan = pu.plan.as_ref().expect("runnable units have plans");
+                let job = jobs[pu.job].as_ref().expect("runnable units have jobs");
+                match pu.unit.role {
+                    UnitRole::Baseline | UnitRole::Frozen => execute_branch(
+                        plan,
+                        branch,
+                        &job.device,
+                        &pu.unit.config,
+                        job.branch_noise(),
+                    )
+                    .map(BranchResult::Outcome),
+                    UnitRole::Sample { shots } => {
+                        sample_branch(plan, branch, &job.device, &pu.unit.config, shots)
+                            .map(BranchResult::Samples)
+                    }
+                }
+            });
+
+        // Phase 3 — reassemble in job order, branch order, with the first
+        // error (unit order, then branch index) winning per job: exactly
+        // the sequential path's semantics. `Ok(None)` marks a job whose
+        // units all succeeded but whose result is not yet assembled.
+        let mut results: Vec<Result<Option<JobResult>, FqError>> = jobs
             .iter()
-            .map(|spec| spec.to_job()?.run_cached(&mut self.cache))
+            .map(|job| match job {
+                Ok(_) => Ok(None),
+                Err(e) => Err(e.clone()),
+            })
+            .collect();
+        let mut parts: Vec<Vec<(ExecutionPlan, UnitOutput)>> =
+            (0..jobs.len()).map(|_| Vec::new()).collect();
+        let mut branch_results = branch_results.into_iter();
+        for pu in units {
+            let outputs: Vec<Result<BranchResult, FqError>> =
+                branch_results.by_ref().take(pu.items).collect();
+            if results[pu.job].is_err() {
+                continue; // an earlier unit of this job already failed
+            }
+            match self.collect_unit(&jobs[pu.job], pu.unit, pu.plan, outputs) {
+                Ok(part) => parts[pu.job].push(part),
+                Err(e) => results[pu.job] = Err(e),
+            }
+        }
+        for (job_index, (job, part)) in jobs.iter().zip(parts).enumerate() {
+            if let (Ok(job), Ok(None)) = (job, &results[job_index]) {
+                results[job_index] = job.assemble(part).map(Some);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.map(|opt| opt.expect("every surviving job was assembled")))
             .collect()
     }
 
-    /// Runs every spec, failing fast on the first error (in input order).
+    /// Whether `unit` is rejected before branch execution (sampling on a
+    /// backend without sampling physics — the exhaustive dispatch lives
+    /// in [`Job::sampling_supported`]).
+    fn unit_rejected(&self, job: &Result<Job, FqError>, unit: &JobUnit) -> bool {
+        matches!(unit.role, UnitRole::Sample { .. })
+            && job.as_ref().is_ok_and(|j| !j.sampling_supported())
+    }
+
+    /// Turns one unit's branch results into an assembly part, surfacing
+    /// the unit's planning error, backend rejection, or first branch
+    /// error (by index).
+    fn collect_unit(
+        &self,
+        job: &Result<Job, FqError>,
+        unit: JobUnit,
+        plan: Result<ExecutionPlan, FqError>,
+        outputs: Vec<Result<BranchResult, FqError>>,
+    ) -> Result<(ExecutionPlan, UnitOutput), FqError> {
+        let plan = plan?;
+        if self.unit_rejected(job, &unit) {
+            return Err(noise_model_sampling_error());
+        }
+        let output = match unit.role {
+            UnitRole::Baseline | UnitRole::Frozen => {
+                let mut outcomes = Vec::with_capacity(outputs.len());
+                for r in outputs {
+                    match r? {
+                        BranchResult::Outcome(o) => outcomes.push(o),
+                        BranchResult::Samples(_) => unreachable!("analytic unit"),
+                    }
+                }
+                UnitOutput::Analytic(outcomes)
+            }
+            UnitRole::Sample { .. } => {
+                let mut samples = Vec::with_capacity(outputs.len());
+                for r in outputs {
+                    match r? {
+                        BranchResult::Samples(s) => samples.push(s),
+                        BranchResult::Outcome(_) => unreachable!("sampling unit"),
+                    }
+                }
+                UnitOutput::Samples(samples)
+            }
+        };
+        Ok((plan, output))
+    }
+
+    /// Runs every spec, then returns the first error in input order (the
+    /// whole batch still executes — jobs are independent).
     ///
     /// # Errors
     ///
     /// The first failing job's error.
     pub fn run_all(&mut self, specs: &[JobSpec]) -> Result<Vec<JobResult>, FqError> {
-        specs
-            .iter()
-            .map(|spec| spec.to_job()?.run_cached(&mut self.cache))
-            .collect()
+        self.run(specs).into_iter().collect()
     }
 
-    /// Number of distinct templates compiled so far across all jobs.
+    /// Number of distinct templates currently resident in the cache —
+    /// with the default unbounded cache, exactly the number of distinct
+    /// (shape, device, layers, options) keys compiled across all runs.
     #[must_use]
     pub fn templates_compiled(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Exact cache counters: hits, misses (= compiles), LRU evictions,
+    /// residency and bound.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 }
 
@@ -89,8 +328,9 @@ mod tests {
     }
 
     // `compile_invocations()` deltas are asserted in the dedicated
-    // `tests/batch_amortization.rs` process; here we check the cache's
-    // own bookkeeping and per-job error isolation.
+    // `tests/batch_amortization.rs` and `tests/batch_parallel.rs`
+    // processes; here we check the cache's own bookkeeping and per-job
+    // error isolation.
     #[test]
     fn batch_shares_templates_and_isolates_failures() {
         let good = frozen_spec(10, 2);
@@ -125,5 +365,36 @@ mod tests {
         let results = runner.run(&[frozen_spec(10, 2), frozen_spec(12, 2)]);
         assert!(results.iter().all(Result::is_ok));
         assert_eq!(runner.templates_compiled(), 2);
+    }
+
+    #[test]
+    fn thread_knob_is_deterministic() {
+        let specs: Vec<JobSpec> = (0..4).map(|s| frozen_spec(10, s)).collect();
+        let sequential = BatchRunner::new().with_threads(1).run(&specs);
+        for threads in [2usize, 5] {
+            let parallel = BatchRunner::new().with_threads(threads).run(&specs);
+            for (s, p) in sequential.iter().zip(&parallel) {
+                assert_eq!(
+                    s.as_ref().unwrap(),
+                    p.as_ref().unwrap(),
+                    "threads={threads} must not change results"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smuggled_noise_model_sampling_fails_like_the_backend() {
+        // The builder rejects this combination; a hand-built spec must
+        // fail identically through the batch engine.
+        let sampled = JobSpec {
+            backend: BackendSpec::NoiseModel,
+            kind: crate::JobKind::Sample { shots: 32 },
+            ..frozen_spec(10, 3)
+        };
+        let direct = sampled.to_job().unwrap().run().unwrap_err();
+        let mut runner = BatchRunner::new();
+        let batched = runner.run(std::slice::from_ref(&sampled));
+        assert_eq!(batched[0].as_ref().unwrap_err(), &direct);
     }
 }

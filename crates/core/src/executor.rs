@@ -13,14 +13,13 @@
 //! self-contained and results are aggregated in branch order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use fq_circuit::build_qaoa_circuit;
 use fq_ising::{OutputDistribution, Spin};
-use fq_sim::analytic::{expectation_p1, term_expectations_p1};
+use fq_sim::analytic::{expectation_from_terms_p1, term_expectations_p1};
 use fq_sim::{
-    fidelity_model, log_eps, noisy_expectation_from_terms, noisy_expectation_lightcone,
-    sample_noisy, NoisySamplerConfig,
+    fidelity_model, ising_expectation_from_terms, log_eps, noisy_expectation_from_terms,
+    noisy_expectation_lightcone, sample_noisy, NoisySamplerConfig,
 };
 use fq_transpile::Device;
 
@@ -144,11 +143,14 @@ pub trait Executor {
 pub enum ExecutorKind {
     /// Run branches in order on the caller's thread.
     Sequential,
-    /// Fan branches out across all available cores (the default: results
-    /// are identical to sequential, only faster).
+    /// Fan branches out across all available cores — or across
+    /// `FQ_THREADS` workers when that environment variable is set to an
+    /// integer ≥ 1 (see [`auto_threads`]). The default: results are
+    /// identical to sequential, only faster.
     #[default]
     Parallel,
-    /// Fan branches out across a fixed number of worker threads.
+    /// Fan branches out across a fixed number of worker threads
+    /// (ignores `FQ_THREADS`).
     Threads(usize),
 }
 
@@ -210,17 +212,42 @@ pub struct ParallelExecutor {
 }
 
 impl ParallelExecutor {
-    /// An executor using `threads` workers (0 = one per available core).
+    /// An executor using `threads` workers (0 = auto: the `FQ_THREADS`
+    /// environment override if set and valid, else one per available
+    /// core).
     #[must_use]
     pub fn new(threads: usize) -> ParallelExecutor {
         ParallelExecutor { threads }
     }
 
     fn effective_threads(&self, jobs: usize) -> usize {
-        let hw = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
-        let t = if self.threads == 0 { hw } else { self.threads };
+        let t = if self.threads == 0 {
+            auto_threads()
+        } else {
+            self.threads
+        };
         t.min(jobs).max(1)
     }
+}
+
+/// Resolves the automatic worker count used whenever a thread knob is 0:
+/// the `FQ_THREADS` environment variable if it parses as an integer ≥ 1
+/// (anything else — empty, non-numeric, or `0` — is ignored), otherwise
+/// one worker per available core.
+///
+/// This is the single override point for [`ExecutorKind::Parallel`] and
+/// the batch engine's auto mode, so one variable caps every pool in the
+/// process — the standard way to pin CI runners or share a box.
+#[must_use]
+pub fn auto_threads() -> usize {
+    if let Ok(raw) = std::env::var("FQ_THREADS") {
+        if let Ok(t) = raw.trim().parse::<usize>() {
+            if t >= 1 {
+                return t;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
 }
 
 impl Executor for ParallelExecutor {
@@ -266,34 +293,110 @@ fn par_map<T: Send>(
     if threads <= 1 || n <= 1 {
         return (0..n).map(job).collect();
     }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<T, FqError>>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let b = next.fetch_add(1, Ordering::Relaxed);
-                if b >= n {
-                    break;
-                }
-                let result = job(b);
-                *slots[b].lock().expect("branch slot lock") = Some(result);
-            });
-        }
-    });
     let mut out = Vec::with_capacity(n);
-    for slot in slots {
-        let result = slot
-            .into_inner()
-            .expect("branch slot lock")
-            .expect("every branch index was claimed by a worker");
+    for result in par_collect(threads, n, job) {
         out.push(result?);
     }
     Ok(out)
 }
 
+/// Runs `job` over `0..n` on `threads` scoped workers and returns all
+/// results in index order — the work-stealing primitive under both
+/// [`par_map`] and the batch engine's jobs×branches pool.
+///
+/// Workers claim indices from one shared atomic counter, so a slow item
+/// never serializes its successors; each result lands in a single
+/// pre-sized buffer through its claimed index (disjoint writes — no
+/// per-item lock, no per-item allocation).
+#[allow(unsafe_code)] // sole caller of `disjoint::Writer::write`; see the SAFETY note below
+pub(crate) fn par_collect<T: Send>(
+    threads: usize,
+    n: usize,
+    job: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let writer = disjoint::Writer::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = job(i);
+                // SAFETY: `i` came from `fetch_add` on a counter that
+                // starts at 0 and only grows, so every in-range index is
+                // claimed by exactly one worker — writes are disjoint —
+                // and `i < n` was checked above. The scope joins all
+                // workers before `slots` is read again.
+                unsafe { writer.write(i, value) };
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was claimed by a worker"))
+        .collect()
+}
+
+/// The one unsafe corner of the crate: a shared writer over a pre-sized
+/// `Option<T>` buffer whose callers guarantee index-disjoint writes.
+///
+/// Equivalent in spirit to `rayon`'s collect-into-vec plumbing (the
+/// offline toolchain has no rayon): claiming indices through an atomic
+/// counter makes each slot exclusively owned by one worker, so no
+/// per-slot lock is needed.
+#[allow(unsafe_code)]
+mod disjoint {
+    use std::marker::PhantomData;
+
+    pub(super) struct Writer<'a, T> {
+        ptr: *mut Option<T>,
+        len: usize,
+        _buf: PhantomData<&'a mut [Option<T>]>,
+    }
+
+    // SAFETY: sharing the writer across threads only permits `write`,
+    // whose contract makes all concurrent accesses disjoint; `T: Send`
+    // lets the written values cross threads.
+    unsafe impl<T: Send> Sync for Writer<'_, T> {}
+
+    impl<'a, T> Writer<'a, T> {
+        /// Wraps `buf`, borrowing it mutably for the writer's lifetime so
+        /// no safe code can alias the slots while workers write.
+        pub(super) fn new(buf: &'a mut [Option<T>]) -> Writer<'a, T> {
+            Writer {
+                ptr: buf.as_mut_ptr(),
+                len: buf.len(),
+                _buf: PhantomData,
+            }
+        }
+
+        /// Writes `value` into slot `i`.
+        ///
+        /// # Safety
+        ///
+        /// `i` must be in bounds and no two calls (across all threads) may
+        /// use the same `i`; the buffer must not be read until all writers
+        /// are joined. The overwritten `None` needs no drop.
+        pub(super) unsafe fn write(&self, i: usize, value: T) {
+            debug_assert!(i < self.len, "disjoint write out of bounds");
+            // SAFETY: in-bounds per the contract; exclusive access to this
+            // slot per the disjoint-index contract.
+            unsafe { self.ptr.add(i).write(Some(value)) };
+        }
+    }
+}
+
 /// The shared per-branch analytic job: optimize, instantiate from the
-/// template, evaluate.
-fn execute_branch(
+/// template, evaluate. (`pub(crate)`: the batch engine drives branches
+/// directly through its flattened jobs×branches pool.)
+pub(crate) fn execute_branch(
     plan: &ExecutionPlan,
     branch: usize,
     device: &Device,
@@ -307,16 +410,20 @@ fn execute_branch(
     // Instantiate from the shared template: angle editing only, no
     // layout/routing/scheduling work.
     let compiled = plan.template_for(branch).edit_for(model)?;
+    // The per-term expectations are computed once; the scalar ideal
+    // expectation is assembled from them bit-identically instead of a
+    // second full evaluation (the old two-call path recomputed every
+    // trigonometric factor).
     let (ev_ideal, z, zz) = if p == 1 {
-        let ev = expectation_p1(model, gammas[0], betas[0])?;
         let (z, zz) = term_expectations_p1(model, gammas[0], betas[0])?;
+        let ev = expectation_from_terms_p1(model, &z, &zz)?;
         (ev, z, zz)
     } else {
         let qc = build_qaoa_circuit(model, p)?;
         let bound = qc.bind(&gammas, &betas)?;
         let sv = fq_sim::run_circuit(&bound)?;
         let (z, zz) = sv.term_expectations(model)?;
-        let ev = sv.expectation_ising(model)?;
+        let ev = ising_expectation_from_terms(model, &z, &zz)?;
         (ev, z, zz)
     };
     let ev_noisy = match noise {
@@ -343,7 +450,7 @@ fn execute_branch(
 
 /// The shared per-branch sampling job: optimize, instantiate, sample,
 /// decode (with pruned-partner inference).
-fn sample_branch(
+pub(crate) fn sample_branch(
     plan: &ExecutionPlan,
     branch: usize,
     device: &Device,
@@ -438,6 +545,49 @@ mod tests {
         assert_eq!(ParallelExecutor::new(7).effective_threads(2), 2);
         assert_eq!(ParallelExecutor::new(2).effective_threads(16), 2);
         assert!(ParallelExecutor::new(0).effective_threads(64) >= 1);
+        // An explicit thread count always wins over the env override.
+        assert!(auto_threads() >= 1);
+    }
+
+    #[test]
+    fn par_collect_preserves_index_order() {
+        assert_eq!(
+            par_collect(4, 64, |i| i * 3),
+            (0..64).map(|i| i * 3).collect::<Vec<_>>()
+        );
+        assert_eq!(par_collect(4, 0, |i| i), Vec::<usize>::new());
+    }
+
+    // The old `execute_branch` evaluated the ideal expectation twice —
+    // once as a scalar, once per term. The single-pass assembly must be
+    // bit-identical to that two-call path, at p = 1 and p ≥ 2.
+    #[test]
+    fn single_pass_ev_matches_the_old_two_call_path() {
+        use fq_sim::analytic::expectation_p1;
+        let device = Device::ibm_montreal();
+        for (p, n) in [(1usize, 12usize), (2, 10)] {
+            let parent = ba_model(n, 17);
+            let cfg = FrozenQubitsConfig {
+                layers: p,
+                ..FrozenQubitsConfig::with_frozen(2)
+            };
+            let plan = plan_execution(&parent, &device, &cfg).unwrap();
+            for b in 0..plan.num_branches() {
+                let out = execute_branch(&plan, b, &device, &cfg, NoiseEval::Lightcone).unwrap();
+                let model = plan.branch(b).problem.model();
+                let old_ev = if p == 1 {
+                    expectation_p1(model, out.gammas[0], out.betas[0]).unwrap()
+                } else {
+                    let qc = build_qaoa_circuit(model, p).unwrap();
+                    let bound = qc.bind(&out.gammas, &out.betas).unwrap();
+                    fq_sim::run_circuit(&bound)
+                        .unwrap()
+                        .expectation_ising(model)
+                        .unwrap()
+                };
+                assert_eq!(out.ev_ideal, old_ev, "p={p} branch {b}");
+            }
+        }
     }
 
     #[test]

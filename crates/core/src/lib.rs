@@ -61,7 +61,10 @@
 //! # Ok::<(), frozenqubits::FqError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// documented disjoint-write result buffer in `executor::disjoint`, which
+// opts in explicitly with `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adaptive;
@@ -88,8 +91,8 @@ pub use error::FqError;
 #[allow(deprecated)]
 pub use error::FrozenQubitsError;
 pub use executor::{
-    BranchOutcome, BranchSamples, Executor, ExecutorKind, NoiseEval, ParallelExecutor,
-    SequentialExecutor,
+    auto_threads, BranchOutcome, BranchSamples, Executor, ExecutorKind, NoiseEval,
+    ParallelExecutor, SequentialExecutor,
 };
 pub use hotspot::{edges_eliminated, select_hotspots, HotspotStrategy};
 pub use partition::{partition_problem, Partition, SubproblemExec};
@@ -101,7 +104,7 @@ pub use pipeline::{
 };
 pub use plan::{
     plan_execution, plan_execution_cached, plan_from_partition, plan_from_partition_cached,
-    ExecutionPlan, ShapeSignature, TemplateCache,
+    CacheStats, ExecutionPlan, ShapeSignature, TemplateCache,
 };
 #[allow(deprecated)]
 pub use solve::solve_with_sampling;

@@ -12,9 +12,9 @@
 
 use fq_circuit::{build_qaoa_circuit, qaoa_cnot_count};
 use fq_ising::IsingModel;
-use fq_optim::{grid_scan_2d, nelder_mead, NelderMeadOptions};
-use fq_sim::analytic::{expectation_p1, term_expectations_p1};
-use fq_sim::{log_eps, noisy_expectation_lightcone};
+use fq_optim::{grid_scan_2d_hoisted, nelder_mead, NelderMeadOptions};
+use fq_sim::analytic::{expectation_from_terms_p1, term_expectations_p1, PreparedP1};
+use fq_sim::{ising_expectation_from_terms, log_eps, noisy_expectation_lightcone};
 use fq_transpile::{compile, Compiled, Device};
 use serde::{Deserialize, Serialize};
 
@@ -121,18 +121,23 @@ pub fn optimize_parameters(
         // Constant objective; any angles do.
         return Ok((0.0, 0.0));
     }
-    let objective = |g: f64, b: f64| expectation_p1(model, g, b).expect("valid model");
+    // Gather the model's coupling structure once; every subsequent
+    // evaluation is allocation-free, and the grid scan additionally hoists
+    // all γ-only trigonometry out of each β row. Both paths are
+    // bit-identical to evaluating `expectation_p1` per point.
+    let prepared = PreparedP1::new(model);
     let half_pi = std::f64::consts::FRAC_PI_2;
     let quarter_pi = std::f64::consts::FRAC_PI_4;
-    let scan = grid_scan_2d(
-        objective,
+    let scan = grid_scan_2d_hoisted(
+        |g| prepared.row(g),
+        |row, b| row.at(b),
         (-half_pi, half_pi),
         (-quarter_pi, quarter_pi),
         grid_resolution.max(5),
     );
     let (g0, b0) = scan.best_params();
     let polished = nelder_mead(
-        |p: &[f64]| objective(p[0], p[1]),
+        |p: &[f64]| prepared.at(p[0], p[1]),
         &[g0, b0],
         &NelderMeadOptions {
             max_evaluations: 400,
@@ -214,15 +219,17 @@ pub fn execute_problem(
     let (gammas, betas) = optimize_parameters_multilayer(model, p, config.param_grid)?;
     let qc = build_qaoa_circuit(model, p)?;
     let compiled = compile(&qc, device, config.compile)?;
+    // One pass over the terms; the scalar expectation is assembled from
+    // them bit-identically instead of a second full evaluation.
     let (ev_ideal, z, zz) = if p == 1 {
-        let ev = expectation_p1(model, gammas[0], betas[0])?;
         let (z, zz) = term_expectations_p1(model, gammas[0], betas[0])?;
+        let ev = expectation_from_terms_p1(model, &z, &zz)?;
         (ev, z, zz)
     } else {
         let bound = qc.bind(&gammas, &betas)?;
         let sv = fq_sim::run_circuit(&bound)?;
         let (z, zz) = sv.term_expectations(model)?;
-        let ev = sv.expectation_ising(model)?;
+        let ev = ising_expectation_from_terms(model, &z, &zz)?;
         (ev, z, zz)
     };
     let ev_noisy = noisy_expectation_lightcone(model, &z, &zz, &compiled, device)?;
@@ -402,6 +409,7 @@ pub fn compare(
 mod tests {
     use super::*;
     use fq_graphs::{gen, to_ising_pm1};
+    use fq_sim::analytic::expectation_p1;
 
     fn ba_model(n: usize, seed: u64) -> IsingModel {
         to_ising_pm1(&gen::barabasi_albert(n, 1, seed).unwrap(), seed)

@@ -12,6 +12,8 @@
 //! execution can fan out across cores.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use fq_ising::IsingModel;
 use fq_transpile::{CompileOptions, Device};
@@ -189,7 +191,7 @@ pub fn plan_execution_cached(
     model: &IsingModel,
     device: &Device,
     config: &FrozenQubitsConfig,
-    cache: &mut TemplateCache,
+    cache: &TemplateCache,
 ) -> Result<ExecutionPlan, FqError> {
     let hotspots = select_hotspots(model, config.num_frozen, &config.hotspots)?;
     let partition = partition_problem(model, &hotspots, config.prune_symmetric)?;
@@ -208,7 +210,7 @@ pub fn plan_from_partition(
     device: &Device,
     config: &FrozenQubitsConfig,
 ) -> Result<ExecutionPlan, FqError> {
-    plan_from_partition_cached(model, partition, device, config, &mut TemplateCache::new())
+    plan_from_partition_cached(model, partition, device, config, &TemplateCache::new())
 }
 
 /// [`plan_from_partition`] with an external [`TemplateCache`].
@@ -221,7 +223,7 @@ pub fn plan_from_partition_cached(
     partition: Partition,
     device: &Device,
     config: &FrozenQubitsConfig,
-    cache: &mut TemplateCache,
+    cache: &TemplateCache,
 ) -> Result<ExecutionPlan, FqError> {
     // Group branches by structural shape; compile (or fetch) one template
     // per group.
@@ -255,19 +257,81 @@ pub fn plan_from_partition_cached(
     })
 }
 
-/// A cross-plan store of compiled templates, keyed by everything that
-/// determines the compiled artifact: sub-circuit [`ShapeSignature`],
-/// device identity (name **plus** a fingerprint of topology and
-/// calibration, so two different `Device::uniform`/`Device::ideal`
-/// models sharing a name cannot collide), QAOA layer count and
-/// [`CompileOptions`].
+/// A concurrent cross-plan store of compiled templates, keyed by
+/// everything that determines the compiled artifact: sub-circuit
+/// [`ShapeSignature`], device identity (name **plus** a fingerprint of
+/// topology and calibration, so two different
+/// `Device::uniform`/`Device::ideal` models sharing a name cannot
+/// collide), QAOA layer count and [`CompileOptions`].
 ///
 /// Templates are pre-binding (no angles baked in), so one cached entry
 /// serves every job whose sub-problems share the shape, regardless of
 /// coefficient values or sampling seeds.
-#[derive(Clone, Debug, Default)]
+///
+/// # Concurrency
+///
+/// The map is sharded by key hash behind `RwLock`s, so lookups of
+/// different templates never contend. Each key carries a **once-compile**
+/// slot: the first thread to reach a missing key compiles while holding
+/// only that key's mutex, concurrent requests for the *same* key block on
+/// it and then share the result (never compiling twice — observable via
+/// [`fq_transpile::compile_invocations`]), and requests for *other* keys
+/// proceed untouched. A failed compile is not cached: the entry is
+/// removed, the first requester gets the error, and any concurrent
+/// same-key waiters retry from scratch.
+///
+/// # Bounding
+///
+/// [`TemplateCache::with_capacity`] turns on an LRU bound for
+/// long-running services: once more than `capacity` templates are
+/// resident, the least-recently-used completed entry is evicted.
+/// [`TemplateCache::stats`] exposes exact hit/miss/eviction counters.
+#[derive(Debug)]
 pub struct TemplateCache {
-    entries: HashMap<TemplateKey, CompiledTemplate>,
+    shards: Vec<RwLock<HashMap<TemplateKey, Arc<TemplateEntry>>>>,
+    capacity: Option<usize>,
+    /// Monotonic logical clock stamping every access for LRU ordering.
+    clock: AtomicU64,
+    /// Number of resident completed templates (the public `len`).
+    resident: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Exact operation counters of a [`TemplateCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheStats {
+    /// Lookups served from an already-compiled template (including
+    /// lookups that waited for a concurrent in-flight compile).
+    pub hits: u64,
+    /// Lookups that had to compile (successful or not).
+    pub misses: u64,
+    /// Templates evicted by the LRU bound.
+    pub evictions: u64,
+    /// Templates currently resident.
+    pub len: usize,
+    /// The LRU bound, if one is set.
+    pub capacity: Option<usize>,
+}
+
+/// One key's slot. `Pending` means the creating thread is compiling under
+/// the entry mutex; `Failed` marks an entry orphaned by a failed compile
+/// so waiters know to retry a fresh lookup. `Ready` entries never change
+/// again. (Boxed: the slot spends its life as a slim `Pending`/`Failed`
+/// tag far more often than it pays the template's footprint.)
+#[derive(Debug)]
+enum Slot {
+    Pending,
+    Ready(Box<CompiledTemplate>),
+    Failed,
+}
+
+#[derive(Debug)]
+struct TemplateEntry {
+    slot: Mutex<Slot>,
+    last_used: AtomicU64,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -303,27 +367,78 @@ fn device_fingerprint(device: &Device) -> u64 {
     h.finish()
 }
 
+/// Shard count: enough to make cross-key contention negligible on large
+/// machines while keeping the LRU eviction scan trivial.
+const CACHE_SHARDS: usize = 16;
+
+impl Default for TemplateCache {
+    fn default() -> TemplateCache {
+        TemplateCache::new()
+    }
+}
+
 impl TemplateCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     #[must_use]
     pub fn new() -> TemplateCache {
-        TemplateCache::default()
+        TemplateCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            capacity: None,
+            clock: AtomicU64::new(0),
+            resident: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
     }
 
-    /// Number of distinct templates compiled so far.
+    /// An empty cache holding at most `capacity` templates, evicting the
+    /// least-recently-used one beyond that. `capacity = 0` disables
+    /// caching entirely (every template is evicted right after use) —
+    /// legal, but only useful for measuring the uncached baseline.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> TemplateCache {
+        TemplateCache {
+            capacity: Some(capacity),
+            ..TemplateCache::new()
+        }
+    }
+
+    /// Number of distinct templates currently resident.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.resident.load(Ordering::Relaxed)
     }
 
-    /// Whether the cache holds no templates yet.
+    /// Whether the cache holds no templates.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
+    }
+
+    /// Exact operation counters (hits, misses, evictions, residency).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    fn shard_of(&self, key: &TemplateKey) -> usize {
+        use std::hash::{Hash as _, Hasher as _};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
     }
 
     fn get_or_compile(
-        &mut self,
+        &self,
         shape: &ShapeSignature,
         representative: &IsingModel,
         layers: usize,
@@ -337,12 +452,117 @@ impl TemplateCache {
             layers,
             options,
         };
-        if let Some(hit) = self.entries.get(&key) {
-            return Ok(hit.clone());
+        let shard = &self.shards[self.shard_of(&key)];
+        loop {
+            let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+            // Fast path: the key exists (read lock only).
+            let entry = shard.read().expect("cache shard lock").get(&key).cloned();
+            let entry = match entry {
+                Some(entry) => entry,
+                None => {
+                    let mut map = shard.write().expect("cache shard lock");
+                    map.entry(key.clone())
+                        .or_insert_with(|| {
+                            Arc::new(TemplateEntry {
+                                slot: Mutex::new(Slot::Pending),
+                                last_used: AtomicU64::new(stamp),
+                            })
+                        })
+                        .clone()
+                }
+            };
+            entry.last_used.store(stamp, Ordering::Relaxed);
+            // The per-key once-compile gate: whoever acquires the slot
+            // first and finds it `Pending` compiles while holding it;
+            // everyone else blocks here (on this key only) and shares the
+            // outcome.
+            let mut slot = entry.slot.lock().expect("template slot lock");
+            match &*slot {
+                Slot::Ready(template) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((**template).clone());
+                }
+                Slot::Failed => {
+                    // The compile we waited on failed and the entry was
+                    // removed from the map; retry against a fresh entry.
+                    drop(slot);
+                    continue;
+                }
+                Slot::Pending => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    match CompiledTemplate::compile(representative, layers, device, options) {
+                        Ok(template) => {
+                            *slot = Slot::Ready(Box::new(template.clone()));
+                            // Count while still holding the slot lock: an
+                            // evictor skips locked entries, so no entry is
+                            // ever evictable before it is counted.
+                            self.resident.fetch_add(1, Ordering::Relaxed);
+                            drop(slot);
+                            self.enforce_capacity();
+                            return Ok(template);
+                        }
+                        Err(e) => {
+                            *slot = Slot::Failed;
+                            drop(slot);
+                            let mut map = shard.write().expect("cache shard lock");
+                            // Remove only our own entry — a concurrent
+                            // retry may already have replaced it.
+                            if map.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, &entry)) {
+                                map.remove(&key);
+                            }
+                            return Err(e);
+                        }
+                    }
+                }
+            }
         }
-        let template = CompiledTemplate::compile(representative, layers, device, options)?;
-        self.entries.insert(key, template.clone());
-        Ok(template)
+    }
+
+    /// Evicts least-recently-used completed templates until the resident
+    /// count respects the capacity bound.
+    fn enforce_capacity(&self) {
+        let Some(capacity) = self.capacity else {
+            return;
+        };
+        while self.resident.load(Ordering::Relaxed) > capacity {
+            // Scan for the oldest completed entry. In-flight entries
+            // (slot mutex held by a compiling thread) are skipped — they
+            // are not resident yet. Locked-but-counted entries can only
+            // be momentarily mid-publication (the count is taken while
+            // the slot lock is still held), so skipping them merely
+            // delays their eligibility to the next pass.
+            let mut victim: Option<(u64, usize, TemplateKey, Arc<TemplateEntry>)> = None;
+            for (si, shard) in self.shards.iter().enumerate() {
+                let map = shard.read().expect("cache shard lock");
+                for (key, entry) in map.iter() {
+                    let Ok(slot) = entry.slot.try_lock() else {
+                        continue;
+                    };
+                    if !matches!(&*slot, Slot::Ready(_)) {
+                        continue;
+                    }
+                    let stamp = entry.last_used.load(Ordering::Relaxed);
+                    if victim.as_ref().is_none_or(|&(s, ..)| stamp < s) {
+                        victim = Some((stamp, si, key.clone(), Arc::clone(entry)));
+                    }
+                }
+            }
+            let Some((_, si, key, entry)) = victim else {
+                return;
+            };
+            let mut map = self.shards[si].write().expect("cache shard lock");
+            // Remove only the exact entry we selected: a concurrent
+            // evictor may have removed it already and a fresh (possibly
+            // still Pending, uncounted) entry may have taken the key.
+            // `Ready` entries never change state again, so an identity
+            // match guarantees we un-reside exactly one counted template;
+            // on a mismatch the loop simply rescans.
+            if map.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, &entry)) {
+                map.remove(&key);
+                self.resident.fetch_sub(1, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -394,15 +614,85 @@ mod tests {
         // fingerprint must keep their templates apart.
         let model = ba_model(6, 5);
         let cfg = FrozenQubitsConfig::with_frozen(1);
-        let mut cache = TemplateCache::new();
+        let cache = TemplateCache::new();
         let d1 = Device::ideal("x", fq_transpile::Topology::linear(10).unwrap());
         let d2 = Device::ideal("x", fq_transpile::Topology::grid(3, 4).unwrap());
-        plan_execution_cached(&model, &d1, &cfg, &mut cache).unwrap();
+        plan_execution_cached(&model, &d1, &cfg, &cache).unwrap();
         assert_eq!(cache.len(), 1);
-        plan_execution_cached(&model, &d2, &cfg, &mut cache).unwrap();
+        plan_execution_cached(&model, &d2, &cfg, &cache).unwrap();
         assert_eq!(cache.len(), 2, "same name, different device: no collision");
-        plan_execution_cached(&model, &d1, &cfg, &mut cache).unwrap();
+        plan_execution_cached(&model, &d1, &cfg, &cache).unwrap();
         assert_eq!(cache.len(), 2, "identical device still hits the cache");
+    }
+
+    #[test]
+    fn cache_stats_are_exact_and_lru_bound_is_respected() {
+        let cfg = FrozenQubitsConfig::with_frozen(1);
+        let device = Device::ibm_montreal();
+        let cache = TemplateCache::with_capacity(2);
+        let models: Vec<IsingModel> = [(8usize, 1u64), (10, 1), (12, 1)]
+            .iter()
+            .map(|&(n, s)| ba_model(n, s))
+            .collect();
+        // Three distinct shapes through a 2-slot cache: 3 misses, then the
+        // oldest (8-var) shape is evicted.
+        for m in &models {
+            plan_execution_cached(m, &device, &cfg, &cache).unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 3, 1));
+        assert_eq!(s.len, 2);
+        assert_eq!(s.capacity, Some(2));
+
+        // The two resident shapes hit; re-planning the evicted one is a
+        // miss that now evicts the 10-var shape (least recently used).
+        plan_execution_cached(&models[1], &device, &cfg, &cache).unwrap();
+        plan_execution_cached(&models[2], &device, &cfg, &cache).unwrap();
+        assert_eq!(cache.stats().hits, 2);
+        plan_execution_cached(&models[0], &device, &cfg, &cache).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (2, 4, 2));
+        assert_eq!(s.len, 2);
+        // 10-var was the LRU at eviction time: planning it again misses.
+        plan_execution_cached(&models[1], &device, &cfg, &cache).unwrap();
+        assert_eq!(cache.stats().misses, 5);
+        assert!(cache.len() <= 2, "bound must hold after every operation");
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_compile_once() {
+        // 8 threads race to plan the same shape on one shared cache; the
+        // per-key once-compile slot must let exactly one of them compile.
+        // (Asserted via the cache's own counters — `compile_invocations`
+        // is process-global and would race with sibling unit tests; the
+        // dedicated `tests/batch_parallel.rs` process pins the global
+        // counter too.)
+        let model = ba_model(12, 2);
+        let cfg = FrozenQubitsConfig::with_frozen(2);
+        let device = Device::ibm_montreal();
+        let cache = TemplateCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| plan_execution_cached(&model, &device, &cfg, &cache).unwrap());
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "one compile for 8 concurrent same-key jobs");
+        assert_eq!(s.hits, 7);
+        assert_eq!(s.len, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let model = ba_model(8, 9);
+        let cfg = FrozenQubitsConfig::with_frozen(1);
+        let device = Device::ibm_montreal();
+        let cache = TemplateCache::with_capacity(0);
+        plan_execution_cached(&model, &device, &cfg, &cache).unwrap();
+        plan_execution_cached(&model, &device, &cfg, &cache).unwrap();
+        let s = cache.stats();
+        assert!(cache.is_empty());
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 2, 2));
     }
 
     #[test]

@@ -114,7 +114,10 @@ impl OutputDistribution {
         Ok(acc / self.total as f64)
     }
 
-    /// The lowest-energy outcome observed and its energy.
+    /// The lowest-energy outcome observed and its energy. Energy ties go
+    /// to the lexicographically smallest outcome, so the result never
+    /// depends on the map's iteration order (two runs recording the same
+    /// outcomes always agree, whatever order they saw them in).
     ///
     /// # Errors
     ///
@@ -124,7 +127,11 @@ impl OutputDistribution {
         let mut best: Option<(SpinVec, f64)> = None;
         for (z, _) in self.iter() {
             let e = model.energy(z)?;
-            if best.as_ref().is_none_or(|(_, be)| e < *be) {
+            let better = match &best {
+                None => true,
+                Some((bz, be)) => e < *be || (e == *be && z < bz),
+            };
+            if better {
                 best = Some((z.clone(), e));
             }
         }
@@ -255,6 +262,26 @@ mod tests {
         );
         // Symmetric model ⇒ identical expectation on the flipped distribution.
         assert!((d.expectation(&m).unwrap() - f.expectation(&m).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_breaks_energy_ties_deterministically() {
+        // A zero-coupling model makes every outcome's energy 0: all four
+        // outcomes tie, so only the lexicographic rule can decide —
+        // independent of the backing map's iteration order.
+        let m = IsingModel::new(2);
+        for _ in 0..8 {
+            // Fresh maps get fresh hash seeds; the answer must not move.
+            let mut d = OutputDistribution::new(2);
+            for bits in [[1, 1], [0, 1], [1, 0], [0, 0]] {
+                d.record(SpinVec::from_bits(&bits), 1);
+            }
+            let (z, e) = d.best(&m).unwrap();
+            // Smallest by `SpinVec`'s ordering: DOWN (−1, bit 1) sorts
+            // before UP (+1, bit 0), so the all-down outcome wins.
+            assert_eq!(z, SpinVec::from_bits(&[1, 1]));
+            assert_eq!(e, 0.0);
+        }
     }
 
     #[test]

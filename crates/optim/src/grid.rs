@@ -71,6 +71,41 @@ pub fn grid_scan_2d(
     beta_range: (f64, f64),
     resolution: usize,
 ) -> GridScan {
+    grid_scan_2d_hoisted(|g| g, |&g, b| f(g, b), gamma_range, beta_range, resolution)
+}
+
+/// [`grid_scan_2d`] with per-row hoisting: `prepare_row` runs **once per
+/// γ row** and its output is handed to `f` for every β point in that row.
+///
+/// The scan visits points in the same row-major order and with the same
+/// strict-improvement tie-breaking as [`grid_scan_2d`], so for any
+/// `(prepare_row, f)` factoring of a plain objective the resulting
+/// [`GridScan`] is identical — only the redundant per-point recomputation
+/// of row-invariant work is gone. The QAOA p = 1 objective is the
+/// motivating case: all of its trigonometric structure depends on γ only,
+/// so a `resolution²` scan collapses to `resolution` expensive row setups
+/// plus cheap per-β assembly (`fq_sim::analytic::PreparedP1::row`).
+///
+/// # Panics
+///
+/// Panics if `resolution < 2` or a range is reversed.
+///
+/// # Example
+///
+/// ```
+/// use fq_optim::grid_scan_2d_hoisted;
+///
+/// // f(γ, β) = exp(γ) · β — hoist the exp out of the inner loop.
+/// let scan = grid_scan_2d_hoisted(f64::exp, |eg, b| eg * b, (0.0, 1.0), (-1.0, 1.0), 11);
+/// assert_eq!(scan.best_params(), (1.0, -1.0));
+/// ```
+pub fn grid_scan_2d_hoisted<R>(
+    mut prepare_row: impl FnMut(f64) -> R,
+    mut f: impl FnMut(&R, f64) -> f64,
+    gamma_range: (f64, f64),
+    beta_range: (f64, f64),
+    resolution: usize,
+) -> GridScan {
     assert!(
         resolution >= 2,
         "grid scan needs at least 2 points per axis"
@@ -89,9 +124,10 @@ pub fn grid_scan_2d(
     let mut values = Vec::with_capacity(resolution);
     let mut best = (0usize, 0usize, f64::INFINITY);
     for (i, &g) in gammas.iter().enumerate() {
+        let row_ctx = prepare_row(g);
         let mut row = Vec::with_capacity(resolution);
         for (j, &b) in betas.iter().enumerate() {
-            let v = f(g, b);
+            let v = f(&row_ctx, b);
             if v < best.2 {
                 best = (i, j, v);
             }
@@ -132,6 +168,25 @@ mod tests {
         assert_eq!(flat.contrast(), 0.0);
         let bowl = grid_scan_2d(|g, b| g + b, (0.0, 1.0), (0.0, 1.0), 5);
         assert_eq!(bowl.contrast(), 2.0);
+    }
+
+    #[test]
+    fn hoisted_scan_matches_plain_scan_exactly() {
+        let f = |g: f64, b: f64| (g * 3.7).sin() * (b + 0.2).cos() + g * b;
+        let plain = grid_scan_2d(f, (-1.5, 1.5), (-0.7, 0.7), 17);
+        let mut rows = 0usize;
+        let hoisted = grid_scan_2d_hoisted(
+            |g| {
+                rows += 1;
+                ((g * 3.7).sin(), g)
+            },
+            |&(sg, g), b| sg * (b + 0.2).cos() + g * b,
+            (-1.5, 1.5),
+            (-0.7, 0.7),
+            17,
+        );
+        assert_eq!(plain, hoisted, "hoisting must not change a single bit");
+        assert_eq!(rows, 17, "one row setup per γ, not per point");
     }
 
     #[test]

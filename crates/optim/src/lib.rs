@@ -33,7 +33,7 @@ mod grid;
 mod nm;
 mod spsa;
 
-pub use grid::{grid_scan_2d, GridScan};
+pub use grid::{grid_scan_2d, grid_scan_2d_hoisted, GridScan};
 pub use nm::{nelder_mead, NelderMeadOptions};
 pub use spsa::{spsa, SpsaOptions};
 

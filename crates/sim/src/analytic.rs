@@ -188,6 +188,287 @@ pub fn term_expectations_p1(
     Ok((z, zz))
 }
 
+/// Assembles the full p = 1 expectation from already-computed per-term
+/// expectations — the output of [`term_expectations_p1`] — in **exactly**
+/// the accumulation order of [`expectation_p1`], so the result is
+/// bit-identical to a direct evaluation without re-deriving any term.
+///
+/// This is the hot-path half of the old
+/// `expectation_p1` + `term_expectations_p1` double evaluation: callers
+/// that need both the scalar and the terms now compute the terms once and
+/// assemble the scalar for free.
+///
+/// # Errors
+///
+/// Returns [`SimError::WidthMismatch`] when `z` does not match the
+/// model's variable count and [`SimError::InvalidParameters`] when `zz`
+/// does not match its coupling count.
+pub fn expectation_from_terms_p1(
+    model: &IsingModel,
+    z: &[f64],
+    zz: &[f64],
+) -> Result<f64, SimError> {
+    if z.len() != model.num_vars() {
+        return Err(SimError::WidthMismatch {
+            circuit: z.len(),
+            state: model.num_vars(),
+        });
+    }
+    if zz.len() != model.num_couplings() {
+        return Err(SimError::InvalidParameters(format!(
+            "{} coupling expectations for a model with {} couplings",
+            zz.len(),
+            model.num_couplings()
+        )));
+    }
+    let mut ev = model.offset();
+    for (i, hi) in model.linears() {
+        // `expectation_p1` skips exact-zero linear terms; mirror that so
+        // the accumulation sequence (and hence every bit) matches.
+        if hi != 0.0 {
+            ev += hi * z[i];
+        }
+    }
+    for ((_, jij), zzk) in model.couplings().zip(zz.iter()) {
+        ev += jij * zzk;
+    }
+    Ok(ev)
+}
+
+/// A model preprocessed for repeated p = 1 analytic evaluation.
+///
+/// [`expectation_z`] and [`expectation_zz`] re-gather the model's coupling
+/// structure on **every call** — an `O(n)` dense scatter per `⟨Z_aZ_b⟩`
+/// term — which dominates the parameter-optimization hot path (a grid
+/// scan plus Nelder–Mead evaluates the same model thousands of times).
+/// `PreparedP1` gathers that structure once; each subsequent evaluation is
+/// `O(Σ deg)` with zero allocation, and [`PreparedP1::row`] additionally
+/// hoists every γ-only subexpression out of a β sweep (the row axis of a
+/// [`grid_scan_2d`](../../fq_optim/fn.grid_scan_2d.html)-style scan).
+///
+/// Every evaluation is **bit-identical** to the unprepared functions: the
+/// preprocessing only reorders *when* subexpressions are computed, never
+/// the floating-point operation order within them (pinned by tests).
+#[derive(Clone, Debug)]
+pub struct PreparedP1<'m> {
+    model: &'m IsingModel,
+    offset: f64,
+    /// Vars with a nonzero linear term, in [`IsingModel::linears`] order:
+    /// `(index, h_a, incident couplings in coupling-iteration order)`.
+    lin: Vec<(usize, f64, Vec<f64>)>,
+    /// One record per coupling, in [`IsingModel::couplings`] order.
+    coup: Vec<PreparedPair>,
+}
+
+/// Preprocessed structure of one `⟨Z_aZ_b⟩` term.
+#[derive(Clone, Debug)]
+struct PreparedPair {
+    j_ab: f64,
+    h_a: f64,
+    h_b: f64,
+    /// Third-spin couplings `(J_ac, J_bc)` for every `c` (ascending) with
+    /// at least one of the two nonzero — the traversal order of the
+    /// dense `0..n` loops in [`expectation_zz`].
+    third: Vec<(f64, f64)>,
+}
+
+/// The γ-dependent factors of one row of a `(γ, β)` scan, produced by
+/// [`PreparedP1::row`]; evaluate points along the row with
+/// [`P1Row::at`].
+#[derive(Clone, Debug)]
+pub struct P1Row {
+    offset: f64,
+    /// Per nonzero-linear var: `(h_a, sin(2γ·h_a), Π cos(2γ·J_inc))`.
+    lin: Vec<(f64, f64, f64)>,
+    /// Per coupling: `(J_ab, sin(2γ·J_ab), chain_a + chain_b, D)` where
+    /// `D = cos(2γ(h_a+h_b))·F⁺ − cos(2γ(h_a−h_b))·F⁻`.
+    coup: Vec<(f64, f64, f64, f64)>,
+}
+
+impl<'m> PreparedP1<'m> {
+    /// Preprocesses `model` (one `O(|J|·n)` pass — about the cost of a
+    /// single unprepared evaluation).
+    #[must_use]
+    pub fn new(model: &'m IsingModel) -> PreparedP1<'m> {
+        let n = model.num_vars();
+        let lin: Vec<(usize, f64, Vec<f64>)> = model
+            .linears()
+            .filter(|&(_, hi)| hi != 0.0)
+            .map(|(a, hi)| {
+                // The incident-coupling product of `expectation_z`, in
+                // coupling-iteration order.
+                let adj: Vec<f64> = model
+                    .couplings()
+                    .filter(|&((i, j), _)| i == a || j == a)
+                    .map(|(_, jij)| jij)
+                    .collect();
+                (a, hi, adj)
+            })
+            .collect();
+        let coup = model
+            .couplings()
+            .map(|((a, b), _)| {
+                // Reproduce the dense gather of `expectation_zz` exactly,
+                // then keep only the rows its loops would touch.
+                let mut j_ac = vec![0.0f64; n];
+                let mut j_bc = vec![0.0f64; n];
+                let mut j_ab = 0.0f64;
+                for ((i, j), jij) in model.couplings() {
+                    if (i, j) == (a.min(b), a.max(b)) {
+                        j_ab = jij;
+                    } else if i == a {
+                        j_ac[j] = jij;
+                    } else if j == a {
+                        j_ac[i] = jij;
+                    } else if i == b {
+                        j_bc[j] = jij;
+                    } else if j == b {
+                        j_bc[i] = jij;
+                    }
+                }
+                let third = (0..n)
+                    .filter(|&c| c != a && c != b && (j_ac[c] != 0.0 || j_bc[c] != 0.0))
+                    .map(|c| (j_ac[c], j_bc[c]))
+                    .collect();
+                PreparedPair {
+                    j_ab,
+                    h_a: model.linear(a),
+                    h_b: model.linear(b),
+                    third,
+                }
+            })
+            .collect();
+        PreparedP1 {
+            model,
+            offset: model.offset(),
+            lin,
+            coup,
+        }
+    }
+
+    /// The model this evaluator was prepared from.
+    #[must_use]
+    pub fn model(&self) -> &'m IsingModel {
+        self.model
+    }
+
+    /// `⟨C⟩` at `(γ, β)` — bit-identical to [`expectation_p1`], without
+    /// re-gathering the model structure or allocating.
+    #[must_use]
+    pub fn at(&self, gamma: f64, beta: f64) -> f64 {
+        let s2b = (2.0 * beta).sin();
+        let s4b = (4.0 * beta).sin();
+        let mut ev = self.offset;
+        for (_, hi, adj) in &self.lin {
+            let (sgh, prod) = Self::lin_gamma(gamma, *hi, adj);
+            ev += hi * ((s2b * sgh) * prod);
+        }
+        for pair in &self.coup {
+            let (sj, chains, d) = Self::pair_gamma(gamma, pair);
+            ev += pair.j_ab * (((0.5 * s4b) * sj) * chains + ((-0.5 * s2b) * s2b) * d);
+        }
+        ev
+    }
+
+    /// All per-term expectations at `(γ, β)` — bit-identical to
+    /// [`term_expectations_p1`], in the same `(z, zz)` layout.
+    #[must_use]
+    pub fn terms_at(&self, gamma: f64, beta: f64) -> (Vec<f64>, Vec<f64>) {
+        let s2b = (2.0 * beta).sin();
+        let s4b = (4.0 * beta).sin();
+        let mut z = vec![0.0f64; self.model.num_vars()];
+        for (a, hi, adj) in &self.lin {
+            let (sgh, prod) = Self::lin_gamma(gamma, *hi, adj);
+            z[*a] = (s2b * sgh) * prod;
+        }
+        let zz = self
+            .coup
+            .iter()
+            .map(|pair| {
+                let (sj, chains, d) = Self::pair_gamma(gamma, pair);
+                ((0.5 * s4b) * sj) * chains + ((-0.5 * s2b) * s2b) * d
+            })
+            .collect();
+        (z, zz)
+    }
+
+    /// Hoists every γ-only subexpression for a β sweep at fixed `γ`: one
+    /// `O(Σ deg)` row setup makes each [`P1Row::at`] call `O(V + E)`
+    /// with no trigonometry beyond the two β sines.
+    #[must_use]
+    pub fn row(&self, gamma: f64) -> P1Row {
+        P1Row {
+            offset: self.offset,
+            lin: self
+                .lin
+                .iter()
+                .map(|(_, hi, adj)| {
+                    let (sgh, prod) = Self::lin_gamma(gamma, *hi, adj);
+                    (*hi, sgh, prod)
+                })
+                .collect(),
+            coup: self
+                .coup
+                .iter()
+                .map(|pair| {
+                    let (sj, chains, d) = Self::pair_gamma(gamma, pair);
+                    (pair.j_ab, sj, chains, d)
+                })
+                .collect(),
+        }
+    }
+
+    /// γ-only factors of a `⟨Z_a⟩` term: `(sin(2γ·h_a), Π cos(2γ·J))`.
+    fn lin_gamma(gamma: f64, h_a: f64, adj: &[f64]) -> (f64, f64) {
+        let mut prod = 1.0;
+        for &jij in adj {
+            prod *= (2.0 * gamma * jij).cos();
+        }
+        ((2.0 * gamma * h_a).sin(), prod)
+    }
+
+    /// γ-only factors of a `⟨Z_aZ_b⟩` term:
+    /// `(sin(2γ·J_ab), chain_a + chain_b, D)`.
+    fn pair_gamma(gamma: f64, pair: &PreparedPair) -> (f64, f64, f64) {
+        let g2 = 2.0 * gamma;
+        let mut chain_a = (g2 * pair.h_a).cos();
+        let mut chain_b = (g2 * pair.h_b).cos();
+        let mut f_plus = 1.0;
+        let mut f_minus = 1.0;
+        for &(j_ac, j_bc) in &pair.third {
+            if j_ac != 0.0 {
+                chain_a *= (g2 * j_ac).cos();
+            }
+            if j_bc != 0.0 {
+                chain_b *= (g2 * j_bc).cos();
+            }
+            f_plus *= (g2 * (j_ac + j_bc)).cos();
+            f_minus *= (g2 * (j_ac - j_bc)).cos();
+        }
+        let d = (g2 * (pair.h_a + pair.h_b)).cos() * f_plus
+            - (g2 * (pair.h_a - pair.h_b)).cos() * f_minus;
+        ((g2 * pair.j_ab).sin(), chain_a + chain_b, d)
+    }
+}
+
+impl P1Row {
+    /// `⟨C⟩` at `(γ_row, β)` — bit-identical to
+    /// [`expectation_p1`] at the row's γ.
+    #[must_use]
+    pub fn at(&self, beta: f64) -> f64 {
+        let s2b = (2.0 * beta).sin();
+        let s4b = (4.0 * beta).sin();
+        let mut ev = self.offset;
+        for &(hi, sgh, prod) in &self.lin {
+            ev += hi * ((s2b * sgh) * prod);
+        }
+        for &(j_ab, sj, chains, d) in &self.coup {
+            ev += j_ab * (((0.5 * s4b) * sj) * chains + ((-0.5 * s2b) * s2b) * d);
+        }
+        ev
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +560,38 @@ mod tests {
         assert!(expectation_z(&m, 5, 0.1, 0.1).is_err());
         assert!(expectation_zz(&m, 0, 0, 0.1, 0.1).is_err());
         assert!(expectation_zz(&m, 0, 9, 0.1, 0.1).is_err());
+    }
+
+    #[test]
+    fn prepared_evaluator_is_bit_identical() {
+        for seed in 60..66 {
+            let m = random_model(7, seed % 2 == 0, 0.55, seed);
+            let prep = PreparedP1::new(&m);
+            for &(g, b) in &[(0.2, 0.3), (0.9, -0.4), (-1.1, 0.7), (0.0, 0.0)] {
+                // Exact equality, not tolerance: the prepared path must
+                // reproduce every bit of the unprepared one.
+                assert_eq!(prep.at(g, b), expectation_p1(&m, g, b).unwrap());
+                assert_eq!(prep.row(g).at(b), expectation_p1(&m, g, b).unwrap());
+                let (z, zz) = term_expectations_p1(&m, g, b).unwrap();
+                assert_eq!(prep.terms_at(g, b), (z, zz));
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_from_terms_matches_direct_evaluation_exactly() {
+        for seed in 70..76 {
+            let m = random_model(6, seed % 2 == 0, 0.6, seed);
+            let (g, b) = (0.37, -0.81);
+            let (z, zz) = term_expectations_p1(&m, g, b).unwrap();
+            assert_eq!(
+                expectation_from_terms_p1(&m, &z, &zz).unwrap(),
+                expectation_p1(&m, g, b).unwrap(),
+                "seed {seed}: assembly must be bit-identical to the two-call path"
+            );
+        }
+        let m = random_model(4, true, 0.8, 99);
+        assert!(expectation_from_terms_p1(&m, &[0.0; 2], &[]).is_err());
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub use noise::{
     fidelity_model, gate_error_rates, lightcone_fidelities, noisy_expectation_from_terms,
     noisy_expectation_lightcone, FidelityModel, LightconeFidelity,
 };
-pub use state::{Statevector, MAX_STATEVECTOR_QUBITS};
+pub use state::{ising_expectation_from_terms, Statevector, MAX_STATEVECTOR_QUBITS};
 
 #[cfg(test)]
 mod thread_safety {

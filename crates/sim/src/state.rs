@@ -275,14 +275,7 @@ impl Statevector {
     /// the state width.
     pub fn expectation_ising(&self, model: &IsingModel) -> Result<f64, SimError> {
         let (z_exp, zz_exp) = self.term_expectations(model)?;
-        let mut ev = model.offset();
-        for (i, hi) in model.linears() {
-            ev += hi * z_exp[i];
-        }
-        for (acc, (_, jij)) in zz_exp.iter().zip(model.couplings()) {
-            ev += jij * acc;
-        }
-        Ok(ev)
+        ising_expectation_from_terms(model, &z_exp, &zz_exp)
     }
 
     /// Draws `shots` measurement outcomes (seeded), as basis indices.
@@ -330,6 +323,45 @@ impl Statevector {
             }
         }
     }
+}
+
+/// Assembles an Ising expectation from per-term expectations in the exact
+/// accumulation order of [`Statevector::expectation_ising`] (which
+/// delegates here), so callers holding the output of
+/// [`Statevector::term_expectations`] derive the scalar bit-identically
+/// without traversing the state a second time.
+///
+/// # Errors
+///
+/// Returns [`SimError::WidthMismatch`] when `z` does not match the
+/// model's variable count and [`SimError::InvalidParameters`] when `zz`
+/// does not match its coupling count.
+pub fn ising_expectation_from_terms(
+    model: &IsingModel,
+    z: &[f64],
+    zz: &[f64],
+) -> Result<f64, SimError> {
+    if z.len() != model.num_vars() {
+        return Err(SimError::WidthMismatch {
+            circuit: z.len(),
+            state: model.num_vars(),
+        });
+    }
+    if zz.len() != model.num_couplings() {
+        return Err(SimError::InvalidParameters(format!(
+            "{} coupling expectations for a model with {} couplings",
+            zz.len(),
+            model.num_couplings()
+        )));
+    }
+    let mut ev = model.offset();
+    for (i, hi) in model.linears() {
+        ev += hi * z[i];
+    }
+    for (acc, (_, jij)) in zz.iter().zip(model.couplings()) {
+        ev += jij * acc;
+    }
+    Ok(ev)
 }
 
 fn constant_angle(theta: fq_circuit::Angle) -> Result<f64, SimError> {

@@ -1,0 +1,49 @@
+//! The `FQ_THREADS` environment override, in its own process: the
+//! variable is process-global state, so these assertions must not share
+//! a binary with tests that rely on the default auto thread count.
+
+use frozenqubits::api::{BatchRunner, DeviceSpec, JobBuilder};
+use frozenqubits::auto_threads;
+
+#[test]
+fn fq_threads_overrides_auto_and_invalid_values_are_ignored() {
+    // The runner executing this suite may legitimately export FQ_THREADS
+    // itself; establish a clean baseline rather than assuming one.
+    std::env::remove_var("FQ_THREADS");
+    let hardware = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    assert_eq!(auto_threads(), hardware, "unset: one worker per core");
+
+    std::env::set_var("FQ_THREADS", "3");
+    assert_eq!(auto_threads(), 3, "valid override wins");
+
+    // Results must not depend on the override (scheduling only).
+    let spec = JobBuilder::new()
+        .barabasi_albert(10, 1, 4)
+        .device(DeviceSpec::IbmMontreal)
+        .num_frozen(2)
+        .frozen()
+        .build()
+        .unwrap();
+    let overridden = BatchRunner::new().run(std::slice::from_ref(&spec));
+    let pinned = BatchRunner::new()
+        .with_threads(1)
+        .run(std::slice::from_ref(&spec));
+    assert_eq!(overridden[0].as_ref().unwrap(), pinned[0].as_ref().unwrap());
+
+    // 0, garbage and empty values are ignored, not errors.
+    for invalid in ["0", "not-a-number", "", "-2"] {
+        std::env::set_var("FQ_THREADS", invalid);
+        assert_eq!(
+            auto_threads(),
+            hardware,
+            "invalid FQ_THREADS {invalid:?} must fall back to the core count"
+        );
+    }
+
+    // Whitespace is tolerated around a valid value.
+    std::env::set_var("FQ_THREADS", " 2 ");
+    assert_eq!(auto_threads(), 2);
+
+    std::env::remove_var("FQ_THREADS");
+    assert_eq!(auto_threads(), hardware);
+}
