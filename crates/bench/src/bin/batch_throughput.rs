@@ -98,7 +98,7 @@ fn main() {
         // keeps every thread count paying an identical compile bill.
         let mut best = f64::INFINITY;
         for _ in 0..iters {
-            let mut runner = BatchRunner::new().with_threads(threads);
+            let runner = BatchRunner::new().with_threads(threads);
             let t0 = Instant::now();
             let results = runner.run(&specs);
             let dt = t0.elapsed().as_secs_f64();

@@ -15,14 +15,14 @@
 //!   the statevector width limit fail before any circuit is synthesized.
 //! * [`JobSpec`] is plain data with a pinned JSON wire format
 //!   ([`JobSpec::to_json`] / [`JobSpec::from_json`]), so specs can be
-//!   queued, logged and replayed byte-for-byte — the substrate for a
-//!   future service layer.
+//!   queued, logged and replayed byte-for-byte — the wire format the
+//!   `fq-serve` HTTP job service speaks verbatim.
 //! * [`Backend`] makes the execution substrate explicit: the statevector
 //!   simulator is [`SimBackend`], *chosen*, not assumed, and
 //!   [`NoiseModelBackend`] trades lightcone fidelity modelling for a
 //!   cheaper global process-fidelity estimate.
 //! * [`BatchRunner`] executes many specs against one shared
-//!   [`TemplateCache`](crate::TemplateCache), extending the per-job
+//!   [`TemplateCache`], extending the per-job
 //!   compile-once amortization across jobs.
 //!
 //! # Example
@@ -142,10 +142,78 @@ impl ProblemSpec {
     }
 }
 
+/// A service-assigned job identifier with a stable wire form.
+///
+/// The HTTP service (`fq-serve`) mints one per submitted [`JobSpec`] and
+/// hands it back for polling; it lives here so any future front door
+/// (gRPC, CLI queue files, sharded dispatchers) names jobs the same way.
+/// The wire form is `job-` followed by exactly 16 lower-case hex digits
+/// (`job-000000000000002a`), so IDs sort lexicographically in submission
+/// order and survive logs, URLs and JSON untouched.
+///
+/// # Examples
+///
+/// ```
+/// use frozenqubits::api::JobId;
+///
+/// let id = JobId::new(42);
+/// assert_eq!(id.to_string(), "job-000000000000002a");
+/// assert_eq!("job-000000000000002a".parse::<JobId>(), Ok(id));
+/// assert!("job-42".parse::<JobId>().is_err(), "digits are zero-padded");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// Wraps a raw sequence number.
+    #[must_use]
+    pub fn new(value: u64) -> JobId {
+        JobId(value)
+    }
+
+    /// The raw sequence number.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{:016x}", self.0)
+    }
+}
+
+impl std::str::FromStr for JobId {
+    type Err = FqError;
+
+    fn from_str(s: &str) -> Result<JobId, FqError> {
+        // Lower-case only: the wire form is canonical, so one job must
+        // not be addressable under two spellings.
+        let digits = s
+            .strip_prefix("job-")
+            .filter(|d| {
+                d.len() == 16
+                    && d.bytes()
+                        .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+            })
+            .ok_or_else(|| {
+                FqError::Serde(format!(
+                    "malformed job id `{s}` (expected job-<16 hex digits>)"
+                ))
+            })?;
+        // The shape check above makes this parse infallible, but keep the
+        // error path anyway rather than unwrap in a FromStr.
+        u64::from_str_radix(digits, 16)
+            .map(JobId)
+            .map_err(|e| FqError::Serde(format!("malformed job id `{s}`: {e}")))
+    }
+}
+
 /// A serializable device choice: the workspace's calibrated presets.
 ///
 /// Presets are deterministic per name, so the name *is* the identity —
-/// which is also what the cross-job [`TemplateCache`](crate::TemplateCache)
+/// which is also what the cross-job [`TemplateCache`]
 /// keys on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -271,6 +339,19 @@ impl JobSpec {
     #[must_use]
     pub fn builder() -> JobBuilder {
         JobBuilder::new()
+    }
+
+    /// Replaces the execution backend, leaving everything else intact.
+    ///
+    /// This is the service layer's backend-selection hook: `fq-serve` can
+    /// pin every submitted job to an operator-chosen [`BackendSpec`]
+    /// without re-validating or rebuilding the spec. Combinations the
+    /// builder rejects (sampling on [`BackendSpec::NoiseModel`]) still
+    /// fail at run time with the same error.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendSpec) -> JobSpec {
+        self.backend = backend;
+        self
     }
 
     /// Resolves the spec into a runnable [`Job`] (materializes the
@@ -948,6 +1029,50 @@ mod tests {
             weighting: GraphWeighting::Unit,
         };
         assert!(matches!(bad.resolve(), Err(FqError::Graph(_))));
+    }
+
+    #[test]
+    fn job_ids_round_trip_and_reject_garbage() {
+        for value in [0u64, 42, u64::MAX] {
+            let id = JobId::new(value);
+            assert_eq!(id.value(), value);
+            assert_eq!(id.to_string().parse::<JobId>(), Ok(id));
+        }
+        assert_eq!(JobId::new(42).to_string(), "job-000000000000002a");
+        for garbage in [
+            "",
+            "job-",
+            "job-42",
+            "42",
+            "job-000000000000002g",
+            "job-000000000000002a7",
+            "JOB-000000000000002a",
+            "job-000000000000002A",
+        ] {
+            assert!(
+                garbage.parse::<JobId>().is_err(),
+                "`{garbage}` must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn with_backend_swaps_only_the_backend() {
+        let spec = JobBuilder::new()
+            .barabasi_albert(8, 1, 1)
+            .device(DeviceSpec::IbmMontreal)
+            .frozen()
+            .build()
+            .unwrap();
+        let swapped = spec.clone().with_backend(BackendSpec::NoiseModel);
+        assert_eq!(swapped.backend, BackendSpec::NoiseModel);
+        assert_eq!(
+            JobSpec {
+                backend: spec.backend,
+                ..swapped
+            },
+            spec
+        );
     }
 
     #[test]

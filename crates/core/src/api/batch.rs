@@ -46,7 +46,7 @@ use crate::{BranchOutcome, BranchSamples, FqError, JobResult, JobSpec};
 ///             .build()
 ///     })
 ///     .collect::<Result<_, _>>()?;
-/// let mut runner = BatchRunner::new();
+/// let runner = BatchRunner::new();
 /// let results = runner.run(&jobs);
 /// assert!(results.iter().all(Result::is_ok));
 /// // Three jobs, one distinct sub-circuit shape: one compiled template.
@@ -127,7 +127,11 @@ impl BatchRunner {
     /// work-stealing pool. Each job gets its own `Result`; order matches
     /// the input and every result is bit-identical to running the specs
     /// one by one.
-    pub fn run(&mut self, specs: &[JobSpec]) -> Vec<Result<JobResult, FqError>> {
+    ///
+    /// Takes `&self`: the shared [`TemplateCache`] is concurrent, so any
+    /// number of callers (e.g. the `fq-serve` worker pool) may run
+    /// batches against one runner at once, warming each other's cache.
+    pub fn run(&self, specs: &[JobSpec]) -> Vec<Result<JobResult, FqError>> {
         // Resolve specs in input order (cheap; problem materialization).
         let jobs: Vec<Result<Job, FqError>> = specs.iter().map(JobSpec::to_job).collect();
 
@@ -293,7 +297,7 @@ impl BatchRunner {
     /// # Errors
     ///
     /// The first failing job's error.
-    pub fn run_all(&mut self, specs: &[JobSpec]) -> Result<Vec<JobResult>, FqError> {
+    pub fn run_all(&self, specs: &[JobSpec]) -> Result<Vec<JobResult>, FqError> {
         self.run(specs).into_iter().collect()
     }
 
@@ -343,7 +347,7 @@ mod tests {
             config: crate::FrozenQubitsConfig::with_frozen(99),
             ..good.clone()
         };
-        let mut runner = BatchRunner::new();
+        let runner = BatchRunner::new();
         let results = runner.run(&[good, bad, same_shape]);
         assert!(results[0].is_ok());
         assert!(matches!(
@@ -361,7 +365,7 @@ mod tests {
 
     #[test]
     fn distinct_shapes_get_distinct_templates() {
-        let mut runner = BatchRunner::new();
+        let runner = BatchRunner::new();
         let results = runner.run(&[frozen_spec(10, 2), frozen_spec(12, 2)]);
         assert!(results.iter().all(Result::is_ok));
         assert_eq!(runner.templates_compiled(), 2);
@@ -393,7 +397,7 @@ mod tests {
             ..frozen_spec(10, 3)
         };
         let direct = sampled.to_job().unwrap().run().unwrap_err();
-        let mut runner = BatchRunner::new();
+        let runner = BatchRunner::new();
         let batched = runner.run(std::slice::from_ref(&sampled));
         assert_eq!(batched[0].as_ref().unwrap_err(), &direct);
     }

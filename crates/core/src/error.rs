@@ -2,8 +2,9 @@
 //!
 //! [`FqError`] is the single error enum at the public boundary: every
 //! sibling crate's error converts into it via `From`, so application code
-//! (examples, the batch runner, a future service layer) handles one type
-//! instead of a `Box<dyn Error>` per call site.
+//! (examples, the batch runner, the `fq-serve` HTTP service) handles one
+//! type instead of a `Box<dyn Error>` per call site — and the service
+//! maps each variant onto an HTTP status class in one place.
 
 use std::error::Error;
 use std::fmt;

@@ -43,6 +43,9 @@
 //! [`FqError`] enum, so application code threads one `?`-able type.
 //! The pre-API free functions (`run_baseline`, `run_frozen`, `compare`,
 //! `solve_with_sampling`) remain as deprecated one-line wrappers.
+//! The sibling `fq-serve` crate serves this exact API over HTTP/1.1 —
+//! request and response bodies are the pinned [`api::JobSpec`] /
+//! [`api::JobResult`] wire documents, byte for byte.
 //!
 //! # Quickstart
 //!
@@ -83,7 +86,7 @@ mod template;
 
 pub use adaptive::{plan_with_budget, suggest_num_frozen, FreezeBudget, FreezeRecommendation};
 pub use api::{
-    Backend, BackendSpec, BatchRunner, DeviceSpec, GraphWeighting, Job, JobBuilder, JobKind,
+    Backend, BackendSpec, BatchRunner, DeviceSpec, GraphWeighting, Job, JobBuilder, JobId, JobKind,
     JobResult, JobSpec, NoiseModelBackend, ProblemSpec, SimBackend,
 };
 pub use config::FrozenQubitsConfig;

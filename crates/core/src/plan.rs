@@ -475,8 +475,16 @@ impl TemplateCache {
             // The per-key once-compile gate: whoever acquires the slot
             // first and finds it `Pending` compiles while holding it;
             // everyone else blocks here (on this key only) and shares the
-            // outcome.
-            let mut slot = entry.slot.lock().expect("template slot lock");
+            // outcome. A poisoned slot means a compile panicked (e.g.
+            // unwound through a service worker's `catch_unwind`) and left
+            // `Pending` behind with no compiling thread — recover and
+            // fall through: the recovering waiter sees `Pending` and
+            // simply takes the compile over, so one panicking job cannot
+            // wedge its key for every later job of the same shape.
+            let mut slot = entry
+                .slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             match &*slot {
                 Slot::Ready(template) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);

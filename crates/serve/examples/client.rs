@@ -1,0 +1,82 @@
+//! End-to-end service demo (and the CI smoke step): boot the server on
+//! an ephemeral loopback port, drive every endpoint through the bundled
+//! HTTP client, and shut down cleanly.
+//!
+//! ```sh
+//! cargo run --release -p fq-serve --example client
+//! ```
+//!
+//! Set `FQ_SERVE_ADDR` to point at an already-running `serve` process
+//! instead (the example then skips booting its own).
+
+use fq_serve::{client, Server, ServerConfig, ServerHandle};
+use frozenqubits::api::{DeviceSpec, JobBuilder};
+use frozenqubits::FqError;
+
+fn main() -> Result<(), FqError> {
+    // Boot an in-process server unless one was pointed at via the env.
+    let (addr, handle): (String, Option<ServerHandle>) = match std::env::var("FQ_SERVE_ADDR") {
+        Ok(addr) => (addr, None),
+        Err(_) => {
+            let handle = Server::spawn(ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            })?;
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+
+    // 1. Liveness.
+    let health = client::request(&addr, "GET", "/v1/healthz", None)?;
+    assert_eq!(health.status, 200, "healthz: {}", health.body);
+    println!("healthz       {} {}", health.status, health.body);
+
+    // 2. A synchronous round trip: the response body is the canonical
+    //    JobResult document.
+    let compare = JobBuilder::new()
+        .barabasi_albert(14, 1, 42)
+        .device(DeviceSpec::IbmMontreal)
+        .num_frozen(2)
+        .compare()
+        .build()?;
+    let report = client::submit_sync(&addr, &compare)?.into_compare()?;
+    println!(
+        "sync compare  baseline ARG {:.4} -> frozen ARG {:.4} ({:.2}x)",
+        report.baseline.arg, report.frozen.arg, report.improvement
+    );
+
+    // 3. An asynchronous submission, polled to completion.
+    let sample = JobBuilder::new()
+        .barabasi_albert(12, 1, 7)
+        .device(DeviceSpec::IbmAuckland)
+        .num_frozen(1)
+        .sample(256)
+        .build()?;
+    let id = client::submit_async(&addr, &sample)?;
+    println!("async sample  submitted as {id}");
+    let outcome = loop {
+        let (status, result) = client::poll(&addr, id)?;
+        match status.as_str() {
+            "done" => break result.expect("done jobs embed their result"),
+            "failed" => return Err(FqError::Io(format!("job {id} failed"))),
+            _ => std::thread::sleep(std::time::Duration::from_millis(25)),
+        }
+    };
+    let solution = outcome.into_sample()?;
+    println!(
+        "async sample  best energy {:.1} from {} frozen qubit(s)",
+        solution.energy,
+        solution.frozen_qubits.len()
+    );
+
+    // 4. Telemetry: the second job of a shape hits the warm cache.
+    let stats = client::request(&addr, "GET", "/v1/stats", None)?;
+    assert_eq!(stats.status, 200);
+    println!("stats         {}", stats.body);
+
+    if let Some(handle) = handle {
+        handle.shutdown();
+        println!("shutdown      clean");
+    }
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! The `serve` binary: run the FrozenQubits HTTP job service.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+//!       [--cache-capacity N] [--engine-threads N] [--backend sim|noise_model]
+//!       [--max-body BYTES] [--sync-wait-secs N]
+//! ```
+//!
+//! Defaults serve on `127.0.0.1:8077` with 4 workers. `FQ_SERVE_ADDR`
+//! overrides the default address (flags beat the environment). The
+//! process runs until killed; every in-flight job completes or fails on
+//! its own merits — there is no state to corrupt (the registry and the
+//! template cache are in-memory).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fq_serve::{Server, ServerConfig};
+use frozenqubits::api::BackendSpec;
+
+const USAGE: &str = "usage: serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+             [--cache-capacity N] [--engine-threads N]
+             [--backend sim|noise_model] [--max-body BYTES]
+             [--sync-wait-secs N] [--max-connections N]
+
+Serves the FrozenQubits job API over HTTP/1.1:
+  POST /v1/jobs        submit a JobSpec (sync; ?mode=async to queue)
+  GET  /v1/jobs/{id}   poll an async submission
+  GET  /v1/healthz     liveness probe
+  GET  /v1/stats       cache/queue/job telemetry
+
+FQ_SERVE_ADDR sets the default address; flags win over the environment.";
+
+fn parse_args(args: &[String]) -> Result<Option<ServerConfig>, String> {
+    let mut config = ServerConfig {
+        addr: std::env::var("FQ_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:8077".into()),
+        ..ServerConfig::default()
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        if flag == "--help" || flag == "-h" {
+            return Ok(None);
+        }
+        let value = iter.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let numeric = |what: &str| {
+            value
+                .parse::<usize>()
+                .map_err(|_| format!("{what} must be an integer, got `{value}`"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value.clone(),
+            "--workers" => config.workers = numeric("--workers")?,
+            "--queue-capacity" => config.queue_capacity = numeric("--queue-capacity")?,
+            "--cache-capacity" => config.cache_capacity = Some(numeric("--cache-capacity")?),
+            "--engine-threads" => config.engine_threads = numeric("--engine-threads")?,
+            "--max-body" => config.max_body_bytes = numeric("--max-body")?,
+            "--max-connections" => config.max_connections = numeric("--max-connections")?,
+            "--sync-wait-secs" => {
+                config.sync_wait = Duration::from_secs(numeric("--sync-wait-secs")? as u64);
+            }
+            "--backend" => {
+                config.backend_override = Some(
+                    BackendSpec::from_name(value)
+                        .ok_or_else(|| format!("unknown backend `{value}` (sim|noise_model)"))?,
+                );
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Some(config))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(Some(config)) => config,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("serve: {message}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let workers = config.workers;
+    match Server::spawn(config) {
+        Ok(handle) => {
+            println!(
+                "fq-serve listening on http://{} ({} workers); try: curl http://{}/v1/healthz",
+                handle.addr(),
+                workers,
+                handle.addr()
+            );
+            handle.join();
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("serve: failed to start: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

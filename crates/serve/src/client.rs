@@ -1,0 +1,194 @@
+//! A minimal blocking HTTP client for the job service — enough for the
+//! examples, the e2e tests and CI smoke steps, with no dependencies
+//! beyond `std::net` (the same offline constraint as the server).
+//!
+//! One request per connection (`connection: close`): the client's jobs
+//! are smoke tests and batch submission scripts, not connection-pool
+//! performance. Use [`request`] for raw access or the typed helpers
+//! ([`submit_sync`], [`submit_async`], [`poll`]) for the common flows.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use fq_serve::client;
+//! use frozenqubits::api::{DeviceSpec, JobBuilder};
+//!
+//! let spec = JobBuilder::new()
+//!     .barabasi_albert(12, 1, 7)
+//!     .device(DeviceSpec::IbmMontreal)
+//!     .compare()
+//!     .build()?;
+//! let report = client::submit_sync("127.0.0.1:8077", &spec)?.into_compare()?;
+//! println!("improvement: {:.2}x", report.improvement);
+//! # Ok::<(), frozenqubits::FqError>(())
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use frozenqubits::{FqError, JobId, JobResult, JobSpec};
+use serde::json::Value;
+
+/// How long the client waits for a response before giving up.
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// A parsed HTTP response.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// The status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The response body (the service always answers JSON).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First value of header `name` (lower-case), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the body as a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// [`FqError::Serde`] when the body is not valid JSON.
+    pub fn json(&self) -> Result<Value, FqError> {
+        Ok(Value::parse(&self.body)?)
+    }
+}
+
+/// Performs one HTTP request against `addr` and reads the full response.
+///
+/// # Errors
+///
+/// [`FqError::Io`] for connection problems and [`FqError::Serde`] for an
+/// unparsable response.
+pub fn request(
+    addr: &str,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+) -> Result<HttpResponse, FqError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(RESPONSE_TIMEOUT))?;
+
+    let mut out = format!("{method} {target} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n");
+    if let Some(body) = body {
+        out.push_str(&format!(
+            "content-type: application/json\r\ncontent-length: {}\r\n",
+            body.len()
+        ));
+    }
+    out.push_str("\r\n");
+    if let Some(body) = body {
+        out.push_str(body);
+    }
+    stream.write_all(out.as_bytes())?;
+
+    // `connection: close` means the response ends at EOF.
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &str) -> Result<HttpResponse, FqError> {
+    let bad = |msg: &str| FqError::Serde(format!("malformed HTTP response: {msg}"));
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("no header/body separator"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad(&format!("unparsable status line `{status_line}`")))?;
+    let headers = lines
+        .map(|line| {
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad(&format!("malformed header `{line}`")))?;
+            Ok((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect::<Result<_, FqError>>()?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}
+
+/// Turns a non-2xx service response into an [`FqError::Io`] carrying the
+/// status and the error envelope.
+fn service_error(response: &HttpResponse) -> FqError {
+    FqError::Io(format!("HTTP {}: {}", response.status, response.body))
+}
+
+/// Submits `spec` synchronously; the `200` body is the byte-canonical
+/// `JobResult` document, parsed and returned.
+///
+/// # Errors
+///
+/// [`FqError::Io`] carrying the status and error envelope for any
+/// non-`200` response (including job failures), plus transport errors.
+pub fn submit_sync(addr: &str, spec: &JobSpec) -> Result<JobResult, FqError> {
+    let response = request(addr, "POST", "/v1/jobs", Some(&spec.to_json()))?;
+    if response.status != 200 {
+        return Err(service_error(&response));
+    }
+    JobResult::from_json(&response.body)
+}
+
+/// Submits `spec` asynchronously; returns the id to poll.
+///
+/// # Errors
+///
+/// [`FqError::Io`] for any non-`202` response, plus transport errors.
+pub fn submit_async(addr: &str, spec: &JobSpec) -> Result<JobId, FqError> {
+    let response = request(addr, "POST", "/v1/jobs?mode=async", Some(&spec.to_json()))?;
+    if response.status != 202 {
+        return Err(service_error(&response));
+    }
+    response.json()?.field("id")?.as_str()?.parse()
+}
+
+/// Polls `GET /v1/jobs/{id}`: returns the status string (`queued`,
+/// `running`, `done`, `failed`) and, for `done`, the decoded result.
+///
+/// # Errors
+///
+/// [`FqError::Io`] for non-`200` responses (e.g. an unknown id), plus
+/// transport and decode errors.
+pub fn poll(addr: &str, id: JobId) -> Result<(String, Option<JobResult>), FqError> {
+    let response = request(addr, "GET", &format!("/v1/jobs/{id}"), None)?;
+    if response.status != 200 {
+        return Err(service_error(&response));
+    }
+    let status = response.json()?.field("status")?.as_str()?.to_string();
+    let result = (status == "done")
+        .then(|| crate::wire::result_from_envelope(&response.body))
+        .transpose()?;
+    Ok((status, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_responses() {
+        let raw = "HTTP/1.1 503 Service Unavailable\r\ncontent-type: application/json\r\nRetry-After: 1\r\n\r\n{}";
+        let response = parse_response(raw).unwrap();
+        assert_eq!(response.status, 503);
+        assert_eq!(response.header("retry-after"), Some("1"));
+        assert_eq!(response.body, "{}");
+        assert!(parse_response("garbage").is_err());
+    }
+}

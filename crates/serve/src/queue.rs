@@ -1,0 +1,163 @@
+//! The bounded submission queue between the HTTP accept path and the
+//! worker pool.
+//!
+//! A plain `Mutex<VecDeque>` + `Condvar` MPMC queue. Submissions never
+//! block: when the queue is full, [`JobQueue::push`] fails immediately
+//! and the HTTP layer turns that into `503` backpressure — the client,
+//! not the server, holds the retry state. Workers block in
+//! [`JobQueue::pop`] until an item or shutdown arrives; after
+//! [`JobQueue::close`] they drain what is already queued and then see
+//! `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use frozenqubits::{JobId, JobSpec};
+
+/// One queued submission.
+#[derive(Debug)]
+pub(crate) struct QueuedJob {
+    /// The id the store minted for this submission.
+    pub(crate) id: JobId,
+    /// The validated-on-parse job spec.
+    pub(crate) spec: JobSpec,
+}
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue is at capacity — backpressure, try again later.
+    Full,
+    /// The server is shutting down.
+    Closed,
+}
+
+#[derive(Debug)]
+struct Inner {
+    items: VecDeque<QueuedJob>,
+    closed: bool,
+}
+
+/// A bounded MPMC job queue.
+#[derive(Debug)]
+pub(crate) struct JobQueue {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    /// A queue holding at most `capacity` pending jobs.
+    pub(crate) fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity,
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues without blocking; fails when full or closed.
+    pub(crate) fn push(&self, job: QueuedJob) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available or the queue is closed **and**
+    /// drained; `None` tells a worker to exit.
+    pub(crate) fn pop(&self) -> Option<QueuedJob> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(job) = inner.items.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    /// Current number of pending jobs.
+    pub(crate) fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// The configured bound.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Marks the queue closed and wakes every waiting worker. Already
+    /// queued jobs still drain.
+    pub(crate) fn close(&self) {
+        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frozenqubits::api::{DeviceSpec, JobBuilder};
+
+    fn job(id: u64) -> QueuedJob {
+        QueuedJob {
+            id: JobId::new(id),
+            spec: JobBuilder::new()
+                .barabasi_albert(8, 1, 1)
+                .device(DeviceSpec::IbmMontreal)
+                .baseline()
+                .build()
+                .unwrap(),
+        }
+    }
+
+    #[test]
+    fn bounded_fifo_with_backpressure() {
+        let queue = JobQueue::new(2);
+        assert_eq!(queue.capacity(), 2);
+        queue.push(job(1)).unwrap();
+        queue.push(job(2)).unwrap();
+        assert_eq!(queue.push(job(3)).unwrap_err(), PushError::Full);
+        assert_eq!(queue.depth(), 2);
+        assert_eq!(queue.pop().unwrap().id, JobId::new(1));
+        queue.push(job(3)).unwrap();
+        assert_eq!(queue.pop().unwrap().id, JobId::new(2));
+        assert_eq!(queue.pop().unwrap().id, JobId::new(3));
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let queue = JobQueue::new(4);
+        queue.push(job(1)).unwrap();
+        queue.close();
+        assert_eq!(queue.push(job(2)).unwrap_err(), PushError::Closed);
+        assert_eq!(queue.pop().unwrap().id, JobId::new(1));
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let queue = std::sync::Arc::new(JobQueue::new(1));
+        let waiter = {
+            let queue = queue.clone();
+            std::thread::spawn(move || queue.pop())
+        };
+        // Give the waiter a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        queue.close();
+        assert!(waiter.join().unwrap().is_none());
+    }
+}

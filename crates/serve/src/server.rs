@@ -1,0 +1,509 @@
+//! The server proper: configuration, the accept loop, per-connection
+//! request handling, and the endpoint implementations.
+//!
+//! The data path is
+//!
+//! ```text
+//! TcpListener ──▶ connection threads ──▶ bounded JobQueue ──▶ worker pool
+//!                      (parse spec,            │                  │
+//!                       mint JobId)            ▼                  ▼
+//!                                         503 when full    shared BatchRunner
+//!                                                          (one TemplateCache —
+//!                                                           clients warm each other)
+//! ```
+//!
+//! Submissions are synchronous by default (`POST /v1/jobs` blocks until
+//! the job finishes and returns the bare canonical `JobResult` JSON) or
+//! asynchronous with `?mode=async` (`202` + id, poll `GET
+//! /v1/jobs/{id}`). Either way the job goes through the same queue and
+//! workers, so backpressure and cache warming behave identically.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use frozenqubits::api::BackendSpec;
+use frozenqubits::{BatchRunner, FqError, JobSpec};
+use serde::json::Value;
+
+use crate::error::{error_response, job_error_response, kind_name, status_for};
+use crate::http::{self, ReadError, Request, Response};
+use crate::queue::{JobQueue, PushError, QueuedJob};
+use crate::router::{route, Route};
+use crate::store::{JobState, JobStore};
+use crate::wire::{job_envelope, submit_ack, WIRE_V};
+use crate::worker::WorkerPool;
+
+/// Server configuration. Start from [`ServerConfig::default`] and
+/// override what you need; every field has a conservative default.
+///
+/// # Examples
+///
+/// ```no_run
+/// use fq_serve::{Server, ServerConfig};
+///
+/// let config = ServerConfig {
+///     addr: "127.0.0.1:8077".into(),
+///     workers: 8,
+///     ..ServerConfig::default()
+/// };
+/// let handle = Server::spawn(config)?;
+/// println!("listening on http://{}", handle.addr());
+/// handle.join();
+/// # Ok::<(), frozenqubits::FqError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address. `127.0.0.1:0` (the default) picks an ephemeral
+    /// loopback port — read the actual one from [`ServerHandle::addr`].
+    pub addr: String,
+    /// Worker threads draining the queue. `0` is legal and means jobs
+    /// queue without executing (useful for backpressure tests and
+    /// drain-later setups); synchronous submissions then time out.
+    pub workers: usize,
+    /// Bound on queued-but-unclaimed jobs; beyond it submissions get
+    /// `503`. Must be ≥ 1.
+    pub queue_capacity: usize,
+    /// Optional LRU bound on the shared template cache
+    /// ([`BatchRunner::with_cache_capacity`]); `None` = unbounded.
+    pub cache_capacity: Option<usize>,
+    /// Thread count each worker's engine uses for one job's branches
+    /// (`BatchRunner::with_threads`). The default `1` is right when
+    /// parallelism comes from concurrent workers; raise it for
+    /// branch-heavy single jobs on an otherwise idle service. `0` =
+    /// the engine's auto count (honors `FQ_THREADS`).
+    pub engine_threads: usize,
+    /// Largest accepted request body, in bytes; beyond it → `413`.
+    pub max_body_bytes: usize,
+    /// Socket read timeout — bounds how long any **single** read may
+    /// block (idle keep-alive connections, stalled senders).
+    pub read_timeout: Duration,
+    /// Wall-clock budget for receiving one complete request. The socket
+    /// timeout resets per read, so a slow-drip client could otherwise
+    /// hold a connection thread forever; past this deadline the request
+    /// fails with `400` (worst case one extra `read_timeout` for a read
+    /// already in flight).
+    pub request_deadline: Duration,
+    /// Most concurrent connections served; beyond it new connections
+    /// are shed immediately with `503` instead of spawning unboundedly
+    /// many threads.
+    pub max_connections: usize,
+    /// How long a synchronous submission waits before degrading to an
+    /// async-style `202` (the job keeps running; poll the id).
+    pub sync_wait: Duration,
+    /// When set, every submitted spec is pinned to this backend
+    /// ([`JobSpec::with_backend`]) — the operator's backend-selection
+    /// hook (e.g. forcing `sim` while a real-device backend is in
+    /// shakedown).
+    pub backend_override: Option<BackendSpec>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: None,
+            engine_threads: 1,
+            max_body_bytes: 4 * 1024 * 1024,
+            read_timeout: Duration::from_secs(30),
+            request_deadline: Duration::from_secs(60),
+            max_connections: 256,
+            sync_wait: Duration::from_secs(120),
+            backend_override: None,
+        }
+    }
+}
+
+/// Everything the request handlers share.
+#[derive(Debug)]
+struct ServerState {
+    queue: Arc<JobQueue>,
+    store: Arc<JobStore>,
+    runner: Arc<BatchRunner>,
+    config: ServerConfig,
+}
+
+/// The HTTP job service. [`Server::spawn`] starts it on a background
+/// accept thread and returns a [`ServerHandle`] for address discovery
+/// and shutdown.
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the worker pool and the accept loop, and returns.
+    ///
+    /// # Errors
+    ///
+    /// [`FqError::InvalidConfig`] for a zero `queue_capacity`;
+    /// [`FqError::Io`] when the bind fails.
+    pub fn spawn(config: ServerConfig) -> Result<ServerHandle, FqError> {
+        if config.queue_capacity == 0 {
+            return Err(FqError::InvalidConfig(
+                "queue_capacity must be at least 1".into(),
+            ));
+        }
+        if config.max_connections == 0 {
+            return Err(FqError::InvalidConfig(
+                "max_connections must be at least 1".into(),
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+
+        let mut runner = BatchRunner::new().with_threads(config.engine_threads);
+        if let Some(capacity) = config.cache_capacity {
+            runner = runner.with_cache_capacity(capacity);
+        }
+        let queue = Arc::new(JobQueue::new(config.queue_capacity));
+        let store = Arc::new(JobStore::new());
+        let runner = Arc::new(runner);
+        let pool = WorkerPool::spawn(
+            config.workers,
+            Arc::clone(&queue),
+            Arc::clone(&store),
+            Arc::clone(&runner),
+        );
+        let state = Arc::new(ServerState {
+            queue: Arc::clone(&queue),
+            store,
+            runner,
+            config,
+        });
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let spawned = thread::Builder::new()
+                .name("fq-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &state, &stop));
+            match spawned {
+                Ok(handle) => handle,
+                Err(e) => {
+                    // Unwind the already-running pool: otherwise its
+                    // workers block on the never-closed queue forever.
+                    queue.close();
+                    pool.join();
+                    return Err(FqError::Io(format!("spawning the accept thread: {e}")));
+                }
+            }
+        };
+
+        Ok(ServerHandle {
+            addr,
+            stop,
+            accept: Some(accept),
+            pool: Some(pool),
+            queue,
+        })
+    }
+}
+
+/// A running server: address discovery plus orderly shutdown.
+///
+/// Dropping the handle shuts the server down (stops accepting, closes
+/// the queue, drains queued jobs through the workers, joins them), so a
+/// test that panics still releases its port and threads.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    pool: Option<WorkerPool>,
+    queue: Arc<JobQueue>,
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves `:0` ephemeral binds).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains already-queued jobs through the workers,
+    /// and joins the accept and worker threads.
+    pub fn shutdown(mut self) {
+        self.stop_internal();
+    }
+
+    /// Blocks the calling thread for the server's lifetime (the `serve`
+    /// binary's main loop). Returns only if the accept loop exits, then
+    /// performs the same cleanup as [`ServerHandle::shutdown`].
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.stop_internal();
+    }
+
+    fn stop_internal(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop: `TcpListener::accept` has no timeout, so
+        // poke it with a throwaway connection. A `0.0.0.0`/`[::]` bind
+        // is not connectable on every platform — poke loopback instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.queue.close();
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_internal();
+    }
+}
+
+/// Decrements the live-connection count even if a handler panics.
+struct ConnectionSlot(Arc<AtomicUsize>);
+
+impl Drop for ConnectionSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, stop: &Arc<AtomicBool>) {
+    let active = Arc::new(AtomicUsize::new(0));
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut stream = match conn {
+            Ok(stream) => stream,
+            Err(_) => {
+                // Persistent accept errors (e.g. fd exhaustion) would
+                // otherwise busy-spin this thread at 100% CPU; back off
+                // briefly so in-flight connections can release fds.
+                thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        // Connection cap: beyond it, shed load with an immediate 503
+        // instead of spawning an unbounded number of threads.
+        if active.load(Ordering::SeqCst) >= state.config.max_connections {
+            let _ = error_response(503, "overloaded", "connection limit reached")
+                .write(&mut stream, false);
+            continue;
+        }
+        active.fetch_add(1, Ordering::SeqCst);
+        let slot = ConnectionSlot(Arc::clone(&active));
+        let state = Arc::clone(state);
+        let stop = Arc::clone(stop);
+        // Connection threads are detached: each is bounded by the
+        // per-request deadline + read timeout, counted against
+        // `max_connections`, and closed (`connection: close`) once
+        // `stop` is set.
+        let spawned = thread::Builder::new()
+            .name("fq-serve-conn".into())
+            .spawn(move || {
+                let _slot = slot;
+                handle_connection(stream, &state, &stop);
+            });
+        // Spawn failure: `slot` moved into the closure that never ran —
+        // it is dropped with the error, releasing the count.
+        drop(spawned);
+    }
+}
+
+/// Serves one connection: a keep-alive loop of read → route → respond.
+/// Framing errors answer with the mapped status (when one applies) and
+/// close; the loop also closes once shutdown has begun.
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>, stop: &Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(http::DeadlineReader::new(read_half));
+    loop {
+        // Arm the slow-drip guard: this whole request must arrive within
+        // `request_deadline` (reads already in flight add at most one
+        // `read_timeout`).
+        reader.get_mut().arm(state.config.request_deadline);
+        match http::read_request(&mut reader, state.config.max_body_bytes) {
+            Ok(request) => {
+                let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
+                let response = handle_request(state, &request);
+                if response.write(&mut stream, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(error) => {
+                if let Some(status) = error.status() {
+                    let kind = match &error {
+                        ReadError::PayloadTooLarge { .. } => "payload_too_large",
+                        ReadError::NotImplemented(_) => "not_implemented",
+                        ReadError::VersionNotSupported(_) => "http_version",
+                        _ => "bad_request",
+                    };
+                    let _ =
+                        error_response(status, kind, &error.message()).write(&mut stream, false);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Routes and executes one request.
+fn handle_request(state: &ServerState, request: &Request) -> Response {
+    match route(&request.method, &request.path) {
+        Route::Healthz => Response::json(
+            200,
+            Value::object(vec![
+                ("v", Value::UInt(WIRE_V)),
+                ("status", Value::string("ok")),
+            ])
+            .to_json(),
+        ),
+        Route::Stats => Response::json(200, stats_body(state)),
+        Route::Submit => handle_submit(state, request),
+        Route::Job(id) => match state.store.snapshot(id) {
+            Some(job_state) => Response::json(200, job_envelope(id, &job_state)),
+            None => error_response(404, "not_found", &format!("no such job `{id}`")),
+        },
+        // The message is `JobId::FromStr`'s own (carried through the
+        // router), so the wire-facing text has exactly one source.
+        Route::MalformedJobId(message) => error_response(400, "bad_request", &message),
+        Route::MethodNotAllowed { allow } => error_response(
+            405,
+            "method_not_allowed",
+            &format!("{} is not allowed here; allowed: {allow}", request.method),
+        )
+        .with_header("allow", allow),
+        Route::NotFound => error_response(
+            404,
+            "not_found",
+            &format!("no route for `{}`", request.path),
+        ),
+    }
+}
+
+/// `POST /v1/jobs`: parse → (optional backend pin) → enqueue → sync wait
+/// or async acknowledgement.
+fn handle_submit(state: &ServerState, request: &Request) -> Response {
+    let sync = match request.query_param("mode") {
+        None | Some("sync") => true,
+        Some("async") => false,
+        Some(other) => {
+            return error_response(
+                400,
+                "bad_request",
+                &format!("unknown mode `{other}` (expected sync or async)"),
+            )
+        }
+    };
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return error_response(400, "bad_request", "request body is not valid UTF-8");
+    };
+    let spec = match JobSpec::from_json(body) {
+        Ok(spec) => spec,
+        Err(error) => {
+            return error_response(status_for(&error), kind_name(&error), &error.to_string())
+        }
+    };
+    let spec = match state.config.backend_override {
+        Some(backend) => spec.with_backend(backend),
+        None => spec,
+    };
+
+    let id = state.store.register();
+    match state.queue.push(QueuedJob { id, spec }) {
+        Ok(()) => {}
+        Err(PushError::Full) => {
+            state.store.discard(id);
+            return error_response(
+                503,
+                "queue_full",
+                &format!(
+                    "job queue is at capacity ({}); retry later",
+                    state.queue.capacity()
+                ),
+            )
+            .with_header("retry-after", "1");
+        }
+        Err(PushError::Closed) => {
+            state.store.discard(id);
+            return error_response(503, "shutting_down", "server is shutting down");
+        }
+    }
+
+    if !sync {
+        return Response::json(202, submit_ack(id))
+            .with_header("location", format!("/v1/jobs/{id}"))
+            .with_header("fq-job-id", id.to_string());
+    }
+    match state.store.await_done(id, state.config.sync_wait) {
+        // Finished in time: the body is the bare canonical JobResult
+        // document — byte-identical to `JobResult::to_json()` of a
+        // direct `BatchRunner` run of the same spec.
+        Some(JobState::Done(result)) => match result.as_ref() {
+            Ok(result) => {
+                Response::json(200, result.to_json()).with_header("fq-job-id", id.to_string())
+            }
+            Err(error) => job_error_response(id, error),
+        },
+        // Still queued/running after `sync_wait`: degrade to async.
+        Some(state_now) => Response::json(202, job_envelope(id, &state_now))
+            .with_header("location", format!("/v1/jobs/{id}"))
+            .with_header("fq-job-id", id.to_string()),
+        None => error_response(500, "internal", "job vanished from the registry"),
+    }
+}
+
+/// `GET /v1/stats`: cache, queue, job and worker telemetry.
+fn stats_body(state: &ServerState) -> String {
+    let cache = state.runner.cache_stats();
+    let counts = state.store.counts();
+    Value::object(vec![
+        ("v", Value::UInt(WIRE_V)),
+        (
+            "cache",
+            Value::object(vec![
+                ("hits", Value::UInt(cache.hits)),
+                ("misses", Value::UInt(cache.misses)),
+                ("evictions", Value::UInt(cache.evictions)),
+                ("len", Value::UInt(cache.len as u64)),
+                (
+                    "capacity",
+                    cache
+                        .capacity
+                        .map_or(Value::Null, |c| Value::UInt(c as u64)),
+                ),
+            ]),
+        ),
+        (
+            "queue",
+            Value::object(vec![
+                ("depth", Value::UInt(state.queue.depth() as u64)),
+                ("capacity", Value::UInt(state.queue.capacity() as u64)),
+            ]),
+        ),
+        (
+            "jobs",
+            Value::object(vec![
+                ("submitted", Value::UInt(counts.submitted)),
+                ("completed", Value::UInt(counts.completed)),
+                ("failed", Value::UInt(counts.failed)),
+            ]),
+        ),
+        ("workers", Value::UInt(state.config.workers as u64)),
+    ])
+    .to_json()
+}

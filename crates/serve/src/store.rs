@@ -1,0 +1,232 @@
+//! The in-memory job registry: id allocation, lifecycle tracking, and
+//! completion wake-ups for synchronous submitters.
+//!
+//! Every submission gets a monotonically increasing [`JobId`] and a
+//! state that only moves forward: `Queued → Running → Done`. Results are
+//! retained until the server stops (the registry is the poll endpoint's
+//! backing store); bounding retention is an open ROADMAP item alongside
+//! template-cache persistence.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use frozenqubits::{FqError, JobId, JobResult};
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Debug)]
+pub(crate) enum JobState {
+    /// Accepted and waiting in the queue.
+    Queued,
+    /// Claimed by a worker and executing.
+    Running,
+    /// Finished, successfully or not. (`Arc`: polls snapshot the state
+    /// under the registry mutex, and a deep copy of a large sampling
+    /// result per `GET /v1/jobs/{id}` would serialize every poller and
+    /// worker behind an O(result-size) critical section.)
+    Done(std::sync::Arc<Result<JobResult, FqError>>),
+}
+
+impl JobState {
+    /// The wire name of this state (`Done(Err)` reads as `failed`).
+    pub(crate) fn status_name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(result) if result.is_ok() => "done",
+            JobState::Done(_) => "failed",
+        }
+    }
+}
+
+/// Aggregate submission counters for `/v1/stats`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct JobCounts {
+    /// Jobs ever accepted (queued), including finished ones.
+    pub(crate) submitted: u64,
+    /// Jobs finished successfully.
+    pub(crate) completed: u64,
+    /// Jobs finished with an error.
+    pub(crate) failed: u64,
+}
+
+/// The shared registry.
+#[derive(Debug, Default)]
+pub(crate) struct JobStore {
+    jobs: Mutex<HashMap<u64, JobState>>,
+    finished: Condvar,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl JobStore {
+    /// An empty registry; ids start at 1.
+    pub(crate) fn new() -> JobStore {
+        JobStore {
+            next_id: AtomicU64::new(1),
+            ..JobStore::default()
+        }
+    }
+
+    /// Mints a fresh id and registers it as queued.
+    pub(crate) fn register(&self) -> JobId {
+        let id = JobId::new(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.jobs
+            .lock()
+            .expect("store lock poisoned")
+            .insert(id.value(), JobState::Queued);
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        id
+    }
+
+    /// Removes a registration that never made it into the queue (the
+    /// push bounced); undoes the `submitted` count.
+    pub(crate) fn discard(&self, id: JobId) {
+        self.jobs
+            .lock()
+            .expect("store lock poisoned")
+            .remove(&id.value());
+        self.submitted.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Marks `id` as claimed by a worker.
+    pub(crate) fn mark_running(&self, id: JobId) {
+        self.jobs
+            .lock()
+            .expect("store lock poisoned")
+            .insert(id.value(), JobState::Running);
+    }
+
+    /// Records `id`'s final result and wakes synchronous waiters.
+    pub(crate) fn complete(&self, id: JobId, result: Result<JobResult, FqError>) {
+        match &result {
+            Ok(_) => self.completed.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        self.jobs
+            .lock()
+            .expect("store lock poisoned")
+            .insert(id.value(), JobState::Done(std::sync::Arc::new(result)));
+        self.finished.notify_all();
+    }
+
+    /// The current state of `id`, if it was ever registered.
+    pub(crate) fn snapshot(&self, id: JobId) -> Option<JobState> {
+        self.jobs
+            .lock()
+            .expect("store lock poisoned")
+            .get(&id.value())
+            .cloned()
+    }
+
+    /// Blocks until `id` finishes or `timeout` elapses; returns the
+    /// last observed state (`Done(..)` unless the wait timed out), or
+    /// `None` for an unknown id.
+    pub(crate) fn await_done(&self, id: JobId, timeout: Duration) -> Option<JobState> {
+        let deadline = Instant::now() + timeout;
+        let mut jobs = self.jobs.lock().expect("store lock poisoned");
+        loop {
+            let state = jobs.get(&id.value())?.clone();
+            if matches!(state, JobState::Done(_)) {
+                return Some(state);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(state);
+            }
+            let (guard, _) = self
+                .finished
+                .wait_timeout(jobs, deadline - now)
+                .expect("store lock poisoned");
+            jobs = guard;
+        }
+    }
+
+    /// Aggregate counters.
+    pub(crate) fn counts(&self) -> JobCounts {
+        JobCounts {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frozenqubits::RunSummary;
+
+    fn dummy_result() -> JobResult {
+        JobResult::Baseline(RunSummary {
+            label: "baseline".into(),
+            circuit_qubits: 1,
+            circuits_executed: 1,
+            metrics: frozenqubits::CircuitMetrics::default(),
+            ev_ideal: 0.0,
+            ev_noisy: 0.0,
+            arg: 0.0,
+            log_eps: 0.0,
+            params: (0.0, 0.0),
+        })
+    }
+
+    #[test]
+    fn lifecycle_and_counters() {
+        let store = JobStore::new();
+        let a = store.register();
+        let b = store.register();
+        assert_ne!(a, b);
+        assert!(matches!(store.snapshot(a), Some(JobState::Queued)));
+        store.mark_running(a);
+        assert!(matches!(store.snapshot(a), Some(JobState::Running)));
+        store.complete(a, Ok(dummy_result()));
+        assert_eq!(store.snapshot(a).unwrap().status_name(), "done");
+        store.complete(b, Err(FqError::InvalidConfig("x".into())));
+        assert_eq!(store.snapshot(b).unwrap().status_name(), "failed");
+        assert_eq!(
+            store.counts(),
+            JobCounts {
+                submitted: 2,
+                completed: 1,
+                failed: 1
+            }
+        );
+        assert!(store.snapshot(JobId::new(999)).is_none());
+    }
+
+    #[test]
+    fn discard_undoes_a_bounced_registration() {
+        let store = JobStore::new();
+        let id = store.register();
+        store.discard(id);
+        assert!(store.snapshot(id).is_none());
+        assert_eq!(store.counts().submitted, 0);
+    }
+
+    #[test]
+    fn await_done_times_out_with_last_state() {
+        let store = JobStore::new();
+        let id = store.register();
+        let state = store.await_done(id, Duration::from_millis(10)).unwrap();
+        assert!(matches!(state, JobState::Queued));
+        assert!(store.await_done(JobId::new(999), Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn await_done_wakes_on_completion() {
+        let store = std::sync::Arc::new(JobStore::new());
+        let id = store.register();
+        let waiter = {
+            let store = store.clone();
+            std::thread::spawn(move || store.await_done(id, Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        store.complete(id, Ok(dummy_result()));
+        let state = waiter.join().unwrap().unwrap();
+        assert_eq!(state.status_name(), "done");
+    }
+}

@@ -1,0 +1,128 @@
+//! The worker pool that drains the submission queue through a shared
+//! [`BatchRunner`].
+//!
+//! Every worker owns nothing: the queue, the registry and the runner are
+//! all shared (`BatchRunner::run` takes `&self`; its `TemplateCache` is
+//! concurrent), so concurrent clients warm each other's templates — the
+//! first submitter of a (shape, device, layers, options) combination
+//! pays the compile, everyone after it hits the cache, whichever worker
+//! picks their job up.
+
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use frozenqubits::{BatchRunner, FqError};
+
+use crate::queue::JobQueue;
+use crate::store::JobStore;
+
+/// A fixed-size pool of job-executing threads.
+#[derive(Debug)]
+pub(crate) struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `count` workers (zero is legal: jobs then queue without
+    /// draining, which is what backpressure tests use).
+    pub(crate) fn spawn(
+        count: usize,
+        queue: Arc<JobQueue>,
+        store: Arc<JobStore>,
+        runner: Arc<BatchRunner>,
+    ) -> WorkerPool {
+        let handles = (0..count)
+            .map(|index| {
+                let queue = Arc::clone(&queue);
+                let store = Arc::clone(&store);
+                let runner = Arc::clone(&runner);
+                thread::Builder::new()
+                    .name(format!("fq-serve-worker-{index}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            store.mark_running(job.id);
+                            // A panicking spec must not kill the worker
+                            // (shrinking the pool) or strand the job in
+                            // `running` forever — record it as failed
+                            // and keep draining.
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    runner
+                                        .run(std::slice::from_ref(&job.spec))
+                                        .pop()
+                                        .expect("one result per submitted spec")
+                                }))
+                                .unwrap_or_else(|panic| {
+                                    let what = panic
+                                        .downcast_ref::<&str>()
+                                        .map(|s| (*s).to_string())
+                                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                                        .unwrap_or_else(|| "non-string panic payload".into());
+                                    Err(FqError::Io(format!("job execution panicked: {what}")))
+                                });
+                            store.complete(job.id, result);
+                        }
+                    })
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Waits for every worker to exit (call after closing the queue).
+    pub(crate) fn join(self) {
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueuedJob;
+    use frozenqubits::api::{DeviceSpec, JobBuilder};
+    use frozenqubits::JobId;
+    use std::time::Duration;
+
+    #[test]
+    fn workers_drain_the_queue_and_record_results() {
+        let queue = Arc::new(JobQueue::new(8));
+        let store = Arc::new(JobStore::new());
+        let runner = Arc::new(BatchRunner::new().with_threads(1));
+        let pool = WorkerPool::spawn(2, queue.clone(), store.clone(), runner.clone());
+
+        let spec = JobBuilder::new()
+            .barabasi_albert(10, 1, 3)
+            .device(DeviceSpec::IbmMontreal)
+            .frozen()
+            .build()
+            .unwrap();
+        let ids: Vec<JobId> = (0..4)
+            .map(|_| {
+                let id = store.register();
+                queue
+                    .push(QueuedJob {
+                        id,
+                        spec: spec.clone(),
+                    })
+                    .unwrap();
+                id
+            })
+            .collect();
+
+        let expected = spec.run().unwrap();
+        for id in ids {
+            let state = store.await_done(id, Duration::from_secs(60)).unwrap();
+            let crate::store::JobState::Done(result) = state else {
+                panic!("job should have finished");
+            };
+            assert_eq!(result.as_ref().as_ref().unwrap(), &expected);
+        }
+        // All four jobs share one shape: exactly one compile.
+        assert_eq!(runner.templates_compiled(), 1);
+
+        queue.close();
+        pool.join();
+    }
+}

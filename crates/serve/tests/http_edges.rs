@@ -1,0 +1,458 @@
+//! HTTP edge-case coverage: every malformed, hostile or unlucky request
+//! gets a structured JSON error — never a panic, never a hang.
+//!
+//! The cases the service must survive:
+//! oversized and truncated bodies, unknown routes and methods, malformed
+//! JSON, version-mismatched specs, queue-full backpressure, chunked
+//! transfer encoding, unsupported HTTP versions, and garbage request
+//! lines — plus the positive framing paths (keep-alive reuse, sync
+//! degradation to async under a zero-worker drain).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use fq_serve::{client, Server, ServerConfig, ServerHandle};
+use frozenqubits::api::{DeviceSpec, JobBuilder, JobSpec};
+use serde::json::Value;
+
+fn spawn(config: ServerConfig) -> (ServerHandle, String) {
+    let handle = Server::spawn(config).unwrap();
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn small_spec() -> JobSpec {
+    JobBuilder::new()
+        .barabasi_albert(8, 1, 1)
+        .device(DeviceSpec::IbmMontreal)
+        .baseline()
+        .build()
+        .unwrap()
+}
+
+/// Writes raw bytes, optionally half-closes the write side, and reads
+/// the full response (the server closes after an error).
+fn raw_roundtrip(addr: &str, request: &[u8], half_close: bool) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(request).unwrap();
+    if half_close {
+        stream.shutdown(Shutdown::Write).unwrap();
+    }
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {response:?}"))
+}
+
+fn error_kind(response: &str) -> String {
+    let body = response.split("\r\n\r\n").nth(1).expect("a body");
+    Value::parse(body)
+        .unwrap_or_else(|e| panic!("error bodies are JSON ({e:?}): {body:?}"))
+        .field("error")
+        .unwrap()
+        .field("kind")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string()
+}
+
+#[test]
+fn routing_errors_are_structured() {
+    let (handle, addr) = spawn(ServerConfig::default());
+
+    // Unknown routes.
+    for target in ["/", "/v2/jobs", "/v1/jobs/extra/deep"] {
+        let response = client::request(&addr, "GET", target, None).unwrap();
+        assert_eq!(response.status, 404, "{target}");
+        assert_eq!(
+            response
+                .json()
+                .unwrap()
+                .field("error")
+                .unwrap()
+                .field("kind")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "not_found"
+        );
+    }
+
+    // Known routes, wrong methods — with an Allow header.
+    let response = client::request(&addr, "DELETE", "/v1/jobs", None).unwrap();
+    assert_eq!(response.status, 405);
+    assert_eq!(response.header("allow"), Some("POST"));
+    let response = client::request(&addr, "POST", "/v1/healthz", None).unwrap();
+    assert_eq!(response.status, 405);
+    assert_eq!(response.header("allow"), Some("GET"));
+
+    // Job polling: malformed ids 400, unknown ids 404.
+    let response = client::request(&addr, "GET", "/v1/jobs/job-42", None).unwrap();
+    assert_eq!(response.status, 400);
+    let response = client::request(&addr, "GET", "/v1/jobs/job-00000000000000ff", None).unwrap();
+    assert_eq!(response.status, 404);
+
+    // Unknown submission modes.
+    let response = client::request(
+        &addr,
+        "POST",
+        "/v1/jobs?mode=telepathy",
+        Some(&small_spec().to_json()),
+    )
+    .unwrap();
+    assert_eq!(response.status, 400);
+
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_and_mismatched_bodies_are_rejected() {
+    let (handle, addr) = spawn(ServerConfig::default());
+
+    // Malformed JSON.
+    let response = client::request(&addr, "POST", "/v1/jobs", Some("{not json")).unwrap();
+    assert_eq!(response.status, 400);
+    assert_eq!(
+        response
+            .json()
+            .unwrap()
+            .field("error")
+            .unwrap()
+            .field("kind")
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        "serde"
+    );
+
+    // A well-formed spec from a future wire version.
+    let mismatched = small_spec().to_json().replace("\"v\":1", "\"v\":2");
+    let response = client::request(&addr, "POST", "/v1/jobs", Some(&mismatched)).unwrap();
+    assert_eq!(response.status, 400);
+    assert!(
+        response.body.contains("unsupported wire version"),
+        "{}",
+        response.body
+    );
+
+    // Valid JSON that is not a JobSpec document.
+    let response = client::request(&addr, "POST", "/v1/jobs", Some("[1,2,3]")).unwrap();
+    assert_eq!(response.status, 400);
+
+    handle.shutdown();
+}
+
+#[test]
+fn framing_abuse_gets_structured_errors_not_hangs() {
+    let (handle, addr) = spawn(ServerConfig {
+        max_body_bytes: 1024,
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    });
+
+    // Oversized body, announced: rejected before reading it.
+    let response = raw_roundtrip(
+        &addr,
+        b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 4096\r\n\r\n",
+        false,
+    );
+    assert_eq!(status_of(&response), 413);
+    assert_eq!(error_kind(&response), "payload_too_large");
+
+    // Truncated body: client promises 100 bytes, sends 9, hangs up.
+    let response = raw_roundtrip(
+        &addr,
+        b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 100\r\n\r\n{\"v\":1,..",
+        true,
+    );
+    assert_eq!(status_of(&response), 400);
+    assert_eq!(error_kind(&response), "bad_request");
+
+    // Truncated header section.
+    let response = raw_roundtrip(&addr, b"GET /v1/healthz HTTP/1.1\r\nhost: x", true);
+    assert_eq!(status_of(&response), 400);
+
+    // Garbage request lines: not method/target/version shaped at all,
+    // or shaped like one but with a version this server does not speak.
+    let response = raw_roundtrip(&addr, b"garbage\r\n\r\n", false);
+    assert_eq!(status_of(&response), 400);
+    let response = raw_roundtrip(&addr, b"how about no\r\n\r\n", false);
+    assert_eq!(status_of(&response), 505);
+
+    // Unsupported HTTP version.
+    let response = raw_roundtrip(&addr, b"GET /v1/healthz HTTP/2.0\r\n\r\n", false);
+    assert_eq!(status_of(&response), 505);
+
+    // Chunked transfer encoding is deliberately not implemented —
+    // including when smuggled behind a benign first occurrence.
+    let response = raw_roundtrip(
+        &addr,
+        b"POST /v1/jobs HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+        false,
+    );
+    assert_eq!(status_of(&response), 501);
+    assert_eq!(error_kind(&response), "not_implemented");
+    let response = raw_roundtrip(
+        &addr,
+        b"POST /v1/jobs HTTP/1.1\r\ntransfer-encoding: identity\r\ntransfer-encoding: chunked\r\n\r\n",
+        false,
+    );
+    assert_eq!(status_of(&response), 501);
+
+    // Duplicate content-length headers are the classic smuggling vector:
+    // rejected outright, not first-one-wins.
+    let response = raw_roundtrip(
+        &addr,
+        b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 40\r\n\r\nbody",
+        false,
+    );
+    assert_eq!(status_of(&response), 400);
+
+    // Bad content-length values.
+    let response = raw_roundtrip(
+        &addr,
+        b"POST /v1/jobs HTTP/1.1\r\ncontent-length: over9000\r\n\r\n",
+        false,
+    );
+    assert_eq!(status_of(&response), 400);
+
+    handle.shutdown();
+}
+
+#[test]
+fn slow_drip_requests_hit_the_request_deadline() {
+    let (handle, addr) = spawn(ServerConfig {
+        request_deadline: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // A slowloris-style sender: drip a partial request line, wait past
+    // the deadline, drip again. The next read attempt after the second
+    // byte arrives fails the deadline check → 400, connection closed.
+    stream.write_all(b"GET /v1").unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    stream.write_all(b"/he").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert_eq!(status_of(&response), 400);
+    assert!(
+        response.contains("timed out"),
+        "deadline errors say so: {response}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn connection_cap_sheds_load_with_503() {
+    let (handle, addr) = spawn(ServerConfig {
+        max_connections: 1,
+        ..ServerConfig::default()
+    });
+    // Occupy the single slot with a keep-alive connection that has
+    // completed a request (so its thread is definitely counted).
+    let mut holder = TcpStream::connect(&addr).unwrap();
+    holder
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    holder
+        .write_all(b"GET /v1/healthz HTTP/1.1\r\n\r\n")
+        .unwrap();
+    let mut first = [0u8; 64];
+    let n = holder.read(&mut first).unwrap();
+    assert!(String::from_utf8_lossy(&first[..n]).starts_with("HTTP/1.1 200"));
+
+    // The next connection is over the cap: immediate 503, no thread.
+    let response = client::request(&addr, "GET", "/v1/healthz", None).unwrap();
+    assert_eq!(response.status, 503);
+    assert_eq!(
+        response
+            .json()
+            .unwrap()
+            .field("error")
+            .unwrap()
+            .field("kind")
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        "overloaded"
+    );
+
+    // Releasing the holder frees the slot (drop closes the socket; give
+    // the server a beat to notice EOF and retire the thread).
+    drop(holder);
+    let ok = (0..50).any(|_| {
+        std::thread::sleep(Duration::from_millis(20));
+        client::request(&addr, "GET", "/v1/healthz", None)
+            .map(|r| r.status == 200)
+            .unwrap_or(false)
+    });
+    assert!(ok, "slot must free after the holder disconnects");
+    handle.shutdown();
+}
+
+#[test]
+fn queue_backpressure_returns_503_with_retry_after() {
+    // Zero workers: nothing drains, so the queue fills deterministically.
+    let (handle, addr) = spawn(ServerConfig {
+        workers: 0,
+        queue_capacity: 2,
+        ..ServerConfig::default()
+    });
+    let spec = small_spec().to_json();
+
+    for _ in 0..2 {
+        let response = client::request(&addr, "POST", "/v1/jobs?mode=async", Some(&spec)).unwrap();
+        assert_eq!(response.status, 202, "{}", response.body);
+    }
+    let response = client::request(&addr, "POST", "/v1/jobs?mode=async", Some(&spec)).unwrap();
+    assert_eq!(response.status, 503);
+    assert_eq!(response.header("retry-after"), Some("1"));
+    assert_eq!(
+        response
+            .json()
+            .unwrap()
+            .field("error")
+            .unwrap()
+            .field("kind")
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        "queue_full"
+    );
+
+    // The stats endpoint reflects the backpressure state.
+    let stats = client::request(&addr, "GET", "/v1/stats", None).unwrap();
+    let stats = stats.json().unwrap();
+    let queue = stats.field("queue").unwrap();
+    assert_eq!(queue.field("depth").unwrap().as_u64().unwrap(), 2);
+    assert_eq!(queue.field("capacity").unwrap().as_u64().unwrap(), 2);
+
+    handle.shutdown();
+}
+
+#[test]
+fn sync_submissions_degrade_to_async_when_workers_lag() {
+    // Zero workers and a tiny sync budget: the submission cannot finish,
+    // so the service answers 202 with the poll location instead of
+    // hanging the client.
+    let (handle, addr) = spawn(ServerConfig {
+        workers: 0,
+        sync_wait: Duration::from_millis(50),
+        ..ServerConfig::default()
+    });
+    let response =
+        client::request(&addr, "POST", "/v1/jobs", Some(&small_spec().to_json())).unwrap();
+    assert_eq!(response.status, 202, "{}", response.body);
+    let envelope = response.json().unwrap();
+    assert_eq!(
+        envelope.field("status").unwrap().as_str().unwrap(),
+        "queued"
+    );
+    let location = response.header("location").unwrap().to_string();
+    let polled = client::request(&addr, "GET", &location, None).unwrap();
+    assert_eq!(polled.status, 200);
+
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_per_connection() {
+    let (handle, addr) = spawn(ServerConfig::default());
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // Reads one framed response off the keep-alive connection.
+    let read_response = |reader: &mut BufReader<TcpStream>| -> (u16, String) {
+        let mut head = String::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" {
+                break;
+            }
+            head.push_str(&line);
+        }
+        let status = head.split(' ').nth(1).unwrap().parse().unwrap();
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; length];
+        reader.read_exact(&mut body).unwrap();
+        (status, String::from_utf8(body).unwrap())
+    };
+
+    stream
+        .write_all(b"GET /v1/healthz HTTP/1.1\r\n\r\n")
+        .unwrap();
+    let (status, body) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\""));
+
+    // Second request on the same connection — including a body this time.
+    let spec = small_spec().to_json();
+    stream
+        .write_all(
+            format!(
+                "POST /v1/jobs HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{spec}",
+                spec.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let (status, body) = read_response(&mut reader);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"kind\":\"baseline\""));
+
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_queued_jobs() {
+    // One worker, several queued jobs: shutdown must let the queue
+    // drain (the workers finish what was accepted) and join cleanly.
+    let (handle, addr) = spawn(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let spec = small_spec().to_json();
+    let mut ids = Vec::new();
+    for _ in 0..3 {
+        let response = client::request(&addr, "POST", "/v1/jobs?mode=async", Some(&spec)).unwrap();
+        assert_eq!(response.status, 202);
+        ids.push(
+            response
+                .json()
+                .unwrap()
+                .field("id")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string(),
+        );
+    }
+    handle.shutdown();
+    // The handle is gone and the port released; all accepted jobs ran
+    // (shutdown joins the workers after the queue drains) — nothing to
+    // poll anymore, but nothing hung either.
+}

@@ -25,7 +25,7 @@ fn one_compile_per_distinct_shape_across_the_whole_batch() {
     // Two jobs over the same problem with the same m: identical
     // sub-circuit shape, so exactly one compile for both jobs.
     let before = compile_invocations();
-    let mut runner = BatchRunner::new();
+    let runner = BatchRunner::new();
     let results = runner.run(&[frozen_spec(12, 1, 0), frozen_spec(12, 1, 1)]);
     assert!(results.iter().all(Result::is_ok));
     assert_eq!(

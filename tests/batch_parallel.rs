@@ -132,7 +132,7 @@ fn parallel_batch_is_bit_identical_and_compiles_once_per_key() {
 
     // — Parallel engine, forced to a real fan-out even on small runners.
     let before = compile_invocations();
-    let mut runner = BatchRunner::new().with_threads(4);
+    let runner = BatchRunner::new().with_threads(4);
     let parallel = runner.run(&specs);
     let compiled_parallel = compile_invocations() - before;
 
@@ -192,7 +192,7 @@ fn parallel_batch_is_bit_identical_and_compiles_once_per_key() {
     // cache. Results stay bit-identical; residency respects the bound;
     // evictions happen and are counted.
     let bounded_slice: Vec<JobSpec> = specs[..30].to_vec();
-    let mut bounded = BatchRunner::new().with_threads(3).with_cache_capacity(2);
+    let bounded = BatchRunner::new().with_threads(3).with_cache_capacity(2);
     let bounded_results = bounded.run(&bounded_slice);
     for (i, (b, s)) in bounded_results.iter().zip(&sequential).enumerate() {
         assert_eq!(

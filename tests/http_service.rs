@@ -1,0 +1,182 @@
+//! End-to-end acceptance for the HTTP job service (`fq-serve`):
+//!
+//! * N concurrent HTTP clients submitting a mixed batch receive
+//!   `JobResult` bodies **byte-identical** to `JobResult::to_json()` of
+//!   a direct `BatchRunner` run of the same specs;
+//! * `/v1/stats` proves cross-client template-cache warming: clients
+//!   submitting different jobs of one shape family share compiles;
+//! * the async submit → poll flow embeds the same canonical bytes;
+//! * job failures surface as structured errors with the same `FqError`
+//!   text the engine produces directly.
+
+use std::thread;
+
+use fq_serve::{client, Server, ServerConfig};
+use frozenqubits::api::{BackendSpec, BatchRunner, DeviceSpec, JobBuilder, JobSpec};
+use frozenqubits::FrozenQubitsConfig;
+use serde::json::Value;
+
+/// A frozen job over the fixed problem family `(n, graph_seed)`; jobs in
+/// one family share a sub-circuit shape, which is what the shared
+/// service cache amortizes across clients.
+fn frozen(n: usize, graph_seed: u64, m: usize, seed: u64) -> JobSpec {
+    JobBuilder::new()
+        .barabasi_albert(n, 1, graph_seed)
+        .device(DeviceSpec::IbmMontreal)
+        .num_frozen(m)
+        .seed(seed)
+        .frozen()
+        .build()
+        .unwrap()
+}
+
+/// A mixed all-success batch: two freeze depths of one power-law family,
+/// compare reports, the noise-model backend, and end-to-end sampling.
+fn mixed_specs() -> Vec<JobSpec> {
+    let mut specs: Vec<JobSpec> = Vec::new();
+    specs.extend((0..4).map(|s| frozen(10, 4, 1, s)));
+    specs.extend((0..2).map(|s| frozen(10, 4, 2, s)));
+    for s in 0..2 {
+        specs.push(
+            JobBuilder::new()
+                .barabasi_albert(8, 1, 2)
+                .device(DeviceSpec::IbmMontreal)
+                .seed(s)
+                .compare()
+                .build()
+                .unwrap(),
+        );
+    }
+    // The deterministic noise-model backend shares the family's shape.
+    specs.extend((0..2).map(|s| JobSpec {
+        backend: BackendSpec::NoiseModel,
+        ..frozen(10, 4, 1, 100 + s)
+    }));
+    for s in 0..2 {
+        specs.push(
+            JobBuilder::new()
+                .barabasi_albert(8, 1, 2)
+                .device(DeviceSpec::IbmMontreal)
+                .seed(s)
+                .sample(64)
+                .build()
+                .unwrap(),
+        );
+    }
+    specs
+}
+
+#[test]
+fn concurrent_http_clients_get_byte_identical_results_and_share_the_cache() {
+    let specs = mixed_specs();
+
+    // — The reference: one direct BatchRunner pass over the same specs.
+    let reference = BatchRunner::new();
+    let expected: Vec<String> = reference
+        .run(&specs)
+        .into_iter()
+        .map(|r| r.expect("the mixed batch is all-success").to_json())
+        .collect();
+
+    let handle = Server::spawn(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    // — N concurrent clients, interleaved over the spec list (stride
+    // N), so every shape family is submitted by several *different*
+    // clients: any cache hit below is necessarily cross-client warming.
+    const CLIENTS: usize = 4;
+    let bodies: Vec<(usize, String)> = thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..CLIENTS {
+            let addr = &addr;
+            let specs = &specs;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                for (i, spec) in specs.iter().enumerate().skip(c).step_by(CLIENTS) {
+                    let response = client::request(addr, "POST", "/v1/jobs", Some(&spec.to_json()))
+                        .expect("sync submission");
+                    assert_eq!(response.status, 200, "job {i}: {}", response.body);
+                    assert!(
+                        response.header("fq-job-id").is_some(),
+                        "sync responses carry the job id"
+                    );
+                    out.push((i, response.body));
+                }
+                out
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    assert_eq!(bodies.len(), specs.len());
+    for (i, body) in &bodies {
+        assert_eq!(
+            body, &expected[*i],
+            "job {i}: HTTP body must be byte-identical to the direct BatchRunner result"
+        );
+    }
+
+    // — /v1/stats: the service cache saw exactly the same key space as
+    // the direct run — and hits prove clients warmed each other.
+    let direct = reference.cache_stats();
+    let stats = client::request(&addr, "GET", "/v1/stats", None).unwrap();
+    assert_eq!(stats.status, 200);
+    let stats = Value::parse(&stats.body).unwrap();
+    let cache = stats.field("cache").unwrap();
+    let get = |k: &str| cache.field(k).unwrap().as_u64().unwrap();
+    assert_eq!(get("misses"), direct.misses, "same distinct template keys");
+    assert_eq!(get("hits"), direct.hits, "same lookup volume");
+    assert!(
+        get("hits") >= 1,
+        "interleaved clients must hit each other's compiled templates"
+    );
+    assert_eq!(get("evictions"), 0);
+    let jobs = stats.field("jobs").unwrap();
+    assert_eq!(
+        jobs.field("completed").unwrap().as_u64().unwrap(),
+        specs.len() as u64
+    );
+    assert_eq!(jobs.field("failed").unwrap().as_u64().unwrap(), 0);
+
+    // — The async flow embeds the same canonical bytes in the poll
+    // envelope.
+    let id = client::submit_async(&addr, &specs[0]).unwrap();
+    let result = loop {
+        let (status, result) = client::poll(&addr, id).unwrap();
+        match status.as_str() {
+            "done" => break result.unwrap(),
+            "failed" => panic!("async job failed"),
+            _ => thread::sleep(std::time::Duration::from_millis(10)),
+        }
+    };
+    assert_eq!(result.to_json(), expected[0]);
+
+    // — A failing job produces the engine's own error, structured.
+    let smuggled = JobSpec {
+        config: FrozenQubitsConfig::with_frozen(99),
+        ..frozen(10, 4, 1, 0)
+    };
+    let direct_err = smuggled.run().unwrap_err();
+    let response = client::request(&addr, "POST", "/v1/jobs", Some(&smuggled.to_json())).unwrap();
+    assert_eq!(response.status, 422, "{}", response.body);
+    let envelope = Value::parse(&response.body).unwrap();
+    let error = envelope.field("error").unwrap();
+    assert_eq!(
+        error.field("kind").unwrap().as_str().unwrap(),
+        "too_many_frozen"
+    );
+    assert_eq!(
+        error.field("message").unwrap().as_str().unwrap(),
+        direct_err.to_string(),
+        "the service surfaces the engine's own error text"
+    );
+
+    handle.shutdown();
+}
