@@ -8,6 +8,12 @@
 //! thread counts, and reports jobs/sec, templates compiled and the
 //! speedup over the sequential (1-thread) run.
 //!
+//! It then measures **cold vs. warm start** through a disk-spill store:
+//! one runner populates a fresh `--cache-dir`-style directory, a second
+//! "restarted" runner replays the batch from it — asserting zero new
+//! `compile_invocations()` and byte-identical results — quantifying
+//! exactly what disk warm-start saves.
+//!
 //! Knobs:
 //! * `FQ_BENCH_JOBS` — job count (default 96; CI smoke uses a small
 //!   value).
@@ -143,6 +149,44 @@ fn main() {
     }
     println!("templates compiled per cold run: {templates}");
 
+    // — Cold vs. warm start through a disk-spill store: what does a
+    // restart cost with and without `--cache-dir`?
+    let cache_dir = std::env::temp_dir().join(format!("fq-bench-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cold_runner = BatchRunner::new()
+        .with_cache_dir(&cache_dir)
+        .expect("temp cache dir");
+    let t0 = Instant::now();
+    let cold_results = cold_runner.run(&specs);
+    let cold_seconds = t0.elapsed().as_secs_f64();
+
+    let warm_runner = BatchRunner::new()
+        .with_cache_dir(&cache_dir)
+        .expect("temp cache dir");
+    let before = fq_transpile::compile_invocations();
+    let t0 = Instant::now();
+    let warm_results = warm_runner.run(&specs);
+    let warm_seconds = t0.elapsed().as_secs_f64();
+    let warm_compiles = fq_transpile::compile_invocations() - before;
+    assert_eq!(
+        warm_compiles, 0,
+        "the restarted runner must serve every template from disk"
+    );
+    for (c, w) in cold_results.iter().zip(&warm_results) {
+        assert_eq!(
+            c.as_ref().unwrap(),
+            w.as_ref().unwrap(),
+            "warm results diverged from cold"
+        );
+    }
+    let warm_speedup = cold_seconds / warm_seconds;
+    println!(
+        "warm start: cold {:>10}   warm {:>10}   speedup {warm_speedup:.2}x   (0 compiles on the warm run)",
+        fmt_time(cold_seconds),
+        fmt_time(warm_seconds)
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
     let max_speedup = points.iter().map(|p| p.speedup).fold(0.0f64, f64::max);
     let mut rows = String::new();
     for (i, p) in points.iter().enumerate() {
@@ -157,6 +201,8 @@ fn main() {
         "{{\n  \"bench\": \"batch_throughput\",\n  \"jobs\": {jobs},\n  \"iters\": {iters},\n  \
          \"cores\": {cores},\n  \"templates_compiled\": {templates},\n  \
          \"max_speedup_vs_sequential\": {max_speedup:.3},\n  \"points\": [{rows}\n  ],\n  \
+         \"warm_start\": {{\"cold_seconds\":{cold_seconds:.6},\"warm_seconds\":{warm_seconds:.6},\
+         \"speedup\":{warm_speedup:.3},\"warm_compiles\":0}},\n  \
          \"note\": \"speedup scales with available cores; a single-core runner reports ~1.0\"\n}}\n"
     );
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_batch.json");

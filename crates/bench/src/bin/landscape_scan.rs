@@ -1,0 +1,150 @@
+//! Landscape-scan benchmark: the `(γ, β)` grid evaluation that seeds
+//! every parameter optimization, timed through the hoisted fast path —
+//! the perf-regression harness behind `BENCH_landscape.json`.
+//!
+//! `optimize_parameters` evaluates a `resolution²` grid of the p = 1
+//! analytic expectation per sub-problem. PR 3 added two layered
+//! optimizations: `PreparedP1` gathers the model's coupling structure
+//! once (every evaluation thereafter is `O(Σ deg)` and allocation-free),
+//! and `grid_scan_2d_hoisted` additionally hoists all γ-only
+//! trigonometry out of each β row. This bench times the hoisted scan
+//! against the naive per-point `expectation_p1` path on the same models
+//! and asserts the values are **bit-identical** — the speedup must stay
+//! a pure evaluation-strategy win, never a numerics change.
+//!
+//! Knobs:
+//! * `FQ_BENCH_LANDSCAPE_N` — largest model size (default 96).
+//! * `FQ_BENCH_ITERS` — timed iterations per point (default 3; the
+//!   minimum is reported).
+//!
+//! The JSON lands at the workspace root as `BENCH_landscape.json`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fq_bench::harness::fmt_time;
+use fq_graphs::{gen, to_ising_pm1};
+use fq_ising::IsingModel;
+use fq_optim::{grid_scan_2d, grid_scan_2d_hoisted, GridScan};
+use fq_sim::analytic::{expectation_p1, PreparedP1};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn ba_model(n: usize, d: usize, seed: u64) -> IsingModel {
+    to_ising_pm1(&gen::barabasi_albert(n, d, seed).unwrap(), seed)
+}
+
+const GAMMA: (f64, f64) = (-std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2);
+const BETA: (f64, f64) = (-std::f64::consts::FRAC_PI_4, std::f64::consts::FRAC_PI_4);
+
+fn hoisted_scan(model: &IsingModel, resolution: usize) -> GridScan {
+    let prepared = PreparedP1::new(model);
+    grid_scan_2d_hoisted(
+        |g| prepared.row(g),
+        |row, b| row.at(b),
+        GAMMA,
+        BETA,
+        resolution,
+    )
+}
+
+fn naive_scan(model: &IsingModel, resolution: usize) -> GridScan {
+    grid_scan_2d(
+        |g, b| expectation_p1(model, g, b).expect("well-formed model"),
+        GAMMA,
+        BETA,
+        resolution,
+    )
+}
+
+struct Point {
+    n: usize,
+    d: usize,
+    resolution: usize,
+    hoisted_seconds: f64,
+    naive_seconds: f64,
+    points_per_sec: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let max_n = env_usize("FQ_BENCH_LANDSCAPE_N", 96);
+    let iters = env_usize("FQ_BENCH_ITERS", 3).max(1);
+    let sizes: Vec<(usize, usize)> = [(24usize, 1usize), (48, 2), (96, 3)]
+        .into_iter()
+        .filter(|&(n, _)| n <= max_n)
+        .collect();
+    let resolutions = [41usize, 81];
+
+    println!("== landscape scan: hoisted (γ, β) grid evaluation ==");
+    println!("sizes: {sizes:?}   resolutions: {resolutions:?}   iters: {iters}");
+
+    let mut points = Vec::new();
+    for &(n, d) in &sizes {
+        let model = ba_model(n, d, 11);
+        for &resolution in &resolutions {
+            // Correctness first: the hoisted path must be bit-identical
+            // to evaluating expectation_p1 per grid point.
+            let hoisted = hoisted_scan(&model, resolution);
+            let naive = naive_scan(&model, resolution);
+            assert_eq!(hoisted.best_index, naive.best_index);
+            assert_eq!(hoisted.values, naive.values, "hoisting changed numerics");
+
+            let mut hoisted_best = f64::INFINITY;
+            let mut naive_best = f64::INFINITY;
+            for _ in 0..iters {
+                let t0 = Instant::now();
+                let scan = hoisted_scan(&model, resolution);
+                hoisted_best = hoisted_best.min(t0.elapsed().as_secs_f64());
+                std::hint::black_box(scan);
+
+                let t0 = Instant::now();
+                let scan = naive_scan(&model, resolution);
+                naive_best = naive_best.min(t0.elapsed().as_secs_f64());
+                std::hint::black_box(scan);
+            }
+            let grid_points = (resolution * resolution) as f64;
+            let point = Point {
+                n,
+                d,
+                resolution,
+                hoisted_seconds: hoisted_best,
+                naive_seconds: naive_best,
+                points_per_sec: grid_points / hoisted_best,
+                speedup: naive_best / hoisted_best,
+            };
+            println!(
+                "n={n:<4} d_BA={d} res={resolution:<4} hoisted {:>10}   naive {:>10}   {:>12.0} pts/s   speedup {:.2}x",
+                fmt_time(point.hoisted_seconds),
+                fmt_time(point.naive_seconds),
+                point.points_per_sec,
+                point.speedup
+            );
+            points.push(point);
+        }
+    }
+
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 < points.len() { "," } else { "" };
+        let _ = write!(
+            rows,
+            "\n    {{\"n\":{},\"d\":{},\"resolution\":{},\"hoisted_seconds\":{:.6},\"naive_seconds\":{:.6},\"points_per_sec\":{:.1},\"speedup_vs_naive\":{:.3}}}{sep}",
+            p.n, p.d, p.resolution, p.hoisted_seconds, p.naive_seconds, p.points_per_sec, p.speedup
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"landscape_scan\",\n  \"iters\": {iters},\n  \"gamma_range\": \"[-pi/2, pi/2]\",\n  \
+         \"beta_range\": \"[-pi/4, pi/4]\",\n  \"points\": [{rows}\n  ],\n  \
+         \"note\": \"hoisted and naive scans are asserted bit-identical before timing\"\n}}\n"
+    );
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_landscape.json");
+    std::fs::write(&path, &json).expect("can write BENCH_landscape.json");
+    println!("  -> wrote {}", path.display());
+}

@@ -42,7 +42,7 @@
 
 mod backend;
 mod batch;
-mod wire;
+pub(crate) mod wire;
 
 pub(crate) use backend::noise_model_sampling_error;
 pub use backend::{Backend, BackendSpec, NoiseModelBackend, SimBackend};

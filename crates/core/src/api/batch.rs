@@ -4,6 +4,7 @@
 use super::{noise_model_sampling_error, Job, JobUnit, UnitOutput, UnitRole};
 use crate::executor::{auto_threads, execute_branch, par_collect, sample_branch};
 use crate::plan::{plan_execution_cached, CacheStats, ExecutionPlan, TemplateCache};
+use crate::store::{DiskStore, MemoryStore, TemplateStore, TieredStore};
 use crate::{BranchOutcome, BranchSamples, FqError, JobResult, JobSpec};
 
 /// Runs many [`JobSpec`]s against one shared [`TemplateCache`],
@@ -110,6 +111,40 @@ impl BatchRunner {
     pub fn with_cache_capacity(mut self, capacity: usize) -> BatchRunner {
         self.cache = TemplateCache::with_capacity(capacity);
         self
+    }
+
+    /// Replaces the template cache's backing [`TemplateStore`] — the
+    /// persistence seam. Pass a
+    /// [`TieredStore`](crate::TieredStore) to spill compiled templates
+    /// to disk; [`BatchRunner::with_cache_dir`] is the one-call form.
+    #[must_use]
+    pub fn with_store(mut self, store: Box<dyn TemplateStore>) -> BatchRunner {
+        self.cache = TemplateCache::with_store(store);
+        self
+    }
+
+    /// Backs the template cache with an unbounded memory tier over a
+    /// disk spill tier rooted at `dir`: every compiled template is
+    /// written through to `dir`, so a later runner (or a restarted
+    /// process, or a sibling shard mounting the same directory) pointed
+    /// at the same path re-runs the batch with **zero** new compiles —
+    /// pinned in `tests/warm_start.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FqError::Io`] when `dir` cannot be created.
+    pub fn with_cache_dir(self, dir: impl AsRef<std::path::Path>) -> Result<BatchRunner, FqError> {
+        let disk = DiskStore::new(dir)?;
+        Ok(self.with_store(Box::new(TieredStore::new(MemoryStore::new(), disk))))
+    }
+
+    /// The shared template cache — warm-transfer surface included
+    /// ([`TemplateCache::index`], [`TemplateCache::artifact`],
+    /// [`TemplateCache::insert_artifact`]), which is how the HTTP
+    /// service serves `GET`/`POST /v1/templates`.
+    #[must_use]
+    pub fn cache(&self) -> &TemplateCache {
+        &self.cache
     }
 
     /// The effective worker count for `items` work items.

@@ -319,7 +319,7 @@ fn hotspots_from_value(v: &Value) -> Result<HotspotStrategy, FqError> {
     }
 }
 
-fn compile_to_value(options: CompileOptions) -> Value {
+pub(crate) fn compile_to_value(options: CompileOptions) -> Value {
     // Exhaustive on purpose: a new LayoutStrategy variant must fail to
     // compile here until it gets a wire name.
     let layout = match options.layout {
@@ -332,7 +332,7 @@ fn compile_to_value(options: CompileOptions) -> Value {
     ])
 }
 
-fn compile_from_value(v: &Value) -> Result<CompileOptions, FqError> {
+pub(crate) fn compile_from_value(v: &Value) -> Result<CompileOptions, FqError> {
     let layout = match v.field("layout")?.as_str()? {
         "trivial" => LayoutStrategy::Trivial,
         "noise_adaptive" => LayoutStrategy::NoiseAdaptive,

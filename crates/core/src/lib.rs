@@ -82,6 +82,7 @@ mod pipeline;
 mod plan;
 pub mod runtime;
 mod solve;
+mod store;
 mod template;
 
 pub use adaptive::{plan_with_budget, suggest_num_frozen, FreezeBudget, FreezeRecommendation};
@@ -112,4 +113,8 @@ pub use plan::{
 #[allow(deprecated)]
 pub use solve::solve_with_sampling;
 pub use solve::SolveOutcome;
+pub use store::{
+    is_template_fingerprint, DiskStore, MemoryStore, StoreStats, TemplateArtifact,
+    TemplateIndexEntry, TemplateKey, TemplateStore, TieredStore, TEMPLATE_WIRE_VERSION,
+};
 pub use template::CompiledTemplate;

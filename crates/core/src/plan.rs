@@ -12,12 +12,13 @@
 //! execution can fan out across cores.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 use fq_ising::IsingModel;
 use fq_transpile::{CompileOptions, Device};
 
+use crate::store::{MemoryStore, TemplateArtifact, TemplateIndexEntry, TemplateKey, TemplateStore};
 use crate::{
     partition_problem, select_hotspots, CompiledTemplate, FqError, FrozenQubitsConfig, Partition,
     SubproblemExec,
@@ -45,10 +46,26 @@ impl ShapeSignature {
         }
     }
 
+    /// Rebuilds a signature from its parts (the wire-deserialization
+    /// path of a [`TemplateArtifact`]'s key).
+    #[must_use]
+    pub(crate) fn from_parts(num_vars: usize, couplings: Vec<(usize, usize)>) -> ShapeSignature {
+        ShapeSignature {
+            num_vars,
+            couplings,
+        }
+    }
+
     /// Problem width the shape was taken from.
     #[must_use]
     pub fn num_vars(&self) -> usize {
         self.num_vars
+    }
+
+    /// The coupled index pairs, in the model's canonical coupling order.
+    #[must_use]
+    pub fn couplings(&self) -> &[(usize, usize)] {
+        &self.couplings
     }
 }
 
@@ -257,46 +274,56 @@ pub fn plan_from_partition_cached(
     })
 }
 
-/// A concurrent cross-plan store of compiled templates, keyed by
-/// everything that determines the compiled artifact: sub-circuit
-/// [`ShapeSignature`], device identity (name **plus** a fingerprint of
-/// topology and calibration, so two different
-/// `Device::uniform`/`Device::ideal` models sharing a name cannot
-/// collide), QAOA layer count and [`CompileOptions`].
+/// A concurrent cross-plan cache of compiled templates, keyed by
+/// everything that determines the compiled artifact (see
+/// [`TemplateKey`]): sub-circuit [`ShapeSignature`], device identity
+/// (name **plus** a stable fingerprint of topology and calibration, so
+/// two different `Device::uniform`/`Device::ideal` models sharing a name
+/// cannot collide), QAOA layer count and [`CompileOptions`].
 ///
 /// Templates are pre-binding (no angles baked in), so one cached entry
 /// serves every job whose sub-problems share the shape, regardless of
 /// coefficient values or sampling seeds.
 ///
+/// # Storage
+///
+/// Since the tiered-store refactor the cache owns only the *compile
+/// coordination*; where templates actually live is a pluggable
+/// [`TemplateStore`] ([`TemplateCache::with_store`]). The default is the
+/// in-memory [`MemoryStore`]; a
+/// [`TieredStore`](crate::TieredStore) adds a disk spill tier so
+/// restarts and sibling shards start warm, and
+/// [`TemplateCache::insert_artifact`] /
+/// [`TemplateCache::artifact`] / [`TemplateCache::index`] expose the
+/// store for shard-to-shard warm transfer.
+///
 /// # Concurrency
 ///
-/// The map is sharded by key hash behind `RwLock`s, so lookups of
-/// different templates never contend. Each key carries a **once-compile**
-/// slot: the first thread to reach a missing key compiles while holding
-/// only that key's mutex, concurrent requests for the *same* key block on
-/// it and then share the result (never compiling twice — observable via
-/// [`fq_transpile::compile_invocations`]), and requests for *other* keys
-/// proceed untouched. A failed compile is not cached: the entry is
-/// removed, the first requester gets the error, and any concurrent
-/// same-key waiters retry from scratch.
+/// Each missing key gets a **once-compile** slot: the first thread to
+/// reach it compiles, concurrent requests for the *same* key block on
+/// that slot and then share the result (never compiling twice —
+/// observable via [`fq_transpile::compile_invocations`]), and requests
+/// for *other* keys proceed untouched. A failed compile is not cached:
+/// the first requester gets the error and any concurrent same-key
+/// waiters retry from scratch. A compile that *panics* (e.g. unwinding
+/// through a service worker's `catch_unwind`) publishes a failure from
+/// its drop guard, so one panicking job cannot wedge its shape key for
+/// every later job.
 ///
 /// # Bounding
 ///
-/// [`TemplateCache::with_capacity`] turns on an LRU bound for
-/// long-running services: once more than `capacity` templates are
-/// resident, the least-recently-used completed entry is evicted.
-/// [`TemplateCache::stats`] exposes exact hit/miss/eviction counters.
+/// [`TemplateCache::with_capacity`] turns on the memory tier's LRU bound
+/// for long-running services: once more than `capacity` templates are
+/// resident, the least-recently-used entry is evicted (and demoted to
+/// the spill tier, when one is configured).
+/// [`TemplateCache::stats`] exposes exact counters.
 #[derive(Debug)]
 pub struct TemplateCache {
-    shards: Vec<RwLock<HashMap<TemplateKey, Arc<TemplateEntry>>>>,
-    capacity: Option<usize>,
-    /// Monotonic logical clock stamping every access for LRU ordering.
-    clock: AtomicU64,
-    /// Number of resident completed templates (the public `len`).
-    resident: AtomicUsize,
+    store: Box<dyn TemplateStore>,
+    /// Per-key once-compile slots for compiles currently in flight.
+    inflight: Mutex<HashMap<TemplateKey, Arc<InflightCompile>>>,
     hits: AtomicU64,
     misses: AtomicU64,
-    evictions: AtomicU64,
 }
 
 /// Exact operation counters of a [`TemplateCache`].
@@ -308,68 +335,65 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compile (successful or not).
     pub misses: u64,
-    /// Templates evicted by the LRU bound.
+    /// Templates evicted from the memory tier by the LRU bound.
     pub evictions: u64,
-    /// Templates currently resident.
+    /// Templates currently resident in the memory tier.
     pub len: usize,
     /// The LRU bound, if one is set.
     pub capacity: Option<usize>,
+    /// Artifacts written to the spill tier (0 without one).
+    pub spills: u64,
+    /// Spill-tier hits promoted back into the memory tier.
+    pub promotions: u64,
+    /// Artifacts resident in the spill tier.
+    pub spill_len: usize,
 }
 
-/// One key's slot. `Pending` means the creating thread is compiling under
-/// the entry mutex; `Failed` marks an entry orphaned by a failed compile
-/// so waiters know to retry a fresh lookup. `Ready` entries never change
-/// again. (Boxed: the slot spends its life as a slim `Pending`/`Failed`
-/// tag far more often than it pays the template's footprint.)
+/// One in-flight compile: waiters block on the condvar until the
+/// compiling thread publishes `Finished`.
 #[derive(Debug)]
-enum Slot {
-    Pending,
-    Ready(Box<CompiledTemplate>),
-    Failed,
+struct InflightCompile {
+    state: Mutex<InflightState>,
+    done: Condvar,
 }
 
+/// (Boxed: the slot spends most of its life as the slim `Compiling` tag
+/// and only briefly carries the template's footprint.)
 #[derive(Debug)]
-struct TemplateEntry {
-    slot: Mutex<Slot>,
-    last_used: AtomicU64,
+enum InflightState {
+    Compiling,
+    Finished(Box<Result<CompiledTemplate, FqError>>),
 }
 
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-struct TemplateKey {
-    shape: ShapeSignature,
-    device: String,
-    device_fingerprint: u64,
-    layers: usize,
-    options: CompileOptions,
-}
-
-/// Hashes every device property that layout, routing, scheduling or the
-/// noise models read: topology, per-edge CNOT errors, per-qubit readout
-/// errors and coherence times, and gate durations.
-fn device_fingerprint(device: &Device) -> u64 {
-    use std::hash::{Hash as _, Hasher as _};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    let n = device.num_qubits();
-    n.hash(&mut h);
-    for &(a, b) in device.topology().edges() {
-        (a, b).hash(&mut h);
-        device.cnot_error(a, b).to_bits().hash(&mut h);
+impl InflightCompile {
+    fn new() -> InflightCompile {
+        InflightCompile {
+            state: Mutex::new(InflightState::Compiling),
+            done: Condvar::new(),
+        }
     }
-    for q in 0..n {
-        device.readout_error(q).to_bits().hash(&mut h);
-        device.t1_us(q).to_bits().hash(&mut h);
-        device.t2_us(q).to_bits().hash(&mut h);
-    }
-    let durations = device.durations();
-    durations.single_ns.to_bits().hash(&mut h);
-    durations.cx_ns.to_bits().hash(&mut h);
-    durations.readout_ns.to_bits().hash(&mut h);
-    h.finish()
 }
 
-/// Shard count: enough to make cross-key contention negligible on large
-/// machines while keeping the LRU eviction scan trivial.
-const CACHE_SHARDS: usize = 16;
+/// Publishes a failure if the compiling thread unwinds before finishing
+/// (a panicking compile must not leave waiters blocked forever).
+struct CompileGuard<'a> {
+    cache: &'a TemplateCache,
+    key: &'a TemplateKey,
+    slot: &'a Arc<InflightCompile>,
+    armed: bool,
+}
+
+impl Drop for CompileGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.finish_compile(
+                self.key,
+                self.slot,
+                Err(FqError::Io("template compile panicked".into())),
+            );
+        }
+    }
+}
 
 impl Default for TemplateCache {
     fn default() -> TemplateCache {
@@ -378,63 +402,86 @@ impl Default for TemplateCache {
 }
 
 impl TemplateCache {
-    /// An empty, unbounded cache.
+    /// An empty cache over an unbounded in-memory store.
     #[must_use]
     pub fn new() -> TemplateCache {
-        TemplateCache {
-            shards: (0..CACHE_SHARDS)
-                .map(|_| RwLock::new(HashMap::new()))
-                .collect(),
-            capacity: None,
-            clock: AtomicU64::new(0),
-            resident: AtomicUsize::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-        }
+        TemplateCache::with_store(Box::new(MemoryStore::new()))
     }
 
-    /// An empty cache holding at most `capacity` templates, evicting the
-    /// least-recently-used one beyond that. `capacity = 0` disables
-    /// caching entirely (every template is evicted right after use) —
-    /// legal, but only useful for measuring the uncached baseline.
+    /// An empty cache whose memory store holds at most `capacity`
+    /// templates, evicting the least-recently-used one beyond that.
+    /// `capacity = 0` disables caching entirely (every template is
+    /// evicted right after use) — legal, but only useful for measuring
+    /// the uncached baseline.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> TemplateCache {
+        TemplateCache::with_store(Box::new(MemoryStore::with_capacity(capacity)))
+    }
+
+    /// A cache over an explicit [`TemplateStore`] — the persistence seam:
+    /// pass a [`TieredStore`](crate::TieredStore) to spill templates to
+    /// disk and start warm after restarts.
+    #[must_use]
+    pub fn with_store(store: Box<dyn TemplateStore>) -> TemplateCache {
         TemplateCache {
-            capacity: Some(capacity),
-            ..TemplateCache::new()
+            store,
+            inflight: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
-    /// Number of distinct templates currently resident.
+    /// Number of distinct templates currently resident in the memory
+    /// tier.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.resident.load(Ordering::Relaxed)
+        self.store.stats().len
     }
 
-    /// Whether the cache holds no templates.
+    /// Whether the memory tier holds no templates.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Exact operation counters (hits, misses, evictions, residency).
+    /// Exact operation counters (hits, misses, evictions, residency,
+    /// spill activity).
     #[must_use]
     pub fn stats(&self) -> CacheStats {
+        let s = self.store.stats();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            len: self.len(),
-            capacity: self.capacity,
+            evictions: s.evictions,
+            len: s.len,
+            capacity: s.capacity,
+            spills: s.spills,
+            promotions: s.promotions,
+            spill_len: s.spill_len,
         }
     }
 
-    fn shard_of(&self, key: &TemplateKey) -> usize {
-        use std::hash::{Hash as _, Hasher as _};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut h);
-        (h.finish() as usize) % self.shards.len()
+    /// Inserts a deserialized artifact directly into the backing store —
+    /// the receive half of shard-to-shard warm transfer (`POST
+    /// /v1/templates`, `serve --warm-from`). Not counted as a hit or a
+    /// miss: nothing was looked up and nothing was compiled.
+    pub fn insert_artifact(&self, artifact: &TemplateArtifact) {
+        self.store.insert(artifact.key(), artifact.template());
+    }
+
+    /// The resident artifact addressed by `fingerprint`, if any — the
+    /// send half of warm transfer (`GET /v1/templates/{fingerprint}`).
+    #[must_use]
+    pub fn artifact(&self, fingerprint: &str) -> Option<TemplateArtifact> {
+        self.store.fetch_fingerprint(fingerprint)
+    }
+
+    /// Every resident artifact's fingerprint with a recency stamp,
+    /// hottest first — what a freshly booted shard pulls to decide its
+    /// warm set (`GET /v1/templates`).
+    #[must_use]
+    pub fn index(&self) -> Vec<TemplateIndexEntry> {
+        self.store.index()
     }
 
     fn get_or_compile(
@@ -445,131 +492,102 @@ impl TemplateCache {
         device: &Device,
         options: CompileOptions,
     ) -> Result<CompiledTemplate, FqError> {
-        let key = TemplateKey {
-            shape: shape.clone(),
-            device: device.name().to_string(),
-            device_fingerprint: device_fingerprint(device),
-            layers,
-            options,
-        };
-        let shard = &self.shards[self.shard_of(&key)];
+        let key = TemplateKey::new(shape.clone(), device, layers, options);
         loop {
-            let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-            // Fast path: the key exists (read lock only).
-            let entry = shard.read().expect("cache shard lock").get(&key).cloned();
-            let entry = match entry {
-                Some(entry) => entry,
-                None => {
-                    let mut map = shard.write().expect("cache shard lock");
-                    map.entry(key.clone())
-                        .or_insert_with(|| {
-                            Arc::new(TemplateEntry {
-                                slot: Mutex::new(Slot::Pending),
-                                last_used: AtomicU64::new(stamp),
-                            })
-                        })
-                        .clone()
-                }
-            };
-            entry.last_used.store(stamp, Ordering::Relaxed);
-            // The per-key once-compile gate: whoever acquires the slot
-            // first and finds it `Pending` compiles while holding it;
-            // everyone else blocks here (on this key only) and shares the
-            // outcome. A poisoned slot means a compile panicked (e.g.
-            // unwound through a service worker's `catch_unwind`) and left
-            // `Pending` behind with no compiling thread — recover and
-            // fall through: the recovering waiter sees `Pending` and
-            // simply takes the compile over, so one panicking job cannot
-            // wedge its key for every later job of the same shape.
-            let mut slot = entry
-                .slot
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            match &*slot {
-                Slot::Ready(template) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok((**template).clone());
-                }
-                Slot::Failed => {
-                    // The compile we waited on failed and the entry was
-                    // removed from the map; retry against a fresh entry.
-                    drop(slot);
-                    continue;
-                }
-                Slot::Pending => {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    match CompiledTemplate::compile(representative, layers, device, options) {
-                        Ok(template) => {
-                            *slot = Slot::Ready(Box::new(template.clone()));
-                            // Count while still holding the slot lock: an
-                            // evictor skips locked entries, so no entry is
-                            // ever evictable before it is counted.
-                            self.resident.fetch_add(1, Ordering::Relaxed);
-                            drop(slot);
-                            self.enforce_capacity();
-                            return Ok(template);
-                        }
-                        Err(e) => {
-                            *slot = Slot::Failed;
-                            drop(slot);
-                            let mut map = shard.write().expect("cache shard lock");
-                            // Remove only our own entry — a concurrent
-                            // retry may already have replaced it.
-                            if map.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, &entry)) {
-                                map.remove(&key);
-                            }
-                            return Err(e);
-                        }
+            if let Some(template) = self.store.fetch(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(template);
+            }
+            // Miss: join an in-flight compile of this key, or claim it.
+            let (slot, claimed) = {
+                let mut inflight = self
+                    .inflight
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                match inflight.get(&key) {
+                    Some(slot) => (Arc::clone(slot), false),
+                    None => {
+                        let slot = Arc::new(InflightCompile::new());
+                        inflight.insert(key.clone(), Arc::clone(&slot));
+                        (slot, true)
                     }
                 }
+            };
+            if !claimed {
+                // Wait for the compiling thread and share its outcome; a
+                // failure means our shot at the key is gone — retry from
+                // scratch (and possibly become the next compiler).
+                let mut state = slot
+                    .state
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                while matches!(*state, InflightState::Compiling) {
+                    state = slot
+                        .done
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                match &*state {
+                    InflightState::Finished(outcome) => match outcome.as_ref() {
+                        Ok(template) => {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            return Ok(template.clone());
+                        }
+                        Err(_) => continue,
+                    },
+                    InflightState::Compiling => unreachable!("woken before Finished"),
+                }
             }
+            // We own the compile. Re-check the store first: a concurrent
+            // compiler may have published between our miss and our claim
+            // (store insert happens before slot removal, so seeing the
+            // vacant slot implies the insert is visible).
+            if let Some(template) = self.store.fetch(&key) {
+                self.finish_compile(&key, &slot, Ok(template.clone()));
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(template);
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let mut guard = CompileGuard {
+                cache: self,
+                key: &key,
+                slot: &slot,
+                armed: true,
+            };
+            let result = CompiledTemplate::compile(representative, layers, device, options);
+            if let Ok(template) = &result {
+                self.store.insert(&key, template);
+            }
+            guard.armed = false;
+            self.finish_compile(&key, &slot, result.clone());
+            return result;
         }
     }
 
-    /// Evicts least-recently-used completed templates until the resident
-    /// count respects the capacity bound.
-    fn enforce_capacity(&self) {
-        let Some(capacity) = self.capacity else {
-            return;
-        };
-        while self.resident.load(Ordering::Relaxed) > capacity {
-            // Scan for the oldest completed entry. In-flight entries
-            // (slot mutex held by a compiling thread) are skipped — they
-            // are not resident yet. Locked-but-counted entries can only
-            // be momentarily mid-publication (the count is taken while
-            // the slot lock is still held), so skipping them merely
-            // delays their eligibility to the next pass.
-            let mut victim: Option<(u64, usize, TemplateKey, Arc<TemplateEntry>)> = None;
-            for (si, shard) in self.shards.iter().enumerate() {
-                let map = shard.read().expect("cache shard lock");
-                for (key, entry) in map.iter() {
-                    let Ok(slot) = entry.slot.try_lock() else {
-                        continue;
-                    };
-                    if !matches!(&*slot, Slot::Ready(_)) {
-                        continue;
-                    }
-                    let stamp = entry.last_used.load(Ordering::Relaxed);
-                    if victim.as_ref().is_none_or(|&(s, ..)| stamp < s) {
-                        victim = Some((stamp, si, key.clone(), Arc::clone(entry)));
-                    }
-                }
-            }
-            let Some((_, si, key, entry)) = victim else {
-                return;
-            };
-            let mut map = self.shards[si].write().expect("cache shard lock");
-            // Remove only the exact entry we selected: a concurrent
-            // evictor may have removed it already and a fresh (possibly
-            // still Pending, uncounted) entry may have taken the key.
-            // `Ready` entries never change state again, so an identity
-            // match guarantees we un-reside exactly one counted template;
-            // on a mismatch the loop simply rescans.
-            if map.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, &entry)) {
-                map.remove(&key);
-                self.resident.fetch_sub(1, Ordering::Relaxed);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
+    /// Publishes a compile outcome: waiters wake with the result and the
+    /// key's slot is retired (a later failure retry gets a fresh one).
+    fn finish_compile(
+        &self,
+        key: &TemplateKey,
+        slot: &Arc<InflightCompile>,
+        result: Result<CompiledTemplate, FqError>,
+    ) {
+        {
+            let mut state = slot
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *state = InflightState::Finished(Box::new(result));
+        }
+        slot.done.notify_all();
+        let mut inflight = self
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Remove only our own slot — a concurrent retry may already have
+        // replaced it.
+        if inflight.get(key).is_some_and(|cur| Arc::ptr_eq(cur, slot)) {
+            inflight.remove(key);
         }
     }
 }

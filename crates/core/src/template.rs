@@ -9,6 +9,7 @@
 use fq_circuit::{build_qaoa_template, rebind_coefficients};
 use fq_ising::IsingModel;
 use fq_transpile::{compile, CompileOptions, Compiled, Device};
+use serde::json::Value;
 
 use crate::FqError;
 
@@ -70,6 +71,26 @@ impl CompiledTemplate {
     #[must_use]
     pub fn compiled(&self) -> &Compiled {
         &self.compiled
+    }
+
+    /// The canonical document form of this template (the payload half of
+    /// a [`TemplateArtifact`](crate::TemplateArtifact)). Serialization is
+    /// bit-exact: parsing the document back yields a template **equal**
+    /// to this one, whose [`CompiledTemplate::edit_for`] output is
+    /// byte-identical.
+    pub(crate) fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("num_vars", Value::UInt(self.num_vars as u64)),
+            ("compiled", fq_transpile::compiled_to_value(&self.compiled)),
+        ])
+    }
+
+    /// Parses the canonical document form.
+    pub(crate) fn from_value(v: &Value) -> Result<CompiledTemplate, FqError> {
+        Ok(CompiledTemplate {
+            num_vars: v.field("num_vars")?.as_usize()?,
+            compiled: fq_transpile::compiled_from_value(v.field("compiled")?)?,
+        })
     }
 
     /// Produces the executable for a sibling sub-problem by rewriting the

@@ -2,15 +2,20 @@
 //!
 //! ```text
 //! serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
-//!       [--cache-capacity N] [--engine-threads N] [--backend sim|noise_model]
-//!       [--max-body BYTES] [--sync-wait-secs N]
+//!       [--cache-dir PATH] [--cache-capacity N] [--engine-threads N]
+//!       [--warm-from HOST:PORT] [--warm-limit N]
+//!       [--job-ttl-secs N] [--max-done-jobs N]
+//!       [--backend sim|noise_model] [--max-body BYTES] [--sync-wait-secs N]
 //! ```
 //!
 //! Defaults serve on `127.0.0.1:8077` with 4 workers. `FQ_SERVE_ADDR`
-//! overrides the default address (flags beat the environment). The
-//! process runs until killed; every in-flight job completes or fails on
-//! its own merits — there is no state to corrupt (the registry and the
-//! template cache are in-memory).
+//! overrides the default address and `FQ_CACHE_DIR` the default cache
+//! directory (flags beat the environment). With `--cache-dir`, compiled
+//! templates spill to disk and a restarted process starts warm; with
+//! `--warm-from`, a fresh shard pulls a peer's hottest templates at
+//! boot. The job registry retains finished results for `--job-ttl-secs`
+//! (bounded by `--max-done-jobs`); polling an expired id yields a
+//! structured `410`. Everything else is in-memory and safe to kill.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -19,21 +24,31 @@ use fq_serve::{Server, ServerConfig};
 use frozenqubits::api::BackendSpec;
 
 const USAGE: &str = "usage: serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
-             [--cache-capacity N] [--engine-threads N]
+             [--cache-dir PATH] [--cache-capacity N] [--engine-threads N]
+             [--warm-from HOST:PORT] [--warm-limit N]
+             [--template-push-cap N]
+             [--job-ttl-secs N] [--max-done-jobs N]
              [--backend sim|noise_model] [--max-body BYTES]
              [--sync-wait-secs N] [--max-connections N]
 
 Serves the FrozenQubits job API over HTTP/1.1:
-  POST /v1/jobs        submit a JobSpec (sync; ?mode=async to queue)
-  GET  /v1/jobs/{id}   poll an async submission
-  GET  /v1/healthz     liveness probe
-  GET  /v1/stats       cache/queue/job telemetry
+  POST /v1/jobs             submit a JobSpec (sync; ?mode=async to queue)
+  GET  /v1/jobs/{id}        poll an async submission
+  GET  /v1/healthz          liveness probe
+  GET  /v1/stats            cache/queue/job telemetry
+  GET  /v1/templates        resident-template index (warm-transfer source)
+  GET  /v1/templates/{fp}   one serialized template artifact
+  POST /v1/templates        push a template artifact into this shard
 
-FQ_SERVE_ADDR sets the default address; flags win over the environment.";
+--cache-dir spills compiled templates to disk so restarts start warm;
+--warm-from pulls a peer shard's hottest templates at boot.
+FQ_SERVE_ADDR sets the default address and FQ_CACHE_DIR the default
+cache directory; flags win over the environment.";
 
 fn parse_args(args: &[String]) -> Result<Option<ServerConfig>, String> {
     let mut config = ServerConfig {
         addr: std::env::var("FQ_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:8077".into()),
+        cache_dir: std::env::var("FQ_CACHE_DIR").ok(),
         ..ServerConfig::default()
     };
     let mut iter = args.iter();
@@ -52,6 +67,14 @@ fn parse_args(args: &[String]) -> Result<Option<ServerConfig>, String> {
             "--workers" => config.workers = numeric("--workers")?,
             "--queue-capacity" => config.queue_capacity = numeric("--queue-capacity")?,
             "--cache-capacity" => config.cache_capacity = Some(numeric("--cache-capacity")?),
+            "--cache-dir" => config.cache_dir = Some(value.clone()),
+            "--warm-from" => config.warm_from = Some(value.clone()),
+            "--warm-limit" => config.warm_limit = numeric("--warm-limit")?,
+            "--template-push-cap" => config.template_push_cap = numeric("--template-push-cap")?,
+            "--job-ttl-secs" => {
+                config.job_ttl = Duration::from_secs(numeric("--job-ttl-secs")? as u64);
+            }
+            "--max-done-jobs" => config.max_done_jobs = numeric("--max-done-jobs")?,
             "--engine-threads" => config.engine_threads = numeric("--engine-threads")?,
             "--max-body" => config.max_body_bytes = numeric("--max-body")?,
             "--max-connections" => config.max_connections = numeric("--max-connections")?,

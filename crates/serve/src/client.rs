@@ -27,7 +27,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use frozenqubits::{FqError, JobId, JobResult, JobSpec};
+use frozenqubits::{FqError, JobId, JobResult, JobSpec, TemplateArtifact, TemplateCache};
 use serde::json::Value;
 
 /// How long the client waits for a response before giving up.
@@ -176,6 +176,83 @@ pub fn poll(addr: &str, id: JobId) -> Result<(String, Option<JobResult>), FqErro
         .then(|| crate::wire::result_from_envelope(&response.body))
         .transpose()?;
     Ok((status, result))
+}
+
+/// Fetches a peer shard's resident-template index: `(fingerprint,
+/// last_used)` rows, hottest first (the peer's ordering).
+///
+/// # Errors
+///
+/// [`FqError::Io`] for non-`200` responses, plus transport and decode
+/// errors.
+pub fn template_index(addr: &str) -> Result<Vec<(String, u64)>, FqError> {
+    let response = request(addr, "GET", "/v1/templates", None)?;
+    if response.status != 200 {
+        return Err(service_error(&response));
+    }
+    response
+        .json()?
+        .field("templates")?
+        .as_array()?
+        .iter()
+        .map(|entry| {
+            Ok((
+                entry.field("fingerprint")?.as_str()?.to_string(),
+                entry.field("last_used")?.as_u64()?,
+            ))
+        })
+        .collect()
+}
+
+/// Fetches one template artifact from a peer shard by fingerprint.
+///
+/// # Errors
+///
+/// [`FqError::Io`] for non-`200` responses (e.g. the peer evicted it),
+/// plus transport and artifact-decode errors.
+pub fn fetch_template(addr: &str, fingerprint: &str) -> Result<TemplateArtifact, FqError> {
+    let response = request(addr, "GET", &format!("/v1/templates/{fingerprint}"), None)?;
+    if response.status != 200 {
+        return Err(service_error(&response));
+    }
+    TemplateArtifact::from_json(&response.body)
+}
+
+/// Pushes one template artifact into a peer shard's store (`POST
+/// /v1/templates`).
+///
+/// # Errors
+///
+/// [`FqError::Io`] for non-`200` responses, plus transport errors.
+pub fn push_template(addr: &str, artifact: &TemplateArtifact) -> Result<(), FqError> {
+    let response = request(addr, "POST", "/v1/templates", Some(&artifact.to_json()))?;
+    if response.status != 200 {
+        return Err(service_error(&response));
+    }
+    Ok(())
+}
+
+/// Warms `cache` from a peer shard: pulls the peer's template index and
+/// fetches up to `limit` of its hottest artifacts into the cache, so a
+/// freshly started shard serves its first jobs without paying compiles
+/// the fleet already paid. Returns how many templates were installed.
+///
+/// Individual artifacts that vanish or fail integrity checks mid-pull
+/// are skipped (the peer keeps serving; its cache keeps evolving) —
+/// only an unreachable peer or an unreadable index is an error.
+///
+/// # Errors
+///
+/// [`FqError::Io`] when the peer's index cannot be fetched.
+pub fn warm_from(addr: &str, cache: &TemplateCache, limit: usize) -> Result<usize, FqError> {
+    let mut installed = 0usize;
+    for (fingerprint, _) in template_index(addr)?.into_iter().take(limit) {
+        if let Ok(artifact) = fetch_template(addr, &fingerprint) {
+            cache.insert_artifact(&artifact);
+            installed += 1;
+        }
+    }
+    Ok(installed)
 }
 
 #[cfg(test)]

@@ -2,12 +2,15 @@
 //!
 //! The surface is tiny and versioned under `/v1`:
 //!
-//! | method | path            | route                      |
-//! |--------|-----------------|----------------------------|
-//! | POST   | `/v1/jobs`      | submit a job (sync/async)  |
-//! | GET    | `/v1/jobs/{id}` | poll a submitted job       |
-//! | GET    | `/v1/healthz`   | liveness probe             |
-//! | GET    | `/v1/stats`     | cache/queue/job telemetry  |
+//! | method | path                  | route                          |
+//! |--------|-----------------------|--------------------------------|
+//! | POST   | `/v1/jobs`            | submit a job (sync/async)      |
+//! | GET    | `/v1/jobs/{id}`       | poll a submitted job           |
+//! | GET    | `/v1/healthz`         | liveness probe                 |
+//! | GET    | `/v1/stats`           | cache/queue/job telemetry      |
+//! | GET    | `/v1/templates`       | resident-template index        |
+//! | GET    | `/v1/templates/{fp}`  | one template artifact          |
+//! | POST   | `/v1/templates`       | push a template artifact       |
 //!
 //! Known paths with the wrong method get `405` with an `Allow` header;
 //! everything else is `404`. Trailing slashes are not aliased — the
@@ -29,6 +32,18 @@ pub(crate) enum Route {
     /// A `/v1/jobs/{id}` target whose id does not parse, carrying the
     /// parse error's own message. → `400`.
     MalformedJobId(String),
+    /// `GET /v1/templates`: the resident-template index (fingerprint +
+    /// recency, hottest first) a peer shard pulls to plan its warm set.
+    TemplateIndex,
+    /// `GET /v1/templates/{fingerprint}`: one serialized template
+    /// artifact.
+    Template(String),
+    /// `POST /v1/templates`: push a serialized template artifact into
+    /// this shard's store (the receive half of warm transfer).
+    TemplatePush,
+    /// A `/v1/templates/{fingerprint}` target whose fingerprint is not
+    /// 16 lower-case hex digits. → `400`.
+    MalformedFingerprint(String),
     /// A known path with the wrong method. → `405` + `Allow`.
     MethodNotAllowed {
         /// The methods the path does accept.
@@ -53,22 +68,47 @@ pub(crate) fn route(method: &str, path: &str) -> Route {
             "POST" => Route::Submit,
             _ => Route::MethodNotAllowed { allow: "POST" },
         },
-        _ => match path.strip_prefix("/v1/jobs/") {
-            Some(raw_id) if !raw_id.is_empty() && !raw_id.contains('/') => {
+        "/v1/templates" => match method {
+            "GET" => Route::TemplateIndex,
+            "POST" => Route::TemplatePush,
+            _ => Route::MethodNotAllowed { allow: "GET, POST" },
+        },
+        _ => {
+            if let Some(raw_id) = path.strip_prefix("/v1/jobs/") {
+                if raw_id.is_empty() || raw_id.contains('/') {
+                    return Route::NotFound;
+                }
                 if method != "GET" {
                     return Route::MethodNotAllowed { allow: "GET" };
                 }
-                match raw_id.parse::<JobId>() {
+                return match raw_id.parse::<JobId>() {
                     Ok(id) => Route::Job(id),
                     // Keep `JobId::FromStr`'s message (the single source
                     // of the expected-format text), without the generic
                     // serde-error prefix.
                     Err(frozenqubits::FqError::Serde(message)) => Route::MalformedJobId(message),
                     Err(other) => Route::MalformedJobId(other.to_string()),
-                }
+                };
             }
-            _ => Route::NotFound,
-        },
+            if let Some(raw_fp) = path.strip_prefix("/v1/templates/") {
+                if raw_fp.is_empty() || raw_fp.contains('/') {
+                    return Route::NotFound;
+                }
+                if method != "GET" {
+                    return Route::MethodNotAllowed { allow: "GET" };
+                }
+                // One source for the format check: the core validator
+                // the stores themselves use.
+                return if frozenqubits::is_template_fingerprint(raw_fp) {
+                    Route::Template(raw_fp.to_string())
+                } else {
+                    Route::MalformedFingerprint(format!(
+                        "malformed template fingerprint `{raw_fp}` (expected 16 lower-case hex digits)"
+                    ))
+                };
+            }
+            Route::NotFound
+        }
     }
 }
 
@@ -101,6 +141,30 @@ mod tests {
             route("POST", "/v1/jobs/job-000000000000002a"),
             Route::MethodNotAllowed { allow: "GET" }
         );
+    }
+
+    #[test]
+    fn routes_the_template_surface() {
+        assert_eq!(route("GET", "/v1/templates"), Route::TemplateIndex);
+        assert_eq!(route("POST", "/v1/templates"), Route::TemplatePush);
+        assert_eq!(
+            route("GET", "/v1/templates/00c0ffee00c0ffee"),
+            Route::Template("00c0ffee00c0ffee".into())
+        );
+        assert_eq!(
+            route("DELETE", "/v1/templates"),
+            Route::MethodNotAllowed { allow: "GET, POST" }
+        );
+        assert_eq!(
+            route("POST", "/v1/templates/00c0ffee00c0ffee"),
+            Route::MethodNotAllowed { allow: "GET" }
+        );
+        assert!(matches!(
+            route("GET", "/v1/templates/UPPER-not-hex"),
+            Route::MalformedFingerprint(msg) if msg.contains("16 lower-case hex")
+        ));
+        assert_eq!(route("GET", "/v1/templates/"), Route::NotFound);
+        assert_eq!(route("GET", "/v1/templates/a/b"), Route::NotFound);
     }
 
     #[test]

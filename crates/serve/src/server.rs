@@ -26,14 +26,16 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use frozenqubits::api::BackendSpec;
-use frozenqubits::{BatchRunner, FqError, JobSpec};
+use frozenqubits::{
+    BatchRunner, DiskStore, FqError, JobSpec, MemoryStore, TemplateArtifact, TieredStore,
+};
 use serde::json::Value;
 
 use crate::error::{error_response, job_error_response, kind_name, status_for};
 use crate::http::{self, ReadError, Request, Response};
 use crate::queue::{JobQueue, PushError, QueuedJob};
 use crate::router::{route, Route};
-use crate::store::{JobState, JobStore};
+use crate::store::{JobState, JobStore, Lookup};
 use crate::wire::{job_envelope, submit_ack, WIRE_V};
 use crate::worker::WorkerPool;
 
@@ -70,6 +72,32 @@ pub struct ServerConfig {
     /// Optional LRU bound on the shared template cache
     /// ([`BatchRunner::with_cache_capacity`]); `None` = unbounded.
     pub cache_capacity: Option<usize>,
+    /// When set, compiled templates spill to (and warm-start from) this
+    /// directory through a [`TieredStore`]: every compile is written
+    /// through to disk, restarts find it there, and the LRU bound (if
+    /// any) demotes instead of discarding. `None` = memory only.
+    pub cache_dir: Option<String>,
+    /// When set, pull the peer shard's hottest templates into this
+    /// server's store at boot (`GET /v1/templates` on the peer, then one
+    /// `GET /v1/templates/{fingerprint}` per pulled artifact). Best
+    /// effort: an unreachable peer logs to stderr and the server starts
+    /// cold.
+    pub warm_from: Option<String>,
+    /// Most templates pulled from `warm_from` at boot.
+    pub warm_limit: usize,
+    /// Residency bound gating `POST /v1/templates`: pushes are refused
+    /// (`503` + kind `cache_full`) once the store holds this many
+    /// artifacts across both tiers. Organic compiles are bounded by the
+    /// workload's shape space, but pushes are remote input — without a
+    /// cap an unauthenticated client could grow an unbounded store (or
+    /// the disk spill directory) without limit.
+    pub template_push_cap: usize,
+    /// How long a finished job's result is retained for polling before
+    /// the registry expires it (poll-after-expiry → `410 Gone`).
+    pub job_ttl: Duration,
+    /// Most finished results retained at once (oldest-completed expire
+    /// first).
+    pub max_done_jobs: usize,
     /// Thread count each worker's engine uses for one job's branches
     /// (`BatchRunner::with_threads`). The default `1` is right when
     /// parallelism comes from concurrent workers; raise it for
@@ -108,6 +136,12 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 64,
             cache_capacity: None,
+            cache_dir: None,
+            warm_from: None,
+            warm_limit: 32,
+            template_push_cap: 4096,
+            job_ttl: Duration::from_secs(3600),
+            max_done_jobs: 4096,
             engine_threads: 1,
             max_body_bytes: 4 * 1024 * 1024,
             read_timeout: Duration::from_secs(30),
@@ -156,11 +190,34 @@ impl Server {
         let addr = listener.local_addr()?;
 
         let mut runner = BatchRunner::new().with_threads(config.engine_threads);
-        if let Some(capacity) = config.cache_capacity {
-            runner = runner.with_cache_capacity(capacity);
+        runner = match (&config.cache_dir, config.cache_capacity) {
+            // A cache dir composes the memory tier (bounded or not) over
+            // the disk spill tier; a bad directory is a startup error.
+            (Some(dir), capacity) => {
+                let memory = capacity.map_or_else(MemoryStore::new, MemoryStore::with_capacity);
+                runner.with_store(Box::new(TieredStore::new(memory, DiskStore::new(dir)?)))
+            }
+            (None, Some(capacity)) => runner.with_cache_capacity(capacity),
+            (None, None) => runner,
+        };
+        if let Some(peer) = &config.warm_from {
+            // Best effort: a cold start is a performance problem, a
+            // refused boot would be an availability one.
+            match crate::client::warm_from(peer, runner.cache(), config.warm_limit) {
+                Ok(pulled) => {
+                    if pulled > 0 {
+                        eprintln!("fq-serve: warm-started with {pulled} templates from {peer}");
+                    }
+                }
+                Err(error) => {
+                    eprintln!(
+                        "fq-serve: warm transfer from {peer} failed ({error}); starting cold"
+                    );
+                }
+            }
         }
         let queue = Arc::new(JobQueue::new(config.queue_capacity));
-        let store = Arc::new(JobStore::new());
+        let store = Arc::new(JobStore::new(config.job_ttl, config.max_done_jobs));
         let runner = Arc::new(runner);
         let pool = WorkerPool::spawn(
             config.workers,
@@ -374,13 +431,29 @@ fn handle_request(state: &ServerState, request: &Request) -> Response {
         ),
         Route::Stats => Response::json(200, stats_body(state)),
         Route::Submit => handle_submit(state, request),
-        Route::Job(id) => match state.store.snapshot(id) {
-            Some(job_state) => Response::json(200, job_envelope(id, &job_state)),
-            None => error_response(404, "not_found", &format!("no such job `{id}`")),
+        Route::Job(id) => match state.store.lookup(id) {
+            Lookup::Active(job_state) => Response::json(200, job_envelope(id, &job_state)),
+            Lookup::Expired => error_response(
+                410,
+                "expired",
+                &format!("job `{id}` finished, but its result passed the retention bound (TTL/count) and was expired"),
+            ),
+            Lookup::Unknown => error_response(404, "not_found", &format!("no such job `{id}`")),
         },
         // The message is `JobId::FromStr`'s own (carried through the
         // router), so the wire-facing text has exactly one source.
         Route::MalformedJobId(message) => error_response(400, "bad_request", &message),
+        Route::TemplateIndex => Response::json(200, template_index_body(state)),
+        Route::Template(fingerprint) => match state.runner.cache().artifact(&fingerprint) {
+            Some(artifact) => Response::json(200, artifact.to_json()),
+            None => error_response(
+                404,
+                "not_found",
+                &format!("no template `{fingerprint}` resident"),
+            ),
+        },
+        Route::TemplatePush => handle_template_push(state, request),
+        Route::MalformedFingerprint(message) => error_response(400, "bad_request", &message),
         Route::MethodNotAllowed { allow } => error_response(
             405,
             "method_not_allowed",
@@ -467,6 +540,78 @@ fn handle_submit(state: &ServerState, request: &Request) -> Response {
     }
 }
 
+/// `POST /v1/templates`: accept a serialized template artifact into the
+/// shared store — the receive half of shard-to-shard warm transfer. The
+/// artifact's own integrity checks (version, fingerprint-vs-key,
+/// template width) gate admission; a rejected artifact is a `400`, and
+/// an accepted one is immediately servable to every queued job and to
+/// further `GET /v1/templates/{fingerprint}` pulls.
+fn handle_template_push(state: &ServerState, request: &Request) -> Response {
+    // Pushes are remote input: refuse beyond the residency cap so an
+    // unauthenticated peer cannot grow the store (or its disk spill)
+    // without bound. Organic compiles are not gated — the workload's
+    // own shape space bounds those (plus the LRU, when configured).
+    let stats = state.runner.cache_stats();
+    if stats.len + stats.spill_len >= state.config.template_push_cap {
+        return error_response(
+            503,
+            "cache_full",
+            &format!(
+                "template store holds {} artifacts (push cap {}); raise --template-push-cap \
+                 or bound the store with --cache-capacity",
+                stats.len + stats.spill_len,
+                state.config.template_push_cap
+            ),
+        );
+    }
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return error_response(400, "bad_request", "request body is not valid UTF-8");
+    };
+    match TemplateArtifact::from_json(body) {
+        Ok(artifact) => {
+            let fingerprint = artifact.fingerprint();
+            state.runner.cache().insert_artifact(&artifact);
+            Response::json(
+                200,
+                Value::object(vec![
+                    ("v", Value::UInt(WIRE_V)),
+                    ("status", Value::string("stored")),
+                    ("fingerprint", Value::string(fingerprint)),
+                ])
+                .to_json(),
+            )
+        }
+        Err(error) => error_response(status_for(&error), kind_name(&error), &error.to_string()),
+    }
+}
+
+/// `GET /v1/templates`: every resident template's fingerprint with a
+/// recency stamp, hottest first — what a peer pulls to plan its warm
+/// set.
+fn template_index_body(state: &ServerState) -> String {
+    Value::object(vec![
+        ("v", Value::UInt(WIRE_V)),
+        (
+            "templates",
+            Value::Array(
+                state
+                    .runner
+                    .cache()
+                    .index()
+                    .into_iter()
+                    .map(|entry| {
+                        Value::object(vec![
+                            ("fingerprint", Value::string(entry.fingerprint)),
+                            ("last_used", Value::UInt(entry.last_used)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_json()
+}
+
 /// `GET /v1/stats`: cache, queue, job and worker telemetry.
 fn stats_body(state: &ServerState) -> String {
     let cache = state.runner.cache_stats();
@@ -486,6 +631,9 @@ fn stats_body(state: &ServerState) -> String {
                         .capacity
                         .map_or(Value::Null, |c| Value::UInt(c as u64)),
                 ),
+                ("spills", Value::UInt(cache.spills)),
+                ("promotions", Value::UInt(cache.promotions)),
+                ("spill_len", Value::UInt(cache.spill_len as u64)),
             ]),
         ),
         (
@@ -501,6 +649,7 @@ fn stats_body(state: &ServerState) -> String {
                 ("submitted", Value::UInt(counts.submitted)),
                 ("completed", Value::UInt(counts.completed)),
                 ("failed", Value::UInt(counts.failed)),
+                ("expired", Value::UInt(counts.expired)),
             ]),
         ),
         ("workers", Value::UInt(state.config.workers as u64)),

@@ -1,13 +1,16 @@
-//! The in-memory job registry: id allocation, lifecycle tracking, and
-//! completion wake-ups for synchronous submitters.
+//! The in-memory job registry: id allocation, lifecycle tracking,
+//! completion wake-ups for synchronous submitters, and bounded retention
+//! of finished jobs.
 //!
 //! Every submission gets a monotonically increasing [`JobId`] and a
-//! state that only moves forward: `Queued → Running → Done`. Results are
-//! retained until the server stops (the registry is the poll endpoint's
-//! backing store); bounding retention is an open ROADMAP item alongside
-//! template-cache persistence.
+//! state that only moves forward: `Queued → Running → Done`. Finished
+//! results are retained for polling, but not forever: a TTL and a count
+//! bound expire the oldest completed entries (in completion order), so a
+//! long-running server's registry cannot grow without bound. Expired ids
+//! stay distinguishable from never-issued ids — polling one yields a
+//! structured `410 Gone`, not a `404` — via a compact tombstone set.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -40,6 +43,18 @@ impl JobState {
     }
 }
 
+/// What the registry knows about an id.
+#[derive(Clone, Debug)]
+pub(crate) enum Lookup {
+    /// The job is live (queued, running, or retained done).
+    Active(JobState),
+    /// The job finished but its result was expired by the TTL or count
+    /// bound. → `410 Gone`.
+    Expired,
+    /// The id was never issued (or bounced before queueing). → `404`.
+    Unknown,
+}
+
 /// Aggregate submission counters for `/v1/stats`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct JobCounts {
@@ -49,35 +64,89 @@ pub(crate) struct JobCounts {
     pub(crate) completed: u64,
     /// Jobs finished with an error.
     pub(crate) failed: u64,
+    /// Finished jobs whose retained results were expired.
+    pub(crate) expired: u64,
+}
+
+/// Most tombstones retained: enough to answer `410` for every id a
+/// client could plausibly still hold, without reintroducing the
+/// unbounded growth the expiry exists to prevent. Beyond it the oldest
+/// (smallest) ids degrade to `404`.
+const MAX_TOMBSTONES: usize = 65_536;
+
+#[derive(Debug, Default)]
+struct Registry {
+    jobs: HashMap<u64, JobState>,
+    /// Completed ids in completion order, with their completion times —
+    /// the expiry scan order.
+    done_order: VecDeque<(u64, Instant)>,
+    /// Ids whose done entries were expired (ordered, so capping evicts
+    /// the oldest).
+    tombstones: BTreeSet<u64>,
 }
 
 /// The shared registry.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct JobStore {
-    jobs: Mutex<HashMap<u64, JobState>>,
+    inner: Mutex<Registry>,
     finished: Condvar,
     next_id: AtomicU64,
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    expired: AtomicU64,
+    /// How long a finished result is retained.
+    ttl: Duration,
+    /// Most finished results retained at once.
+    max_done: usize,
 }
 
 impl JobStore {
-    /// An empty registry; ids start at 1.
-    pub(crate) fn new() -> JobStore {
+    /// An empty registry; ids start at 1. Finished results are retained
+    /// for at most `ttl`, and at most `max_done` of them at once
+    /// (oldest-completed first out).
+    pub(crate) fn new(ttl: Duration, max_done: usize) -> JobStore {
         JobStore {
+            inner: Mutex::new(Registry::default()),
+            finished: Condvar::new(),
             next_id: AtomicU64::new(1),
-            ..JobStore::default()
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            ttl,
+            max_done: max_done.max(1),
+        }
+    }
+
+    /// Expires finished entries that are over the TTL or beyond the
+    /// count bound. Called under the registry lock from every mutation
+    /// and lookup, so expiry needs no background thread.
+    fn prune(&self, registry: &mut Registry, now: Instant) {
+        while let Some(&(id, done_at)) = registry.done_order.front() {
+            let over_count = registry.done_order.len() > self.max_done;
+            let over_ttl = now.duration_since(done_at) >= self.ttl;
+            if !over_count && !over_ttl {
+                break;
+            }
+            registry.done_order.pop_front();
+            if registry.jobs.remove(&id).is_some() {
+                registry.tombstones.insert(id);
+                self.expired.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        while registry.tombstones.len() > MAX_TOMBSTONES {
+            let oldest = *registry.tombstones.iter().next().expect("non-empty set");
+            registry.tombstones.remove(&oldest);
         }
     }
 
     /// Mints a fresh id and registers it as queued.
     pub(crate) fn register(&self) -> JobId {
         let id = JobId::new(self.next_id.fetch_add(1, Ordering::Relaxed));
-        self.jobs
-            .lock()
-            .expect("store lock poisoned")
-            .insert(id.value(), JobState::Queued);
+        let mut registry = self.inner.lock().expect("store lock poisoned");
+        self.prune(&mut registry, Instant::now());
+        registry.jobs.insert(id.value(), JobState::Queued);
         self.submitted.fetch_add(1, Ordering::Relaxed);
         id
     }
@@ -85,18 +154,20 @@ impl JobStore {
     /// Removes a registration that never made it into the queue (the
     /// push bounced); undoes the `submitted` count.
     pub(crate) fn discard(&self, id: JobId) {
-        self.jobs
+        self.inner
             .lock()
             .expect("store lock poisoned")
+            .jobs
             .remove(&id.value());
         self.submitted.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Marks `id` as claimed by a worker.
     pub(crate) fn mark_running(&self, id: JobId) {
-        self.jobs
+        self.inner
             .lock()
             .expect("store lock poisoned")
+            .jobs
             .insert(id.value(), JobState::Running);
     }
 
@@ -106,30 +177,48 @@ impl JobStore {
             Ok(_) => self.completed.fetch_add(1, Ordering::Relaxed),
             Err(_) => self.failed.fetch_add(1, Ordering::Relaxed),
         };
-        self.jobs
-            .lock()
-            .expect("store lock poisoned")
+        let now = Instant::now();
+        let mut registry = self.inner.lock().expect("store lock poisoned");
+        registry
+            .jobs
             .insert(id.value(), JobState::Done(std::sync::Arc::new(result)));
+        registry.done_order.push_back((id.value(), now));
+        self.prune(&mut registry, now);
+        drop(registry);
         self.finished.notify_all();
     }
 
-    /// The current state of `id`, if it was ever registered.
+    /// What the registry knows about `id`, expiring stale results on the
+    /// way.
+    pub(crate) fn lookup(&self, id: JobId) -> Lookup {
+        let mut registry = self.inner.lock().expect("store lock poisoned");
+        self.prune(&mut registry, Instant::now());
+        match registry.jobs.get(&id.value()) {
+            Some(state) => Lookup::Active(state.clone()),
+            None if registry.tombstones.contains(&id.value()) => Lookup::Expired,
+            None => Lookup::Unknown,
+        }
+    }
+
+    /// The current state of `id`, if it is live (compatibility wrapper
+    /// over [`JobStore::lookup`]; the server itself routes through
+    /// `lookup` to distinguish expired ids).
+    #[cfg(test)]
     pub(crate) fn snapshot(&self, id: JobId) -> Option<JobState> {
-        self.jobs
-            .lock()
-            .expect("store lock poisoned")
-            .get(&id.value())
-            .cloned()
+        match self.lookup(id) {
+            Lookup::Active(state) => Some(state),
+            Lookup::Expired | Lookup::Unknown => None,
+        }
     }
 
     /// Blocks until `id` finishes or `timeout` elapses; returns the
     /// last observed state (`Done(..)` unless the wait timed out), or
-    /// `None` for an unknown id.
+    /// `None` for an unknown (or already-expired) id.
     pub(crate) fn await_done(&self, id: JobId, timeout: Duration) -> Option<JobState> {
         let deadline = Instant::now() + timeout;
-        let mut jobs = self.jobs.lock().expect("store lock poisoned");
+        let mut registry = self.inner.lock().expect("store lock poisoned");
         loop {
-            let state = jobs.get(&id.value())?.clone();
+            let state = registry.jobs.get(&id.value())?.clone();
             if matches!(state, JobState::Done(_)) {
                 return Some(state);
             }
@@ -139,9 +228,9 @@ impl JobStore {
             }
             let (guard, _) = self
                 .finished
-                .wait_timeout(jobs, deadline - now)
+                .wait_timeout(registry, deadline - now)
                 .expect("store lock poisoned");
-            jobs = guard;
+            registry = guard;
         }
     }
 
@@ -151,6 +240,7 @@ impl JobStore {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
         }
     }
 }
@@ -159,6 +249,11 @@ impl JobStore {
 mod tests {
     use super::*;
     use frozenqubits::RunSummary;
+
+    /// Retention generous enough that nothing expires mid-test.
+    fn retentive() -> JobStore {
+        JobStore::new(Duration::from_secs(3600), 4096)
+    }
 
     fn dummy_result() -> JobResult {
         JobResult::Baseline(RunSummary {
@@ -176,7 +271,7 @@ mod tests {
 
     #[test]
     fn lifecycle_and_counters() {
-        let store = JobStore::new();
+        let store = retentive();
         let a = store.register();
         let b = store.register();
         assert_ne!(a, b);
@@ -192,15 +287,17 @@ mod tests {
             JobCounts {
                 submitted: 2,
                 completed: 1,
-                failed: 1
+                failed: 1,
+                expired: 0
             }
         );
         assert!(store.snapshot(JobId::new(999)).is_none());
+        assert!(matches!(store.lookup(JobId::new(999)), Lookup::Unknown));
     }
 
     #[test]
     fn discard_undoes_a_bounced_registration() {
-        let store = JobStore::new();
+        let store = retentive();
         let id = store.register();
         store.discard(id);
         assert!(store.snapshot(id).is_none());
@@ -209,7 +306,7 @@ mod tests {
 
     #[test]
     fn await_done_times_out_with_last_state() {
-        let store = JobStore::new();
+        let store = retentive();
         let id = store.register();
         let state = store.await_done(id, Duration::from_millis(10)).unwrap();
         assert!(matches!(state, JobState::Queued));
@@ -218,7 +315,7 @@ mod tests {
 
     #[test]
     fn await_done_wakes_on_completion() {
-        let store = std::sync::Arc::new(JobStore::new());
+        let store = std::sync::Arc::new(retentive());
         let id = store.register();
         let waiter = {
             let store = store.clone();
@@ -228,5 +325,34 @@ mod tests {
         store.complete(id, Ok(dummy_result()));
         let state = waiter.join().unwrap().unwrap();
         assert_eq!(state.status_name(), "done");
+    }
+
+    #[test]
+    fn ttl_expires_done_entries_into_tombstones() {
+        let store = JobStore::new(Duration::from_millis(20), 4096);
+        let id = store.register();
+        store.complete(id, Ok(dummy_result()));
+        assert!(matches!(store.lookup(id), Lookup::Active(_)));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(matches!(store.lookup(id), Lookup::Expired));
+        assert!(matches!(store.lookup(id), Lookup::Expired), "stays gone");
+        assert_eq!(store.counts().expired, 1);
+        // Queued/running entries never expire — only done ones do.
+        let live = store.register();
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(matches!(store.lookup(live), Lookup::Active(_)));
+    }
+
+    #[test]
+    fn count_bound_expires_oldest_completed_first() {
+        let store = JobStore::new(Duration::from_secs(3600), 2);
+        let ids: Vec<JobId> = (0..3).map(|_| store.register()).collect();
+        for &id in &ids {
+            store.complete(id, Ok(dummy_result()));
+        }
+        assert!(matches!(store.lookup(ids[0]), Lookup::Expired));
+        assert!(matches!(store.lookup(ids[1]), Lookup::Active(_)));
+        assert!(matches!(store.lookup(ids[2]), Lookup::Active(_)));
+        assert_eq!(store.counts().expired, 1);
     }
 }

@@ -88,7 +88,7 @@ mod tests {
     #[test]
     fn workers_drain_the_queue_and_record_results() {
         let queue = Arc::new(JobQueue::new(8));
-        let store = Arc::new(JobStore::new());
+        let store = Arc::new(JobStore::new(Duration::from_secs(3600), 4096));
         let runner = Arc::new(BatchRunner::new().with_threads(1));
         let pool = WorkerPool::spawn(2, queue.clone(), store.clone(), runner.clone());
 

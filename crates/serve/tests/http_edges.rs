@@ -456,3 +456,171 @@ fn shutdown_drains_queued_jobs() {
     // (shutdown joins the workers after the queue drains) — nothing to
     // poll anymore, but nothing hung either.
 }
+
+#[test]
+fn expired_jobs_answer_410_and_unknown_ids_stay_404() {
+    // A 50 ms TTL: the result is pollable right after completion, gone
+    // (structurally: `410` + kind `expired`, not a bare `404`) shortly
+    // after.
+    let (handle, addr) = spawn(ServerConfig {
+        workers: 1,
+        job_ttl: Duration::from_millis(50),
+        ..ServerConfig::default()
+    });
+    // Sync submission: the 200 proves the result existed at completion
+    // time without racing a poll loop against the 50 ms TTL.
+    let spec = small_spec().to_json();
+    let response = client::request(&addr, "POST", "/v1/jobs", Some(&spec)).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let id: frozenqubits::JobId = response.header("fq-job-id").unwrap().parse().unwrap();
+    std::thread::sleep(Duration::from_millis(80));
+
+    let response = client::request(&addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+    assert_eq!(response.status, 410, "{}", response.body);
+    let envelope = response.json().unwrap();
+    assert_eq!(
+        envelope
+            .field("error")
+            .unwrap()
+            .field("kind")
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        "expired"
+    );
+    // Expiry is sticky, and never-issued ids remain plain 404s.
+    let again = client::request(&addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+    assert_eq!(again.status, 410);
+    let unknown = client::request(&addr, "GET", "/v1/jobs/job-00000000000000ff", None).unwrap();
+    assert_eq!(unknown.status, 404);
+    assert_eq!(
+        error_kind(&format!("x\r\n\r\n{}", unknown.body)),
+        "not_found"
+    );
+
+    // /v1/stats reports the expiry.
+    let stats = client::request(&addr, "GET", "/v1/stats", None).unwrap();
+    let jobs = stats.json().unwrap();
+    assert_eq!(
+        jobs.field("jobs")
+            .unwrap()
+            .field("expired")
+            .unwrap()
+            .as_u64()
+            .unwrap(),
+        1
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn done_count_bound_expires_oldest_results_first() {
+    let (handle, addr) = spawn(ServerConfig {
+        workers: 1,
+        max_done_jobs: 1,
+        ..ServerConfig::default()
+    });
+    // Two sync submissions: completing the second expires the first.
+    let spec = small_spec().to_json();
+    let first = client::request(&addr, "POST", "/v1/jobs", Some(&spec)).unwrap();
+    assert_eq!(first.status, 200);
+    let first_id = first.header("fq-job-id").unwrap().to_string();
+    let second = client::request(&addr, "POST", "/v1/jobs", Some(&spec)).unwrap();
+    assert_eq!(second.status, 200);
+    let second_id = second.header("fq-job-id").unwrap().to_string();
+
+    let gone = client::request(&addr, "GET", &format!("/v1/jobs/{first_id}"), None).unwrap();
+    assert_eq!(gone.status, 410, "{}", gone.body);
+    let kept = client::request(&addr, "GET", &format!("/v1/jobs/{second_id}"), None).unwrap();
+    assert_eq!(kept.status, 200, "{}", kept.body);
+    handle.shutdown();
+}
+
+#[test]
+fn template_endpoints_reject_garbage_and_miss_cleanly() {
+    let (handle, addr) = spawn(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+
+    // Empty shard: an empty index, clean 404s for absent fingerprints,
+    // 400s for malformed ones (including traversal shapes — they never
+    // reach the filesystem).
+    let index = client::request(&addr, "GET", "/v1/templates", None).unwrap();
+    assert_eq!(index.status, 200);
+    assert_eq!(index.body, r#"{"v":1,"templates":[]}"#);
+    let missing = client::request(&addr, "GET", "/v1/templates/0123456789abcdef", None).unwrap();
+    assert_eq!(missing.status, 404);
+    for bad in ["not-a-fingerprint", "0123456789ABCDEF", "..%2f..%2fetc"] {
+        let response =
+            client::request(&addr, "GET", &format!("/v1/templates/{bad}"), None).unwrap();
+        assert_eq!(response.status, 400, "`{bad}` must be rejected");
+    }
+
+    // Garbage pushes: malformed JSON, version skew and tampered keys
+    // are structured 400s, never stored.
+    for bad_body in [
+        "not json",
+        r#"{"v":99,"fingerprint":"0123456789abcdef"}"#,
+        r#"{"v":1,"fingerprint":"0123456789abcdef","key":{},"template":{}}"#,
+    ] {
+        let response = client::request(&addr, "POST", "/v1/templates", Some(bad_body)).unwrap();
+        assert_eq!(response.status, 400, "{}", response.body);
+        assert_eq!(error_kind(&format!("x\r\n\r\n{}", response.body)), "serde");
+    }
+    let index = client::request(&addr, "GET", "/v1/templates", None).unwrap();
+    assert_eq!(index.body, r#"{"v":1,"templates":[]}"#, "nothing stored");
+
+    // A genuine artifact round-trips: push, index, fetch byte-for-byte.
+    let spec = small_spec();
+    let model = spec.problem.resolve().unwrap();
+    let device = frozenqubits::api::DeviceSpec::IbmMontreal.build();
+    let options = frozenqubits::FrozenQubitsConfig::default().compile;
+    let template = frozenqubits::CompiledTemplate::compile(&model, 1, &device, options).unwrap();
+    let key = frozenqubits::TemplateKey::new(
+        frozenqubits::ShapeSignature::of(&model),
+        &device,
+        1,
+        options,
+    );
+    let artifact = frozenqubits::TemplateArtifact::new(key, template);
+    client::push_template(&addr, &artifact).unwrap();
+    let fetched = client::fetch_template(&addr, &artifact.fingerprint()).unwrap();
+    assert_eq!(fetched.to_json(), artifact.to_json());
+    assert_eq!(client::template_index(&addr).unwrap().len(), 1);
+
+    handle.shutdown();
+}
+
+#[test]
+fn template_push_cap_refuses_unbounded_growth() {
+    let (handle, addr) = spawn(ServerConfig {
+        workers: 1,
+        template_push_cap: 1,
+        ..ServerConfig::default()
+    });
+    let spec = small_spec();
+    let model = spec.problem.resolve().unwrap();
+    let device = frozenqubits::api::DeviceSpec::IbmMontreal.build();
+    let options = frozenqubits::FrozenQubitsConfig::default().compile;
+    let template = frozenqubits::CompiledTemplate::compile(&model, 1, &device, options).unwrap();
+    let key = frozenqubits::TemplateKey::new(
+        frozenqubits::ShapeSignature::of(&model),
+        &device,
+        1,
+        options,
+    );
+    let artifact = frozenqubits::TemplateArtifact::new(key, template);
+
+    // First push fills the 1-slot cap; any further push is shed with a
+    // structured 503, before its body is even parsed.
+    client::push_template(&addr, &artifact).unwrap();
+    let refused =
+        client::request(&addr, "POST", "/v1/templates", Some(&artifact.to_json())).unwrap();
+    assert_eq!(refused.status, 503, "{}", refused.body);
+    assert_eq!(
+        error_kind(&format!("x\r\n\r\n{}", refused.body)),
+        "cache_full"
+    );
+    handle.shutdown();
+}

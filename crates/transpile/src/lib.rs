@@ -14,7 +14,11 @@
 //! * [`route`] — deterministic SABRE-style SWAP routing;
 //! * [`pass`] — CX-pair cancellation, `Rz` merging, SWAP decomposition;
 //! * [`schedule`] — ASAP scheduling under the device's gate durations;
-//! * [`compile`] — the full pipeline producing a [`Compiled`] artifact.
+//! * [`compile`] — the full pipeline producing a [`Compiled`] artifact;
+//! * [`compiled_to_value`] / [`compiled_from_value`] — the canonical JSON
+//!   document form of a [`Compiled`] artifact, bit-exact across
+//!   serialize → parse, so templates can spill to disk and travel
+//!   between shards.
 //!
 //! # Example
 //!
@@ -45,6 +49,7 @@ pub mod pass;
 mod route;
 mod schedule;
 mod topology;
+mod wire;
 
 pub use compile::{compile, compile_invocations, CompileOptions, Compiled};
 pub use device::{Device, GateDurations};
@@ -53,3 +58,4 @@ pub use layout::{choose_layout, LayoutStrategy};
 pub use route::{route, Routed};
 pub use schedule::{gate_duration, schedule, Schedule};
 pub use topology::{Topology, FALCON_27_EDGES};
+pub use wire::{compiled_from_value, compiled_to_value};

@@ -7,7 +7,11 @@
 //!   submitting different jobs of one shape family share compiles;
 //! * the async submit → poll flow embeds the same canonical bytes;
 //! * job failures surface as structured errors with the same `FqError`
-//!   text the engine produces directly.
+//!   text the engine produces directly;
+//! * shard-to-shard warm transfer: a fresh server warmed from a peer
+//!   (`warm_from`, or explicit `GET`/`POST /v1/templates`) serves a
+//!   repeat batch with **zero** template-cache misses and byte-identical
+//!   bodies.
 
 use std::thread;
 
@@ -179,4 +183,86 @@ fn concurrent_http_clients_get_byte_identical_results_and_share_the_cache() {
     );
 
     handle.shutdown();
+}
+
+#[test]
+fn warm_transfer_makes_a_fresh_shard_serve_without_compiling() {
+    // Shard A does the compiling: a mixed batch over three shapes.
+    let specs: Vec<JobSpec> = vec![
+        frozen(10, 4, 1, 0),
+        frozen(10, 4, 2, 0),
+        frozen(12, 4, 1, 0),
+    ];
+    let a = Server::spawn(ServerConfig::default()).unwrap();
+    let addr_a = a.addr().to_string();
+    let expected: Vec<String> = specs
+        .iter()
+        .map(|spec| {
+            let response =
+                client::request(&addr_a, "POST", "/v1/jobs", Some(&spec.to_json())).unwrap();
+            assert_eq!(response.status, 200, "{}", response.body);
+            response.body
+        })
+        .collect();
+
+    // A's template index lists one artifact per distinct shape, and
+    // each is fetchable by fingerprint as a self-validating document.
+    let index = client::template_index(&addr_a).unwrap();
+    assert_eq!(index.len(), 3);
+    let artifact = client::fetch_template(&addr_a, &index[0].0).unwrap();
+    assert_eq!(artifact.fingerprint(), index[0].0);
+
+    // Shard B boots with `warm_from` pointed at A: the same batch runs
+    // with zero cache misses (nothing compiles — every shape arrived
+    // over HTTP) and byte-identical bodies.
+    let b = Server::spawn(ServerConfig {
+        warm_from: Some(addr_a.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr_b = b.addr().to_string();
+    for (spec, expected) in specs.iter().zip(&expected) {
+        let response = client::request(&addr_b, "POST", "/v1/jobs", Some(&spec.to_json())).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(&response.body, expected, "byte-identical across shards");
+    }
+    let stats = client::request(&addr_b, "GET", "/v1/stats", None).unwrap();
+    let stats = Value::parse(&stats.body).unwrap();
+    let cache = stats.field("cache").unwrap();
+    assert_eq!(
+        cache.field("misses").unwrap().as_u64().unwrap(),
+        0,
+        "a warmed shard never compiles for the peer's workload"
+    );
+    assert!(cache.field("hits").unwrap().as_u64().unwrap() >= 3);
+
+    // Shard C is warmed by *push* instead: POST every artifact A holds.
+    let c = Server::spawn(ServerConfig::default()).unwrap();
+    let addr_c = c.addr().to_string();
+    for (fingerprint, _) in &index {
+        let artifact = client::fetch_template(&addr_a, fingerprint).unwrap();
+        client::push_template(&addr_c, &artifact).unwrap();
+    }
+    for (spec, expected) in specs.iter().zip(&expected) {
+        let response = client::request(&addr_c, "POST", "/v1/jobs", Some(&spec.to_json())).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(&response.body, expected);
+    }
+    let stats = client::request(&addr_c, "GET", "/v1/stats", None).unwrap();
+    let stats = Value::parse(&stats.body).unwrap();
+    assert_eq!(
+        stats
+            .field("cache")
+            .unwrap()
+            .field("misses")
+            .unwrap()
+            .as_u64()
+            .unwrap(),
+        0,
+        "pushed templates serve the whole batch"
+    );
+
+    c.shutdown();
+    b.shutdown();
+    a.shutdown();
 }

@@ -1,0 +1,88 @@
+//! The warm-start acceptance criterion: a second `BatchRunner` pointed
+//! at the same `--cache-dir` executes a repeat batch with **zero** new
+//! `fq_transpile::compile_invocations()` and byte-identical results —
+//! the compile-once/execute-many amortization surviving a process
+//! "restart" (modeled here as a fresh runner with a cold memory tier
+//! over the same spill directory).
+//!
+//! `compile_invocations()` is process-global, so this file holds a
+//! single test (its own process) and measures deltas with nothing else
+//! compiling. Cache-local counterparts of these assertions (safe under
+//! the parallel test runner) live in `tests/template_store.rs`.
+
+use fq_transpile::compile_invocations;
+use frozenqubits::api::{BatchRunner, DeviceSpec, JobBuilder, JobSpec};
+
+fn mixed_specs() -> Vec<JobSpec> {
+    let frozen = |n: usize, m: usize, seed: u64| -> JobSpec {
+        JobBuilder::new()
+            .barabasi_albert(n, 1, 4)
+            .device(DeviceSpec::IbmMontreal)
+            .num_frozen(m)
+            .seed(seed)
+            .frozen()
+            .build()
+            .unwrap()
+    };
+    let compare = JobBuilder::new()
+        .barabasi_albert(8, 1, 2)
+        .device(DeviceSpec::IbmMontreal)
+        .compare()
+        .build()
+        .unwrap();
+    let sample = JobBuilder::new()
+        .barabasi_albert(8, 1, 2)
+        .device(DeviceSpec::IbmMontreal)
+        .sample(64)
+        .build()
+        .unwrap();
+    vec![
+        frozen(10, 1, 0),
+        frozen(10, 1, 1),
+        frozen(10, 2, 0),
+        frozen(12, 1, 0),
+        compare,
+        sample,
+    ]
+}
+
+#[test]
+fn restarted_runner_executes_repeat_batches_with_zero_compiles() {
+    let dir = std::env::temp_dir().join(format!("fq-warm-start-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let specs = mixed_specs();
+
+    // Cold: every distinct shape pays exactly one compile, and every
+    // compile is written through to the spill directory.
+    let cold = BatchRunner::new().with_cache_dir(&dir).unwrap();
+    let before = compile_invocations();
+    let first = cold.run_all(&specs).unwrap();
+    let cold_compiles = compile_invocations() - before;
+    assert_eq!(
+        cold_compiles as usize,
+        cold.templates_compiled(),
+        "one compile per distinct shape on the cold run"
+    );
+    assert!(cold_compiles > 0);
+
+    // Warm "restart": a brand-new runner (empty memory tier) over the
+    // same directory. Zero compiles, byte-identical output.
+    let warm = BatchRunner::new().with_cache_dir(&dir).unwrap();
+    let before = compile_invocations();
+    let second = warm.run_all(&specs).unwrap();
+    assert_eq!(
+        compile_invocations() - before,
+        0,
+        "the restarted runner must serve every shape from disk"
+    );
+    assert_eq!(first.len(), second.len());
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "results must be byte-identical across the restart"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
