@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use fq_circuit::build_qaoa_circuit;
 use fq_ising::{OutputDistribution, Spin};
-use fq_sim::analytic::{expectation_from_terms_p1, term_expectations_p1};
+use fq_sim::analytic::{expectation_from_terms_p1, PreparedP1};
 use fq_sim::{
     fidelity_model, ising_expectation_from_terms, log_eps, noisy_expectation_from_terms,
     noisy_expectation_lightcone, sample_noisy, NoisySamplerConfig,
@@ -25,7 +25,9 @@ use fq_transpile::Device;
 
 use crate::pipeline::{metrics_of, CircuitMetrics};
 use crate::plan::ExecutionPlan;
-use crate::{optimize_parameters_multilayer, FqError, FrozenQubitsConfig};
+use crate::{
+    optimize_parameters_multilayer, optimize_parameters_prepared, FqError, FrozenQubitsConfig,
+};
 
 /// Everything measured about one executed branch of a plan.
 #[derive(Clone, Debug, PartialEq)]
@@ -406,7 +408,16 @@ pub(crate) fn execute_branch(
     let exec = plan.branch(branch);
     let model = exec.problem.model();
     let p = plan.layers();
-    let (gammas, betas) = optimize_parameters_multilayer(model, p, config.param_grid)?;
+    // For p = 1, one structure gather serves the whole branch: the grid
+    // scan, the Nelder–Mead refinement, and the final term evaluation.
+    let prepared = (p == 1).then(|| PreparedP1::new(model));
+    let (gammas, betas) = match &prepared {
+        Some(prep) => {
+            let (g, b) = optimize_parameters_prepared(prep, config.param_grid)?;
+            (vec![g], vec![b])
+        }
+        None => optimize_parameters_multilayer(model, p, config.param_grid)?,
+    };
     // Instantiate from the shared template: angle editing only, no
     // layout/routing/scheduling work.
     let compiled = plan.template_for(branch).edit_for(model)?;
@@ -414,8 +425,8 @@ pub(crate) fn execute_branch(
     // expectation is assembled from them bit-identically instead of a
     // second full evaluation (the old two-call path recomputed every
     // trigonometric factor).
-    let (ev_ideal, z, zz) = if p == 1 {
-        let (z, zz) = term_expectations_p1(model, gammas[0], betas[0])?;
+    let (ev_ideal, z, zz) = if let Some(prep) = &prepared {
+        let (z, zz) = prep.terms_at(gammas[0], betas[0]);
         let ev = expectation_from_terms_p1(model, &z, &zz)?;
         (ev, z, zz)
     } else {

@@ -103,8 +103,8 @@ pub use partition::{partition_problem, Partition, SubproblemExec};
 #[allow(deprecated)]
 pub use pipeline::{compare, run_baseline, run_frozen};
 pub use pipeline::{
-    execute_problem, optimize_parameters, optimize_parameters_multilayer, CircuitMetrics,
-    ProblemExecution, Report, RunSummary,
+    execute_problem, optimize_parameters, optimize_parameters_multilayer,
+    optimize_parameters_prepared, CircuitMetrics, ProblemExecution, Report, RunSummary,
 };
 pub use plan::{
     plan_execution, plan_execution_cached, plan_from_partition, plan_from_partition_cached,

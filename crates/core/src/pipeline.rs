@@ -12,8 +12,8 @@
 
 use fq_circuit::{build_qaoa_circuit, qaoa_cnot_count};
 use fq_ising::IsingModel;
-use fq_optim::{grid_scan_2d_hoisted, nelder_mead, NelderMeadOptions};
-use fq_sim::analytic::{expectation_from_terms_p1, term_expectations_p1, PreparedP1};
+use fq_optim::{grid_axis, grid_scan_2d_rows_par, nelder_mead, NelderMeadOptions};
+use fq_sim::analytic::{expectation_from_terms_p1, BetaTrig, PreparedP1};
 use fq_sim::{ising_expectation_from_terms, log_eps, noisy_expectation_lightcone};
 use fq_transpile::{compile, Compiled, Device};
 use serde::{Deserialize, Serialize};
@@ -117,23 +117,60 @@ pub fn optimize_parameters(
     model: &IsingModel,
     grid_resolution: usize,
 ) -> Result<(f64, f64), FqError> {
+    optimize_parameters_prepared(&PreparedP1::new(model), grid_resolution)
+}
+
+/// Estimated scan flops above which [`optimize_parameters_prepared`] fans
+/// γ rows across threads. Below it (small sub-models, coarse grids) the
+/// sequential path wins — and batch-engine workers, which already
+/// parallelize across branches, stay single-threaded inside each branch
+/// instead of oversubscribing the machine.
+const PAR_SCAN_MIN_FLOPS: usize = 2_000_000;
+
+/// [`optimize_parameters`] over an existing [`PreparedP1`] — callers that
+/// also need per-term expectations at the optimum (the p = 1 executor
+/// paths) gather the model structure **once** and reuse it across the
+/// grid scan, the Nelder–Mead refinement, and the final
+/// [`PreparedP1::terms_at`] evaluation.
+///
+/// The scan runs through the 8-wide lane kernel
+/// ([`fq_sim::analytic::P1Row::eval_lanes`]) with the β-axis trigonometry
+/// precomputed once for all rows, and fans γ rows across
+/// [`auto_threads`](crate::auto_threads) threads when the model/grid is
+/// large enough to pay for them — all bit-identical to the scalar
+/// sequential scan (pinned by tests).
+///
+/// # Errors
+///
+/// Propagates analytic-expectation errors (none for well-formed models).
+pub fn optimize_parameters_prepared(
+    prepared: &PreparedP1<'_>,
+    grid_resolution: usize,
+) -> Result<(f64, f64), FqError> {
+    let model = prepared.model();
     if model.num_couplings() == 0 && model.has_zero_linear_terms() {
         // Constant objective; any angles do.
         return Ok((0.0, 0.0));
     }
-    // Gather the model's coupling structure once; every subsequent
-    // evaluation is allocation-free, and the grid scan additionally hoists
-    // all γ-only trigonometry out of each β row. Both paths are
-    // bit-identical to evaluating `expectation_p1` per point.
-    let prepared = PreparedP1::new(model);
     let half_pi = std::f64::consts::FRAC_PI_2;
     let quarter_pi = std::f64::consts::FRAC_PI_4;
-    let scan = grid_scan_2d_hoisted(
+    let resolution = grid_resolution.max(5);
+    // The β axis is shared by every γ row: its sines are computed once
+    // per scan, not once per row (let alone per point).
+    let trig = BetaTrig::new(&grid_axis(-quarter_pi, quarter_pi, resolution));
+    let threads = if prepared.row_flops(resolution).saturating_mul(resolution) >= PAR_SCAN_MIN_FLOPS
+    {
+        crate::auto_threads()
+    } else {
+        1
+    };
+    let scan = grid_scan_2d_rows_par(
+        threads,
         |g| prepared.row(g),
-        |row, b| row.at(b),
+        |row, _betas, out| row.eval_lanes::<8>(&trig, out),
         (-half_pi, half_pi),
         (-quarter_pi, quarter_pi),
-        grid_resolution.max(5),
+        resolution,
     );
     let (g0, b0) = scan.best_params();
     let polished = nelder_mead(
@@ -216,13 +253,22 @@ pub fn execute_problem(
     config: &FrozenQubitsConfig,
 ) -> Result<ProblemExecution, FqError> {
     let p = config.layers;
-    let (gammas, betas) = optimize_parameters_multilayer(model, p, config.param_grid)?;
+    // For p = 1 the model structure is gathered once and reused across the
+    // optimizer (scan + refinement) and the final term evaluation.
+    let prepared = (p == 1).then(|| PreparedP1::new(model));
+    let (gammas, betas) = match &prepared {
+        Some(prep) => {
+            let (g, b) = optimize_parameters_prepared(prep, config.param_grid)?;
+            (vec![g], vec![b])
+        }
+        None => optimize_parameters_multilayer(model, p, config.param_grid)?,
+    };
     let qc = build_qaoa_circuit(model, p)?;
     let compiled = compile(&qc, device, config.compile)?;
     // One pass over the terms; the scalar expectation is assembled from
     // them bit-identically instead of a second full evaluation.
-    let (ev_ideal, z, zz) = if p == 1 {
-        let (z, zz) = term_expectations_p1(model, gammas[0], betas[0])?;
+    let (ev_ideal, z, zz) = if let Some(prep) = &prepared {
+        let (z, zz) = prep.terms_at(gammas[0], betas[0]);
         let ev = expectation_from_terms_p1(model, &z, &zz)?;
         (ev, z, zz)
     } else {

@@ -2,6 +2,9 @@
 //! landscape study, which compares the baseline's blurred landscape with
 //! FrozenQubits' sharpened one over a 50×50 `(γ, β)` grid.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use serde::{Deserialize, Serialize};
 
 /// A sampled 2-D objective landscape.
@@ -100,40 +103,166 @@ pub fn grid_scan_2d(
 /// assert_eq!(scan.best_params(), (1.0, -1.0));
 /// ```
 pub fn grid_scan_2d_hoisted<R>(
-    mut prepare_row: impl FnMut(f64) -> R,
+    prepare_row: impl FnMut(f64) -> R,
     mut f: impl FnMut(&R, f64) -> f64,
     gamma_range: (f64, f64),
     beta_range: (f64, f64),
     resolution: usize,
 ) -> GridScan {
+    grid_scan_2d_rows(
+        prepare_row,
+        |ctx, betas, out| {
+            for (o, &b) in out.iter_mut().zip(betas) {
+                *o = f(ctx, b);
+            }
+        },
+        gamma_range,
+        beta_range,
+        resolution,
+    )
+}
+
+/// The inclusive axis a [`grid_scan_2d`] dimension visits: `resolution`
+/// evenly spaced points from `lo` to `hi`, endpoints included — exactly
+/// the values the scan evaluates (same arithmetic, bit for bit). Exposed
+/// so callers can precompute per-point state, e.g. the β-axis
+/// trigonometry shared by every γ row of a lane-kernel scan.
+///
+/// # Panics
+///
+/// Panics if `resolution < 2`.
+#[must_use]
+pub fn grid_axis(lo: f64, hi: f64, resolution: usize) -> Vec<f64> {
     assert!(
         resolution >= 2,
         "grid scan needs at least 2 points per axis"
     );
+    (0..resolution)
+        .map(|k| lo + (hi - lo) * k as f64 / (resolution - 1) as f64)
+        .collect()
+}
+
+/// [`grid_scan_2d_hoisted`] with **row-granular** evaluation: instead of
+/// one callback per grid point, `eval_row` receives the whole β axis and
+/// the row's output slice at once. This is the natural shape for
+/// vectorized kernels (`fq_sim::analytic::P1Row::eval_lanes`) that
+/// process β points in fixed-width lanes — the scan no longer dictates a
+/// point-at-a-time calling convention.
+///
+/// The grid, visiting order, and strict-improvement tie-breaking are
+/// identical to [`grid_scan_2d`]: rows in ascending γ, the minimum taken
+/// in row-major order. For any `eval_row` that writes `out[j] = f(ctx,
+/// betas[j])`, the resulting [`GridScan`] equals the point-wise scans bit
+/// for bit.
+///
+/// `eval_row` is handed `out` zero-filled and must write every element.
+///
+/// # Panics
+///
+/// Panics if `resolution < 2` or a range is reversed.
+pub fn grid_scan_2d_rows<R>(
+    mut prepare_row: impl FnMut(f64) -> R,
+    mut eval_row: impl FnMut(&R, &[f64], &mut [f64]),
+    gamma_range: (f64, f64),
+    beta_range: (f64, f64),
+    resolution: usize,
+) -> GridScan {
+    check_ranges(gamma_range, beta_range);
+    let gammas = grid_axis(gamma_range.0, gamma_range.1, resolution);
+    let betas = grid_axis(beta_range.0, beta_range.1, resolution);
+    let values = gammas
+        .iter()
+        .map(|&g| {
+            let ctx = prepare_row(g);
+            let mut row = vec![0.0f64; resolution];
+            eval_row(&ctx, &betas, &mut row);
+            row
+        })
+        .collect();
+    assemble(gammas, betas, values)
+}
+
+/// [`grid_scan_2d_rows`] with the γ rows fanned across `threads` OS
+/// threads. Rows are claimed from an atomic counter, each row is computed
+/// independently (γ rows share no state), and the minimum is then reduced
+/// **sequentially in row-major order** — so the result is bit-identical
+/// to the sequential scan, tie-breaking included, for any thread count
+/// (pinned by tests).
+///
+/// `threads <= 1` (or a resolution of 1 row per thread not being
+/// worthwhile) degrades to the sequential path with zero thread overhead.
+/// This crate has no ambient thread-count policy; callers pass one in
+/// (the pipeline passes `frozenqubits::auto_threads()`, which honors
+/// `FQ_THREADS`).
+///
+/// # Panics
+///
+/// Panics if `resolution < 2` or a range is reversed.
+pub fn grid_scan_2d_rows_par<R>(
+    threads: usize,
+    prepare_row: impl Fn(f64) -> R + Sync,
+    eval_row: impl Fn(&R, &[f64], &mut [f64]) + Sync,
+    gamma_range: (f64, f64),
+    beta_range: (f64, f64),
+    resolution: usize,
+) -> GridScan {
+    check_ranges(gamma_range, beta_range);
+    let workers = threads.min(resolution);
+    if workers <= 1 {
+        return grid_scan_2d_rows(
+            prepare_row,
+            |ctx, betas, out| eval_row(ctx, betas, out),
+            gamma_range,
+            beta_range,
+            resolution,
+        );
+    }
+    let gammas = grid_axis(gamma_range.0, gamma_range.1, resolution);
+    let betas = grid_axis(beta_range.0, beta_range.1, resolution);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Vec<f64>>>> = (0..resolution).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= resolution {
+                    break;
+                }
+                let ctx = prepare_row(gammas[i]);
+                let mut row = vec![0.0f64; resolution];
+                eval_row(&ctx, &betas, &mut row);
+                *slots[i].lock().expect("row slot lock") = Some(row);
+            });
+        }
+    });
+    let values = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("row slot lock")
+                .expect("every row index below resolution was claimed")
+        })
+        .collect();
+    assemble(gammas, betas, values)
+}
+
+fn check_ranges(gamma_range: (f64, f64), beta_range: (f64, f64)) {
     assert!(
         gamma_range.0 <= gamma_range.1 && beta_range.0 <= beta_range.1,
         "ranges must be ascending"
     );
-    let axis = |lo: f64, hi: f64| -> Vec<f64> {
-        (0..resolution)
-            .map(|k| lo + (hi - lo) * k as f64 / (resolution - 1) as f64)
-            .collect()
-    };
-    let gammas = axis(gamma_range.0, gamma_range.1);
-    let betas = axis(beta_range.0, beta_range.1);
-    let mut values = Vec::with_capacity(resolution);
+}
+
+/// Row-major strict-minimum reduction — the shared tie-breaking rule of
+/// every scan variant (first strict improvement wins).
+fn assemble(gammas: Vec<f64>, betas: Vec<f64>, values: Vec<Vec<f64>>) -> GridScan {
     let mut best = (0usize, 0usize, f64::INFINITY);
-    for (i, &g) in gammas.iter().enumerate() {
-        let row_ctx = prepare_row(g);
-        let mut row = Vec::with_capacity(resolution);
-        for (j, &b) in betas.iter().enumerate() {
-            let v = f(&row_ctx, b);
+    for (i, row) in values.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
             if v < best.2 {
                 best = (i, j, v);
             }
-            row.push(v);
         }
-        values.push(row);
     }
     GridScan {
         gammas,
@@ -200,5 +329,111 @@ mod tests {
     #[should_panic(expected = "at least 2 points")]
     fn tiny_resolution_panics() {
         let _ = grid_scan_2d(|_, _| 0.0, (0.0, 1.0), (0.0, 1.0), 1);
+    }
+
+    /// Bitwise equality of two scans, including `−0.0` vs `+0.0` (which
+    /// `f64::==` cannot distinguish).
+    fn assert_scan_bits_eq(a: &GridScan, b: &GridScan) {
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.gammas), bits(&b.gammas));
+        assert_eq!(bits(&a.betas), bits(&b.betas));
+        assert_eq!(a.values.len(), b.values.len());
+        for (ra, rb) in a.values.iter().zip(&b.values) {
+            assert_eq!(bits(ra), bits(rb));
+        }
+        assert_eq!(a.best_index, b.best_index);
+    }
+
+    #[test]
+    fn grid_axis_matches_scan_axes() {
+        let scan = grid_scan_2d(|g, b| g + b, (-1.25, 2.125), (0.375, 0.875), 23);
+        let g_axis = grid_axis(-1.25, 2.125, 23);
+        let b_axis = grid_axis(0.375, 0.875, 23);
+        assert_eq!(scan.gammas, g_axis);
+        assert_eq!(scan.betas, b_axis);
+        assert_eq!(g_axis[0], -1.25);
+        assert_eq!(*g_axis.last().unwrap(), 2.125);
+    }
+
+    fn test_objective(g: f64, b: f64) -> f64 {
+        (g * 3.7).sin() * (b + 0.2).cos() + g * b
+    }
+
+    #[test]
+    fn rows_scan_matches_pointwise_scan_exactly() {
+        let plain = grid_scan_2d(test_objective, (-1.5, 1.5), (-0.7, 0.7), 17);
+        let rows = grid_scan_2d_rows(
+            |g| g,
+            |&g, betas, out| {
+                for (o, &b) in out.iter_mut().zip(betas) {
+                    *o = test_objective(g, b);
+                }
+            },
+            (-1.5, 1.5),
+            (-0.7, 0.7),
+            17,
+        );
+        assert_scan_bits_eq(&plain, &rows);
+    }
+
+    #[test]
+    fn rows_eval_receives_the_beta_axis() {
+        let expected = grid_axis(-0.7, 0.7, 9);
+        let _ = grid_scan_2d_rows(
+            |g| g,
+            |_, betas, out| {
+                assert_eq!(betas, expected.as_slice());
+                assert_eq!(out.len(), betas.len());
+            },
+            (-1.5, 1.5),
+            (-0.7, 0.7),
+            9,
+        );
+    }
+
+    #[test]
+    fn parallel_rows_scan_is_bit_identical_for_any_thread_count() {
+        let sequential = grid_scan_2d_rows(
+            |g| g,
+            |&g, betas, out| {
+                for (o, &b) in out.iter_mut().zip(betas) {
+                    *o = test_objective(g, b);
+                }
+            },
+            (-1.5, 1.5),
+            (-0.7, 0.7),
+            19,
+        );
+        for threads in [1, 2, 3, 8, 64] {
+            let par = grid_scan_2d_rows_par(
+                threads,
+                |g| g,
+                |&g, betas, out| {
+                    for (o, &b) in out.iter_mut().zip(betas) {
+                        *o = test_objective(g, b);
+                    }
+                },
+                (-1.5, 1.5),
+                (-0.7, 0.7),
+                19,
+            );
+            assert_scan_bits_eq(&sequential, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_rows_scan_breaks_ties_in_row_major_order() {
+        // A constant landscape ties everywhere: row-major reduction must
+        // pick (0, 0) regardless of which thread finished first.
+        let par = grid_scan_2d_rows_par(
+            4,
+            |g| g,
+            |_, _, out| out.fill(2.5),
+            (0.0, 1.0),
+            (0.0, 1.0),
+            13,
+        );
+        assert_eq!(par.best_index, (0, 0));
+        assert_eq!(par.best_value(), 2.5);
     }
 }

@@ -33,7 +33,10 @@ mod grid;
 mod nm;
 mod spsa;
 
-pub use grid::{grid_scan_2d, grid_scan_2d_hoisted, GridScan};
+pub use grid::{
+    grid_axis, grid_scan_2d, grid_scan_2d_hoisted, grid_scan_2d_rows, grid_scan_2d_rows_par,
+    GridScan,
+};
 pub use nm::{nelder_mead, NelderMeadOptions};
 pub use spsa::{spsa, SpsaOptions};
 

@@ -8,6 +8,8 @@
 //! landscape scans tractable. The statevector simulator cross-validates
 //! these formulas in this module's tests.
 
+use std::collections::HashMap;
+
 use fq_ising::IsingModel;
 
 use crate::SimError;
@@ -241,48 +243,147 @@ pub fn expectation_from_terms_p1(
 /// structure on **every call** — an `O(n)` dense scatter per `⟨Z_aZ_b⟩`
 /// term — which dominates the parameter-optimization hot path (a grid
 /// scan plus Nelder–Mead evaluates the same model thousands of times).
-/// `PreparedP1` gathers that structure once; each subsequent evaluation is
-/// `O(Σ deg)` with zero allocation, and [`PreparedP1::row`] additionally
-/// hoists every γ-only subexpression out of a β sweep (the row axis of a
-/// [`grid_scan_2d`](../../fq_optim/fn.grid_scan_2d.html)-style scan).
+/// `PreparedP1` gathers that structure once into a structure-of-arrays
+/// layout: contiguous `h` and `J` coefficient arrays, CSR
+/// degree/neighbour arrays for the per-term products, and — the key to
+/// the γ-row speed — an **interned table of trig arguments**. Every
+/// multiplier `m` that ever appears under `cos(2γ·m)` or `sin(2γ·m)` is
+/// deduplicated by bit pattern at prepare time, so one row setup calls
+/// `cos`/`sin` once per *distinct coefficient value* instead of once per
+/// term occurrence (for the common ±1-weight models that is a handful of
+/// calls instead of thousands), then assembles the per-term factors with
+/// pure multiplies over the index arrays.
 ///
-/// Every evaluation is **bit-identical** to the unprepared functions: the
-/// preprocessing only reorders *when* subexpressions are computed, never
-/// the floating-point operation order within them (pinned by tests).
+/// Every evaluation is **bit-identical** to the unprepared functions for
+/// finite angles: interning only deduplicates *identical argument bits*
+/// (identical `cos` results), and the remaining reordering moves *when*
+/// subexpressions are computed, never the floating-point operation order
+/// within them (pinned by tests, including the lane kernels of
+/// [`P1Row::eval_lanes`]).
 #[derive(Clone, Debug)]
 pub struct PreparedP1<'m> {
     model: &'m IsingModel,
     offset: f64,
-    /// Vars with a nonzero linear term, in [`IsingModel::linears`] order:
-    /// `(index, h_a, incident couplings in coupling-iteration order)`.
-    lin: Vec<(usize, f64, Vec<f64>)>,
-    /// One record per coupling, in [`IsingModel::couplings`] order.
-    coup: Vec<PreparedPair>,
+    /// Distinct multipliers appearing under `cos(2γ·m)`, interned by bit
+    /// pattern in first-use order.
+    cos_args: Vec<f64>,
+    /// Distinct multipliers appearing under `sin(2γ·m)`, interned likewise.
+    sin_args: Vec<f64>,
+    /// Cos-table index of `+0.0` (`u32::MAX` if never interned) — the
+    /// marker for one-sided third-spin entries in the row assembly.
+    zero_cos: u32,
+    lin: LinTerms,
+    coup: PairTerms,
 }
 
-/// Preprocessed structure of one `⟨Z_aZ_b⟩` term.
-#[derive(Clone, Debug)]
-struct PreparedPair {
-    j_ab: f64,
-    h_a: f64,
-    h_b: f64,
-    /// Third-spin couplings `(J_ac, J_bc)` for every `c` (ascending) with
-    /// at least one of the two nonzero — the traversal order of the
-    /// dense `0..n` loops in [`expectation_zz`].
-    third: Vec<(f64, f64)>,
+/// SoA storage of the `⟨Z_a⟩` terms (vars with a nonzero linear term, in
+/// [`IsingModel::linears`] order).
+#[derive(Clone, Debug, Default)]
+struct LinTerms {
+    /// Variable index `a` of each term.
+    var: Vec<u32>,
+    /// `h_a` of each term (contiguous coefficient array).
+    h: Vec<f64>,
+    /// Sin-table index of `h_a`.
+    sin_h: Vec<u32>,
+    /// CSR offsets into `adj` (`len + 1` entries; the slice
+    /// `adj[off[i]..off[i+1]]` is term `i`'s incident-coupling degree).
+    adj_off: Vec<u32>,
+    /// Cos-table indices of the incident couplings, in
+    /// coupling-iteration order — the product chain of [`expectation_z`].
+    adj: Vec<u32>,
+}
+
+/// SoA storage of the `⟨Z_aZ_b⟩` terms, one per coupling in
+/// [`IsingModel::couplings`] order.
+#[derive(Clone, Debug, Default)]
+struct PairTerms {
+    /// `J_ab` of each pair (contiguous coefficient array).
+    j: Vec<f64>,
+    /// Sin-table index of `J_ab`.
+    sin_j: Vec<u32>,
+    /// Cos-table indices of `h_a`, `h_b`, `h_a + h_b`, `h_a − h_b`.
+    cos_ha: Vec<u32>,
+    cos_hb: Vec<u32>,
+    cos_hsum: Vec<u32>,
+    cos_hdif: Vec<u32>,
+    /// CSR offsets into `thirds` (`len + 1` entries — the per-pair
+    /// third-spin degree).
+    third_off: Vec<u32>,
+    /// Per third spin `c` (ascending, at least one of `J_ac`, `J_bc`
+    /// nonzero — the traversal order of the dense `0..n` loops in
+    /// [`expectation_zz`]): cos-table indices of
+    /// `[J_ac, J_bc, J_ac + J_bc, J_ac − J_bc]`, interleaved so the row
+    /// assembly's hottest loop walks one contiguous stream.
+    thirds: Vec<[u32; 4]>,
+}
+
+/// Bit-pattern interner for trig multipliers: identical `f64` bits map to
+/// one table slot, so the per-row trig tables stay as small as the set of
+/// distinct coefficient values. (`−0.0` and `+0.0` intern separately —
+/// they are different bits and `sin` is sign-sensitive at zero.)
+fn intern(args: &mut Vec<f64>, index: &mut HashMap<u64, u32>, value: f64) -> u32 {
+    *index.entry(value.to_bits()).or_insert_with(|| {
+        args.push(value);
+        u32::try_from(args.len() - 1).expect("trig table exceeds u32 indexing")
+    })
 }
 
 /// The γ-dependent factors of one row of a `(γ, β)` scan, produced by
-/// [`PreparedP1::row`]; evaluate points along the row with
-/// [`P1Row::at`].
+/// [`PreparedP1::row`], stored as contiguous per-term arrays. Evaluate
+/// single points along the row with [`P1Row::at`], or whole β rows in
+/// fixed-width lanes with [`P1Row::eval_lanes`].
 #[derive(Clone, Debug)]
-pub struct P1Row {
+pub struct P1Row<'p> {
     offset: f64,
-    /// Per nonzero-linear var: `(h_a, sin(2γ·h_a), Π cos(2γ·J_inc))`.
-    lin: Vec<(f64, f64, f64)>,
-    /// Per coupling: `(J_ab, sin(2γ·J_ab), chain_a + chain_b, D)` where
+    /// Per nonzero-linear var: `h_a`, `sin(2γ·h_a)`, `Π cos(2γ·J_inc)`.
+    /// The γ-independent coefficient array is borrowed from the
+    /// preparation — rows are built once per γ in the scan hot loop, and
+    /// cloning the coefficients there would be pure memcpy overhead.
+    lin_h: &'p [f64],
+    lin_sgh: Vec<f64>,
+    lin_prod: Vec<f64>,
+    /// Per coupling: `J_ab` (borrowed like `lin_h`), `sin(2γ·J_ab)`,
+    /// `chain_a + chain_b`, and
     /// `D = cos(2γ(h_a+h_b))·F⁺ − cos(2γ(h_a−h_b))·F⁻`.
-    coup: Vec<(f64, f64, f64, f64)>,
+    coup_j: &'p [f64],
+    coup_sj: Vec<f64>,
+    coup_chains: Vec<f64>,
+    coup_d: Vec<f64>,
+}
+
+/// Precomputed β-axis trigonometry (`sin 2β`, `sin 4β`) for a lane-kernel
+/// sweep: the β grid of a 2-D scan is identical for every γ row, so its
+/// per-point sines are computed **once per scan** and shared by all rows
+/// ([`P1Row::eval_lanes`]) instead of twice per grid point.
+#[derive(Clone, Debug)]
+pub struct BetaTrig {
+    s2b: Vec<f64>,
+    s4b: Vec<f64>,
+}
+
+impl BetaTrig {
+    /// Precomputes `sin(2β)` and `sin(4β)` for each β — the exact
+    /// expressions [`P1Row::at`] evaluates per point.
+    #[must_use]
+    pub fn new(betas: &[f64]) -> BetaTrig {
+        BetaTrig {
+            s2b: betas.iter().map(|&b| (2.0 * b).sin()).collect(),
+            s4b: betas.iter().map(|&b| (4.0 * b).sin()).collect(),
+        }
+    }
+
+    /// Number of β points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.s2b.len()
+    }
+
+    /// Whether the β axis is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.s2b.is_empty()
+    }
 }
 
 impl<'m> PreparedP1<'m> {
@@ -291,56 +392,95 @@ impl<'m> PreparedP1<'m> {
     #[must_use]
     pub fn new(model: &'m IsingModel) -> PreparedP1<'m> {
         let n = model.num_vars();
-        let lin: Vec<(usize, f64, Vec<f64>)> = model
-            .linears()
-            .filter(|&(_, hi)| hi != 0.0)
-            .map(|(a, hi)| {
-                // The incident-coupling product of `expectation_z`, in
-                // coupling-iteration order.
-                let adj: Vec<f64> = model
-                    .couplings()
-                    .filter(|&((i, j), _)| i == a || j == a)
-                    .map(|(_, jij)| jij)
-                    .collect();
-                (a, hi, adj)
-            })
-            .collect();
-        let coup = model
-            .couplings()
-            .map(|((a, b), _)| {
-                // Reproduce the dense gather of `expectation_zz` exactly,
-                // then keep only the rows its loops would touch.
-                let mut j_ac = vec![0.0f64; n];
-                let mut j_bc = vec![0.0f64; n];
-                let mut j_ab = 0.0f64;
-                for ((i, j), jij) in model.couplings() {
-                    if (i, j) == (a.min(b), a.max(b)) {
-                        j_ab = jij;
-                    } else if i == a {
-                        j_ac[j] = jij;
-                    } else if j == a {
-                        j_ac[i] = jij;
-                    } else if i == b {
-                        j_bc[j] = jij;
-                    } else if j == b {
-                        j_bc[i] = jij;
-                    }
+        let mut cos_args = Vec::new();
+        let mut cos_ix = HashMap::new();
+        let mut sin_args = Vec::new();
+        let mut sin_ix = HashMap::new();
+        let mut lin = LinTerms::default();
+        lin.adj_off.push(0);
+        for (a, hi) in model.linears().filter(|&(_, hi)| hi != 0.0) {
+            lin.var.push(a as u32);
+            lin.h.push(hi);
+            lin.sin_h.push(intern(&mut sin_args, &mut sin_ix, hi));
+            // The incident-coupling product of `expectation_z`, in
+            // coupling-iteration order.
+            for ((i, j), jij) in model.couplings() {
+                if i == a || j == a {
+                    lin.adj.push(intern(&mut cos_args, &mut cos_ix, jij));
                 }
-                let third = (0..n)
-                    .filter(|&c| c != a && c != b && (j_ac[c] != 0.0 || j_bc[c] != 0.0))
-                    .map(|c| (j_ac[c], j_bc[c]))
-                    .collect();
-                PreparedPair {
-                    j_ab,
-                    h_a: model.linear(a),
-                    h_b: model.linear(b),
-                    third,
-                }
-            })
-            .collect();
+            }
+            lin.adj_off
+                .push(u32::try_from(lin.adj.len()).expect("adjacency exceeds u32 indexing"));
+        }
+        // Ascending adjacency lists (the BTreeMap key order guarantees
+        // each list comes out sorted by neighbour index), so the
+        // per-pair gather is O(deg a + deg b) instead of the dense
+        // O(|J| + n) rescan of `expectation_zz` — with identical output:
+        // stored couplings are never exactly 0.0, so "some J nonzero"
+        // is exactly "c neighbours a or b", and untouched scratch slots
+        // hold the same +0.0 the dense arrays were initialized with.
+        let mut adj_list: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for ((i, j), jij) in model.couplings() {
+            adj_list[i].push((j, jij));
+            adj_list[j].push((i, jij));
+        }
+        let mut j_ac = vec![0.0f64; n];
+        let mut j_bc = vec![0.0f64; n];
+        let mut cands: Vec<usize> = Vec::new();
+        let mut coup = PairTerms::default();
+        coup.third_off.push(0);
+        for ((a, b), j_ab) in model.couplings() {
+            for &(c, jij) in &adj_list[a] {
+                j_ac[c] = jij;
+            }
+            for &(c, jij) in &adj_list[b] {
+                j_bc[c] = jij;
+            }
+            cands.clear();
+            cands.extend(adj_list[a].iter().map(|&(c, _)| c));
+            cands.extend(adj_list[b].iter().map(|&(c, _)| c));
+            cands.sort_unstable();
+            cands.dedup();
+            let (h_a, h_b) = (model.linear(a), model.linear(b));
+            coup.j.push(j_ab);
+            coup.sin_j.push(intern(&mut sin_args, &mut sin_ix, j_ab));
+            coup.cos_ha.push(intern(&mut cos_args, &mut cos_ix, h_a));
+            coup.cos_hb.push(intern(&mut cos_args, &mut cos_ix, h_b));
+            coup.cos_hsum
+                .push(intern(&mut cos_args, &mut cos_ix, h_a + h_b));
+            coup.cos_hdif
+                .push(intern(&mut cos_args, &mut cos_ix, h_a - h_b));
+            for &c in cands.iter().filter(|&&c| c != a && c != b) {
+                coup.thirds.push([
+                    intern(&mut cos_args, &mut cos_ix, j_ac[c]),
+                    intern(&mut cos_args, &mut cos_ix, j_bc[c]),
+                    intern(&mut cos_args, &mut cos_ix, j_ac[c] + j_bc[c]),
+                    intern(&mut cos_args, &mut cos_ix, j_ac[c] - j_bc[c]),
+                ]);
+            }
+            coup.third_off.push(
+                u32::try_from(coup.thirds.len()).expect("third-spin list exceeds u32 indexing"),
+            );
+            // Reset only the touched scratch slots for the next pair.
+            for &(c, _) in &adj_list[a] {
+                j_ac[c] = 0.0;
+            }
+            for &(c, _) in &adj_list[b] {
+                j_bc[c] = 0.0;
+            }
+        }
+        // The cos-table slot holding `+0.0` (multiplier 1.0), if any
+        // term interned it. A third-spin entry carrying this slot on its
+        // `J_ac` or `J_bc` side is *one-sided* — `c` neighbours only one
+        // endpoint — which is the overwhelmingly common case on sparse
+        // graphs, and the row assembly specializes on it.
+        let zero_cos = cos_ix.get(&0.0f64.to_bits()).copied().unwrap_or(u32::MAX);
         PreparedP1 {
             model,
             offset: model.offset(),
+            cos_args,
+            sin_args,
+            zero_cos,
             lin,
             coup,
         }
@@ -352,120 +492,260 @@ impl<'m> PreparedP1<'m> {
         self.model
     }
 
+    /// Number of analytic terms (`⟨Z⟩` + `⟨ZZ⟩`).
+    #[must_use]
+    pub fn num_terms(&self) -> usize {
+        self.lin.h.len() + self.coup.j.len()
+    }
+
+    /// A machine-free estimate of the flop count of evaluating one full
+    /// β row of `resolution` points (row setup plus lane assembly).
+    /// Callers use it to decide when fanning rows across threads pays.
+    #[must_use]
+    pub fn row_flops(&self, resolution: usize) -> usize {
+        let setup = self.cos_args.len() * 8 // trig ≈ several flops each
+            + self.sin_args.len() * 8
+            + self.lin.adj.len()
+            + 4 * self.coup.thirds.len()
+            + 6 * self.coup.j.len();
+        let per_point = 3 * self.lin.h.len() + 7 * self.coup.j.len();
+        setup + resolution * per_point
+    }
+
     /// `⟨C⟩` at `(γ, β)` — bit-identical to [`expectation_p1`], without
-    /// re-gathering the model structure or allocating.
+    /// re-gathering the model structure. Equivalent to
+    /// `self.row(gamma).at(beta)`; for β sweeps at fixed γ build the row
+    /// once instead.
     #[must_use]
     pub fn at(&self, gamma: f64, beta: f64) -> f64 {
-        let s2b = (2.0 * beta).sin();
-        let s4b = (4.0 * beta).sin();
-        let mut ev = self.offset;
-        for (_, hi, adj) in &self.lin {
-            let (sgh, prod) = Self::lin_gamma(gamma, *hi, adj);
-            ev += hi * ((s2b * sgh) * prod);
-        }
-        for pair in &self.coup {
-            let (sj, chains, d) = Self::pair_gamma(gamma, pair);
-            ev += pair.j_ab * (((0.5 * s4b) * sj) * chains + ((-0.5 * s2b) * s2b) * d);
-        }
-        ev
+        self.row(gamma).at(beta)
     }
 
     /// All per-term expectations at `(γ, β)` — bit-identical to
     /// [`term_expectations_p1`], in the same `(z, zz)` layout.
     #[must_use]
     pub fn terms_at(&self, gamma: f64, beta: f64) -> (Vec<f64>, Vec<f64>) {
+        let row = self.row(gamma);
         let s2b = (2.0 * beta).sin();
         let s4b = (4.0 * beta).sin();
         let mut z = vec![0.0f64; self.model.num_vars()];
-        for (a, hi, adj) in &self.lin {
-            let (sgh, prod) = Self::lin_gamma(gamma, *hi, adj);
-            z[*a] = (s2b * sgh) * prod;
+        for (i, &a) in self.lin.var.iter().enumerate() {
+            z[a as usize] = (s2b * row.lin_sgh[i]) * row.lin_prod[i];
         }
-        let zz = self
-            .coup
-            .iter()
-            .map(|pair| {
-                let (sj, chains, d) = Self::pair_gamma(gamma, pair);
-                ((0.5 * s4b) * sj) * chains + ((-0.5 * s2b) * s2b) * d
+        let zz = (0..row.coup_j.len())
+            .map(|k| {
+                ((0.5 * s4b) * row.coup_sj[k]) * row.coup_chains[k]
+                    + ((-0.5 * s2b) * s2b) * row.coup_d[k]
             })
             .collect();
         (z, zz)
     }
 
-    /// Hoists every γ-only subexpression for a β sweep at fixed `γ`: one
-    /// `O(Σ deg)` row setup makes each [`P1Row::at`] call `O(V + E)`
-    /// with no trigonometry beyond the two β sines.
+    /// Hoists every γ-only subexpression for a β sweep at fixed `γ`: the
+    /// trig tables are evaluated once per **distinct** coefficient value,
+    /// then the per-term factors are assembled with pure multiplies over
+    /// the SoA index arrays. Each subsequent [`P1Row::at`] call is
+    /// `O(V + E)` with no trigonometry beyond the two β sines, and
+    /// [`P1Row::eval_lanes`] removes even those from the per-row cost.
+    ///
+    /// Where the unprepared code *skips* a `cos` factor for a zero
+    /// coupling, this path multiplies by `cos(2γ·0) = 1.0` instead — a
+    /// bitwise no-op on the finite chain values, so the gated and
+    /// ungated forms agree bit-for-bit (finite γ; pinned by tests).
     #[must_use]
-    pub fn row(&self, gamma: f64) -> P1Row {
+    pub fn row(&self, gamma: f64) -> P1Row<'_> {
+        let g2 = 2.0 * gamma;
+        // The only trig in the row: one call per distinct multiplier.
+        // `g2 * m` reproduces the argument bits of the unprepared
+        // `(2.0 * gamma * m).cos()` exactly (same two factors, same
+        // association), so every table entry is bit-identical to the
+        // per-occurrence call it replaces.
+        let ct: Vec<f64> = self.cos_args.iter().map(|&m| (g2 * m).cos()).collect();
+        let st: Vec<f64> = self.sin_args.iter().map(|&m| (g2 * m).sin()).collect();
+        let nl = self.lin.h.len();
+        let mut lin_sgh = Vec::with_capacity(nl);
+        let mut lin_prod = Vec::with_capacity(nl);
+        for i in 0..nl {
+            lin_sgh.push(st[self.lin.sin_h[i] as usize]);
+            let mut prod = 1.0;
+            for t in self.lin.adj_off[i]..self.lin.adj_off[i + 1] {
+                prod *= ct[self.lin.adj[t as usize] as usize];
+            }
+            lin_prod.push(prod);
+        }
+        let nc = self.coup.j.len();
+        let mut coup_sj = Vec::with_capacity(nc);
+        let mut coup_chains = Vec::with_capacity(nc);
+        let mut coup_d = Vec::with_capacity(nc);
+        for k in 0..nc {
+            let mut chain_a = ct[self.coup.cos_ha[k] as usize];
+            let mut chain_b = ct[self.coup.cos_hb[k] as usize];
+            let mut f_plus = 1.0;
+            let mut f_minus = 1.0;
+            let (s, e) = (
+                self.coup.third_off[k] as usize,
+                self.coup.third_off[k + 1] as usize,
+            );
+            // One-sided specialization (bit-identical): when `c`
+            // neighbours only `a`, the scratch `J_bc` is `+0.0`, so
+            // `ib` is the `+0.0` slot (`ct[ib] == 1.0`, a bitwise no-op
+            // multiplier that can be dropped) and the interner mapped
+            // `J_ac + 0.0` and `J_ac − 0.0` to `ia`'s own slot
+            // (identical bits in, identical slot out) — one gather and
+            // three multiplies instead of four of each. Mirrored for
+            // `b`-only, except `0.0 − J_bc = −J_bc` keeps its own slot.
+            // The per-chain multiply *order* is unchanged, so every
+            // product has the exact scalar op tree.
+            let z = self.zero_cos;
+            for &[ia, ib, isum, idif] in &self.coup.thirds[s..e] {
+                if ib == z {
+                    let v = ct[ia as usize];
+                    chain_a *= v;
+                    f_plus *= v;
+                    f_minus *= v;
+                } else if ia == z {
+                    let v = ct[ib as usize];
+                    chain_b *= v;
+                    f_plus *= v;
+                    f_minus *= ct[idif as usize];
+                } else {
+                    chain_a *= ct[ia as usize];
+                    chain_b *= ct[ib as usize];
+                    f_plus *= ct[isum as usize];
+                    f_minus *= ct[idif as usize];
+                }
+            }
+            let d = ct[self.coup.cos_hsum[k] as usize] * f_plus
+                - ct[self.coup.cos_hdif[k] as usize] * f_minus;
+            coup_sj.push(st[self.coup.sin_j[k] as usize]);
+            coup_chains.push(chain_a + chain_b);
+            coup_d.push(d);
+        }
         P1Row {
             offset: self.offset,
-            lin: self
-                .lin
-                .iter()
-                .map(|(_, hi, adj)| {
-                    let (sgh, prod) = Self::lin_gamma(gamma, *hi, adj);
-                    (*hi, sgh, prod)
-                })
-                .collect(),
-            coup: self
-                .coup
-                .iter()
-                .map(|pair| {
-                    let (sj, chains, d) = Self::pair_gamma(gamma, pair);
-                    (pair.j_ab, sj, chains, d)
-                })
-                .collect(),
+            lin_h: &self.lin.h,
+            lin_sgh,
+            lin_prod,
+            coup_j: &self.coup.j,
+            coup_sj,
+            coup_chains,
+            coup_d,
         }
-    }
-
-    /// γ-only factors of a `⟨Z_a⟩` term: `(sin(2γ·h_a), Π cos(2γ·J))`.
-    fn lin_gamma(gamma: f64, h_a: f64, adj: &[f64]) -> (f64, f64) {
-        let mut prod = 1.0;
-        for &jij in adj {
-            prod *= (2.0 * gamma * jij).cos();
-        }
-        ((2.0 * gamma * h_a).sin(), prod)
-    }
-
-    /// γ-only factors of a `⟨Z_aZ_b⟩` term:
-    /// `(sin(2γ·J_ab), chain_a + chain_b, D)`.
-    fn pair_gamma(gamma: f64, pair: &PreparedPair) -> (f64, f64, f64) {
-        let g2 = 2.0 * gamma;
-        let mut chain_a = (g2 * pair.h_a).cos();
-        let mut chain_b = (g2 * pair.h_b).cos();
-        let mut f_plus = 1.0;
-        let mut f_minus = 1.0;
-        for &(j_ac, j_bc) in &pair.third {
-            if j_ac != 0.0 {
-                chain_a *= (g2 * j_ac).cos();
-            }
-            if j_bc != 0.0 {
-                chain_b *= (g2 * j_bc).cos();
-            }
-            f_plus *= (g2 * (j_ac + j_bc)).cos();
-            f_minus *= (g2 * (j_ac - j_bc)).cos();
-        }
-        let d = (g2 * (pair.h_a + pair.h_b)).cos() * f_plus
-            - (g2 * (pair.h_a - pair.h_b)).cos() * f_minus;
-        ((g2 * pair.j_ab).sin(), chain_a + chain_b, d)
     }
 }
 
-impl P1Row {
+impl P1Row<'_> {
     /// `⟨C⟩` at `(γ_row, β)` — bit-identical to
     /// [`expectation_p1`] at the row's γ.
     #[must_use]
     pub fn at(&self, beta: f64) -> f64 {
         let s2b = (2.0 * beta).sin();
         let s4b = (4.0 * beta).sin();
+        // β-only subexpressions of the pair term, hoisted out of the term
+        // loop: they are pure functions of the two sines, so every term
+        // sees the exact values the per-term computation produced.
+        let half_s4b = 0.5 * s4b;
+        let msq_s2b = (-0.5 * s2b) * s2b;
         let mut ev = self.offset;
-        for &(hi, sgh, prod) in &self.lin {
+        for ((&hi, &sgh), &prod) in self.lin_h.iter().zip(&self.lin_sgh).zip(&self.lin_prod) {
             ev += hi * ((s2b * sgh) * prod);
         }
-        for &(j_ab, sj, chains, d) in &self.coup {
-            ev += j_ab * (((0.5 * s4b) * sj) * chains + ((-0.5 * s2b) * s2b) * d);
+        for (((&j_ab, &sj), &chains), &d) in self
+            .coup_j
+            .iter()
+            .zip(&self.coup_sj)
+            .zip(&self.coup_chains)
+            .zip(&self.coup_d)
+        {
+            ev += j_ab * ((half_s4b * sj) * chains + msq_s2b * d);
         }
         ev
+    }
+
+    /// Evaluates every β point of a row through the `W`-wide lane kernel
+    /// (`W = 4` and `W = 8` are the tuned widths), writing `out[j] =`
+    /// [`P1Row::at`]`(betas[j])` **bit-identically**: lanes are fully
+    /// independent accumulators, and each lane runs the exact scalar
+    /// operation sequence, so vector evaluation never reassociates a
+    /// term sum. The β-axis tail (`len % W`) is padded to a full lane
+    /// with zeros whose results are discarded; the *term* arrays are
+    /// deliberately **not** zero-padded, because accumulating a padding
+    /// term would be `ev += 0.0` — not a bitwise no-op when the running
+    /// sum is `−0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `W == 0` or `out.len() != trig.len()`.
+    pub fn eval_lanes<const W: usize>(&self, trig: &BetaTrig, out: &mut [f64]) {
+        assert!(W > 0, "lane width must be at least 1");
+        assert_eq!(
+            trig.len(),
+            out.len(),
+            "β trig table and output row must have equal lengths"
+        );
+        let n = out.len();
+        let full = n / W * W;
+        let mut i = 0;
+        while i < full {
+            let s2b: &[f64; W] = self.lane_slice(&trig.s2b, i);
+            let s4b: &[f64; W] = self.lane_slice(&trig.s4b, i);
+            let mut ev = [0.0f64; W];
+            self.lanes_kernel(s2b, s4b, &mut ev);
+            out[i..i + W].copy_from_slice(&ev);
+            i += W;
+        }
+        if i < n {
+            // Tail: pad the β lanes (not the terms) to a full width.
+            let mut s2b = [0.0f64; W];
+            let mut s4b = [0.0f64; W];
+            s2b[..n - i].copy_from_slice(&trig.s2b[i..]);
+            s4b[..n - i].copy_from_slice(&trig.s4b[i..]);
+            let mut ev = [0.0f64; W];
+            self.lanes_kernel(&s2b, &s4b, &mut ev);
+            out[i..].copy_from_slice(&ev[..n - i]);
+        }
+    }
+
+    /// A full-width window into a trig table (bounds checked by caller).
+    fn lane_slice<'a, const W: usize>(&self, table: &'a [f64], i: usize) -> &'a [f64; W] {
+        table[i..i + W]
+            .try_into()
+            .expect("window is exactly W wide")
+    }
+
+    /// The fixed-width kernel: term-major over the SoA arrays, with `W`
+    /// independent per-lane accumulators. Per lane the operation
+    /// sequence is exactly [`P1Row::at`]'s, so each lane's result is
+    /// bit-identical to the scalar evaluation at its β.
+    fn lanes_kernel<const W: usize>(&self, s2b: &[f64; W], s4b: &[f64; W], ev: &mut [f64; W]) {
+        *ev = [self.offset; W];
+        // Per-lane β-only subexpressions, hoisted out of the term loop
+        // exactly as in [`P1Row::at`] — same op tree, same bits.
+        let mut half_s4b = [0.0f64; W];
+        let mut msq_s2b = [0.0f64; W];
+        for l in 0..W {
+            half_s4b[l] = 0.5 * s4b[l];
+            msq_s2b[l] = (-0.5 * s2b[l]) * s2b[l];
+        }
+        // Fixed-bound `0..W` inner loops over `[f64; W]` arrays: the
+        // compiler fully unrolls them and keeps the lane accumulators in
+        // registers, which the equivalent zip-iterator chains defeat.
+        for ((&hi, &sgh), &prod) in self.lin_h.iter().zip(&self.lin_sgh).zip(&self.lin_prod) {
+            for l in 0..W {
+                ev[l] += hi * ((s2b[l] * sgh) * prod);
+            }
+        }
+        for (((&j_ab, &sj), &chains), &d) in self
+            .coup_j
+            .iter()
+            .zip(&self.coup_sj)
+            .zip(&self.coup_chains)
+            .zip(&self.coup_d)
+        {
+            for l in 0..W {
+                ev[l] += j_ab * ((half_s4b[l] * sj) * chains + msq_s2b[l] * d);
+            }
+        }
     }
 }
 

@@ -1,0 +1,225 @@
+//! Property-style bit-identity pins for the SoA lane kernels.
+//!
+//! The contract under test: for every model (random or adversarial),
+//! every finite angle, every lane width, and every β-row length,
+//!
+//! * `PreparedP1::row(γ).at(β)`            == `expectation_p1(m, γ, β)`
+//! * `P1Row::eval_lanes::<W>` per point     == `P1Row::at` per point
+//! * `PreparedP1::at` / `terms_at`          == the unprepared functions
+//!
+//! all compared through `f64::to_bits` — bit-for-bit, not approximately
+//! (`assert_eq!` on `f64` would let `−0.0` masquerade as `+0.0`).
+
+use fq_ising::IsingModel;
+use fq_sim::analytic::{expectation_p1, term_expectations_p1, BetaTrig, P1Row, PreparedP1};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const GAMMAS: [f64; 6] = [-1.9, -0.4, -0.0, 0.0, 0.7, 1.3];
+const ROW_LENS: [usize; 10] = [1, 2, 3, 5, 7, 8, 9, 11, 16, 33];
+
+fn beta_row(len: usize) -> Vec<f64> {
+    // Includes negative β (so sin(2β) goes negative) and exact 0.0.
+    (0..len)
+        .map(|j| -0.9 + 1.7 * j as f64 / len as f64)
+        .chain(std::iter::once(0.0))
+        .take(len)
+        .collect()
+}
+
+/// Asserts every lane width against the scalar row evaluator on one
+/// (model, γ, β-row) triple, plus the prepared-vs-unprepared pins.
+fn assert_bit_identity(model: &IsingModel, label: &str) {
+    let prepared = PreparedP1::new(model);
+    for &gamma in &GAMMAS {
+        let row = prepared.row(gamma);
+        for &len in &ROW_LENS {
+            let betas = beta_row(len);
+            let trig = BetaTrig::new(&betas);
+            assert_lanes_match_scalar::<1>(&row, &trig, &betas, label, gamma);
+            assert_lanes_match_scalar::<2>(&row, &trig, &betas, label, gamma);
+            assert_lanes_match_scalar::<4>(&row, &trig, &betas, label, gamma);
+            assert_lanes_match_scalar::<8>(&row, &trig, &betas, label, gamma);
+            assert_lanes_match_scalar::<16>(&row, &trig, &betas, label, gamma);
+        }
+        for &beta in &[-0.8, -0.0, 0.0, 0.35, 1.4] {
+            let reference = expectation_p1(model, gamma, beta).unwrap();
+            assert_eq!(
+                row.at(beta).to_bits(),
+                reference.to_bits(),
+                "{label}: row.at(β) vs expectation_p1 at ({gamma}, {beta})"
+            );
+            assert_eq!(
+                prepared.at(gamma, beta).to_bits(),
+                reference.to_bits(),
+                "{label}: prepared.at vs expectation_p1 at ({gamma}, {beta})"
+            );
+            let (z_ref, zz_ref) = term_expectations_p1(model, gamma, beta).unwrap();
+            let (z, zz) = prepared.terms_at(gamma, beta);
+            assert_eq!(bits(&z), bits(&z_ref), "{label}: terms_at z");
+            assert_eq!(bits(&zz), bits(&zz_ref), "{label}: terms_at zz");
+        }
+    }
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_lanes_match_scalar<const W: usize>(
+    row: &P1Row,
+    trig: &BetaTrig,
+    betas: &[f64],
+    label: &str,
+    gamma: f64,
+) {
+    let mut out = vec![f64::NAN; betas.len()];
+    row.eval_lanes::<W>(trig, &mut out);
+    for (j, (&got, &b)) in out.iter().zip(betas).enumerate() {
+        assert_eq!(
+            got.to_bits(),
+            row.at(b).to_bits(),
+            "{label}: lane width {W}, γ = {gamma}, row len {}, point {j} (β = {b})",
+            betas.len()
+        );
+    }
+}
+
+fn random_model(n: usize, density: f64, pm1: bool, seed: u64) -> IsingModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = IsingModel::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random::<f64>() < density {
+                let w = if pm1 {
+                    if rng.random::<bool>() {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                } else {
+                    rng.random_range(-2.0..2.0)
+                };
+                m.set_coupling(i, j, w).unwrap();
+            }
+        }
+        if rng.random::<bool>() {
+            m.set_linear(i, rng.random_range(-1.5..1.5)).unwrap();
+        }
+    }
+    m
+}
+
+#[test]
+fn lanes_match_scalar_on_random_pm1_models() {
+    for (seed, &n) in [5, 8, 9, 12, 17].iter().enumerate() {
+        let m = random_model(n, 0.4, true, seed as u64);
+        assert_bit_identity(&m, &format!("±1 model n={n}"));
+    }
+}
+
+#[test]
+fn lanes_match_scalar_on_random_weighted_models() {
+    for (seed, &n) in [6, 7, 11, 16].iter().enumerate() {
+        let m = random_model(n, 0.5, false, 100 + seed as u64);
+        assert_bit_identity(&m, &format!("weighted model n={n}"));
+    }
+}
+
+#[test]
+fn lanes_match_scalar_on_isolated_nodes() {
+    // Vars 5..9 have linear terms but no couplings: `⟨Z⟩` terms with an
+    // empty incident-coupling product.
+    let mut m = IsingModel::new(9);
+    for (i, j) in [(0, 1), (1, 2), (2, 3), (0, 4)] {
+        m.set_coupling(i, j, -1.0).unwrap();
+    }
+    for v in 5..9 {
+        m.set_linear(v, 0.75 * v as f64).unwrap();
+    }
+    assert_bit_identity(&m, "isolated nodes");
+}
+
+#[test]
+fn lanes_match_scalar_on_empty_couplings() {
+    // Linear-only model: no `⟨ZZ⟩` terms at all.
+    let mut m = IsingModel::new(6);
+    for v in 0..6 {
+        m.set_linear(v, (v as f64) - 2.5).unwrap();
+    }
+    assert_bit_identity(&m, "empty couplings");
+}
+
+#[test]
+fn lanes_match_scalar_on_zero_weights() {
+    // Zero linear terms are skipped (matching the unprepared filter);
+    // setting a coupling to 0.0 removes it. One-sided third spins keep
+    // an exact-0.0 partner coefficient in the SoA arrays — the case the
+    // ungated `× cos(2γ·0) = × 1.0` chain multiply must get right.
+    let mut m = IsingModel::new(7);
+    m.set_coupling(0, 1, 1.0).unwrap();
+    m.set_coupling(1, 2, -1.0).unwrap(); // third spin 2 couples to 1 only
+    m.set_coupling(0, 3, 0.5).unwrap(); // third spin 3 couples to 0 only
+    m.set_coupling(4, 5, 2.0).unwrap();
+    m.set_coupling(4, 5, 0.0).unwrap(); // removed again
+    m.set_linear(0, 0.0).unwrap(); // skipped term
+    m.set_linear(6, -1.25).unwrap();
+    assert_eq!(m.num_couplings(), 3);
+    assert_bit_identity(&m, "zero weights");
+}
+
+#[test]
+fn lanes_match_scalar_on_offset_only_and_trivial_models() {
+    // Accumulators start at the offset; a −0.0 offset is the adversarial
+    // case that would expose any spurious `+ 0.0` from padded terms
+    // (−0.0 + 0.0 == +0.0 bitwise-differs from −0.0).
+    let mut neg_zero = IsingModel::new(3);
+    neg_zero.set_offset(-0.0);
+    assert_eq!(neg_zero.offset().to_bits(), (-0.0f64).to_bits());
+    assert_bit_identity(&neg_zero, "−0.0 offset, no terms");
+
+    let mut offset_only = IsingModel::new(4);
+    offset_only.set_offset(-17.5);
+    assert_bit_identity(&offset_only, "offset only");
+
+    assert_bit_identity(&IsingModel::new(0), "empty model");
+    assert_bit_identity(&IsingModel::new(1), "single var, no terms");
+}
+
+#[test]
+fn lanes_match_scalar_with_negative_zero_offset_and_terms() {
+    let mut m = random_model(8, 0.4, true, 7);
+    m.set_offset(-0.0);
+    assert_bit_identity(&m, "−0.0 offset with terms");
+}
+
+#[test]
+fn beta_trig_matches_scalar_sines() {
+    let betas = beta_row(13);
+    let trig = BetaTrig::new(&betas);
+    assert_eq!(trig.len(), 13);
+    assert!(!trig.is_empty());
+    assert!(BetaTrig::new(&[]).is_empty());
+}
+
+#[test]
+fn eval_lanes_handles_empty_rows() {
+    let m = random_model(5, 0.5, true, 3);
+    let prepared = PreparedP1::new(&m);
+    let row = prepared.row(0.4);
+    let trig = BetaTrig::new(&[]);
+    let mut out: Vec<f64> = Vec::new();
+    row.eval_lanes::<8>(&trig, &mut out);
+    assert!(out.is_empty());
+}
+
+#[test]
+#[should_panic(expected = "equal lengths")]
+fn eval_lanes_rejects_mismatched_buffers() {
+    let m = random_model(4, 0.5, true, 5);
+    let prepared = PreparedP1::new(&m);
+    let row = prepared.row(0.2);
+    let trig = BetaTrig::new(&[0.1, 0.2]);
+    let mut out = vec![0.0; 3];
+    row.eval_lanes::<4>(&trig, &mut out);
+}
