@@ -53,8 +53,9 @@ use fq_ising::{IsingModel, OutputDistribution, SpinVec};
 use fq_transpile::Device;
 
 use crate::pipeline::summarize_outcomes;
-use crate::plan::{plan_execution_cached, TemplateCache};
+use crate::plan::{plan_execution_cached, ShapeSignature, TemplateCache};
 use crate::solve::SolveOutcome;
+use crate::store::TemplateKey;
 use crate::{metrics, FqError, FrozenQubitsConfig, Report, RunSummary};
 
 /// How a job's problem Hamiltonian is obtained.
@@ -378,6 +379,34 @@ impl JobSpec {
     pub fn run(&self) -> Result<JobResult, FqError> {
         self.to_job()?.run()
     }
+
+    /// The template fingerprints this spec's execution units will look
+    /// up — **without compiling anything** (see
+    /// [`Job::unit_fingerprints`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-resolution and hotspot-selection errors.
+    pub fn unit_fingerprints(&self) -> Result<Vec<String>, FqError> {
+        self.to_job()?.unit_fingerprints()
+    }
+
+    /// The fingerprint a cluster dispatcher should route this spec by:
+    /// the last (most expensive) execution unit's template fingerprint —
+    /// the frozen-side template for frozen/compare/sample jobs, the
+    /// baseline template for baseline jobs. Jobs that share this
+    /// fingerprint reuse one compiled template, so routing them to the
+    /// same shard keeps that shard's cache hot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-resolution and hotspot-selection errors.
+    pub fn routing_fingerprint(&self) -> Result<String, FqError> {
+        Ok(self
+            .unit_fingerprints()?
+            .pop()
+            .expect("every job kind decomposes into at least one unit"))
+    }
 }
 
 /// Builds a validated [`JobSpec`].
@@ -699,6 +728,48 @@ impl Job {
         }
     }
 
+    /// The template fingerprints this job's execution units will look up
+    /// in a [`TemplateCache`] — computed from the spec alone, **without
+    /// compiling anything**.
+    ///
+    /// For a baseline unit the template shape is the full model's; for a
+    /// frozen unit it is the shape of one representative frozen branch
+    /// (hotspots selected exactly as planning selects them, all frozen
+    /// `UP`) — valid because all `2^m` branches of one job share a single
+    /// shape (freezing changes linear terms and the offset, never the
+    /// coupling structure). The returned fingerprints are therefore
+    /// exactly the keys [`Job::run_cached`] compiles or hits, which is
+    /// what lets a dispatcher route jobs onto shards by cache affinity
+    /// without doing any circuit work itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hotspot-selection and freezing errors (e.g. freezing
+    /// more qubits than the problem has).
+    pub fn unit_fingerprints(&self) -> Result<Vec<String>, FqError> {
+        self.decompose()
+            .iter()
+            .map(|unit| {
+                let shape = if unit.config.num_frozen == 0 {
+                    ShapeSignature::of(&self.model)
+                } else {
+                    let hotspots = crate::hotspot::select_hotspots(
+                        &self.model,
+                        unit.config.num_frozen,
+                        &unit.config.hotspots,
+                    )?;
+                    let assignment: Vec<(usize, fq_ising::Spin)> =
+                        hotspots.iter().map(|&q| (q, fq_ising::Spin::UP)).collect();
+                    ShapeSignature::of(self.model.freeze(&assignment)?.model())
+                };
+                Ok(
+                    TemplateKey::new(shape, &self.device, unit.config.layers, unit.config.compile)
+                        .fingerprint(),
+                )
+            })
+            .collect()
+    }
+
     /// The per-branch noise model this job's backend evaluates — how the
     /// batch engine drives branches without going through the
     /// [`Backend`] object (the two built-in backends differ only here).
@@ -953,6 +1024,75 @@ mod tests {
         assert!(matches!(
             missing_kind.build(),
             Err(FqError::InvalidConfig(msg)) if msg.contains("kind")
+        ));
+    }
+
+    #[test]
+    fn unit_fingerprints_name_exactly_what_planning_compiles() {
+        // One spec per job kind, over two problem families and two
+        // freeze depths: the no-compile fingerprint prediction must
+        // match, as a set, the fingerprints the template cache actually
+        // compiled after running the spec.
+        let base = |n: usize, seed: u64| {
+            JobBuilder::new()
+                .barabasi_albert(n, 1, seed)
+                .device(DeviceSpec::IbmMontreal)
+        };
+        let specs = vec![
+            base(10, 4).baseline().build().unwrap(),
+            base(10, 4).num_frozen(1).frozen().build().unwrap(),
+            base(10, 4).num_frozen(2).frozen().build().unwrap(),
+            base(12, 7).compare().build().unwrap(),
+            base(8, 2).sample(16).build().unwrap(),
+        ];
+        for spec in &specs {
+            let runner = BatchRunner::new();
+            runner
+                .run(std::slice::from_ref(spec))
+                .pop()
+                .unwrap()
+                .unwrap();
+            let compiled: std::collections::BTreeSet<String> = runner
+                .cache()
+                .index()
+                .into_iter()
+                .map(|entry| entry.fingerprint)
+                .collect();
+            let predicted: std::collections::BTreeSet<String> =
+                spec.unit_fingerprints().unwrap().into_iter().collect();
+            assert_eq!(
+                predicted, compiled,
+                "predicted fingerprints must equal the compiled keys for {spec:?}"
+            );
+            for fingerprint in &predicted {
+                assert!(crate::is_template_fingerprint(fingerprint));
+            }
+        }
+
+        // The routing fingerprint is the frozen-side unit for compare
+        // jobs (the last decomposed unit) and is stable across calls.
+        let compare = base(12, 7).compare().build().unwrap();
+        let units = compare.unit_fingerprints().unwrap();
+        assert_eq!(units.len(), 2, "compare = baseline unit + frozen unit");
+        assert_eq!(
+            compare.routing_fingerprint().unwrap(),
+            units[1],
+            "compare jobs route by their frozen-side template"
+        );
+        assert_eq!(
+            compare.routing_fingerprint().unwrap(),
+            compare.routing_fingerprint().unwrap()
+        );
+
+        // Errors surface instead of panicking: freezing more qubits than
+        // the problem has is a routing-time error too.
+        let smuggled = JobSpec {
+            config: FrozenQubitsConfig::with_frozen(99),
+            ..base(8, 1).frozen().build().unwrap()
+        };
+        assert!(matches!(
+            smuggled.routing_fingerprint(),
+            Err(FqError::TooManyFrozen { .. })
         ));
     }
 

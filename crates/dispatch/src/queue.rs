@@ -1,0 +1,141 @@
+//! The bounded queue between the dispatcher's accept path and its
+//! forwarder pool — the same backpressure contract a shard's job queue
+//! uses (non-blocking push, `503` when full, drain-then-stop close),
+//! but carrying raw bodies: the dispatcher forwards bytes, it does not
+//! parse specs.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use frozenqubits::JobId;
+
+/// One accepted submission awaiting a forwarder.
+#[derive(Debug)]
+pub(crate) struct QueuedForward {
+    /// The dispatcher-side id minted for this submission.
+    pub(crate) id: JobId,
+    /// The request body, verbatim — relayed to the shard untouched.
+    pub(crate) body: String,
+    /// The routing fingerprint (empty for unparsable specs).
+    pub(crate) fingerprint: String,
+}
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue is at capacity — backpressure, try again later.
+    Full,
+    /// The dispatcher is shutting down.
+    Closed,
+}
+
+#[derive(Debug)]
+struct Inner {
+    items: VecDeque<QueuedForward>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue of pending forwards.
+#[derive(Debug)]
+pub(crate) struct DispatchQueue {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    ready: Condvar,
+}
+
+impl DispatchQueue {
+    /// A queue holding at most `capacity` pending forwards.
+    pub(crate) fn new(capacity: usize) -> DispatchQueue {
+        DispatchQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            capacity,
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues without blocking; fails when full or closed.
+    pub(crate) fn push(&self, job: QueuedForward) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a forward is available or the queue is closed
+    /// **and** drained; `None` tells a forwarder to exit.
+    pub(crate) fn pop(&self) -> Option<QueuedForward> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(job) = inner.items.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    /// Current number of pending forwards.
+    pub(crate) fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// The configured bound.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Marks the queue closed and wakes every waiting forwarder.
+    /// Already queued forwards still drain.
+    pub(crate) fn close(&self) {
+        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64) -> QueuedForward {
+        QueuedForward {
+            id: JobId::new(id),
+            body: "{}".into(),
+            fingerprint: String::new(),
+        }
+    }
+
+    #[test]
+    fn bounded_fifo_with_backpressure() {
+        let queue = DispatchQueue::new(2);
+        queue.push(job(1)).unwrap();
+        queue.push(job(2)).unwrap();
+        assert_eq!(queue.push(job(3)).unwrap_err(), PushError::Full);
+        assert_eq!(queue.depth(), 2);
+        assert_eq!(queue.pop().unwrap().id, JobId::new(1));
+        queue.push(job(3)).unwrap();
+        assert_eq!(queue.pop().unwrap().id, JobId::new(2));
+        assert_eq!(queue.pop().unwrap().id, JobId::new(3));
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let queue = DispatchQueue::new(4);
+        queue.push(job(1)).unwrap();
+        queue.close();
+        assert_eq!(queue.push(job(2)).unwrap_err(), PushError::Closed);
+        assert_eq!(queue.pop().unwrap().id, JobId::new(1));
+        assert!(queue.pop().is_none());
+    }
+}

@@ -1,0 +1,127 @@
+//! Rendezvous (highest-random-weight) hashing: the affinity map from
+//! template fingerprints to shards.
+//!
+//! For each `(fingerprint, shard)` pair a stable 64-bit score is
+//! computed; a fingerprint's candidate order is the shards sorted by
+//! descending score. The properties the dispatcher leans on:
+//!
+//! * **Affinity** — the same fingerprint always ranks the same shard
+//!   first, so jobs sharing a template land where that template is
+//!   already compiled (the paper's compile-once economy survives
+//!   horizontal scaling).
+//! * **Minimal disruption** — removing a shard only moves the
+//!   fingerprints it owned; every other fingerprint keeps its owner
+//!   (unlike modulo hashing, where one departure reshuffles nearly
+//!   everything). The failover order is the same ranking, so a dead
+//!   shard's keys spread over the survivors instead of piling onto one.
+//!
+//! The hash is FNV-1a, the same family as the template fingerprints
+//! themselves (`frozenqubits::store`) — deterministic across runs and
+//! platforms, which keeps routing reproducible in tests and across a
+//! fleet of dispatchers.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over one byte slice, continuing from `state`.
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// The rendezvous score of `(fingerprint, shard)`. A `0xff` separator
+/// (never part of an address or a hex fingerprint) keeps the pair
+/// encoding unambiguous.
+#[must_use]
+pub fn score(fingerprint: &str, shard: &str) -> u64 {
+    let state = fnv1a(FNV_OFFSET, fingerprint.as_bytes());
+    let state = fnv1a(state, &[0xff]);
+    fnv1a(state, shard.as_bytes())
+}
+
+/// Indices into `shards`, best candidate first, for `fingerprint`.
+/// Deterministic: ties (practically unreachable with 64-bit scores)
+/// break toward the lexicographically smaller address.
+#[must_use]
+pub fn rank(fingerprint: &str, shards: &[String]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..shards.len()).collect();
+    order.sort_by(|&a, &b| {
+        score(fingerprint, &shards[a])
+            .cmp(&score(fingerprint, &shards[b]))
+            .reverse()
+            .then_with(|| shards[a].cmp(&shards[b]))
+    });
+    order
+}
+
+/// The best candidate alone — the fingerprint's *owner*, where the
+/// sentinel converges its template.
+#[must_use]
+pub fn owner<'a>(fingerprint: &str, shards: &'a [String]) -> Option<&'a String> {
+    rank(fingerprint, shards).first().map(|&i| &shards[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shards(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:8077")).collect()
+    }
+
+    #[test]
+    fn ranking_is_stable_and_total() {
+        let pool = shards(5);
+        let first = rank("00c0ffee00c0ffee", &pool);
+        assert_eq!(first.len(), 5);
+        let mut sorted = first.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4], "a permutation of all shards");
+        for _ in 0..10 {
+            assert_eq!(rank("00c0ffee00c0ffee", &pool), first);
+        }
+    }
+
+    #[test]
+    fn distinct_fingerprints_spread_over_shards() {
+        let pool = shards(4);
+        let mut owners = std::collections::BTreeSet::new();
+        for i in 0..64 {
+            let fp = format!("{i:016x}");
+            owners.insert(owner(&fp, &pool).unwrap().clone());
+        }
+        // 64 fingerprints over 4 shards: every shard owns some.
+        assert_eq!(owners.len(), 4);
+    }
+
+    #[test]
+    fn removing_a_shard_only_moves_its_own_keys() {
+        let full = shards(5);
+        let removed = full[2].clone();
+        let survivors: Vec<String> = full.iter().filter(|s| **s != removed).cloned().collect();
+        for i in 0..128 {
+            let fp = format!("{i:016x}");
+            let before = owner(&fp, &full).unwrap().clone();
+            let after = owner(&fp, &survivors).unwrap().clone();
+            if before == removed {
+                // Orphaned keys land on their *second* choice — the
+                // same failover order the forwarder walks.
+                let ranked = rank(&fp, &full);
+                assert_eq!(after, full[ranked[1]]);
+            } else {
+                assert_eq!(before, after, "unaffected keys must not move");
+            }
+        }
+    }
+
+    #[test]
+    fn scores_differ_by_both_inputs() {
+        assert_ne!(score("a", "x"), score("b", "x"));
+        assert_ne!(score("a", "x"), score("a", "y"));
+        // The separator keeps ("ab","c") distinct from ("a","bc").
+        assert_ne!(score("ab", "c"), score("a", "bc"));
+    }
+}

@@ -1,0 +1,192 @@
+//! The sentinel: a background thread that turns shard telemetry into
+//! routing health and continuous cache convergence.
+//!
+//! Each cycle it:
+//!
+//! 1. **Probes** every shard — `GET /v1/healthz` for liveness, `GET
+//!    /v1/stats` for cache hit/miss, queue depth, in-flight workers and
+//!    uptime, `GET /v1/templates` for the resident-template index — and
+//!    promotes/demotes the entry in the shard table. This is the only
+//!    path that promotes: the forwarder demotes on transport errors,
+//!    the sentinel heals.
+//! 2. **Converges warm state**: for every fingerprint resident
+//!    somewhere in the fleet whose rendezvous *owner* does not hold it,
+//!    fetch the artifact from a holder and `POST /v1/templates` it to
+//!    the owner (bearer token attached when the cluster runs with
+//!    auth). Bounded per cycle so convergence traffic never crowds out
+//!    job traffic. This generalizes boot-time `--warm-from`: a cold or
+//!    newly joined shard is warmed *continuously*, without restarting
+//!    anything, and after a routing change templates follow their keys.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::json::Value;
+
+use crate::forward::{ConnPool, Metrics};
+use crate::ring;
+use crate::shards::{ProbeStats, ShardTable};
+
+/// Sentinel cadence and convergence bounds.
+#[derive(Clone, Debug)]
+pub(crate) struct SentinelConfig {
+    /// Time between probe/convergence cycles.
+    pub(crate) interval: Duration,
+    /// Most template pushes per cycle.
+    pub(crate) warm_batch: usize,
+}
+
+/// Spawns the sentinel thread; it exits promptly once `stop` is set.
+pub(crate) fn spawn(
+    table: Arc<ShardTable>,
+    metrics: Arc<Metrics>,
+    token: Option<String>,
+    config: SentinelConfig,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("fq-dispatch-sentinel".into())
+        .spawn(move || {
+            let mut pool = ConnPool::new(token);
+            while !stop.load(Ordering::SeqCst) {
+                for addr in table.addrs() {
+                    match probe(&mut pool, &addr) {
+                        Ok((stats, templates)) => table.record_probe(&addr, stats, templates),
+                        Err(()) => table.report_probe_failure(&addr),
+                    }
+                }
+                converge(&mut pool, &table, &metrics, config.warm_batch);
+                // Sleep in slices so shutdown is never interval-bound.
+                let mut remaining = config.interval;
+                while !remaining.is_zero() && !stop.load(Ordering::SeqCst) {
+                    let slice = remaining.min(Duration::from_millis(50));
+                    std::thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+            }
+        })
+        .expect("spawning the sentinel thread")
+}
+
+/// One shard probe: liveness, stats, template index. Any failure fails
+/// the probe as a whole — partial telemetry is worse than stale.
+fn probe(pool: &mut ConnPool, addr: &str) -> Result<(ProbeStats, Vec<String>), ()> {
+    let healthz = pool
+        .conn(addr)
+        .request("GET", "/v1/healthz", None)
+        .map_err(|_| ())?;
+    if healthz.status != 200 {
+        return Err(());
+    }
+
+    let stats = pool
+        .conn(addr)
+        .request("GET", "/v1/stats", None)
+        .map_err(|_| ())?;
+    let stats = Value::parse(&stats.body).map_err(|_| ())?;
+    let u64_at = |path: &[&str]| -> u64 {
+        let mut node = &stats;
+        for key in path {
+            match node.field(key) {
+                Ok(next) => node = next,
+                Err(_) => return 0,
+            }
+        }
+        node.as_u64().unwrap_or(0)
+    };
+    let probe_stats = ProbeStats {
+        hits: u64_at(&["cache", "hits"]),
+        misses: u64_at(&["cache", "misses"]),
+        queue_depth: u64_at(&["queue", "depth"]),
+        busy: u64_at(&["workers", "busy"]),
+        uptime_secs: u64_at(&["uptime_secs"]),
+    };
+
+    let index = pool
+        .conn(addr)
+        .request("GET", "/v1/templates", None)
+        .map_err(|_| ())?;
+    let index = Value::parse(&index.body).map_err(|_| ())?;
+    let templates = index
+        .field("templates")
+        .and_then(|t| t.as_array())
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|e| {
+                    e.field("fingerprint")
+                        .and_then(|f| f.as_str())
+                        .ok()
+                        .map(str::to_string)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    Ok((probe_stats, templates))
+}
+
+/// One convergence pass: push up to `warm_batch` artifacts toward their
+/// rendezvous owners. Works off the latest probe snapshot, so at most
+/// one cycle of staleness; a push that raced an eviction is re-planned
+/// next cycle.
+fn converge(pool: &mut ConnPool, table: &ShardTable, metrics: &Metrics, warm_batch: usize) {
+    let snapshot = table.snapshot();
+    let healthy: Vec<&crate::shards::ShardSnapshot> =
+        snapshot.iter().filter(|s| s.healthy && s.probed).collect();
+    if healthy.len() < 2 {
+        return; // nowhere to converge to (or from).
+    }
+    let addrs: Vec<String> = healthy.iter().map(|s| s.addr.clone()).collect();
+
+    // fingerprint → healthy holders, deterministic order.
+    let mut holders: std::collections::BTreeMap<&str, Vec<&str>> =
+        std::collections::BTreeMap::new();
+    for shard in &healthy {
+        for fingerprint in &shard.templates {
+            holders
+                .entry(fingerprint.as_str())
+                .or_default()
+                .push(shard.addr.as_str());
+        }
+    }
+
+    let mut pushed = 0usize;
+    for (fingerprint, holding) in &holders {
+        if pushed >= warm_batch {
+            return;
+        }
+        let Some(owner) = ring::owner(fingerprint, &addrs) else {
+            return;
+        };
+        if holding.iter().any(|addr| addr == owner) {
+            continue; // already where it belongs.
+        }
+        // Relay the artifact bytes as-is: fetch from the first holder,
+        // push to the owner. No decode on the dispatcher — the owner's
+        // own integrity checks gate admission.
+        let source = holding[0];
+        let Ok(fetched) =
+            pool.conn(source)
+                .request("GET", &format!("/v1/templates/{fingerprint}"), None)
+        else {
+            continue;
+        };
+        if fetched.status != 200 {
+            continue; // evicted since the probe; re-planned next cycle.
+        }
+        let owner = owner.clone();
+        let Ok(stored) = pool
+            .conn(&owner)
+            .request("POST", "/v1/templates", Some(&fetched.body))
+        else {
+            continue;
+        };
+        if stored.status == 200 {
+            metrics.warm_pushes.fetch_add(1, Ordering::Relaxed);
+            pushed += 1;
+        }
+    }
+}

@@ -1,0 +1,817 @@
+//! The dispatcher process: configuration, the accept loop, and the
+//! front-door endpoints.
+//!
+//! The data path mirrors a shard's — deliberately:
+//!
+//! ```text
+//! TcpListener ──▶ connection threads ──▶ bounded queue ──▶ forwarder pool
+//!                      (mint JobId,           │                 │
+//!                       fingerprint)          ▼                 ▼
+//!                                        503 when full    candidate shards
+//!                                                         (rendezvous order,
+//!                                                          retry/re-route)
+//! ```
+//!
+//! `POST /v1/jobs` and `GET /v1/jobs/{id}` speak exactly the shard wire
+//! surface, so a client cannot tell the front door from a shard — sync
+//! `200` bodies are the shard's bytes verbatim, which is what makes the
+//! cluster byte-identical to a single runner. `POST /v1/batch` scatters
+//! a JSON array of specs across the fleet and merges the outcomes in
+//! job order.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use fq_serve::error::error_response;
+use fq_serve::http::{self, ReadError, Request, Response};
+use fq_serve::wire::{submit_ack, WIRE_V};
+use frozenqubits::{FqError, JobId, JobSpec};
+use serde::json::Value;
+
+use crate::forward::{forward_job, ConnPool, ForwardPolicy, Metrics};
+use crate::queue::{DispatchQueue, PushError, QueuedForward};
+use crate::registry::{DispatchState, Lookup, Outcome, OutcomeStore};
+use crate::sentinel::{self, SentinelConfig};
+use crate::shards::ShardTable;
+
+/// Dispatcher configuration. Start from [`DispatchConfig::default`],
+/// set [`shards`](DispatchConfig::shards), override the rest as needed.
+#[derive(Clone, Debug)]
+pub struct DispatchConfig {
+    /// Bind address; `127.0.0.1:0` picks an ephemeral loopback port.
+    pub addr: String,
+    /// The shard addresses (`host:port`) to scatter over. At least one
+    /// is required; more can join at runtime via `POST /v1/shards`.
+    pub shards: Vec<String>,
+    /// Forwarder threads draining the queue — the dispatcher's analogue
+    /// of a shard's workers. `0` is legal (jobs queue without
+    /// forwarding; backpressure tests).
+    pub forwarders: usize,
+    /// Bound on queued-but-unclaimed jobs; beyond it → `503`.
+    pub queue_capacity: usize,
+    /// How long a finished outcome is retained for polling.
+    pub job_ttl: Duration,
+    /// Most finished outcomes retained at once.
+    pub max_done_jobs: usize,
+    /// How long a synchronous submission waits before degrading to
+    /// `202` (same contract as a shard).
+    pub sync_wait: Duration,
+    /// Largest accepted request body — batches are arrays, so the
+    /// default is generous relative to a shard's.
+    pub max_body_bytes: usize,
+    /// Socket read timeout (single-read bound).
+    pub read_timeout: Duration,
+    /// Wall-clock budget for receiving one complete request.
+    pub request_deadline: Duration,
+    /// Most concurrent connections; beyond it → immediate `503`.
+    pub max_connections: usize,
+    /// Bearer token: gates `POST /v1/shards` here and is presented to
+    /// shards on template pushes (one cluster-wide token).
+    pub auth_token: Option<String>,
+    /// Sentinel probe/convergence cadence.
+    pub sentinel_interval: Duration,
+    /// Most warm-transfer pushes per sentinel cycle.
+    pub warm_batch: usize,
+    /// Retry/backoff/poll policy for the forwarding path.
+    pub retry_rounds: usize,
+    /// Sleep before the second candidate pass; doubles per pass.
+    pub retry_backoff: Duration,
+    /// Poll cadence for shard-degraded (`202`) jobs.
+    pub poll_interval: Duration,
+    /// Longest a degraded job is polled before `504`.
+    pub poll_deadline: Duration,
+}
+
+impl Default for DispatchConfig {
+    fn default() -> DispatchConfig {
+        DispatchConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: Vec::new(),
+            forwarders: 8,
+            queue_capacity: 256,
+            job_ttl: Duration::from_secs(3600),
+            max_done_jobs: 4096,
+            sync_wait: Duration::from_secs(120),
+            max_body_bytes: 16 * 1024 * 1024,
+            read_timeout: Duration::from_secs(30),
+            request_deadline: Duration::from_secs(60),
+            max_connections: 256,
+            auth_token: None,
+            sentinel_interval: Duration::from_secs(2),
+            warm_batch: 8,
+            retry_rounds: 2,
+            retry_backoff: Duration::from_millis(50),
+            poll_interval: Duration::from_millis(50),
+            poll_deadline: Duration::from_secs(300),
+        }
+    }
+}
+
+impl DispatchConfig {
+    fn policy(&self) -> ForwardPolicy {
+        ForwardPolicy {
+            rounds: self.retry_rounds,
+            backoff: self.retry_backoff,
+            poll_interval: self.poll_interval,
+            poll_deadline: self.poll_deadline,
+        }
+    }
+}
+
+/// Everything the request handlers share.
+#[derive(Debug)]
+struct DispatchState2 {
+    queue: Arc<DispatchQueue>,
+    store: Arc<OutcomeStore>,
+    table: Arc<ShardTable>,
+    metrics: Arc<Metrics>,
+    config: DispatchConfig,
+    started: Instant,
+}
+
+/// The dispatcher service. [`Dispatcher::spawn`] starts it on
+/// background threads and returns a [`DispatchHandle`].
+#[derive(Debug)]
+pub struct Dispatcher;
+
+impl Dispatcher {
+    /// Binds, spawns the forwarder pool, the sentinel and the accept
+    /// loop, and returns.
+    ///
+    /// # Errors
+    ///
+    /// [`FqError::InvalidConfig`] for an empty shard list or zero
+    /// `queue_capacity`/`max_connections`; [`FqError::Io`] for bind
+    /// failures.
+    pub fn spawn(config: DispatchConfig) -> Result<DispatchHandle, FqError> {
+        if config.shards.is_empty() {
+            return Err(FqError::InvalidConfig(
+                "at least one shard address is required".into(),
+            ));
+        }
+        if config.queue_capacity == 0 {
+            return Err(FqError::InvalidConfig(
+                "queue_capacity must be at least 1".into(),
+            ));
+        }
+        if config.max_connections == 0 {
+            return Err(FqError::InvalidConfig(
+                "max_connections must be at least 1".into(),
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+
+        let queue = Arc::new(DispatchQueue::new(config.queue_capacity));
+        let store = Arc::new(OutcomeStore::new(config.job_ttl, config.max_done_jobs));
+        let table = Arc::new(ShardTable::new(&config.shards));
+        let metrics = Arc::new(Metrics::default());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let forwarders: Vec<JoinHandle<()>> = (0..config.forwarders)
+            .map(|index| {
+                let queue = Arc::clone(&queue);
+                let store = Arc::clone(&store);
+                let table = Arc::clone(&table);
+                let metrics = Arc::clone(&metrics);
+                let policy = config.policy();
+                let token = config.auth_token.clone();
+                thread::Builder::new()
+                    .name(format!("fq-dispatch-forward-{index}"))
+                    .spawn(move || {
+                        let mut pool = ConnPool::new(token);
+                        while let Some(job) = queue.pop() {
+                            store.mark_forwarding(job.id);
+                            let outcome = forward_job(
+                                &mut pool,
+                                &table,
+                                &policy,
+                                &metrics,
+                                &job.body,
+                                &job.fingerprint,
+                            );
+                            store.complete(job.id, outcome);
+                        }
+                    })
+                    .expect("spawning a forwarder thread")
+            })
+            .collect();
+
+        let sentinel = sentinel::spawn(
+            Arc::clone(&table),
+            Arc::clone(&metrics),
+            config.auth_token.clone(),
+            SentinelConfig {
+                interval: config.sentinel_interval,
+                warm_batch: config.warm_batch,
+            },
+            Arc::clone(&stop),
+        );
+
+        let state = Arc::new(DispatchState2 {
+            queue: Arc::clone(&queue),
+            store,
+            table,
+            metrics,
+            config,
+            started: Instant::now(),
+        });
+        let accept = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("fq-dispatch-accept".into())
+                .spawn(move || accept_loop(&listener, &state, &stop))
+                .map_err(|e| FqError::Io(format!("spawning the accept thread: {e}")))?
+        };
+
+        Ok(DispatchHandle {
+            addr,
+            stop,
+            accept: Some(accept),
+            forwarders,
+            sentinel: Some(sentinel),
+            queue,
+        })
+    }
+}
+
+/// A running dispatcher: address discovery plus orderly shutdown.
+/// Dropping the handle shuts everything down, like a shard's handle.
+#[derive(Debug)]
+pub struct DispatchHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    forwarders: Vec<JoinHandle<()>>,
+    sentinel: Option<JoinHandle<()>>,
+    queue: Arc<DispatchQueue>,
+}
+
+impl DispatchHandle {
+    /// The actual bound address (resolves `:0` ephemeral binds).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains queued jobs through the forwarders, and
+    /// joins every background thread.
+    pub fn shutdown(mut self) {
+        self.stop_internal();
+    }
+
+    /// Blocks for the dispatcher's lifetime (the binary's main loop).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.stop_internal();
+    }
+
+    fn stop_internal(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.queue.close();
+        for handle in self.forwarders.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(sentinel) = self.sentinel.take() {
+            let _ = sentinel.join();
+        }
+    }
+}
+
+impl Drop for DispatchHandle {
+    fn drop(&mut self) {
+        self.stop_internal();
+    }
+}
+
+/// Decrements the live-connection count even if a handler panics.
+struct ConnectionSlot(Arc<std::sync::atomic::AtomicUsize>);
+
+impl Drop for ConnectionSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Refuses an over-cap connection with `503`, then drains the client's
+/// already-sent request bytes before closing — closing with unread data
+/// in the receive queue would RST the response away (same discipline as
+/// the shard accept loop).
+fn shed_connection(mut stream: TcpStream) {
+    let _ = error_response(503, "overloaded", "connection limit reached")
+        .write(&mut stream, false)
+        .and_then(|()| stream.shutdown(std::net::Shutdown::Write));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut scratch = [0u8; 4096];
+    while matches!(std::io::Read::read(&mut stream, &mut scratch), Ok(n) if n > 0) {}
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<DispatchState2>, stop: &Arc<AtomicBool>) {
+    let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(stream) => stream,
+            Err(_) => {
+                thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        if active.load(Ordering::SeqCst) >= state.config.max_connections {
+            shed_connection(stream);
+            continue;
+        }
+        active.fetch_add(1, Ordering::SeqCst);
+        let slot = ConnectionSlot(Arc::clone(&active));
+        let state = Arc::clone(state);
+        let stop = Arc::clone(stop);
+        let spawned = thread::Builder::new()
+            .name("fq-dispatch-conn".into())
+            .spawn(move || {
+                let _slot = slot;
+                handle_connection(stream, &state, &stop);
+            });
+        drop(spawned);
+    }
+}
+
+/// One connection: keep-alive loop of read → route → respond, on the
+/// exact framing substrate the shards use (`fq_serve::http`).
+fn handle_connection(mut stream: TcpStream, state: &Arc<DispatchState2>, stop: &Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(http::DeadlineReader::new(read_half));
+    loop {
+        reader.get_mut().arm(state.config.request_deadline);
+        match http::read_request(&mut reader, state.config.max_body_bytes) {
+            Ok(request) => {
+                let keep_alive = request.keep_alive && !stop.load(Ordering::SeqCst);
+                let response = handle_request(state, &request);
+                if response.write(&mut stream, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(error) => {
+                if let Some(status) = error.status() {
+                    let kind = match &error {
+                        ReadError::PayloadTooLarge { .. } => "payload_too_large",
+                        ReadError::NotImplemented(_) => "not_implemented",
+                        ReadError::VersionNotSupported(_) => "http_version",
+                        _ => "bad_request",
+                    };
+                    let _ =
+                        error_response(status, kind, &error.message()).write(&mut stream, false);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Routes and executes one request.
+fn handle_request(state: &DispatchState2, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/v1/healthz") => Response::json(
+            200,
+            Value::object(vec![
+                ("v", Value::UInt(WIRE_V)),
+                ("status", Value::string("ok")),
+            ])
+            .to_json(),
+        ),
+        (_, "/v1/healthz") => method_not_allowed(request, "GET"),
+        ("GET", "/v1/stats") => Response::json(200, stats_body(state)),
+        (_, "/v1/stats") => method_not_allowed(request, "GET"),
+        ("POST", "/v1/jobs") => handle_submit(state, request),
+        (_, "/v1/jobs") => method_not_allowed(request, "POST"),
+        ("POST", "/v1/batch") => handle_batch(state, request),
+        (_, "/v1/batch") => method_not_allowed(request, "POST"),
+        ("GET", "/v1/shards") => Response::json(200, shards_body(state)),
+        ("POST", "/v1/shards") => match authorized(state, request) {
+            true => handle_shard_join(state, request),
+            false => error_response(
+                401,
+                "unauthorized",
+                "POST /v1/shards requires `authorization: Bearer <token>`",
+            ),
+        },
+        (_, "/v1/shards") => method_not_allowed(request, "GET, POST"),
+        (method, path) => {
+            if let Some(raw_id) = path.strip_prefix("/v1/jobs/") {
+                if raw_id.is_empty() || raw_id.contains('/') {
+                    return not_found(path);
+                }
+                if method != "GET" {
+                    return method_not_allowed(request, "GET");
+                }
+                return match raw_id.parse::<JobId>() {
+                    Ok(id) => handle_job_poll(state, id),
+                    Err(FqError::Serde(message)) => error_response(400, "bad_request", &message),
+                    Err(other) => error_response(400, "bad_request", &other.to_string()),
+                };
+            }
+            not_found(path)
+        }
+    }
+}
+
+fn not_found(path: &str) -> Response {
+    error_response(404, "not_found", &format!("no route for `{path}`"))
+}
+
+fn method_not_allowed(request: &Request, allow: &'static str) -> Response {
+    error_response(
+        405,
+        "method_not_allowed",
+        &format!("{} is not allowed here; allowed: {allow}", request.method),
+    )
+    .with_header("allow", allow)
+}
+
+/// Checks the bearer token gating the admin surface (mirrors the
+/// shard-side gate on template pushes).
+fn authorized(state: &DispatchState2, request: &Request) -> bool {
+    match &state.config.auth_token {
+        None => true,
+        Some(token) => request
+            .header("authorization")
+            .and_then(|value| value.strip_prefix("Bearer "))
+            .is_some_and(|presented| presented == token.as_str()),
+    }
+}
+
+/// The routing key for a spec body: the fingerprint of the *last* unit
+/// the engine would compile (the frozen-side template for compare
+/// jobs). A body that fails to parse or fingerprint routes under the
+/// empty key — consistently, to a real shard, which then produces
+/// exactly the error bytes it would have produced face to face. The
+/// dispatcher never pre-judges a spec.
+fn routing_fingerprint(body: &str) -> String {
+    JobSpec::from_json(body)
+        .ok()
+        .and_then(|spec| spec.routing_fingerprint().ok())
+        .unwrap_or_default()
+}
+
+/// `POST /v1/jobs`: mint an id, enqueue for forwarding, then sync-wait
+/// or acknowledge — the shard submission contract, verbatim.
+fn handle_submit(state: &DispatchState2, request: &Request) -> Response {
+    let sync = match request.query_param("mode") {
+        None | Some("sync") => true,
+        Some("async") => false,
+        Some(other) => {
+            return error_response(
+                400,
+                "bad_request",
+                &format!("unknown mode `{other}` (expected sync or async)"),
+            )
+        }
+    };
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return error_response(400, "bad_request", "request body is not valid UTF-8");
+    };
+    let fingerprint = routing_fingerprint(body);
+
+    let id = state.store.register();
+    let queued = QueuedForward {
+        id,
+        body: body.to_string(),
+        fingerprint,
+    };
+    match state.queue.push(queued) {
+        Ok(()) => {}
+        Err(PushError::Full) => {
+            state.store.discard(id);
+            return error_response(
+                503,
+                "queue_full",
+                &format!(
+                    "dispatch queue is at capacity ({}); retry later",
+                    state.queue.capacity()
+                ),
+            )
+            .with_header("retry-after", "1");
+        }
+        Err(PushError::Closed) => {
+            state.store.discard(id);
+            return error_response(503, "shutting_down", "dispatcher is shutting down");
+        }
+    }
+
+    if !sync {
+        return Response::json(202, submit_ack(id))
+            .with_header("location", format!("/v1/jobs/{id}"))
+            .with_header("fq-job-id", id.to_string());
+    }
+    match state.store.await_done(id, state.config.sync_wait) {
+        Some(DispatchState::Done(outcome)) => {
+            // Relay the shard's answer byte-for-byte; a cluster-level
+            // shed keeps the shards' retry-after discipline.
+            let response = Response::json(outcome.status, outcome.body.clone())
+                .with_header("fq-job-id", id.to_string());
+            match outcome.status {
+                503 => response.with_header("retry-after", "1"),
+                _ => response,
+            }
+        }
+        Some(pending) => Response::json(202, envelope(id, &pending))
+            .with_header("location", format!("/v1/jobs/{id}"))
+            .with_header("fq-job-id", id.to_string()),
+        None => error_response(500, "internal", "job vanished from the registry"),
+    }
+}
+
+/// `GET /v1/jobs/{id}`.
+fn handle_job_poll(state: &DispatchState2, id: JobId) -> Response {
+    match state.store.lookup(id) {
+        Lookup::Active(job_state) => Response::json(200, envelope(id, &job_state)),
+        Lookup::Expired => error_response(
+            410,
+            "expired",
+            &format!("job `{id}` finished, but its result passed the retention bound (TTL/count) and was expired"),
+        ),
+        Lookup::Unknown => error_response(404, "not_found", &format!("no such job `{id}`")),
+    }
+}
+
+/// The poll envelope, in the shards' vocabulary, built from the raw
+/// outcome: the embedded result/error round-trips byte-exactly because
+/// the document model is canonical.
+fn envelope(id: JobId, state: &DispatchState) -> String {
+    let mut pairs = vec![
+        ("v", Value::UInt(WIRE_V)),
+        ("id", Value::string(id.to_string())),
+        ("status", Value::string(state.status_name())),
+    ];
+    if let DispatchState::Done(outcome) = state {
+        if outcome.is_ok() {
+            pairs.push(("result", Value::parse(&outcome.body).unwrap_or(Value::Null)));
+        } else {
+            let error = Value::parse(&outcome.body)
+                .ok()
+                .and_then(|v| v.field("error").ok().cloned())
+                .unwrap_or_else(|| {
+                    Value::object(vec![
+                        ("kind", Value::string("upstream")),
+                        ("message", Value::string(outcome.body.clone())),
+                    ])
+                });
+            pairs.push(("error", error));
+        }
+    }
+    Value::object(pairs).to_json()
+}
+
+/// `POST /v1/batch`: a JSON array of job specs, scattered over the
+/// fleet and merged in job order.
+///
+/// Jobs are grouped by their fingerprint's primary shard; one scatter
+/// thread per group forwards its jobs in order over a single keep-alive
+/// connection. The response is `{"v":1,"results":[...]}` with one
+/// `{"status":...,"body":...}` element per submitted spec, where a
+/// `200` element's `body` is the shard's canonical result document —
+/// byte-identical (after extraction) to a single `BatchRunner` run.
+fn handle_batch(state: &DispatchState2, request: &Request) -> Response {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return error_response(400, "bad_request", "request body is not valid UTF-8");
+    };
+    let parsed = match Value::parse(body) {
+        Ok(value) => value,
+        Err(error) => return error_response(400, "bad_request", &error.to_string()),
+    };
+    let Value::Array(items) = parsed else {
+        return error_response(
+            400,
+            "bad_request",
+            "batch body must be a JSON array of job specs",
+        );
+    };
+
+    // Canonical per-item bytes + routing keys.
+    let jobs: Vec<(String, String)> = items
+        .iter()
+        .map(|item| {
+            let body = item.to_json();
+            let fingerprint = routing_fingerprint(&body);
+            (body, fingerprint)
+        })
+        .collect();
+
+    // Group job indices by primary shard so each group rides one
+    // keep-alive connection in submission order.
+    let mut groups: std::collections::BTreeMap<String, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (index, (_, fingerprint)) in jobs.iter().enumerate() {
+        let primary = state
+            .table
+            .candidates(fingerprint)
+            .into_iter()
+            .next()
+            .unwrap_or_default();
+        groups.entry(primary).or_default().push(index);
+    }
+
+    let policy = state.config.policy();
+    let mut outcomes: Vec<Option<Outcome>> = vec![None; jobs.len()];
+    let collected: Vec<(usize, Outcome)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .values()
+            .map(|indices| {
+                let jobs = &jobs;
+                let table = &state.table;
+                let metrics = &state.metrics;
+                let policy = &policy;
+                let token = state.config.auth_token.clone();
+                scope.spawn(move || {
+                    let mut pool = ConnPool::new(token);
+                    indices
+                        .iter()
+                        .map(|&index| {
+                            let (body, fingerprint) = &jobs[index];
+                            let outcome =
+                                forward_job(&mut pool, table, policy, metrics, body, fingerprint);
+                            (index, outcome)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().unwrap_or_default())
+            .collect()
+    });
+    for (index, outcome) in collected {
+        outcomes[index] = Some(outcome);
+    }
+
+    let results: Vec<Value> = outcomes
+        .into_iter()
+        .map(|outcome| {
+            let outcome = outcome.unwrap_or(Outcome {
+                status: 500,
+                body: fq_serve::error::error_body("internal", "scatter thread failed"),
+            });
+            Value::object(vec![
+                ("status", Value::UInt(u64::from(outcome.status))),
+                (
+                    "body",
+                    Value::parse(&outcome.body).unwrap_or_else(|_| Value::string(outcome.body)),
+                ),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        Value::object(vec![
+            ("v", Value::UInt(WIRE_V)),
+            ("results", Value::Array(results)),
+        ])
+        .to_json(),
+    )
+}
+
+/// `POST /v1/shards`: admin join — `{"addr":"host:port"}`.
+fn handle_shard_join(state: &DispatchState2, request: &Request) -> Response {
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return error_response(400, "bad_request", "request body is not valid UTF-8");
+    };
+    let addr = match Value::parse(body).and_then(|v| Ok(v.field("addr")?.as_str()?.to_string())) {
+        Ok(addr) if !addr.is_empty() => addr,
+        _ => {
+            return error_response(
+                400,
+                "bad_request",
+                "expected a JSON object with a non-empty `addr` string",
+            )
+        }
+    };
+    let joined = state.table.join(&addr);
+    Response::json(
+        200,
+        Value::object(vec![
+            ("v", Value::UInt(WIRE_V)),
+            (
+                "status",
+                Value::string(if joined { "joined" } else { "already_present" }),
+            ),
+            ("shards", Value::UInt(state.table.addrs().len() as u64)),
+        ])
+        .to_json(),
+    )
+}
+
+/// The shard roster with per-shard health and telemetry.
+fn shards_array(state: &DispatchState2) -> Value {
+    Value::Array(
+        state
+            .table
+            .snapshot()
+            .into_iter()
+            .map(|shard| {
+                Value::object(vec![
+                    ("addr", Value::string(shard.addr)),
+                    ("healthy", Value::Bool(shard.healthy)),
+                    (
+                        "consecutive_failures",
+                        Value::UInt(u64::from(shard.consecutive_failures)),
+                    ),
+                    ("probed", Value::Bool(shard.probed)),
+                    (
+                        "cache",
+                        Value::object(vec![
+                            ("hits", Value::UInt(shard.stats.hits)),
+                            ("misses", Value::UInt(shard.stats.misses)),
+                        ]),
+                    ),
+                    ("queue_depth", Value::UInt(shard.stats.queue_depth)),
+                    ("busy", Value::UInt(shard.stats.busy)),
+                    ("uptime_secs", Value::UInt(shard.stats.uptime_secs)),
+                    ("templates", Value::UInt(shard.templates.len() as u64)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn shards_body(state: &DispatchState2) -> String {
+    Value::object(vec![
+        ("v", Value::UInt(WIRE_V)),
+        ("shards", shards_array(state)),
+    ])
+    .to_json()
+}
+
+/// `GET /v1/stats`: the cluster view — shard roster, queue, job
+/// counters, forwarding metrics, uptime.
+fn stats_body(state: &DispatchState2) -> String {
+    let counts = state.store.counts();
+    Value::object(vec![
+        ("v", Value::UInt(WIRE_V)),
+        ("shards", shards_array(state)),
+        (
+            "queue",
+            Value::object(vec![
+                ("depth", Value::UInt(state.queue.depth() as u64)),
+                ("capacity", Value::UInt(state.queue.capacity() as u64)),
+            ]),
+        ),
+        (
+            "jobs",
+            Value::object(vec![
+                ("submitted", Value::UInt(counts.submitted)),
+                ("completed", Value::UInt(counts.completed)),
+                ("failed", Value::UInt(counts.failed)),
+                ("expired", Value::UInt(counts.expired)),
+            ]),
+        ),
+        (
+            "forward",
+            Value::object(vec![
+                (
+                    "forwarded",
+                    Value::UInt(state.metrics.forwarded.load(Ordering::Relaxed)),
+                ),
+                (
+                    "rerouted",
+                    Value::UInt(state.metrics.rerouted.load(Ordering::Relaxed)),
+                ),
+                (
+                    "shed",
+                    Value::UInt(state.metrics.shed.load(Ordering::Relaxed)),
+                ),
+                (
+                    "warm_pushes",
+                    Value::UInt(state.metrics.warm_pushes.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+        (
+            "uptime_secs",
+            Value::UInt(state.started.elapsed().as_secs()),
+        ),
+    ])
+    .to_json()
+}

@@ -6,6 +6,7 @@
 //!       [--warm-from HOST:PORT] [--warm-limit N]
 //!       [--job-ttl-secs N] [--max-done-jobs N]
 //!       [--backend sim|noise_model] [--max-body BYTES] [--sync-wait-secs N]
+//!       [--auth-token TOKEN]
 //! ```
 //!
 //! Defaults serve on `127.0.0.1:8077` with 4 workers. `FQ_SERVE_ADDR`
@@ -15,7 +16,9 @@
 //! `--warm-from`, a fresh shard pulls a peer's hottest templates at
 //! boot. The job registry retains finished results for `--job-ttl-secs`
 //! (bounded by `--max-done-jobs`); polling an expired id yields a
-//! structured `410`. Everything else is in-memory and safe to kill.
+//! structured `410`. With `--auth-token` (or `FQ_AUTH_TOKEN`), template
+//! pushes require the matching bearer token. Everything else is
+//! in-memory and safe to kill.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -30,6 +33,7 @@ const USAGE: &str = "usage: serve [--addr HOST:PORT] [--workers N] [--queue-capa
              [--job-ttl-secs N] [--max-done-jobs N]
              [--backend sim|noise_model] [--max-body BYTES]
              [--sync-wait-secs N] [--max-connections N]
+             [--auth-token TOKEN]
 
 Serves the FrozenQubits job API over HTTP/1.1:
   POST /v1/jobs             submit a JobSpec (sync; ?mode=async to queue)
@@ -42,13 +46,17 @@ Serves the FrozenQubits job API over HTTP/1.1:
 
 --cache-dir spills compiled templates to disk so restarts start warm;
 --warm-from pulls a peer shard's hottest templates at boot.
-FQ_SERVE_ADDR sets the default address and FQ_CACHE_DIR the default
-cache directory; flags win over the environment.";
+--auth-token gates POST /v1/templates behind `authorization: Bearer
+<token>` (401 otherwise); read endpoints stay open.
+FQ_SERVE_ADDR sets the default address, FQ_CACHE_DIR the default cache
+directory, and FQ_AUTH_TOKEN the default token; flags win over the
+environment.";
 
 fn parse_args(args: &[String]) -> Result<Option<ServerConfig>, String> {
     let mut config = ServerConfig {
         addr: std::env::var("FQ_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:8077".into()),
         cache_dir: std::env::var("FQ_CACHE_DIR").ok(),
+        auth_token: std::env::var("FQ_AUTH_TOKEN").ok(),
         ..ServerConfig::default()
     };
     let mut iter = args.iter();
@@ -64,6 +72,7 @@ fn parse_args(args: &[String]) -> Result<Option<ServerConfig>, String> {
         };
         match flag.as_str() {
             "--addr" => config.addr = value.clone(),
+            "--auth-token" => config.auth_token = Some(value.clone()),
             "--workers" => config.workers = numeric("--workers")?,
             "--queue-capacity" => config.queue_capacity = numeric("--queue-capacity")?,
             "--cache-capacity" => config.cache_capacity = Some(numeric("--cache-capacity")?),

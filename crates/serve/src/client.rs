@@ -2,10 +2,14 @@
 //! examples, the e2e tests and CI smoke steps, with no dependencies
 //! beyond `std::net` (the same offline constraint as the server).
 //!
-//! One request per connection (`connection: close`): the client's jobs
-//! are smoke tests and batch submission scripts, not connection-pool
-//! performance. Use [`request`] for raw access or the typed helpers
-//! ([`submit_sync`], [`submit_async`], [`poll`]) for the common flows.
+//! Two tiers, by traffic shape:
+//!
+//! * [`request`] and the typed helpers ([`submit_sync`],
+//!   [`submit_async`], [`poll`]) open one connection per call
+//!   (`connection: close`) — fine for smoke tests and scripts;
+//! * [`ShardConn`] holds a keep-alive `TcpStream` across requests and
+//!   frames responses by `content-length` — what `fq-dispatch` uses to
+//!   forward thousands of jobs without a TCP handshake per job.
 //!
 //! # Examples
 //!
@@ -23,7 +27,7 @@
 //! # Ok::<(), frozenqubits::FqError>(())
 //! ```
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -32,6 +36,12 @@ use serde::json::Value;
 
 /// How long the client waits for a response before giving up.
 const RESPONSE_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Upper bound on a response body the client will buffer. A shard's
+/// largest legitimate answer is a template artifact (well under a
+/// megabyte); anything claiming more is a broken or hostile peer, and
+/// honoring it would let one response OOM the dispatcher.
+const MAX_RESPONSE_BYTES: usize = 64 << 20;
 
 /// A parsed HTTP response.
 #[derive(Clone, Debug)]
@@ -131,6 +141,195 @@ fn service_error(response: &HttpResponse) -> FqError {
     FqError::Io(format!("HTTP {}: {}", response.status, response.body))
 }
 
+/// A keep-alive client connection to one shard.
+///
+/// Unlike [`request`], which opens a fresh TCP connection per call,
+/// `ShardConn` holds the `TcpStream` across requests and frames each
+/// response by its `content-length` header, so a dispatcher forwarding
+/// thousands of jobs to the same shard pays one TCP handshake, not one
+/// per job. The connection is (re-)established lazily: on first use,
+/// after any transport error, and after a server-initiated
+/// `connection: close`. [`connects`](Self::connects) counts dials, which
+/// is what the reuse regression test pins.
+#[derive(Debug)]
+pub struct ShardConn {
+    addr: String,
+    auth_token: Option<String>,
+    stream: Option<BufReader<TcpStream>>,
+    connects: u64,
+}
+
+impl ShardConn {
+    /// Creates a (not yet connected) handle to the shard at `addr`.
+    #[must_use]
+    pub fn new(addr: &str) -> Self {
+        Self {
+            addr: addr.to_string(),
+            auth_token: None,
+            stream: None,
+            connects: 0,
+        }
+    }
+
+    /// Sets the bearer token sent as `authorization: Bearer <token>` on
+    /// every request (the shard gates `POST /v1/templates` behind it).
+    pub fn set_token(&mut self, token: &str) {
+        self.auth_token = Some(token.to_string());
+    }
+
+    /// The shard address this connection dials.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// How many times this handle has dialed the shard. Two sequential
+    /// requests on a healthy connection leave this at 1.
+    #[must_use]
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Performs one HTTP request over the held connection, dialing first
+    /// if necessary, and reads the `content-length`-framed response.
+    ///
+    /// Any transport error drops the cached connection so the next call
+    /// redials; the error itself is surfaced to the caller (the
+    /// dispatcher's retry policy decides whether to try again — this
+    /// layer never re-sends a request by itself, which keeps
+    /// non-idempotent submissions single-shot).
+    ///
+    /// # Errors
+    ///
+    /// [`FqError::Io`] for connect/read/write failures, truncated or
+    /// oversized responses; [`FqError::Serde`] for an unparsable status
+    /// line or header.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+    ) -> Result<HttpResponse, FqError> {
+        match self.request_inner(method, target, body) {
+            Ok(response) => Ok(response),
+            Err(error) => {
+                self.stream = None;
+                Err(error)
+            }
+        }
+    }
+
+    fn request_inner(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+    ) -> Result<HttpResponse, FqError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(RESPONSE_TIMEOUT))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(BufReader::new(stream));
+            self.connects += 1;
+        }
+
+        let mut out = format!(
+            "{method} {target} HTTP/1.1\r\nhost: {}\r\nconnection: keep-alive\r\n",
+            self.addr
+        );
+        if let Some(token) = &self.auth_token {
+            out.push_str(&format!("authorization: Bearer {token}\r\n"));
+        }
+        if let Some(body) = body {
+            out.push_str(&format!(
+                "content-type: application/json\r\ncontent-length: {}\r\n",
+                body.len()
+            ));
+        }
+        out.push_str("\r\n");
+        if let Some(body) = body {
+            out.push_str(body);
+        }
+
+        let reader = self.stream.as_mut().expect("connection established above");
+        reader.get_mut().write_all(out.as_bytes())?;
+
+        let (response, close) = read_framed_response(reader)?;
+        if close {
+            self.stream = None;
+        }
+        Ok(response)
+    }
+}
+
+/// Reads one `content-length`-framed response from a keep-alive stream.
+/// Returns the response and whether the server asked to close.
+fn read_framed_response(
+    reader: &mut BufReader<TcpStream>,
+) -> Result<(HttpResponse, bool), FqError> {
+    let truncated =
+        |at: &str| FqError::Io(format!("truncated HTTP response: connection closed {at}"));
+    let bad = |msg: &str| FqError::Serde(format!("malformed HTTP response: {msg}"));
+
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(truncated("before the status line"));
+    }
+    let status_line = status_line.trim_end();
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad(&format!("unparsable status line `{status_line}`")))?;
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(truncated("mid-headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad(&format!("malformed header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| bad(&format!("unparsable content-length `{v}`")))?,
+        None => 0,
+    };
+    if length > MAX_RESPONSE_BYTES {
+        return Err(FqError::Io(format!(
+            "oversized HTTP response: content-length {length} exceeds the {MAX_RESPONSE_BYTES}-byte cap"
+        )));
+    }
+
+    let mut body = vec![0u8; length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| truncated("mid-body"))?;
+    let body =
+        String::from_utf8(body).map_err(|_| FqError::Io("non-UTF-8 response body".to_string()))?;
+
+    let close = headers
+        .iter()
+        .any(|(n, v)| n == "connection" && v.eq_ignore_ascii_case("close"));
+    Ok((
+        HttpResponse {
+            status,
+            headers,
+            body,
+        },
+        close,
+    ))
+}
+
 /// Submits `spec` synchronously; the `200` body is the byte-canonical
 /// `JobResult` document, parsed and returned.
 ///
@@ -225,7 +424,26 @@ pub fn fetch_template(addr: &str, fingerprint: &str) -> Result<TemplateArtifact,
 ///
 /// [`FqError::Io`] for non-`200` responses, plus transport errors.
 pub fn push_template(addr: &str, artifact: &TemplateArtifact) -> Result<(), FqError> {
-    let response = request(addr, "POST", "/v1/templates", Some(&artifact.to_json()))?;
+    push_template_with_token(addr, artifact, None)
+}
+
+/// [`push_template`] with an optional bearer token for shards running
+/// with `--auth-token` (which gates `POST /v1/templates` behind it).
+///
+/// # Errors
+///
+/// [`FqError::Io`] for non-`200` responses (including `401` when the
+/// token is missing or wrong), plus transport errors.
+pub fn push_template_with_token(
+    addr: &str,
+    artifact: &TemplateArtifact,
+    token: Option<&str>,
+) -> Result<(), FqError> {
+    let mut conn = ShardConn::new(addr);
+    if let Some(token) = token {
+        conn.set_token(token);
+    }
+    let response = conn.request("POST", "/v1/templates", Some(&artifact.to_json()))?;
     if response.status != 200 {
         return Err(service_error(&response));
     }

@@ -20,7 +20,7 @@ use crate::http::Response;
 use crate::wire::WIRE_V;
 
 /// The stable machine-readable tag for an [`FqError`].
-pub(crate) fn kind_name(error: &FqError) -> &'static str {
+pub fn kind_name(error: &FqError) -> &'static str {
     match error {
         FqError::TooManyFrozen { .. } => "too_many_frozen",
         FqError::InvalidConfig(_) => "invalid_config",
@@ -46,7 +46,7 @@ pub(crate) fn kind_name(error: &FqError) -> &'static str {
 ///   malformed problem graphs/models) are well-formed but unprocessable
 ///   → `422`;
 /// * everything else is the engine's problem → `500`.
-pub(crate) fn status_for(error: &FqError) -> u16 {
+pub fn status_for(error: &FqError) -> u16 {
     match error {
         FqError::Serde(_) => 400,
         FqError::InvalidConfig(_)
@@ -57,8 +57,20 @@ pub(crate) fn status_for(error: &FqError) -> u16 {
     }
 }
 
+/// [`status_for`] keyed by the wire tag instead of the error value:
+/// the status a shard uses for an error of this `kind`. The dispatcher
+/// uses it to reconstruct a synchronous response from a poll envelope
+/// after a shard degraded a slow job to `202`.
+pub fn status_for_kind(kind: &str) -> u16 {
+    match kind {
+        "serde" => 400,
+        "invalid_config" | "too_many_frozen" | "graph" | "ising" => 422,
+        _ => 500,
+    }
+}
+
 /// The canonical error envelope body.
-pub(crate) fn error_body(kind: &str, message: &str) -> String {
+pub fn error_body(kind: &str, message: &str) -> String {
     Value::object(vec![
         ("v", Value::UInt(WIRE_V)),
         (
@@ -73,7 +85,7 @@ pub(crate) fn error_body(kind: &str, message: &str) -> String {
 }
 
 /// A complete error response with the envelope body.
-pub(crate) fn error_response(status: u16, kind: &str, message: &str) -> Response {
+pub fn error_response(status: u16, kind: &str, message: &str) -> Response {
     Response::json(status, error_body(kind, message))
 }
 

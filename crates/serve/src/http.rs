@@ -1,5 +1,7 @@
 //! Minimal HTTP/1.1 framing over `std::net` — request parsing and
-//! response writing for the job service.
+//! response writing for the job service. Public because the sibling
+//! `fq-dispatch` crate serves its front-door surface on exactly this
+//! framing (same limits, same error mapping, same defensive posture).
 //!
 //! The workspace is offline (no hyper/tokio), so this is a deliberately
 //! small, defensive hand-rolled subset: request-line + header parsing,
@@ -18,27 +20,38 @@ const MAX_HEADERS: usize = 100;
 
 /// A parsed HTTP request.
 #[derive(Debug)]
-pub(crate) struct Request {
+pub struct Request {
     /// Upper-case method token as received (`GET`, `POST`, ...).
-    pub(crate) method: String,
+    pub method: String,
     /// Decoded path component of the target (no query string).
-    pub(crate) path: String,
+    pub path: String,
     /// Raw query string after `?`, if any.
-    pub(crate) query: Option<String>,
+    pub query: Option<String>,
     /// The request body (empty when no `Content-Length`).
-    pub(crate) body: Vec<u8>,
+    pub body: Vec<u8>,
     /// Whether the connection should stay open after the response.
-    pub(crate) keep_alive: bool,
+    pub keep_alive: bool,
+    /// Header `(name, value)` pairs, names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Request {
     /// The value of query parameter `key` (`?key=value`), if present.
     /// No percent-decoding — the service's parameters are plain tokens.
-    pub(crate) fn query_param(&self, key: &str) -> Option<&str> {
+    pub fn query_param(&self, key: &str) -> Option<&str> {
         self.query.as_deref()?.split('&').find_map(|pair| {
             let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
             (k == key).then_some(v)
         })
+    }
+
+    /// First value of header `name` (lower-case), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -47,7 +60,7 @@ impl Request {
 /// [`ReadError::IdleTimeout`]) or the server answers with the mapped
 /// status and closes.
 #[derive(Debug)]
-pub(crate) enum ReadError {
+pub enum ReadError {
     /// Clean EOF before the first byte of a request — the normal end of
     /// a keep-alive connection. Close silently.
     Closed,
@@ -75,7 +88,7 @@ pub(crate) enum ReadError {
 impl ReadError {
     /// The response status for this error, or `None` when the connection
     /// should just close silently.
-    pub(crate) fn status(&self) -> Option<u16> {
+    pub fn status(&self) -> Option<u16> {
         match self {
             ReadError::Closed | ReadError::IdleTimeout => None,
             ReadError::Truncated(_) | ReadError::BadRequest(_) => Some(400),
@@ -86,7 +99,7 @@ impl ReadError {
     }
 
     /// Human-readable message for the error body.
-    pub(crate) fn message(&self) -> String {
+    pub fn message(&self) -> String {
         match self {
             ReadError::Closed => "connection closed".into(),
             ReadError::IdleTimeout => "idle timeout".into(),
@@ -118,7 +131,7 @@ fn timed_out(e: &io::Error) -> bool {
 /// `deadline + read_timeout`. The connection loop resets the deadline
 /// before each request.
 #[derive(Debug)]
-pub(crate) struct DeadlineReader<R> {
+pub struct DeadlineReader<R> {
     inner: R,
     deadline: std::time::Instant,
 }
@@ -126,7 +139,7 @@ pub(crate) struct DeadlineReader<R> {
 impl<R> DeadlineReader<R> {
     /// Wraps `inner` with no deadline armed yet (reads pass through
     /// until [`DeadlineReader::arm`] is called).
-    pub(crate) fn new(inner: R) -> DeadlineReader<R> {
+    pub fn new(inner: R) -> DeadlineReader<R> {
         DeadlineReader {
             inner,
             deadline: std::time::Instant::now() + std::time::Duration::from_secs(60 * 60 * 24),
@@ -134,7 +147,7 @@ impl<R> DeadlineReader<R> {
     }
 
     /// Starts a fresh per-request deadline `budget` from now.
-    pub(crate) fn arm(&mut self, budget: std::time::Duration) {
+    pub fn arm(&mut self, budget: std::time::Duration) {
         self.deadline = std::time::Instant::now() + budget;
     }
 }
@@ -184,10 +197,7 @@ fn read_line(reader: &mut impl BufRead, first: bool) -> Result<String, ReadError
 
 /// Reads and validates one request. `max_body` bounds the accepted
 /// `Content-Length`.
-pub(crate) fn read_request(
-    reader: &mut impl BufRead,
-    max_body: usize,
-) -> Result<Request, ReadError> {
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, ReadError> {
     let request_line = read_line(reader, true)?;
     let mut parts = request_line.split(' ');
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
@@ -307,23 +317,24 @@ pub(crate) fn read_request(
         query,
         body,
         keep_alive,
+        headers,
     })
 }
 
 /// An outgoing response: status, optional extra headers, JSON body.
 #[derive(Debug)]
-pub(crate) struct Response {
+pub struct Response {
     /// HTTP status code.
-    pub(crate) status: u16,
+    pub status: u16,
     /// Extra headers beyond the always-present content/connection set.
-    pub(crate) extra_headers: Vec<(&'static str, String)>,
+    pub extra_headers: Vec<(&'static str, String)>,
     /// The response body (the service always speaks JSON).
-    pub(crate) body: String,
+    pub body: String,
 }
 
 impl Response {
     /// A JSON response with the given status.
-    pub(crate) fn json(status: u16, body: impl Into<String>) -> Response {
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
         Response {
             status,
             extra_headers: Vec::new(),
@@ -332,14 +343,14 @@ impl Response {
     }
 
     /// Adds an extra header.
-    pub(crate) fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
         self.extra_headers.push((name, value.into()));
         self
     }
 
     /// Serializes the response to `writer`. `keep_alive` selects the
     /// advertised `connection` disposition.
-    pub(crate) fn write(&self, writer: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+    pub fn write(&self, writer: &mut impl Write, keep_alive: bool) -> io::Result<()> {
         let mut out = format!(
             "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
@@ -361,11 +372,12 @@ impl Response {
 }
 
 /// The canonical reason phrase for the status codes this server emits.
-pub(crate) fn reason(status: u16) -> &'static str {
+pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         202 => "Accepted",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         405 => "Method Not Allowed",
         410 => "Gone",
@@ -408,6 +420,16 @@ mod tests {
         assert_eq!(req.query_param("nope"), None);
         assert_eq!(req.body, b"body");
         assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn retains_headers_for_handlers() {
+        let req =
+            parse(b"GET /v1/stats HTTP/1.1\r\nAuthorization: Bearer sesame\r\nX-Custom: v\r\n\r\n")
+                .unwrap();
+        assert_eq!(req.header("authorization"), Some("Bearer sesame"));
+        assert_eq!(req.header("x-custom"), Some("v"));
+        assert_eq!(req.header("absent"), None);
     }
 
     #[test]

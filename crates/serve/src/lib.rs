@@ -55,13 +55,13 @@
 #![warn(missing_docs)]
 
 pub mod client;
-mod error;
-mod http;
+pub mod error;
+pub mod http;
 mod queue;
 mod router;
 mod server;
 mod store;
-mod wire;
+pub mod wire;
 mod worker;
 
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -23,7 +23,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use frozenqubits::api::BackendSpec;
 use frozenqubits::{
@@ -127,6 +127,12 @@ pub struct ServerConfig {
     /// hook (e.g. forcing `sim` while a real-device backend is in
     /// shakedown).
     pub backend_override: Option<BackendSpec>,
+    /// When set, `POST /v1/templates` requires `authorization: Bearer
+    /// <token>` and answers `401` otherwise. Template pushes inject
+    /// remote artifacts into the execution path, so they are the one
+    /// shard endpoint worth gating even on a trusted network; read
+    /// endpoints stay open for probes and warm pulls.
+    pub auth_token: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -149,6 +155,7 @@ impl Default for ServerConfig {
             max_connections: 256,
             sync_wait: Duration::from_secs(120),
             backend_override: None,
+            auth_token: None,
         }
     }
 }
@@ -160,6 +167,12 @@ struct ServerState {
     store: Arc<JobStore>,
     runner: Arc<BatchRunner>,
     config: ServerConfig,
+    /// Workers executing a job right now (incremented/decremented by
+    /// the pool around each job) — the in-flight half of `/v1/stats`.
+    busy: Arc<AtomicUsize>,
+    /// When the server came up; `/v1/stats` reports the elapsed time so
+    /// a dispatcher can tell a fresh (cold-cache) shard from a veteran.
+    started: Instant,
 }
 
 /// The HTTP job service. [`Server::spawn`] starts it on a background
@@ -219,17 +232,21 @@ impl Server {
         let queue = Arc::new(JobQueue::new(config.queue_capacity));
         let store = Arc::new(JobStore::new(config.job_ttl, config.max_done_jobs));
         let runner = Arc::new(runner);
+        let busy = Arc::new(AtomicUsize::new(0));
         let pool = WorkerPool::spawn(
             config.workers,
             Arc::clone(&queue),
             Arc::clone(&store),
             Arc::clone(&runner),
+            Arc::clone(&busy),
         );
         let state = Arc::new(ServerState {
             queue: Arc::clone(&queue),
             store,
             runner,
             config,
+            busy,
+            started: Instant::now(),
         });
 
         let stop = Arc::new(AtomicBool::new(false));
@@ -336,13 +353,29 @@ impl Drop for ConnectionSlot {
     }
 }
 
+/// Refuses an over-cap connection with `503`, then drains the client's
+/// already-sent request bytes before closing. Closing with unread data
+/// in the receive queue makes the kernel RST the connection and discard
+/// the queued response — the client would see "connection reset"
+/// instead of the 503 (a race the connection-cap test hits under load).
+/// The drain is bounded by a short read timeout so a hostile peer can
+/// only hold the accept thread briefly.
+fn shed_connection(mut stream: TcpStream) {
+    let _ = error_response(503, "overloaded", "connection limit reached")
+        .write(&mut stream, false)
+        .and_then(|()| stream.shutdown(std::net::Shutdown::Write));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut scratch = [0u8; 4096];
+    while matches!(std::io::Read::read(&mut stream, &mut scratch), Ok(n) if n > 0) {}
+}
+
 fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, stop: &Arc<AtomicBool>) {
     let active = Arc::new(AtomicUsize::new(0));
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let mut stream = match conn {
+        let stream = match conn {
             Ok(stream) => stream,
             Err(_) => {
                 // Persistent accept errors (e.g. fd exhaustion) would
@@ -355,8 +388,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, stop: &Arc<Atom
         // Connection cap: beyond it, shed load with an immediate 503
         // instead of spawning an unbounded number of threads.
         if active.load(Ordering::SeqCst) >= state.config.max_connections {
-            let _ = error_response(503, "overloaded", "connection limit reached")
-                .write(&mut stream, false);
+            shed_connection(stream);
             continue;
         }
         active.fetch_add(1, Ordering::SeqCst);
@@ -452,7 +484,14 @@ fn handle_request(state: &ServerState, request: &Request) -> Response {
                 &format!("no template `{fingerprint}` resident"),
             ),
         },
-        Route::TemplatePush => handle_template_push(state, request),
+        Route::TemplatePush => match authorized(state, request) {
+            true => handle_template_push(state, request),
+            false => error_response(
+                401,
+                "unauthorized",
+                "POST /v1/templates requires `authorization: Bearer <token>`",
+            ),
+        },
         Route::MalformedFingerprint(message) => error_response(400, "bad_request", &message),
         Route::MethodNotAllowed { allow } => error_response(
             405,
@@ -652,7 +691,33 @@ fn stats_body(state: &ServerState) -> String {
                 ("expired", Value::UInt(counts.expired)),
             ]),
         ),
-        ("workers", Value::UInt(state.config.workers as u64)),
+        (
+            "workers",
+            Value::object(vec![
+                ("configured", Value::UInt(state.config.workers as u64)),
+                (
+                    "busy",
+                    Value::UInt(state.busy.load(Ordering::SeqCst) as u64),
+                ),
+            ]),
+        ),
+        (
+            "uptime_secs",
+            Value::UInt(state.started.elapsed().as_secs()),
+        ),
     ])
     .to_json()
+}
+
+/// Checks the static bearer token gating template pushes. A server
+/// started without `--auth-token` accepts everything (the pre-auth
+/// behavior); with one, only an exact `Bearer <token>` match passes.
+fn authorized(state: &ServerState, request: &Request) -> bool {
+    match &state.config.auth_token {
+        None => true,
+        Some(token) => request
+            .header("authorization")
+            .and_then(|value| value.strip_prefix("Bearer "))
+            .is_some_and(|presented| presented == token.as_str()),
+    }
 }

@@ -21,10 +21,10 @@ use crate::store::JobState;
 
 /// Version tag of the service envelopes (independent of the job-spec
 /// wire version).
-pub(crate) const WIRE_V: u64 = 1;
+pub const WIRE_V: u64 = 1;
 
 /// The `{"v":1,"id":...,"status":...}` submission acknowledgement.
-pub(crate) fn submit_ack(id: JobId) -> String {
+pub fn submit_ack(id: JobId) -> String {
     Value::object(vec![
         ("v", Value::UInt(WIRE_V)),
         ("id", Value::string(id.to_string())),

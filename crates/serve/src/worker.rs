@@ -8,6 +8,7 @@
 //! pays the compile, everyone after it hits the cache, whichever worker
 //! picks their job up.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
@@ -24,23 +25,29 @@ pub(crate) struct WorkerPool {
 
 impl WorkerPool {
     /// Spawns `count` workers (zero is legal: jobs then queue without
-    /// draining, which is what backpressure tests use).
+    /// draining, which is what backpressure tests use). `busy` counts
+    /// workers mid-job — held high for exactly the execution span, even
+    /// across a panicking spec — so `/v1/stats` can report in-flight
+    /// load to the dispatcher's sentinel.
     pub(crate) fn spawn(
         count: usize,
         queue: Arc<JobQueue>,
         store: Arc<JobStore>,
         runner: Arc<BatchRunner>,
+        busy: Arc<AtomicUsize>,
     ) -> WorkerPool {
         let handles = (0..count)
             .map(|index| {
                 let queue = Arc::clone(&queue);
                 let store = Arc::clone(&store);
                 let runner = Arc::clone(&runner);
+                let busy = Arc::clone(&busy);
                 thread::Builder::new()
                     .name(format!("fq-serve-worker-{index}"))
                     .spawn(move || {
                         while let Some(job) = queue.pop() {
                             store.mark_running(job.id);
+                            let in_flight = BusyGuard::arm(&busy);
                             // A panicking spec must not kill the worker
                             // (shrinking the pool) or strand the job in
                             // `running` forever — record it as failed
@@ -60,6 +67,11 @@ impl WorkerPool {
                                         .unwrap_or_else(|| "non-string panic payload".into());
                                     Err(FqError::Io(format!("job execution panicked: {what}")))
                                 });
+                            // Drop the guard *before* publishing: completion
+                            // wakes synchronous waiters, and a stats read
+                            // issued the moment a sync submit returns must
+                            // not still see this worker counted busy.
+                            drop(in_flight);
                             store.complete(job.id, result);
                         }
                     })
@@ -77,6 +89,23 @@ impl WorkerPool {
     }
 }
 
+/// Holds the in-flight count high for one job's execution span; the
+/// drop impl keeps the count honest even when `catch_unwind` trips.
+struct BusyGuard<'a>(&'a AtomicUsize);
+
+impl<'a> BusyGuard<'a> {
+    fn arm(counter: &'a AtomicUsize) -> Self {
+        counter.fetch_add(1, Ordering::SeqCst);
+        BusyGuard(counter)
+    }
+}
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,7 +119,14 @@ mod tests {
         let queue = Arc::new(JobQueue::new(8));
         let store = Arc::new(JobStore::new(Duration::from_secs(3600), 4096));
         let runner = Arc::new(BatchRunner::new().with_threads(1));
-        let pool = WorkerPool::spawn(2, queue.clone(), store.clone(), runner.clone());
+        let busy = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::spawn(
+            2,
+            queue.clone(),
+            store.clone(),
+            runner.clone(),
+            busy.clone(),
+        );
 
         let spec = JobBuilder::new()
             .barabasi_albert(10, 1, 3)
@@ -124,5 +160,6 @@ mod tests {
 
         queue.close();
         pool.join();
+        assert_eq!(busy.load(Ordering::SeqCst), 0, "guards must balance");
     }
 }

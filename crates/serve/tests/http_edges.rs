@@ -624,3 +624,168 @@ fn template_push_cap_refuses_unbounded_growth() {
     );
     handle.shutdown();
 }
+
+/// Builds one pushable template artifact from the small spec's shape.
+fn small_artifact() -> frozenqubits::TemplateArtifact {
+    let spec = small_spec();
+    let model = spec.problem.resolve().unwrap();
+    let device = frozenqubits::api::DeviceSpec::IbmMontreal.build();
+    let options = frozenqubits::FrozenQubitsConfig::default().compile;
+    let template = frozenqubits::CompiledTemplate::compile(&model, 1, &device, options).unwrap();
+    let key = frozenqubits::TemplateKey::new(
+        frozenqubits::ShapeSignature::of(&model),
+        &device,
+        1,
+        options,
+    );
+    frozenqubits::TemplateArtifact::new(key, template)
+}
+
+/// Pins the `/v1/stats` JSON shape the dispatcher's sentinel consumes:
+/// exact top-level keys, the cache/queue/jobs sub-objects, and the
+/// fields added for cluster telemetry — `workers.configured`,
+/// `workers.busy` and `uptime_secs`.
+#[test]
+fn stats_shape_is_pinned_for_the_sentinel() {
+    let (handle, addr) = spawn(ServerConfig {
+        workers: 3,
+        queue_capacity: 17,
+        ..ServerConfig::default()
+    });
+    client::submit_sync(&addr, &small_spec()).unwrap();
+
+    let stats = client::request(&addr, "GET", "/v1/stats", None).unwrap();
+    assert_eq!(stats.status, 200);
+    let stats = stats.json().unwrap();
+
+    // Exact top-level key set: adding a field is a deliberate wire
+    // change, and this test is where it gets acknowledged.
+    let mut keys: Vec<&str> = match &stats {
+        Value::Object(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+        other => panic!("stats must be an object, got {other:?}"),
+    };
+    keys.sort_unstable();
+    assert_eq!(
+        keys,
+        vec!["cache", "jobs", "queue", "uptime_secs", "v", "workers"]
+    );
+
+    let cache = stats.field("cache").unwrap();
+    for field in [
+        "hits",
+        "misses",
+        "evictions",
+        "len",
+        "capacity",
+        "spills",
+        "promotions",
+        "spill_len",
+    ] {
+        cache.field(field).unwrap();
+    }
+    assert_eq!(cache.field("misses").unwrap().as_u64().unwrap(), 1);
+
+    let queue = stats.field("queue").unwrap();
+    assert_eq!(queue.field("depth").unwrap().as_u64().unwrap(), 0);
+    assert_eq!(queue.field("capacity").unwrap().as_u64().unwrap(), 17);
+
+    let jobs = stats.field("jobs").unwrap();
+    assert_eq!(jobs.field("submitted").unwrap().as_u64().unwrap(), 1);
+    assert_eq!(jobs.field("completed").unwrap().as_u64().unwrap(), 1);
+
+    let workers = stats.field("workers").unwrap();
+    assert_eq!(workers.field("configured").unwrap().as_u64().unwrap(), 3);
+    assert_eq!(workers.field("busy").unwrap().as_u64().unwrap(), 0);
+
+    // Uptime is seconds-since-boot: tiny but present and integral.
+    assert!(stats.field("uptime_secs").unwrap().as_u64().unwrap() < 3600);
+
+    handle.shutdown();
+}
+
+/// `workers.busy` reports in-flight execution: with zero workers a
+/// queued job never starts, so busy stays 0 while depth grows — and a
+/// served job returns it to 0 (pinned above). The transition itself is
+/// covered by the worker pool's drop-guard unit test.
+#[test]
+fn stats_busy_counts_in_flight_only() {
+    let (handle, addr) = spawn(ServerConfig {
+        workers: 0,
+        sync_wait: Duration::from_millis(10),
+        ..ServerConfig::default()
+    });
+    let spec = small_spec().to_json();
+    let submitted = client::request(&addr, "POST", "/v1/jobs?mode=async", Some(&spec)).unwrap();
+    assert_eq!(submitted.status, 202);
+
+    let stats = client::request(&addr, "GET", "/v1/stats", None)
+        .unwrap()
+        .json()
+        .unwrap();
+    let workers = stats.field("workers").unwrap();
+    assert_eq!(workers.field("busy").unwrap().as_u64().unwrap(), 0);
+    assert_eq!(
+        stats
+            .field("queue")
+            .unwrap()
+            .field("depth")
+            .unwrap()
+            .as_u64()
+            .unwrap(),
+        1
+    );
+    handle.shutdown();
+}
+
+/// With `--auth-token`, `POST /v1/templates` demands the exact bearer
+/// token: missing and wrong tokens are structured `401`s (and the
+/// artifact is not admitted), the right one stores the artifact. Read
+/// endpoints stay open — probes and warm pulls need no credential.
+#[test]
+fn auth_token_gates_template_pushes() {
+    let (handle, addr) = spawn(ServerConfig {
+        workers: 1,
+        auth_token: Some("sesame".into()),
+        ..ServerConfig::default()
+    });
+    let artifact = small_artifact();
+
+    // No token → 401, nothing stored.
+    let refused = client::push_template(&addr, &artifact).unwrap_err();
+    assert!(refused.to_string().contains("401"), "{refused}");
+    // Wrong token → 401, nothing stored.
+    let wrong = client::push_template_with_token(&addr, &artifact, Some("not-sesame")).unwrap_err();
+    assert!(wrong.to_string().contains("401"), "{wrong}");
+    assert_eq!(client::template_index(&addr).unwrap().len(), 0);
+
+    let raw = client::request(&addr, "POST", "/v1/templates", Some(&artifact.to_json())).unwrap();
+    assert_eq!(raw.status, 401);
+    assert_eq!(
+        error_kind(&format!("x\r\n\r\n{}", raw.body)),
+        "unauthorized"
+    );
+
+    // Right token → stored and servable.
+    client::push_template_with_token(&addr, &artifact, Some("sesame")).unwrap();
+    assert_eq!(client::template_index(&addr).unwrap().len(), 1);
+
+    // Reads never need the token.
+    let health = client::request(&addr, "GET", "/v1/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    let fetched = client::fetch_template(&addr, &artifact.fingerprint()).unwrap();
+    assert_eq!(fetched.to_json(), artifact.to_json());
+
+    handle.shutdown();
+}
+
+/// Without `--auth-token` the push path is exactly as before: open.
+#[test]
+fn no_auth_token_means_open_pushes() {
+    let (handle, addr) = spawn(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    client::push_template(&addr, &small_artifact()).unwrap();
+    assert_eq!(client::template_index(&addr).unwrap().len(), 1);
+    handle.shutdown();
+}

@@ -1,0 +1,412 @@
+//! End-to-end acceptance for the cluster front door (`fq-dispatch`):
+//!
+//! * a mixed batch submitted through the dispatcher — sync jobs and the
+//!   scatter/merge `/v1/batch` endpoint — produces bodies
+//!   **byte-identical** to `JobResult::to_json()` of a direct
+//!   `BatchRunner` run of the same specs;
+//! * the identity survives killing one shard mid-batch: affected jobs
+//!   re-route to the survivor and still return the same bytes;
+//! * template-affinity routing is observable: with two shards and
+//!   several shape families, each shard compiles **only** the
+//!   fingerprints rendezvous hashing assigns to it, and the fleet
+//!   compiles each template exactly once;
+//! * the sentinel's telemetry-driven warm transfer moves compiled
+//!   templates to their rendezvous owners (bearer-token end to end), so
+//!   a cold shard serves its keys compile-free.
+
+use std::time::{Duration, Instant};
+
+use fq_dispatch::{ring, DispatchConfig, Dispatcher};
+use fq_serve::{client, Server, ServerConfig};
+use frozenqubits::api::{BatchRunner, DeviceSpec, JobBuilder, JobSpec};
+use serde::json::Value;
+
+/// A frozen job over the fixed problem family `(n, graph_seed)`; the
+/// family determines the compiled-template fingerprint, the seed only
+/// the optimization run — so jobs of one family share one template.
+fn frozen(n: usize, graph_seed: u64, seed: u64) -> JobSpec {
+    JobBuilder::new()
+        .barabasi_albert(n, 1, graph_seed)
+        .device(DeviceSpec::IbmMontreal)
+        .num_frozen(1)
+        .seed(seed)
+        .frozen()
+        .build()
+        .unwrap()
+}
+
+/// The first frozen-family graph seed (scanning from `start`) whose
+/// routing fingerprint rendezvous-hashes to `want` among `addrs`.
+/// Shard ports are ephemeral, so which shard owns which family varies
+/// per run — tests that need "a family owned by shard X" scan for one
+/// instead of hardcoding seeds.
+fn family_owned_by(addrs: &[String], want: &str, start: u64) -> (u64, String) {
+    (start..start + 64)
+        .find_map(|graph_seed| {
+            let fp = frozen(10, graph_seed, 0).routing_fingerprint().unwrap();
+            (ring::owner(&fp, addrs).map(String::as_str) == Some(want)).then_some((graph_seed, fp))
+        })
+        .expect("64 families always split across two shards")
+}
+
+fn shard(config: ServerConfig) -> (fq_serve::ServerHandle, String) {
+    let handle = Server::spawn(config).unwrap();
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn dispatcher(
+    shards: Vec<String>,
+    tweak: impl FnOnce(&mut DispatchConfig),
+) -> (fq_dispatch::DispatchHandle, String) {
+    let mut config = DispatchConfig {
+        shards,
+        ..DispatchConfig::default()
+    };
+    tweak(&mut config);
+    let handle = Dispatcher::spawn(config).unwrap();
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn cache_misses(addr: &str) -> u64 {
+    let stats = client::request(addr, "GET", "/v1/stats", None).unwrap();
+    Value::parse(&stats.body)
+        .unwrap()
+        .field("cache")
+        .unwrap()
+        .field("misses")
+        .unwrap()
+        .as_u64()
+        .unwrap()
+}
+
+#[test]
+fn cluster_results_are_byte_identical_to_a_single_runner() {
+    // A mixed batch: two frozen families, compare reports, sampling.
+    let mut specs: Vec<JobSpec> = Vec::new();
+    specs.extend((0..3).map(|s| frozen(10, 4, s)));
+    specs.extend((0..3).map(|s| frozen(10, 5, s)));
+    for s in 0..2 {
+        specs.push(
+            JobBuilder::new()
+                .barabasi_albert(8, 1, 2)
+                .device(DeviceSpec::IbmMontreal)
+                .seed(s)
+                .compare()
+                .build()
+                .unwrap(),
+        );
+    }
+    specs.push(
+        JobBuilder::new()
+            .barabasi_albert(8, 1, 2)
+            .device(DeviceSpec::IbmMontreal)
+            .seed(9)
+            .sample(64)
+            .build()
+            .unwrap(),
+    );
+
+    let expected: Vec<String> = BatchRunner::new()
+        .run(&specs)
+        .into_iter()
+        .map(|r| r.expect("the mixed batch is all-success").to_json())
+        .collect();
+
+    let (a, addr_a) = shard(ServerConfig::default());
+    let (b, addr_b) = shard(ServerConfig::default());
+    let (front, addr) = dispatcher(vec![addr_a, addr_b], |_| {});
+
+    // — Sync submissions through the front door: the 200 body is the
+    // owning shard's response verbatim, which is itself pinned to the
+    // direct BatchRunner bytes.
+    for (i, spec) in specs.iter().enumerate() {
+        let response = client::request(&addr, "POST", "/v1/jobs", Some(&spec.to_json())).unwrap();
+        assert_eq!(response.status, 200, "job {i}: {}", response.body);
+        assert!(response.header("fq-job-id").is_some());
+        assert_eq!(
+            response.body, expected[i],
+            "job {i}: dispatcher body must be byte-identical to the direct run"
+        );
+    }
+
+    // — The same batch through scatter/merge, in one request.
+    let batch: String = format!(
+        "[{}]",
+        specs
+            .iter()
+            .map(JobSpec::to_json)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let response = client::request(&addr, "POST", "/v1/batch", Some(&batch)).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let merged = Value::parse(&response.body).unwrap();
+    let results = merged.field("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), specs.len(), "merged in job order, one each");
+    for (i, element) in results.iter().enumerate() {
+        assert_eq!(element.field("status").unwrap().as_u64().unwrap(), 200);
+        assert_eq!(
+            element.field("body").unwrap().to_json(),
+            expected[i],
+            "batch element {i}: canonical bytes survive the scatter/merge"
+        );
+    }
+
+    // — The async flow: the dispatcher's own id space, shard bytes in
+    // the poll envelope.
+    let id = client::submit_async(&addr, &specs[0]).unwrap();
+    let result = loop {
+        let (status, result) = client::poll(&addr, id).unwrap();
+        match status.as_str() {
+            "done" => break result.unwrap(),
+            "failed" => panic!("async job failed"),
+            _ => std::thread::sleep(Duration::from_millis(10)),
+        }
+    };
+    assert_eq!(result.to_json(), expected[0]);
+
+    // — Engine errors relay verbatim, with the shard's own status.
+    let smuggled = JobSpec {
+        config: frozenqubits::FrozenQubitsConfig::with_frozen(99),
+        ..frozen(10, 4, 0)
+    };
+    let response = client::request(&addr, "POST", "/v1/jobs", Some(&smuggled.to_json())).unwrap();
+    assert_eq!(response.status, 422, "{}", response.body);
+    let error = Value::parse(&response.body).unwrap();
+    assert_eq!(
+        error
+            .field("error")
+            .unwrap()
+            .field("kind")
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        "too_many_frozen"
+    );
+
+    front.shutdown();
+    b.shutdown();
+    a.shutdown();
+}
+
+#[test]
+fn killing_a_shard_mid_batch_reroutes_without_changing_bytes() {
+    let (a, addr_a) = shard(ServerConfig::default());
+    let (b, addr_b) = shard(ServerConfig::default());
+    let addrs = vec![addr_a.clone(), addr_b.clone()];
+
+    // One family owned by each shard, so killing A provably affects
+    // part of the workload.
+    let (seed_a, _) = family_owned_by(&addrs, &addr_a, 0);
+    let (seed_b, _) = family_owned_by(&addrs, &addr_b, 0);
+    let specs: Vec<JobSpec> = (0..2)
+        .flat_map(|s| [frozen(10, seed_a, s), frozen(10, seed_b, s)])
+        .collect();
+    let expected: Vec<String> = BatchRunner::new()
+        .run(&specs)
+        .into_iter()
+        .map(|r| r.unwrap().to_json())
+        .collect();
+
+    // Short retry backoff so the failover is quick; a long sentinel
+    // interval so recovery is the *forwarder's* doing, not a probe's.
+    let (front, addr) = dispatcher(addrs, |config| {
+        config.retry_backoff = Duration::from_millis(5);
+        config.sentinel_interval = Duration::from_secs(3600);
+    });
+
+    // First half with the full fleet.
+    for i in 0..2 {
+        let response =
+            client::request(&addr, "POST", "/v1/jobs", Some(&specs[i].to_json())).unwrap();
+        assert_eq!(response.status, 200, "job {i}: {}", response.body);
+        assert_eq!(response.body, expected[i], "job {i}");
+    }
+
+    // Kill shard A, then finish the batch: A's jobs must re-route to B
+    // and come back byte-identical anyway.
+    a.shutdown();
+    for i in 2..specs.len() {
+        let response =
+            client::request(&addr, "POST", "/v1/jobs", Some(&specs[i].to_json())).unwrap();
+        assert_eq!(response.status, 200, "job {i}: {}", response.body);
+        assert_eq!(
+            response.body, expected[i],
+            "job {i}: bytes survive the failover"
+        );
+    }
+
+    // The same holds for a scatter/merge batch against the degraded
+    // fleet.
+    let batch: String = format!(
+        "[{}]",
+        specs
+            .iter()
+            .map(JobSpec::to_json)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let response = client::request(&addr, "POST", "/v1/batch", Some(&batch)).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let merged = Value::parse(&response.body).unwrap();
+    for (i, element) in merged
+        .field("results")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .enumerate()
+    {
+        assert_eq!(element.field("status").unwrap().as_u64().unwrap(), 200);
+        assert_eq!(element.field("body").unwrap().to_json(), expected[i]);
+    }
+
+    // The dispatcher observed the failover and demoted the dead shard.
+    let stats = client::request(&addr, "GET", "/v1/stats", None).unwrap();
+    let stats = Value::parse(&stats.body).unwrap();
+    let rerouted = stats
+        .field("forward")
+        .unwrap()
+        .field("rerouted")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(rerouted >= 1, "killing the owner must force a re-route");
+    let shards = stats.field("shards").unwrap().as_array().unwrap();
+    let healthy_of = |addr: &str| {
+        shards
+            .iter()
+            .find(|s| s.field("addr").unwrap().as_str().unwrap() == addr)
+            .unwrap()
+            .field("healthy")
+            .unwrap()
+    };
+    assert!(!healthy_of(&addr_a).as_bool().unwrap());
+    assert!(healthy_of(&addr_b).as_bool().unwrap());
+
+    front.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn fingerprint_affinity_concentrates_each_template_on_its_owner() {
+    let (a, addr_a) = shard(ServerConfig::default());
+    let (b, addr_b) = shard(ServerConfig::default());
+    let addrs = vec![addr_a.clone(), addr_b.clone()];
+
+    // Two families per shard, owners computed the way the dispatcher
+    // computes them.
+    let (s1, fp1) = family_owned_by(&addrs, &addr_a, 0);
+    let (s2, fp2) = family_owned_by(&addrs, &addr_a, s1 + 1);
+    let (s3, fp3) = family_owned_by(&addrs, &addr_b, 0);
+    let (s4, fp4) = family_owned_by(&addrs, &addr_b, s3 + 1);
+    let specs: Vec<JobSpec> = [s1, s2, s3, s4]
+        .iter()
+        .flat_map(|&family| (0..3).map(move |s| frozen(10, family, s)))
+        .collect();
+
+    // A long sentinel interval: no warm transfer may blur who compiled
+    // what.
+    let (front, addr) = dispatcher(addrs, |config| {
+        config.sentinel_interval = Duration::from_secs(3600);
+    });
+    for spec in &specs {
+        let response = client::request(&addr, "POST", "/v1/jobs", Some(&spec.to_json())).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+    }
+
+    // Each shard holds exactly the fingerprints it owns — nothing else.
+    let resident = |addr: &str| -> std::collections::BTreeSet<String> {
+        client::template_index(addr)
+            .unwrap()
+            .into_iter()
+            .map(|(fp, _)| fp)
+            .collect()
+    };
+    assert_eq!(
+        resident(&addr_a),
+        [fp1.clone(), fp2.clone()].into_iter().collect(),
+        "shard A compiled only its assigned families"
+    );
+    assert_eq!(
+        resident(&addr_b),
+        [fp3.clone(), fp4.clone()].into_iter().collect(),
+        "shard B compiled only its assigned families"
+    );
+
+    // Fleet-wide, each of the 4 distinct templates was compiled exactly
+    // once — the property naive round-robin destroys.
+    assert_eq!(
+        cache_misses(&addr_a) + cache_misses(&addr_b),
+        4,
+        "12 jobs over 4 families must cost exactly 4 compiles"
+    );
+
+    front.shutdown();
+    b.shutdown();
+    a.shutdown();
+}
+
+#[test]
+fn sentinel_warm_transfer_makes_the_cold_owner_serve_compile_free() {
+    // The whole cluster runs with one bearer token: shard template
+    // pushes are gated, so a successful warm transfer also proves the
+    // sentinel presents the token.
+    const TOKEN: &str = "cluster-secret";
+    let gated = || ServerConfig {
+        auth_token: Some(TOKEN.into()),
+        ..ServerConfig::default()
+    };
+    let (a, addr_a) = shard(gated());
+    let (b, addr_b) = shard(gated());
+    let addrs = vec![addr_a.clone(), addr_b.clone()];
+
+    // A family whose rendezvous owner is the *cold* shard B, compiled
+    // on A by submitting directly to it (job submission stays open
+    // under auth; only template pushes are gated).
+    let (graph_seed, fp) = family_owned_by(&addrs, &addr_b, 0);
+    let spec = frozen(10, graph_seed, 0);
+    let direct = client::request(&addr_a, "POST", "/v1/jobs", Some(&spec.to_json())).unwrap();
+    assert_eq!(direct.status, 200, "{}", direct.body);
+    assert_eq!(cache_misses(&addr_a), 1, "A paid the compile");
+
+    // Boot the front door with a fast sentinel: it must notice that
+    // B — the owner — lacks the template A holds, and push it over.
+    let (front, _addr) = dispatcher(addrs, |config| {
+        config.sentinel_interval = Duration::from_millis(50);
+        config.auth_token = Some(TOKEN.into());
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let resident: Vec<String> = client::template_index(&addr_b)
+            .unwrap()
+            .into_iter()
+            .map(|(fingerprint, _)| fingerprint)
+            .collect();
+        if resident.contains(&fp) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "sentinel never transferred {fp} to its owner {addr_b}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The cold owner now serves its family compile-free, byte-identical
+    // to the shard that did the compiling.
+    let warmed = client::request(&addr_b, "POST", "/v1/jobs", Some(&spec.to_json())).unwrap();
+    assert_eq!(warmed.status, 200, "{}", warmed.body);
+    assert_eq!(warmed.body, direct.body, "bytes agree across shards");
+    assert_eq!(
+        cache_misses(&addr_b),
+        0,
+        "the warmed owner never compiles for its transferred family"
+    );
+
+    front.shutdown();
+    b.shutdown();
+    a.shutdown();
+}
