@@ -684,6 +684,19 @@ impl DiskStore {
         (artifact.fingerprint() == fingerprint).then_some(artifact)
     }
 
+    /// Writes `bytes` to `tmp` and fsyncs the file before returning.
+    /// The rename only makes the name durable if the *bytes* already
+    /// are: rename-before-fsync can survive a crash as a zero-length
+    /// (or partial) `.fqt.json` under the final name on some
+    /// filesystems, which readers would then keep probing and
+    /// rejecting forever.
+    fn write_durable(tmp: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()
+    }
+
     fn write(&self, artifact: &TemplateArtifact) {
         let tmp = self.dir.join(format!(
             ".tmp-{}-{}",
@@ -691,9 +704,16 @@ impl DiskStore {
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
         let target = self.path_of(&artifact.fingerprint());
-        if std::fs::write(&tmp, artifact.to_json()).is_ok() {
+        if Self::write_durable(&tmp, artifact.to_json().as_bytes()).is_ok() {
             if std::fs::rename(&tmp, &target).is_ok() {
                 self.spills.fetch_add(1, Ordering::Relaxed);
+                // Make the rename itself durable: fsync the directory so
+                // a crash after this point cannot forget the new name.
+                // Best-effort — a cache that loses an entry on crash is
+                // merely cold, but one that keeps a torn entry is noisy.
+                if let Ok(dir) = std::fs::File::open(&self.dir) {
+                    let _ = dir.sync_all();
+                }
             } else {
                 let _ = std::fs::remove_file(&tmp);
             }
@@ -983,6 +1003,45 @@ mod tests {
         // Hostile fingerprints never touch the filesystem as paths.
         assert!(disk.fetch_fingerprint("../../etc/passwd").is_none());
         assert!(disk.fetch_fingerprint("ABCDEF0123456789").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_store_survives_crash_leftovers() {
+        // The worst a crash mid-spill can now leave is (a) an orphaned
+        // temp file — never the final name, because bytes are fsynced
+        // before the rename — or (b) on a filesystem that reorders
+        // metadata anyway, a zero-length or truncated `.fqt.json`.
+        // Both must read as misses and a rewrite must heal them.
+        let dir = temp_dir("crash");
+        let disk = DiskStore::new(&dir).unwrap();
+        let (key, template) = key_and_template(8, 7);
+        let path = dir.join(format!("{}{ARTIFACT_SUFFIX}", key.fingerprint()));
+
+        // Zero-length file under the final name: a miss, not an error.
+        std::fs::write(&path, "").unwrap();
+        assert!(disk.fetch(&key).is_none(), "zero-length file");
+        assert!(disk.fetch_fingerprint(&key.fingerprint()).is_none());
+
+        // The index lists by filename (content is only validated on
+        // read), so the torn entry may appear there — but an orphaned
+        // temp file never does, and a peer pulling the torn name just
+        // misses.
+        std::fs::write(dir.join(".tmp-999-0"), "half a doc").unwrap();
+        let index = disk.index();
+        assert!(
+            index.iter().all(|e| e.fingerprint == key.fingerprint()),
+            "temp files never index"
+        );
+
+        // A fresh insert heals the torn entry in place.
+        disk.insert(&key, &template);
+        assert_eq!(disk.fetch(&key).unwrap(), template);
+        assert_eq!(
+            disk.index().len(),
+            1,
+            "healed entry indexes once, temp orphan still invisible"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

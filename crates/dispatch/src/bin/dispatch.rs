@@ -6,6 +6,7 @@
 //!          [--addr HOST:PORT] [--forwarders N] [--queue-capacity N]
 //!          [--sync-wait-secs N] [--sentinel-interval-ms N]
 //!          [--warm-batch N] [--retry-rounds N] [--retry-backoff-ms N]
+//!          [--retry-backoff-cap-ms N] [--probe-timeout-ms N]
 //!          [--job-ttl-secs N] [--max-done-jobs N]
 //!          [--max-body BYTES] [--max-connections N]
 //!          [--auth-token TOKEN]
@@ -27,6 +28,7 @@ const USAGE: &str = "usage: dispatch --shard HOST:PORT [--shard HOST:PORT ...]
                 [--addr HOST:PORT] [--forwarders N] [--queue-capacity N]
                 [--sync-wait-secs N] [--sentinel-interval-ms N]
                 [--warm-batch N] [--retry-rounds N] [--retry-backoff-ms N]
+                [--retry-backoff-cap-ms N] [--probe-timeout-ms N]
                 [--job-ttl-secs N] [--max-done-jobs N]
                 [--max-body BYTES] [--max-connections N]
                 [--auth-token TOKEN]
@@ -46,12 +48,22 @@ sentinel probes shard health and stats, and pushes compiled templates
 toward their rendezvous owners so cold or newly joined shards warm up
 while the cluster runs.
 FQ_DISPATCH_ADDR sets the default address and FQ_AUTH_TOKEN the default
-token; flags win over the environment.";
+token; flags win over the environment. FQ_FAULT_PLAN (chaos testing
+only, e.g. `seed=7;dial:refuse:1/4;response:truncate:1/8`) arms
+deterministic fault injection on the forwarding paths; never set it in
+production.";
 
 fn parse_args(args: &[String]) -> Result<Option<DispatchConfig>, String> {
+    let fault_plan = fq_faults::FaultPlan::from_env("FQ_FAULT_PLAN")?;
+    if fault_plan.is_some() {
+        eprintln!(
+            "fq-dispatch: FQ_FAULT_PLAN set — injecting chaos faults (never use in production)"
+        );
+    }
     let mut config = DispatchConfig {
         addr: std::env::var("FQ_DISPATCH_ADDR").unwrap_or_else(|_| "127.0.0.1:8070".into()),
         auth_token: std::env::var("FQ_AUTH_TOKEN").ok(),
+        fault_plan: fault_plan.map(std::sync::Arc::new),
         ..DispatchConfig::default()
     };
     let mut iter = args.iter();
@@ -82,6 +94,13 @@ fn parse_args(args: &[String]) -> Result<Option<DispatchConfig>, String> {
             "--retry-rounds" => config.retry_rounds = numeric("--retry-rounds")?,
             "--retry-backoff-ms" => {
                 config.retry_backoff = Duration::from_millis(numeric("--retry-backoff-ms")? as u64);
+            }
+            "--retry-backoff-cap-ms" => {
+                config.retry_backoff_cap =
+                    Duration::from_millis(numeric("--retry-backoff-cap-ms")? as u64);
+            }
+            "--probe-timeout-ms" => {
+                config.probe_timeout = Duration::from_millis(numeric("--probe-timeout-ms")? as u64);
             }
             "--job-ttl-secs" => {
                 config.job_ttl = Duration::from_secs(numeric("--job-ttl-secs")? as u64);

@@ -36,8 +36,15 @@ use crate::shards::ShardTable;
 pub(crate) struct ForwardPolicy {
     /// Full passes over the candidate list before shedding (≥ 1).
     pub(crate) rounds: usize,
-    /// Sleep before the second pass; doubles each further pass.
+    /// Sleep before the second pass; doubles each further pass. When a
+    /// saturated shard answered `503` with a parseable `retry-after`,
+    /// that value replaces the doubling schedule for the next pass —
+    /// the shard knows its own queue better than our guess.
     pub(crate) backoff: Duration,
+    /// Hard cap on any single inter-pass sleep, whichever schedule
+    /// produced it: a shard advertising `retry-after: 3600` must not
+    /// pin a forwarder thread for an hour.
+    pub(crate) max_backoff: Duration,
     /// Poll cadence after a shard degrades a slow job to `202`.
     pub(crate) poll_interval: Duration,
     /// Longest the forwarder keeps polling a degraded job.
@@ -49,6 +56,7 @@ impl Default for ForwardPolicy {
         ForwardPolicy {
             rounds: 2,
             backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
             poll_interval: Duration::from_millis(50),
             poll_deadline: Duration::from_secs(300),
         }
@@ -74,6 +82,8 @@ pub(crate) struct Metrics {
 #[derive(Debug)]
 pub(crate) struct ConnPool {
     token: Option<String>,
+    read_timeout: Option<Duration>,
+    fault_plan: Option<std::sync::Arc<fq_faults::FaultPlan>>,
     conns: HashMap<String, ShardConn>,
 }
 
@@ -81,8 +91,28 @@ impl ConnPool {
     pub(crate) fn new(token: Option<String>) -> ConnPool {
         ConnPool {
             token,
+            read_timeout: None,
+            fault_plan: None,
             conns: HashMap::new(),
         }
+    }
+
+    /// Caps how long any pooled connection waits for a response (the
+    /// sentinel's probe bound); applies to connections created after
+    /// the call, so set it before first use.
+    pub(crate) fn with_read_timeout(mut self, timeout: Duration) -> ConnPool {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Arms chaos fault injection on every connection this pool creates
+    /// (dial refusals, response truncation — see `fq-faults`).
+    pub(crate) fn with_fault_plan(
+        mut self,
+        plan: Option<std::sync::Arc<fq_faults::FaultPlan>>,
+    ) -> ConnPool {
+        self.fault_plan = plan;
+        self
     }
 
     /// The pooled connection to `addr`, created on first use.
@@ -91,6 +121,12 @@ impl ConnPool {
             let mut conn = ShardConn::new(addr);
             if let Some(token) = &self.token {
                 conn.set_token(token);
+            }
+            if let Some(timeout) = self.read_timeout {
+                conn.set_read_timeout(timeout);
+            }
+            if let Some(plan) = &self.fault_plan {
+                conn.set_fault_plan(std::sync::Arc::clone(plan));
             }
             conn
         })
@@ -112,9 +148,17 @@ pub(crate) fn forward_job(
     fingerprint: &str,
 ) -> Outcome {
     let mut attempted = false;
+    // The smallest `retry-after` any saturated shard advertised this
+    // pass; when present it replaces the doubling schedule below.
+    let mut advertised: Option<Duration> = None;
     for round in 0..policy.rounds.max(1) {
         if round > 0 {
-            std::thread::sleep(policy.backoff * 2u32.saturating_pow(round as u32 - 1));
+            let doubling = policy.backoff * 2u32.saturating_pow(round as u32 - 1);
+            let sleep = advertised
+                .take()
+                .unwrap_or(doubling)
+                .min(policy.max_backoff);
+            std::thread::sleep(sleep);
         }
         // Re-read the table each pass: the sentinel may have promoted a
         // shard back, or an admin may have joined one.
@@ -128,7 +172,16 @@ pub(crate) fn forward_job(
                     table.report_transport_failure(&addr);
                     continue;
                 }
-                Ok(response) if response.status == 503 => continue,
+                Ok(response) if response.status == 503 => {
+                    if let Some(hint) = response
+                        .header("retry-after")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .map(Duration::from_secs)
+                    {
+                        advertised = Some(advertised.map_or(hint, |a| a.min(hint)));
+                    }
+                    continue;
+                }
                 Ok(response) if response.status == 202 => {
                     let outcome = resolve_degraded(pool, &addr, &response, policy);
                     metrics.forwarded.fetch_add(1, Ordering::Relaxed);
@@ -254,9 +307,40 @@ mod tests {
         ForwardPolicy {
             rounds: 2,
             backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_secs(60),
             poll_interval: Duration::from_millis(1),
             poll_deadline: Duration::from_secs(5),
         }
+    }
+
+    /// A fake shard serving a fixed sequence of responses, one per
+    /// request, over a single keep-alive connection.
+    fn scripted_shard(responses: Vec<&'static str>) -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            for response in responses {
+                let mut content_length = 0usize;
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    reader.read_line(&mut line).unwrap();
+                    let trimmed = line.trim_end();
+                    if trimmed.is_empty() {
+                        break;
+                    }
+                    if let Some(v) = trimmed.to_ascii_lowercase().strip_prefix("content-length:") {
+                        content_length = v.trim().parse().unwrap();
+                    }
+                }
+                let mut body = vec![0u8; content_length];
+                std::io::Read::read_exact(&mut reader, &mut body).unwrap();
+                stream.write_all(response.as_bytes()).unwrap();
+            }
+        });
+        (addr, handle)
     }
 
     /// A fake shard answering every request on one connection with the
@@ -339,6 +423,60 @@ mod tests {
         assert_eq!(outcome.status, 422);
         assert!(outcome.body.contains("invalid_config"));
         assert_eq!(metrics.rerouted.load(Ordering::Relaxed), 0, "no retry");
+        shard.join().unwrap();
+    }
+
+    #[test]
+    fn backoff_honors_the_shards_retry_after_over_its_own_schedule() {
+        // The shard says "retry in 0 seconds"; the policy's own
+        // schedule says 30. If the doubling schedule were still in
+        // charge, this test would sit for 30 s — the harness timeout
+        // alone makes that a failure.
+        let saturated =
+            "HTTP/1.1 503 Service Unavailable\r\nretry-after: 0\r\ncontent-length: 2\r\n\r\n{}";
+        let ok = "HTTP/1.1 200 OK\r\ncontent-length: 11\r\n\r\n{\"ok\":true}";
+        let (addr, shard) = scripted_shard(vec![saturated, ok]);
+        let table = ShardTable::new(&[addr]);
+        let metrics = Metrics::default();
+        let mut pool = ConnPool::new(None);
+        let policy = ForwardPolicy {
+            backoff: Duration::from_secs(30),
+            ..policy()
+        };
+        let started = Instant::now();
+        let outcome = forward_job(&mut pool, &table, &policy, &metrics, "{}", "abc");
+        assert_eq!(outcome.status, 200);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "retry-after: 0 must preempt the 30s doubling backoff (took {:?})",
+            started.elapsed()
+        );
+        shard.join().unwrap();
+    }
+
+    #[test]
+    fn advertised_retry_after_is_clamped_by_max_backoff() {
+        // The shard asks for an hour; the policy caps any single sleep
+        // at 10 ms, so the second pass still happens promptly.
+        let saturated =
+            "HTTP/1.1 503 Service Unavailable\r\nretry-after: 3600\r\ncontent-length: 2\r\n\r\n{}";
+        let ok = "HTTP/1.1 200 OK\r\ncontent-length: 11\r\n\r\n{\"ok\":true}";
+        let (addr, shard) = scripted_shard(vec![saturated, ok]);
+        let table = ShardTable::new(&[addr]);
+        let metrics = Metrics::default();
+        let mut pool = ConnPool::new(None);
+        let policy = ForwardPolicy {
+            max_backoff: Duration::from_millis(10),
+            ..policy()
+        };
+        let started = Instant::now();
+        let outcome = forward_job(&mut pool, &table, &policy, &metrics, "{}", "abc");
+        assert_eq!(outcome.status, 200);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "retry-after: 3600 must be clamped by max_backoff (took {:?})",
+            started.elapsed()
+        );
         shard.join().unwrap();
     }
 

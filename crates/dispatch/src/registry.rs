@@ -289,6 +289,52 @@ mod tests {
     }
 
     #[test]
+    fn fault_interrupted_failure_expires_instead_of_leaking() {
+        // A job whose forwarding was cut short by faults completes with
+        // a *failure* outcome (shed 503, upstream 502, ...). Failures
+        // must ride the same retention train as successes: expired by
+        // TTL, tombstoned, counted — never retained forever.
+        let store = OutcomeStore::new(Duration::from_millis(20), 4096);
+        let id = store.register();
+        store.mark_forwarding(id);
+        store.complete(
+            id,
+            Outcome {
+                status: 503,
+                body: "{\"error\":{\"kind\":\"cluster_saturated\"}}".into(),
+            },
+        );
+        assert!(matches!(store.lookup(id), Lookup::Active(_)));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            matches!(store.lookup(id), Lookup::Expired),
+            "a failed outcome must expire like a successful one"
+        );
+        assert_eq!(store.counts().expired, 1);
+        assert_eq!(store.counts().failed, 1);
+    }
+
+    #[test]
+    fn count_bound_expires_oldest_done_first() {
+        // The count bound alone (generous TTL) must expire the oldest
+        // finished job and answer Expired for it, while the newer ones
+        // stay pollable — the poll-after-expiry half of the 410
+        // contract without waiting on wall-clock TTLs.
+        let store = OutcomeStore::new(Duration::from_secs(3600), 2);
+        let ids: Vec<JobId> = (0..3).map(|_| store.register()).collect();
+        for &id in &ids {
+            store.complete(id, ok());
+        }
+        // Completing the third pruned the first (max_done = 2).
+        assert!(matches!(store.lookup(ids[0]), Lookup::Expired));
+        assert!(matches!(store.lookup(ids[1]), Lookup::Active(_)));
+        assert!(matches!(store.lookup(ids[2]), Lookup::Active(_)));
+        assert_eq!(store.counts().expired, 1);
+        // An id never issued still answers Unknown, not Expired.
+        assert!(matches!(store.lookup(JobId::new(999)), Lookup::Unknown));
+    }
+
+    #[test]
     fn await_done_wakes_on_completion() {
         let store = Arc::new(OutcomeStore::new(Duration::from_secs(3600), 4096));
         let id = store.register();

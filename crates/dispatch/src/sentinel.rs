@@ -36,6 +36,14 @@ pub(crate) struct SentinelConfig {
     pub(crate) interval: Duration,
     /// Most template pushes per cycle.
     pub(crate) warm_batch: usize,
+    /// Read timeout on every probe and convergence request. Probes ask
+    /// tiny questions of loopback-or-LAN peers; without this bound one
+    /// stalled shard would wedge the whole cycle for the client
+    /// default's 300 s, during which no other shard gets probed,
+    /// promoted or warmed.
+    pub(crate) probe_timeout: Duration,
+    /// Chaos fault injection for the sentinel's own connections.
+    pub(crate) fault_plan: Option<Arc<fq_faults::FaultPlan>>,
 }
 
 /// Spawns the sentinel thread; it exits promptly once `stop` is set.
@@ -49,7 +57,9 @@ pub(crate) fn spawn(
     std::thread::Builder::new()
         .name("fq-dispatch-sentinel".into())
         .spawn(move || {
-            let mut pool = ConnPool::new(token);
+            let mut pool = ConnPool::new(token)
+                .with_read_timeout(config.probe_timeout)
+                .with_fault_plan(config.fault_plan.clone());
             while !stop.load(Ordering::SeqCst) {
                 for addr in table.addrs() {
                     match probe(&mut pool, &addr) {
@@ -188,5 +198,40 @@ fn converge(pool: &mut ConnPool, table: &ShardTable, metrics: &Metrics, warm_bat
             metrics.warm_pushes.fetch_add(1, Ordering::Relaxed);
             pushed += 1;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    #[test]
+    fn probe_times_out_on_a_stalled_shard_instead_of_wedging() {
+        // A "shard" that accepts the connection and then says nothing —
+        // the slow-loris shape. Without the probe timeout this test
+        // would block for the client default of 300 s.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let stall = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_secs(10));
+            drop(stream);
+        });
+
+        let timeout = Duration::from_millis(200);
+        let mut pool = ConnPool::new(None).with_read_timeout(timeout);
+        let started = Instant::now();
+        assert!(
+            probe(&mut pool, &addr).is_err(),
+            "a stalled probe must fail"
+        );
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(150) && elapsed < Duration::from_secs(5),
+            "probe should fail at ~the read timeout, took {elapsed:?}"
+        );
+        stall.join().unwrap();
     }
 }

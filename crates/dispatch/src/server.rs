@@ -78,12 +78,25 @@ pub struct DispatchConfig {
     pub warm_batch: usize,
     /// Retry/backoff/poll policy for the forwarding path.
     pub retry_rounds: usize,
-    /// Sleep before the second candidate pass; doubles per pass.
+    /// Sleep before the second candidate pass; doubles per pass. A
+    /// saturated shard's `retry-after` header, when present, replaces
+    /// this schedule for the next pass.
     pub retry_backoff: Duration,
+    /// Hard cap on any single inter-pass sleep, whether it came from
+    /// the doubling schedule or a shard's `retry-after`.
+    pub retry_backoff_cap: Duration,
     /// Poll cadence for shard-degraded (`202`) jobs.
     pub poll_interval: Duration,
     /// Longest a degraded job is polled before `504`.
     pub poll_deadline: Duration,
+    /// Read timeout on every sentinel probe/convergence request, so one
+    /// stalled shard cannot wedge a probe cycle.
+    pub probe_timeout: Duration,
+    /// Chaos fault injection (see `fq-faults`): armed on the accept
+    /// path, every forwarder/batch/sentinel connection pool, and
+    /// nothing else. `None` (the default and only production setting)
+    /// costs nothing.
+    pub fault_plan: Option<Arc<fq_faults::FaultPlan>>,
 }
 
 impl Default for DispatchConfig {
@@ -105,8 +118,11 @@ impl Default for DispatchConfig {
             warm_batch: 8,
             retry_rounds: 2,
             retry_backoff: Duration::from_millis(50),
+            retry_backoff_cap: Duration::from_secs(2),
             poll_interval: Duration::from_millis(50),
             poll_deadline: Duration::from_secs(300),
+            probe_timeout: Duration::from_secs(2),
+            fault_plan: None,
         }
     }
 }
@@ -116,6 +132,7 @@ impl DispatchConfig {
         ForwardPolicy {
             rounds: self.retry_rounds,
             backoff: self.retry_backoff,
+            max_backoff: self.retry_backoff_cap,
             poll_interval: self.poll_interval,
             poll_deadline: self.poll_deadline,
         }
@@ -180,10 +197,11 @@ impl Dispatcher {
                 let metrics = Arc::clone(&metrics);
                 let policy = config.policy();
                 let token = config.auth_token.clone();
+                let fault_plan = config.fault_plan.clone();
                 thread::Builder::new()
                     .name(format!("fq-dispatch-forward-{index}"))
                     .spawn(move || {
-                        let mut pool = ConnPool::new(token);
+                        let mut pool = ConnPool::new(token).with_fault_plan(fault_plan);
                         while let Some(job) = queue.pop() {
                             store.mark_forwarding(job.id);
                             let outcome = forward_job(
@@ -208,6 +226,8 @@ impl Dispatcher {
             SentinelConfig {
                 interval: config.sentinel_interval,
                 warm_batch: config.warm_batch,
+                probe_timeout: config.probe_timeout,
+                fault_plan: config.fault_plan.clone(),
             },
             Arc::clone(&stop),
         );
@@ -358,6 +378,16 @@ fn accept_loop(listener: &TcpListener, state: &Arc<DispatchState2>, stop: &Arc<A
 /// One connection: keep-alive loop of read → route → respond, on the
 /// exact framing substrate the shards use (`fq_serve::http`).
 fn handle_connection(mut stream: TcpStream, state: &Arc<DispatchState2>, stop: &Arc<AtomicBool>) {
+    if let Some(plan) = &state.config.fault_plan {
+        use fq_faults::{FaultKind, FaultSite};
+        match plan.roll(FaultSite::Accept) {
+            // Same semantics as the shard accept hook: drop before
+            // reading (client sees a reset) or sit on the connection.
+            Some(FaultKind::Refuse) => return,
+            Some(FaultKind::Stall(ms)) => thread::sleep(Duration::from_millis(ms)),
+            _ => {}
+        }
+    }
     let _ = stream.set_read_timeout(Some(state.config.read_timeout));
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -644,8 +674,9 @@ fn handle_batch(state: &DispatchState2, request: &Request) -> Response {
                 let metrics = &state.metrics;
                 let policy = &policy;
                 let token = state.config.auth_token.clone();
+                let fault_plan = state.config.fault_plan.clone();
                 scope.spawn(move || {
-                    let mut pool = ConnPool::new(token);
+                    let mut pool = ConnPool::new(token).with_fault_plan(fault_plan);
                     indices
                         .iter()
                         .map(|&index| {

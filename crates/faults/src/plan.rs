@@ -1,0 +1,526 @@
+//! The seeded fault schedule: which injection site misbehaves, how, and
+//! on which visit.
+//!
+//! A [`FaultPlan`] is a *pure function* from `(seed, site, ordinal)` to
+//! an optional [`FaultKind`]: the n-th visit to a site either fires a
+//! fault or passes through, decided by a stateless splitmix64 hash. The
+//! only mutable state is a per-site visit counter (so concurrent callers
+//! each draw a distinct ordinal) and per-rule fired counters for
+//! assertions. Two plans built from the same seed and rules therefore
+//! produce the same schedule — [`FaultPlan::preview`] exposes that
+//! schedule without consuming ordinals, which is what the chaos suite
+//! pins determinism with.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where in the stack a fault can be injected.
+///
+/// Each site is one seam the production code already routes through; the
+/// hooks consult the plan with [`FaultPlan::roll`] at exactly these
+/// points and nowhere else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A template-store read (`fetch` / `fetch_fingerprint`).
+    StoreFetch,
+    /// A template-store write (`insert`).
+    StoreInsert,
+    /// A client dialing a shard (`ShardConn` connect).
+    Dial,
+    /// A client-side response read after the request was sent.
+    Response,
+    /// A server accepting an inbound connection (serve or dispatch).
+    Accept,
+    /// A worker about to execute a dequeued job.
+    Worker,
+}
+
+impl FaultSite {
+    /// Every site, in stable order (indexes the per-site counters).
+    pub const ALL: [FaultSite; 6] = [
+        FaultSite::StoreFetch,
+        FaultSite::StoreInsert,
+        FaultSite::Dial,
+        FaultSite::Response,
+        FaultSite::Accept,
+        FaultSite::Worker,
+    ];
+
+    /// Stable index into [`FaultSite::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            FaultSite::StoreFetch => 0,
+            FaultSite::StoreInsert => 1,
+            FaultSite::Dial => 2,
+            FaultSite::Response => 3,
+            FaultSite::Accept => 4,
+            FaultSite::Worker => 5,
+        }
+    }
+
+    /// The site's wire name (the token [`FaultPlan::parse`] accepts).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::StoreFetch => "store_fetch",
+            FaultSite::StoreInsert => "store_insert",
+            FaultSite::Dial => "dial",
+            FaultSite::Response => "response",
+            FaultSite::Accept => "accept",
+            FaultSite::Worker => "worker",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<FaultSite> {
+        FaultSite::ALL.iter().copied().find(|s| s.name() == name)
+    }
+}
+
+/// What happens when a rule fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Refuse the operation outright: a dial fails as connection
+    /// refused; an accepted connection is dropped before reading.
+    Refuse,
+    /// Deliver only part of the payload, then sever: a response read
+    /// errors mid-body after the request was executed remotely.
+    Truncate,
+    /// Sleep this many milliseconds before proceeding (slow-loris /
+    /// paused-shard behavior; the operation itself still succeeds).
+    Stall(u64),
+    /// A store write is silently dropped (disk write error — the store
+    /// contract says writes are best-effort).
+    WriteError,
+    /// A store read misses (disk read error — the store contract says a
+    /// failed read is a miss, never an error).
+    ReadError,
+    /// A store read returns bytes that fail artifact validation; the
+    /// wrapper routes them through the real parser, so this exercises
+    /// the corrupt-artifact-as-miss path end to end.
+    Corrupt,
+    /// The worker's job execution panics (contained by `catch_unwind`).
+    Panic,
+}
+
+impl FaultKind {
+    /// The kind's wire name (the token [`FaultPlan::parse`] accepts).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Refuse => "refuse",
+            FaultKind::Truncate => "truncate",
+            FaultKind::Stall(_) => "stall",
+            FaultKind::WriteError => "write_error",
+            FaultKind::ReadError => "read_error",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Panic => "panic",
+        }
+    }
+}
+
+/// One line of a plan: at `site`, fire `kind` on roughly one visit in
+/// `one_in`, at most `limit` times overall.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultRule {
+    /// The seam this rule applies to.
+    pub site: FaultSite,
+    /// The fault it injects.
+    pub kind: FaultKind,
+    /// Average firing rate: one visit in `one_in` (1 = every visit).
+    pub one_in: u64,
+    /// Cap on total firings; `None` is unlimited. The cap is enforced
+    /// against the *schedule*, not arrival order: a rule fires on the
+    /// first `limit` ordinals its hash selects, whatever order threads
+    /// happen to draw those ordinals in.
+    pub limit: Option<u64>,
+}
+
+/// A seeded, deterministic fault schedule shared (via `Arc`) by every
+/// hook in a process.
+///
+/// With no plan configured the hooks are a skipped `if let` on an
+/// `Option` that is `None` — release binaries pay nothing.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+    /// One visit counter per site (indexed by [`FaultSite::index`]).
+    ordinals: Vec<AtomicU64>,
+    /// One fired counter per rule, for post-storm assertions.
+    fired: Vec<AtomicU64>,
+}
+
+/// SplitMix64: tiny, stateless, good avalanche — exactly what a
+/// reproducible schedule needs (and no dependency).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan: every roll passes through until rules are added.
+    #[must_use]
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+            ordinals: FaultSite::ALL.iter().map(|_| AtomicU64::new(0)).collect(),
+            fired: Vec::new(),
+        }
+    }
+
+    /// The plan's seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Adds a rule (builder style). Rules are consulted in insertion
+    /// order; the first one that fires on an ordinal wins it.
+    #[must_use]
+    pub fn with_rule(
+        mut self,
+        site: FaultSite,
+        kind: FaultKind,
+        one_in: u64,
+        limit: Option<u64>,
+    ) -> FaultPlan {
+        self.rules.push(FaultRule {
+            site,
+            kind,
+            one_in: one_in.max(1),
+            limit,
+        });
+        self.fired.push(AtomicU64::new(0));
+        self
+    }
+
+    /// Does rule `idx`'s hash select `ordinal` at `site`? Pure — no
+    /// counters read or written.
+    fn selects(&self, idx: usize, site: FaultSite, ordinal: u64) -> bool {
+        let rule = &self.rules[idx];
+        if rule.site != site {
+            return false;
+        }
+        if rule.one_in <= 1 {
+            return true;
+        }
+        let mut h = splitmix64(self.seed ^ (0x5157 * (site.index() as u64 + 1)));
+        h = splitmix64(h ^ ((idx as u64) << 32));
+        h = splitmix64(h ^ ordinal);
+        h.is_multiple_of(rule.one_in)
+    }
+
+    /// The schedule's verdict for visit `ordinal` of `site`: the first
+    /// rule whose hash selects this ordinal and whose limit is not yet
+    /// exhausted *by earlier ordinals*. Pure: limits are enforced by
+    /// counting selected ordinals below `ordinal`, so the answer cannot
+    /// depend on which thread got which ordinal first.
+    fn decide(&self, site: FaultSite, ordinal: u64) -> Option<(usize, FaultKind)> {
+        for idx in 0..self.rules.len() {
+            if !self.selects(idx, site, ordinal) {
+                continue;
+            }
+            if let Some(limit) = self.rules[idx].limit {
+                let earlier = (0..ordinal).filter(|&o| self.selects(idx, site, o)).count() as u64;
+                if earlier >= limit {
+                    continue;
+                }
+            }
+            return Some((idx, self.rules[idx].kind));
+        }
+        None
+    }
+
+    /// Draws the next ordinal for `site` and returns the fault to
+    /// inject there, if any. This is the only entry point hooks call.
+    pub fn roll(&self, site: FaultSite) -> Option<FaultKind> {
+        if self.rules.is_empty() {
+            return None;
+        }
+        let ordinal = self.ordinals[site.index()].fetch_add(1, Ordering::Relaxed);
+        let (idx, kind) = self.decide(site, ordinal)?;
+        self.fired[idx].fetch_add(1, Ordering::Relaxed);
+        Some(kind)
+    }
+
+    /// The first `n` verdicts for `site`, without consuming ordinals —
+    /// the schedule a fresh plan with the same seed and rules would
+    /// execute. Two plans agree on `preview` iff they agree on behavior.
+    #[must_use]
+    pub fn preview(&self, site: FaultSite, n: u64) -> Vec<Option<FaultKind>> {
+        (0..n)
+            .map(|o| self.decide(site, o).map(|(_, k)| k))
+            .collect()
+    }
+
+    /// How many visits `site` has absorbed so far.
+    #[must_use]
+    pub fn visits(&self, site: FaultSite) -> u64 {
+        self.ordinals[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Per-rule firing counts, in rule insertion order.
+    #[must_use]
+    pub fn fired(&self) -> Vec<(FaultRule, u64)> {
+        self.rules
+            .iter()
+            .zip(&self.fired)
+            .map(|(rule, count)| (*rule, count.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Total faults injected across every rule.
+    #[must_use]
+    pub fn total_fired(&self) -> u64 {
+        self.fired.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Parses the compact text form used by `FQ_FAULT_PLAN`:
+    ///
+    /// ```text
+    /// seed=42;dial:refuse:1/4;response:truncate:1/6:limit=2;accept:stall:1/3:ms=40
+    /// ```
+    ///
+    /// Entries are `;`-separated. The first must be `seed=N`. Each rule
+    /// is `site:kind:1/N` with optional `:limit=K` and (for `stall`)
+    /// `:ms=M` suffixes in either order; a stall without `ms=` sleeps
+    /// 100 ms.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending entry.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut entries = text.split(';').map(str::trim).filter(|e| !e.is_empty());
+        let head = entries
+            .next()
+            .ok_or_else(|| "empty fault plan".to_string())?;
+        let seed = head
+            .strip_prefix("seed=")
+            .ok_or_else(|| format!("fault plan must start with seed=N, got `{head}`"))?
+            .parse::<u64>()
+            .map_err(|_| format!("unparseable seed in `{head}`"))?;
+        let mut plan = FaultPlan::new(seed);
+        for entry in entries {
+            let mut parts = entry.split(':');
+            let site = parts
+                .next()
+                .and_then(FaultSite::from_name)
+                .ok_or_else(|| format!("unknown fault site in `{entry}`"))?;
+            let kind_name = parts
+                .next()
+                .ok_or_else(|| format!("missing fault kind in `{entry}`"))?;
+            let rate = parts
+                .next()
+                .ok_or_else(|| format!("missing rate (1/N) in `{entry}`"))?;
+            let one_in = rate
+                .strip_prefix("1/")
+                .and_then(|n| n.parse::<u64>().ok())
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("rate must be 1/N with N >= 1 in `{entry}`"))?;
+            let mut limit = None;
+            let mut ms = None;
+            for opt in parts {
+                if let Some(k) = opt.strip_prefix("limit=") {
+                    limit = Some(
+                        k.parse::<u64>()
+                            .map_err(|_| format!("unparseable limit in `{entry}`"))?,
+                    );
+                } else if let Some(m) = opt.strip_prefix("ms=") {
+                    ms = Some(
+                        m.parse::<u64>()
+                            .map_err(|_| format!("unparseable ms in `{entry}`"))?,
+                    );
+                } else {
+                    return Err(format!("unknown option `{opt}` in `{entry}`"));
+                }
+            }
+            let kind = match kind_name {
+                "refuse" => FaultKind::Refuse,
+                "truncate" => FaultKind::Truncate,
+                "stall" => FaultKind::Stall(ms.unwrap_or(100)),
+                "write_error" => FaultKind::WriteError,
+                "read_error" => FaultKind::ReadError,
+                "corrupt" => FaultKind::Corrupt,
+                "panic" => FaultKind::Panic,
+                other => return Err(format!("unknown fault kind `{other}` in `{entry}`")),
+            };
+            if !matches!(kind, FaultKind::Stall(_)) && ms.is_some() {
+                return Err(format!("ms= only applies to stall, in `{entry}`"));
+            }
+            plan = plan.with_rule(site, kind, one_in, limit);
+        }
+        Ok(plan)
+    }
+
+    /// Reads and parses the named environment variable; `Ok(None)` when
+    /// it is unset or empty (the production default — no plan, no cost).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultPlan::parse`] errors for a set-but-malformed
+    /// variable — a typo'd chaos run must fail loudly, not run clean.
+    pub fn from_env(var: &str) -> Result<Option<FaultPlan>, String> {
+        match std::env::var(var) {
+            Ok(text) if !text.trim().is_empty() => FaultPlan::parse(&text).map(Some),
+            _ => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transport_plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .with_rule(FaultSite::Dial, FaultKind::Refuse, 3, None)
+            .with_rule(FaultSite::Response, FaultKind::Truncate, 4, Some(2))
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = transport_plan(42);
+        let b = transport_plan(42);
+        for site in [FaultSite::Dial, FaultSite::Response] {
+            assert_eq!(a.preview(site, 200), b.preview(site, 200));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = transport_plan(1);
+        let b = transport_plan(2);
+        assert_ne!(
+            a.preview(FaultSite::Dial, 200),
+            b.preview(FaultSite::Dial, 200),
+            "200 draws at 1/3 colliding across seeds would be a broken hash"
+        );
+    }
+
+    #[test]
+    fn roll_consumes_the_previewed_schedule_in_order() {
+        let plan = transport_plan(7);
+        let expected = plan.preview(FaultSite::Dial, 50);
+        let rolled: Vec<_> = (0..50).map(|_| plan.roll(FaultSite::Dial)).collect();
+        assert_eq!(rolled, expected);
+        assert_eq!(plan.visits(FaultSite::Dial), 50);
+    }
+
+    #[test]
+    fn rate_is_roughly_one_in_n() {
+        let plan = FaultPlan::new(9).with_rule(FaultSite::Accept, FaultKind::Refuse, 4, None);
+        let fired = plan
+            .preview(FaultSite::Accept, 4000)
+            .iter()
+            .filter(|v| v.is_some())
+            .count();
+        // Mean 1000; a fair hash lands well inside [800, 1200].
+        assert!(
+            (800..=1200).contains(&fired),
+            "fired {fired} of 4000 at 1/4"
+        );
+    }
+
+    #[test]
+    fn limit_caps_total_firings() {
+        let plan = FaultPlan::new(3).with_rule(FaultSite::Worker, FaultKind::Panic, 2, Some(3));
+        let fired = plan
+            .preview(FaultSite::Worker, 1000)
+            .iter()
+            .filter(|v| v.is_some())
+            .count();
+        assert_eq!(fired, 3);
+        // And the live counters agree once rolled.
+        for _ in 0..1000 {
+            plan.roll(FaultSite::Worker);
+        }
+        assert_eq!(plan.total_fired(), 3);
+    }
+
+    #[test]
+    fn limit_binds_to_schedule_not_arrival_order() {
+        // Whatever order threads draw ordinals in, the set of firing
+        // ordinals is fixed: decide() for a given ordinal never changes.
+        let plan = FaultPlan::new(11).with_rule(FaultSite::Dial, FaultKind::Refuse, 2, Some(5));
+        let before = plan.preview(FaultSite::Dial, 100);
+        for _ in 0..100 {
+            plan.roll(FaultSite::Dial);
+        }
+        assert_eq!(plan.preview(FaultSite::Dial, 100), before);
+    }
+
+    #[test]
+    fn first_matching_rule_wins_its_ordinal() {
+        let plan = FaultPlan::new(5)
+            .with_rule(FaultSite::Dial, FaultKind::Refuse, 1, Some(1))
+            .with_rule(FaultSite::Dial, FaultKind::Truncate, 1, None);
+        assert_eq!(plan.roll(FaultSite::Dial), Some(FaultKind::Refuse));
+        // Rule 0 exhausted; rule 1 takes over.
+        assert_eq!(plan.roll(FaultSite::Dial), Some(FaultKind::Truncate));
+    }
+
+    #[test]
+    fn one_in_one_fires_every_visit() {
+        let plan = FaultPlan::new(0).with_rule(FaultSite::Worker, FaultKind::Panic, 1, None);
+        assert!(plan
+            .preview(FaultSite::Worker, 16)
+            .iter()
+            .all(|v| v.is_some()));
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = FaultPlan::new(42);
+        assert!(plan.roll(FaultSite::Dial).is_none());
+        assert_eq!(plan.total_fired(), 0);
+    }
+
+    #[test]
+    fn parse_round_trips_the_readme_example() {
+        let plan = FaultPlan::parse(
+            "seed=42;dial:refuse:1/4;response:truncate:1/6:limit=2;accept:stall:1/3:ms=40",
+        )
+        .unwrap();
+        assert_eq!(plan.seed(), 42);
+        let rules = plan.fired();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].0.site, FaultSite::Dial);
+        assert_eq!(rules[0].0.kind, FaultKind::Refuse);
+        assert_eq!(rules[0].0.one_in, 4);
+        assert_eq!(rules[1].0.limit, Some(2));
+        assert_eq!(rules[2].0.kind, FaultKind::Stall(40));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_plans() {
+        for bad in [
+            "",
+            "dial:refuse:1/4",             // missing seed
+            "seed=x;dial:refuse:1/4",      // bad seed
+            "seed=1;nowhere:refuse:1/4",   // unknown site
+            "seed=1;dial:vanish:1/4",      // unknown kind
+            "seed=1;dial:refuse:2/4",      // rate must be 1/N
+            "seed=1;dial:refuse:1/0",      // N >= 1
+            "seed=1;dial:refuse:1/4:ms=9", // ms on a non-stall
+            "seed=1;dial:refuse:1/4:bogus=1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn from_env_treats_unset_as_no_plan() {
+        assert!(FaultPlan::from_env("FQ_FAULT_PLAN_TEST_UNSET_XYZ")
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn stall_parses_with_default_ms() {
+        let plan = FaultPlan::parse("seed=1;accept:stall:1/1").unwrap();
+        assert_eq!(plan.fired()[0].0.kind, FaultKind::Stall(100));
+    }
+}

@@ -50,13 +50,20 @@ Serves the FrozenQubits job API over HTTP/1.1:
 <token>` (401 otherwise); read endpoints stay open.
 FQ_SERVE_ADDR sets the default address, FQ_CACHE_DIR the default cache
 directory, and FQ_AUTH_TOKEN the default token; flags win over the
-environment.";
+environment. FQ_FAULT_PLAN (chaos testing only, e.g.
+`seed=42;worker:panic:1/8;accept:stall:1/4:ms=50`) arms deterministic
+fault injection; never set it in production.";
 
 fn parse_args(args: &[String]) -> Result<Option<ServerConfig>, String> {
+    let fault_plan = fq_faults::FaultPlan::from_env("FQ_FAULT_PLAN")?;
+    if fault_plan.is_some() {
+        eprintln!("fq-serve: FQ_FAULT_PLAN set — injecting chaos faults (never use in production)");
+    }
     let mut config = ServerConfig {
         addr: std::env::var("FQ_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:8077".into()),
         cache_dir: std::env::var("FQ_CACHE_DIR").ok(),
         auth_token: std::env::var("FQ_AUTH_TOKEN").ok(),
+        fault_plan: fault_plan.map(std::sync::Arc::new),
         ..ServerConfig::default()
     };
     let mut iter = args.iter();

@@ -29,8 +29,10 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Duration;
 
+use fq_faults::{FaultKind, FaultPlan, FaultSite};
 use frozenqubits::{FqError, JobId, JobResult, JobSpec, TemplateArtifact, TemplateCache};
 use serde::json::Value;
 
@@ -157,6 +159,8 @@ pub struct ShardConn {
     auth_token: Option<String>,
     stream: Option<BufReader<TcpStream>>,
     connects: u64,
+    read_timeout: Duration,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl ShardConn {
@@ -168,6 +172,8 @@ impl ShardConn {
             auth_token: None,
             stream: None,
             connects: 0,
+            read_timeout: RESPONSE_TIMEOUT,
+            fault_plan: None,
         }
     }
 
@@ -175,6 +181,24 @@ impl ShardConn {
     /// every request (the shard gates `POST /v1/templates` behind it).
     pub fn set_token(&mut self, token: &str) {
         self.auth_token = Some(token.to_string());
+    }
+
+    /// Overrides the per-request read timeout (default 300 s). Takes
+    /// effect on the next dial, so call it before the first request.
+    /// The dispatcher's sentinel uses a short timeout here so one
+    /// stalled shard cannot wedge a whole probe cycle.
+    pub fn set_read_timeout(&mut self, timeout: Duration) {
+        self.read_timeout = timeout;
+        // Drop any cached connection still carrying the old timeout.
+        self.stream = None;
+    }
+
+    /// Arms chaos-test fault injection on this connection: the plan's
+    /// [`FaultSite::Dial`] and [`FaultSite::Response`] schedules are
+    /// consulted on every dial and response read. Never set in
+    /// production paths — with no plan the hooks are skipped branches.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.fault_plan = Some(plan);
     }
 
     /// The shard address this connection dials.
@@ -226,8 +250,22 @@ impl ShardConn {
         body: Option<&str>,
     ) -> Result<HttpResponse, FqError> {
         if self.stream.is_none() {
+            if let Some(plan) = &self.fault_plan {
+                match plan.roll(FaultSite::Dial) {
+                    Some(FaultKind::Refuse) => {
+                        return Err(FqError::Io(format!(
+                            "injected fault: connection to {} refused",
+                            self.addr
+                        )));
+                    }
+                    Some(FaultKind::Stall(ms)) => {
+                        std::thread::sleep(Duration::from_millis(ms));
+                    }
+                    _ => {}
+                }
+            }
             let stream = TcpStream::connect(&self.addr)?;
-            stream.set_read_timeout(Some(RESPONSE_TIMEOUT))?;
+            stream.set_read_timeout(Some(self.read_timeout))?;
             stream.set_nodelay(true)?;
             self.stream = Some(BufReader::new(stream));
             self.connects += 1;
@@ -255,6 +293,24 @@ impl ShardConn {
         reader.get_mut().write_all(out.as_bytes())?;
 
         let (response, close) = read_framed_response(reader)?;
+        if let Some(plan) = &self.fault_plan {
+            match plan.roll(FaultSite::Response) {
+                // The request reached the shard and *executed* — only
+                // the response is lost. This is the nastiest transport
+                // fault for a forwarder: retrying may run the job twice
+                // (safe here because execution is deterministic), and
+                // the caller cannot tell it from a pre-execution cut.
+                Some(FaultKind::Truncate) => {
+                    return Err(FqError::Io(
+                        "injected fault: response truncated mid-body".to_string(),
+                    ));
+                }
+                Some(FaultKind::Stall(ms)) => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                _ => {}
+            }
+        }
         if close {
             self.stream = None;
         }

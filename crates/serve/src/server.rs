@@ -25,9 +25,11 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use fq_faults::{FaultKind, FaultPlan, FaultSite, FaultyStore};
 use frozenqubits::api::BackendSpec;
 use frozenqubits::{
-    BatchRunner, DiskStore, FqError, JobSpec, MemoryStore, TemplateArtifact, TieredStore,
+    BatchRunner, DiskStore, FqError, JobSpec, MemoryStore, TemplateArtifact, TemplateStore,
+    TieredStore,
 };
 use serde::json::Value;
 
@@ -133,6 +135,13 @@ pub struct ServerConfig {
     /// shard endpoint worth gating even on a trusted network; read
     /// endpoints stay open for probes and warm pulls.
     pub auth_token: Option<String>,
+    /// Chaos-test fault injection (see `fq-faults`). When set, the
+    /// template store is wrapped in a [`FaultyStore`], the accept loop
+    /// rolls [`FaultSite::Accept`] per connection, and workers roll
+    /// [`FaultSite::Worker`] per job. `None` (the default, and the only
+    /// production setting) leaves every path byte-identical to a build
+    /// without the hooks.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -156,6 +165,7 @@ impl Default for ServerConfig {
             sync_wait: Duration::from_secs(120),
             backend_override: None,
             auth_token: None,
+            fault_plan: None,
         }
     }
 }
@@ -208,7 +218,17 @@ impl Server {
             // the disk spill tier; a bad directory is a startup error.
             (Some(dir), capacity) => {
                 let memory = capacity.map_or_else(MemoryStore::new, MemoryStore::with_capacity);
-                runner.with_store(Box::new(TieredStore::new(memory, DiskStore::new(dir)?)))
+                let tiered: Box<dyn TemplateStore> =
+                    Box::new(TieredStore::new(memory, DiskStore::new(dir)?));
+                runner.with_store(faulted(tiered, config.fault_plan.as_ref()))
+            }
+            // A fault plan forces the explicit-store path even without a
+            // cache dir, so storage faults can wrap the memory tier; the
+            // store built here is exactly what `with_cache_capacity`
+            // would have installed.
+            (None, capacity) if config.fault_plan.is_some() => {
+                let memory = capacity.map_or_else(MemoryStore::new, MemoryStore::with_capacity);
+                runner.with_store(faulted(Box::new(memory), config.fault_plan.as_ref()))
             }
             (None, Some(capacity)) => runner.with_cache_capacity(capacity),
             (None, None) => runner,
@@ -239,6 +259,7 @@ impl Server {
             Arc::clone(&store),
             Arc::clone(&runner),
             Arc::clone(&busy),
+            config.fault_plan.clone(),
         );
         let state = Arc::new(ServerState {
             queue: Arc::clone(&queue),
@@ -344,6 +365,15 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Wraps `store` in a [`FaultyStore`] when a chaos plan is configured;
+/// the identity function otherwise.
+fn faulted(store: Box<dyn TemplateStore>, plan: Option<&Arc<FaultPlan>>) -> Box<dyn TemplateStore> {
+    match plan {
+        Some(plan) => Box::new(FaultyStore::new(store, Arc::clone(plan))),
+        None => store,
+    }
+}
+
 /// Decrements the live-connection count even if a handler panics.
 struct ConnectionSlot(Arc<AtomicUsize>);
 
@@ -415,6 +445,18 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>, stop: &Arc<Atom
 /// Framing errors answer with the mapped status (when one applies) and
 /// close; the loop also closes once shutdown has begun.
 fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>, stop: &Arc<AtomicBool>) {
+    if let Some(plan) = &state.config.fault_plan {
+        match plan.roll(FaultSite::Accept) {
+            // Drop the accepted connection before reading a byte — the
+            // client sees a reset/EOF, the transport shape of a shard
+            // dying between `connect` and its first response.
+            Some(FaultKind::Refuse) => return,
+            // Sit on the connection (paused-shard / slow-loris shape):
+            // the client's read blocks until its own timeout fires.
+            Some(FaultKind::Stall(ms)) => thread::sleep(Duration::from_millis(ms)),
+            _ => {}
+        }
+    }
     let _ = stream.set_read_timeout(Some(state.config.read_timeout));
     let Ok(read_half) = stream.try_clone() else {
         return;

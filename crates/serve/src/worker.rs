@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
+use fq_faults::{FaultKind, FaultPlan, FaultSite};
 use frozenqubits::{BatchRunner, FqError};
 
 use crate::queue::JobQueue;
@@ -35,6 +36,7 @@ impl WorkerPool {
         store: Arc<JobStore>,
         runner: Arc<BatchRunner>,
         busy: Arc<AtomicUsize>,
+        fault_plan: Option<Arc<FaultPlan>>,
     ) -> WorkerPool {
         let handles = (0..count)
             .map(|index| {
@@ -42,6 +44,7 @@ impl WorkerPool {
                 let store = Arc::clone(&store);
                 let runner = Arc::clone(&runner);
                 let busy = Arc::clone(&busy);
+                let fault_plan = fault_plan.clone();
                 thread::Builder::new()
                     .name(format!("fq-serve-worker-{index}"))
                     .spawn(move || {
@@ -54,6 +57,22 @@ impl WorkerPool {
                             // and keep draining.
                             let result =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    // Chaos hook: a scheduled panic here
+                                    // takes the same containment path a
+                                    // panicking spec would; a stall
+                                    // holds the busy count high like a
+                                    // genuinely slow job.
+                                    if let Some(plan) = &fault_plan {
+                                        match plan.roll(FaultSite::Worker) {
+                                            Some(FaultKind::Panic) => {
+                                                panic!("injected fault: worker panic")
+                                            }
+                                            Some(FaultKind::Stall(ms)) => {
+                                                thread::sleep(std::time::Duration::from_millis(ms))
+                                            }
+                                            _ => {}
+                                        }
+                                    }
                                     runner
                                         .run(std::slice::from_ref(&job.spec))
                                         .pop()
@@ -126,6 +145,7 @@ mod tests {
             store.clone(),
             runner.clone(),
             busy.clone(),
+            None,
         );
 
         let spec = JobBuilder::new()
@@ -161,5 +181,69 @@ mod tests {
         queue.close();
         pool.join();
         assert_eq!(busy.load(Ordering::SeqCst), 0, "guards must balance");
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_the_worker_keeps_draining() {
+        let queue = Arc::new(JobQueue::new(8));
+        let store = Arc::new(JobStore::new(Duration::from_secs(3600), 4096));
+        let runner = Arc::new(BatchRunner::new().with_threads(1));
+        let busy = Arc::new(AtomicUsize::new(0));
+        // Exactly the first job panics; the second must still execute
+        // on the same (surviving) worker thread.
+        let plan = Arc::new(fq_faults::FaultPlan::new(1).with_rule(
+            FaultSite::Worker,
+            FaultKind::Panic,
+            1,
+            Some(1),
+        ));
+        let pool = WorkerPool::spawn(
+            1,
+            queue.clone(),
+            store.clone(),
+            runner.clone(),
+            busy.clone(),
+            Some(plan),
+        );
+
+        let spec = JobBuilder::new()
+            .barabasi_albert(10, 1, 3)
+            .device(DeviceSpec::IbmMontreal)
+            .frozen()
+            .build()
+            .unwrap();
+        let ids: Vec<JobId> = (0..2)
+            .map(|_| {
+                let id = store.register();
+                queue
+                    .push(QueuedJob {
+                        id,
+                        spec: spec.clone(),
+                    })
+                    .unwrap();
+                id
+            })
+            .collect();
+
+        let first = store.await_done(ids[0], Duration::from_secs(60)).unwrap();
+        let crate::store::JobState::Done(result) = first else {
+            panic!("panicked job must still reach a terminal state");
+        };
+        let error = result.as_ref().as_ref().unwrap_err().to_string();
+        assert!(error.contains("injected fault: worker panic"), "{error}");
+
+        let second = store.await_done(ids[1], Duration::from_secs(60)).unwrap();
+        let crate::store::JobState::Done(result) = second else {
+            panic!("job after the panic should have finished");
+        };
+        assert_eq!(result.as_ref().as_ref().unwrap(), &spec.run().unwrap());
+
+        queue.close();
+        pool.join();
+        assert_eq!(
+            busy.load(Ordering::SeqCst),
+            0,
+            "guards balance across panics"
+        );
     }
 }

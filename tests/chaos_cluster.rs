@@ -1,0 +1,492 @@
+//! The cluster chaos suite: seeded fault storms over a *live* loopback
+//! fleet — three `fq-serve` shards fronted by an `fq-dispatch`
+//! dispatcher — driven by `fq-faults` plans.
+//!
+//! Each storm pins the cluster's core robustness contract:
+//!
+//! * **Bytes are invariant.** Whatever faults fire — refused dials,
+//!   responses truncated after the shard executed, store reads erroring
+//!   or returning corrupt artifacts, dropped store writes — every job
+//!   that eventually succeeds returns bytes identical to a direct
+//!   `BatchRunner` run of the same spec.
+//! * **Every async job reaches a terminal state.** A worker panic mid-
+//!   execution fails the job; nothing sticks in `running`.
+//! * **Retries are bounded by policy** (`rounds × candidates` attempts
+//!   per forward, never more) and shed `503`s always advertise
+//!   `retry-after`.
+//! * **Warm transfer converges once faults stop**: the sentinel still
+//!   moves templates to their rendezvous owners after a storage storm.
+//! * **Storms are deterministic**: two plans parsed from the same text
+//!   agree on the entire injection schedule, so a failing seed can be
+//!   replayed exactly (`FQ_FAULT_PLAN` takes the same text).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fq_dispatch::{ring, DispatchConfig, Dispatcher};
+use fq_faults::{FaultPlan, FaultSite};
+use fq_serve::client::{self, HttpResponse};
+use fq_serve::{Server, ServerConfig};
+use frozenqubits::api::{BatchRunner, DeviceSpec, JobBuilder, JobSpec};
+use serde::json::Value;
+
+/// A frozen job over the fixed problem family `(n, graph_seed)`: the
+/// family determines the compiled-template fingerprint, the seed only
+/// the optimization run — jobs of one family share one template.
+fn frozen(n: usize, graph_seed: u64, seed: u64) -> JobSpec {
+    JobBuilder::new()
+        .barabasi_albert(n, 1, graph_seed)
+        .device(DeviceSpec::IbmMontreal)
+        .num_frozen(1)
+        .seed(seed)
+        .frozen()
+        .build()
+        .unwrap()
+}
+
+/// The first frozen-family graph seed (scanning from `start`) whose
+/// routing fingerprint rendezvous-hashes to `want` among `addrs`.
+fn family_owned_by(addrs: &[String], want: &str, start: u64) -> (u64, String) {
+    (start..start + 96)
+        .find_map(|graph_seed| {
+            let fp = frozen(10, graph_seed, 0).routing_fingerprint().unwrap();
+            (ring::owner(&fp, addrs).map(String::as_str) == Some(want)).then_some((graph_seed, fp))
+        })
+        .expect("96 families always split across three shards")
+}
+
+fn shard(config: ServerConfig) -> (fq_serve::ServerHandle, String) {
+    let handle = Server::spawn(config).unwrap();
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn dispatcher(
+    shards: Vec<String>,
+    tweak: impl FnOnce(&mut DispatchConfig),
+) -> (fq_dispatch::DispatchHandle, String) {
+    let mut config = DispatchConfig {
+        shards,
+        ..DispatchConfig::default()
+    };
+    tweak(&mut config);
+    let handle = Dispatcher::spawn(config).unwrap();
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+/// Reads a `u64` at `path` inside a stats document, `0` when absent.
+fn stat_u64(stats: &Value, path: &[&str]) -> u64 {
+    let mut node = stats;
+    for key in path {
+        match node.field(key) {
+            Ok(next) => node = next,
+            Err(_) => return 0,
+        }
+    }
+    node.as_u64().unwrap_or(0)
+}
+
+fn stats(addr: &str) -> Value {
+    let response = client::request(addr, "GET", "/v1/stats", None).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    Value::parse(&response.body).unwrap()
+}
+
+/// Submits one spec synchronously through the front door, riding out
+/// cluster sheds the way a real client would: bounded retries, and
+/// every `503` must carry the `retry-after` the shard discipline
+/// promises (the sleep is clamped so storms stay fast).
+fn submit_with_retry(addr: &str, spec_json: &str, attempts: usize) -> HttpResponse {
+    for _ in 0..attempts {
+        let response = client::request(addr, "POST", "/v1/jobs", Some(spec_json))
+            .expect("the dispatcher itself is not under attack");
+        if response.status != 503 {
+            return response;
+        }
+        let advertised = response
+            .header("retry-after")
+            .and_then(|v| v.parse::<u64>().ok());
+        assert!(
+            advertised.is_some(),
+            "a shed 503 must advertise retry-after: {}",
+            response.body
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("job never got through after {attempts} attempts");
+}
+
+/// Storm 1 — transport: the dispatcher's every connection pool refuses
+/// roughly one dial in three and truncates one response in six *after*
+/// the shard executed (the hardest transport fault: the retry may
+/// double-execute, which is safe exactly because execution is
+/// deterministic). Every job must still come back byte-identical, and
+/// the reroute count must stay inside the policy bound.
+#[test]
+fn a_transport_storm_never_changes_the_result_bytes() {
+    let (a, addr_a) = shard(ServerConfig::default());
+    let (b, addr_b) = shard(ServerConfig::default());
+    let (c, addr_c) = shard(ServerConfig::default());
+    let addrs = vec![addr_a.clone(), addr_b.clone(), addr_c.clone()];
+
+    // One family per owner so the storm rakes across all three shards.
+    let (seed_a, _) = family_owned_by(&addrs, &addr_a, 0);
+    let (seed_b, _) = family_owned_by(&addrs, &addr_b, 0);
+    let (seed_c, _) = family_owned_by(&addrs, &addr_c, 0);
+    let specs: Vec<JobSpec> = [seed_a, seed_b, seed_c]
+        .iter()
+        .flat_map(|&family| (0..2).map(move |s| frozen(10, family, s)))
+        .collect();
+    let expected: Vec<String> = BatchRunner::new()
+        .run(&specs)
+        .into_iter()
+        .map(|r| {
+            r.expect("the fault-free reference run is all-success")
+                .to_json()
+        })
+        .collect();
+
+    let plan =
+        Arc::new(FaultPlan::parse("seed=1701;dial:refuse:1/3;response:truncate:1/6").unwrap());
+    let rounds = 2usize;
+    let (front, addr) = dispatcher(addrs.clone(), |config| {
+        config.fault_plan = Some(Arc::clone(&plan));
+        config.retry_rounds = rounds;
+        config.retry_backoff = Duration::from_millis(5);
+        config.retry_backoff_cap = Duration::from_millis(50);
+        // The sentinel is parked: recovery in this storm is the
+        // forwarders' own retry/re-route discipline, nothing else.
+        config.sentinel_interval = Duration::from_secs(3600);
+    });
+
+    for (i, spec) in specs.iter().enumerate() {
+        let response = submit_with_retry(&addr, &spec.to_json(), 30);
+        assert_eq!(response.status, 200, "job {i}: {}", response.body);
+        assert_eq!(
+            response.body, expected[i],
+            "job {i}: bytes must survive refused dials and truncated responses"
+        );
+    }
+
+    // The storm was real (the schedule actually fired), and bounded:
+    // each forward makes at most rounds × candidates attempts, so
+    // reroutes per forward can never exceed that minus the first try.
+    assert!(plan.total_fired() >= 1, "the seeded storm never fired");
+    let stats = stats(&addr);
+    let forwarded = stat_u64(&stats, &["forward", "forwarded"]);
+    let shed = stat_u64(&stats, &["forward", "shed"]);
+    let rerouted = stat_u64(&stats, &["forward", "rerouted"]);
+    assert!(
+        forwarded >= specs.len() as u64,
+        "every job eventually forwarded"
+    );
+    let per_forward_cap = (rounds * addrs.len() - 1) as u64;
+    assert!(
+        rerouted <= (forwarded + shed) * per_forward_cap,
+        "rerouted {rerouted} exceeds the policy bound of {per_forward_cap} per forward \
+         ({forwarded} forwarded, {shed} shed)"
+    );
+
+    front.shutdown();
+    c.shutdown();
+    b.shutdown();
+    a.shutdown();
+}
+
+/// Storm 2 — storage: every shard's template store errors reads,
+/// returns corrupt artifacts, and drops its first writes. The store
+/// contract (failed read = miss, corrupt = miss, failed write =
+/// dropped) turns all of it into recompiles — observable in the miss
+/// counters — while result bytes stay identical. Once the fault
+/// budgets exhaust, the sentinel's warm transfer converges templates
+/// onto their rendezvous owners as if nothing happened.
+#[test]
+fn a_storage_storm_recompiles_but_never_corrupts_results() {
+    const PLAN: &str = "seed=404;store_fetch:read_error:1/2:limit=3;\
+                        store_fetch:corrupt:1/3:limit=2;store_insert:write_error:1/1:limit=2";
+    let stormy = || ServerConfig {
+        fault_plan: Some(Arc::new(FaultPlan::parse(PLAN).unwrap())),
+        ..ServerConfig::default()
+    };
+    let (a, addr_a) = shard(stormy());
+    let (b, addr_b) = shard(stormy());
+    let (c, addr_c) = shard(stormy());
+    let addrs = vec![addr_a.clone(), addr_b.clone(), addr_c.clone()];
+
+    let (seed_a, fp_a) = family_owned_by(&addrs, &addr_a, 0);
+    let (seed_b, fp_b) = family_owned_by(&addrs, &addr_b, 0);
+    let (seed_c, fp_c) = family_owned_by(&addrs, &addr_c, 0);
+    let families = [
+        (seed_a, fp_a, addr_a.clone()),
+        (seed_b, fp_b, addr_b.clone()),
+        (seed_c, fp_c, addr_c.clone()),
+    ];
+    let specs: Vec<JobSpec> = families
+        .iter()
+        .flat_map(|&(family, _, _)| (0..2).map(move |s| frozen(10, family, s)))
+        .collect();
+    let expected: Vec<String> = BatchRunner::new()
+        .run(&specs)
+        .into_iter()
+        .map(|r| r.unwrap().to_json())
+        .collect();
+
+    // A fast sentinel: convergence must resume by itself post-storm.
+    let (front, addr) = dispatcher(addrs.clone(), |config| {
+        config.sentinel_interval = Duration::from_millis(50);
+    });
+
+    // The storm: with every first write dropped, the second job of each
+    // family recompiles where a healthy store would have hit — and the
+    // bytes must not care.
+    for (i, spec) in specs.iter().enumerate() {
+        let response = client::request(&addr, "POST", "/v1/jobs", Some(&spec.to_json())).unwrap();
+        assert_eq!(response.status, 200, "job {i}: {}", response.body);
+        assert_eq!(
+            response.body, expected[i],
+            "job {i}: bytes must survive read errors, corrupt artifacts and dropped writes"
+        );
+    }
+    for (_, _, owner) in &families {
+        let misses = stat_u64(&stats(owner), &["cache", "misses"]);
+        assert!(
+            misses >= 2,
+            "{owner}: dropped writes must force a recompile (saw {misses} misses)"
+        );
+    }
+
+    // Post-storm (write budgets exhausted): one more job per family
+    // both re-verifies the bytes and finally persists each template on
+    // its owner.
+    for (i, &(family, ref fp, ref owner)) in families.iter().enumerate() {
+        let response = client::request(
+            &addr,
+            "POST",
+            "/v1/jobs",
+            Some(&frozen(10, family, 0).to_json()),
+        )
+        .unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(response.body, expected[2 * i], "post-storm bytes agree");
+        let resident: Vec<String> = client::template_index(owner)
+            .unwrap()
+            .into_iter()
+            .map(|(fingerprint, _)| fingerprint)
+            .collect();
+        assert!(
+            resident.contains(fp),
+            "{owner}: once write faults stop, the owner's store must persist {fp}"
+        );
+    }
+
+    // Warm transfer still works after the storm: compile a family owned
+    // by shard B *on shard A*, and let the sentinel move it home.
+    let (stray_seed, stray_fp) = family_owned_by(&addrs, &addr_b, seed_b + 1);
+    let direct = client::request(
+        &addr_a,
+        "POST",
+        "/v1/jobs",
+        Some(&frozen(10, stray_seed, 0).to_json()),
+    )
+    .unwrap();
+    assert_eq!(direct.status, 200, "{}", direct.body);
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let resident: Vec<String> = client::template_index(&addr_b)
+            .unwrap()
+            .into_iter()
+            .map(|(fingerprint, _)| fingerprint)
+            .collect();
+        if resident.contains(&stray_fp) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "the sentinel never converged {stray_fp} onto its owner {addr_b} after the storm"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    front.shutdown();
+    c.shutdown();
+    b.shutdown();
+    a.shutdown();
+}
+
+/// Storm 3 — engine and accept-path faults: the first job each shard's
+/// worker executes panics (contained by `catch_unwind`), and some
+/// inbound connections stall briefly. Every async job must reach a
+/// terminal state (`done` or `failed`, never stuck `running`), the
+/// fleet must stay healthy afterwards, and the dispatcher's retention
+/// contract (`410` after TTL) must hold end to end.
+#[test]
+fn a_worker_panic_storm_leaves_every_job_terminal_and_the_fleet_healthy() {
+    const PLAN: &str = "seed=9;worker:panic:1/1:limit=1;accept:stall:1/5:ms=25:limit=4";
+    let plans: Vec<Arc<FaultPlan>> = (0..3)
+        .map(|_| Arc::new(FaultPlan::parse(PLAN).unwrap()))
+        .collect();
+    let stormy = |plan: &Arc<FaultPlan>| ServerConfig {
+        fault_plan: Some(Arc::clone(plan)),
+        ..ServerConfig::default()
+    };
+    let (a, addr_a) = shard(stormy(&plans[0]));
+    let (b, addr_b) = shard(stormy(&plans[1]));
+    let (c, addr_c) = shard(stormy(&plans[2]));
+    let addrs = vec![addr_a.clone(), addr_b.clone(), addr_c.clone()];
+
+    let (seed_a, _) = family_owned_by(&addrs, &addr_a, 0);
+    let (seed_b, _) = family_owned_by(&addrs, &addr_b, 0);
+    let (seed_c, _) = family_owned_by(&addrs, &addr_c, 0);
+    let specs: Vec<JobSpec> = [seed_a, seed_b, seed_c]
+        .iter()
+        .flat_map(|&family| (0..2).map(move |s| frozen(10, family, s)))
+        .collect();
+    let expected: Vec<String> = BatchRunner::new()
+        .run(&specs)
+        .into_iter()
+        .map(|r| r.unwrap().to_json())
+        .collect();
+
+    let (front, addr) = dispatcher(addrs, |config| {
+        config.retry_backoff = Duration::from_millis(5);
+        config.sentinel_interval = Duration::from_secs(3600);
+    });
+
+    // Submit the whole storm asynchronously, then poll everything to a
+    // terminal state: jobs that drew the panic ordinal fail with the
+    // injected message, the rest finish — and nothing wedges.
+    let ids: Vec<_> = specs
+        .iter()
+        .map(|spec| client::submit_async(&addr, spec).unwrap())
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut terminal = vec![None::<String>; ids.len()];
+    while terminal.iter().any(Option::is_none) {
+        assert!(
+            Instant::now() < deadline,
+            "jobs stuck non-terminal: {terminal:?}"
+        );
+        for (slot, &id) in terminal.iter_mut().zip(&ids) {
+            if slot.is_some() {
+                continue;
+            }
+            let (status, _) = client::poll(&addr, id).unwrap();
+            match status.as_str() {
+                "done" | "failed" => *slot = Some(status),
+                _ => {}
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Exactly one job per shard drew the first-visit panic; its poll
+    // envelope carries the contained panic as the job's error.
+    let failed: Vec<usize> = terminal
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| (s.as_deref() == Some("failed")).then_some(i))
+        .collect();
+    assert_eq!(
+        failed.len(),
+        3,
+        "one injected panic per shard must fail exactly one job each: {terminal:?}"
+    );
+    for &i in &failed {
+        let response =
+            client::request(&addr, "GET", &format!("/v1/jobs/{}", ids[i]), None).unwrap();
+        assert!(
+            response.body.contains("injected fault: worker panic"),
+            "job {i} failed for an unexpected reason: {}",
+            response.body
+        );
+    }
+    for plan in &plans {
+        let panics: u64 = plan
+            .fired()
+            .iter()
+            .filter(|(rule, _)| rule.site == FaultSite::Worker)
+            .map(|&(_, count)| count)
+            .sum();
+        assert_eq!(panics, 1, "each shard's panic budget fired exactly once");
+    }
+
+    // Containment: every shard is alive, no worker is stuck busy, and a
+    // fresh run of each family comes back byte-identical — the panicked
+    // worker kept draining.
+    for shard_addr in [&addr_a, &addr_b, &addr_c] {
+        let healthz = client::request(shard_addr, "GET", "/v1/healthz", None).unwrap();
+        assert_eq!(healthz.status, 200, "{shard_addr} must stay alive");
+        assert_eq!(
+            stat_u64(&stats(shard_addr), &["workers", "busy"]),
+            0,
+            "{shard_addr}: busy counters must balance across panics"
+        );
+    }
+    for (i, spec) in specs.iter().enumerate() {
+        let response = client::request(&addr, "POST", "/v1/jobs", Some(&spec.to_json())).unwrap();
+        assert_eq!(response.status, 200, "rerun {i}: {}", response.body);
+        assert_eq!(
+            response.body, expected[i],
+            "rerun {i}: bytes after the storm"
+        );
+    }
+    front.shutdown();
+
+    // Retention end to end: a dispatcher with a tiny TTL answers `410
+    // Gone` — not `404`, not the stale result — once a finished job
+    // ages out. This is the cluster-level half of the registry's
+    // poll-after-expiry contract.
+    let (front, addr) = dispatcher(vec![addr_a.clone()], |config| {
+        config.job_ttl = Duration::from_millis(100);
+        config.sentinel_interval = Duration::from_secs(3600);
+    });
+    let response = client::request(&addr, "POST", "/v1/jobs", Some(&specs[0].to_json())).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+    let id = response.header("fq-job-id").unwrap().to_string();
+    std::thread::sleep(Duration::from_millis(250));
+    let gone = client::request(&addr, "GET", &format!("/v1/jobs/{id}"), None).unwrap();
+    assert_eq!(
+        gone.status, 410,
+        "expired outcome must answer Gone: {}",
+        gone.body
+    );
+    assert!(gone.body.contains("expired"), "{}", gone.body);
+
+    front.shutdown();
+    c.shutdown();
+    b.shutdown();
+    a.shutdown();
+}
+
+/// Storms replay: two plans parsed from the same text agree on the
+/// entire injection schedule at every site, and changing the seed
+/// changes the storm. This is what makes a chaos failure a bug report
+/// instead of a shrug — re-running with the printed plan text re-runs
+/// the exact same fault sequence.
+#[test]
+fn the_same_seed_produces_the_same_storm() {
+    for text in [
+        "seed=1701;dial:refuse:1/3;response:truncate:1/6",
+        "seed=404;store_fetch:read_error:1/2:limit=3;store_fetch:corrupt:1/3:limit=2;\
+         store_insert:write_error:1/1:limit=2",
+        "seed=9;worker:panic:1/1:limit=1;accept:stall:1/5:ms=25:limit=4",
+    ] {
+        let first = FaultPlan::parse(text).unwrap();
+        let second = FaultPlan::parse(text).unwrap();
+        for site in FaultSite::ALL {
+            assert_eq!(
+                first.preview(site, 256),
+                second.preview(site, 256),
+                "plans parsed from `{text}` must agree at {site:?}"
+            );
+        }
+    }
+    let a = FaultPlan::parse("seed=1;dial:refuse:1/3").unwrap();
+    let b = FaultPlan::parse("seed=2;dial:refuse:1/3").unwrap();
+    assert_ne!(
+        a.preview(FaultSite::Dial, 256),
+        b.preview(FaultSite::Dial, 256),
+        "a different seed must be a different storm"
+    );
+}
