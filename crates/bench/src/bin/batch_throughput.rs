@@ -28,7 +28,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use fq_bench::harness::fmt_time;
-use frozenqubits::api::{BatchRunner, DeviceSpec, JobBuilder, JobSpec};
+use frozenqubits::api::{BatchRunner, JobSpec};
 use frozenqubits::{auto_threads, FqError, JobResult};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -38,35 +38,20 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// A mixed batch over three fixed problem families: most jobs are small
-/// multi-branch sweep members (the service workload the engine targets),
-/// a slice are full compare reports.
+/// A mixed batch cycling the job-family templates of the
+/// `bench-batch` scenario suite (`suites/bench-batch.json`, the single
+/// source of these families) with per-job pipeline seeds: most jobs
+/// are small multi-branch sweep members (the service workload the
+/// engine targets), a slice are full compare reports.
 fn batch(jobs: usize) -> Vec<JobSpec> {
-    let family = |n: usize, m: usize, seed: u64| -> JobSpec {
-        JobBuilder::new()
-            .barabasi_albert(n, 1, 4)
-            .device(DeviceSpec::IbmMontreal)
-            .num_frozen(m)
-            .seed(seed)
-            .frozen()
-            .build()
-            .expect("valid bench spec")
-    };
+    let suite = fq_suite::Suite::load(&fq_suite::corpus_dir(), "bench-batch")
+        .expect("bench-batch suite in the corpus");
+    let families = &suite.scenarios;
     (0..jobs)
         .map(|i| {
-            let seed = i as u64;
-            match i % 4 {
-                0 => family(20, 3, seed),
-                1 => family(24, 3, seed),
-                2 => family(20, 2, seed),
-                _ => JobBuilder::new()
-                    .barabasi_albert(16, 1, 4)
-                    .device(DeviceSpec::IbmMontreal)
-                    .seed(seed)
-                    .compare()
-                    .build()
-                    .expect("valid bench spec"),
-            }
+            let mut scenario = families[i % families.len()].clone();
+            scenario.seed = i as u64;
+            scenario.to_spec().expect("valid bench spec")
         })
         .collect()
 }

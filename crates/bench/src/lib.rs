@@ -17,7 +17,6 @@ use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use fq_graphs::{gen, to_ising_pm1};
 use fq_ising::IsingModel;
 
 /// The benchmark sizes of the small-scale ARG figures (Figs. 7, 8, 10, 11).
@@ -55,33 +54,33 @@ pub fn write_csv(name: &str, header: &str, rows: &[Vec<String>]) {
 }
 
 /// A Barabási–Albert benchmark instance of §4.1: `d_BA`-preferential
-/// attachment, ±1 edge weights, zero node weights.
+/// attachment, ±1 edge weights, zero node weights. Delegates to
+/// [`fq_suite::models`], the workspace's single source of model
+/// construction.
 ///
 /// # Panics
 ///
 /// Panics for infeasible `(n, d)` (not used by the harness).
 #[must_use]
 pub fn ba_instance(n: usize, d: usize, seed: u64) -> IsingModel {
-    to_ising_pm1(
-        &gen::barabasi_albert(n, d, seed).expect("valid BA parameters"),
-        seed,
-    )
+    fq_suite::models::ba_pm1(n, d, seed).expect("valid BA parameters")
 }
 
-/// A random 3-regular benchmark instance.
+/// A random 3-regular benchmark instance, via [`fq_suite::models`].
 ///
 /// # Panics
 ///
 /// Panics for infeasible sizes (odd `3n`).
 #[must_use]
 pub fn regular3_instance(n: usize, seed: u64) -> IsingModel {
-    to_ising_pm1(&gen::random_regular(n, 3, seed).expect("valid size"), seed)
+    fq_suite::models::regular_pm1(n, 3, seed).expect("valid size")
 }
 
-/// A fully-connected SK-model benchmark instance.
+/// A fully-connected SK-model benchmark instance, via
+/// [`fq_suite::models`].
 #[must_use]
 pub fn sk_instance(n: usize, seed: u64) -> IsingModel {
-    to_ising_pm1(&gen::complete(n), seed)
+    fq_suite::models::dense_pm1(n, seed).expect("valid size")
 }
 
 /// Geometric mean over per-instance values (the paper's aggregate).

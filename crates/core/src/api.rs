@@ -391,6 +391,21 @@ impl JobSpec {
         self.to_job()?.unit_fingerprints()
     }
 
+    /// A stable 16-hex-digit fingerprint of this spec's canonical wire
+    /// form — the identity a scenario corpus (or any result archive)
+    /// keys on. Two specs fingerprint equally iff their
+    /// [`JobSpec::to_json`] bytes are equal, and the hash is FNV-1a, so
+    /// the value is reproducible across processes, machines and Rust
+    /// versions (unlike `DefaultHasher`). Distinct from
+    /// [`JobSpec::routing_fingerprint`]: that names the compiled
+    /// *template* many specs may share; this names the *spec* itself.
+    #[must_use]
+    pub fn spec_fingerprint(&self) -> String {
+        let mut h = crate::store::Fnv64::new();
+        h.write(self.to_json().as_bytes());
+        format!("{:016x}", h.finish())
+    }
+
     /// The fingerprint a cluster dispatcher should route this spec by:
     /// the last (most expensive) execution unit's template fingerprint —
     /// the frozen-side template for frozen/compare/sample jobs, the
@@ -1094,6 +1109,34 @@ mod tests {
             smuggled.routing_fingerprint(),
             Err(FqError::TooManyFrozen { .. })
         ));
+    }
+
+    #[test]
+    fn spec_fingerprints_are_stable_and_follow_the_wire_form() {
+        let base = || {
+            JobBuilder::new()
+                .barabasi_albert(10, 1, 4)
+                .device(DeviceSpec::IbmMontreal)
+                .frozen()
+        };
+        let spec = base().build().unwrap();
+        assert_eq!(spec.spec_fingerprint(), spec.spec_fingerprint());
+        assert!(
+            crate::is_template_fingerprint(&spec.spec_fingerprint()),
+            "16 lower-hex digits, same shape as template fingerprints"
+        );
+        // Equal wire bytes ⇒ equal fingerprints; any wire-visible field
+        // change ⇒ a different fingerprint.
+        let same = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(same.spec_fingerprint(), spec.spec_fingerprint());
+        let other_seed = base().seed(1).build().unwrap();
+        assert_ne!(other_seed.spec_fingerprint(), spec.spec_fingerprint());
+        // The algorithm is pinned (FNV-1a over the canonical JSON), so
+        // the value itself is part of the corpus contract: a silent
+        // hasher change would orphan every recorded suite result.
+        let mut h = crate::store::Fnv64::new();
+        h.write(spec.to_json().as_bytes());
+        assert_eq!(spec.spec_fingerprint(), format!("{:016x}", h.finish()));
     }
 
     #[test]

@@ -57,20 +57,21 @@ const ARTIFACT_SUFFIX: &str = ".fqt.json";
 // --------------------------------------------------------------------
 
 /// A stable 64-bit FNV-1a hasher. Template fingerprints name files on
-/// disk and artifacts on the wire, so they must not depend on
+/// disk and artifacts on the wire (and scenario-suite fingerprints name
+/// corpus entries across runs), so they must not depend on
 /// `DefaultHasher`'s unstable algorithm.
 #[derive(Clone, Copy, Debug)]
-struct Fnv64(u64);
+pub(crate) struct Fnv64(u64);
 
 impl Fnv64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
 
-    fn new() -> Fnv64 {
+    pub(crate) fn new() -> Fnv64 {
         Fnv64(Self::OFFSET)
     }
 
-    fn write(&mut self, bytes: &[u8]) {
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(Self::PRIME);
@@ -89,7 +90,7 @@ impl Fnv64 {
         self.write_u64(x.to_bits());
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }

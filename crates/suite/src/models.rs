@@ -1,0 +1,230 @@
+//! The single source of benchmark-model construction.
+//!
+//! Every problem family the workspace exercises — the paper's
+//! Barabási–Albert instances, random-regular graphs, the power-law
+//! airport network with its Max-Cut slice, the portfolio QUBO, and the
+//! adversarial shapes — is built **here**, and only here. The scenario
+//! corpus ([`crate::scenario`]), the `fq-bench` binaries and the
+//! workspace examples all call these constructors, so "the model fig 17
+//! compiles" and "the model scenario `ba-n16-d1` runs" can never drift
+//! apart. Equality between these functions and the legacy ad-hoc
+//! constructions they replaced is pinned in
+//! `crates/suite/tests/model_migration.rs`.
+//!
+//! Everything is a pure function of its arguments (all randomness flows
+//! through seeded [`StdRng`]s), which is what lets a corpus entry
+//! fingerprint identically across processes and machines.
+
+use fq_graphs::airports::synthetic_airport_network;
+use fq_graphs::{gen, to_ising_pm1, Graph};
+use fq_ising::maxcut::maxcut_to_ising;
+use fq_ising::{IsingModel, Qubo};
+use frozenqubits::FqError;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A weighted edge list `(a, b, w)` — the Max-Cut constructors return
+/// one alongside the Ising model for cut-value accounting.
+pub type WeightedEdges = Vec<(usize, usize, f64)>;
+
+/// A Barabási–Albert instance of §4.1: `d`-preferential attachment,
+/// ±1 edge weights drawn from `seed`, zero node weights.
+///
+/// # Errors
+///
+/// Propagates graph-generation errors for infeasible `(n, d)`.
+pub fn ba_pm1(n: usize, d: usize, seed: u64) -> Result<IsingModel, FqError> {
+    Ok(to_ising_pm1(&gen::barabasi_albert(n, d, seed)?, seed))
+}
+
+/// A random `degree`-regular instance with ±1 edge weights.
+///
+/// # Errors
+///
+/// Propagates graph-generation errors for infeasible sizes (odd
+/// `n·degree`).
+pub fn regular_pm1(n: usize, degree: usize, seed: u64) -> Result<IsingModel, FqError> {
+    Ok(to_ising_pm1(&gen::random_regular(n, degree, seed)?, seed))
+}
+
+/// The synthetic power-law airport network of Fig. 1(b).
+///
+/// # Errors
+///
+/// Propagates graph-generation errors for infeasible parameters.
+pub fn airport_network(n: usize, mean_degree: f64, seed: u64) -> Result<Graph, FqError> {
+    Ok(synthetic_airport_network(n, mean_degree, seed)?)
+}
+
+/// Restricts a graph to its `k` best-connected nodes (a regional slice
+/// of a network small enough for today's devices), renumbering nodes by
+/// descending degree.
+#[must_use]
+pub fn busiest_subnetwork(g: &Graph, k: usize) -> Graph {
+    let keep: Vec<usize> = g.nodes_by_degree().into_iter().take(k).collect();
+    let mut index = vec![usize::MAX; g.num_nodes()];
+    for (new, &old) in keep.iter().enumerate() {
+        index[old] = new;
+    }
+    let mut sub = Graph::new(k);
+    for &(a, b) in g.edges() {
+        if index[a] != usize::MAX && index[b] != usize::MAX {
+            sub.add_edge(index[a], index[b]).expect("simple subgraph");
+        }
+    }
+    sub
+}
+
+/// Max-Cut on the `slice` busiest airports of an
+/// [`airport_network`]`(airports, mean_degree, seed)`: the motivating
+/// workload of Fig. 1(b). Returns the Ising model plus the unit-weight
+/// edge list (for cut-value accounting).
+///
+/// # Errors
+///
+/// Propagates graph-generation and model-construction errors.
+pub fn airport_maxcut(
+    airports: usize,
+    mean_degree: f64,
+    seed: u64,
+    slice: usize,
+) -> Result<(IsingModel, WeightedEdges), FqError> {
+    let network = airport_network(airports, mean_degree, seed)?;
+    let sub = busiest_subnetwork(&network, slice);
+    let edges: WeightedEdges = sub.edges().iter().map(|&(a, b)| (a, b, 1.0)).collect();
+    let model = maxcut_to_ising(slice, &edges)?;
+    Ok((model, edges))
+}
+
+/// The portfolio-optimization QUBO of Table 1's finance row: pick
+/// `budget` of `n` assets maximizing return and minimizing correlated
+/// risk, with a quadratic budget penalty of strength `lambda`. Asset 0
+/// is the market factor (correlated with everything), so the
+/// correlation structure is power-law-ish. The budget penalty yields
+/// non-zero linear terms — the pipeline's no-symmetry path, where all
+/// `2^m` sub-problems execute.
+///
+/// # Errors
+///
+/// Propagates model-construction errors (none for feasible `n`).
+pub fn portfolio_qubo(n: usize, budget: usize, lambda: f64, seed: u64) -> Result<Qubo, FqError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let returns: Vec<f64> = (0..n).map(|_| rng.random_range(0.02..0.12)).collect();
+    let mut qubo = Qubo::new(n);
+    // Objective: minimize −return + risk + λ(Σx − k)².
+    for (i, &ri) in returns.iter().enumerate() {
+        // −r_i x_i  +  λ(x_i − 2k·x_i)  (from expanding the penalty)
+        qubo.set(i, i, -ri + lambda * (1.0 - 2.0 * budget as f64))?;
+        for j in (i + 1)..n {
+            // Correlated risk: asset 0 is the market factor.
+            let sigma = if i == 0 {
+                0.08
+            } else {
+                rng.random_range(0.005..0.03)
+            };
+            // Penalty cross terms: 2λ x_i x_j.
+            qubo.set(i, j, sigma + 2.0 * lambda)?;
+        }
+    }
+    qubo.set_offset(lambda * (budget as f64).powi(2));
+    Ok(qubo)
+}
+
+/// A fully-connected ±1 instance — the router's worst case (every
+/// logical pair interacts, SWAP count explodes) and a dense-coupling
+/// stressor for the analytic path.
+///
+/// # Errors
+///
+/// Propagates graph-generation errors (none for `n ≥ 1`).
+pub fn dense_pm1(n: usize, seed: u64) -> Result<IsingModel, FqError> {
+    Ok(to_ising_pm1(&gen::complete(n), seed))
+}
+
+/// A unit-weight ring: every coupling identical, so the spectrum is
+/// maximally degenerate (rotations and reflections of any ground state
+/// are ground states) — adversarial for tie-breaking and for the
+/// equal-energy determinism contract.
+#[must_use]
+pub fn degenerate_ring(n: usize) -> IsingModel {
+    fq_graphs::to_ising_unit(&gen::cycle(n))
+}
+
+/// A Barabási–Albert instance with every third coupling's weight set to
+/// exactly `0.0` — which the model drops, leaving zero-weight gaps:
+/// disconnected fragments and isolated nodes that exercise the
+/// empty-lightcone and isolated-spin paths end to end.
+///
+/// # Errors
+///
+/// Propagates graph-generation errors for infeasible `(n, d)`.
+pub fn zero_weight_gaps(n: usize, seed: u64) -> Result<IsingModel, FqError> {
+    let mut model = ba_pm1(n, 1, seed)?;
+    let victims: Vec<(usize, usize)> = model
+        .couplings()
+        .enumerate()
+        .filter(|(k, _)| k % 3 == 0)
+        .map(|(_, ((i, j), _))| (i, j))
+        .collect();
+    for (i, j) in victims {
+        model
+            .set_coupling(i, j, 0.0)
+            .expect("existing edge indices are in range");
+    }
+    Ok(model)
+}
+
+/// A model with **no** couplings and no linear terms — only a constant
+/// offset. The degenerate end of the problem space: every state is
+/// optimal, the circuit has no entangling layer, and every branch's
+/// expectation is the offset itself.
+#[must_use]
+pub fn offset_only(n: usize, offset: f64) -> IsingModel {
+    let mut model = IsingModel::new(n);
+    model.set_offset(offset);
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_are_deterministic() {
+        assert_eq!(ba_pm1(16, 1, 7).unwrap(), ba_pm1(16, 1, 7).unwrap());
+        assert_eq!(
+            regular_pm1(12, 3, 3).unwrap(),
+            regular_pm1(12, 3, 3).unwrap()
+        );
+        assert_eq!(
+            portfolio_qubo(10, 4, 0.35, 11).unwrap().to_ising(),
+            portfolio_qubo(10, 4, 0.35, 11).unwrap().to_ising()
+        );
+        let (a, ea) = airport_maxcut(120, 8.0, 7, 12).unwrap();
+        let (b, eb) = airport_maxcut(120, 8.0, 7, 12).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn adversarial_shapes_have_their_advertised_structure() {
+        let dense = dense_pm1(8, 1).unwrap();
+        assert_eq!(dense.num_couplings(), 8 * 7 / 2, "complete graph");
+
+        let ring = degenerate_ring(10);
+        assert_eq!(ring.num_couplings(), 10);
+        assert!(ring.couplings().all(|(_, j)| j == 1.0), "fully degenerate");
+
+        let gaps = zero_weight_gaps(14, 2).unwrap();
+        let full = ba_pm1(14, 1, 2).unwrap();
+        assert!(
+            gaps.num_couplings() < full.num_couplings(),
+            "zeroed couplings are dropped, leaving gaps"
+        );
+
+        let flat = offset_only(6, 2.5);
+        assert_eq!(flat.num_couplings(), 0);
+        assert_eq!(flat.offset(), 2.5);
+        assert!(flat.has_zero_linear_terms());
+    }
+}

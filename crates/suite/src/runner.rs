@@ -1,0 +1,501 @@
+//! Executes a suite and records the results.
+//!
+//! A [`SuiteRun`] is split into two sections with different contracts:
+//!
+//! - **`scenarios`** — deterministic. Per scenario: identity
+//!   (fingerprints), the canonical result bytes, and quality metrics
+//!   derived from them. Two runs of the same corpus — in the same
+//!   process, across processes, or against a live shard — must produce
+//!   byte-identical scenario sections; `combine` enforces this and the
+//!   suite tests pin it.
+//! - **`timing`** — volatile. Wall-clock per scenario, totals, and
+//!   cache/compile counters, one entry per contributing run. Never
+//!   compared byte-for-byte; the CI gate only schema-checks it.
+
+use std::time::Instant;
+
+use fq_serve::client;
+use frozenqubits::api::{BatchRunner, JobResult, JobSpec};
+use frozenqubits::FqError;
+use serde::json::Value;
+
+use crate::scenario::Suite;
+
+/// Where a run executes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunMode {
+    /// Through a shared [`BatchRunner`] in this process.
+    InProcess,
+    /// Against a live shard or dispatcher at `addr`, via the existing
+    /// HTTP client (`POST /v1/jobs`, sync).
+    Live(String),
+}
+
+impl RunMode {
+    /// The wire tag recorded in the timing section.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            RunMode::InProcess => "in-process",
+            RunMode::Live(_) => "live",
+        }
+    }
+}
+
+/// Deterministic per-scenario record: identity, result bytes, quality.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioRecord {
+    /// The scenario id.
+    pub id: String,
+    /// Problem-family tag.
+    pub family: String,
+    /// Problem width.
+    pub num_vars: usize,
+    /// [`JobSpec::spec_fingerprint`] — the identity results are keyed
+    /// and cross-checked on.
+    pub fingerprint: String,
+    /// [`JobSpec::routing_fingerprint`] — the template-affinity key a
+    /// dispatcher would route this scenario by.
+    pub routing: String,
+    /// Job kind tag.
+    pub kind: String,
+    /// Whether execution succeeded.
+    pub ok: bool,
+    /// Canonical [`JobResult`] wire bytes on success; the error
+    /// rendering on failure. Byte-compared by `combine`.
+    pub result: String,
+    /// Quality metrics extracted from the result (deterministic).
+    pub quality: Vec<(String, Value)>,
+}
+
+/// Cache/compile counters observed over one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Template-cache hits.
+    pub cache_hits: u64,
+    /// Template-cache misses (= compiles triggered).
+    pub cache_misses: u64,
+    /// Templates compiled by this runner (in-process mode only).
+    pub templates_compiled: u64,
+}
+
+/// Volatile per-run timing: wall clock and counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunTiming {
+    /// Operator-chosen label (defaults to the mode name).
+    pub label: String,
+    /// [`RunMode::name`] of the producing run.
+    pub mode: String,
+    /// End-to-end wall clock in milliseconds.
+    pub total_millis: f64,
+    /// Cache/compile counters (diffed over the run in live mode).
+    pub counters: Counters,
+    /// `(scenario id, millis)` per executed scenario.
+    pub scenario_millis: Vec<(String, f64)>,
+}
+
+/// One suite execution (or several, after `combine`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SuiteRun {
+    /// The suite name.
+    pub suite: String,
+    /// Deterministic scenario records, in corpus order.
+    pub records: Vec<ScenarioRecord>,
+    /// Volatile timing entries, one per contributing run.
+    pub timing: Vec<RunTiming>,
+}
+
+/// Runs the selected scenarios of `suite` in `mode`.
+///
+/// Scenarios that fail to build or execute are recorded with
+/// `ok: false` and the error text as the result — the run itself only
+/// errors on transport-level problems it cannot attribute to a single
+/// scenario (e.g. an unreachable live address surfaces per scenario).
+///
+/// # Errors
+///
+/// Currently only I/O errors from counter collection in live mode.
+pub fn run_suite(
+    suite: &Suite,
+    mode: &RunMode,
+    smoke_only: bool,
+    label: &str,
+) -> Result<SuiteRun, FqError> {
+    let selected = suite.selected(smoke_only);
+    let runner = BatchRunner::new();
+    let live_before = match mode {
+        RunMode::Live(addr) => Some(live_counters(addr)?),
+        RunMode::InProcess => None,
+    };
+
+    let started = Instant::now();
+    let mut records = Vec::with_capacity(selected.len());
+    let mut scenario_millis = Vec::with_capacity(selected.len());
+    for scenario in &selected {
+        let clock = Instant::now();
+        let record = match scenario.to_spec() {
+            Ok(spec) => {
+                let outcome = match mode {
+                    RunMode::InProcess => runner
+                        .run(std::slice::from_ref(&spec))
+                        .pop()
+                        .expect("one spec in, one result out"),
+                    RunMode::Live(addr) => client::submit_sync(addr, &spec),
+                };
+                record_for(
+                    scenario.id.clone(),
+                    scenario.problem.family().to_string(),
+                    &spec,
+                    outcome,
+                )
+            }
+            Err(e) => ScenarioRecord {
+                id: scenario.id.clone(),
+                family: scenario.problem.family().to_string(),
+                num_vars: 0,
+                fingerprint: String::new(),
+                routing: String::new(),
+                kind: String::new(),
+                ok: false,
+                result: e.to_string(),
+                quality: Vec::new(),
+            },
+        };
+        scenario_millis.push((scenario.id.clone(), millis(clock)));
+        records.push(record);
+    }
+
+    let counters = match (mode, live_before) {
+        (RunMode::Live(addr), Some(before)) => {
+            let after = live_counters(addr)?;
+            Counters {
+                cache_hits: after.cache_hits.saturating_sub(before.cache_hits),
+                cache_misses: after.cache_misses.saturating_sub(before.cache_misses),
+                templates_compiled: 0,
+            }
+        }
+        _ => {
+            let stats = runner.cache_stats();
+            Counters {
+                cache_hits: stats.hits,
+                cache_misses: stats.misses,
+                templates_compiled: runner.templates_compiled() as u64,
+            }
+        }
+    };
+
+    Ok(SuiteRun {
+        suite: suite.name.clone(),
+        records,
+        timing: vec![RunTiming {
+            label: label.to_string(),
+            mode: mode.name().to_string(),
+            total_millis: millis(started),
+            counters,
+            scenario_millis,
+        }],
+    })
+}
+
+fn millis(since: Instant) -> f64 {
+    since.elapsed().as_secs_f64() * 1e3
+}
+
+/// Reads the shard's cumulative cache counters from `/v1/stats`.
+fn live_counters(addr: &str) -> Result<Counters, FqError> {
+    let response = client::request(addr, "GET", "/v1/stats", None)?;
+    let stats = response.json()?;
+    let cache = stats.field("cache")?;
+    Ok(Counters {
+        cache_hits: cache.field("hits")?.as_u64()?,
+        cache_misses: cache.field("misses")?.as_u64()?,
+        templates_compiled: 0,
+    })
+}
+
+fn record_for(
+    id: String,
+    family: String,
+    spec: &JobSpec,
+    outcome: Result<JobResult, FqError>,
+) -> ScenarioRecord {
+    let (ok, result, quality) = match outcome {
+        Ok(result) => (true, result.to_json(), quality_of(&result)),
+        Err(e) => (false, e.to_string(), Vec::new()),
+    };
+    ScenarioRecord {
+        id,
+        family,
+        num_vars: spec.problem.num_vars(),
+        fingerprint: spec.spec_fingerprint(),
+        routing: spec.routing_fingerprint().unwrap_or_default(),
+        kind: kind_of(spec),
+        ok,
+        result,
+        quality,
+    }
+}
+
+fn kind_of(spec: &JobSpec) -> String {
+    match spec.kind {
+        frozenqubits::api::JobKind::Baseline => "baseline".to_string(),
+        frozenqubits::api::JobKind::Frozen => "frozen".to_string(),
+        frozenqubits::api::JobKind::Compare => "compare".to_string(),
+        frozenqubits::api::JobKind::Sample { .. } => "sample".to_string(),
+        _ => "unknown".to_string(),
+    }
+}
+
+/// The headline quality numbers per result kind. All values derive
+/// from the canonical result bytes, so they inherit determinism.
+fn quality_of(result: &JobResult) -> Vec<(String, Value)> {
+    match result {
+        JobResult::Baseline(s) => vec![
+            ("arg".to_string(), Value::Number(s.arg)),
+            ("ev_ideal".to_string(), Value::Number(s.ev_ideal)),
+            ("ev_noisy".to_string(), Value::Number(s.ev_noisy)),
+            ("circuits".to_string(), Value::UInt(s.circuits_executed)),
+        ],
+        JobResult::Frozen {
+            summary,
+            frozen_qubits,
+        } => vec![
+            ("arg".to_string(), Value::Number(summary.arg)),
+            ("ev_ideal".to_string(), Value::Number(summary.ev_ideal)),
+            ("ev_noisy".to_string(), Value::Number(summary.ev_noisy)),
+            (
+                "circuits".to_string(),
+                Value::UInt(summary.circuits_executed),
+            ),
+            (
+                "frozen".to_string(),
+                Value::UInt(frozen_qubits.len() as u64),
+            ),
+        ],
+        JobResult::Compare(report) => vec![
+            ("improvement".to_string(), Value::Number(report.improvement)),
+            (
+                "baseline_arg".to_string(),
+                Value::Number(report.baseline.arg),
+            ),
+            ("frozen_arg".to_string(), Value::Number(report.frozen.arg)),
+        ],
+        JobResult::Sample(outcome) => vec![
+            ("energy".to_string(), Value::Number(outcome.energy)),
+            (
+                "frozen".to_string(),
+                Value::UInt(outcome.frozen_qubits.len() as u64),
+            ),
+        ],
+        _ => Vec::new(),
+    }
+}
+
+impl ScenarioRecord {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("id", Value::string(self.id.clone())),
+            ("family", Value::string(self.family.clone())),
+            ("num_vars", Value::UInt(self.num_vars as u64)),
+            ("fingerprint", Value::string(self.fingerprint.clone())),
+            ("routing", Value::string(self.routing.clone())),
+            ("kind", Value::string(self.kind.clone())),
+            ("ok", Value::Bool(self.ok)),
+            (
+                "quality",
+                Value::Object(
+                    self.quality
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect(),
+                ),
+            ),
+            ("result", Value::string(self.result.clone())),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<ScenarioRecord, FqError> {
+        let quality = match value.field("quality")? {
+            Value::Object(pairs) => pairs.clone(),
+            _ => return Err(FqError::Serde("quality must be an object".to_string())),
+        };
+        Ok(ScenarioRecord {
+            id: value.field("id")?.as_str()?.to_string(),
+            family: value.field("family")?.as_str()?.to_string(),
+            num_vars: value.field("num_vars")?.as_usize()?,
+            fingerprint: value.field("fingerprint")?.as_str()?.to_string(),
+            routing: value.field("routing")?.as_str()?.to_string(),
+            kind: value.field("kind")?.as_str()?.to_string(),
+            ok: value.field("ok")?.as_bool()?,
+            quality,
+            result: value.field("result")?.as_str()?.to_string(),
+        })
+    }
+}
+
+impl RunTiming {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("label", Value::string(self.label.clone())),
+            ("mode", Value::string(self.mode.clone())),
+            ("total_millis", Value::Number(self.total_millis)),
+            (
+                "counters",
+                Value::object(vec![
+                    ("cache_hits", Value::UInt(self.counters.cache_hits)),
+                    ("cache_misses", Value::UInt(self.counters.cache_misses)),
+                    (
+                        "templates_compiled",
+                        Value::UInt(self.counters.templates_compiled),
+                    ),
+                ]),
+            ),
+            (
+                "scenarios",
+                Value::Array(
+                    self.scenario_millis
+                        .iter()
+                        .map(|(id, ms)| {
+                            Value::Array(vec![Value::string(id.clone()), Value::Number(*ms)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<RunTiming, FqError> {
+        let counters = value.field("counters")?;
+        let mut scenario_millis = Vec::new();
+        for entry in value.field("scenarios")?.as_array()? {
+            let pair = entry.as_array()?;
+            if pair.len() != 2 {
+                return Err(FqError::Serde("timing entry must be [id, ms]".to_string()));
+            }
+            scenario_millis.push((pair[0].as_str()?.to_string(), pair[1].as_f64()?));
+        }
+        Ok(RunTiming {
+            label: value.field("label")?.as_str()?.to_string(),
+            mode: value.field("mode")?.as_str()?.to_string(),
+            total_millis: value.field("total_millis")?.as_f64()?,
+            counters: Counters {
+                cache_hits: counters.field("cache_hits")?.as_u64()?,
+                cache_misses: counters.field("cache_misses")?.as_u64()?,
+                templates_compiled: counters.field("templates_compiled")?.as_u64()?,
+            },
+            scenario_millis,
+        })
+    }
+}
+
+impl SuiteRun {
+    /// Canonical JSON wire form (`v: 1`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        Value::object(vec![
+            ("v", Value::UInt(1)),
+            ("suite", Value::string(self.suite.clone())),
+            (
+                "scenarios",
+                Value::Array(self.records.iter().map(ScenarioRecord::to_value).collect()),
+            ),
+            (
+                "timing",
+                Value::object(vec![(
+                    "runs",
+                    Value::Array(self.timing.iter().map(RunTiming::to_value).collect()),
+                )]),
+            ),
+        ])
+        .to_json()
+    }
+
+    /// Parses the wire form back.
+    ///
+    /// # Errors
+    ///
+    /// [`FqError::Serde`] on version or schema mismatches.
+    pub fn from_json(text: &str) -> Result<SuiteRun, FqError> {
+        let value = Value::parse(text)?;
+        let version = value.field("v")?.as_u64()?;
+        if version != 1 {
+            return Err(FqError::Serde(format!(
+                "unsupported run-file version {version}"
+            )));
+        }
+        let mut records = Vec::new();
+        for entry in value.field("scenarios")?.as_array()? {
+            records.push(ScenarioRecord::from_value(entry)?);
+        }
+        let mut timing = Vec::new();
+        for entry in value.field("timing")?.field("runs")?.as_array()? {
+            timing.push(RunTiming::from_value(entry)?);
+        }
+        Ok(SuiteRun {
+            suite: value.field("suite")?.as_str()?.to_string(),
+            records,
+            timing,
+        })
+    }
+
+    /// The deterministic section alone (scenario records), as the JSON
+    /// the byte-identity acceptance criteria compare.
+    #[must_use]
+    pub fn deterministic_json(&self) -> String {
+        Value::Array(self.records.iter().map(ScenarioRecord::to_value).collect()).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Suite;
+
+    fn mini() -> Suite {
+        Suite::parse(
+            r#"{"v": 1, "suite": "mini", "description": "t", "scenarios": [
+                {"id": "ba", "problem": {"type": "barabasi_albert", "n": 10, "d": 1, "seed": 4},
+                 "device": "ibmq_montreal", "kind": "frozen"},
+                {"id": "flat", "problem": {"type": "offset_only", "n": 4, "offset": 1.5},
+                 "device": "ibmq_montreal", "kind": "baseline", "num_frozen": 0}
+            ]}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn in_process_run_round_trips_and_is_deterministic() {
+        let suite = mini();
+        let a = run_suite(&suite, &RunMode::InProcess, false, "a").unwrap();
+        let b = run_suite(&suite, &RunMode::InProcess, false, "b").unwrap();
+        assert_eq!(a.records.len(), 2);
+        assert!(a.records.iter().all(|r| r.ok), "both scenarios run");
+        assert_eq!(
+            a.deterministic_json(),
+            b.deterministic_json(),
+            "scenario sections are byte-identical across runs"
+        );
+
+        let parsed = SuiteRun::from_json(&a.to_json()).unwrap();
+        assert_eq!(parsed, a, "wire round-trip");
+        assert_eq!(parsed.to_json(), a.to_json(), "byte round-trip");
+    }
+
+    #[test]
+    fn records_carry_identity_and_quality() {
+        let run = run_suite(&mini(), &RunMode::InProcess, false, "x").unwrap();
+        let ba = &run.records[0];
+        assert_eq!(ba.id, "ba");
+        assert_eq!(ba.fingerprint.len(), 16);
+        assert_eq!(ba.routing.len(), 16);
+        assert_eq!(ba.kind, "frozen");
+        assert!(ba.quality.iter().any(|(k, _)| k == "arg"));
+        let result = frozenqubits::api::JobResult::from_json(&ba.result).unwrap();
+        assert_eq!(result.kind_name(), "frozen");
+        assert_eq!(run.timing.len(), 1);
+        assert!(
+            run.timing[0].counters.cache_misses > 0,
+            "cold cache compiled"
+        );
+    }
+}

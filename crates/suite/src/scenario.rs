@@ -1,0 +1,506 @@
+//! The scenario corpus: named, declarative problem descriptions.
+//!
+//! A *suite* is a JSON file under `suites/` holding a list of
+//! *scenarios*; each scenario names a problem family (resolved through
+//! [`crate::models`]), a device, and a pipeline configuration, and
+//! deserializes into a [`JobSpec`] through the public job API. The
+//! JSON schema is documented in `ARCHITECTURE.md` ("Scenario suite")
+//! and exercised end to end by `crates/suite/tests/`.
+//!
+//! Two invariants make the corpus usable as a regression anchor:
+//!
+//! 1. **Determinism** — a scenario is a pure function of its JSON
+//!    form, so [`Scenario::to_spec`] yields byte-identical wire forms
+//!    across processes and machines (pinned by
+//!    `tests/determinism.rs`).
+//! 2. **Stable identity** — results are keyed by
+//!    [`JobSpec::spec_fingerprint`], so runs from different shards or
+//!    different days can be combined and compared by scenario id with
+//!    a fingerprint cross-check.
+
+use std::path::{Path, PathBuf};
+
+use frozenqubits::api::{BackendSpec, DeviceSpec, JobKind, JobSpec, ProblemSpec};
+use frozenqubits::FqError;
+use serde::json::Value;
+
+use crate::models;
+
+/// A named problem-family recipe, the `problem` object of a scenario.
+///
+/// Passthrough families (`barabasi_albert`) map straight onto a
+/// [`ProblemSpec`] variant; generator families materialize an explicit
+/// Ising model through [`crate::models`] so the corpus — not the bench
+/// binaries or the examples — is the single source of model
+/// construction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioProblem {
+    /// §4.1 BA instance, passed through as a recipe (the engine
+    /// materializes it).
+    BarabasiAlbert {
+        /// Node count.
+        n: usize,
+        /// Attachment degree.
+        d: usize,
+        /// Generator + weighting seed.
+        seed: u64,
+    },
+    /// Random `degree`-regular ±1 instance.
+    Regular {
+        /// Node count.
+        n: usize,
+        /// Uniform degree.
+        degree: usize,
+        /// Generator + weighting seed.
+        seed: u64,
+    },
+    /// Max-Cut on the busiest slice of the synthetic airport network.
+    AirportMaxcut {
+        /// Full network size.
+        airports: usize,
+        /// Mean degree of the power-law network.
+        mean_degree: f64,
+        /// Network seed.
+        seed: u64,
+        /// Busiest-airports slice width (the model's variable count).
+        slice: usize,
+    },
+    /// Portfolio-optimization QUBO (converted to Ising).
+    Portfolio {
+        /// Number of assets.
+        assets: usize,
+        /// Assets to pick.
+        budget: usize,
+        /// Budget-penalty strength.
+        lambda: f64,
+        /// Returns/correlations seed.
+        seed: u64,
+    },
+    /// Fully-connected ±1 stressor.
+    Dense {
+        /// Node count.
+        n: usize,
+        /// Weighting seed.
+        seed: u64,
+    },
+    /// Unit-weight ring with a maximally degenerate spectrum.
+    DegenerateRing {
+        /// Ring length.
+        n: usize,
+    },
+    /// BA instance with every third coupling zeroed out (dropped).
+    ZeroWeight {
+        /// Node count.
+        n: usize,
+        /// Generator + weighting seed.
+        seed: u64,
+    },
+    /// No couplings, no linear terms — only a constant offset.
+    OffsetOnly {
+        /// Variable count.
+        n: usize,
+        /// The constant offset.
+        offset: f64,
+    },
+}
+
+impl ScenarioProblem {
+    /// The family tag, as written in the corpus JSON and the reports.
+    #[must_use]
+    pub fn family(&self) -> &'static str {
+        match self {
+            ScenarioProblem::BarabasiAlbert { .. } => "barabasi_albert",
+            ScenarioProblem::Regular { .. } => "regular",
+            ScenarioProblem::AirportMaxcut { .. } => "airport_maxcut",
+            ScenarioProblem::Portfolio { .. } => "portfolio",
+            ScenarioProblem::Dense { .. } => "dense",
+            ScenarioProblem::DegenerateRing { .. } => "degenerate_ring",
+            ScenarioProblem::ZeroWeight { .. } => "zero_weight",
+            ScenarioProblem::OffsetOnly { .. } => "offset_only",
+        }
+    }
+
+    /// Resolves the recipe into a [`ProblemSpec`] via [`crate::models`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors for infeasible parameters.
+    pub fn to_problem_spec(&self) -> Result<ProblemSpec, FqError> {
+        Ok(match *self {
+            ScenarioProblem::BarabasiAlbert { n, d, seed } => {
+                ProblemSpec::BarabasiAlbert { n, d, seed }
+            }
+            ScenarioProblem::Regular { n, degree, seed } => {
+                ProblemSpec::Ising(models::regular_pm1(n, degree, seed)?)
+            }
+            ScenarioProblem::AirportMaxcut {
+                airports,
+                mean_degree,
+                seed,
+                slice,
+            } => ProblemSpec::Ising(models::airport_maxcut(airports, mean_degree, seed, slice)?.0),
+            ScenarioProblem::Portfolio {
+                assets,
+                budget,
+                lambda,
+                seed,
+            } => {
+                ProblemSpec::Ising(models::portfolio_qubo(assets, budget, lambda, seed)?.to_ising())
+            }
+            ScenarioProblem::Dense { n, seed } => ProblemSpec::Ising(models::dense_pm1(n, seed)?),
+            ScenarioProblem::DegenerateRing { n } => ProblemSpec::Ising(models::degenerate_ring(n)),
+            ScenarioProblem::ZeroWeight { n, seed } => {
+                ProblemSpec::Ising(models::zero_weight_gaps(n, seed)?)
+            }
+            ScenarioProblem::OffsetOnly { n, offset } => {
+                ProblemSpec::Ising(models::offset_only(n, offset))
+            }
+        })
+    }
+
+    fn from_value(value: &Value) -> Result<ScenarioProblem, FqError> {
+        let kind = value.field("type")?.as_str()?;
+        Ok(match kind {
+            "barabasi_albert" => ScenarioProblem::BarabasiAlbert {
+                n: value.field("n")?.as_usize()?,
+                d: value.field("d")?.as_usize()?,
+                seed: value.field("seed")?.as_u64()?,
+            },
+            "regular" => ScenarioProblem::Regular {
+                n: value.field("n")?.as_usize()?,
+                degree: value.field("degree")?.as_usize()?,
+                seed: value.field("seed")?.as_u64()?,
+            },
+            "airport_maxcut" => ScenarioProblem::AirportMaxcut {
+                airports: value.field("airports")?.as_usize()?,
+                mean_degree: value.field("mean_degree")?.as_f64()?,
+                seed: value.field("seed")?.as_u64()?,
+                slice: value.field("slice")?.as_usize()?,
+            },
+            "portfolio" => ScenarioProblem::Portfolio {
+                assets: value.field("assets")?.as_usize()?,
+                budget: value.field("budget")?.as_usize()?,
+                lambda: value.field("lambda")?.as_f64()?,
+                seed: value.field("seed")?.as_u64()?,
+            },
+            "dense" => ScenarioProblem::Dense {
+                n: value.field("n")?.as_usize()?,
+                seed: value.field("seed")?.as_u64()?,
+            },
+            "degenerate_ring" => ScenarioProblem::DegenerateRing {
+                n: value.field("n")?.as_usize()?,
+            },
+            "zero_weight" => ScenarioProblem::ZeroWeight {
+                n: value.field("n")?.as_usize()?,
+                seed: value.field("seed")?.as_u64()?,
+            },
+            "offset_only" => ScenarioProblem::OffsetOnly {
+                n: value.field("n")?.as_usize()?,
+                offset: value.field("offset")?.as_f64()?,
+            },
+            other => {
+                return Err(FqError::InvalidConfig(format!(
+                    "unknown scenario problem type `{other}`"
+                )))
+            }
+        })
+    }
+}
+
+/// One named scenario: a problem recipe plus the job configuration
+/// that turns it into a [`JobSpec`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Stable identifier (`[a-z0-9-]+`), unique within a suite;
+    /// results and reports key on it.
+    pub id: String,
+    /// Whether the scenario belongs to the fast CI subset
+    /// (`fq-suite run --smoke`).
+    pub smoke: bool,
+    /// The problem-family recipe.
+    pub problem: ScenarioProblem,
+    /// Target device preset.
+    pub device: DeviceSpec,
+    /// What to compute.
+    pub kind: JobKind,
+    /// Qubits to freeze (`m`).
+    pub num_frozen: usize,
+    /// QAOA layers (`p`).
+    pub layers: usize,
+    /// Pipeline seed.
+    pub seed: u64,
+    /// Execution backend.
+    pub backend: BackendSpec,
+}
+
+impl Scenario {
+    /// Builds the validated [`JobSpec`] this scenario describes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator and validation errors.
+    pub fn to_spec(&self) -> Result<JobSpec, FqError> {
+        let mut builder = JobSpec::builder()
+            .problem(self.problem.to_problem_spec()?)
+            .device(self.device)
+            .backend(self.backend)
+            .num_frozen(self.num_frozen)
+            .layers(self.layers)
+            .seed(self.seed);
+        builder = match self.kind {
+            JobKind::Baseline => builder.baseline(),
+            JobKind::Frozen => builder.frozen(),
+            JobKind::Compare => builder.compare(),
+            JobKind::Sample { shots } => builder.sample(shots),
+            // `JobKind` is non-exhaustive; the corpus parser only
+            // produces the four kinds above.
+            _ => builder,
+        };
+        builder.build()
+    }
+
+    fn from_value(value: &Value) -> Result<Scenario, FqError> {
+        let id = value.field("id")?.as_str()?.to_string();
+        if id.is_empty()
+            || !id
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        {
+            return Err(FqError::InvalidConfig(format!(
+                "scenario id `{id}` must be non-empty [a-z0-9-]"
+            )));
+        }
+        let smoke = match value.get("smoke") {
+            Some(v) => v.as_bool()?,
+            None => false,
+        };
+        let problem = ScenarioProblem::from_value(value.field("problem")?)?;
+        let device_name = value.field("device")?.as_str()?;
+        let device = DeviceSpec::from_name(device_name).ok_or_else(|| {
+            FqError::InvalidConfig(format!("scenario `{id}`: unknown device `{device_name}`"))
+        })?;
+        let kind = parse_kind(&id, value.field("kind")?)?;
+        let num_frozen = match value.get("num_frozen") {
+            Some(v) => v.as_usize()?,
+            None => 1,
+        };
+        let layers = match value.get("layers") {
+            Some(v) => v.as_usize()?,
+            None => 1,
+        };
+        let seed = match value.get("seed") {
+            Some(v) => v.as_u64()?,
+            None => 0,
+        };
+        let backend = match value.get("backend") {
+            Some(v) => {
+                let name = v.as_str()?;
+                BackendSpec::from_name(name).ok_or_else(|| {
+                    FqError::InvalidConfig(format!("scenario `{id}`: unknown backend `{name}`"))
+                })?
+            }
+            None => BackendSpec::Sim,
+        };
+        Ok(Scenario {
+            id,
+            smoke,
+            problem,
+            device,
+            kind,
+            num_frozen,
+            layers,
+            seed,
+            backend,
+        })
+    }
+}
+
+/// `kind` is either a bare string (`"frozen"`) or, for sampling, an
+/// object carrying the shot count (`{"type": "sample", "shots": 256}`).
+fn parse_kind(id: &str, value: &Value) -> Result<JobKind, FqError> {
+    let name = match value {
+        Value::String(s) => s.as_str(),
+        Value::Object(_) => value.field("type")?.as_str()?,
+        _ => {
+            return Err(FqError::InvalidConfig(format!(
+                "scenario `{id}`: kind must be a string or object"
+            )))
+        }
+    };
+    Ok(match name {
+        "baseline" => JobKind::Baseline,
+        "frozen" => JobKind::Frozen,
+        "compare" => JobKind::Compare,
+        "sample" => JobKind::Sample {
+            shots: value.field("shots")?.as_u64()?,
+        },
+        other => {
+            return Err(FqError::InvalidConfig(format!(
+                "scenario `{id}`: unknown kind `{other}`"
+            )))
+        }
+    })
+}
+
+/// A parsed suite file: a name, a description, and its scenarios.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Suite {
+    /// Suite name; must match the file stem under `suites/`.
+    pub name: String,
+    /// Human-readable description, surfaced in the report header.
+    pub description: String,
+    /// The scenarios, in corpus order.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl Suite {
+    /// Parses a suite from its JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FqError::InvalidConfig`] (or a JSON error) on schema
+    /// violations: bad version, duplicate ids, unknown families.
+    pub fn parse(text: &str) -> Result<Suite, FqError> {
+        let value = Value::parse(text)?;
+        let version = value.field("v")?.as_u64()?;
+        if version != 1 {
+            return Err(FqError::InvalidConfig(format!(
+                "unsupported suite schema version {version}"
+            )));
+        }
+        let name = value.field("suite")?.as_str()?.to_string();
+        let description = value.field("description")?.as_str()?.to_string();
+        let mut scenarios = Vec::new();
+        for entry in value.field("scenarios")?.as_array()? {
+            scenarios.push(Scenario::from_value(entry)?);
+        }
+        if scenarios.is_empty() {
+            return Err(FqError::InvalidConfig(format!(
+                "suite `{name}` has no scenarios"
+            )));
+        }
+        for (i, s) in scenarios.iter().enumerate() {
+            if scenarios[..i].iter().any(|t| t.id == s.id) {
+                return Err(FqError::InvalidConfig(format!(
+                    "suite `{name}`: duplicate scenario id `{}`",
+                    s.id
+                )));
+            }
+        }
+        Ok(Suite {
+            name,
+            description,
+            scenarios,
+        })
+    }
+
+    /// Loads and parses `<dir>/<name>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and schema errors.
+    pub fn load(dir: &Path, name: &str) -> Result<Suite, FqError> {
+        let path = suite_path(dir, name);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| FqError::InvalidConfig(format!("cannot read {}: {e}", path.display())))?;
+        let suite = Suite::parse(&text)?;
+        if suite.name != name {
+            return Err(FqError::InvalidConfig(format!(
+                "suite file {} declares name `{}`",
+                path.display(),
+                suite.name
+            )));
+        }
+        Ok(suite)
+    }
+
+    /// The scenarios selected by a run: all of them, or the smoke
+    /// subset.
+    #[must_use]
+    pub fn selected(&self, smoke_only: bool) -> Vec<&Scenario> {
+        self.scenarios
+            .iter()
+            .filter(|s| !smoke_only || s.smoke)
+            .collect()
+    }
+}
+
+/// `<dir>/<name>.json`.
+#[must_use]
+pub fn suite_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.json"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "v": 1,
+        "suite": "mini",
+        "description": "test corpus",
+        "scenarios": [
+            {"id": "ba-a", "smoke": true,
+             "problem": {"type": "barabasi_albert", "n": 12, "d": 1, "seed": 7},
+             "device": "ibmq_montreal", "kind": "frozen", "num_frozen": 2, "seed": 3},
+            {"id": "ring",
+             "problem": {"type": "degenerate_ring", "n": 8},
+             "device": "ibm_hanoi", "kind": {"type": "sample", "shots": 64}}
+        ]
+    }"#;
+
+    #[test]
+    fn parses_and_builds_specs() {
+        let suite = Suite::parse(SAMPLE).unwrap();
+        assert_eq!(suite.name, "mini");
+        assert_eq!(suite.scenarios.len(), 2);
+        assert_eq!(suite.selected(true).len(), 1, "smoke subset");
+
+        let ba = suite.scenarios[0].to_spec().unwrap();
+        assert_eq!(ba.config.num_frozen, 2);
+        assert_eq!(ba.config.seed, 3);
+        assert_eq!(
+            ba.problem,
+            ProblemSpec::BarabasiAlbert {
+                n: 12,
+                d: 1,
+                seed: 7
+            }
+        );
+
+        let ring = suite.scenarios[1].to_spec().unwrap();
+        assert_eq!(ring.kind, JobKind::Sample { shots: 64 });
+        assert_eq!(ring.problem.num_vars(), 8);
+        assert_eq!(suite.scenarios[1].problem.family(), "degenerate_ring");
+    }
+
+    #[test]
+    fn schema_violations_are_loud() {
+        assert!(Suite::parse(
+            "{\"v\": 2, \"suite\": \"x\", \"description\": \"\", \"scenarios\": []}"
+        )
+        .is_err());
+        let dup = SAMPLE.replace("\"id\": \"ring\"", "\"id\": \"ba-a\"");
+        assert!(Suite::parse(&dup)
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate"));
+        let baddev = SAMPLE.replace("ibmq_montreal", "ibmq_nowhere");
+        assert!(Suite::parse(&baddev)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown device"));
+    }
+
+    #[test]
+    fn scenario_specs_are_deterministic() {
+        let a = Suite::parse(SAMPLE).unwrap().scenarios[0]
+            .to_spec()
+            .unwrap();
+        let b = Suite::parse(SAMPLE).unwrap().scenarios[0]
+            .to_spec()
+            .unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.spec_fingerprint(), b.spec_fingerprint());
+    }
+}

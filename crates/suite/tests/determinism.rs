@@ -1,0 +1,189 @@
+//! The corpus determinism contracts, end to end:
+//!
+//! * same corpus entry ⇒ byte-identical `JobSpec` wire form and
+//!   identical `routing_fingerprint()` **across two processes** (the
+//!   FNV/stable-hash contract the result archive keys on);
+//! * two `fq-suite run`s produce byte-identical scenario sections;
+//! * the same suite run in-process and against a loopback shard yields
+//!   byte-identical result bytes per scenario (live mode pinned).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use fq_serve::{Server, ServerConfig};
+use fq_suite::{run_suite, RunMode, Suite, SuiteRun};
+
+fn corpus() -> PathBuf {
+    fq_suite::corpus_dir()
+}
+
+fn cli() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fq-suite"));
+    cmd.env("FQ_SUITE_DIR", corpus());
+    cmd
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fq-suite-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn fingerprints_are_identical_across_two_processes() {
+    for suite in ["core", "adversarial", "bench-batch"] {
+        let run = |label: &str| {
+            let out = cli()
+                .args(["fingerprint", suite])
+                .output()
+                .expect("spawn fq-suite");
+            assert!(
+                out.status.success(),
+                "fingerprint {suite} ({label}): {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            out.stdout
+        };
+        let first = run("first process");
+        let second = run("second process");
+        assert_eq!(
+            first, second,
+            "suite `{suite}`: fingerprint lines differ across processes"
+        );
+        assert!(!first.is_empty());
+
+        // The child processes agree with *this* process too: the wire
+        // form and both fingerprints are pure functions of the corpus.
+        let parsed = Suite::load(&corpus(), suite).unwrap();
+        let mut expected = String::new();
+        for scenario in parsed.selected(false) {
+            let spec = scenario.to_spec().unwrap();
+            expected.push_str(&format!(
+                "{} {} {}\n",
+                scenario.id,
+                spec.spec_fingerprint(),
+                spec.routing_fingerprint().unwrap()
+            ));
+        }
+        assert_eq!(String::from_utf8(first).unwrap(), expected);
+    }
+}
+
+#[test]
+fn suite_runs_are_byte_identical_across_processes() {
+    let out_a = scratch("run_a.json");
+    let out_b = scratch("run_b.json");
+    for out in [&out_a, &out_b] {
+        let status = cli()
+            .args(["run", "core", "--smoke", "--label", "x", "--out"])
+            .arg(out)
+            .status()
+            .expect("spawn fq-suite");
+        assert!(status.success());
+    }
+    let a = SuiteRun::from_json(&std::fs::read_to_string(&out_a).unwrap()).unwrap();
+    let b = SuiteRun::from_json(&std::fs::read_to_string(&out_b).unwrap()).unwrap();
+    assert_eq!(
+        a.deterministic_json(),
+        b.deterministic_json(),
+        "scenario sections must be byte-identical across processes"
+    );
+    assert!(a.records.iter().all(|r| r.ok));
+}
+
+#[test]
+fn live_mode_is_byte_identical_to_in_process() {
+    let suite = Suite::load(&corpus(), "core").unwrap();
+    let local = run_suite(&suite, &RunMode::InProcess, false, "local").unwrap();
+
+    let handle = Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let live = run_suite(&suite, &RunMode::Live(addr), false, "live").unwrap();
+    handle.shutdown();
+
+    assert_eq!(local.records.len(), live.records.len());
+    for (a, b) in local.records.iter().zip(&live.records) {
+        assert_eq!(a.id, b.id);
+        assert!(a.ok && b.ok, "scenario `{}` failed", a.id);
+        assert_eq!(
+            a.result, b.result,
+            "scenario `{}`: live result bytes diverge from in-process",
+            a.id
+        );
+    }
+    assert_eq!(
+        local.deterministic_json(),
+        live.deterministic_json(),
+        "whole scenario sections match byte for byte"
+    );
+    let t = &live.timing[0];
+    assert_eq!(t.mode, "live");
+    assert!(
+        t.counters.cache_misses > 0,
+        "the shard's compile counters were observed over the run"
+    );
+}
+
+#[test]
+fn combine_and_report_round_trip_through_the_cli() {
+    let out_a = scratch("combine_a.json");
+    let out_b = scratch("combine_b.json");
+    let merged = scratch("merged.json");
+    for (out, label) in [(&out_a, "a"), (&out_b, "b")] {
+        let status = cli()
+            .args(["run", "adversarial", "--smoke", "--label", label, "--out"])
+            .arg(out)
+            .status()
+            .expect("spawn fq-suite");
+        assert!(status.success());
+    }
+    let status = cli()
+        .args(["combine", "--out"])
+        .arg(&merged)
+        .args([&out_a, &out_b])
+        .status()
+        .expect("spawn fq-suite");
+    assert!(status.success(), "identical runs combine cleanly");
+
+    let run = SuiteRun::from_json(&std::fs::read_to_string(&merged).unwrap()).unwrap();
+    assert_eq!(run.timing.len(), 2, "both runs' timing entries survive");
+
+    let md = scratch("adv.md");
+    let bench = scratch("BENCH_adv.json");
+    let status = cli()
+        .args(["report"])
+        .arg(&merged)
+        .arg("--md")
+        .arg(&md)
+        .arg("--bench")
+        .arg(&bench)
+        .status()
+        .expect("spawn fq-suite");
+    assert!(status.success());
+    let md_text = std::fs::read_to_string(&md).unwrap();
+    assert!(md_text.contains("# Suite report: adversarial"));
+    assert!(md_text.contains("## Timing (volatile)"));
+    let bench_text = std::fs::read_to_string(&bench).unwrap();
+    assert!(bench_text.starts_with("{\"bench\":\"suite\""));
+
+    // A corrupted record is a loud combine failure, not a silent merge.
+    let mut evil = SuiteRun::from_json(&std::fs::read_to_string(&out_b).unwrap()).unwrap();
+    evil.records[0].result.push('!');
+    let evil_path = scratch("evil.json");
+    std::fs::write(&evil_path, evil.to_json()).unwrap();
+    let out = cli()
+        .args(["combine", "--out"])
+        .arg(scratch("never.json"))
+        .args([&out_a, &evil_path])
+        .output()
+        .expect("spawn fq-suite");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("diverges"),
+        "stderr names the divergence"
+    );
+}

@@ -1,0 +1,147 @@
+//! Pins that the model constructors in `fq_suite::models` produce
+//! **exactly** the models the ad-hoc constructions they replaced did —
+//! the bench binaries (`fq_bench::{ba_instance, regular3_instance,
+//! sk_instance}`, the `batch_throughput` job families) and the
+//! workspace examples (`airport_maxcut.rs`, `portfolio.rs`) migrated
+//! onto the suite corpus in the same PR that added this test, and any
+//! drift here would silently change every published benchmark number.
+
+use fq_graphs::airports::synthetic_airport_network;
+use fq_graphs::{gen, to_ising_pm1, Graph};
+use fq_ising::maxcut::maxcut_to_ising;
+use fq_ising::Qubo;
+use fq_suite::models;
+use frozenqubits::api::{DeviceSpec, JobBuilder, JobSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+#[test]
+fn graph_instances_match_the_old_bench_constructions() {
+    for (n, d, seed) in [(12, 1, 0), (20, 1, 4), (24, 3, 11), (16, 2, 7)] {
+        let old = to_ising_pm1(&gen::barabasi_albert(n, d, seed).unwrap(), seed);
+        assert_eq!(
+            models::ba_pm1(n, d, seed).unwrap(),
+            old,
+            "BA({n},{d},{seed})"
+        );
+    }
+    for (n, seed) in [(8, 0), (14, 5), (20, 8)] {
+        let old = to_ising_pm1(&gen::random_regular(n, 3, seed).unwrap(), seed);
+        assert_eq!(
+            models::regular_pm1(n, 3, seed).unwrap(),
+            old,
+            "reg3({n},{seed})"
+        );
+    }
+    for (n, seed) in [(6, 0), (10, 1), (14, 3)] {
+        let old = to_ising_pm1(&gen::complete(n), seed);
+        assert_eq!(models::dense_pm1(n, seed).unwrap(), old, "SK({n},{seed})");
+    }
+}
+
+/// The `busiest_subnetwork` helper exactly as `examples/airport_maxcut.rs`
+/// defined it before the migration.
+fn old_busiest_subnetwork(g: &Graph, k: usize) -> Graph {
+    let keep: Vec<usize> = g.nodes_by_degree().into_iter().take(k).collect();
+    let mut index = vec![usize::MAX; g.num_nodes()];
+    for (new, &old) in keep.iter().enumerate() {
+        index[old] = new;
+    }
+    let mut sub = Graph::new(k);
+    for &(a, b) in g.edges() {
+        if index[a] != usize::MAX && index[b] != usize::MAX {
+            sub.add_edge(index[a], index[b]).expect("simple subgraph");
+        }
+    }
+    sub
+}
+
+#[test]
+fn airport_maxcut_matches_the_old_example_construction() {
+    let network = synthetic_airport_network(1300, 26.49, 7).unwrap();
+    let slice = old_busiest_subnetwork(&network, 12);
+    let old_edges: Vec<(usize, usize, f64)> =
+        slice.edges().iter().map(|&(a, b)| (a, b, 1.0)).collect();
+    let old_model = maxcut_to_ising(12, &old_edges).unwrap();
+
+    let (model, edges) = models::airport_maxcut(1300, 26.49, 7, 12).unwrap();
+    assert_eq!(model, old_model);
+    assert_eq!(edges, old_edges);
+}
+
+#[test]
+fn portfolio_qubo_matches_the_old_example_construction() {
+    // Verbatim from examples/portfolio.rs before the migration.
+    let n = 10usize;
+    let budget = 4usize;
+    let mut rng = StdRng::seed_from_u64(11);
+    let returns: Vec<f64> = (0..n).map(|_| rng.random_range(0.02..0.12)).collect();
+    let mut qubo = Qubo::new(n);
+    let lambda = 0.35;
+    for (i, &ri) in returns.iter().enumerate() {
+        qubo.set(i, i, -ri + lambda * (1.0 - 2.0 * budget as f64))
+            .unwrap();
+        for j in (i + 1)..n {
+            let sigma = if i == 0 {
+                0.08
+            } else {
+                rng.random_range(0.005..0.03)
+            };
+            qubo.set(i, j, sigma + 2.0 * lambda).unwrap();
+        }
+    }
+    qubo.set_offset(lambda * (budget as f64).powi(2));
+
+    let new = models::portfolio_qubo(n, budget, lambda, 11).unwrap();
+    assert_eq!(new.to_ising(), qubo.to_ising());
+}
+
+#[test]
+fn bench_batch_suite_reproduces_the_old_throughput_batch() {
+    // The family closure exactly as crates/bench/src/bin/batch_throughput.rs
+    // defined it before the migration onto suites/bench-batch.json.
+    let family = |n: usize, m: usize, seed: u64| -> JobSpec {
+        JobBuilder::new()
+            .barabasi_albert(n, 1, 4)
+            .device(DeviceSpec::IbmMontreal)
+            .num_frozen(m)
+            .seed(seed)
+            .frozen()
+            .build()
+            .expect("valid bench spec")
+    };
+    let old: Vec<JobSpec> = (0..8)
+        .map(|i| {
+            let seed = i as u64;
+            match i % 4 {
+                0 => family(20, 3, seed),
+                1 => family(24, 3, seed),
+                2 => family(20, 2, seed),
+                _ => JobBuilder::new()
+                    .barabasi_albert(16, 1, 4)
+                    .device(DeviceSpec::IbmMontreal)
+                    .seed(seed)
+                    .compare()
+                    .build()
+                    .expect("valid bench spec"),
+            }
+        })
+        .collect();
+
+    let suite = fq_suite::Suite::load(&fq_suite::corpus_dir(), "bench-batch").unwrap();
+    let new: Vec<JobSpec> = (0..8)
+        .map(|i| {
+            let mut scenario = suite.scenarios[i % suite.scenarios.len()].clone();
+            scenario.seed = i as u64;
+            scenario.to_spec().unwrap()
+        })
+        .collect();
+
+    for (old_spec, new_spec) in old.iter().zip(&new) {
+        assert_eq!(
+            new_spec.to_json(),
+            old_spec.to_json(),
+            "wire-identical specs"
+        );
+    }
+}

@@ -13,33 +13,18 @@
 //! ```
 #![allow(deprecated)]
 
-use fq_graphs::airports::synthetic_airport_network;
-use fq_graphs::{powerlaw, Graph};
-use fq_ising::maxcut::{cut_value, maxcut_to_ising};
+use fq_graphs::powerlaw;
+use fq_ising::maxcut::cut_value;
 use fq_ising::solve::exact_solve;
+use fq_suite::models;
 use fq_transpile::Device;
 use frozenqubits::{solve_with_sampling, FqError, FrozenQubitsConfig};
 
-/// Restrict a graph to its `k` best-connected nodes (a regional slice of
-/// the network small enough for today's devices).
-fn busiest_subnetwork(g: &Graph, k: usize) -> Graph {
-    let keep: Vec<usize> = g.nodes_by_degree().into_iter().take(k).collect();
-    let mut index = vec![usize::MAX; g.num_nodes()];
-    for (new, &old) in keep.iter().enumerate() {
-        index[old] = new;
-    }
-    let mut sub = Graph::new(k);
-    for &(a, b) in g.edges() {
-        if index[a] != usize::MAX && index[b] != usize::MAX {
-            sub.add_edge(index[a], index[b]).expect("simple subgraph");
-        }
-    }
-    sub
-}
-
 fn main() -> Result<(), FqError> {
     // 1. The full 1300-airport network reproduces the Fig. 1(b) statistics.
-    let network = synthetic_airport_network(1300, 26.49, 7)?;
+    // Model construction lives in `fq_suite::models` — the same source
+    // the scenario corpus (`suites/core.json`) builds from.
+    let network = models::airport_network(1300, 26.49, 7)?;
     let stats = powerlaw::degree_stats(&network);
     println!(
         "airport network: {} nodes, mean degree {:.2}, hub/average ratio {:.1}x, gini {:.2}",
@@ -50,9 +35,7 @@ fn main() -> Result<(), FqError> {
     );
 
     // 2. Max-Cut on the 12 busiest airports (a NISQ-sized slice).
-    let slice = busiest_subnetwork(&network, 12);
-    let edges: Vec<(usize, usize, f64)> = slice.edges().iter().map(|&(a, b)| (a, b, 1.0)).collect();
-    let model = maxcut_to_ising(12, &edges)?;
+    let (model, edges) = models::airport_maxcut(1300, 26.49, 7, 12)?;
     let exact = exact_solve(&model)?;
     let total_weight: f64 = edges.iter().map(|e| e.2).sum();
     println!(

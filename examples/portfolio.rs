@@ -8,38 +8,19 @@
 //! ```
 
 use fq_ising::solve::exact_solve;
-use fq_ising::Qubo;
+use fq_suite::models;
 use frozenqubits::api::{DeviceSpec, JobBuilder};
 use frozenqubits::FqError;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 fn main() -> Result<(), FqError> {
     // 1. Synthetic market: 10 assets, power-law-ish correlations (one
     //    "index" asset correlated with everything, like a market factor).
+    //    The QUBO is built by `fq_suite::models::portfolio_qubo` — the
+    //    same constructor behind the `portfolio-n10-b4-frozen2` corpus
+    //    scenario in `suites/core.json`.
     let n = 10usize;
     let budget = 4usize;
-    let mut rng = StdRng::seed_from_u64(11);
-    let returns: Vec<f64> = (0..n).map(|_| rng.random_range(0.02..0.12)).collect();
-    let mut qubo = Qubo::new(n);
-
-    // Objective: minimize −return + risk + λ(Σx − k)².
-    let lambda = 0.35;
-    for (i, &ri) in returns.iter().enumerate() {
-        // −r_i x_i  +  λ(x_i − 2k·x_i)  (from expanding the penalty)
-        qubo.set(i, i, -ri + lambda * (1.0 - 2.0 * budget as f64))?;
-        for j in (i + 1)..n {
-            // Correlated risk: asset 0 is the market factor.
-            let sigma = if i == 0 {
-                0.08
-            } else {
-                rng.random_range(0.005..0.03)
-            };
-            // Penalty cross terms: 2λ x_i x_j.
-            qubo.set(i, j, sigma + 2.0 * lambda)?;
-        }
-    }
-    qubo.set_offset(lambda * (budget as f64).powi(2));
+    let qubo = models::portfolio_qubo(n, budget, 0.35, 11)?;
 
     let model = qubo.to_ising();
     println!(

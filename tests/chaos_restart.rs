@@ -1,0 +1,222 @@
+//! Crash-restart chaos: SIGKILL a live shard mid-batch (no shutdown
+//! hooks, no flushes) and boot a replacement over the same
+//! `--cache-dir`. The open item from the PR-8 chaos suite, pinned here:
+//!
+//! * **Byte identity survives the crash.** Every job the replacement
+//!   serves returns bytes identical to a direct `BatchRunner` run.
+//! * **The restart is compile-free.** The replacement's `/v1/stats`
+//!   reports zero cache misses over the replay batch: the disk tier
+//!   written before the kill is complete and uncorrupted, because the
+//!   store's writes are atomic — there is no moment a SIGKILL can leave
+//!   a half-template behind that would silently recompile.
+//!
+//! The victim shard runs in a **separate process** (re-exec of this
+//! test binary, the `chaos_restart_child_shard` ignored "test"), so the
+//! kill is a real `SIGKILL` to a real process, under a seeded
+//! `FaultPlan` of worker stalls that guarantees jobs are in flight when
+//! it lands.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fq_faults::FaultPlan;
+use fq_serve::client;
+use fq_serve::{Server, ServerConfig};
+use frozenqubits::api::{BatchRunner, DeviceSpec, JobBuilder, JobSpec};
+use serde::json::Value;
+
+const CHILD_FLAG: &str = "FQ_CHAOS_RESTART_CHILD";
+const CACHE_DIR: &str = "FQ_CHAOS_RESTART_CACHE";
+const ADDR_FILE: &str = "FQ_CHAOS_RESTART_ADDR_FILE";
+
+/// The worker-stall storm the victim runs under: every other job stalls
+/// 200 ms before executing, so an async burst is reliably mid-flight
+/// when the SIGKILL lands.
+const VICTIM_PLAN: &str = "seed=7;worker:stall:1/2:ms=200";
+
+fn mixed_specs() -> Vec<JobSpec> {
+    let frozen = |n: usize, m: usize, seed: u64| -> JobSpec {
+        JobBuilder::new()
+            .barabasi_albert(n, 1, 4)
+            .device(DeviceSpec::IbmMontreal)
+            .num_frozen(m)
+            .seed(seed)
+            .frozen()
+            .build()
+            .unwrap()
+    };
+    let compare = JobBuilder::new()
+        .barabasi_albert(8, 1, 2)
+        .device(DeviceSpec::IbmMontreal)
+        .compare()
+        .build()
+        .unwrap();
+    let sample = JobBuilder::new()
+        .barabasi_albert(8, 1, 2)
+        .device(DeviceSpec::IbmMontreal)
+        .sample(64)
+        .build()
+        .unwrap();
+    vec![
+        frozen(10, 1, 0),
+        frozen(10, 1, 1),
+        frozen(10, 2, 0),
+        frozen(12, 1, 0),
+        compare,
+        sample,
+    ]
+}
+
+/// Not a test: the victim-shard child process. Re-executed by the
+/// parent with `--ignored --exact`; inert unless the env flag is set.
+#[test]
+#[ignore = "child process of sigkilled_shard_restarts_warm_and_byte_identical"]
+fn chaos_restart_child_shard() {
+    if std::env::var(CHILD_FLAG).is_err() {
+        return;
+    }
+    let cache_dir = std::env::var(CACHE_DIR).expect("cache dir env");
+    let addr_file = std::env::var(ADDR_FILE).expect("addr file env");
+    let plan = FaultPlan::parse(VICTIM_PLAN).expect("valid victim plan");
+    let handle = Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_dir: Some(cache_dir),
+        fault_plan: Some(Arc::new(plan)),
+        ..ServerConfig::default()
+    })
+    .expect("victim shard boots");
+
+    // Publish the bound address atomically (write + rename), then wait
+    // to be SIGKILLed.
+    let tmp = format!("{addr_file}.tmp");
+    let mut f = std::fs::File::create(&tmp).unwrap();
+    writeln!(f, "{}", handle.addr()).unwrap();
+    drop(f);
+    std::fs::rename(&tmp, &addr_file).unwrap();
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn wait_for_addr(path: &PathBuf) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let addr = text.trim().to_string();
+            if !addr.is_empty() {
+                return addr;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("victim shard never published its address");
+}
+
+fn stat_u64(stats: &Value, path: &[&str]) -> u64 {
+    let mut node = stats;
+    for key in path {
+        node = node.field(key).unwrap();
+    }
+    node.as_u64().unwrap()
+}
+
+#[test]
+fn sigkilled_shard_restarts_warm_and_byte_identical() {
+    let scratch = std::env::temp_dir().join(format!("fq-chaos-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+    let cache_dir = scratch.join("cache");
+    let addr_file = scratch.join("addr");
+
+    let specs = mixed_specs();
+    // Ground truth: a direct in-process run of the same specs.
+    let expected: Vec<String> = BatchRunner::new()
+        .run_all(&specs)
+        .unwrap()
+        .iter()
+        .map(frozenqubits::api::JobResult::to_json)
+        .collect();
+
+    // Boot the victim in its own process.
+    let mut child = std::process::Command::new(std::env::current_exe().unwrap())
+        .args([
+            "--ignored",
+            "--exact",
+            "chaos_restart_child_shard",
+            "--nocapture",
+        ])
+        .env(CHILD_FLAG, "1")
+        .env(CACHE_DIR, &cache_dir)
+        .env(ADDR_FILE, &addr_file)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("re-exec victim shard");
+    let addr = wait_for_addr(&addr_file);
+
+    // Phase 1 — warm the disk tier through the victim: every spec once,
+    // synchronously, bytes checked against the direct run. After this
+    // the spill directory holds every template the batch needs.
+    for (spec, want) in specs.iter().zip(&expected) {
+        let response = client::request(&addr, "POST", "/v1/jobs", Some(&spec.to_json())).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(
+            &response.body, want,
+            "victim serves direct-run bytes before the crash"
+        );
+    }
+
+    // Phase 2 — mid-batch SIGKILL: queue an async burst (worker stalls
+    // guarantee in-flight jobs), then kill -9 the shard process.
+    let mut queued = 0;
+    for spec in specs.iter().cycle().take(12) {
+        let response =
+            client::request(&addr, "POST", "/v1/jobs?mode=async", Some(&spec.to_json())).unwrap();
+        assert_eq!(response.status, 202, "{}", response.body);
+        queued += 1;
+    }
+    assert_eq!(queued, 12);
+    child.kill().expect("SIGKILL the victim");
+    child.wait().expect("reap the victim");
+    assert!(
+        client::request(&addr, "GET", "/v1/healthz", None).is_err(),
+        "the victim is actually gone"
+    );
+
+    // Phase 3 — replacement over the same cache dir, no faults: every
+    // spec replays byte-identically and the whole batch is served from
+    // the disk tier with zero compiles.
+    let replacement = Server::spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_dir: Some(cache_dir.to_string_lossy().into_owned()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let new_addr = replacement.addr().to_string();
+    for (spec, want) in specs.iter().zip(&expected) {
+        let response =
+            client::request(&new_addr, "POST", "/v1/jobs", Some(&spec.to_json())).unwrap();
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(
+            &response.body, want,
+            "replacement serves byte-identical results after the crash"
+        );
+    }
+    let response = client::request(&new_addr, "GET", "/v1/stats", None).unwrap();
+    let stats = Value::parse(&response.body).unwrap();
+    assert_eq!(
+        stat_u64(&stats, &["cache", "misses"]),
+        0,
+        "warm restart: zero compiles on the replacement ({})",
+        response.body
+    );
+    assert!(
+        stat_u64(&stats, &["cache", "hits"]) > 0,
+        "the replay actually touched the cache"
+    );
+    replacement.shutdown();
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
