@@ -29,7 +29,7 @@ use std::time::Instant;
 
 use fq_bench::harness::fmt_time;
 use frozenqubits::api::{BatchRunner, JobSpec};
-use frozenqubits::{auto_threads, FqError, JobResult};
+use frozenqubits::{auto_threads, FqError, JobResult, QosTier};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -44,6 +44,12 @@ fn env_usize(name: &str, default: usize) -> usize {
 /// are small multi-branch sweep members (the service workload the
 /// engine targets), a slice are full compare reports.
 fn batch(jobs: usize) -> Vec<JobSpec> {
+    batch_tiered(jobs, QosTier::Exact)
+}
+
+/// The same mixed batch with every job pinned to one QoS tier — the
+/// corpus the per-tier throughput section compares across tiers.
+fn batch_tiered(jobs: usize, tier: QosTier) -> Vec<JobSpec> {
     let suite = fq_suite::Suite::load(&fq_suite::corpus_dir(), "bench-batch")
         .expect("bench-batch suite in the corpus");
     let families = &suite.scenarios;
@@ -51,6 +57,7 @@ fn batch(jobs: usize) -> Vec<JobSpec> {
         .map(|i| {
             let mut scenario = families[i % families.len()].clone();
             scenario.seed = i as u64;
+            scenario.tier = tier;
             scenario.to_spec().expect("valid bench spec")
         })
         .collect()
@@ -172,6 +179,52 @@ fn main() {
     );
     let _ = std::fs::remove_dir_all(&cache_dir);
 
+    // — QoS tiers: the accuracy/speed contract measured on the same
+    // corpus. Warm cache (tiers share compiled templates) and a single
+    // worker, so the ratio isolates per-job compute, not compile or
+    // scheduling effects.
+    println!("== QoS tiers (warm cache, 1 thread) ==");
+    let mut tier_rows = String::new();
+    let mut exact_seconds = f64::NAN;
+    for (i, &tier) in QosTier::ALL.iter().enumerate() {
+        let specs_t = batch_tiered(jobs, tier);
+        let runner = BatchRunner::new().with_threads(1);
+        let warmup = runner.run(&specs_t);
+        assert!(
+            warmup.iter().all(Result::is_ok),
+            "{} batch runs",
+            tier.name()
+        );
+        let mut best = f64::INFINITY;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let results = runner.run(&specs_t);
+            let dt = t0.elapsed().as_secs_f64();
+            best = best.min(dt);
+            assert_eq!(results.len(), jobs);
+        }
+        if tier == QosTier::Exact {
+            exact_seconds = best;
+        }
+        let tier_speedup = exact_seconds / best;
+        println!(
+            "tier={:<9} {:>12} / batch   {:>9.1} jobs/s   speedup vs exact {:.2}x",
+            tier.name(),
+            fmt_time(best),
+            jobs as f64 / best,
+            tier_speedup
+        );
+        let sep = if i + 1 < QosTier::ALL.len() { "," } else { "" };
+        let _ = write!(
+            tier_rows,
+            "\n    {{\"tier\":\"{}\",\"seconds\":{:.6},\"jobs_per_sec\":{:.3},\"speedup_vs_exact\":{:.3}}}{sep}",
+            tier.name(),
+            best,
+            jobs as f64 / best,
+            tier_speedup
+        );
+    }
+
     let max_speedup = points.iter().map(|p| p.speedup).fold(0.0f64, f64::max);
     let mut rows = String::new();
     for (i, p) in points.iter().enumerate() {
@@ -186,6 +239,7 @@ fn main() {
         "{{\n  \"bench\": \"batch_throughput\",\n  \"jobs\": {jobs},\n  \"iters\": {iters},\n  \
          \"cores\": {cores},\n  \"templates_compiled\": {templates},\n  \
          \"max_speedup_vs_sequential\": {max_speedup:.3},\n  \"points\": [{rows}\n  ],\n  \
+         \"tiers\": [{tier_rows}\n  ],\n  \
          \"warm_start\": {{\"cold_seconds\":{cold_seconds:.6},\"warm_seconds\":{warm_seconds:.6},\
          \"speedup\":{warm_speedup:.3},\"warm_compiles\":0}},\n  \
          \"note\": \"speedup scales with available cores; a single-core runner reports ~1.0\"\n}}\n"

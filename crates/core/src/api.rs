@@ -44,6 +44,7 @@ mod backend;
 mod batch;
 pub(crate) mod wire;
 
+pub use crate::config::QosTier;
 pub(crate) use backend::noise_model_sampling_error;
 pub use backend::{Backend, BackendSpec, NoiseModelBackend, SimBackend};
 pub use batch::BatchRunner;
@@ -413,14 +414,29 @@ impl JobSpec {
     /// fingerprint reuse one compiled template, so routing them to the
     /// same shard keeps that shard's cache hot.
     ///
+    /// Non-exact [`QosTier`]s fold the tier name into the value, so an
+    /// `exact` spec keeps exactly its pre-tier fingerprint while
+    /// approximate jobs route as a distinct population — result stores
+    /// and affinity maps keyed on this value can never mix tiers. The
+    /// *template* cache key is deliberately tier-independent (all tiers
+    /// share one compiled template; approximation happens after
+    /// compilation), so this fold is the only routing-visible change.
+    ///
     /// # Errors
     ///
     /// Propagates problem-resolution and hotspot-selection errors.
     pub fn routing_fingerprint(&self) -> Result<String, FqError> {
-        Ok(self
+        let base = self
             .unit_fingerprints()?
             .pop()
-            .expect("every job kind decomposes into at least one unit"))
+            .expect("every job kind decomposes into at least one unit");
+        if self.config.tier.is_exact() {
+            return Ok(base);
+        }
+        let mut h = crate::store::Fnv64::new();
+        h.write(base.as_bytes());
+        h.write(self.config.tier.name().as_bytes());
+        Ok(format!("{:016x}", h.finish()))
     }
 }
 
@@ -523,6 +539,17 @@ impl JobBuilder {
         self
     }
 
+    /// Sets the accuracy/speed contract ([`QosTier::Exact`] by default).
+    ///
+    /// Non-exact tiers produce a [`JobResult::Approx`] wrapping the
+    /// plain result together with the [`ErrorModel`] describing the
+    /// approximation.
+    #[must_use]
+    pub fn tier(mut self, tier: QosTier) -> Self {
+        self.config.tier = tier;
+        self
+    }
+
     /// Sets the execution backend.
     #[must_use]
     pub fn backend(mut self, backend: BackendSpec) -> Self {
@@ -596,6 +623,13 @@ impl JobBuilder {
                 return Err(FqError::InvalidConfig(
                     "the noise_model backend models expectations, not shot distributions; \
                      use the sim backend for sampling jobs"
+                        .into(),
+                ));
+            }
+            if !config.tier.is_exact() {
+                return Err(FqError::InvalidConfig(
+                    "sampling jobs are stochastic end to end and have no approximate \
+                     variant; QoS tiers apply to analytic jobs only"
                         .into(),
                 ));
             }
@@ -712,7 +746,7 @@ impl Job {
                     UnitOutput::Analytic(backend.run(&plan, &self.device, &unit.config)?)
                 }
             };
-            parts.push((plan, output));
+            parts.push((std::sync::Arc::new(plan), output));
         }
         self.assemble(parts)
     }
@@ -815,18 +849,19 @@ impl Job {
     /// sequential and the batched engine.
     pub(crate) fn assemble(
         &self,
-        parts: Vec<(crate::ExecutionPlan, UnitOutput)>,
+        parts: Vec<(std::sync::Arc<crate::ExecutionPlan>, UnitOutput)>,
     ) -> Result<JobResult, FqError> {
         let mut parts = parts.into_iter();
-        let mut next_analytic = |label: String| -> (crate::ExecutionPlan, RunSummary) {
-            let (plan, output) = parts.next().expect("one part per decomposed unit");
-            let UnitOutput::Analytic(outcomes) = output else {
-                panic!("analytic unit got sampling output");
+        let mut next_analytic =
+            |label: String| -> (std::sync::Arc<crate::ExecutionPlan>, RunSummary) {
+                let (plan, output) = parts.next().expect("one part per decomposed unit");
+                let UnitOutput::Analytic(outcomes) = output else {
+                    panic!("analytic unit got sampling output");
+                };
+                let summary = summarize_outcomes(&plan, &outcomes, label);
+                (plan, summary)
             };
-            let summary = summarize_outcomes(&plan, &outcomes, label);
-            (plan, summary)
-        };
-        match self.kind {
+        let plain: Result<JobResult, FqError> = match self.kind {
             JobKind::Baseline => Ok(JobResult::Baseline(next_analytic("baseline".into()).1)),
             JobKind::Frozen => {
                 let (plan, summary) = next_analytic(format!("FQ(m={})", self.config.num_frozen));
@@ -871,7 +906,15 @@ impl Job {
                     frozen_qubits: plan.frozen_qubits().to_vec(),
                 }))
             }
-        }
+        };
+        let plain = plain?;
+        Ok(match ErrorModel::for_tier(self.config.tier) {
+            Some(error_model) => JobResult::Approx {
+                error_model,
+                inner: Box::new(plain),
+            },
+            None => plain,
+        })
     }
 }
 
@@ -918,6 +961,97 @@ fn consider(
     Ok(())
 }
 
+/// The structured accuracy contract attached to every non-exact result.
+///
+/// The same object drives execution *and* reporting: the executor reads
+/// its knob fields to configure the approximate path, then the result
+/// carries it verbatim — so what a client is told about the
+/// approximation can never drift from what actually ran. The deviation
+/// bound is `rel_bound · |ev| + abs_floor` per expectation value
+/// ([`ErrorModel::bound_for`]); the suite's tier-deviation tests measure
+/// every `core` + `adversarial` scenario against the exact oracle and
+/// assert the measurement stays inside this self-reported bound.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorModel {
+    /// Which approximate tier produced the result.
+    pub tier: QosTier,
+    /// Landscape-scan resolution per axis (the coarse pass for
+    /// `balanced`, the only pass for `fast`).
+    pub scan_resolution: usize,
+    /// Resolution of the local refinement pass around the coarse
+    /// optimum (`0` = no refinement pass).
+    pub refine_resolution: usize,
+    /// Nelder–Mead evaluation budget after the scan (`0` = no simplex
+    /// polish).
+    pub optimizer_evals: usize,
+    /// Lightcone truncation depth in gates walked backwards from the
+    /// measurement layer; gates beyond it collapse into a global
+    /// process-fidelity factor. `0` = pure global attenuation.
+    pub lightcone_depth: usize,
+    /// Fraction of quadratic terms kept (seeded, deterministic) in the
+    /// landscape used to *pick* parameters; the reported expectations
+    /// are always evaluated on the full model at the picked point.
+    /// `1.0` = no term sampling.
+    pub term_sample_keep: f64,
+    /// Relative deviation bound on each expectation value.
+    pub rel_bound: f64,
+    /// Absolute deviation floor, covering expectations near zero.
+    pub abs_floor: f64,
+}
+
+impl ErrorModel {
+    /// The contract of [`QosTier::Balanced`]: coarse-to-fine scan,
+    /// early-exit Nelder–Mead, truncated lightcone radius.
+    #[must_use]
+    pub fn balanced() -> ErrorModel {
+        ErrorModel {
+            tier: QosTier::Balanced,
+            scan_resolution: 11,
+            refine_resolution: 7,
+            optimizer_evals: 80,
+            lightcone_depth: 192,
+            term_sample_keep: 1.0,
+            rel_bound: 0.05,
+            abs_floor: 0.05,
+        }
+    }
+
+    /// The contract of [`QosTier::Fast`]: one tiny scan on a seeded
+    /// term-sampled landscape over polynomial trig, no simplex polish,
+    /// a shallow lightcone radius.
+    #[must_use]
+    pub fn fast() -> ErrorModel {
+        ErrorModel {
+            tier: QosTier::Fast,
+            scan_resolution: 9,
+            refine_resolution: 5,
+            optimizer_evals: 0,
+            lightcone_depth: 192,
+            term_sample_keep: 0.25,
+            rel_bound: 0.25,
+            abs_floor: 0.20,
+        }
+    }
+
+    /// The error model of a tier; `None` for [`QosTier::Exact`], which
+    /// carries no approximation.
+    #[must_use]
+    pub fn for_tier(tier: QosTier) -> Option<ErrorModel> {
+        match tier {
+            QosTier::Exact => None,
+            QosTier::Balanced => Some(ErrorModel::balanced()),
+            QosTier::Fast => Some(ErrorModel::fast()),
+        }
+    }
+
+    /// The deviation bound this model promises around an exact
+    /// expectation value: `rel_bound · |ev| + abs_floor`.
+    #[must_use]
+    pub fn bound_for(&self, ev: f64) -> f64 {
+        self.rel_bound * ev.abs() + self.abs_floor
+    }
+}
+
 /// The outcome of a job, tagged by [`JobKind`].
 #[derive(Clone, Debug, PartialEq)]
 #[non_exhaustive]
@@ -935,6 +1069,15 @@ pub enum JobResult {
     Compare(Report),
     /// A [`JobKind::Sample`] outcome.
     Sample(SolveOutcome),
+    /// An approximate-tier result: the plain result of the job's kind,
+    /// wrapped together with the [`ErrorModel`] contract it was bought
+    /// under. The `into_*` extractors see through this wrapper.
+    Approx {
+        /// The accuracy contract the job ran under.
+        error_model: ErrorModel,
+        /// The wrapped result (never itself `Approx`).
+        inner: Box<JobResult>,
+    },
 }
 
 impl JobResult {
@@ -947,6 +1090,7 @@ impl JobResult {
     pub fn into_baseline(self) -> Result<RunSummary, FqError> {
         match self {
             JobResult::Baseline(summary) => Ok(summary),
+            JobResult::Approx { inner, .. } => inner.into_baseline(),
             other => Err(wrong_kind("baseline", &other)),
         }
     }
@@ -963,6 +1107,7 @@ impl JobResult {
                 summary,
                 frozen_qubits,
             } => Ok((summary, frozen_qubits)),
+            JobResult::Approx { inner, .. } => inner.into_frozen(),
             other => Err(wrong_kind("frozen", &other)),
         }
     }
@@ -976,6 +1121,7 @@ impl JobResult {
     pub fn into_compare(self) -> Result<Report, FqError> {
         match self {
             JobResult::Compare(report) => Ok(report),
+            JobResult::Approx { inner, .. } => inner.into_compare(),
             other => Err(wrong_kind("compare", &other)),
         }
     }
@@ -989,11 +1135,25 @@ impl JobResult {
     pub fn into_sample(self) -> Result<SolveOutcome, FqError> {
         match self {
             JobResult::Sample(outcome) => Ok(outcome),
+            JobResult::Approx { inner, .. } => inner.into_sample(),
             other => Err(wrong_kind("sample", &other)),
         }
     }
 
-    /// The wire tag of this result's kind.
+    /// The [`ErrorModel`] of an approximate-tier result; `None` for
+    /// exact results.
+    #[must_use]
+    pub fn error_model(&self) -> Option<&ErrorModel> {
+        match self {
+            JobResult::Approx { error_model, .. } => Some(error_model),
+            _ => None,
+        }
+    }
+
+    /// The wire tag of this result's kind. `Approx` wrappers report the
+    /// *inner* kind — the wrapper is tagged by the wire version and the
+    /// presence of `error_model`, not by a kind of its own at this
+    /// level.
     #[must_use]
     pub fn kind_name(&self) -> &'static str {
         match self {
@@ -1001,6 +1161,7 @@ impl JobResult {
             JobResult::Frozen { .. } => "frozen",
             JobResult::Compare(_) => "compare",
             JobResult::Sample(_) => "sample",
+            JobResult::Approx { inner, .. } => inner.kind_name(),
         }
     }
 }
@@ -1320,5 +1481,95 @@ mod tests {
         // Same ideal physics, different noise model.
         assert_eq!(a.0.ev_ideal, s.0.ev_ideal);
         assert_ne!(a.0.ev_noisy, s.0.ev_noisy);
+    }
+
+    #[test]
+    fn tier_reaches_the_config_and_sampling_rejects_non_exact() {
+        let spec = JobBuilder::new()
+            .barabasi_albert(8, 1, 1)
+            .device(DeviceSpec::IbmMontreal)
+            .frozen()
+            .tier(QosTier::Fast)
+            .build()
+            .unwrap();
+        assert_eq!(spec.config.tier, QosTier::Fast);
+
+        // Sampling is stochastic end to end; there is no approximate
+        // variant of it to promise a bound for.
+        let rejected = JobBuilder::new()
+            .barabasi_albert(8, 1, 1)
+            .device(DeviceSpec::IbmMontreal)
+            .sample(16)
+            .tier(QosTier::Balanced)
+            .build();
+        assert!(matches!(rejected, Err(FqError::InvalidConfig(_))));
+
+        // Spelling out the default is not a violation.
+        JobBuilder::new()
+            .barabasi_albert(8, 1, 1)
+            .device(DeviceSpec::IbmMontreal)
+            .sample(16)
+            .tier(QosTier::Exact)
+            .build()
+            .unwrap();
+    }
+
+    #[test]
+    fn routing_fingerprints_separate_tiers_but_not_templates() {
+        let with_tier = |tier: QosTier| {
+            JobBuilder::new()
+                .barabasi_albert(12, 1, 7)
+                .device(DeviceSpec::IbmMontreal)
+                .frozen()
+                .tier(tier)
+                .build()
+                .unwrap()
+        };
+        let exact = with_tier(QosTier::Exact);
+        let balanced = with_tier(QosTier::Balanced);
+        let fast = with_tier(QosTier::Fast);
+
+        // Exact routing is unchanged by the tier plumbing: the fold
+        // only engages for non-exact tiers.
+        let plain = JobBuilder::new()
+            .barabasi_albert(12, 1, 7)
+            .device(DeviceSpec::IbmMontreal)
+            .frozen()
+            .build()
+            .unwrap();
+        let exact_fp = exact.routing_fingerprint().unwrap();
+        assert_eq!(exact_fp, plain.routing_fingerprint().unwrap());
+
+        // Each non-exact tier routes to its own affinity bucket so
+        // approximate results can never poison an exact cache line.
+        let balanced_fp = balanced.routing_fingerprint().unwrap();
+        let fast_fp = fast.routing_fingerprint().unwrap();
+        assert_ne!(exact_fp, balanced_fp);
+        assert_ne!(exact_fp, fast_fp);
+        assert_ne!(balanced_fp, fast_fp);
+
+        // Tiers share compiled templates: the unit fingerprints the
+        // planner would compile are tier-independent.
+        assert_eq!(
+            exact.unit_fingerprints().unwrap(),
+            fast.unit_fingerprints().unwrap()
+        );
+    }
+
+    #[test]
+    fn approximate_results_are_deterministic() {
+        for tier in [QosTier::Balanced, QosTier::Fast] {
+            let spec = JobBuilder::new()
+                .barabasi_albert(14, 1, 9)
+                .device(DeviceSpec::IbmMontreal)
+                .num_frozen(2)
+                .frozen()
+                .tier(tier)
+                .build()
+                .unwrap();
+            let a = spec.run().unwrap();
+            let b = spec.run().unwrap();
+            assert_eq!(a.to_json(), b.to_json(), "{tier:?} is a contract");
+        }
     }
 }

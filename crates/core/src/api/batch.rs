@@ -1,6 +1,12 @@
 //! Batched job execution: cross-job template amortization plus a
 //! flattened jobs×branches work-stealing pool.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use fq_ising::IsingModel;
+use fq_transpile::Device;
+
 use super::{noise_model_sampling_error, Job, JobUnit, UnitOutput, UnitRole};
 use crate::executor::{auto_threads, execute_branch, par_collect, sample_branch};
 use crate::plan::{plan_execution_cached, CacheStats, ExecutionPlan, TemplateCache};
@@ -60,14 +66,32 @@ pub struct BatchRunner {
     /// Worker count; 0 = auto (`FQ_THREADS` env override, else one per
     /// available core).
     threads: usize,
+    /// Memoized whole plans of **approximate-tier** units, keyed by
+    /// every plan input (problem, device, planning config). The exact
+    /// tier never touches this map — its resolve-and-plan path stays
+    /// bit-for-bit the pre-tier one — but for `balanced`/`fast` sweeps
+    /// (many seeds over one family) it collapses the per-job problem
+    /// materialization, hotspot selection, partitioning and template
+    /// fetch into one `Arc` clone per job. Planning is a pure function
+    /// of the key, so memoization changes no output bit.
+    tier_plans: Mutex<HashMap<String, Arc<ExecutionPlan>>>,
+    /// Memoized `(model, device)` resolution for approximate-tier jobs,
+    /// keyed by the problem + device specs (same purity argument).
+    tier_resolved: Mutex<HashMap<String, Arc<(IsingModel, Device)>>>,
 }
+
+/// The memo maps above are bounded: past this many entries they are
+/// cleared and rebuilt, so a long-lived service shard sweeping an
+/// unbounded stream of distinct tier problems cannot grow them without
+/// limit (a clear only costs the next batch one re-plan per key).
+const TIER_MEMO_CAP: usize = 256;
 
 /// One planned execution unit: `job_index` into the spec slice plus the
 /// unit's role/config and its compiled plan.
 struct PlannedUnit {
     job: usize,
     unit: JobUnit,
-    plan: Result<ExecutionPlan, FqError>,
+    plan: Result<Arc<ExecutionPlan>, FqError>,
     /// Offset of this unit's first branch in the flattened item space.
     first_item: usize,
     /// Number of flattened branch items this unit contributes.
@@ -167,8 +191,9 @@ impl BatchRunner {
     /// number of callers (e.g. the `fq-serve` worker pool) may run
     /// batches against one runner at once, warming each other's cache.
     pub fn run(&self, specs: &[JobSpec]) -> Vec<Result<JobResult, FqError>> {
-        // Resolve specs in input order (cheap; problem materialization).
-        let jobs: Vec<Result<Job, FqError>> = specs.iter().map(JobSpec::to_job).collect();
+        // Resolve specs in input order (problem materialization; memoized
+        // for approximate tiers, untouched for exact).
+        let jobs: Vec<Result<Job, FqError>> = specs.iter().map(|s| self.resolve_job(s)).collect();
 
         // Decompose resolved jobs into execution units.
         let mut pending: Vec<(usize, JobUnit)> = Vec::new();
@@ -185,14 +210,14 @@ impl BatchRunner {
         // distinct template is compiled exactly once even when many units
         // race for it; distinct templates compile concurrently.
         let threads = self.effective_threads(pending.len());
-        let cache = &self.cache;
-        let plans: Vec<Result<ExecutionPlan, FqError>> = par_collect(threads, pending.len(), |u| {
-            let (job_index, unit) = &pending[u];
-            let job = jobs[*job_index]
-                .as_ref()
-                .expect("only resolved jobs decompose into units");
-            plan_execution_cached(&job.model, &job.device, &unit.config, cache)
-        });
+        let plans: Vec<Result<Arc<ExecutionPlan>, FqError>> =
+            par_collect(threads, pending.len(), |u| {
+                let (job_index, unit) = &pending[u];
+                let job = jobs[*job_index]
+                    .as_ref()
+                    .expect("only resolved jobs decompose into units");
+                self.plan_unit(&specs[*job_index], job, unit)
+            });
 
         // Flatten planned units into the jobs×branches item space. A
         // sampling unit on a backend without sampling physics plans (the
@@ -203,7 +228,7 @@ impl BatchRunner {
         for ((job_index, unit), plan) in pending.into_iter().zip(plans) {
             let runnable = plan.is_ok() && !self.unit_rejected(&jobs[job_index], &unit);
             let items = if runnable {
-                plan.as_ref().map_or(0, ExecutionPlan::num_branches)
+                plan.as_ref().map_or(0, |p| p.num_branches())
             } else {
                 0
             };
@@ -254,7 +279,7 @@ impl BatchRunner {
                 Err(e) => Err(e.clone()),
             })
             .collect();
-        let mut parts: Vec<Vec<(ExecutionPlan, UnitOutput)>> =
+        let mut parts: Vec<Vec<(Arc<ExecutionPlan>, UnitOutput)>> =
             (0..jobs.len()).map(|_| Vec::new()).collect();
         let mut branch_results = branch_results.into_iter();
         for pu in units {
@@ -279,6 +304,104 @@ impl BatchRunner {
             .collect()
     }
 
+    /// Resolves one spec into a runnable [`Job`]. The exact tier goes
+    /// straight through [`JobSpec::to_job`] — bit-for-bit the sequential
+    /// path. Approximate tiers memoize the `(model, device)` pair per
+    /// (problem, device) spec so a sweep that varies only seed/tier pays
+    /// problem materialization once; resolution is a pure function of
+    /// the spec, so the memo changes no output bit.
+    fn resolve_job(&self, spec: &JobSpec) -> Result<Job, FqError> {
+        if spec.config.tier.is_exact() {
+            return spec.to_job();
+        }
+        let key = format!("{:?}|{:?}", spec.problem, spec.device);
+        let hit = {
+            let memo = self
+                .tier_resolved
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            memo.get(&key).cloned()
+        };
+        let resolved = match hit {
+            Some(r) => r,
+            None => {
+                let r = Arc::new((spec.problem.resolve()?, spec.device.build()));
+                let mut memo = self
+                    .tier_resolved
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if memo.len() >= TIER_MEMO_CAP {
+                    memo.clear();
+                }
+                memo.insert(key, Arc::clone(&r));
+                r
+            }
+        };
+        Ok(Job {
+            model: resolved.0.clone(),
+            device: resolved.1.clone(),
+            config: spec.config.clone(),
+            backend: spec.backend,
+            kind: spec.kind,
+        })
+    }
+
+    /// Plans one unit. The exact tier always re-plans through the
+    /// template cache (the pre-tier path, byte for byte); approximate
+    /// tiers additionally memoize the **whole plan** keyed by every
+    /// planning input — problem and device specs plus the config fields
+    /// planning reads (`num_frozen`, `layers`, `hotspots`,
+    /// `prune_symmetric`, `compile`; seed, `param_grid` and tier are
+    /// execution-time knobs, not planning inputs). `Debug` of `f64`
+    /// round-trips exactly, so the string key is injective. Racing
+    /// threads may plan the same key twice; planning is pure, so either
+    /// `Arc` yields identical bits.
+    fn plan_unit(
+        &self,
+        spec: &JobSpec,
+        job: &Job,
+        unit: &JobUnit,
+    ) -> Result<Arc<ExecutionPlan>, FqError> {
+        if unit.config.tier.is_exact() {
+            return plan_execution_cached(&job.model, &job.device, &unit.config, &self.cache)
+                .map(Arc::new);
+        }
+        let key = format!(
+            "{:?}|{:?}|{}|{}|{:?}|{}|{:?}",
+            spec.problem,
+            spec.device,
+            unit.config.num_frozen,
+            unit.config.layers,
+            unit.config.hotspots,
+            unit.config.prune_symmetric,
+            unit.config.compile,
+        );
+        {
+            let memo = self
+                .tier_plans
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(plan) = memo.get(&key) {
+                return Ok(Arc::clone(plan));
+            }
+        }
+        let plan = Arc::new(plan_execution_cached(
+            &job.model,
+            &job.device,
+            &unit.config,
+            &self.cache,
+        )?);
+        let mut memo = self
+            .tier_plans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if memo.len() >= TIER_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
     /// Whether `unit` is rejected before branch execution (sampling on a
     /// backend without sampling physics — the exhaustive dispatch lives
     /// in [`Job::sampling_supported`]).
@@ -294,9 +417,9 @@ impl BatchRunner {
         &self,
         job: &Result<Job, FqError>,
         unit: JobUnit,
-        plan: Result<ExecutionPlan, FqError>,
+        plan: Result<Arc<ExecutionPlan>, FqError>,
         outputs: Vec<Result<BranchResult, FqError>>,
-    ) -> Result<(ExecutionPlan, UnitOutput), FqError> {
+    ) -> Result<(Arc<ExecutionPlan>, UnitOutput), FqError> {
         let plan = plan?;
         if self.unit_rejected(job, &unit) {
             return Err(noise_model_sampling_error());

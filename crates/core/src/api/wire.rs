@@ -13,14 +13,26 @@ use fq_ising::{IsingModel, OutputDistribution, SpinVec};
 use fq_transpile::{CompileOptions, LayoutStrategy};
 
 use crate::api::{
-    BackendSpec, DeviceSpec, GraphWeighting, JobKind, JobResult, JobSpec, ProblemSpec,
+    BackendSpec, DeviceSpec, ErrorModel, GraphWeighting, JobKind, JobResult, JobSpec, ProblemSpec,
 };
 use crate::pipeline::CircuitMetrics;
 use crate::solve::SolveOutcome;
-use crate::{ExecutorKind, FqError, FrozenQubitsConfig, HotspotStrategy, Report, RunSummary};
+use crate::{
+    ExecutorKind, FqError, FrozenQubitsConfig, HotspotStrategy, QosTier, Report, RunSummary,
+};
 
-/// Wire-format version tag, bumped on breaking changes.
+/// Wire-format version tag of the original (exact-tier) documents.
 pub const WIRE_VERSION: u64 = 1;
+
+/// Wire-format version tag of documents carrying QoS-tier fields: a
+/// spec with a top-level `"tier"` or a result with an `"error_model"`.
+///
+/// The versioning is canonical in both directions: an exact job always
+/// serializes as v1 (so every pre-tier golden byte is unchanged), a
+/// non-exact job always serializes as v2 with its tier field present,
+/// and the parser rejects the mixed forms (v1 + tier, v2 − tier,
+/// v2 + `"exact"`), so each document has exactly one wire form.
+pub const WIRE_VERSION_TIERED: u64 = 2;
 
 fn num(x: f64) -> Value {
     Value::Number(x)
@@ -40,18 +52,30 @@ fn bad(msg: impl Into<String>) -> FqError {
 }
 
 impl JobSpec {
-    /// Serializes to the canonical JSON wire form.
+    /// Serializes to the canonical JSON wire form — v1 for exact jobs
+    /// (byte-identical to the pre-tier format), v2 with a top-level
+    /// `"tier"` field for approximate jobs.
     #[must_use]
     pub fn to_json(&self) -> String {
-        Value::object(vec![
-            ("v", unum(WIRE_VERSION)),
+        let mut pairs = vec![
+            (
+                "v",
+                unum(if self.config.tier.is_exact() {
+                    WIRE_VERSION
+                } else {
+                    WIRE_VERSION_TIERED
+                }),
+            ),
             ("problem", problem_to_value(&self.problem)),
             ("device", Value::string(self.device.name())),
             ("config", config_to_value(&self.config)),
             ("backend", Value::string(self.backend.name())),
             ("kind", kind_to_value(self.kind)),
-        ])
-        .to_json()
+        ];
+        if !self.config.tier.is_exact() {
+            pairs.push(("tier", Value::string(self.config.tier.name())));
+        }
+        Value::object(pairs).to_json()
     }
 
     /// Parses the canonical JSON wire form.
@@ -59,19 +83,21 @@ impl JobSpec {
     /// # Errors
     ///
     /// Returns [`FqError::Serde`] for malformed documents or unknown
-    /// names/versions.
+    /// names/versions, and [`FqError::UnknownTier`] for an unrecognized
+    /// tier name (so the service edge can answer with a structured 422
+    /// instead of a generic parse failure).
     pub fn from_json(text: &str) -> Result<JobSpec, FqError> {
         let v = Value::parse(text)?;
-        let version = v.field("v")?.as_u64()?;
-        if version != WIRE_VERSION {
-            return Err(bad(format!("unsupported wire version {version}")));
-        }
+        let tier = spec_tier_from_value(&v)?;
         let device_name = v.field("device")?.as_str()?;
         Ok(JobSpec {
             problem: problem_from_value(v.field("problem")?)?,
             device: DeviceSpec::from_name(device_name)
                 .ok_or_else(|| bad(format!("unknown device `{device_name}`")))?,
-            config: config_from_value(v.field("config")?)?,
+            config: FrozenQubitsConfig {
+                tier,
+                ..config_from_value(v.field("config")?)?
+            },
             backend: {
                 let name = v.field("backend")?.as_str()?;
                 BackendSpec::from_name(name)
@@ -82,15 +108,68 @@ impl JobSpec {
     }
 }
 
+/// Resolves the version/tier pair of a spec document, rejecting every
+/// non-canonical combination.
+fn spec_tier_from_value(v: &Value) -> Result<QosTier, FqError> {
+    let version = v.field("v")?.as_u64()?;
+    match version {
+        WIRE_VERSION => {
+            if v.get("tier").is_some() {
+                return Err(bad(
+                    "wire v1 carries no tier field; non-exact tiers use wire v2",
+                ));
+            }
+            Ok(QosTier::Exact)
+        }
+        WIRE_VERSION_TIERED => {
+            let Some(tier_value) = v.get("tier") else {
+                return Err(bad(format!(
+                    "unsupported wire version {version} without a tier field"
+                )));
+            };
+            let name = tier_value.as_str()?;
+            let tier =
+                QosTier::from_name(name).ok_or_else(|| FqError::UnknownTier(name.to_string()))?;
+            if tier.is_exact() {
+                return Err(bad("tier `exact` is canonically wire v1, not v2"));
+            }
+            Ok(tier)
+        }
+        other => Err(bad(format!("unsupported wire version {other}"))),
+    }
+}
+
 impl JobResult {
-    /// Serializes to the canonical JSON wire form.
+    /// Serializes to the canonical JSON wire form — v1 for plain
+    /// results (byte-identical to the pre-tier format), v2 with an
+    /// `"error_model"` field, same payload schema, for `Approx`
+    /// wrappers.
     #[must_use]
     pub fn to_json(&self) -> String {
+        let (mut plain, mut error_model) = (self, None);
+        while let JobResult::Approx {
+            error_model: em,
+            inner,
+        } = plain
+        {
+            error_model = Some(em);
+            plain = inner;
+        }
         let mut pairs = vec![
-            ("v", unum(WIRE_VERSION)),
-            ("kind", Value::string(self.kind_name())),
+            (
+                "v",
+                unum(if error_model.is_some() {
+                    WIRE_VERSION_TIERED
+                } else {
+                    WIRE_VERSION
+                }),
+            ),
+            ("kind", Value::string(plain.kind_name())),
         ];
-        match self {
+        if let Some(em) = error_model {
+            pairs.push(("error_model", error_model_to_value(em)));
+        }
+        match plain {
             JobResult::Baseline(summary) => pairs.push(("summary", summary_to_value(summary))),
             JobResult::Frozen {
                 summary,
@@ -104,6 +183,7 @@ impl JobResult {
             }
             JobResult::Compare(report) => pairs.push(("report", report_to_value(report))),
             JobResult::Sample(outcome) => pairs.push(("outcome", outcome_to_value(outcome))),
+            JobResult::Approx { .. } => unreachable!("unwrapped above"),
         }
         Value::object(pairs).to_json()
     }
@@ -117,14 +197,28 @@ impl JobResult {
     pub fn from_json(text: &str) -> Result<JobResult, FqError> {
         let v = Value::parse(text)?;
         let version = v.field("v")?.as_u64()?;
-        if version != WIRE_VERSION {
-            return Err(bad(format!("unsupported wire version {version}")));
-        }
-        match v.field("kind")?.as_str()? {
-            "baseline" => Ok(JobResult::Baseline(summary_from_value(
-                v.field("summary")?,
-            )?)),
-            "frozen" => Ok(JobResult::Frozen {
+        let error_model = match version {
+            WIRE_VERSION => {
+                if v.get("error_model").is_some() {
+                    return Err(bad(
+                        "wire v1 carries no error_model; approximate results use wire v2",
+                    ));
+                }
+                None
+            }
+            WIRE_VERSION_TIERED => match v.get("error_model") {
+                Some(em) => Some(error_model_from_value(em)?),
+                None => {
+                    return Err(bad(format!(
+                        "unsupported wire version {version} without an error_model field"
+                    )))
+                }
+            },
+            other => return Err(bad(format!("unsupported wire version {other}"))),
+        };
+        let plain = match v.field("kind")?.as_str()? {
+            "baseline" => JobResult::Baseline(summary_from_value(v.field("summary")?)?),
+            "frozen" => JobResult::Frozen {
                 summary: summary_from_value(v.field("summary")?)?,
                 frozen_qubits: v
                     .field("frozen_qubits")?
@@ -132,12 +226,50 @@ impl JobResult {
                     .iter()
                     .map(Value::as_usize)
                     .collect::<Result<_, _>>()?,
-            }),
-            "compare" => Ok(JobResult::Compare(report_from_value(v.field("report")?)?)),
-            "sample" => Ok(JobResult::Sample(outcome_from_value(v.field("outcome")?)?)),
-            other => Err(bad(format!("unknown result kind `{other}`"))),
-        }
+            },
+            "compare" => JobResult::Compare(report_from_value(v.field("report")?)?),
+            "sample" => JobResult::Sample(outcome_from_value(v.field("outcome")?)?),
+            other => return Err(bad(format!("unknown result kind `{other}`"))),
+        };
+        Ok(match error_model {
+            Some(error_model) => JobResult::Approx {
+                error_model,
+                inner: Box::new(plain),
+            },
+            None => plain,
+        })
     }
+}
+
+fn error_model_to_value(em: &ErrorModel) -> Value {
+    Value::object(vec![
+        ("tier", Value::string(em.tier.name())),
+        ("scan_resolution", idx(em.scan_resolution)),
+        ("refine_resolution", idx(em.refine_resolution)),
+        ("optimizer_evals", idx(em.optimizer_evals)),
+        ("lightcone_depth", idx(em.lightcone_depth)),
+        ("term_sample_keep", num(em.term_sample_keep)),
+        ("rel_bound", num(em.rel_bound)),
+        ("abs_floor", num(em.abs_floor)),
+    ])
+}
+
+fn error_model_from_value(v: &Value) -> Result<ErrorModel, FqError> {
+    let name = v.field("tier")?.as_str()?;
+    let tier = QosTier::from_name(name).ok_or_else(|| FqError::UnknownTier(name.to_string()))?;
+    if tier.is_exact() {
+        return Err(bad("an error_model cannot carry tier `exact`"));
+    }
+    Ok(ErrorModel {
+        tier,
+        scan_resolution: v.field("scan_resolution")?.as_usize()?,
+        refine_resolution: v.field("refine_resolution")?.as_usize()?,
+        optimizer_evals: v.field("optimizer_evals")?.as_usize()?,
+        lightcone_depth: v.field("lightcone_depth")?.as_usize()?,
+        term_sample_keep: v.field("term_sample_keep")?.as_f64()?,
+        rel_bound: v.field("rel_bound")?.as_f64()?,
+        abs_floor: v.field("abs_floor")?.as_f64()?,
+    })
 }
 
 fn problem_to_value(problem: &ProblemSpec) -> Value {
@@ -280,6 +412,9 @@ fn config_from_value(v: &Value) -> Result<FrozenQubitsConfig, FqError> {
         param_grid: v.field("param_grid")?.as_usize()?,
         seed: v.field("seed")?.as_u64()?,
         executor: executor_from_value(v.field("executor")?)?,
+        // The tier travels as a top-level versioned field, not inside
+        // the config object; the caller overrides this for wire v2.
+        tier: QosTier::Exact,
     })
 }
 
@@ -531,7 +666,7 @@ fn outcome_from_value(v: &Value) -> Result<SolveOutcome, FqError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::api::JobBuilder;
+    use crate::api::{ErrorModel, JobBuilder, QosTier};
 
     #[test]
     fn spec_round_trips_byte_for_byte() {
@@ -589,5 +724,86 @@ mod tests {
                 "`{to}` must be rejected"
             );
         }
+    }
+
+    fn spec_with(tier: Option<QosTier>) -> JobSpec {
+        let mut builder = JobBuilder::new()
+            .barabasi_albert(8, 1, 1)
+            .device(DeviceSpec::IbmMontreal)
+            .baseline();
+        if let Some(tier) = tier {
+            builder = builder.tier(tier);
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn tiered_specs_use_wire_v2_and_exact_stays_v1() {
+        let exact = spec_with(None).to_json();
+        assert!(exact.contains("\"v\":1"), "{exact}");
+        assert!(!exact.contains("\"tier\""), "{exact}");
+
+        let tiered = spec_with(Some(QosTier::Fast));
+        let text = tiered.to_json();
+        assert!(text.contains("\"v\":2"), "{text}");
+        assert!(text.contains("\"tier\":\"fast\""), "{text}");
+        let back = JobSpec::from_json(&text).unwrap();
+        assert_eq!(back, tiered);
+        assert_eq!(back.to_json(), text, "byte round-trip");
+    }
+
+    #[test]
+    fn non_canonical_tier_encodings_are_rejected() {
+        let tiered = spec_with(Some(QosTier::Balanced)).to_json();
+
+        // A tier field on wire v1 — v1 predates tiers.
+        let v1_with_tier = tiered.replace("\"v\":2", "\"v\":1");
+        assert!(JobSpec::from_json(&v1_with_tier).is_err());
+
+        // Wire v2 spelling out the default tier — the canonical form of
+        // an exact spec is v1 with no tier field.
+        let v2_exact = tiered.replace("\"tier\":\"balanced\"", "\"tier\":\"exact\"");
+        assert!(JobSpec::from_json(&v2_exact).is_err());
+
+        // Wire v2 with the tier field missing entirely.
+        let v2_missing = tiered.replace(",\"tier\":\"balanced\"", "");
+        let err = JobSpec::from_json(&v2_missing).unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported wire version"),
+            "{err}"
+        );
+
+        // A tier name this build does not know gets its own variant so
+        // the service edge can map it to a structured 422.
+        let unknown = tiered.replace("\"tier\":\"balanced\"", "\"tier\":\"turbo\"");
+        assert!(matches!(
+            JobSpec::from_json(&unknown),
+            Err(FqError::UnknownTier(name)) if name == "turbo"
+        ));
+    }
+
+    #[test]
+    fn approx_results_carry_their_error_model_on_wire_v2() {
+        let exact = spec_with(None).run().unwrap();
+        assert!(exact.error_model().is_none());
+        let exact_text = exact.to_json();
+        assert!(exact_text.contains("\"v\":1"), "{exact_text}");
+        assert!(!exact_text.contains("error_model"), "{exact_text}");
+
+        let result = spec_with(Some(QosTier::Balanced)).run().unwrap();
+        let em = *result.error_model().expect("non-exact result has a model");
+        assert_eq!(em, ErrorModel::balanced());
+        let text = result.to_json();
+        assert!(text.contains("\"v\":2"), "{text}");
+        assert!(text.contains("\"error_model\""), "{text}");
+        assert!(text.contains("\"tier\":\"balanced\""), "{text}");
+        let back = JobResult::from_json(&text).unwrap();
+        assert_eq!(back, result);
+        assert_eq!(back.to_json(), text, "byte round-trip");
+
+        // An error model on a v1 result is as non-canonical as a tier
+        // on a v1 spec.
+        let v1_with_model = text.replace("\"v\":2", "\"v\":1");
+        assert!(JobResult::from_json(&v1_with_model).is_err());
     }
 }

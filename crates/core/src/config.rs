@@ -5,6 +5,61 @@ use serde::{Deserialize, Serialize};
 
 use crate::{Executor, ExecutorKind, HotspotStrategy};
 
+/// The per-job accuracy/speed contract.
+///
+/// `Exact` is the bit-identical reference path and the default; the
+/// approximate tiers trade a bounded amount of accuracy for
+/// throughput, and every non-exact [`JobResult`](crate::api::JobResult)
+/// carries an [`ErrorModel`](crate::api::ErrorModel) describing exactly
+/// what was traded. Approximate tiers are still deterministic per
+/// `(spec, seed)`: same spec + same seed ⇒ byte-identical results
+/// across processes and thread counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QosTier {
+    /// Today's bit-identical path (full-resolution landscape scan,
+    /// full Nelder–Mead, exact trig, full lightcone walk).
+    #[default]
+    Exact,
+    /// Coarse-to-fine landscape scan with local refinement, early-exit
+    /// Nelder–Mead, truncated lightcone radius.
+    Balanced,
+    /// Seeded term-sampled landscape over a polynomial `sin`/`cos`
+    /// fast-math path, no simplex polish, depth-0 lightcone.
+    Fast,
+}
+
+impl QosTier {
+    /// The wire tag (`"exact"` / `"balanced"` / `"fast"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            QosTier::Exact => "exact",
+            QosTier::Balanced => "balanced",
+            QosTier::Fast => "fast",
+        }
+    }
+
+    /// Parses a wire tag; `None` for unknown names.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<QosTier> {
+        match name {
+            "exact" => Some(QosTier::Exact),
+            "balanced" => Some(QosTier::Balanced),
+            "fast" => Some(QosTier::Fast),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the bit-identical reference tier.
+    #[must_use]
+    pub fn is_exact(self) -> bool {
+        self == QosTier::Exact
+    }
+
+    /// All tiers, in contract order (exact → balanced → fast).
+    pub const ALL: [QosTier; 3] = [QosTier::Exact, QosTier::Balanced, QosTier::Fast];
+}
+
 /// Configuration of the FrozenQubits pipeline.
 ///
 /// The defaults follow the paper: freeze up to `m = 1` hotspot by maximum
@@ -34,6 +89,10 @@ pub struct FrozenQubitsConfig {
     /// the default. Orthogonal to the job-level
     /// [`BackendSpec`](crate::api::BackendSpec), which picks the physics.
     pub executor: ExecutorKind,
+    /// The accuracy/speed contract. `Exact` (default) keeps the
+    /// bit-identical path; approximate tiers are described by the
+    /// [`ErrorModel`](crate::api::ErrorModel) their results carry.
+    pub tier: QosTier,
 }
 
 impl Default for FrozenQubitsConfig {
@@ -47,6 +106,7 @@ impl Default for FrozenQubitsConfig {
             param_grid: 15,
             seed: 0,
             executor: ExecutorKind::default(),
+            tier: QosTier::Exact,
         }
     }
 }

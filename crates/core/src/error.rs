@@ -39,6 +39,8 @@ pub enum FqError {
     Graph(fq_graphs::GraphError),
     /// A wire-cutting planner error.
     Cut(fq_cutqc::CutError),
+    /// An unrecognized QoS-tier name in a spec or scenario.
+    UnknownTier(String),
     /// A (de)serialization error at the job-spec wire boundary.
     Serde(String),
     /// An I/O error, stringified (keeps `FqError: Clone + PartialEq`).
@@ -62,6 +64,12 @@ impl fmt::Display for FqError {
             FqError::Sim(e) => write!(f, "simulation error: {e}"),
             FqError::Graph(e) => write!(f, "graph error: {e}"),
             FqError::Cut(e) => write!(f, "cut-planner error: {e}"),
+            FqError::UnknownTier(name) => {
+                write!(
+                    f,
+                    "unknown QoS tier `{name}` (expected exact, balanced or fast)"
+                )
+            }
             FqError::Serde(msg) => write!(f, "serialization error: {msg}"),
             FqError::Io(msg) => write!(f, "io error: {msg}"),
         }

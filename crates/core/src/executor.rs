@@ -18,12 +18,13 @@ use fq_circuit::build_qaoa_circuit;
 use fq_ising::{OutputDistribution, Spin};
 use fq_sim::analytic::{expectation_from_terms_p1, PreparedP1};
 use fq_sim::{
-    fidelity_model, ising_expectation_from_terms, log_eps, noisy_expectation_from_terms,
-    noisy_expectation_lightcone, sample_noisy, NoisySamplerConfig,
+    fidelity_model, ising_expectation_from_terms, log_eps, noisy_expectation_from_lightcone,
+    noisy_expectation_from_terms, noisy_expectation_lightcone, sample_noisy, NoisySamplerConfig,
 };
-use fq_transpile::Device;
+use fq_transpile::{Compiled, Device};
 
-use crate::pipeline::{metrics_of, CircuitMetrics};
+use crate::api::ErrorModel;
+use crate::pipeline::{metrics_of, polish_parameters_tiered, CircuitMetrics};
 use crate::plan::ExecutionPlan;
 use crate::{
     optimize_parameters_multilayer, optimize_parameters_prepared, FqError, FrozenQubitsConfig,
@@ -408,19 +409,56 @@ pub(crate) fn execute_branch(
     let exec = plan.branch(branch);
     let model = exec.problem.model();
     let p = plan.layers();
+    // The QoS contract: `None` is the exact path (bit-identical to every
+    // pre-tier release); `Some(em)` swaps in the approximate optimizer
+    // and noise estimator that `em`'s knobs describe.
+    let em = ErrorModel::for_tier(config.tier);
     // For p = 1, one structure gather serves the whole branch: the grid
     // scan, the Nelder–Mead refinement, and the final term evaluation.
     let prepared = (p == 1).then(|| PreparedP1::new(model));
-    let (gammas, betas) = match &prepared {
-        Some(prep) => {
+    let (gammas, betas) = match (&prepared, em.as_ref()) {
+        // The tiers optimize once per plan on the representative branch
+        // and share the angles across siblings (the plan memoizes them);
+        // `balanced` additionally polishes the shared seed on each
+        // branch's own landscape (`fast`'s zero budget skips it); the
+        // exact path optimizes every branch from scratch.
+        (Some(prep), Some(em)) => {
+            let shared = plan.tier_params(em, config)?;
+            let (g, b) = polish_parameters_tiered(prep, em, shared.0[0], shared.1[0]);
+            (vec![g], vec![b])
+        }
+        (None, Some(em)) => {
+            let shared = plan.tier_params(em, config)?;
+            (shared.0.clone(), shared.1.clone())
+        }
+        (Some(prep), None) => {
             let (g, b) = optimize_parameters_prepared(prep, config.param_grid)?;
             (vec![g], vec![b])
         }
-        None => optimize_parameters_multilayer(model, p, config.param_grid)?,
+        (None, None) => optimize_parameters_multilayer(model, p, config.param_grid)?,
     };
     // Instantiate from the shared template: angle editing only, no
-    // layout/routing/scheduling work.
-    let compiled = plan.template_for(branch).edit_for(model)?;
+    // layout/routing/scheduling work. The approximate tiers skip even
+    // the angle edit: nothing downstream of this point reads an angle —
+    // the noise models, EPS and metrics are all structure-only, and the
+    // template shares the branch's exact structure — so reusing the
+    // template's own compilation changes no output bit; it only saves
+    // the per-branch gate-list rewrite. They also fetch the template's
+    // memoized branch-invariant tables (cone fidelities, attenuation,
+    // EPS, metrics) instead of re-deriving them per branch — bit-equal
+    // by construction (see `TierDerived`), and the dominant per-branch
+    // cost outside the optimizer.
+    let edited;
+    let tier_derived;
+    let compiled: &Compiled = if let Some(em) = em.as_ref() {
+        let template = plan.template_for(branch);
+        tier_derived = Some(template.tier_derived(model, p, device, em.lightcone_depth)?);
+        template.compiled()
+    } else {
+        tier_derived = None;
+        edited = plan.template_for(branch).edit_for(model)?;
+        &edited
+    };
     // The per-term expectations are computed once; the scalar ideal
     // expectation is assembled from them bit-identically instead of a
     // second full evaluation (the old two-call path recomputed every
@@ -437,14 +475,25 @@ pub(crate) fn execute_branch(
         let ev = ising_expectation_from_terms(model, &z, &zz)?;
         (ev, z, zz)
     };
-    let ev_noisy = match noise {
-        NoiseEval::Lightcone => noisy_expectation_lightcone(model, &z, &zz, &compiled, device)?,
-        NoiseEval::ProcessFidelity => {
-            let fid = fidelity_model(&compiled, device);
+    let ev_noisy = match (noise, tier_derived.as_ref()) {
+        (NoiseEval::Lightcone, None) => {
+            noisy_expectation_lightcone(model, &z, &zz, compiled, device)?
+        }
+        (NoiseEval::Lightcone, Some(d)) => {
+            noisy_expectation_from_lightcone(model, &z, &zz, &d.fid, &d.cones)?
+        }
+        (NoiseEval::ProcessFidelity, None) => {
+            let fid = fidelity_model(compiled, device);
             noisy_expectation_from_terms(model, &z, &zz, &fid)?
         }
+        (NoiseEval::ProcessFidelity, Some(d)) => {
+            noisy_expectation_from_terms(model, &z, &zz, &d.fid)?
+        }
     };
-    let eps_log = log_eps(&compiled, device);
+    let (eps_log, metrics) = match tier_derived.as_ref() {
+        Some(d) => (d.eps_log, d.metrics),
+        None => (log_eps(compiled, device), metrics_of(model, p, compiled)),
+    };
     Ok(BranchOutcome {
         branch,
         mask: exec.mask,
@@ -455,7 +504,7 @@ pub(crate) fn execute_branch(
         ev_ideal,
         ev_noisy,
         log_eps: eps_log,
-        metrics: metrics_of(model, p, &compiled),
+        metrics,
     })
 }
 

@@ -87,10 +87,10 @@ mod template;
 
 pub use adaptive::{plan_with_budget, suggest_num_frozen, FreezeBudget, FreezeRecommendation};
 pub use api::{
-    Backend, BackendSpec, BatchRunner, DeviceSpec, GraphWeighting, Job, JobBuilder, JobId, JobKind,
-    JobResult, JobSpec, NoiseModelBackend, ProblemSpec, SimBackend,
+    Backend, BackendSpec, BatchRunner, DeviceSpec, ErrorModel, GraphWeighting, Job, JobBuilder,
+    JobId, JobKind, JobResult, JobSpec, NoiseModelBackend, ProblemSpec, SimBackend,
 };
-pub use config::FrozenQubitsConfig;
+pub use config::{FrozenQubitsConfig, QosTier};
 pub use error::FqError;
 #[allow(deprecated)]
 pub use error::FrozenQubitsError;

@@ -12,15 +12,21 @@
 
 use fq_circuit::{build_qaoa_circuit, qaoa_cnot_count};
 use fq_ising::IsingModel;
-use fq_optim::{grid_axis, grid_scan_2d_rows_par, nelder_mead, NelderMeadOptions};
-use fq_sim::analytic::{expectation_from_terms_p1, BetaTrig, PreparedP1};
-use fq_sim::{ising_expectation_from_terms, log_eps, noisy_expectation_lightcone};
+use fq_optim::{
+    grid_axis, grid_scan_2d_coarse_to_fine_with, grid_scan_2d_rows, grid_scan_2d_rows_par,
+    nelder_mead, CoarseToFineScan, NelderMeadOptions,
+};
+use fq_sim::analytic::{expectation_from_terms_p1, BetaTrig, P1Row, PreparedP1};
+use fq_sim::{
+    ising_expectation_from_terms, log_eps, noisy_expectation_lightcone, subsample_couplings,
+};
 use fq_transpile::{compile, Compiled, Device};
 use serde::{Deserialize, Serialize};
 
+use crate::api::ErrorModel;
 use crate::executor::BranchOutcome;
 use crate::plan::ExecutionPlan;
-use crate::{metrics::arg, FqError, FrozenQubitsConfig};
+use crate::{metrics::arg, FqError, FrozenQubitsConfig, QosTier};
 
 /// The widest model multi-layer (`p ≥ 2`) parameter optimization will
 /// exactly simulate. Shared by the run-time check in
@@ -185,6 +191,150 @@ pub fn optimize_parameters_prepared(
     Ok((polished.best_params[0], polished.best_params[1]))
 }
 
+/// Coupling-count floor below which the `fast` tier's term subsample is
+/// a no-op: tiny models gain nothing from sparsification, and keeping
+/// them whole keeps the located angles trustworthy.
+const FAST_MIN_COUPLINGS: usize = 64;
+
+/// Drives both passes of a coarse-to-fine scan through the 8-wide lane
+/// kernels, with the β-axis trigonometry computed once per pass. Runs
+/// sequentially — the tier scans are small, and single-threading makes
+/// the approximate tiers trivially byte-identical across thread counts.
+fn coarse_to_fine_rows<'p>(
+    row_for: impl Fn(f64) -> P1Row<'p>,
+    coarse_resolution: usize,
+    refine_resolution: usize,
+) -> CoarseToFineScan {
+    let half_pi = std::f64::consts::FRAC_PI_2;
+    let quarter_pi = std::f64::consts::FRAC_PI_4;
+    grid_scan_2d_coarse_to_fine_with(
+        |gamma_range, beta_range, resolution| {
+            let trig = BetaTrig::new(&grid_axis(beta_range.0, beta_range.1, resolution));
+            grid_scan_2d_rows(
+                &row_for,
+                |row, _betas, out| row.eval_lanes::<8>(&trig, out),
+                gamma_range,
+                beta_range,
+                resolution,
+            )
+        },
+        (-half_pi, half_pi),
+        (-quarter_pi, quarter_pi),
+        coarse_resolution,
+        refine_resolution,
+    )
+}
+
+/// The approximate-tier counterpart of [`optimize_parameters_prepared`]:
+/// the [`ErrorModel`]'s knobs pick the technique, so the knobs a result
+/// reports are by construction the knobs that ran.
+///
+/// * `balanced` — coarse-to-fine lane-kernel scan
+///   (`scan_resolution² + refine_resolution²` points) followed by a
+///   budget-capped, early-exit Nelder–Mead polish with exact
+///   trigonometry;
+/// * `fast` — a seeded coupling subsample
+///   ([`fq_sim::subsample_couplings`], no-op below
+///   [`FAST_MIN_COUPLINGS`]) scanned through the polynomial-trig rows
+///   ([`fq_sim::analytic::PreparedP1::row_poly`]), no simplex polish.
+///
+/// Both run sequentially and are pure functions of `(model, em, seed)`,
+/// so approximate results are byte-identical across processes and thread
+/// counts. The caller evaluates the located angles **exactly** on the
+/// full model afterwards.
+///
+/// # Errors
+///
+/// Propagates analytic-expectation errors (none for well-formed models).
+pub(crate) fn optimize_parameters_tiered(
+    prepared: &PreparedP1<'_>,
+    em: &ErrorModel,
+    grid_resolution: usize,
+    seed: u64,
+) -> Result<(f64, f64), FqError> {
+    let model = prepared.model();
+    if model.num_couplings() == 0 && model.has_zero_linear_terms() {
+        // Constant objective; any angles do.
+        return Ok((0.0, 0.0));
+    }
+    match em.tier {
+        // Defensive only: `ErrorModel::for_tier` never builds an exact
+        // error model, so tier dispatch cannot reach this arm.
+        QosTier::Exact => optimize_parameters_prepared(prepared, grid_resolution),
+        QosTier::Balanced => {
+            let scan = coarse_to_fine_rows(
+                |g| prepared.row(g),
+                em.scan_resolution,
+                em.refine_resolution,
+            );
+            let (g0, b0) = scan.best_params;
+            if em.optimizer_evals == 0 {
+                return Ok((g0, b0));
+            }
+            let polished = nelder_mead(
+                |p: &[f64]| prepared.at(p[0], p[1]),
+                &[g0, b0],
+                &NelderMeadOptions {
+                    max_evaluations: em.optimizer_evals,
+                    value_tolerance: 1e-8,
+                    initial_step: 0.05,
+                },
+            );
+            Ok((polished.best_params[0], polished.best_params[1]))
+        }
+        QosTier::Fast => {
+            let sub = subsample_couplings(model, em.term_sample_keep, FAST_MIN_COUPLINGS, seed);
+            let scan = if sub.num_couplings() == model.num_couplings() {
+                // The subsample kept everything — reuse the caller's
+                // preparation instead of rebuilding it.
+                coarse_to_fine_rows(
+                    |g| prepared.row_poly(g),
+                    em.scan_resolution,
+                    em.refine_resolution,
+                )
+            } else {
+                let sub_prep = PreparedP1::new(&sub);
+                coarse_to_fine_rows(
+                    |g| sub_prep.row_poly(g),
+                    em.scan_resolution,
+                    em.refine_resolution,
+                )
+            };
+            Ok(scan.best_params)
+        }
+    }
+}
+
+/// Per-branch polish of the plan-shared tier angles: a budget-capped
+/// Nelder–Mead descent on **this branch's** exact `p = 1` landscape,
+/// started from the representative branch's optimum. `balanced` runs it
+/// (its `optimizer_evals` budget); `fast` sets the budget to zero and
+/// keeps the shared angles as-is. This is what keeps parameter sharing
+/// inside `balanced`'s tight deviation bound: siblings share the coupling
+/// structure, so the shared seed lands in the right basin, and the polish
+/// closes the branch-specific gap the differing linear terms open. Pure
+/// function of `(prepared, em, seed angles)` — bit-deterministic.
+pub(crate) fn polish_parameters_tiered(
+    prepared: &PreparedP1<'_>,
+    em: &ErrorModel,
+    gamma: f64,
+    beta: f64,
+) -> (f64, f64) {
+    if em.optimizer_evals == 0 {
+        return (gamma, beta);
+    }
+    let polished = nelder_mead(
+        |p: &[f64]| prepared.at(p[0], p[1]),
+        &[gamma, beta],
+        &NelderMeadOptions {
+            max_evaluations: em.optimizer_evals,
+            value_tolerance: 1e-8,
+            initial_step: 0.05,
+        },
+    );
+    (polished.best_params[0], polished.best_params[1])
+}
+
 /// Optimizes the full `(γ_1..γ_p, β_1..β_p)` vector for a `p`-layer QAOA
 /// circuit. `p = 1` uses the closed-form expectation (any width); `p ≥ 2`
 /// optimizes the exact statevector expectation (width ≤ 20) seeded from
@@ -207,6 +357,51 @@ pub fn optimize_parameters_multilayer(
     if p == 1 {
         return Ok((vec![g1], vec![b1]));
     }
+    multilayer_from_warm_start(model, p, g1, b1, 800)
+}
+
+/// The approximate-tier counterpart of
+/// [`optimize_parameters_multilayer`]: the first-layer warm start comes
+/// from [`optimize_parameters_tiered`], and the statevector Nelder–Mead
+/// runs on a reduced evaluation budget (its cost dominates `p ≥ 2`
+/// branches, so the budget **is** the tier's speed knob there).
+///
+/// # Errors
+///
+/// Returns [`FqError::InvalidConfig`] for `p = 0` or for `p ≥ 2` on
+/// models wider than the exact-simulation limit.
+pub(crate) fn optimize_parameters_multilayer_tiered(
+    model: &IsingModel,
+    p: usize,
+    grid_resolution: usize,
+    em: &ErrorModel,
+    seed: u64,
+) -> Result<(Vec<f64>, Vec<f64>), FqError> {
+    if p == 0 {
+        return Err(FqError::InvalidConfig("p must be at least 1".into()));
+    }
+    let prepared = PreparedP1::new(model);
+    let (g1, b1) = optimize_parameters_tiered(&prepared, em, grid_resolution, seed)?;
+    if p == 1 {
+        return Ok((vec![g1], vec![b1]));
+    }
+    let budget = match em.tier {
+        QosTier::Balanced => 200,
+        QosTier::Fast => 100,
+        QosTier::Exact => 800,
+    };
+    multilayer_from_warm_start(model, p, g1, b1, budget)
+}
+
+/// The shared `p ≥ 2` tail: INTERP-style warm start from the first-layer
+/// optimum, then statevector Nelder–Mead capped at `max_evaluations`.
+fn multilayer_from_warm_start(
+    model: &IsingModel,
+    p: usize,
+    g1: f64,
+    b1: f64,
+    max_evaluations: usize,
+) -> Result<(Vec<f64>, Vec<f64>), FqError> {
     if model.num_vars() > MAX_EXACT_OPT_QUBITS {
         return Err(FqError::InvalidConfig(format!(
             "multi-layer optimization simulates the exact state; {} variables exceed the {MAX_EXACT_OPT_QUBITS}-qubit limit",
@@ -230,7 +425,7 @@ pub fn optimize_parameters_multilayer(
         },
         &x0,
         &NelderMeadOptions {
-            max_evaluations: 800,
+            max_evaluations,
             initial_step: 0.08,
             ..NelderMeadOptions::default()
         },

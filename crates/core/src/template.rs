@@ -6,19 +6,89 @@
 //! every sibling executable by rewriting the γ-rotation scales in the
 //! already-routed circuit — the `O(1)` compile cost of Table 3.
 
+use std::sync::{Arc, Mutex};
+
 use fq_circuit::{build_qaoa_template, rebind_coefficients};
 use fq_ising::IsingModel;
+use fq_sim::{
+    fidelity_model, lightcone_fidelities_truncated, log_eps, FidelityModel, LightconeFidelity,
+};
 use fq_transpile::{compile, CompileOptions, Compiled, Device};
 use serde::json::Value;
 
+use crate::pipeline::{metrics_of, CircuitMetrics};
+use crate::store::device_fingerprint;
 use crate::FqError;
+
+/// Branch-invariant tables of the approximate-tier execution path,
+/// computed once per template and shared by every branch (and every
+/// job) that executes on it.
+///
+/// The invariance argument, field by field: the tiers run all branches
+/// on the template's own compiled circuit (no angle edit — nothing in
+/// these tables reads an angle), every sibling model sharing the
+/// template has the same variable count and the same coupling key set
+/// in the same canonical order (that is what
+/// [`ShapeSignature`](crate::ShapeSignature) equality means, and
+/// freezing never touches couplings between free variables), and cone
+/// fidelities depend only on a term's qubit set plus the circuit's gate
+/// structure — never on coefficient values. So each field is a pure
+/// function of `(template, device, layers, lightcone depth)` and caching
+/// it changes no output bit.
+pub(crate) struct TierDerived {
+    /// Global/per-qubit attenuation factors of the compiled template.
+    pub(crate) fid: FidelityModel,
+    /// Truncated per-term cone fidelities at the tier's lightcone depth.
+    pub(crate) cones: LightconeFidelity,
+    /// `log_eps` of the template executable.
+    pub(crate) eps_log: f64,
+    /// Circuit-level cost metrics of the template executable.
+    pub(crate) metrics: CircuitMetrics,
+}
+
+/// Cache key of one [`TierDerived`] entry: device identity fingerprint,
+/// QAOA layer count, lightcone truncation depth.
+type TierKey = (u64, usize, usize);
+
+/// The lazily built [`TierDerived`] memo a template shares across its
+/// clones.
+type TierDerivedMemo = Arc<Mutex<Vec<(TierKey, Arc<TierDerived>)>>>;
 
 /// A routed, reusable circuit template for a family of sibling
 /// sub-problems.
-#[derive(Clone, Debug, PartialEq)]
 pub struct CompiledTemplate {
     compiled: Compiled,
     num_vars: usize,
+    /// Lazily built [`TierDerived`] tables, shared across clones: the
+    /// template cache hands out clones per plan, so one computation
+    /// serves every branch of every job on this shape. Excluded from
+    /// `PartialEq`/`Debug`/serialization — it is a memo, not state.
+    tier_derived: TierDerivedMemo,
+}
+
+impl Clone for CompiledTemplate {
+    fn clone(&self) -> CompiledTemplate {
+        CompiledTemplate {
+            compiled: self.compiled.clone(),
+            num_vars: self.num_vars,
+            tier_derived: Arc::clone(&self.tier_derived),
+        }
+    }
+}
+
+impl std::fmt::Debug for CompiledTemplate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledTemplate")
+            .field("compiled", &self.compiled)
+            .field("num_vars", &self.num_vars)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for CompiledTemplate {
+    fn eq(&self, other: &CompiledTemplate) -> bool {
+        self.compiled == other.compiled && self.num_vars == other.num_vars
+    }
 }
 
 impl CompiledTemplate {
@@ -64,6 +134,7 @@ impl CompiledTemplate {
         Ok(CompiledTemplate {
             compiled,
             num_vars: representative.num_vars(),
+            tier_derived: Arc::default(),
         })
     }
 
@@ -90,7 +161,42 @@ impl CompiledTemplate {
         Ok(CompiledTemplate {
             num_vars: v.field("num_vars")?.as_usize()?,
             compiled: fq_transpile::compiled_from_value(v.field("compiled")?)?,
+            tier_derived: Arc::default(),
         })
+    }
+
+    /// The memoized [`TierDerived`] tables for `(device, layers,
+    /// lightcone_depth)`, computing them on first use. `model` may be
+    /// any sibling sharing this template's shape — the tables do not
+    /// depend on which one (see [`TierDerived`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the cone-walk width check (a model wider than the
+    /// template, impossible for models the plan paired with it).
+    pub(crate) fn tier_derived(
+        &self,
+        model: &IsingModel,
+        layers: usize,
+        device: &Device,
+        lightcone_depth: usize,
+    ) -> Result<Arc<TierDerived>, FqError> {
+        let key = (device_fingerprint(device), layers, lightcone_depth);
+        let mut cache = self
+            .tier_derived
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some((_, derived)) = cache.iter().find(|(k, _)| *k == key) {
+            return Ok(Arc::clone(derived));
+        }
+        let derived = Arc::new(TierDerived {
+            fid: fidelity_model(&self.compiled, device),
+            cones: lightcone_fidelities_truncated(model, &self.compiled, device, lightcone_depth)?,
+            eps_log: log_eps(&self.compiled, device),
+            metrics: metrics_of(model, layers, &self.compiled),
+        });
+        cache.push((key, Arc::clone(&derived)));
+        Ok(derived)
     }
 
     /// Produces the executable for a sibling sub-problem by rewriting the

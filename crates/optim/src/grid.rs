@@ -246,6 +246,108 @@ pub fn grid_scan_2d_rows_par<R>(
     assemble(gammas, betas, values)
 }
 
+/// The outcome of [`grid_scan_2d_coarse_to_fine`]: the coarse pass, the
+/// optional refinement pass, and the winning point across both.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoarseToFineScan {
+    /// The full-range coarse pass.
+    pub coarse: GridScan,
+    /// The local refinement pass around the coarse optimum (`None` when
+    /// `refine_resolution == 0`).
+    pub refine: Option<GridScan>,
+    /// The minimizing `(γ, β)` across both passes (coarse wins ties).
+    pub best_params: (f64, f64),
+    /// The minimum sampled value across both passes.
+    pub best_value: f64,
+}
+
+impl CoarseToFineScan {
+    /// Total objective evaluations spent (the budget the approximate
+    /// tiers report in their error model).
+    #[must_use]
+    pub fn evaluations(&self) -> usize {
+        let count = |s: &GridScan| s.gammas.len() * s.betas.len();
+        count(&self.coarse) + self.refine.as_ref().map_or(0, count)
+    }
+}
+
+/// Loop-perforated landscape scan: a coarse full-range pass, then a
+/// dense local pass over the ±1-cell neighborhood of the coarse
+/// optimum (clamped to the original ranges). This is the `balanced`
+/// QoS tier's scan — `coarse² + refine²` evaluations instead of the
+/// exact path's `resolution²`, trading global grid density for local
+/// density exactly where the landscape minimum sits.
+///
+/// Both passes run sequentially through [`grid_scan_2d`], so the result
+/// is deterministic (and trivially identical across thread counts).
+///
+/// # Panics
+///
+/// Panics if `coarse_resolution < 2`, a range is reversed, or
+/// `refine_resolution == 1` (0 disables refinement; ≥ 2 scans).
+pub fn grid_scan_2d_coarse_to_fine(
+    mut f: impl FnMut(f64, f64) -> f64,
+    gamma_range: (f64, f64),
+    beta_range: (f64, f64),
+    coarse_resolution: usize,
+    refine_resolution: usize,
+) -> CoarseToFineScan {
+    grid_scan_2d_coarse_to_fine_with(
+        |gr, br, res| grid_scan_2d(&mut f, gr, br, res),
+        gamma_range,
+        beta_range,
+        coarse_resolution,
+        refine_resolution,
+    )
+}
+
+/// [`grid_scan_2d_coarse_to_fine`] generic over how each pass is scanned:
+/// `scan_pass(gamma_range, beta_range, resolution)` runs one full pass.
+/// This lets callers with a row-granular vectorized objective (the QAOA
+/// p = 1 lane kernels) drive both passes through [`grid_scan_2d_rows`]
+/// while sharing this driver's window/winner logic — for a `scan_pass`
+/// that evaluates the same objective, the result is identical to the
+/// point-wise driver.
+///
+/// # Panics
+///
+/// Panics if a range is reversed, or on whatever `scan_pass` itself
+/// rejects (the built-in scans need `resolution ≥ 2`).
+pub fn grid_scan_2d_coarse_to_fine_with(
+    mut scan_pass: impl FnMut((f64, f64), (f64, f64), usize) -> GridScan,
+    gamma_range: (f64, f64),
+    beta_range: (f64, f64),
+    coarse_resolution: usize,
+    refine_resolution: usize,
+) -> CoarseToFineScan {
+    let coarse = scan_pass(gamma_range, beta_range, coarse_resolution);
+    let mut best_params = coarse.best_params();
+    let mut best_value = coarse.best_value();
+    let refine = (refine_resolution > 0).then(|| {
+        let cell = |range: (f64, f64)| (range.1 - range.0) / (coarse_resolution - 1) as f64;
+        let window = |center: f64, range: (f64, f64)| {
+            let half = cell(range);
+            ((center - half).max(range.0), (center + half).min(range.1))
+        };
+        let refined = scan_pass(
+            window(best_params.0, gamma_range),
+            window(best_params.1, beta_range),
+            refine_resolution,
+        );
+        if refined.best_value() < best_value {
+            best_params = refined.best_params();
+            best_value = refined.best_value();
+        }
+        refined
+    });
+    CoarseToFineScan {
+        coarse,
+        refine,
+        best_params,
+        best_value,
+    }
+}
+
 fn check_ranges(gamma_range: (f64, f64), beta_range: (f64, f64)) {
     assert!(
         gamma_range.0 <= gamma_range.1 && beta_range.0 <= beta_range.1,
@@ -419,6 +521,63 @@ mod tests {
             );
             assert_scan_bits_eq(&sequential, &par);
         }
+    }
+
+    #[test]
+    fn coarse_to_fine_refines_toward_the_true_minimum() {
+        // Bowl with the minimum off-grid for the coarse pass.
+        let f = |g: f64, b: f64| (g - 0.437).powi(2) + (b + 0.291).powi(2);
+        let scan = grid_scan_2d_coarse_to_fine(f, (-1.0, 1.0), (-1.0, 1.0), 7, 5);
+        assert!(scan.refine.is_some());
+        assert_eq!(scan.evaluations(), 7 * 7 + 5 * 5);
+        // The refinement must do at least as well as the coarse pass...
+        assert!(scan.best_value <= scan.coarse.best_value());
+        // ...and land strictly closer than a coarse cell.
+        let (g, b) = scan.best_params;
+        assert!((g - 0.437).abs() < 2.0 / 6.0);
+        assert!((b + 0.291).abs() < 2.0 / 6.0);
+
+        // Refinement disabled: pure coarse pass.
+        let coarse_only = grid_scan_2d_coarse_to_fine(f, (-1.0, 1.0), (-1.0, 1.0), 7, 0);
+        assert!(coarse_only.refine.is_none());
+        assert_eq!(coarse_only.best_params, coarse_only.coarse.best_params());
+        assert_eq!(coarse_only.evaluations(), 49);
+    }
+
+    #[test]
+    fn coarse_to_fine_with_rows_pass_matches_the_pointwise_driver() {
+        let pointwise = grid_scan_2d_coarse_to_fine(test_objective, (-1.5, 1.5), (-0.7, 0.7), 9, 5);
+        let rows = grid_scan_2d_coarse_to_fine_with(
+            |gr, br, res| {
+                grid_scan_2d_rows(
+                    |g| g,
+                    |&g, betas, out| {
+                        for (o, &b) in out.iter_mut().zip(betas) {
+                            *o = test_objective(g, b);
+                        }
+                    },
+                    gr,
+                    br,
+                    res,
+                )
+            },
+            (-1.5, 1.5),
+            (-0.7, 0.7),
+            9,
+            5,
+        );
+        assert_eq!(pointwise, rows, "same objective, same passes, same bits");
+    }
+
+    #[test]
+    fn coarse_to_fine_windows_stay_inside_the_ranges() {
+        // Minimum at a corner: the refine window must clamp.
+        let f = |g: f64, b: f64| g + b;
+        let scan = grid_scan_2d_coarse_to_fine(f, (0.0, 1.0), (0.0, 1.0), 5, 5);
+        let refined = scan.refine.unwrap();
+        assert!(refined.gammas.iter().all(|&g| (0.0..=1.0).contains(&g)));
+        assert!(refined.betas.iter().all(|&b| (0.0..=1.0).contains(&b)));
+        assert_eq!(scan.best_params, (0.0, 0.0));
     }
 
     #[test]

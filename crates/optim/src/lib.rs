@@ -34,8 +34,8 @@ mod nm;
 mod spsa;
 
 pub use grid::{
-    grid_axis, grid_scan_2d, grid_scan_2d_hoisted, grid_scan_2d_rows, grid_scan_2d_rows_par,
-    GridScan,
+    grid_axis, grid_scan_2d, grid_scan_2d_coarse_to_fine, grid_scan_2d_coarse_to_fine_with,
+    grid_scan_2d_hoisted, grid_scan_2d_rows, grid_scan_2d_rows_par, CoarseToFineScan, GridScan,
 };
 pub use nm::{nelder_mead, NelderMeadOptions};
 pub use spsa::{spsa, SpsaOptions};

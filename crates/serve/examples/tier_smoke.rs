@@ -1,0 +1,103 @@
+//! QoS-tier release smoke (a CI step): boot a live shard, run the same
+//! problem at `exact`, `balanced`, and `fast`, and hold every
+//! approximate result to the accuracy bound **its own** `error_model`
+//! reports — the per-release check that the speed knobs never ship
+//! outside the contract the corpus-wide deviation test pins.
+//!
+//! ```sh
+//! cargo run --release -p fq-serve --example tier_smoke
+//! ```
+//!
+//! Set `FQ_SERVE_ADDR` to point at an already-running `serve` process
+//! instead (the example then skips booting its own).
+
+use fq_serve::{client, Server, ServerConfig, ServerHandle};
+use frozenqubits::api::{DeviceSpec, JobBuilder, JobResult, JobSpec};
+use frozenqubits::{FqError, QosTier};
+
+/// The expectation values a result is judged on.
+fn headline_evs(result: &JobResult) -> Vec<(&'static str, f64)> {
+    match result {
+        JobResult::Approx { inner, .. } => headline_evs(inner),
+        JobResult::Frozen { summary, .. } => vec![
+            ("ev_ideal", summary.ev_ideal),
+            ("ev_noisy", summary.ev_noisy),
+        ],
+        other => panic!("smoke runs frozen jobs only, got {other:?}"),
+    }
+}
+
+fn spec(tier: QosTier) -> Result<JobSpec, FqError> {
+    JobBuilder::new()
+        .barabasi_albert(20, 1, 11)
+        .device(DeviceSpec::IbmMontreal)
+        .num_frozen(2)
+        .tier(tier)
+        .frozen()
+        .build()
+}
+
+fn main() -> Result<(), FqError> {
+    let (addr, handle): (String, Option<ServerHandle>) = match std::env::var("FQ_SERVE_ADDR") {
+        Ok(addr) => (addr, None),
+        Err(_) => {
+            let handle = Server::spawn(ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            })?;
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+
+    // The reference: one exact run of the probe problem.
+    let exact = client::submit_sync(&addr, &spec(QosTier::Exact)?)?;
+    assert!(
+        exact.error_model().is_none(),
+        "exact results carry no error model"
+    );
+    let exact_evs = headline_evs(&exact);
+    println!("exact         ev_ideal {:+.6}", exact_evs[0].1);
+
+    // Each approximate tier must land inside its own reported bound.
+    for tier in [QosTier::Balanced, QosTier::Fast] {
+        let approx = client::submit_sync(&addr, &spec(tier)?)?;
+        let em = *approx
+            .error_model()
+            .unwrap_or_else(|| panic!("{} result carries no error model", tier.name()));
+        assert_eq!(em.tier, tier, "result reports the tier that ran");
+        for ((name, e), (_, a)) in exact_evs.iter().zip(headline_evs(&approx)) {
+            let bound = em.bound_for(*e);
+            assert!(
+                (a - e).abs() <= bound,
+                "{} {name} deviates |{a} - {e}| = {} > bound {bound}",
+                tier.name(),
+                (a - e).abs()
+            );
+            println!(
+                "{:<13} {name} {:+.6}   |Δ| {:.6} ≤ bound {:.6}",
+                tier.name(),
+                a,
+                (a - e).abs(),
+                bound
+            );
+        }
+    }
+
+    // The shard counted one submission per tier.
+    let stats = client::request(&addr, "GET", "/v1/stats", None)?;
+    assert_eq!(stats.status, 200);
+    for needle in ["\"tiers\"", "\"exact\":1", "\"balanced\":1", "\"fast\":1"] {
+        assert!(
+            stats.body.contains(needle),
+            "stats missing {needle}: {}",
+            stats.body
+        );
+    }
+    println!("stats         {}", stats.body);
+
+    if let Some(handle) = handle {
+        handle.shutdown();
+        println!("shutdown      clean");
+    }
+    Ok(())
+}

@@ -31,6 +31,7 @@ pub fn kind_name(error: &FqError) -> &'static str {
         FqError::Graph(_) => "graph",
         FqError::Cut(_) => "cut",
         FqError::Serde(_) => "serde",
+        FqError::UnknownTier(_) => "unknown_tier",
         FqError::Io(_) => "io",
         // `FqError` is #[non_exhaustive]; new variants surface as
         // internal errors until this map learns their names.
@@ -52,7 +53,8 @@ pub fn status_for(error: &FqError) -> u16 {
         FqError::InvalidConfig(_)
         | FqError::TooManyFrozen { .. }
         | FqError::Graph(_)
-        | FqError::Ising(_) => 422,
+        | FqError::Ising(_)
+        | FqError::UnknownTier(_) => 422,
         _ => 500,
     }
 }
@@ -64,7 +66,7 @@ pub fn status_for(error: &FqError) -> u16 {
 pub fn status_for_kind(kind: &str) -> u16 {
     match kind {
         "serde" => 400,
-        "invalid_config" | "too_many_frozen" | "graph" | "ising" => 422,
+        "invalid_config" | "too_many_frozen" | "graph" | "ising" | "unknown_tier" => 422,
         _ => 500,
     }
 }
@@ -104,6 +106,8 @@ mod tests {
     fn statuses_partition_the_error_space() {
         assert_eq!(status_for(&FqError::Serde("x".into())), 400);
         assert_eq!(status_for(&FqError::InvalidConfig("x".into())), 422);
+        assert_eq!(status_for(&FqError::UnknownTier("turbo".into())), 422);
+        assert_eq!(status_for_kind("unknown_tier"), 422);
         assert_eq!(
             status_for(&FqError::TooManyFrozen { m: 3, num_vars: 2 }),
             422
@@ -138,9 +142,14 @@ mod tests {
             FqError::InvalidConfig("x".into()),
             FqError::Serde("x".into()),
             FqError::Io("x".into()),
+            FqError::UnknownTier("turbo".into()),
         ];
         for e in errors {
             assert_ne!(kind_name(&e), "internal");
         }
+        assert_eq!(
+            kind_name(&FqError::UnknownTier("turbo".into())),
+            "unknown_tier"
+        );
     }
 }

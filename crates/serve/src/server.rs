@@ -28,8 +28,8 @@ use std::time::{Duration, Instant};
 use fq_faults::{FaultKind, FaultPlan, FaultSite, FaultyStore};
 use frozenqubits::api::BackendSpec;
 use frozenqubits::{
-    BatchRunner, DiskStore, FqError, JobSpec, MemoryStore, TemplateArtifact, TemplateStore,
-    TieredStore,
+    BatchRunner, DiskStore, FqError, JobSpec, MemoryStore, QosTier, TemplateArtifact,
+    TemplateStore, TieredStore,
 };
 use serde::json::Value;
 
@@ -183,6 +183,10 @@ struct ServerState {
     /// When the server came up; `/v1/stats` reports the elapsed time so
     /// a dispatcher can tell a fresh (cold-cache) shard from a veteran.
     started: Instant,
+    /// Accepted submissions per QoS tier, indexed by [`QosTier::ALL`]
+    /// order — the `jobs.tiers` object of `/v1/stats`, so operators can
+    /// see the exact/balanced/fast mix a shard is absorbing.
+    tier_submitted: [AtomicUsize; QosTier::ALL.len()],
 }
 
 /// The HTTP job service. [`Server::spawn`] starts it on a background
@@ -268,6 +272,7 @@ impl Server {
             config,
             busy,
             started: Instant::now(),
+            tier_submitted: Default::default(),
         });
 
         let stop = Arc::new(AtomicBool::new(false));
@@ -576,6 +581,9 @@ fn handle_submit(state: &ServerState, request: &Request) -> Response {
         Some(backend) => spec.with_backend(backend),
         None => spec,
     };
+    if let Some(slot) = QosTier::ALL.iter().position(|&t| t == spec.config.tier) {
+        state.tier_submitted[slot].fetch_add(1, Ordering::SeqCst);
+    }
 
     let id = state.store.register();
     match state.queue.push(QueuedJob { id, spec }) {
@@ -731,6 +739,21 @@ fn stats_body(state: &ServerState) -> String {
                 ("completed", Value::UInt(counts.completed)),
                 ("failed", Value::UInt(counts.failed)),
                 ("expired", Value::UInt(counts.expired)),
+                (
+                    "tiers",
+                    Value::object(
+                        QosTier::ALL
+                            .iter()
+                            .zip(&state.tier_submitted)
+                            .map(|(tier, count)| {
+                                (
+                                    tier.name(),
+                                    Value::UInt(count.load(Ordering::SeqCst) as u64),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
         (

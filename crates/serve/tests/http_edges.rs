@@ -14,6 +14,7 @@ use std::time::Duration;
 
 use fq_serve::{client, Server, ServerConfig, ServerHandle};
 use frozenqubits::api::{DeviceSpec, JobBuilder, JobSpec};
+use frozenqubits::QosTier;
 use serde::json::Value;
 
 fn spawn(config: ServerConfig) -> (ServerHandle, String) {
@@ -150,6 +151,62 @@ fn malformed_and_mismatched_bodies_are_rejected() {
     // Valid JSON that is not a JobSpec document.
     let response = client::request(&addr, "POST", "/v1/jobs", Some("[1,2,3]")).unwrap();
     assert_eq!(response.status, 400);
+
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_qos_tiers_get_a_structured_422() {
+    let (handle, addr) = spawn(ServerConfig::default());
+
+    // A valid tiered (v2) spec is accepted end to end.
+    let tiered = JobBuilder::new()
+        .barabasi_albert(8, 1, 1)
+        .device(DeviceSpec::IbmMontreal)
+        .baseline()
+        .tier(QosTier::Balanced)
+        .build()
+        .unwrap();
+    let response = client::request(&addr, "POST", "/v1/jobs", Some(&tiered.to_json())).unwrap();
+    assert_eq!(response.status, 200, "{}", response.body);
+
+    // The same bytes naming a tier this build doesn't know: a
+    // structured 422 with the stable `unknown_tier` kind, not a 500.
+    let unknown = tiered
+        .to_json()
+        .replace("\"tier\":\"balanced\"", "\"tier\":\"turbo\"");
+    let response = client::request(&addr, "POST", "/v1/jobs", Some(&unknown)).unwrap();
+    assert_eq!(response.status, 422, "{}", response.body);
+    assert_eq!(
+        response
+            .json()
+            .unwrap()
+            .field("error")
+            .unwrap()
+            .field("kind")
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        "unknown_tier"
+    );
+    assert!(response.body.contains("turbo"), "{}", response.body);
+
+    // A non-string tier is a wire-syntax problem, not a validation one.
+    let nonstring = tiered
+        .to_json()
+        .replace("\"tier\":\"balanced\"", "\"tier\":7");
+    let response = client::request(&addr, "POST", "/v1/jobs", Some(&nonstring)).unwrap();
+    assert_eq!(response.status, 400, "{}", response.body);
+
+    // The accepted balanced job shows up in the per-tier counters.
+    let stats = client::request(&addr, "GET", "/v1/stats", None)
+        .unwrap()
+        .json()
+        .unwrap();
+    let tiers = stats.field("jobs").unwrap().field("tiers").unwrap();
+    assert_eq!(tiers.field("balanced").unwrap().as_u64().unwrap(), 1);
+    assert_eq!(tiers.field("exact").unwrap().as_u64().unwrap(), 0);
+    assert_eq!(tiers.field("fast").unwrap().as_u64().unwrap(), 0);
 
     handle.shutdown();
 }

@@ -562,6 +562,38 @@ impl<'m> PreparedP1<'m> {
         // per-occurrence call it replaces.
         let ct: Vec<f64> = self.cos_args.iter().map(|&m| (g2 * m).cos()).collect();
         let st: Vec<f64> = self.sin_args.iter().map(|&m| (g2 * m).sin()).collect();
+        self.assemble_row(&ct, &st)
+    }
+
+    /// Like [`PreparedP1::row`], but the per-coefficient trig tables are
+    /// filled with the polynomial kernels [`crate::approx::sin_poly`] /
+    /// [`crate::approx::cos_poly`] instead of libm — the `fast` QoS
+    /// tier's scan path. Each table entry deviates from the exact row by
+    /// at most [`crate::approx::POLY_TRIG_MAX_ABS_ERROR`]; everything
+    /// downstream of the tables (the row assembly and the lane kernels)
+    /// is the identical code path.
+    #[must_use]
+    pub fn row_poly(&self, gamma: f64) -> P1Row<'_> {
+        let g2 = 2.0 * gamma;
+        let ct: Vec<f64> = self
+            .cos_args
+            .iter()
+            .map(|&m| crate::approx::cos_poly(g2 * m))
+            .collect();
+        let st: Vec<f64> = self
+            .sin_args
+            .iter()
+            .map(|&m| crate::approx::sin_poly(g2 * m))
+            .collect();
+        self.assemble_row(&ct, &st)
+    }
+
+    /// Assembles a [`P1Row`] from already-evaluated trig tables (`ct[i] =
+    /// cos(2γ·cos_args[i])`, `st[i] = sin(2γ·sin_args[i])` — or their
+    /// polynomial stand-ins). Shared by [`PreparedP1::row`] and
+    /// [`PreparedP1::row_poly`] so the two paths differ **only** in how
+    /// the tables were filled.
+    fn assemble_row(&self, ct: &[f64], st: &[f64]) -> P1Row<'_> {
         let nl = self.lin.h.len();
         let mut lin_sgh = Vec::with_capacity(nl);
         let mut lin_prod = Vec::with_capacity(nl);
@@ -855,6 +887,44 @@ mod tests {
                 let (z, zz) = term_expectations_p1(&m, g, b).unwrap();
                 assert_eq!(prep.terms_at(g, b), (z, zz));
             }
+        }
+    }
+
+    #[test]
+    fn poly_rows_track_exact_rows_within_term_count_times_trig_bound() {
+        use crate::approx::POLY_TRIG_MAX_ABS_ERROR;
+        for seed in 80..84 {
+            let m = random_model(8, seed % 2 == 0, 0.5, seed);
+            let prep = PreparedP1::new(&m);
+            // Each term mixes a handful of bounded trig factors, so the
+            // row error scales like (terms × degree) × per-call error.
+            let budget = 64.0 * prep.num_terms() as f64 * POLY_TRIG_MAX_ABS_ERROR;
+            for &g in &[0.0, 0.3, -0.9, 1.4] {
+                for &b in &[0.1, -0.6, 0.75] {
+                    let exact = prep.row(g).at(b);
+                    let poly = prep.row_poly(g).at(b);
+                    assert!(
+                        (exact - poly).abs() <= budget,
+                        "seed {seed} ({g}, {b}): |{exact} - {poly}| > {budget:e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poly_rows_share_the_exact_assembly_and_lane_kernels() {
+        let m = random_model(7, true, 0.6, 91);
+        let prep = PreparedP1::new(&m);
+        let betas: Vec<f64> = (0..11).map(|i| -0.7 + 0.14 * f64::from(i)).collect();
+        let trig = BetaTrig::new(&betas);
+        let row = prep.row_poly(0.42);
+        let mut lanes = vec![0.0f64; betas.len()];
+        row.eval_lanes::<8>(&trig, &mut lanes);
+        for (j, &b) in betas.iter().enumerate() {
+            // Lane evaluation of a poly row is bit-identical to its own
+            // scalar path — the approximation lives only in the tables.
+            assert_eq!(lanes[j], row.at(b));
         }
     }
 

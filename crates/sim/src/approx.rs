@@ -1,0 +1,192 @@
+//! Approximate-computing kernels for the QoS tiers: polynomial
+//! trigonometry and deterministic coupling subsampling.
+//!
+//! The `fast` tier trades exactness for speed in two places that this
+//! module isolates so the approximations stay auditable:
+//!
+//! * [`sin_poly`] / [`cos_poly`] — range-reduced truncated-Taylor
+//!   trigonometry with a stated worst-case error, feeding
+//!   [`crate::analytic::PreparedP1::row_poly`];
+//! * [`subsample_couplings`] — a seeded, deterministic Monte-Carlo term
+//!   sample of an Ising model, used to *locate* good QAOA angles on a
+//!   sparsified landscape (the located angles are then evaluated exactly
+//!   on the full model, so the subsample never biases a reported
+//!   expectation value).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use fq_ising::IsingModel;
+
+use std::f64::consts::{FRAC_PI_2, PI, TAU};
+
+/// Worst-case absolute error of [`sin_poly`] and [`cos_poly`] over all
+/// finite arguments that survive range reduction (≈ the truncated-Taylor
+/// remainder at π/2, plus one reduction rounding).
+pub const POLY_TRIG_MAX_ABS_ERROR: f64 = 1e-7;
+
+/// Reduces `x` to `[-π, π]` (mod 2π), then folds into `[-π/2, π/2]`
+/// using `sin(π − r) = sin r`.
+#[inline]
+fn reduce_for_sin(x: f64) -> f64 {
+    let r = x - TAU * (x / TAU).round();
+    if r > FRAC_PI_2 {
+        PI - r
+    } else if r < -FRAC_PI_2 {
+        -PI - r
+    } else {
+        r
+    }
+}
+
+/// `sin x` via an odd degree-11 truncated Taylor polynomial after range
+/// reduction to `[-π/2, π/2]`.
+///
+/// Absolute error is below [`POLY_TRIG_MAX_ABS_ERROR`] for every finite
+/// argument — accurate enough for the `fast` QoS tier's landscape scan,
+/// whose located angles are re-evaluated with exact trigonometry anyway.
+#[inline]
+#[must_use]
+pub fn sin_poly(x: f64) -> f64 {
+    let r = reduce_for_sin(x);
+    let x2 = r * r;
+    // Horner over the odd Taylor coefficients 1/(2k+1)!.
+    r * (1.0
+        + x2 * (-1.0 / 6.0
+            + x2 * (1.0 / 120.0
+                + x2 * (-1.0 / 5040.0 + x2 * (1.0 / 362_880.0 - x2 / 39_916_800.0)))))
+}
+
+/// `cos x` as `sin(x + π/2)` through the same reduced polynomial, with
+/// the same [`POLY_TRIG_MAX_ABS_ERROR`] bound.
+#[inline]
+#[must_use]
+pub fn cos_poly(x: f64) -> f64 {
+    sin_poly(x + FRAC_PI_2)
+}
+
+/// A deterministic seeded subsample of a model's couplings: keeps
+/// `max(min_keep, ⌈keep_fraction · |J|⌉)` couplings chosen by a partial
+/// Fisher–Yates shuffle of `StdRng::seed_from_u64(seed)`, with all linear
+/// terms and the offset intact.
+///
+/// Kept couplings retain their **original** coefficient values — scaling
+/// them to unbias the magnitude would distort the `sin(2γJ)`/`cos(2γJ)`
+/// periodic structure that makes the sparsified landscape's *argmin* line
+/// up with the full model's, and the `fast` tier only ever uses the
+/// subsample to locate angles, never to report a value.
+///
+/// Same `(model, keep_fraction, min_keep, seed)` in, same model out —
+/// byte-for-byte — regardless of process or thread count.
+#[must_use]
+pub fn subsample_couplings(
+    model: &IsingModel,
+    keep_fraction: f64,
+    min_keep: usize,
+    seed: u64,
+) -> IsingModel {
+    let total = model.num_couplings();
+    let frac = keep_fraction.clamp(0.0, 1.0);
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let target = min_keep.max((frac * total as f64).ceil() as usize);
+    if target >= total {
+        return model.clone();
+    }
+    // Partial Fisher–Yates: draw `target` distinct positions in the
+    // model's deterministic coupling-iteration order.
+    let mut order: Vec<usize> = (0..total).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for k in 0..target {
+        let pick = rng.random_range(k..total);
+        order.swap(k, pick);
+    }
+    let mut keep = vec![false; total];
+    for &k in &order[..target] {
+        keep[k] = true;
+    }
+    let mut out = IsingModel::new(model.num_vars());
+    out.set_offset(model.offset());
+    for (i, hi) in model.linears() {
+        if hi != 0.0 {
+            out.set_linear(i, hi).expect("index is in range");
+        }
+    }
+    for (k, ((i, j), jij)) in model.couplings().enumerate() {
+        if keep[k] {
+            out.set_coupling(i, j, jij).expect("indices are in range");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poly_trig_stays_inside_the_stated_bound() {
+        let mut worst = 0.0f64;
+        for k in -4000..=4000 {
+            let x = f64::from(k) * 0.01;
+            worst = worst.max((sin_poly(x) - x.sin()).abs());
+            worst = worst.max((cos_poly(x) - x.cos()).abs());
+        }
+        assert!(
+            worst < POLY_TRIG_MAX_ABS_ERROR,
+            "worst poly-trig error {worst:e} exceeds the documented bound"
+        );
+    }
+
+    #[test]
+    fn poly_trig_hits_the_exact_special_points() {
+        assert_eq!(sin_poly(0.0), 0.0);
+        assert!((sin_poly(FRAC_PI_2) - 1.0).abs() < POLY_TRIG_MAX_ABS_ERROR);
+        assert!((cos_poly(PI) + 1.0).abs() < POLY_TRIG_MAX_ABS_ERROR);
+    }
+
+    fn dense_model(n: usize) -> IsingModel {
+        let mut m = IsingModel::new(n);
+        m.set_offset(2.5);
+        for i in 0..n {
+            m.set_linear(i, 0.25 * (i as f64) - 1.0).unwrap();
+            for j in (i + 1)..n {
+                m.set_coupling(i, j, if (i + j) % 2 == 0 { 1.0 } else { -1.0 })
+                    .unwrap();
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn subsample_is_deterministic_and_sized() {
+        let m = dense_model(12);
+        let total = m.num_couplings();
+        let a = subsample_couplings(&m, 0.25, 8, 42);
+        let b = subsample_couplings(&m, 0.25, 8, 42);
+        assert_eq!(a, b, "same seed, same model");
+        let target = 8usize.max((0.25 * total as f64).ceil() as usize);
+        assert_eq!(a.num_couplings(), target);
+        assert_eq!(a.num_vars(), m.num_vars());
+        assert_eq!(a.offset(), m.offset());
+        // Kept couplings are a subset with identical coefficients.
+        for ((i, j), jij) in a.couplings() {
+            assert_eq!(m.coupling(i, j), jij);
+        }
+        // Linear terms survive untouched.
+        for (i, hi) in m.linears() {
+            assert_eq!(a.linear(i), hi);
+        }
+        // A different seed picks a different subset (overwhelmingly).
+        let c = subsample_couplings(&m, 0.25, 8, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn full_fraction_or_small_models_pass_through_unchanged() {
+        let m = dense_model(8);
+        let full = subsample_couplings(&m, 1.0, 0, 7);
+        assert_eq!(full, m);
+        let floor = subsample_couplings(&m, 0.01, m.num_couplings(), 7);
+        assert_eq!(floor.num_couplings(), m.num_couplings());
+    }
+}

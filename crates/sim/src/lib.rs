@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod approx;
 mod complex;
 mod eps;
 mod error;
@@ -51,6 +52,7 @@ mod mitigation;
 pub mod noise;
 mod state;
 
+pub use approx::{cos_poly, sin_poly, subsample_couplings, POLY_TRIG_MAX_ABS_ERROR};
 pub use complex::Complex;
 pub use eps::{eps, log_eps};
 pub use error::SimError;
@@ -58,8 +60,9 @@ pub use ideal::{qaoa_expectation_sv, run_circuit, sample_distribution};
 pub use mc::{sample_noisy, NoisySamplerConfig};
 pub use mitigation::ReadoutMitigator;
 pub use noise::{
-    fidelity_model, gate_error_rates, lightcone_fidelities, noisy_expectation_from_terms,
-    noisy_expectation_lightcone, FidelityModel, LightconeFidelity,
+    fidelity_model, gate_error_rates, lightcone_fidelities, lightcone_fidelities_truncated,
+    noisy_expectation_from_lightcone, noisy_expectation_from_terms, noisy_expectation_lightcone,
+    noisy_expectation_lightcone_truncated, FidelityModel, LightconeFidelity,
 };
 pub use state::{ising_expectation_from_terms, Statevector, MAX_STATEVECTOR_QUBITS};
 

@@ -239,6 +239,82 @@ pub fn lightcone_fidelities(
     Ok(LightconeFidelity { z, zz })
 }
 
+/// Like [`lightcone_fidelities`], but the reverse cone walk only visits
+/// the **last** `max_depth` gates; every earlier gate contributes to a
+/// shared conservative survival factor applied to every term, exactly as
+/// if it were inside each cone.
+///
+/// This caps the per-term walk at `O(max_depth)` instead of `O(gates)`,
+/// which is the `balanced` QoS tier's noise-model speedup. The estimate
+/// is **conservative**: a truncated cone's fidelity is never larger than
+/// the exact cone's (the prefix counts all its gates, a superset of the
+/// cone's prefix gates), and never smaller than the whole-circuit gate
+/// fidelity — so the truncated noisy EV always lies between the global
+/// and the exact-lightcone estimates. Two exact endpoints, pinned by
+/// tests: `max_depth ≥ gates` reproduces [`lightcone_fidelities`]
+/// bit-for-bit, and `max_depth == 0` reproduces the global
+/// [`FidelityModel::gate_fidelity`] for every term.
+///
+/// # Errors
+///
+/// Returns [`SimError::WidthMismatch`] if the model is wider than the
+/// compiled circuit's logical register.
+pub fn lightcone_fidelities_truncated(
+    model: &IsingModel,
+    compiled: &Compiled,
+    device: &Device,
+    max_depth: usize,
+) -> Result<LightconeFidelity, SimError> {
+    if model.num_vars() > compiled.final_layout.len() {
+        return Err(SimError::WidthMismatch {
+            circuit: model.num_vars(),
+            state: compiled.final_layout.len(),
+        });
+    }
+    let errors = gate_error_rates(compiled, device);
+    let gates = compiled.circuit.gates();
+    let width = compiled.circuit.num_qubits();
+    let split = gates.len().saturating_sub(max_depth);
+
+    // Everything before the walk window survives as one shared factor,
+    // accumulated in forward gate order — the exact accumulation of
+    // `fidelity_model`, so the `max_depth == 0` endpoint is bit-identical
+    // to `gate_fidelity`.
+    let mut prefix_log = 0.0f64;
+    for (g, &e) in gates[..split].iter().zip(&errors[..split]) {
+        if !matches!(g, Gate::Measure { .. }) && e > 0.0 {
+            prefix_log += (1.0 - e).ln();
+        }
+    }
+
+    let cone = |seed: &[usize]| -> f64 {
+        let mut active = vec![false; width];
+        for &l in seed {
+            active[compiled.final_layout[l]] = true;
+        }
+        let mut log = 0.0f64;
+        for (g, &e) in gates[split..].iter().zip(&errors[split..]).rev() {
+            if matches!(g, Gate::Measure { .. }) {
+                continue;
+            }
+            let qs = g.qubits();
+            if qs.iter().any(|&q| active[q]) {
+                if e > 0.0 {
+                    log += (1.0 - e).ln();
+                }
+                for q in qs {
+                    active[q] = true;
+                }
+            }
+        }
+        (prefix_log + log).exp()
+    };
+
+    let z = (0..model.num_vars()).map(|i| cone(&[i])).collect();
+    let zz = model.couplings().map(|((i, j), _)| cone(&[i, j])).collect();
+    Ok(LightconeFidelity { z, zz })
+}
+
 /// The noisy expectation value with **lightcone** gate attenuation:
 /// like [`noisy_expectation_from_terms`], but each term's gate-survival
 /// factor is its own causal cone's instead of the whole circuit's.
@@ -261,6 +337,42 @@ pub fn noisy_expectation_lightcone(
     }
     let fid = fidelity_model(compiled, device);
     let cones = lightcone_fidelities(model, compiled, device)?;
+    noisy_expectation_from_lightcone(model, z_ideal, zz_ideal, &fid, &cones)
+}
+
+/// Assembles the noisy expectation from **precomputed** attenuation
+/// tables — the amortized half of the lightcone estimators, split out so
+/// callers that reuse one `FidelityModel` + [`LightconeFidelity`] across
+/// many evaluations (all branches of a freezing plan share the compiled
+/// template, and cone fidelities depend only on circuit structure and
+/// term qubit sets, never on coefficient values) pay the `O(gates)`
+/// table construction once instead of per evaluation.
+///
+/// Bit-identical to [`noisy_expectation_lightcone`] /
+/// [`noisy_expectation_lightcone_truncated`] fed the same tables: those
+/// functions now delegate here for the assembly loop.
+///
+/// # Errors
+///
+/// Returns [`SimError::WidthMismatch`] when the ideal-term slices or the
+/// cone tables do not match the model's term counts.
+pub fn noisy_expectation_from_lightcone(
+    model: &IsingModel,
+    z_ideal: &[f64],
+    zz_ideal: &[f64],
+    fid: &FidelityModel,
+    cones: &LightconeFidelity,
+) -> Result<f64, SimError> {
+    if z_ideal.len() != model.num_vars()
+        || zz_ideal.len() != model.num_couplings()
+        || cones.z.len() != model.num_vars()
+        || cones.zz.len() != model.num_couplings()
+    {
+        return Err(SimError::WidthMismatch {
+            circuit: model.num_vars(),
+            state: z_ideal.len(),
+        });
+    }
     let mut ev = model.offset();
     for (i, hi) in model.linears() {
         if hi != 0.0 {
@@ -276,6 +388,35 @@ pub fn noisy_expectation_lightcone(
         ev += jij * att * zz_ideal[k];
     }
     Ok(ev)
+}
+
+/// [`noisy_expectation_lightcone`] with the cone walk truncated to the
+/// last `max_depth` gates ([`lightcone_fidelities_truncated`]) — the
+/// approximate QoS tiers' noise estimator. `max_depth == 0` degenerates
+/// to pure whole-circuit attenuation (every cone factor equals the
+/// global gate fidelity), and `max_depth ≥ gates` is bit-identical to
+/// [`noisy_expectation_lightcone`].
+///
+/// # Errors
+///
+/// Returns [`SimError::WidthMismatch`] on any dimension mismatch.
+pub fn noisy_expectation_lightcone_truncated(
+    model: &IsingModel,
+    z_ideal: &[f64],
+    zz_ideal: &[f64],
+    compiled: &Compiled,
+    device: &Device,
+    max_depth: usize,
+) -> Result<f64, SimError> {
+    if z_ideal.len() != model.num_vars() || zz_ideal.len() != model.num_couplings() {
+        return Err(SimError::WidthMismatch {
+            circuit: model.num_vars(),
+            state: z_ideal.len(),
+        });
+    }
+    let fid = fidelity_model(compiled, device);
+    let cones = lightcone_fidelities_truncated(model, compiled, device, max_depth)?;
+    noisy_expectation_from_lightcone(model, z_ideal, zz_ideal, &fid, &cones)
 }
 
 #[cfg(test)]
@@ -412,6 +553,58 @@ mod tests {
             cone.abs() >= global.abs() - 1e-12,
             "cone {cone} vs global {global}"
         );
+    }
+
+    #[test]
+    fn truncated_cones_pin_both_exact_endpoints() {
+        let dev = Device::ibm_montreal();
+        let (m, c) = compiled_on(&dev, 8);
+        let exact = lightcone_fidelities(&m, &c, &dev).unwrap();
+        let full_depth = lightcone_fidelities_truncated(&m, &c, &dev, c.circuit.len()).unwrap();
+        assert_eq!(exact, full_depth, "full depth must reproduce every bit");
+        let zero_depth = lightcone_fidelities_truncated(&m, &c, &dev, 0).unwrap();
+        let global = fidelity_model(&c, &dev).gate_fidelity;
+        for &f in zero_depth.z.iter().chain(&zero_depth.zz) {
+            assert_eq!(f, global, "depth 0 must be the global gate fidelity");
+        }
+    }
+
+    #[test]
+    fn truncated_cones_interpolate_monotonically() {
+        let dev = Device::ibm_toronto();
+        let (m, c) = compiled_on(&dev, 8);
+        let exact = lightcone_fidelities(&m, &c, &dev).unwrap();
+        let global = fidelity_model(&c, &dev).gate_fidelity;
+        for depth in [0, 4, 16, 64, c.circuit.len()] {
+            let t = lightcone_fidelities_truncated(&m, &c, &dev, depth).unwrap();
+            for (k, (&tf, &ef)) in t.zz.iter().zip(&exact.zz).enumerate() {
+                assert!(
+                    tf <= ef + 1e-15 && tf >= global - 1e-15,
+                    "depth {depth} term {k}: {tf} outside [{global}, {ef}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_noisy_ev_lies_between_global_and_lightcone() {
+        let dev = Device::ibm_montreal();
+        let (m, c) = compiled_on(&dev, 8);
+        let (z, zz) = term_expectations_p1(&m, 0.35, 0.62).unwrap();
+        let global = {
+            let f = fidelity_model(&c, &dev);
+            noisy_expectation_from_terms(&m, &z, &zz, &f).unwrap()
+        };
+        let cone = noisy_expectation_lightcone(&m, &z, &zz, &c, &dev).unwrap();
+        let trunc = noisy_expectation_lightcone_truncated(&m, &z, &zz, &c, &dev, 32).unwrap();
+        let (lo, hi) = (global.abs().min(cone.abs()), global.abs().max(cone.abs()));
+        assert!(
+            trunc.abs() >= lo - 1e-12 && trunc.abs() <= hi + 1e-12,
+            "truncated {trunc} outside [{lo}, {hi}]"
+        );
+        let full =
+            noisy_expectation_lightcone_truncated(&m, &z, &zz, &c, &dev, c.circuit.len()).unwrap();
+        assert_eq!(full, cone, "full depth reproduces the exact lightcone EV");
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub struct ScenarioRecord {
     pub routing: String,
     /// Job kind tag.
     pub kind: String,
+    /// QoS tier name (`exact`, `balanced`, `fast`). Serialized only
+    /// when non-exact so pre-tier run files stay byte-identical.
+    pub tier: String,
     /// Whether execution succeeded.
     pub ok: bool,
     /// Canonical [`JobResult`] wire bytes on success; the error
@@ -156,6 +159,7 @@ pub fn run_suite(
                 fingerprint: String::new(),
                 routing: String::new(),
                 kind: String::new(),
+                tier: scenario.tier.name().to_string(),
                 ok: false,
                 result: e.to_string(),
                 quality: Vec::new(),
@@ -230,6 +234,7 @@ fn record_for(
         fingerprint: spec.spec_fingerprint(),
         routing: spec.routing_fingerprint().unwrap_or_default(),
         kind: kind_of(spec),
+        tier: spec.config.tier.name().to_string(),
         ok,
         result,
         quality,
@@ -287,37 +292,55 @@ fn quality_of(result: &JobResult) -> Vec<(String, Value)> {
                 Value::UInt(outcome.frozen_qubits.len() as u64),
             ),
         ],
+        JobResult::Approx { error_model, inner } => {
+            let mut metrics = quality_of(inner);
+            metrics.push((
+                "tier".to_string(),
+                Value::string(error_model.tier.name().to_string()),
+            ));
+            metrics
+        }
         _ => Vec::new(),
     }
 }
 
 impl ScenarioRecord {
     fn to_value(&self) -> Value {
-        Value::object(vec![
+        let mut fields = vec![
             ("id", Value::string(self.id.clone())),
             ("family", Value::string(self.family.clone())),
             ("num_vars", Value::UInt(self.num_vars as u64)),
             ("fingerprint", Value::string(self.fingerprint.clone())),
             ("routing", Value::string(self.routing.clone())),
             ("kind", Value::string(self.kind.clone())),
-            ("ok", Value::Bool(self.ok)),
-            (
-                "quality",
-                Value::Object(
-                    self.quality
-                        .iter()
-                        .map(|(k, v)| (k.clone(), v.clone()))
-                        .collect(),
-                ),
+        ];
+        // Pre-tier run files carried no `tier` key; emitting it only
+        // for non-exact records keeps committed artifacts byte-stable.
+        if self.tier != "exact" {
+            fields.push(("tier", Value::string(self.tier.clone())));
+        }
+        fields.push(("ok", Value::Bool(self.ok)));
+        fields.push((
+            "quality",
+            Value::Object(
+                self.quality
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect(),
             ),
-            ("result", Value::string(self.result.clone())),
-        ])
+        ));
+        fields.push(("result", Value::string(self.result.clone())));
+        Value::object(fields)
     }
 
     fn from_value(value: &Value) -> Result<ScenarioRecord, FqError> {
         let quality = match value.field("quality")? {
             Value::Object(pairs) => pairs.clone(),
             _ => return Err(FqError::Serde("quality must be an object".to_string())),
+        };
+        let tier = match value.get("tier") {
+            Some(v) => v.as_str()?.to_string(),
+            None => "exact".to_string(),
         };
         Ok(ScenarioRecord {
             id: value.field("id")?.as_str()?.to_string(),
@@ -326,6 +349,7 @@ impl ScenarioRecord {
             fingerprint: value.field("fingerprint")?.as_str()?.to_string(),
             routing: value.field("routing")?.as_str()?.to_string(),
             kind: value.field("kind")?.as_str()?.to_string(),
+            tier,
             ok: value.field("ok")?.as_bool()?,
             quality,
             result: value.field("result")?.as_str()?.to_string(),

@@ -21,7 +21,7 @@
 use std::path::{Path, PathBuf};
 
 use frozenqubits::api::{BackendSpec, DeviceSpec, JobKind, JobSpec, ProblemSpec};
-use frozenqubits::FqError;
+use frozenqubits::{FqError, QosTier};
 use serde::json::Value;
 
 use crate::models;
@@ -231,6 +231,9 @@ pub struct Scenario {
     pub seed: u64,
     /// Execution backend.
     pub backend: BackendSpec,
+    /// Accuracy/speed contract (`exact` when the corpus omits it, so
+    /// pre-tier suite files parse unchanged).
+    pub tier: QosTier,
 }
 
 impl Scenario {
@@ -246,7 +249,8 @@ impl Scenario {
             .backend(self.backend)
             .num_frozen(self.num_frozen)
             .layers(self.layers)
-            .seed(self.seed);
+            .seed(self.seed)
+            .tier(self.tier);
         builder = match self.kind {
             JobKind::Baseline => builder.baseline(),
             JobKind::Frozen => builder.frozen(),
@@ -301,6 +305,13 @@ impl Scenario {
             }
             None => BackendSpec::Sim,
         };
+        let tier = match value.get("tier") {
+            Some(v) => {
+                let name = v.as_str()?;
+                QosTier::from_name(name).ok_or_else(|| FqError::UnknownTier(name.to_string()))?
+            }
+            None => QosTier::Exact,
+        };
         Ok(Scenario {
             id,
             smoke,
@@ -311,6 +322,7 @@ impl Scenario {
             layers,
             seed,
             backend,
+            tier,
         })
     }
 }
@@ -490,6 +502,25 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("unknown device"));
+    }
+
+    #[test]
+    fn tier_field_parses_defaults_and_rejects_unknown_names() {
+        let suite = Suite::parse(SAMPLE).unwrap();
+        assert_eq!(suite.scenarios[0].tier, QosTier::Exact, "omitted = exact");
+
+        let tiered = SAMPLE.replace(
+            "\"smoke\": true,",
+            "\"smoke\": true, \"tier\": \"balanced\",",
+        );
+        let suite = Suite::parse(&tiered).unwrap();
+        assert_eq!(suite.scenarios[0].tier, QosTier::Balanced);
+        let spec = suite.scenarios[0].to_spec().unwrap();
+        assert_eq!(spec.config.tier, QosTier::Balanced, "tier reaches the spec");
+
+        let bad = SAMPLE.replace("\"smoke\": true,", "\"smoke\": true, \"tier\": \"turbo\",");
+        let err = Suite::parse(&bad).unwrap_err();
+        assert!(matches!(err, FqError::UnknownTier(_)), "{err}");
     }
 
     #[test]

@@ -31,7 +31,7 @@ fn scratch(name: &str) -> PathBuf {
 
 #[test]
 fn fingerprints_are_identical_across_two_processes() {
-    for suite in ["core", "adversarial", "bench-batch"] {
+    for suite in ["core", "adversarial", "bench-batch", "large"] {
         let run = |label: &str| {
             let out = cli()
                 .args(["fingerprint", suite])
@@ -89,6 +89,49 @@ fn suite_runs_are_byte_identical_across_processes() {
         "scenario sections must be byte-identical across processes"
     );
     assert!(a.records.iter().all(|r| r.ok));
+}
+
+/// The approximate tiers are contracts, not best-effort: the same spec
+/// and seed must reproduce byte-identical `balanced`/`fast` results
+/// across processes *and* across worker counts. The `large` smoke
+/// subset runs one scenario per tier, so this pins all three.
+#[test]
+fn approximate_tiers_are_byte_identical_across_processes_and_thread_counts() {
+    let mut outputs = Vec::new();
+    for (name, threads) in [("tier_t1.json", "1"), ("tier_t4.json", "4")] {
+        let out = scratch(name);
+        let status = cli()
+            .env("FQ_THREADS", threads)
+            .args(["run", "large", "--smoke", "--label", "x", "--out"])
+            .arg(&out)
+            .status()
+            .expect("spawn fq-suite");
+        assert!(status.success());
+        outputs.push(SuiteRun::from_json(&std::fs::read_to_string(&out).unwrap()).unwrap());
+    }
+    let (a, b) = (&outputs[0], &outputs[1]);
+    assert_eq!(
+        a.deterministic_json(),
+        b.deterministic_json(),
+        "tiered scenario sections must be byte-identical across processes and FQ_THREADS"
+    );
+    assert!(a.records.iter().all(|r| r.ok));
+    for tier in ["exact", "balanced", "fast"] {
+        assert!(
+            a.records.iter().any(|r| r.tier == tier),
+            "the large smoke subset exercises the `{tier}` tier"
+        );
+    }
+    // Non-exact records carry the tier both in the record and inside
+    // the result bytes (the error_model of the v2 wire form).
+    for r in a.records.iter().filter(|r| r.tier != "exact") {
+        assert!(
+            r.result.contains("\"error_model\""),
+            "scenario `{}` result carries its error model: {}",
+            r.id,
+            r.result
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,88 @@
+//! The accuracy half of the QoS contract: for every core and
+//! adversarial scenario, the `balanced` and `fast` results stay within
+//! the deviation bound their own `error_model` reports, relative to the
+//! `exact` run of the same scenario.
+//!
+//! Sampling scenarios are excluded: sampling jobs are stochastic end to
+//! end and the builder rejects non-exact tiers for them.
+
+use fq_suite::{corpus_dir, Suite};
+use frozenqubits::api::{BatchRunner, JobKind, JobResult};
+use frozenqubits::QosTier;
+
+/// The expectation values a result is judged on, flattened across the
+/// result kinds (compare results carry two summaries).
+fn headline_evs(result: &JobResult) -> Vec<(String, f64)> {
+    match result {
+        JobResult::Approx { inner, .. } => headline_evs(inner),
+        JobResult::Baseline(s) => vec![
+            ("ev_ideal".to_string(), s.ev_ideal),
+            ("ev_noisy".to_string(), s.ev_noisy),
+        ],
+        JobResult::Frozen { summary, .. } => vec![
+            ("ev_ideal".to_string(), summary.ev_ideal),
+            ("ev_noisy".to_string(), summary.ev_noisy),
+        ],
+        JobResult::Compare(report) => vec![
+            ("baseline.ev_ideal".to_string(), report.baseline.ev_ideal),
+            ("baseline.ev_noisy".to_string(), report.baseline.ev_noisy),
+            ("frozen.ev_ideal".to_string(), report.frozen.ev_ideal),
+            ("frozen.ev_noisy".to_string(), report.frozen.ev_noisy),
+        ],
+        _ => Vec::new(),
+    }
+}
+
+fn run_one(runner: &BatchRunner, scenario: &fq_suite::Scenario) -> JobResult {
+    let spec = scenario.to_spec().unwrap();
+    runner
+        .run(std::slice::from_ref(&spec))
+        .pop()
+        .expect("one spec in, one result out")
+        .unwrap_or_else(|e| panic!("scenario `{}` ({:?}): {e}", scenario.id, scenario.tier))
+}
+
+#[test]
+fn approximate_tiers_stay_inside_their_reported_bounds() {
+    let runner = BatchRunner::new();
+    let mut checked = 0usize;
+    for suite_name in ["core", "adversarial"] {
+        let suite = Suite::load(&corpus_dir(), suite_name).unwrap();
+        for scenario in &suite.scenarios {
+            if matches!(scenario.kind, JobKind::Sample { .. }) {
+                continue;
+            }
+            let exact = run_one(&runner, scenario);
+            assert!(exact.error_model().is_none(), "exact carries no model");
+            let exact_evs = headline_evs(&exact);
+
+            for tier in [QosTier::Balanced, QosTier::Fast] {
+                let mut tiered = scenario.clone();
+                tiered.tier = tier;
+                let approx = run_one(&runner, &tiered);
+                let em = *approx.error_model().unwrap_or_else(|| {
+                    panic!("scenario `{}` ({tier:?}): no error model", scenario.id)
+                });
+                assert_eq!(em.tier, tier);
+
+                let approx_evs = headline_evs(&approx);
+                assert_eq!(exact_evs.len(), approx_evs.len());
+                for ((name, e), (_, a)) in exact_evs.iter().zip(&approx_evs) {
+                    let bound = em.bound_for(*e);
+                    assert!(
+                        (a - e).abs() <= bound,
+                        "suite `{suite_name}` scenario `{}` tier {tier:?}: {name} deviates \
+                         |{a} - {e}| = {} > bound {bound}",
+                        scenario.id,
+                        (a - e).abs()
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        checked > 50,
+        "the corpus exercised the contract ({checked})"
+    );
+}
